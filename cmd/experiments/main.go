@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's figures and the
+// reproduction's ablations (the material recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run fig6  # run one experiment
+//	experiments -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmap"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "run a single experiment by ID")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range nvmap.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *runID != "" {
+		out, err := nvmap.RunExperiment(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	out, err := nvmap.RunAllExperiments()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

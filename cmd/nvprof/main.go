@@ -1,0 +1,218 @@
+// Command nvprof runs a mini CM Fortran program on the simulated CM-5
+// partition under the Paradyn-like measurement tool and reports the
+// requested metrics, the where axis, and (optionally) the Performance
+// Consultant's findings.
+//
+// Usage:
+//
+//	nvprof [flags] program.fcm
+//
+//	-nodes N        partition size (default 8)
+//	-fuse           fuse adjacent elementwise statements
+//	-metrics a,b,c  metric IDs to enable (default a useful set; "all" = every metric)
+//	-focus PATH     constrain metrics to a where-axis resource
+//	                (e.g. Machine/node2, CMFarrays/A, CMFstmts/line7)
+//	-where          print the where axis after the run
+//	-plot           print a time plot per metric
+//	-consultant     run the Performance Consultant
+//	-question Q     register a SAS performance question in the paper's
+//	                notation (repeatable), e.g. "{A Sums}, {Processor_1 Sends}"
+//	-timeline       print a per-node execution timeline
+//	-pif            print the generated static mapping information
+//	-list           list available metrics and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nvmap"
+	"nvmap/internal/mdl"
+	"nvmap/internal/paradyn"
+	"nvmap/internal/trace"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 8, "partition size")
+		fuse       = flag.Bool("fuse", false, "fuse adjacent elementwise statements")
+		metricsArg = flag.String("metrics", "summations,summation_time,point_to_point_ops,idle_time", "comma-separated metric IDs, or 'all'")
+		focusArg   = flag.String("focus", "", "where-axis resource to constrain to")
+		showWhere  = flag.Bool("where", false, "print the where axis")
+		plot       = flag.Bool("plot", false, "print time plots")
+		consult    = flag.Bool("consultant", false, "run the Performance Consultant")
+		showPIF    = flag.Bool("pif", false, "print the generated PIF")
+		timeline   = flag.Bool("timeline", false, "print a per-node execution timeline")
+		list       = flag.Bool("list", false, "list available metrics and exit")
+	)
+	var questions questionFlags
+	flag.Var(&questions, "question",
+		`SAS performance question in the paper's notation, e.g. "{A Sums}, {Processor_1 Sends}" (repeatable; "?" wildcards, "[ordered]" suffix)`)
+	flag.Parse()
+
+	if *list {
+		lib := mdl.StdLibrary()
+		for _, id := range lib.IDs() {
+			m, _ := lib.Get(id)
+			fmt.Printf("%-28s %-28s (%s, %s level)\n", id, m.Name, m.Kind, m.Level)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nvprof [flags] program.fcm (see -h)")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *nodes, *fuse, *metricsArg, *focusArg, *showWhere, *plot, *consult, *showPIF, *timeline, questions); err != nil {
+		fmt.Fprintln(os.Stderr, "nvprof:", err)
+		os.Exit(1)
+	}
+}
+
+// questionFlags collects repeatable -question flags.
+type questionFlags []string
+
+func (q *questionFlags) String() string     { return strings.Join(*q, "; ") }
+func (q *questionFlags) Set(v string) error { *q = append(*q, v); return nil }
+
+func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhere, plot, consult, showPIF, timeline bool, questions []string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	source := string(src)
+	cfg := nvmap.Config{
+		Nodes:      nodes,
+		Fuse:       fuse,
+		SourceFile: filepath.Base(path),
+		Output:     os.Stdout,
+	}
+	s, err := nvmap.NewSession(source, cfg)
+	if err != nil {
+		return err
+	}
+	if showPIF {
+		text, err := s.PIFText()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+
+	s.Tool.EnableDynamicMapping()
+	s.Tool.EnableGating()
+
+	focus := paradyn.WholeProgram()
+	if focusArg != "" {
+		// The focus may name a resource that only exists after dynamic
+		// mapping (an array); pre-create the axis path so the predicate
+		// can be built. Unknown statements still fail cleanly.
+		parts := strings.Split(focusArg, "/")
+		if len(parts) < 2 {
+			return fmt.Errorf("focus %q must be hierarchy/resource", focusArg)
+		}
+		res := s.Tool.Axis.AddPath(parts[0], parts[1:]...)
+		focus, err = paradyn.NewFocus(res)
+		if err != nil {
+			return err
+		}
+	}
+
+	var ids []string
+	if metricsArg == "all" {
+		ids = s.Tool.Library().IDs()
+	} else {
+		for _, id := range strings.Split(metricsArg, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	var enabled []*paradyn.EnabledMetric
+	for _, id := range ids {
+		em, err := s.Tool.EnableMetric(id, focus)
+		if err != nil {
+			return err
+		}
+		enabled = append(enabled, em)
+	}
+
+	var tr *trace.Trace
+	if timeline {
+		tr = s.EnableTrace()
+	}
+
+	var monitor *nvmap.Monitor
+	var asked []*nvmap.AskedQuestion
+	if len(questions) > 0 {
+		monitor = s.EnableSASMonitor(false)
+		for _, text := range questions {
+			q, err := monitor.Ask("", text)
+			if err != nil {
+				return err
+			}
+			asked = append(asked, q)
+		}
+	}
+
+	if err := s.Run(); err != nil {
+		return err
+	}
+	now := s.Now()
+	s.Tool.SampleAll(now)
+
+	fmt.Printf("program %s on %d nodes: virtual elapsed %v\n\n",
+		filepath.Base(path), nodes, s.Elapsed())
+	fmt.Print(paradyn.Table("metrics", nvmap.MetricRows(enabled, now)))
+
+	if len(asked) > 0 {
+		fmt.Println("\nperformance questions:")
+		for _, q := range asked {
+			r, err := q.Answer(now)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-44s count=%.0f  event time=%v  gate time=%v\n",
+				q.Question.Label, r.Count, r.EventTime, r.SatisfiedTime)
+		}
+	}
+
+	if plot {
+		fmt.Println()
+		for _, em := range enabled {
+			fmt.Print(paradyn.TimePlot(em, 64))
+		}
+	}
+	if showWhere {
+		fmt.Println()
+		fmt.Print(s.Tool.Axis.Render())
+	}
+	if tr != nil {
+		fmt.Println()
+		fmt.Print(tr.Render(72))
+		fmt.Println()
+		fmt.Print(tr.Summary())
+	}
+	if consult {
+		fmt.Println()
+		c := paradyn.NewConsultant()
+		findings, err := c.Search(func() (*paradyn.Tool, func() error, error) {
+			fresh, err := nvmap.NewSession(source, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return fresh.Tool, fresh.Run, nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Performance Consultant findings:")
+		for _, f := range findings {
+			fmt.Println(" ", f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command pifgen is the utility of Section 6.2 of the paper: it parses CM
+// Fortran compiler output files (listings) and produces PIF files that
+// define the parallel statements and arrays for the performance tool and
+// describe the mappings from statements to node code blocks.
+//
+// Usage:
+//
+//	pifgen [-o out.pif] listing.txt
+//	pifgen -compile [-fuse] [-o out.pif] program.fcm
+//	pifgen -listing [-fuse] program.fcm        # stop at the listing
+//
+// With no input file, standard input is read.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nvmap/internal/cmf"
+	"nvmap/internal/pif"
+	"nvmap/internal/pifgen"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default stdout)")
+		compile  = flag.Bool("compile", false, "input is CM Fortran source: compile it first")
+		listOnly = flag.Bool("listing", false, "input is CM Fortran source: emit the compiler listing and stop")
+		fuse     = flag.Bool("fuse", false, "fuse adjacent elementwise statements (with -compile/-listing)")
+	)
+	flag.Parse()
+	if err := run(*out, *compile, *listOnly, *fuse, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "pifgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, compile, listOnly, fuse bool, args []string) error {
+	input, name, err := readInput(args)
+	if err != nil {
+		return err
+	}
+
+	var listing string
+	if compile || listOnly {
+		cp, err := cmf.CompileSource(input, cmf.Options{Fuse: fuse, SourceFile: filepath.Base(name)})
+		if err != nil {
+			return err
+		}
+		listing = cp.Listing()
+		if listOnly {
+			return write(out, listing)
+		}
+	} else {
+		listing = input
+	}
+
+	f, err := pifgen.FromListing(strings.NewReader(listing))
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	if err := pif.Write(&b, f); err != nil {
+		return err
+	}
+	return write(out, b.String())
+}
+
+func readInput(args []string) (content, name string, err error) {
+	switch len(args) {
+	case 0:
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), "stdin.fcm", err
+	case 1:
+		data, err := os.ReadFile(args[0])
+		return string(data), args[0], err
+	default:
+		return "", "", fmt.Errorf("expected at most one input file, got %d", len(args))
+	}
+}
+
+func write(out, content string) error {
+	if out == "" {
+		_, err := io.WriteString(os.Stdout, content)
+		return err
+	}
+	return os.WriteFile(out, []byte(content), 0o644)
+}

@@ -1,0 +1,72 @@
+// attribution demonstrates the paper's Section 3 flow end-to-end: the
+// tool times the Base-level node code blocks with dynamic
+// instrumentation, expresses the measurements as Base-level sentences
+// ({block, CPU Utilization}), and maps them upward through the static
+// mapping information to the source lines — under both the split policy
+// and the Paradyn merge policy, so the effect of compiler fusion on
+// attribution is visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvmap"
+	"nvmap/internal/mapping"
+	"nvmap/internal/paradyn"
+)
+
+// Lines 5 and 6 fuse into one block (the reduction on line 7 breaks the
+// run); the much heavier line 8 stands alone. The fused pair's costs
+// cannot be separated honestly — which is exactly what the merge policy
+// reports.
+const program = `PROGRAM attrib
+REAL A(4096)
+REAL B(4096)
+REAL S
+A = 1.5
+B = 2.5
+S = SUM(A)
+A = A * B + A / B - B * B + SQRT(A) * 3.0
+S = SUM(A)
+END
+`
+
+func main() {
+	s, err := nvmap.NewSession(program, nvmap.Config{
+		Nodes: 4, Fuse: true, SourceFile: "attrib.fcm",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Tool.EnableBlockTimers(); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	now := s.Now()
+
+	fmt.Println("Base-level measurements (what the tool can actually observe):")
+	ms, err := s.Tool.BlockMeasurements(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range ms {
+		fmt.Printf("  %-40v %6.2f %%CPU\n", m.Sentence, m.Cost.Value)
+	}
+
+	for _, policy := range []mapping.Policy{mapping.Split, mapping.Merge} {
+		rows, err := s.Tool.PresentBlockTimes(now, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nPresented at the CM Fortran level (%s policy):\n", policy)
+		fmt.Print(paradyn.Table("", rows))
+	}
+
+	fmt.Println("\nThe split policy divides the fused block's cost 50/50 between lines 5")
+	fmt.Println("and 6 — false precision. The merge policy reports the pair as one")
+	fmt.Println("inseparable unit, which is all the mapping information supports, and")
+	fmt.Println("leaves the heavy line 8 correctly attributed on its own.")
+}

@@ -1,0 +1,116 @@
+// stencil runs a data-parallel relaxation kernel — the kind of workload
+// the paper's introduction motivates — under full measurement: per-array
+// and per-statement constrained metrics, a time plot of computation, and
+// the Performance Consultant's bottleneck search.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvmap"
+	"nvmap/internal/paradyn"
+)
+
+const program = `PROGRAM stencil
+REAL U(2048)
+REAL L(2048)
+REAL R(2048)
+REAL RESID
+FORALL (I = 1:2048) U(I) = I / 2048.0
+DO STEP = 1, 8
+L = CSHIFT(U, -1)
+R = CSHIFT(U, 1)
+U = L * 0.25 + U * 0.5 + R * 0.25
+END DO
+RESID = MAXVAL(U)
+PRINT *, RESID
+END
+`
+
+func main() {
+	cfg := nvmap.Config{Nodes: 8, SourceFile: "stencil.fcm"}
+	s, err := nvmap.NewSession(program, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Tool.EnableDynamicMapping()
+	s.Tool.EnableGating()
+
+	// Whole-program metrics plus two constrained ones: communication for
+	// array U, and computation within the update statement.
+	wp := paradyn.WholeProgram()
+	uFocus, err := paradyn.NewFocus(s.Tool.Axis.AddPath(paradyn.HierArrays, "U"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	updateStmt, ok := s.Tool.Axis.Find("CMFstmts/line10")
+	if !ok {
+		log.Fatal("update statement missing from where axis")
+	}
+	stmtFocus, err := paradyn.NewFocus(updateStmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type req struct {
+		id    string
+		focus paradyn.Focus
+	}
+	var enabled []*paradyn.EnabledMetric
+	for _, r := range []req{
+		{"computation_time", wp},
+		{"transformation_time", wp},
+		{"point_to_point_ops", wp},
+		{"point_to_point_ops", uFocus},
+		{"idle_time", wp},
+		{"computation_time", stmtFocus},
+	} {
+		em, err := s.Tool.EnableMetric(r.id, r.focus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enabled = append(enabled, em)
+	}
+
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	now := s.Now()
+	s.Tool.SampleAll(now)
+
+	fmt.Printf("stencil on %d nodes: virtual elapsed %v\n\n", s.Machine.Nodes(), s.Elapsed())
+	fmt.Print(paradyn.Table("metric-focus pairs", nvmap.MetricRows(enabled, now)))
+	fmt.Println()
+	fmt.Print(paradyn.TimePlot(enabled[0], 64))
+
+	// Per-node communication balance, from the whole-program instance.
+	var rows []paradyn.Row
+	p2p := enabled[2]
+	for n := 0; n < s.Machine.Nodes(); n++ {
+		rows = append(rows, paradyn.Row{
+			Focus: fmt.Sprintf("node%d", n),
+			Value: p2p.Instance.NodeValue(n, now),
+			Units: "ops",
+		})
+	}
+	fmt.Println()
+	fmt.Print(paradyn.BarChart("sends per node", rows, 32))
+
+	// Let the consultant explain where the time goes.
+	c := paradyn.NewConsultant()
+	findings, err := c.Search(func() (*paradyn.Tool, func() error, error) {
+		fresh, err := nvmap.NewSession(program, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fresh.Tool, fresh.Run, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPerformance Consultant:")
+	for _, f := range findings {
+		fmt.Println(" ", f)
+	}
+}

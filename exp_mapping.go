@@ -1,0 +1,217 @@
+package nvmap
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmap/internal/mapping"
+	"nvmap/internal/nv"
+)
+
+// ExperimentFig1 regenerates Figure 1: the four mapping shapes with their
+// cost-assignment procedures, exercised on the figure's own examples.
+func ExperimentFig1() (string, error) {
+	var b strings.Builder
+	count := func(v float64) nv.Cost { return nv.Cost{Kind: nv.CostCount, Value: v} }
+
+	report := func(title string, t *mapping.Table, ms []mapping.Measurement, policy mapping.Policy) error {
+		assigned, unmapped, err := mapping.Assign(t, ms, policy, mapping.AggSum)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%s (policy %s)\n", title, policy)
+		for _, m := range ms {
+			fmt.Fprintf(&b, "  measured %v = %v  [%v]\n", m.Sentence, m.Cost, t.KindOf(m.Sentence))
+		}
+		for _, a := range assigned {
+			fmt.Fprintf(&b, "  -> %s = %v\n", a.Target(), a.Cost)
+		}
+		for _, u := range unmapped {
+			fmt.Fprintf(&b, "  !! unmapped %v = %v\n", u.Sentence, u.Cost)
+		}
+		b.WriteByte('\n')
+		return nil
+	}
+
+	// Row 1 — One-to-One: low-level message send S implements reduction R.
+	t1 := mapping.NewTable()
+	sendS := nv.NewSentence("Send", "S")
+	reduceR := nv.NewSentence("Reduce", "R")
+	if err := t1.Add(mapping.Def{Source: sendS, Destination: reduceR}); err != nil {
+		return "", err
+	}
+	if err := report("Row 1  One-to-One", t1,
+		[]mapping.Measurement{{Sentence: sendS, Cost: count(12)}}, mapping.Merge); err != nil {
+		return "", err
+	}
+
+	// Row 2 — One-to-Many: function F implements reductions R1, R2.
+	t2 := mapping.NewTable()
+	cpuF := nv.NewSentence("CPU", "F")
+	for _, r := range []string{"R1", "R2"} {
+		if err := t2.Add(mapping.Def{Source: cpuF, Destination: nv.NewSentence("Reduce", nv.NounID(r))}); err != nil {
+			return "", err
+		}
+	}
+	ms2 := []mapping.Measurement{{Sentence: cpuF, Cost: count(10)}}
+	if err := report("Row 2  One-to-Many, interpretation (1): split evenly", t2, ms2, mapping.Split); err != nil {
+		return "", err
+	}
+	if err := report("Row 2  One-to-Many, interpretation (2): merge destinations", t2, ms2, mapping.Merge); err != nil {
+		return "", err
+	}
+
+	// Row 3 — Many-to-One: functions F1, F2 implement one source line L.
+	t3 := mapping.NewTable()
+	f1 := nv.NewSentence("CPU", "F1")
+	f2 := nv.NewSentence("CPU", "F2")
+	lineL := nv.NewSentence("Executes", "L")
+	for _, src := range []nv.Sentence{f1, f2} {
+		if err := t3.Add(mapping.Def{Source: src, Destination: lineL}); err != nil {
+			return "", err
+		}
+	}
+	if err := report("Row 3  Many-to-One: aggregate sources first", t3,
+		[]mapping.Measurement{{Sentence: f1, Cost: count(7)}, {Sentence: f2, Cost: count(5)}},
+		mapping.Merge); err != nil {
+		return "", err
+	}
+
+	// Row 4 — Many-to-Many: lines L1, L2 implemented by overlapping
+	// functions F1, F2.
+	t4 := mapping.NewTable()
+	for _, d := range []mapping.Def{
+		{Source: f1, Destination: nv.NewSentence("Executes", "L1")},
+		{Source: f1, Destination: nv.NewSentence("Executes", "L2")},
+		{Source: f2, Destination: nv.NewSentence("Executes", "L2")},
+	} {
+		if err := t4.Add(d); err != nil {
+			return "", err
+		}
+	}
+	ms4 := []mapping.Measurement{{Sentence: f1, Cost: count(8)}, {Sentence: f2, Cost: count(4)}}
+	if err := report("Row 4  Many-to-Many: aggregate, then one-to-many (split)", t4, ms4, mapping.Split); err != nil {
+		return "", err
+	}
+	if err := report("Row 4  Many-to-Many: aggregate, then one-to-many (merge)", t4, ms4, mapping.Merge); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// figure2Program mirrors the situation of Figure 2: two adjacent source
+// lines whose implementations the optimizing compiler merges into one
+// node code block.
+const figure2Program = `PROGRAM corr
+REAL U(1024)
+REAL V(1024)
+U = U * 0.5 + 1.0
+V = U - 2.0
+END
+`
+
+// ExperimentFig2 regenerates Figure 2: the static mapping information
+// (NOUN / VERB / MAPPING records) emitted for a compiler-merged pair of
+// source lines, straight through the real pipeline — compile with fusion,
+// emit the listing, run the pifgen utility, print the PIF file.
+func ExperimentFig2() (string, error) {
+	s, err := NewSession(figure2Program, Config{Nodes: 4, Fuse: true, SourceFile: "corr.fcm"})
+	if err != nil {
+		return "", err
+	}
+	pifText, err := s.PIFText()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Compiler listing (pifgen input):\n\n")
+	b.WriteString(indent(s.Listing(), "  "))
+	b.WriteString("\nGenerated static mapping information (PIF):\n\n")
+	b.WriteString(indent(pifText, "  "))
+
+	// The mapping is one-to-many, as in the paper's discussion.
+	fused := s.Program.Blocks[0]
+	b.WriteString(fmt.Sprintf("\nBlock %s implements lines %v: the tool may split its costs\n", fused.Name, fused.Lines))
+	b.WriteString("between the lines, or merge the lines into an inseparable unit.\n")
+	return b.String(), nil
+}
+
+// ExperimentFig3 regenerates Figure 3: the three components of mapping
+// information, as this library defines them.
+func ExperimentFig3() (string, error) {
+	return `Type of information   Description
+Noun definition       name, level of abstraction, descriptive information
+                      (pif.NounRecord: name / abstraction / parent / description)
+Verb definition       name, level of abstraction, descriptive information
+                      (pif.VerbRecord: name / abstraction / units / description)
+Mapping definition    source sentence, destination sentence
+                      (pif.MappingRecord: {nouns..., verb} -> {nouns..., verb})
+
+LEVEL records (pif.LevelRecord: name / rank) extend the figure so a file
+can declare the rank ordering of its levels of abstraction.
+`, nil
+}
+
+// AblationSplitMerge quantifies the paper's argument for the merge
+// policy: when the true distribution of low-level work is skewed, the
+// split policy fabricates a uniform distribution while the merge policy
+// reports exactly what is known.
+func AblationSplitMerge() (string, error) {
+	var b strings.Builder
+	t := mapping.NewTable()
+	block := nv.NewSentence("CPU", "cmpe_corr_1_()")
+	l1 := nv.NewSentence("Executes", "line4")
+	l2 := nv.NewSentence("Executes", "line5")
+	for _, d := range []nv.Sentence{l1, l2} {
+		if err := t.Add(mapping.Def{Source: block, Destination: d}); err != nil {
+			return "", err
+		}
+	}
+	// Ground truth (invisible to the tool): line4 is responsible for 90%
+	// of the block's work.
+	const total, trueL1 = 100.0, 90.0
+	ms := []mapping.Measurement{{Sentence: block, Cost: nv.Cost{Kind: nv.CostPercent, Value: total}}}
+
+	split, _, err := mapping.Assign(t, ms, mapping.Split, mapping.AggSum)
+	if err != nil {
+		return "", err
+	}
+	merged, _, err := mapping.Assign(t, ms, mapping.Merge, mapping.AggSum)
+	if err != nil {
+		return "", err
+	}
+
+	fmt.Fprintf(&b, "One block implements line4 and line5; measured block cost = %g %%CPU.\n", total)
+	fmt.Fprintf(&b, "Hidden ground truth: line4 = %g, line5 = %g.\n\n", trueL1, total-trueL1)
+	fmt.Fprintf(&b, "Split policy reports:\n")
+	var worstErr float64
+	for _, a := range split {
+		truth := total - trueL1
+		if a.Destination.Equal(l1) {
+			truth = trueL1
+		}
+		e := a.Cost.Value - truth
+		if e < 0 {
+			e = -e
+		}
+		if e > worstErr {
+			worstErr = e
+		}
+		fmt.Fprintf(&b, "  %s = %v (truth %g, error %g)\n", a.Target(), a.Cost, truth, e)
+	}
+	fmt.Fprintf(&b, "  worst attribution error: %g %%CPU — overly precise and wrong.\n\n", worstErr)
+	fmt.Fprintf(&b, "Merge policy reports:\n")
+	for _, a := range merged {
+		fmt.Fprintf(&b, "  %s = %v\n", a.Target(), a.Cost)
+	}
+	fmt.Fprintf(&b, "  no assumption about the distribution: zero fabricated precision.\n")
+	return b.String(), nil
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,457 @@
+package nvmap
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmap/internal/cmf"
+	"nvmap/internal/cmrts"
+	"nvmap/internal/dyninst"
+	"nvmap/internal/nv"
+	"nvmap/internal/oskernel"
+	"nvmap/internal/sas"
+	"nvmap/internal/vtime"
+)
+
+// hpfProgram is the paper's Figure 4 fragment with enough surrounding
+// code to allocate and initialise the arrays:
+//
+//	1  ASUM = SUM(A)
+//	2  BMAX = MAXVAL(B)
+const hpfProgram = `PROGRAM hpf
+REAL A(256)
+REAL B(256)
+REAL C(256)
+REAL ASUM
+REAL BMAX
+REAL CSUM
+FORALL (I = 1:256) A(I) = I
+FORALL (I = 1:256) B(I) = 2 * I
+FORALL (I = 1:256) C(I) = 3 * I
+ASUM = SUM(A)
+BMAX = MAXVAL(B)
+CSUM = SUM(C)
+END
+`
+
+// HPF-level verbs used by the SAS experiments, mirroring Figure 5's
+// sentences ("line #1 executes", "A sums", "Processor sends a message").
+const (
+	verbExecutes nv.VerbID = "Executes"
+	verbSums     nv.VerbID = "Sums"
+	verbMaxvals  nv.VerbID = "Maxvals"
+	verbMinvals  nv.VerbID = "Minvals"
+	verbSends    nv.VerbID = "Sends"
+)
+
+func verbForIntrinsic(intr string) nv.VerbID {
+	switch intr {
+	case "SUM":
+		return verbSums
+	case "MAXVAL":
+		return verbMaxvals
+	case "MINVAL":
+		return verbMinvals
+	default:
+		// E.g. CSHIFT -> "Cshifts".
+		return nv.VerbID(intr[:1] + strings.ToLower(intr[1:]) + "s")
+	}
+}
+
+// Monitor is the monitoring code of Section 4.2 packaged for library
+// users: dyninst snippets that notify per-node SASes when high-level
+// sentences (statement executes, array reduces) become active, and that
+// measure the low-level send events against registered questions. Build
+// one with Session.EnableSASMonitor before Run; ask questions with Ask.
+type Monitor struct {
+	session *Session
+	Reg     *sas.Registry
+	// Model describes the levels and verbs for snapshot formatting.
+	Model *nv.Registry
+	// Snapshot captures the first per-node SAS snapshot taken while a
+	// send fires with the trigger pattern active.
+	Snapshot     []sas.ActiveSentence
+	snapshotWant sas.Term
+	sendStart    []vtime.Time
+}
+
+// wireSAS is the internal constructor behind Session.EnableSASMonitor.
+// It installs the monitoring instrumentation on a session. The
+// sentences it maintains per node:
+//
+//	{lineN Executes}            while the statement's block runs
+//	{A Sums} / {B Maxvals} ...  while a reduction block for that array runs
+//	{Processor_n Sends}         during each point-to-point send (also
+//	                            recorded as a measured event with its span)
+func wireSAS(s *Session, filter bool) *Monitor {
+	w := &Monitor{
+		session:   s,
+		Reg:       sas.NewRegistry(sas.Options{Filter: filter}),
+		Model:     nv.NewRegistry(),
+		sendStart: make([]vtime.Time, s.Machine.Nodes()),
+	}
+	_ = w.Model.AddLevel(nv.Level{ID: "HPF", Name: "HPF", Rank: 2})
+	_ = w.Model.AddLevel(nv.Level{ID: "Base", Name: "Base", Rank: 0})
+	for _, v := range []nv.VerbID{verbExecutes, verbSums, verbMaxvals, verbMinvals} {
+		_ = w.Model.AddVerb(nv.Verb{ID: v, Level: "HPF"})
+	}
+	_ = w.Model.AddVerb(nv.Verb{ID: verbSends, Level: "Base"})
+
+	// Statement and array activity from the node code blocks.
+	for _, blk := range s.Program.Blocks {
+		b := blk
+		sentences := w.blockSentences(b)
+		s.Inst.Insert(dyninst.Entry(b.Name), dyninst.Snippet{
+			Name: "sas: activate " + b.Name,
+			Do: func(ctx dyninst.Context) {
+				node := w.Reg.Node(ctx.Node)
+				for _, sn := range sentences {
+					node.Activate(sn, ctx.Now)
+				}
+			},
+		})
+		s.Inst.Insert(dyninst.Exit(b.Name), dyninst.Snippet{
+			Name: "sas: deactivate " + b.Name,
+			Do: func(ctx dyninst.Context) {
+				node := w.Reg.Node(ctx.Node)
+				for _, sn := range sentences {
+					_ = node.Deactivate(sn, ctx.Now)
+				}
+			},
+		})
+	}
+
+	// Send events from the runtime.
+	s.Inst.Insert(dyninst.Entry(cmrts.RoutineSend), dyninst.Snippet{
+		Name: "sas: send begins",
+		Do: func(ctx dyninst.Context) {
+			node := w.Reg.Node(ctx.Node)
+			sn := sendSentence(ctx.Node)
+			w.sendStart[ctx.Node] = ctx.Now
+			node.Activate(sn, ctx.Now)
+			if w.Snapshot == nil && w.snapshotWant.Verb != "" {
+				for _, a := range node.Snapshot() {
+					if w.snapshotWant.Matches(a.Sentence) {
+						w.Snapshot = node.Snapshot()
+						break
+					}
+				}
+			}
+		},
+	})
+	s.Inst.Insert(dyninst.Exit(cmrts.RoutineSend), dyninst.Snippet{
+		Name: "sas: send ends",
+		Do: func(ctx dyninst.Context) {
+			node := w.Reg.Node(ctx.Node)
+			sn := sendSentence(ctx.Node)
+			_ = node.Deactivate(sn, ctx.Now)
+			start := w.sendStart[ctx.Node]
+			node.RecordEvent(sn, ctx.Now, 1)
+			node.RecordSpan(sn, start, ctx.Now, ctx.Now.Sub(start))
+		},
+	})
+	return w
+}
+
+// blockSentences builds the HPF-level sentences a block's execution
+// activates.
+func (w *Monitor) blockSentences(b *cmf.Block) []nv.Sentence {
+	var out []nv.Sentence
+	for _, line := range b.Lines {
+		noun := nv.NounID(fmt.Sprintf("line%d", line))
+		out = append(out, nv.NewSentence(verbExecutes, noun))
+		if _, ok := w.Model.Noun(noun); !ok {
+			_ = w.Model.AddNoun(nv.Noun{ID: noun, Level: "HPF"})
+		}
+	}
+	if b.Kind == cmf.KindReduce || b.Kind == cmf.KindTransform {
+		verb := verbForIntrinsic(b.Intrinsic)
+		for _, arr := range b.Arrays {
+			out = append(out, nv.NewSentence(verb, nv.NounID(arr)))
+			if _, ok := w.Model.Noun(nv.NounID(arr)); !ok {
+				_ = w.Model.AddNoun(nv.Noun{ID: nv.NounID(arr), Level: "HPF"})
+			}
+			if _, ok := w.Model.Verb(verb); !ok {
+				_ = w.Model.AddVerb(nv.Verb{ID: verb, Level: "HPF"})
+			}
+		}
+	}
+	return out
+}
+
+func sendSentence(node int) nv.Sentence {
+	return nv.NewSentence(verbSends, nv.NounID(fmt.Sprintf("Processor_%d", node)))
+}
+
+// ExperimentFig5 regenerates Figures 4 and 5: running the HPF fragment
+// and snapshotting a node's SAS at the moment a message is sent as part
+// of SUM(A).
+func ExperimentFig5() (string, error) {
+	s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	if err != nil {
+		return "", err
+	}
+	w := wireSAS(s, false)
+	w.snapshotWant = sas.T(verbSums, sas.Any)
+	if err := s.Run(); err != nil {
+		return "", err
+	}
+	if w.Snapshot == nil {
+		return "", fmt.Errorf("fig5: no send occurred while an array was being summed")
+	}
+	var b strings.Builder
+	b.WriteString("HPF fragment (Figure 4):\n")
+	b.WriteString("  1   ASUM = SUM(A)\n  2   BMAX = MAXVAL(B)\n\n")
+	b.WriteString("The SAS when a message is sent during SUM(A) (Figure 5):\n\n")
+	b.WriteString(indent(sas.FormatSnapshot(w.Snapshot, w.Model), "  "))
+	b.WriteString("\n(each line represents one active sentence)\n")
+	return b.String(), nil
+}
+
+// fig6Result carries one question's aggregated answer.
+type fig6Result struct {
+	Question string
+	Meaning  string
+	Count    float64
+	Time     vtime.Duration
+}
+
+// runFig6 runs the HPF fragment with the Figure 6 questions registered on
+// every node's SAS and returns the aggregated answers.
+func runFig6(filter bool) ([]fig6Result, *Monitor, error) {
+	s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	if err != nil {
+		return nil, nil, err
+	}
+	w := wireSAS(s, filter)
+	for n := 0; n < s.Machine.Nodes(); n++ {
+		w.Reg.Node(n)
+	}
+	questions := []struct {
+		q       sas.Question
+		meaning string
+	}{
+		{sas.Q("{A Sums}", sas.T(verbSums, "A")),
+			"Cost of summations of A?"},
+		{sas.Q("{Processor_1 Sends}", sas.T(verbSends, "Processor_1")),
+			"Cost of sends by processor 1?"},
+		{sas.Q("{A Sums}, {Processor_1 Sends}", sas.T(verbSums, "A"), sas.T(verbSends, "Processor_1")),
+			"Cost of sends by 1 while A is being summed?"},
+		{sas.Q("{? Sums}, {Processor_1 Sends}", sas.T(verbSums, sas.Any), sas.T(verbSends, "Processor_1")),
+			"Cost of sends by 1 while anything is being summed?"},
+	}
+	ids := make([]map[int]sas.QuestionID, len(questions))
+	for i, q := range questions {
+		m, err := w.Reg.AddQuestionAll(q.q)
+		if err != nil {
+			return nil, nil, err
+		}
+		ids[i] = m
+	}
+	if err := s.Run(); err != nil {
+		return nil, nil, err
+	}
+	now := s.Now()
+	out := make([]fig6Result, len(questions))
+	for i, q := range questions {
+		agg, err := w.Reg.AggregateResult(ids[i], now)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = fig6Result{
+			Question: q.q.Label,
+			Meaning:  q.meaning,
+			Count:    agg.Count,
+			Time:     agg.EventTime + agg.SatisfiedTime,
+		}
+	}
+	return out, w, nil
+}
+
+// ExperimentFig6 regenerates Figure 6: the example performance questions,
+// answered with measured values. Questions about sends report message
+// counts and send time; the {A Sums} gate reports time A spent being
+// summed.
+func ExperimentFig6() (string, error) {
+	results, _, err := runFig6(false)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-38s %-48s %8s  %s\n", "Performance question", "Meaning", "count", "time")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-38s %-48s %8.0f  %v\n", r.Question, r.Meaning, r.Count, r.Time)
+	}
+	b.WriteString("\n(4 nodes; each global reduction sends 3 tree messages, one of them by\n processor 1; A and C are summed, B takes a MAXVAL)\n")
+	return b.String(), nil
+}
+
+// ExperimentFig7 regenerates Figure 7: the asynchronous-activation
+// limitation, then the shadow-context remedy.
+func ExperimentFig7() (string, error) {
+	var b strings.Builder
+	for _, shadows := range []bool{false, true} {
+		s := sas.New(sas.Options{})
+		qid, err := s.AddQuestion(sas.Q("kernel disk writes for func()",
+			sas.T(oskernel.VerbExecutes, "func"),
+			sas.T(oskernel.VerbDiskWrite, sas.Any)))
+		if err != nil {
+			return "", err
+		}
+		cfg := oskernel.DefaultConfig()
+		cfg.Shadows = shadows
+		sys, err := oskernel.New(cfg, s)
+		if err != nil {
+			return "", err
+		}
+		sys.CallFunc("func", func() {
+			sys.Write(4096)
+			sys.Write(4096)
+		})
+		sys.CallFunc("bystander", func() {
+			sys.Write(512)
+		})
+		sys.RunKernel(sys.Now().Add(vtime.Second))
+		res, err := s.Result(qid, sys.Now())
+		if err != nil {
+			return "", err
+		}
+		mode := "plain SAS (the paper's limitation)"
+		if shadows {
+			mode = "shadow contexts (our remedy)"
+		}
+		fmt.Fprintf(&b, "%s:\n", mode)
+		fmt.Fprintf(&b, "  disk writes flushed: %d, attributed to func(): %.0f (want 2)\n",
+			sys.Flushed, res.Count)
+		fmt.Fprintf(&b, "  disk-write time charged to func(): %v\n\n", res.EventTime)
+	}
+	b.WriteString("The user process's write() returns before the kernel writes to disk,\n")
+	b.WriteString("so the SAS never holds {func Executes} and {disk DiskWrite} together;\n")
+	b.WriteString("capturing the active sentences at the write() handoff closes the gap.\n")
+	return b.String(), nil
+}
+
+// AblationSASFilter quantifies limitation 2 of Section 4.2.4: activity
+// notifications ignored by the SAS still cost their delivery; relevance
+// filtering avoids storing them (and dynamic instrumentation could remove
+// them entirely).
+func AblationSASFilter() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Questions ask only about A; the program also executes MAXVAL(B).\n\n")
+	fmt.Fprintf(&b, "%-12s %14s %10s %10s %13s\n", "mode", "notifications", "ignored", "stored", "evaluations")
+	for _, filter := range []bool{false, true} {
+		results, w, err := runFig6filterAOnly(filter)
+		if err != nil {
+			return "", err
+		}
+		st := w.Reg.TotalStats()
+		mode := "unfiltered"
+		if filter {
+			mode = "filtered"
+		}
+		fmt.Fprintf(&b, "%-12s %14d %10d %10d %13d\n",
+			mode, st.Notifications, st.Ignored, st.Stored, st.Evaluations)
+		// Answers must be identical either way.
+		if results[0].Count != 3 {
+			return "", fmt.Errorf("ablsas: sends during SUM(A) = %g, want 3", results[0].Count)
+		}
+	}
+	b.WriteString("\nFiltering leaves every answer unchanged while storing only relevant\nsentences; the notification cost itself remains, as the paper notes.\n")
+	return b.String(), nil
+}
+
+// runFig6filterAOnly runs the fragment with a single question about A.
+func runFig6filterAOnly(filter bool) ([]fig6Result, *Monitor, error) {
+	s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	if err != nil {
+		return nil, nil, err
+	}
+	w := wireSAS(s, filter)
+	for n := 0; n < s.Machine.Nodes(); n++ {
+		w.Reg.Node(n)
+	}
+	ids, err := w.Reg.AddQuestionAll(sas.Q("sends during SUM(A)",
+		sas.T(verbSums, "A"), sas.T(verbSends, sas.Any)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, nil, err
+	}
+	agg, err := w.Reg.AggregateResult(ids, s.Now())
+	if err != nil {
+		return nil, nil, err
+	}
+	return []fig6Result{{Question: "sends during SUM(A)", Count: agg.Count}}, w, nil
+}
+
+// AblationOrderedQuestions demonstrates limitation 3 of Section 4.2.4 and
+// the Ordered extension: with unordered questions, "how many messages are
+// sent for the summation of A" and "how many summations of A occur when
+// messages are sent" are syntactically equivalent; ordering the terms
+// distinguishes them.
+func AblationOrderedQuestions() (string, error) {
+	run := func(ordered bool) (sends float64, sums float64, err error) {
+		s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+		if err != nil {
+			return 0, 0, err
+		}
+		w := wireSAS(s, false)
+		for n := 0; n < s.Machine.Nodes(); n++ {
+			w.Reg.Node(n)
+		}
+		qSends := sas.Question{
+			Label:   "messages sent for summation of A",
+			Terms:   []sas.Term{sas.T(verbSums, "A"), sas.T(verbSends, sas.Any)},
+			Ordered: ordered,
+		}
+		qSums := sas.Question{
+			Label:   "summations of A while messages are sent",
+			Terms:   []sas.Term{sas.T(verbSends, sas.Any), sas.T(verbSums, "A")},
+			Ordered: ordered,
+		}
+		idsSends, err := w.Reg.AddQuestionAll(qSends)
+		if err != nil {
+			return 0, 0, err
+		}
+		idsSums, err := w.Reg.AddQuestionAll(qSums)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := s.Run(); err != nil {
+			return 0, 0, err
+		}
+		a1, err := w.Reg.AggregateResult(idsSends, s.Now())
+		if err != nil {
+			return 0, 0, err
+		}
+		a2, err := w.Reg.AggregateResult(idsSums, s.Now())
+		if err != nil {
+			return 0, 0, err
+		}
+		return a1.Count, a2.Count, nil
+	}
+
+	var b strings.Builder
+	uSends, uSums, err := run(false)
+	if err != nil {
+		return "", err
+	}
+	oSends, oSums, err := run(true)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Unordered questions (the paper's limitation):\n")
+	fmt.Fprintf(&b, "  'messages sent for summation of A'         = %.0f\n", uSends)
+	fmt.Fprintf(&b, "  'summations of A while messages are sent'  = %.0f  (identical semantics)\n\n", uSums)
+	fmt.Fprintf(&b, "Ordered questions (the extension):\n")
+	fmt.Fprintf(&b, "  'messages sent for summation of A'         = %.0f\n", oSends)
+	fmt.Fprintf(&b, "  'summations of A while messages are sent'  = %.0f  (a SUM never begins inside a send)\n", oSums)
+	if uSends != uSums {
+		return "", fmt.Errorf("ablorder: unordered variants should agree, got %g vs %g", uSends, uSums)
+	}
+	if oSums != 0 {
+		return "", fmt.Errorf("ablorder: ordered 'sums during send' should be 0, got %g", oSums)
+	}
+	return b.String(), nil
+}

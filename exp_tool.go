@@ -1,0 +1,267 @@
+package nvmap
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmap/internal/mdl"
+	"nvmap/internal/paradyn"
+)
+
+// bowProgram is shaped after Figure 8's bow.fcm: a module holding several
+// parallel arrays, one of them (TOT) the interesting one whose subregions
+// the where axis expands.
+const bowProgram = `PROGRAM bow
+REAL TOT(512)
+REAL U(512)
+REAL V(512)
+REAL W(512)
+REAL Z(512)
+REAL TSUM
+FORALL (I = 1:512) U(I) = I
+V = U * 0.5
+W = V + U
+Z = CSHIFT(W, 8)
+TOT = U + V + W + Z
+TSUM = SUM(TOT)
+END
+`
+
+// ExperimentFig8 regenerates Figure 8: the CMF-level where axis with the
+// statement and array hierarchies, arrays discovered through dynamic
+// mapping information and expanded into their per-node subregions.
+func ExperimentFig8() (string, error) {
+	s, err := NewSession(bowProgram, Config{Nodes: 4, SourceFile: "bow.fcm"})
+	if err != nil {
+		return "", err
+	}
+	s.Tool.EnableDynamicMapping()
+	if err := s.Run(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Where axis after running bow.fcm (arrays arrive via dynamic mapping;\n")
+	b.WriteString("TOT's children are its per-node subregions):\n\n")
+	b.WriteString(indent(s.Tool.Axis.Render(), "  "))
+	return b.String(), nil
+}
+
+// fig9Workload exercises every verb of the Figure 9 metric table:
+// computation, all three reductions, rotation, shift, transpose, scan,
+// sort, broadcasts (scalar fills), argument processing and node
+// activations (every dispatch), idle time (every wait for the control
+// processor), and point-to-point operations (every transform and
+// reduction tree).
+const fig9Workload = `PROGRAM mixed
+REAL A(256)
+REAL B(256)
+REAL M(16, 16)
+REAL S
+REAL T
+REAL U
+FORALL (I = 1:256) A(I) = 257 - I
+FORALL (I = 1:256) M(I) = I
+B = 1.0
+B = A * 2.0 + B
+S = SUM(A)
+T = MAXVAL(B)
+U = MINVAL(A)
+A = CSHIFT(A, 3)
+B = EOSHIFT(B, -2, 0)
+M = TRANSPOSE(M)
+A = SCAN(A)
+B = SORT(B)
+END
+`
+
+// ExperimentFig9 regenerates Figure 9: every CMF-level and CMRTS-level
+// metric, measured over a workload that exercises each verb, printed with
+// the paper's metric names.
+func ExperimentFig9() (string, error) {
+	s, err := NewSession(fig9Workload, Config{Nodes: 4, SourceFile: "mixed.fcm"})
+	if err != nil {
+		return "", err
+	}
+	lib := s.Tool.Library()
+	var ems []*paradyn.EnabledMetric
+	for _, id := range lib.IDs() {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			return "", err
+		}
+		ems = append(ems, em)
+	}
+	if err := s.Run(); err != nil {
+		return "", err
+	}
+	// The workload ends with the runtime resetting the vector units.
+	s.Runtime.Cleanup("end of run")
+	now := s.Now()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Workload: mixed.fcm on 4 nodes, virtual elapsed %v\n\n", s.Elapsed())
+	for _, level := range []string{"CMF", "CMRTS"} {
+		fmt.Fprintf(&b, "%s level\n", level)
+		var rows []paradyn.Row
+		for _, em := range ems {
+			if !strings.EqualFold(em.Metric.Level, level) {
+				continue
+			}
+			rows = append(rows, paradyn.Row{
+				Metric: em.Metric.Name,
+				Focus:  em.Metric.Description,
+				Value:  em.Value(now),
+				Units:  em.Metric.Units,
+			})
+		}
+		b.WriteString(indent(paradyn.Table("", rows), "  "))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// fusionProgram is dominated by short adjacent elementwise statements, so
+// per-statement dispatch overhead is significant and fusion pays.
+const fusionAblProgram = `PROGRAM relax
+REAL A(128)
+REAL B(128)
+REAL C(128)
+REAL S
+FORALL (I = 1:128) A(I) = I
+DO K = 1, 16
+B = A * 0.5
+C = B + 1.0
+A = C * 0.25
+B = A - C
+A = A + B
+END DO
+S = SUM(A)
+END
+`
+
+// AblationFusion quantifies the compiler design choice behind Figure 2's
+// one-to-many mappings: fusing adjacent elementwise statements into one
+// node code block trades dispatch overhead (fewer control-processor
+// activations, less idle wait) for coarser attribution (statements merge
+// into inseparable units under the merge policy).
+func AblationFusion() (string, error) {
+	type outcome struct {
+		blocks     int
+		dispatches float64
+		idle       float64
+		elapsed    float64
+	}
+	run := func(fuse bool) (outcome, error) {
+		s, err := NewSession(fusionAblProgram, Config{Nodes: 4, Fuse: fuse, SourceFile: "relax.fcm"})
+		if err != nil {
+			return outcome{}, err
+		}
+		acts, err := s.Tool.EnableMetric("node_activations", paradyn.WholeProgram())
+		if err != nil {
+			return outcome{}, err
+		}
+		idle, err := s.Tool.EnableMetric("idle_time", paradyn.WholeProgram())
+		if err != nil {
+			return outcome{}, err
+		}
+		if err := s.Run(); err != nil {
+			return outcome{}, err
+		}
+		now := s.Now()
+		return outcome{
+			blocks:     len(s.Program.Blocks),
+			dispatches: acts.Value(now),
+			idle:       idle.Value(now),
+			elapsed:    s.Elapsed().Seconds(),
+		}, nil
+	}
+	plain, err := run(false)
+	if err != nil {
+		return "", err
+	}
+	fused, err := run(true)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %14s %12s %12s\n", "compiler", "blocks", "activations", "idle (s)", "elapsed (s)")
+	fmt.Fprintf(&b, "%-12s %8d %14.0f %12.6f %12.6f\n", "unfused", plain.blocks, plain.dispatches, plain.idle, plain.elapsed)
+	fmt.Fprintf(&b, "%-12s %8d %14.0f %12.6f %12.6f\n", "fused", fused.blocks, fused.dispatches, fused.idle, fused.elapsed)
+	fmt.Fprintf(&b, "\nFusion cut node activations by %.0f%% and elapsed time by %.1f%%;\n",
+		100*(1-fused.dispatches/plain.dispatches), 100*(1-fused.elapsed/plain.elapsed))
+	b.WriteString("the price is attribution: fused statements map one-to-many to a single\n")
+	b.WriteString("block, so the tool must split (guessing) or merge (coarsening) their costs.\n")
+	if fused.dispatches >= plain.dispatches || fused.elapsed >= plain.elapsed {
+		return "", fmt.Errorf("ablfuse: fusion did not pay: %+v vs %+v", fused, plain)
+	}
+	return b.String(), nil
+}
+
+// AblationDynInst quantifies the central claim of dynamic instrumentation
+// (Section 4.1): "any point that does not contain instrumentation does
+// not cause any execution perturbations." We run the same workload (a)
+// uninstrumented, (b) with only two requested metrics — the dynamic
+// discipline, and (c) with every metric inserted — the always-on
+// discipline of traditional static instrumentation.
+func AblationDynInst() (string, error) {
+	type outcome struct {
+		label     string
+		elapsed   float64
+		perturbNS float64
+		probes    int
+	}
+	run := func(label string, metricIDs []string) (outcome, error) {
+		s, err := NewSession(fig9Workload, Config{Nodes: 4, SourceFile: "mixed.fcm"})
+		if err != nil {
+			return outcome{}, err
+		}
+		for _, id := range metricIDs {
+			if _, err := s.Tool.EnableMetric(id, paradyn.WholeProgram()); err != nil {
+				return outcome{}, err
+			}
+		}
+		if err := s.Run(); err != nil {
+			return outcome{}, err
+		}
+		st := s.Inst.Stats()
+		return outcome{
+			label:     label,
+			elapsed:   s.Elapsed().Seconds(),
+			perturbNS: float64(st.Perturbation),
+			probes:    st.Inserted,
+		}, nil
+	}
+
+	all := mdl.StdLibrary().IDs()
+
+	baseline, err := run("uninstrumented", nil)
+	if err != nil {
+		return "", err
+	}
+	dynamic, err := run("dynamic (2 requested metrics)", []string{"summation_time", "point_to_point_ops"})
+	if err != nil {
+		return "", err
+	}
+	static, err := run(fmt.Sprintf("always-on (%d metrics)", len(all)), all)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %10s %16s %14s %10s\n", "configuration", "probes", "perturbation", "elapsed", "slowdown")
+	for _, o := range []outcome{baseline, dynamic, static} {
+		slow := (o.elapsed/baseline.elapsed - 1) * 100
+		fmt.Fprintf(&b, "%-32s %10d %13.0f ns %11.6f s %9.2f%%\n",
+			o.label, o.probes, o.perturbNS, o.elapsed, slow)
+	}
+	b.WriteString("\nPerturbation grows with the instrumentation actually inserted, not with\n")
+	b.WriteString("the application's potential points: the uninstrumented run is exact.\n")
+	if baseline.perturbNS != 0 {
+		return "", fmt.Errorf("abldyn: uninstrumented run was perturbed")
+	}
+	if !(dynamic.perturbNS < static.perturbNS) {
+		return "", fmt.Errorf("abldyn: dynamic (%g) should perturb less than always-on (%g)",
+			dynamic.perturbNS, static.perturbNS)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,3 @@
+module nvmap
+
+go 1.24

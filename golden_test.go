@@ -1,0 +1,94 @@
+package nvmap
+
+import (
+	"math"
+	"testing"
+
+	"nvmap/internal/paradyn"
+	"nvmap/internal/vtime"
+)
+
+// The simulator is fully deterministic, so the entire Figure 9 metric
+// table on the reference workload can be pinned exactly. This is the
+// repository's strongest regression net: any change to the cost model,
+// the compiler's lowering, the runtime's communication structure, or the
+// metric/instrumentation path shows up here as a concrete number.
+//
+// If a deliberate model change lands, regenerate with the values printed
+// by a temporary run (see EXPERIMENTS.md) and update this table in the
+// same commit, explaining the shift.
+var fig9Golden = map[string]float64{
+	"computations":             4,
+	"computation_time":         4.8e-05,
+	"reductions":               3,
+	"reduction_time":           0.00011564999999999999,
+	"summations":               1,
+	"summation_time":           3.855e-05,
+	"maxval_count":             1,
+	"maxval_time":              3.855e-05,
+	"minval_count":             1,
+	"minval_time":              3.855e-05,
+	"array_transformations":    3,
+	"transformation_time":      0.00029596,
+	"rotations":                1,
+	"rotation_time":            4.882e-05,
+	"shifts":                   1,
+	"shift_time":               5.922e-05,
+	"transposes":               1,
+	"transpose_time":           0.00018792,
+	"scans":                    1,
+	"scan_time":                8.682000000000001e-05,
+	"sorts":                    1,
+	"sort_time":                0.0002801,
+	"argument_processing_time": 1.184e-05,
+	"broadcasts":               1,
+	"broadcast_time":           2.72e-06,
+	"cleanups":                 0, // the workload itself never resets the vector units
+	"cleanup_time":             0,
+	"idle_time":                0.0012249539999999999,
+	"node_activations":         48,
+	"point_to_point_ops":       37,
+	"point_to_point_time":      9.712e-05,
+}
+
+// goldenElapsed is the workload's exact virtual duration with all 31
+// metrics instrumented (perturbation included).
+const goldenElapsed = vtime.Duration(439620)
+
+func TestGoldenFigure9Metrics(t *testing.T) {
+	s, err := NewSession(fig9Workload, Config{Nodes: 4, SourceFile: "mixed.fcm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ems := map[string]*paradyn.EnabledMetric{}
+	for _, id := range s.Tool.Library().IDs() {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ems[id] = em
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Elapsed() != goldenElapsed {
+		t.Errorf("elapsed = %d ns, want %d ns", int64(s.Elapsed()), int64(goldenElapsed))
+	}
+	now := s.Now()
+	for id, want := range fig9Golden {
+		em, ok := ems[id]
+		if !ok {
+			t.Errorf("metric %s missing", id)
+			continue
+		}
+		got := em.Value(now)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", id, got, want)
+		}
+	}
+	// The golden table covers the whole library.
+	if len(fig9Golden) != len(s.Tool.Library().IDs()) {
+		t.Errorf("golden table has %d entries, library has %d",
+			len(fig9Golden), len(s.Tool.Library().IDs()))
+	}
+}

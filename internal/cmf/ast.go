@@ -1,0 +1,191 @@
+package cmf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed (not yet semantically checked) program.
+type Program struct {
+	Name string
+	Body []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Line() int
+	String() string
+}
+
+// Decl declares a scalar or a parallel array (when Dims is non-empty).
+type Decl struct {
+	Ln    int
+	Name  string
+	IsInt bool
+	Dims  []int
+}
+
+// Line returns the source line.
+func (d *Decl) Line() int { return d.Ln }
+
+// String reconstructs the declaration.
+func (d *Decl) String() string {
+	kw := "REAL"
+	if d.IsInt {
+		kw = "INTEGER"
+	}
+	if len(d.Dims) == 0 {
+		return fmt.Sprintf("%s %s", kw, d.Name)
+	}
+	dims := make([]string, len(d.Dims))
+	for i, v := range d.Dims {
+		dims[i] = fmt.Sprint(v)
+	}
+	return fmt.Sprintf("%s %s(%s)", kw, d.Name, strings.Join(dims, ", "))
+}
+
+// Assign is "LHS = RHS" where LHS is a scalar or whole-array name.
+type Assign struct {
+	Ln  int
+	LHS string
+	RHS Expr
+}
+
+// Line returns the source line.
+func (a *Assign) Line() int { return a.Ln }
+
+// String reconstructs the assignment.
+func (a *Assign) String() string { return fmt.Sprintf("%s = %s", a.LHS, a.RHS) }
+
+// Forall is "FORALL (V = Lo:Hi) LHS(V) = RHS".
+type Forall struct {
+	Ln     int
+	Var    string
+	Lo, Hi int
+	LHS    string
+	RHS    Expr
+}
+
+// Line returns the source line.
+func (f *Forall) Line() int { return f.Ln }
+
+// String reconstructs the statement.
+func (f *Forall) String() string {
+	return fmt.Sprintf("FORALL (%s = %d:%d) %s(%s) = %s", f.Var, f.Lo, f.Hi, f.LHS, f.Var, f.RHS)
+}
+
+// DoLoop is a serial control-processor loop "DO V = Lo, Hi ... END DO".
+type DoLoop struct {
+	Ln     int
+	Var    string
+	Lo, Hi int
+	Body   []Stmt
+}
+
+// Line returns the source line.
+func (d *DoLoop) Line() int { return d.Ln }
+
+// String renders the loop header.
+func (d *DoLoop) String() string {
+	return fmt.Sprintf("DO %s = %d, %d", d.Var, d.Lo, d.Hi)
+}
+
+// Where is a masked parallel assignment: "WHERE (L op R) LHS = RHS".
+// Elements of LHS are updated only where the elementwise condition holds
+// (CM Fortran's WHERE construct, single-statement form).
+type Where struct {
+	Ln     int
+	CondL  Expr
+	CondOp string // one of > < >= <= == /=
+	CondR  Expr
+	LHS    string
+	RHS    Expr
+}
+
+// Line returns the source line.
+func (w *Where) Line() int { return w.Ln }
+
+// String reconstructs the statement.
+func (w *Where) String() string {
+	return fmt.Sprintf("WHERE (%s %s %s) %s = %s", w.CondL, w.CondOp, w.CondR, w.LHS, w.RHS)
+}
+
+// Print is "PRINT *, expr" — a serial statement on the control processor.
+type Print struct {
+	Ln  int
+	Arg Expr
+}
+
+// Line returns the source line.
+func (p *Print) Line() int { return p.Ln }
+
+// String reconstructs the statement.
+func (p *Print) String() string { return fmt.Sprintf("PRINT *, %s", p.Arg) }
+
+// Expr is an expression node.
+type Expr interface {
+	String() string
+}
+
+// Num is a numeric literal.
+type Num struct{ Val float64 }
+
+// String renders the literal.
+func (n *Num) String() string {
+	s := fmt.Sprintf("%g", n.Val)
+	return s
+}
+
+// Ref names a scalar, loop variable, or whole array.
+type Ref struct{ Name string }
+
+// String renders the name.
+func (r *Ref) String() string { return r.Name }
+
+// Index is "NAME(VAR)" inside a FORALL body.
+type Index struct {
+	Name string
+	Var  string
+}
+
+// String renders the indexed reference.
+func (ix *Index) String() string { return fmt.Sprintf("%s(%s)", ix.Name, ix.Var) }
+
+// Unary is unary minus.
+type Unary struct{ X Expr }
+
+// String renders the negation.
+func (u *Unary) String() string { return fmt.Sprintf("-%s", u.X) }
+
+// Binary is a binary arithmetic operation; Op is one of + - * /.
+type Binary struct {
+	Op   byte
+	L, R Expr
+}
+
+// String renders with explicit parentheses to keep round-trips exact.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R)
+}
+
+// Call is an intrinsic function call.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// String renders the call.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(parts, ", "))
+}
+
+// Intrinsic classification used by semantic analysis and lowering.
+var reductionIntrinsics = map[string]bool{"SUM": true, "MAXVAL": true, "MINVAL": true, "DOT_PRODUCT": true}
+var transformIntrinsics = map[string]bool{
+	"CSHIFT": true, "EOSHIFT": true, "TRANSPOSE": true, "SCAN": true, "SORT": true,
+}
+var elementwiseIntrinsics = map[string]bool{"SQRT": true, "ABS": true, "EXP": true, "LOG": true}

@@ -1,0 +1,163 @@
+package cmf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError reports a lexical or parse error with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("cmf: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenises source. Keywords and identifiers are case-insensitive and
+// normalised to upper case (Fortran tradition); '!' starts a comment to
+// end of line; newlines are significant (statement separators).
+func lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	emit := func(k TokKind, text string) {
+		toks = append(toks, Token{Kind: k, Text: text, Line: line})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			// Collapse runs of blank/comment lines to one newline token.
+			if len(toks) > 0 && toks[len(toks)-1].Kind != TokNewline {
+				emit(TokNewline, "")
+			}
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '!':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '+':
+			emit(TokPlus, "+")
+			i++
+		case c == '-':
+			emit(TokMinus, "-")
+			i++
+		case c == '*':
+			emit(TokStar, "*")
+			i++
+		case c == '/':
+			if i+1 < n && src[i+1] == '=' {
+				emit(TokNE, "/=")
+				i += 2
+			} else {
+				emit(TokSlash, "/")
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				emit(TokGE, ">=")
+				i += 2
+			} else {
+				emit(TokGT, ">")
+				i++
+			}
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				emit(TokLE, "<=")
+				i += 2
+			} else {
+				emit(TokLT, "<")
+				i++
+			}
+		case c == '(':
+			emit(TokLParen, "(")
+			i++
+		case c == ')':
+			emit(TokRParen, ")")
+			i++
+		case c == ',':
+			emit(TokComma, ",")
+			i++
+		case c == '=':
+			if i+1 < n && src[i+1] == '=' {
+				emit(TokEQ, "==")
+				i += 2
+			} else {
+				emit(TokAssign, "=")
+				i++
+			}
+		case c == ':':
+			emit(TokColon, ":")
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			start := i
+			seenDot := false
+			for i < n {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && i+1 < n {
+					j := i + 1
+					if src[j] == '+' || src[j] == '-' {
+						j++
+					}
+					if j < n && src[j] >= '0' && src[j] <= '9' {
+						i = j + 1
+						for i < n && src[i] >= '0' && src[i] <= '9' {
+							i++
+						}
+						continue
+					}
+				}
+				break
+			}
+			if i < n && (src[i] == '.' || isAlpha(src[i])) {
+				return nil, errf(line, "malformed number starting %q", src[start:i+1])
+			}
+			text := src[start:i]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, errf(line, "malformed number %q", text)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: text, Num: v, Line: line})
+		case isAlpha(c):
+			start := i
+			for i < n && (isAlpha(src[i]) || src[i] >= '0' && src[i] <= '9' || src[i] == '_') {
+				i++
+			}
+			name := strings.ToUpper(src[start:i])
+			if k, ok := keywords[name]; ok {
+				emit(k, name)
+			} else {
+				emit(TokIdent, name)
+			}
+		default:
+			return nil, errf(line, "unexpected character %q", string(c))
+		}
+	}
+	if len(toks) > 0 && toks[len(toks)-1].Kind != TokNewline {
+		emit(TokNewline, "")
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}

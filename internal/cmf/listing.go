@@ -1,0 +1,80 @@
+package cmf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Listing renders the compiler output file for a compiled program. This
+// is the artefact Section 6.2 describes: "We create CM Fortran PIF files
+// with a simple utility that parses CM Fortran compiler output files. The
+// utility scans the compiler output files for lists of parallel
+// statements, parallel arrays, and node-code blocks." cmd/pifgen is that
+// utility; it parses exactly this format.
+//
+// The format is line-oriented: a record keyword, a colon, then
+// space-separated key=value fields; the statement text comes last in
+// double quotes. '!' lines are comments.
+func (c *Compiled) Listing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "! CM Fortran compiler listing\n")
+	fmt.Fprintf(&b, "program: %s\n", c.Prog.Name)
+	src := c.Opts.SourceFile
+	if src == "" {
+		src = strings.ToLower(c.Prog.Name) + ".fcm"
+	}
+	fmt.Fprintf(&b, "source: %s\n", src)
+
+	for _, name := range c.ArrayOrder {
+		d := c.Arrays[name]
+		fmt.Fprintf(&b, "array: name=%s rank=%d dims=%s line=%d\n",
+			d.Name, len(d.Dims), dimsString(d.Dims), d.Ln)
+	}
+
+	// Statements in source order (walk the AST).
+	walkStmts(c.Prog.Body, func(s Stmt) {
+		info, ok := c.Infos[s.Line()]
+		if !ok {
+			return // declarations
+		}
+		block := "-"
+		if info.Block != nil {
+			block = info.Block.Name
+		}
+		intr := info.Intrinsic
+		if intr == "" {
+			intr = "-"
+		}
+		fmt.Fprintf(&b, "statement: line=%d kind=%s block=%s intrinsic=%s arrays=%s text=%q\n",
+			s.Line(), info.Kind, block, intr, joinOrDash(info.Arrays), s.String())
+	})
+
+	for _, blk := range c.Blocks {
+		lines := make([]string, len(blk.Lines))
+		for i, l := range blk.Lines {
+			lines[i] = fmt.Sprint(l)
+		}
+		intr := blk.Intrinsic
+		if intr == "" {
+			intr = "-"
+		}
+		fmt.Fprintf(&b, "block: name=%s kind=%s intrinsic=%s lines=%s arrays=%s\n",
+			blk.Name, blk.Kind, intr, strings.Join(lines, ","), joinOrDash(blk.Arrays))
+	}
+	return b.String()
+}
+
+func dimsString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprint(d)
+	}
+	return strings.Join(parts, "x")
+}
+
+func joinOrDash(names []string) string {
+	if len(names) == 0 {
+		return "-"
+	}
+	return strings.Join(names, ",")
+}

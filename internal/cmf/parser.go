@@ -1,0 +1,528 @@
+package cmf
+
+import "fmt"
+
+// Parse lexes and parses source into a Program. Semantic checking (and
+// lowering to node code blocks) happens in Compile.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Line, "expected %v, got %v", k, t.Kind)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.cur().Kind == TokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	p.skipNewlines()
+	if _, err := p.expect(TokProgram); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: nameTok.Text}
+	body, err := p.parseStmts(false)
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	// parseStmts stopped at END.
+	if _, err := p.expect(TokEnd); err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if p.cur().Kind != TokEOF {
+		return nil, errf(p.cur().Line, "unexpected %v after END", p.cur().Kind)
+	}
+	return prog, nil
+}
+
+// parseStmts parses statements until an END token. When inDo is true the
+// END must be followed by DO (closing "END DO"); the caller consumes the
+// END either way.
+func (p *parser) parseStmts(inDo bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		switch t.Kind {
+		case TokEOF:
+			return nil, errf(t.Line, "missing END")
+		case TokEnd:
+			// Peek: "END DO" closes a loop; bare "END" closes the program.
+			isEndDo := p.toks[p.pos+1].Kind == TokDo
+			if inDo && !isEndDo {
+				return nil, errf(t.Line, "expected END DO to close loop")
+			}
+			if !inDo && isEndDo {
+				return nil, errf(t.Line, "END DO without DO")
+			}
+			return out, nil
+		case TokReal, TokInteger:
+			s, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case TokForall:
+			s, err := p.parseForall()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case TokDo:
+			s, err := p.parseDo()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case TokPrint:
+			s, err := p.parsePrint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case TokWhere:
+			s, err := p.parseWhere()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case TokIdent:
+			s, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		default:
+			return nil, errf(t.Line, "unexpected %v at start of statement", t.Kind)
+		}
+	}
+}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	kw := p.next()
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decl{Ln: kw.Line, Name: name.Text, IsInt: kw.Kind == TokInteger}
+	if p.cur().Kind == TokLParen {
+		p.pos++
+		for {
+			dim, err := p.intLiteral()
+			if err != nil {
+				return nil, err
+			}
+			d.Dims = append(d.Dims, dim)
+			if p.cur().Kind == TokComma {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if len(d.Dims) > 2 {
+			return nil, errf(kw.Line, "arrays of rank > 2 are not supported (got rank %d)", len(d.Dims))
+		}
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// intLiteral parses a (non-negative) integer literal.
+func (p *parser) intLiteral() (int, error) {
+	t, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v := int(t.Num)
+	if float64(v) != t.Num {
+		return 0, errf(t.Line, "expected integer, got %s", t.Text)
+	}
+	return v, nil
+}
+
+// signedIntLiteral allows a leading minus.
+func (p *parser) signedIntLiteral() (int, error) {
+	neg := false
+	if p.cur().Kind == TokMinus {
+		neg = true
+		p.pos++
+	}
+	v, err := p.intLiteral()
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseAssign() (Stmt, error) {
+	name := p.next()
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	return &Assign{Ln: name.Line, LHS: name.Text, RHS: rhs}, nil
+}
+
+func (p *parser) parseForall() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	lo, err := p.signedIntLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	hi, err := p.signedIntLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	lhs, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	ixVar, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if ixVar.Text != v.Text {
+		return nil, errf(kw.Line, "FORALL target must be indexed by %s, got %s", v.Text, ixVar.Text)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	return &Forall{Ln: kw.Line, Var: v.Text, Lo: lo, Hi: hi, LHS: lhs.Text, RHS: rhs}, nil
+}
+
+func (p *parser) parseDo() (Stmt, error) {
+	kw := p.next()
+	v, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	lo, err := p.signedIntLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	hi, err := p.signedIntLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts(true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEnd); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokDo); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	return &DoLoop{Ln: kw.Line, Var: v.Text, Lo: lo, Hi: hi, Body: body}, nil
+}
+
+func (p *parser) parseWhere() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.cur()
+	var op string
+	switch opTok.Kind {
+	case TokGT:
+		op = ">"
+	case TokLT:
+		op = "<"
+	case TokGE:
+		op = ">="
+	case TokLE:
+		op = "<="
+	case TokEQ:
+		op = "=="
+	case TokNE:
+		op = "/="
+	default:
+		return nil, errf(opTok.Line, "expected comparison operator in WHERE, got %v", opTok.Kind)
+	}
+	p.pos++
+	right, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	lhs, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	return &Where{Ln: kw.Line, CondL: left, CondOp: op, CondR: right, LHS: lhs.Text, RHS: rhs}, nil
+}
+
+func (p *parser) parsePrint() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(TokStar); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	return &Print{Ln: kw.Line, Arg: arg}, nil
+}
+
+// parseExpr: expr := term (('+'|'-') term)*
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokPlus:
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: '+', L: left, R: r}
+		case TokMinus:
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: '-', L: left, R: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseTerm: term := factor (('*'|'/') factor)*
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokStar:
+			p.pos++
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: '*', L: left, R: r}
+		case TokSlash:
+			p.pos++
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: '/', L: left, R: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseFactor: number | name | name(args) | (expr) | -factor
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		return &Num{Val: t.Num}, nil
+	case TokMinus:
+		p.pos++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{X: x}, nil
+	case TokLParen:
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.pos++
+		if p.cur().Kind != TokLParen {
+			return &Ref{Name: t.Text}, nil
+		}
+		p.pos++
+		// Either an intrinsic call or an indexed reference NAME(VAR).
+		if isIntrinsic(t.Text) {
+			var args []Expr
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.cur().Kind == TokComma {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &Call{Fn: t.Text, Args: args}, nil
+		}
+		ix, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, errf(t.Line, "expected index variable in %s(...)", t.Text)
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &Index{Name: t.Text, Var: ix.Text}, nil
+	default:
+		return nil, errf(t.Line, "unexpected %v in expression", t.Kind)
+	}
+}
+
+func isIntrinsic(name string) bool {
+	return reductionIntrinsics[name] || transformIntrinsics[name] || elementwiseIntrinsics[name]
+}
+
+// walkStmts visits every statement, descending into DO bodies.
+func walkStmts(body []Stmt, fn func(Stmt)) {
+	for _, s := range body {
+		fn(s)
+		if d, ok := s.(*DoLoop); ok {
+			walkStmts(d.Body, fn)
+		}
+	}
+}
+
+// exprRefs collects identifier references in evaluation order.
+func exprRefs(e Expr, fn func(name string, indexed bool)) {
+	switch x := e.(type) {
+	case *Num:
+	case *Ref:
+		fn(x.Name, false)
+	case *Index:
+		fn(x.Name, true)
+	case *Unary:
+		exprRefs(x.X, fn)
+	case *Binary:
+		exprRefs(x.L, fn)
+		exprRefs(x.R, fn)
+	case *Call:
+		for _, a := range x.Args {
+			exprRefs(a, fn)
+		}
+	default:
+		panic(fmt.Sprintf("cmf: unknown expr node %T", e))
+	}
+}

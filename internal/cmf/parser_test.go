@@ -1,0 +1,242 @@
+package cmf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const tinyProgram = `
+PROGRAM corr
+  REAL A(8)
+  REAL ASUM
+  A = 1.5
+  ASUM = SUM(A)
+END
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("A = B + 2.5e1 ! comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokIdent, TokAssign, TokIdent, TokPlus, TokNumber, TokNewline, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[4].Num != 25 {
+		t.Fatalf("number = %g", toks[4].Num)
+	}
+}
+
+func TestLexCaseInsensitive(t *testing.T) {
+	toks, err := lex("program foo\nreal a\nEnd\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokProgram || toks[1].Text != "FOO" {
+		t.Fatalf("toks = %v", toks[:2])
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := lex("A = 1\n\n! comment\nB = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bLine int
+	for _, tok := range toks {
+		if tok.Kind == TokIdent && tok.Text == "B" {
+			bLine = tok.Line
+		}
+	}
+	if bLine != 4 {
+		t.Fatalf("B on line %d, want 4", bLine)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("A = @\n"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+	if _, err := lex("A = 1.2.3\n"); err == nil {
+		t.Fatal("malformed number accepted")
+	}
+}
+
+func TestParseTinyProgram(t *testing.T) {
+	prog, err := Parse(tinyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "CORR" {
+		t.Fatalf("name = %q", prog.Name)
+	}
+	if len(prog.Body) != 4 {
+		t.Fatalf("body has %d statements", len(prog.Body))
+	}
+	if d, ok := prog.Body[0].(*Decl); !ok || d.Name != "A" || len(d.Dims) != 1 || d.Dims[0] != 8 {
+		t.Fatalf("first stmt = %#v", prog.Body[0])
+	}
+	if a, ok := prog.Body[3].(*Assign); !ok || a.LHS != "ASUM" {
+		t.Fatalf("fourth stmt = %#v", prog.Body[3])
+	} else if call, ok := a.RHS.(*Call); !ok || call.Fn != "SUM" {
+		t.Fatalf("RHS = %#v", a.RHS)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("PROGRAM p\nREAL X\nX = 1 + 2 * 3 - 4 / 2\nEND\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prog.Body[1].(*Assign).RHS.String()
+	if got != "((1 + (2 * 3)) - (4 / 2))" {
+		t.Fatalf("precedence tree = %s", got)
+	}
+}
+
+func TestParseUnaryAndParens(t *testing.T) {
+	prog, err := Parse("PROGRAM p\nREAL X\nX = -(1 + 2) * -3\nEND\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prog.Body[1].(*Assign).RHS.String()
+	if got != "(-(1 + 2) * -3)" {
+		t.Fatalf("tree = %s", got)
+	}
+}
+
+func TestParseForall(t *testing.T) {
+	prog, err := Parse("PROGRAM p\nREAL A(10)\nREAL B(10)\nFORALL (I = 1:10) A(I) = B(I) * I\nEND\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := prog.Body[2].(*Forall)
+	if !ok {
+		t.Fatalf("stmt = %#v", prog.Body[2])
+	}
+	if f.Var != "I" || f.Lo != 1 || f.Hi != 10 || f.LHS != "A" {
+		t.Fatalf("forall = %+v", f)
+	}
+	if f.String() != "FORALL (I = 1:10) A(I) = (B(I) * I)" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestParseDoLoop(t *testing.T) {
+	prog, err := Parse(`PROGRAM p
+REAL A(4)
+DO K = 1, 3
+  A = A + 1
+END DO
+END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := prog.Body[1].(*DoLoop)
+	if !ok || d.Var != "K" || d.Lo != 1 || d.Hi != 3 || len(d.Body) != 1 {
+		t.Fatalf("do = %#v", prog.Body[1])
+	}
+}
+
+func TestParseNestedDo(t *testing.T) {
+	prog, err := Parse(`PROGRAM p
+REAL A(4)
+DO K = 1, 2
+DO J = 1, 2
+A = A + 1
+END DO
+END DO
+END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Body[1].(*DoLoop)
+	if _, ok := outer.Body[0].(*DoLoop); !ok {
+		t.Fatal("nested DO not parsed")
+	}
+}
+
+func TestParsePrint(t *testing.T) {
+	prog, err := Parse("PROGRAM p\nREAL X\nX = 2\nPRINT *, X * 2\nEND\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := prog.Body[2].(*Print)
+	if !ok {
+		t.Fatalf("stmt = %#v", prog.Body[2])
+	}
+	if p.String() != "PRINT *, (X * 2)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no PROGRAM":        "REAL A(4)\nEND\n",
+		"missing END":       "PROGRAM p\nREAL A(4)\n",
+		"END DO no DO":      "PROGRAM p\nEND DO\nEND\n",
+		"DO without END DO": "PROGRAM p\nDO K = 1, 2\nA = 1\nEND\n",
+		"rank 3 array":      "PROGRAM p\nREAL A(2,2,2)\nEND\n",
+		"bad dim":           "PROGRAM p\nREAL A(2.5)\nEND\n",
+		"junk after END":    "PROGRAM p\nEND\nREAL X\n",
+		"forall bad var":    "PROGRAM p\nREAL A(4)\nFORALL (I = 1:4) A(J) = 1\nEND\n",
+		"stmt start":        "PROGRAM p\n+ 3\nEND\n",
+		"no newline":        "PROGRAM p REAL X\nEND\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted\n%s", name, src)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse("PROGRAM p\nREAL A(4)\nA = )\nEND\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if se.Line != 3 {
+		t.Fatalf("error line = %d, want 3 (%v)", se.Line, se)
+	}
+}
+
+// Property: the String rendering of a parsed expression reparses to an
+// identical rendering (round-trip stability).
+func TestExprRoundTripProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		src := "PROGRAM p\nREAL X\nX = " +
+			strings.Join([]string{num(a), num(b), num(c)}, " + ") +
+			" * (" + num(a) + " - " + num(c) + ")\nEND\n"
+		p1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		text1 := p1.Body[1].(*Assign).String()
+		p2, err := Parse("PROGRAM p\nREAL X\nX = " + p1.Body[1].(*Assign).RHS.String() + "\nEND\n")
+		if err != nil {
+			return false
+		}
+		text2 := p2.Body[1].(*Assign).String()
+		return text1 == text2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func num(v uint8) string {
+	return strings.TrimSpace((&Num{Val: float64(v)}).String())
+}

@@ -1,0 +1,66 @@
+package cmf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Parsers must reject arbitrary input with an error, never a panic: the
+// tool ingests user programs.
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(junk string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(junk)
+		_, _ = Parse("PROGRAM p\n" + junk + "\nEND\n")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileNeverPanicsProperty(t *testing.T) {
+	f := func(body string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = CompileSource("PROGRAM p\nREAL A(8)\n"+body+"\nEND\n", Options{Fuse: true})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Structured junk: random token soup drawn from the language's own
+// vocabulary stresses the parser deeper than raw bytes.
+func TestParseTokenSoupProperty(t *testing.T) {
+	vocab := []string{
+		"PROGRAM", "END", "REAL", "INTEGER", "FORALL", "DO", "PRINT", "WHERE",
+		"A", "B", "I", "SUM", "CSHIFT", "(", ")", ",", "=", ":", "+", "-",
+		"*", "/", "1", "2.5", ">", "<", ">=", "==", "/=", "\n",
+	}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		src := ""
+		for _, p := range picks {
+			src += vocab[int(p)%len(vocab)] + " "
+		}
+		_, _ = CompileSource(src, Options{})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

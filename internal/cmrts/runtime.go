@@ -1,0 +1,707 @@
+// Package cmrts simulates the CM Run-Time System of the paper's case
+// study (Section 6): the runtime layer between data-parallel CM Fortran
+// and the machine. It owns parallel array allocation and distribution,
+// dispatches node code blocks from the control processor, and implements
+// the communication and computation operations whose verbs populate the
+// CMRTS half of Figure 9 — broadcasts, point-to-point transfers,
+// reductions, argument processing, cleanups and idle time.
+//
+// Every runtime routine fires dynamic-instrumentation points (package
+// dyninst) at entry and exit on each participating node, and designated
+// mapping points where dynamic mapping information becomes known (array
+// allocation — Section 4.1's example). The runtime itself carries no
+// measurement code: the tool decides what to observe by inserting
+// snippets, exactly as the paper prescribes.
+package cmrts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nvmap/internal/dyninst"
+	"nvmap/internal/machine"
+	"nvmap/internal/vtime"
+)
+
+// Runtime routine names: the "functions" of the simulated executable
+// image that instrumentation points attach to.
+const (
+	RoutineAlloc     = "CMRTS_alloc"
+	RoutineFree      = "CMRTS_free"
+	RoutineArgs      = "CMRTS_args"     // per-node argument processing
+	RoutineDispatch  = "CMRTS_dispatch" // node code block dispatcher (args in Context.Args, block in Context.Tag)
+	RoutineCompute   = "CMRTS_compute"
+	RoutineReduceSum = "CMRTS_reduce_sum"
+	RoutineReduceMax = "CMRTS_reduce_max"
+	RoutineReduceMin = "CMRTS_reduce_min"
+	RoutineShift     = "CMRTS_shift"
+	RoutineRotate    = "CMRTS_rotate"
+	RoutineTranspose = "CMRTS_transpose"
+	RoutineScan      = "CMRTS_scan"
+	RoutineSort      = "CMRTS_sort"
+	RoutineBroadcast = "CMRTS_broadcast"
+	RoutineSend      = "CMRTS_send"
+	RoutineCleanup   = "CMRTS_cleanup"
+)
+
+// ReduceOp selects a reduction operator.
+type ReduceOp int
+
+// Reduction operators of the CM Fortran intrinsics SUM, MAXVAL, MINVAL.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// Routine returns the runtime routine implementing the operator.
+func (op ReduceOp) Routine() string {
+	switch op {
+	case OpSum:
+		return RoutineReduceSum
+	case OpMax:
+		return RoutineReduceMax
+	default:
+		return RoutineReduceMin
+	}
+}
+
+// String names the operator like the intrinsic it implements.
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "SUM"
+	case OpMax:
+		return "MAXVAL"
+	default:
+		return "MINVAL"
+	}
+}
+
+const elemBytes = 8 // float64 payloads
+
+// Costs extends the machine cost model with runtime-level constants.
+type Costs struct {
+	// AllocPerElem is the per-element cost of touching freshly allocated
+	// node memory.
+	AllocPerElem vtime.Duration
+	// CleanupCost is the fixed per-node cost of resetting the vector
+	// units (Figure 9's "Cleanups").
+	CleanupCost vtime.Duration
+	// SortFactor scales the local comparison cost of sorting.
+	SortFactor int
+}
+
+// DefaultCosts returns runtime cost defaults.
+func DefaultCosts() Costs {
+	return Costs{
+		AllocPerElem: 2 * vtime.Nanosecond,
+		CleanupCost:  3 * vtime.Microsecond,
+		SortFactor:   4,
+	}
+}
+
+// Runtime is one simulated CMRTS instance bound to a machine and an
+// instrumentation manager.
+type Runtime struct {
+	mach   *machine.Machine
+	inst   *dyninst.Manager
+	costs  Costs
+	arrays map[ArrayID]*Array
+	order  []ArrayID // allocation order for deterministic listing
+	seq    int
+
+	// counts is ground-truth operation counting (per routine name), used
+	// by tests to validate what the tool measures independently.
+	counts map[string]int
+}
+
+// New builds a runtime on a machine. inst may not be nil: the runtime
+// always fires its points (firing an uninstrumented point is free).
+func New(m *machine.Machine, inst *dyninst.Manager, costs Costs) (*Runtime, error) {
+	if m == nil || inst == nil {
+		return nil, fmt.Errorf("cmrts: machine and instrumentation manager are required")
+	}
+	return &Runtime{
+		mach:   m,
+		inst:   inst,
+		costs:  costs,
+		arrays: make(map[ArrayID]*Array),
+		counts: make(map[string]int),
+	}, nil
+}
+
+// Machine returns the underlying machine.
+func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
+
+// Inst returns the instrumentation manager.
+func (rt *Runtime) Inst() *dyninst.Manager { return rt.inst }
+
+// Count returns how many times a routine ran (ground truth for tests).
+func (rt *Runtime) Count(routine string) int { return rt.counts[routine] }
+
+// Array resolves an array ID.
+func (rt *Runtime) Array(id ArrayID) (*Array, bool) {
+	a, ok := rt.arrays[id]
+	return a, ok
+}
+
+// Arrays lists live arrays in allocation order.
+func (rt *Runtime) Arrays() []*Array {
+	out := make([]*Array, 0, len(rt.order))
+	for _, id := range rt.order {
+		if a, ok := rt.arrays[id]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// nodes is a shorthand.
+func (rt *Runtime) nodes() int { return rt.mach.Nodes() }
+
+// fireSpan wraps per-node entry/exit point firing around f, which must
+// advance node clocks itself.
+func (rt *Runtime) fireSpan(routine, tag string, args []string, f func()) {
+	rt.counts[routine]++
+	for n := 0; n < rt.nodes(); n++ {
+		rt.inst.Fire(dyninst.Entry(routine), dyninst.Context{
+			Node: n, Now: rt.mach.Now(n), Tag: tag, Args: args,
+		})
+	}
+	f()
+	for n := 0; n < rt.nodes(); n++ {
+		rt.inst.Fire(dyninst.Exit(routine), dyninst.Context{
+			Node: n, Now: rt.mach.Now(n), Tag: tag, Args: args,
+		})
+	}
+}
+
+// send performs one instrumented point-to-point transfer.
+func (rt *Runtime) send(from, to, bytes int, tag string) {
+	rt.counts[RoutineSend]++
+	rt.inst.Fire(dyninst.Entry(RoutineSend), dyninst.Context{
+		Node: from, Now: rt.mach.Now(from), Tag: tag, Bytes: bytes,
+	})
+	rt.mach.Send(from, to, bytes, tag)
+	rt.inst.Fire(dyninst.Exit(RoutineSend), dyninst.Context{
+		Node: from, Now: rt.mach.Now(from), Tag: tag, Bytes: bytes,
+	})
+}
+
+// Allocate creates a parallel array named name (the source-level
+// identifier) with the given shape, block-distributing it across the
+// partition. The return point is a designated mapping point: the
+// data-to-processor mapping has just been determined, and the tool's
+// mapping instrumentation (if inserted) picks up the new noun and its
+// subregion mappings from the point's arguments.
+func (rt *Runtime) Allocate(name string, shape []int) (*Array, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("cmrts: array %q needs at least one dimension", name)
+	}
+	size := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("cmrts: array %q has non-positive dimension %d", name, d)
+		}
+		size *= d
+	}
+	rt.seq++
+	id := ArrayID(fmt.Sprintf("pvar%d", rt.seq))
+	offsets := blockOffsets(size, rt.nodes())
+	a := &Array{
+		ID:      id,
+		Name:    name,
+		Shape:   append([]int(nil), shape...),
+		offsets: offsets,
+		chunks:  make([][]float64, rt.nodes()),
+	}
+	rt.fireSpan(RoutineAlloc, name, []string{string(id), name}, func() {
+		for n := 0; n < rt.nodes(); n++ {
+			local := offsets[n+1] - offsets[n]
+			a.chunks[n] = make([]float64, local)
+			rt.mach.AdvanceNode(n, rt.costs.AllocPerElem.Scale(local))
+		}
+	})
+	rt.arrays[id] = a
+	rt.order = append(rt.order, id)
+	// The mapping point fires on the control processor after the
+	// distribution is known.
+	rt.inst.Fire(dyninst.Mapping(RoutineAlloc), dyninst.Context{
+		Node: machine.CP, Now: rt.mach.CPNow(), Tag: name,
+		Args: []string{string(id), name, shapeString(shape)},
+	})
+	return a, nil
+}
+
+// Free deallocates an array. The mapping point tells the tool the noun is
+// gone.
+func (rt *Runtime) Free(a *Array) error {
+	if a.freed {
+		return fmt.Errorf("cmrts: double free of %s (%s)", a.ID, a.Name)
+	}
+	a.freed = true
+	delete(rt.arrays, a.ID)
+	rt.counts[RoutineFree]++
+	rt.inst.Fire(dyninst.Mapping(RoutineFree), dyninst.Context{
+		Node: machine.CP, Now: rt.mach.CPNow(), Tag: a.Name,
+		Args: []string{string(a.ID), a.Name},
+	})
+	return nil
+}
+
+// checkLive validates arrays for an operation.
+func checkLive(arrays ...*Array) error {
+	for _, a := range arrays {
+		if a == nil {
+			return fmt.Errorf("cmrts: nil array operand")
+		}
+		if a.freed {
+			return fmt.Errorf("cmrts: use of freed array %s (%s)", a.ID, a.Name)
+		}
+	}
+	return nil
+}
+
+// conformable checks equal sizes (CM Fortran requires conformable
+// operands for elementwise operations).
+func conformable(dst *Array, srcs ...*Array) error {
+	for _, s := range srcs {
+		if s.Size() != dst.Size() {
+			return fmt.Errorf("cmrts: arrays %s (%d elems) and %s (%d elems) are not conformable",
+				dst.Name, dst.Size(), s.Name, s.Size())
+		}
+	}
+	return nil
+}
+
+// Fill sets every element to v: a broadcast of the scalar followed by a
+// local fill on each node.
+func (rt *Runtime) Fill(a *Array, v float64, tag string) error {
+	if err := checkLive(a); err != nil {
+		return err
+	}
+	rt.BroadcastScalar(v, tag)
+	rt.fireSpan(RoutineCompute, tag, []string{string(a.ID)}, func() {
+		for n := 0; n < rt.nodes(); n++ {
+			for i := range a.chunks[n] {
+				a.chunks[n][i] = v
+			}
+			rt.mach.Compute(n, len(a.chunks[n]), tag)
+		}
+	})
+	return nil
+}
+
+// Elementwise computes dst[i] = fn(srcs[0][i], srcs[1][i], ...) on every
+// node's local section. flops scales the per-element cost (a
+// multiply-add is ~2). All operands must be conformable and identically
+// distributed, which holds for arrays of equal size in this runtime.
+func (rt *Runtime) Elementwise(tag string, dst *Array, srcs []*Array, flops int, fn func(vals []float64) float64) error {
+	if err := checkLive(append([]*Array{dst}, srcs...)...); err != nil {
+		return err
+	}
+	if err := conformable(dst, srcs...); err != nil {
+		return err
+	}
+	if flops < 1 {
+		flops = 1
+	}
+	args := []string{string(dst.ID)}
+	for _, s := range srcs {
+		args = append(args, string(s.ID))
+	}
+	rt.fireSpan(RoutineCompute, tag, args, func() {
+		vals := make([]float64, len(srcs))
+		for n := 0; n < rt.nodes(); n++ {
+			for i := range dst.chunks[n] {
+				for k, s := range srcs {
+					vals[k] = s.chunks[n][i]
+				}
+				dst.chunks[n][i] = fn(vals)
+			}
+			rt.mach.Compute(n, len(dst.chunks[n])*flops, tag)
+		}
+	})
+	return nil
+}
+
+// ElementwiseIndexed computes dst[i] = fn(i) over flat indices; used for
+// FORALL statements whose right-hand side depends on the index.
+func (rt *Runtime) ElementwiseIndexed(tag string, dst *Array, flops int, fn func(flat int) float64) error {
+	if err := checkLive(dst); err != nil {
+		return err
+	}
+	if flops < 1 {
+		flops = 1
+	}
+	rt.fireSpan(RoutineCompute, tag, []string{string(dst.ID)}, func() {
+		for n := 0; n < rt.nodes(); n++ {
+			base := dst.offsets[n]
+			for i := range dst.chunks[n] {
+				dst.chunks[n][i] = fn(base + i)
+			}
+			rt.mach.Compute(n, len(dst.chunks[n])*flops, tag)
+		}
+	})
+	return nil
+}
+
+// Reduce computes a global reduction of a: each node reduces its local
+// section, then partial results combine pairwise over point-to-point
+// messages up a binary tree rooted at node 0, which reports to the
+// control processor — the exact scenario of the paper's Figure 4/5
+// example ("each node reduces its subsections before sending its local
+// results to other nodes to compute the global reductions").
+func (rt *Runtime) Reduce(a *Array, op ReduceOp, tag string) (float64, error) {
+	if err := checkLive(a); err != nil {
+		return 0, err
+	}
+	partial := make([]float64, rt.nodes())
+	routine := op.Routine()
+	rt.fireSpan(routine, tag, []string{string(a.ID)}, func() {
+		for n := 0; n < rt.nodes(); n++ {
+			partial[n] = localReduce(a.chunks[n], op)
+			rt.mach.Compute(n, len(a.chunks[n]), tag)
+		}
+		for stride := 1; stride < rt.nodes(); stride *= 2 {
+			for lo := 0; lo+stride < rt.nodes(); lo += 2 * stride {
+				rt.send(lo+stride, lo, elemBytes, tag)
+				partial[lo] = combine(partial[lo], partial[lo+stride], op)
+				rt.mach.Compute(lo, 1, tag)
+			}
+		}
+		// Node 0 reports the result to the control processor.
+		rt.mach.WaitCPForNodes()
+		rt.mach.AdvanceCP(rt.mach.Config().MessageLatency)
+	})
+	return partial[0], nil
+}
+
+func localReduce(vals []float64, op ReduceOp) float64 {
+	switch op {
+	case OpSum:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	case OpMax:
+		m := math.Inf(-1)
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	default:
+		m := math.Inf(1)
+		for _, v := range vals {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+func combine(x, y float64, op ReduceOp) float64 {
+	switch op {
+	case OpSum:
+		return x + y
+	case OpMax:
+		return math.Max(x, y)
+	default:
+		return math.Min(x, y)
+	}
+}
+
+// DotProduct computes the global inner product of two conformable
+// arrays: each node combines its local sections (two flops per element)
+// and the partials sum over the same point-to-point tree as Reduce. At
+// the runtime level this is a summation, so it fires the
+// CMRTS_reduce_sum points and counts toward the reduction metrics.
+func (rt *Runtime) DotProduct(a, b *Array, tag string) (float64, error) {
+	if err := checkLive(a, b); err != nil {
+		return 0, err
+	}
+	if err := conformable(a, b); err != nil {
+		return 0, err
+	}
+	partial := make([]float64, rt.nodes())
+	rt.fireSpan(RoutineReduceSum, tag, []string{string(a.ID), string(b.ID)}, func() {
+		for n := 0; n < rt.nodes(); n++ {
+			var s float64
+			for i, av := range a.chunks[n] {
+				s += av * b.chunks[n][i]
+			}
+			partial[n] = s
+			rt.mach.Compute(n, 2*len(a.chunks[n]), tag)
+		}
+		for stride := 1; stride < rt.nodes(); stride *= 2 {
+			for lo := 0; lo+stride < rt.nodes(); lo += 2 * stride {
+				rt.send(lo+stride, lo, elemBytes, tag)
+				partial[lo] += partial[lo+stride]
+				rt.mach.Compute(lo, 1, tag)
+			}
+		}
+		rt.mach.WaitCPForNodes()
+		rt.mach.AdvanceCP(rt.mach.Config().MessageLatency)
+	})
+	return partial[0], nil
+}
+
+// BroadcastScalar sends a scalar from the control processor to all nodes
+// (Figure 9's "Broadcasts"). The value itself is immaterial to the cost
+// model; the parameter documents intent at call sites.
+func (rt *Runtime) BroadcastScalar(_ float64, tag string) {
+	rt.fireSpan(RoutineBroadcast, tag, nil, func() {
+		rt.mach.Broadcast(elemBytes, tag)
+	})
+}
+
+// redistribute moves data according to perm (a bijection on flat
+// indices), issuing the point-to-point transfers the movement implies and
+// then rewriting the stored values.
+func (rt *Runtime) redistribute(a *Array, perm func(int) int, tag string) {
+	m := transferMatrix(a, perm)
+	for src := 0; src < rt.nodes(); src++ {
+		for dst := 0; dst < rt.nodes(); dst++ {
+			if src == dst || m[src][dst] == 0 {
+				continue
+			}
+			rt.send(src, dst, m[src][dst]*elemBytes, tag)
+		}
+	}
+	applyPermutation(a, perm)
+}
+
+// Rotate circularly shifts the flattened array by offset (CM Fortran
+// CSHIFT). Elements that cross chunk boundaries travel as point-to-point
+// messages between neighbouring nodes.
+func (rt *Runtime) Rotate(a *Array, offset int, tag string) error {
+	if err := checkLive(a); err != nil {
+		return err
+	}
+	size := a.Size()
+	if size == 0 {
+		return nil
+	}
+	off := ((offset % size) + size) % size
+	rt.fireSpan(RoutineRotate, tag, []string{string(a.ID)}, func() {
+		rt.redistribute(a, func(i int) int { return (i + off) % size }, tag)
+		for n := 0; n < rt.nodes(); n++ {
+			rt.mach.Compute(n, len(a.chunks[n]), tag)
+		}
+	})
+	return nil
+}
+
+// Shift shifts the flattened array by offset, filling vacated positions
+// with fill (CM Fortran EOSHIFT).
+func (rt *Runtime) Shift(a *Array, offset int, fill float64, tag string) error {
+	if err := checkLive(a); err != nil {
+		return err
+	}
+	size := a.Size()
+	if size == 0 {
+		return nil
+	}
+	rt.fireSpan(RoutineShift, tag, []string{string(a.ID)}, func() {
+		// Count cross-node movement of surviving elements.
+		counts := make([][]int, rt.nodes())
+		for i := range counts {
+			counts[i] = make([]int, rt.nodes())
+		}
+		old := a.Flat()
+		next := make([]float64, size)
+		for i := range next {
+			next[i] = fill
+		}
+		for i := 0; i < size; i++ {
+			j := i + offset
+			if j < 0 || j >= size {
+				continue
+			}
+			next[j] = old[i]
+			src, dst := a.HomeNode(i), a.HomeNode(j)
+			if src != dst {
+				counts[src][dst]++
+			}
+		}
+		for src := 0; src < rt.nodes(); src++ {
+			for dst := 0; dst < rt.nodes(); dst++ {
+				if counts[src][dst] > 0 {
+					rt.send(src, dst, counts[src][dst]*elemBytes, tag)
+				}
+			}
+		}
+		for i, v := range next {
+			a.setAt(i, v)
+		}
+		for n := 0; n < rt.nodes(); n++ {
+			rt.mach.Compute(n, len(a.chunks[n]), tag)
+		}
+	})
+	return nil
+}
+
+// Transpose transposes a 2-D array in place (shape becomes reversed).
+// The movement is an all-to-all pattern of point-to-point transfers.
+func (rt *Runtime) Transpose(a *Array, tag string) error {
+	if err := checkLive(a); err != nil {
+		return err
+	}
+	if a.Rank() != 2 {
+		return fmt.Errorf("cmrts: TRANSPOSE needs a 2-D array, %s is %d-D", a.Name, a.Rank())
+	}
+	rows, cols := a.Shape[0], a.Shape[1]
+	rt.fireSpan(RoutineTranspose, tag, []string{string(a.ID)}, func() {
+		perm := func(i int) int {
+			r, c := i/cols, i%cols
+			return c*rows + r
+		}
+		rt.redistribute(a, perm, tag)
+		for n := 0; n < rt.nodes(); n++ {
+			rt.mach.Compute(n, len(a.chunks[n]), tag)
+		}
+	})
+	a.Shape[0], a.Shape[1] = cols, rows
+	return nil
+}
+
+// Scan computes an inclusive prefix reduction (CM Fortran SCAN /
+// CMSSL-style): local prefix on each node, a carry chain of small
+// messages between neighbouring nodes, then a local adjustment pass.
+func (rt *Runtime) Scan(a *Array, op ReduceOp, tag string) error {
+	if err := checkLive(a); err != nil {
+		return err
+	}
+	rt.fireSpan(RoutineScan, tag, []string{string(a.ID)}, func() {
+		carry := 0.0
+		haveCarry := false
+		for n := 0; n < rt.nodes(); n++ {
+			c := a.chunks[n]
+			for i := range c {
+				if i > 0 {
+					c[i] = combine(c[i-1], c[i], op)
+				}
+			}
+			rt.mach.Compute(n, 2*len(c), tag)
+			if haveCarry {
+				for i := range c {
+					c[i] = combine(carry, c[i], op)
+				}
+			}
+			if len(c) > 0 {
+				carry = c[len(c)-1]
+				haveCarry = true
+			}
+			if n+1 < rt.nodes() {
+				rt.send(n, n+1, elemBytes, tag)
+			}
+		}
+	})
+	return nil
+}
+
+// Sort sorts the flattened array ascending. The data movement models a
+// sample-sort: local sort compute on each node, then the all-to-all
+// exchange implied by where each element ranks globally.
+func (rt *Runtime) Sort(a *Array, tag string) error {
+	if err := checkLive(a); err != nil {
+		return err
+	}
+	rt.fireSpan(RoutineSort, tag, []string{string(a.ID)}, func() {
+		old := a.Flat()
+		idx := make([]int, len(old))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool { return old[idx[x]] < old[idx[y]] })
+		rank := make([]int, len(old))
+		for r, i := range idx {
+			rank[i] = r
+		}
+		for n := 0; n < rt.nodes(); n++ {
+			local := len(a.chunks[n])
+			cost := local * rt.costs.SortFactor * log2ceil(local)
+			rt.mach.Compute(n, cost, tag)
+		}
+		rt.redistribute(a, func(i int) int { return rank[i] }, tag)
+	})
+	return nil
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	l := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// Cleanup resets the node vector units (Figure 9's "Cleanups").
+func (rt *Runtime) Cleanup(tag string) {
+	rt.fireSpan(RoutineCleanup, tag, nil, func() {
+		for n := 0; n < rt.nodes(); n++ {
+			rt.mach.AdvanceNode(n, rt.costs.CleanupCost)
+		}
+	})
+}
+
+// DispatchBlock runs a node code block: the control processor activates
+// the block on every node (paying dispatch latency and per-node argument
+// processing), the block body executes runtime operations, and the
+// control processor waits for completion.
+//
+// The block's entry point fires with the argument array IDs in
+// Context.Args — "the CMRTS node code block dispatcher notifies the SAS
+// of array activation/deactivation by sending the input arguments for
+// each node code block to the SAS" (Section 6.1). The tool implements
+// that notification as an inserted snippet; the runtime only delivers the
+// arguments.
+func (rt *Runtime) DispatchBlock(name string, args []ArrayID, body func() error) error {
+	argStrings := make([]string, len(args))
+	argBytes := 16
+	for i, id := range args {
+		argStrings[i] = string(id)
+		argBytes += 8
+	}
+	rt.counts["dispatch:"+name]++
+	rt.mach.Dispatch(name, argBytes)
+
+	// Argument processing spans: the machine just charged PerByte*argBytes
+	// to each node at the end of its dispatch wait.
+	argCost := rt.mach.Config().PerByte.Scale(argBytes)
+	for n := 0; n < rt.nodes(); n++ {
+		end := rt.mach.Now(n)
+		rt.inst.Fire(dyninst.Entry(RoutineArgs), dyninst.Context{
+			Node: n, Now: end.Add(-argCost), Tag: name, Bytes: argBytes, Args: argStrings,
+		})
+		rt.inst.Fire(dyninst.Exit(RoutineArgs), dyninst.Context{
+			Node: n, Now: end, Tag: name, Bytes: argBytes, Args: argStrings,
+		})
+	}
+
+	// The dispatcher point brackets the block body on every node; the
+	// tool's array/statement gating instruments this single point pair
+	// instead of every generated block.
+	for n := 0; n < rt.nodes(); n++ {
+		ctx := dyninst.Context{Node: n, Now: rt.mach.Now(n), Tag: name, Args: argStrings}
+		rt.inst.Fire(dyninst.Entry(RoutineDispatch), ctx)
+		rt.inst.Fire(dyninst.Entry(name), ctx)
+	}
+	err := body()
+	for n := 0; n < rt.nodes(); n++ {
+		ctx := dyninst.Context{Node: n, Now: rt.mach.Now(n), Tag: name, Args: argStrings}
+		rt.inst.Fire(dyninst.Exit(name), ctx)
+		rt.inst.Fire(dyninst.Exit(RoutineDispatch), ctx)
+	}
+	rt.mach.WaitCPForNodes()
+	return err
+}

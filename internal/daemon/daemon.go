@@ -1,0 +1,160 @@
+// Package daemon models the communication path of Section 5 of the
+// paper: "The Paradyn dynamic instrumentation library sends dynamic
+// mapping information to the Paradyn daemon process using the same
+// communication channel used for performance data. [...] the daemons
+// forward the mapping information to the Data Manager. The Data Manager
+// uses the dynamic mapping information in exactly the same way as it
+// uses static mapping information."
+//
+// A Channel is that shared, ordered conduit: the application-side
+// instrumentation library enqueues messages (metric samples and dynamic
+// mapping records, interleaved in emission order); the tool-side data
+// manager drains them. On the simulator both sides live in one process,
+// so delivery is a drain call rather than a socket — but ordering,
+// queue-depth accounting and the single-channel property are preserved,
+// which is what the architecture claims.
+package daemon
+
+import (
+	"fmt"
+	"sync"
+
+	"nvmap/internal/pif"
+	"nvmap/internal/vtime"
+)
+
+// Kind classifies channel messages.
+type Kind int
+
+// Message kinds: performance data and the three dynamic mapping record
+// types share the channel (plus removal notices for deallocated nouns).
+const (
+	KindSample Kind = iota
+	KindNounDef
+	KindVerbDef
+	KindMappingDef
+	KindRemoval
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSample:
+		return "sample"
+	case KindNounDef:
+		return "noun"
+	case KindVerbDef:
+		return "verb"
+	case KindMappingDef:
+		return "mapping"
+	case KindRemoval:
+		return "removal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Sample is one performance-data reading.
+type Sample struct {
+	MetricID string
+	Focus    string
+	Value    float64
+}
+
+// Message is one channel record. Exactly one of the payload fields
+// matching Kind is set.
+type Message struct {
+	Kind Kind
+	At   vtime.Time
+
+	Sample  *Sample
+	Noun    *pif.NounRecord
+	Verb    *pif.VerbRecord
+	Mapping *pif.MappingRecord
+	// Removal names a noun (by PIF name) whose resource is gone.
+	Removal string
+	// Attrs carries free-form attributes (e.g. the runtime array ID and
+	// shape for an allocation).
+	Attrs map[string]string
+}
+
+// Stats counts channel traffic by kind.
+type Stats struct {
+	Sent      int
+	Delivered int
+	ByKind    map[Kind]int
+	// MaxQueue records the deepest the queue has been.
+	MaxQueue int
+}
+
+// Channel is the shared, ordered conduit between the instrumentation
+// library and the data manager. Safe for concurrent use.
+type Channel struct {
+	mu    sync.Mutex
+	queue []Message
+	stats Stats
+}
+
+// NewChannel returns an empty channel.
+func NewChannel() *Channel {
+	return &Channel{stats: Stats{ByKind: make(map[Kind]int)}}
+}
+
+// Send enqueues a message. Mapping information and performance data
+// interleave in emission order — the property the paper's design relies
+// on so the data manager sees definitions before the samples that use
+// them.
+func (c *Channel) Send(m Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queue = append(c.queue, m)
+	c.stats.Sent++
+	c.stats.ByKind[m.Kind]++
+	if len(c.queue) > c.stats.MaxQueue {
+		c.stats.MaxQueue = len(c.queue)
+	}
+}
+
+// Pending returns the queue depth.
+func (c *Channel) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Drain delivers every queued message, in order, to fn. Delivery stops
+// at the first error; the failing message and everything behind it stay
+// queued (in order) for a later retry. It returns how many messages were
+// delivered.
+func (c *Channel) Drain(fn func(Message) error) (int, error) {
+	c.mu.Lock()
+	pending := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+
+	for i, m := range pending {
+		if err := fn(m); err != nil {
+			c.mu.Lock()
+			c.queue = append(append([]Message(nil), pending[i:]...), c.queue...)
+			c.stats.Delivered += i
+			c.mu.Unlock()
+			return i, err
+		}
+	}
+	c.mu.Lock()
+	c.stats.Delivered += len(pending)
+	c.mu.Unlock()
+	return len(pending), nil
+}
+
+// Stats returns a copy of the traffic statistics.
+func (c *Channel) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.ByKind = make(map[Kind]int, len(c.stats.ByKind))
+	for k, v := range c.stats.ByKind {
+		out.ByKind[k] = v
+	}
+	return out
+}

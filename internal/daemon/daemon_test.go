@@ -1,0 +1,177 @@
+package daemon
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"nvmap/internal/pif"
+)
+
+func sample(id string, v float64) Message {
+	return Message{Kind: KindSample, Sample: &Sample{MetricID: id, Value: v}}
+}
+
+func nounDef(name string) Message {
+	return Message{Kind: KindNounDef, Noun: &pif.NounRecord{Name: name, Abstraction: "CMF"}}
+}
+
+func TestChannelOrderPreserved(t *testing.T) {
+	c := NewChannel()
+	// The crucial interleaving: a definition arrives before the samples
+	// that reference it, over the same channel.
+	c.Send(nounDef("A"))
+	c.Send(sample("summations", 1))
+	c.Send(sample("summations", 2))
+	c.Send(Message{Kind: KindRemoval, Removal: "A"})
+
+	var got []Kind
+	n, err := c.Drain(func(m Message) error {
+		got = append(got, m.Kind)
+		return nil
+	})
+	if err != nil || n != 4 {
+		t.Fatalf("Drain = %d, %v", n, err)
+	}
+	want := []Kind{KindNounDef, KindSample, KindSample, KindRemoval}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+}
+
+func TestChannelErrorKeepsTail(t *testing.T) {
+	c := NewChannel()
+	for i := 0; i < 5; i++ {
+		c.Send(sample("m", float64(i)))
+	}
+	n, err := c.Drain(func(m Message) error {
+		if m.Sample.Value == 2 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || n != 2 {
+		t.Fatalf("Drain = %d, %v", n, err)
+	}
+	// The failing message (value 2) and the two behind it remain.
+	if c.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", c.Pending())
+	}
+	var vals []float64
+	if _, err := c.Drain(func(m Message) error {
+		vals = append(vals, m.Sample.Value)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 2 || vals[2] != 4 {
+		t.Fatalf("retry saw %v", vals)
+	}
+}
+
+func TestChannelStats(t *testing.T) {
+	c := NewChannel()
+	c.Send(nounDef("A"))
+	c.Send(sample("m", 1))
+	c.Send(sample("m", 2))
+	st := c.Stats()
+	if st.Sent != 3 || st.ByKind[KindSample] != 2 || st.ByKind[KindNounDef] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxQueue != 3 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := c.Drain(func(Message) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Delivered; got != 3 {
+		t.Fatalf("Delivered = %d", got)
+	}
+}
+
+func TestChannelConcurrentSends(t *testing.T) {
+	c := NewChannel()
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Send(sample("m", 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Pending() != workers*per {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+	n, err := c.Drain(func(Message) error { return nil })
+	if err != nil || n != workers*per {
+		t.Fatalf("Drain = %d, %v", n, err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSample; k <= KindRemoval; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d unnamed", int(k))
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind unnamed")
+	}
+}
+
+// Property: sent == delivered + pending across arbitrary send/drain
+// interleavings, and delivery order matches send order.
+func TestChannelConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewChannel()
+		var sent, delivered int
+		next := 0.0
+		expect := 0.0
+		okOrder := true
+		for _, op := range ops {
+			if op%3 == 0 {
+				if _, err := c.Drain(func(m Message) error {
+					if m.Sample.Value != expect {
+						okOrder = false
+					}
+					expect++
+					delivered++
+					return nil
+				}); err != nil {
+					return false
+				}
+			} else {
+				c.Send(sample("m", next))
+				next++
+				sent++
+			}
+		}
+		st := c.Stats()
+		return okOrder && st.Sent == sent && st.Delivered == delivered &&
+			c.Pending() == sent-delivered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSendDrain(b *testing.B) {
+	c := NewChannel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Send(sample("m", 1))
+		if i%64 == 63 {
+			_, _ = c.Drain(func(Message) error { return nil })
+		}
+	}
+}

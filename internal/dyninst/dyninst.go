@@ -1,0 +1,256 @@
+// Package dyninst simulates the dynamic instrumentation technology the
+// paper builds on (Hollingsworth, Miller & Cargille; Section 4.1): an
+// external tool changes the image of a running executable to collect
+// performance data. The technique defines points at which instrumentation
+// can be inserted, predicates that guard the firing of instrumentation
+// code, and primitives that implement counters and timers.
+//
+// Our "executable" is the simulated runtime of packages cmrts/cmf, which
+// fires well-known points (function entry/exit, mapping points such as
+// array-allocation returns) as it executes. A Manager holds the snippets
+// currently inserted at each point; inserting and deleting snippets while
+// the application runs is the whole point of the technology — "any point
+// that does not contain instrumentation does not cause any execution
+// perturbations."
+//
+// Perturbation is modelled honestly: every fired snippet (and every
+// predicate evaluation that suppresses one) charges a configurable cost to
+// the node that executed it, so experiments can compare dynamic
+// instrumentation against always-on instrumentation quantitatively.
+package dyninst
+
+import (
+	"fmt"
+	"sort"
+
+	"nvmap/internal/vtime"
+)
+
+// PointKind says where in a function a point sits.
+type PointKind int
+
+// Point kinds. MappingPoint marks designated mapping points (Section
+// 4.1): e.g. the return point of a runtime routine that allocates
+// parallel data objects, where data-to-processor mappings become known.
+const (
+	PointEntry PointKind = iota
+	PointExit
+	MappingPoint
+)
+
+// String names the kind.
+func (k PointKind) String() string {
+	switch k {
+	case PointEntry:
+		return "entry"
+	case PointExit:
+		return "exit"
+	case MappingPoint:
+		return "mapping"
+	default:
+		return fmt.Sprintf("PointKind(%d)", int(k))
+	}
+}
+
+// PointID identifies one instrumentation point in the executable image.
+type PointID struct {
+	Function string
+	Where    PointKind
+}
+
+// Entry returns the entry point of a function.
+func Entry(fn string) PointID { return PointID{Function: fn, Where: PointEntry} }
+
+// Exit returns the exit point of a function.
+func Exit(fn string) PointID { return PointID{Function: fn, Where: PointExit} }
+
+// Mapping returns the designated mapping point of a function.
+func Mapping(fn string) PointID { return PointID{Function: fn, Where: MappingPoint} }
+
+// String renders "function:kind".
+func (p PointID) String() string { return p.Function + ":" + p.Where.String() }
+
+// Context carries the execution state visible to a snippet when its point
+// fires: which node, the node's virtual clock, and the arguments of the
+// executing operation (the CMRTS node code block dispatcher passes its
+// input arguments so SAS modules can search them for requested arrays —
+// Section 6.1).
+type Context struct {
+	Node  int
+	Now   vtime.Time
+	Tag   string
+	Elems int
+	Bytes int
+	// Args carries operation arguments, e.g. the identifiers of arrays
+	// passed to a node code block.
+	Args []string
+}
+
+// Predicate guards a snippet; nil means always fire.
+type Predicate func(Context) bool
+
+// Action is the body of a snippet.
+type Action func(Context)
+
+// Snippet is a unit of instrumentation code.
+type Snippet struct {
+	// Name labels the snippet for diagnostics.
+	Name string
+	// When guards execution (the paper's predicate).
+	When Predicate
+	// Do runs when the predicate passes (the paper's primitive calls).
+	Do Action
+}
+
+// Handle identifies an inserted snippet for later removal.
+type Handle struct {
+	point PointID
+	seq   int
+}
+
+// Stats aggregates instrumentation activity and modelled perturbation.
+type Stats struct {
+	Inserted   int
+	Removed    int
+	Fires      int // snippets whose action ran
+	Suppressed int // snippets whose predicate returned false
+	// Perturbation is the total virtual time charged to application nodes
+	// by instrumentation execution.
+	Perturbation vtime.Duration
+}
+
+// CostModel prices instrumentation execution.
+type CostModel struct {
+	// PerFire is charged for each snippet action that runs.
+	PerFire vtime.Duration
+	// PerPredicate is charged for each guard evaluation (pass or fail).
+	PerPredicate vtime.Duration
+}
+
+// DefaultCosts approximates the trampoline costs reported for Paradyn-era
+// dynamic instrumentation: a predicate test is cheap, a full snippet
+// execution costs a few hundred nanoseconds.
+func DefaultCosts() CostModel {
+	return CostModel{PerFire: 300 * vtime.Nanosecond, PerPredicate: 40 * vtime.Nanosecond}
+}
+
+type inserted struct {
+	seq     int
+	snippet Snippet
+}
+
+// Manager is the instrumentation controller for one executable image. It
+// is not safe for concurrent use: the simulated machine executes
+// sequentially in virtual time.
+type Manager struct {
+	costs   CostModel
+	points  map[PointID][]inserted
+	nextSeq int
+	stats   Stats
+	// perturb charges instrumentation overhead to the executing node;
+	// nil disables perturbation modelling.
+	perturb func(node int, d vtime.Duration)
+}
+
+// NewManager builds a manager. perturb may be nil (no perturbation
+// accounting against node clocks; stats still accumulate).
+func NewManager(costs CostModel, perturb func(node int, d vtime.Duration)) *Manager {
+	return &Manager{
+		costs:   costs,
+		points:  make(map[PointID][]inserted),
+		perturb: perturb,
+	}
+}
+
+// Insert adds a snippet at a point of the running image and returns a
+// removal handle.
+func (m *Manager) Insert(p PointID, s Snippet) Handle {
+	m.nextSeq++
+	m.points[p] = append(m.points[p], inserted{seq: m.nextSeq, snippet: s})
+	m.stats.Inserted++
+	return Handle{point: p, seq: m.nextSeq}
+}
+
+// Remove deletes a previously inserted snippet. Removing twice is an
+// error.
+func (m *Manager) Remove(h Handle) error {
+	list := m.points[h.point]
+	for i, ins := range list {
+		if ins.seq == h.seq {
+			m.points[h.point] = append(list[:i], list[i+1:]...)
+			if len(m.points[h.point]) == 0 {
+				delete(m.points, h.point)
+			}
+			m.stats.Removed++
+			return nil
+		}
+	}
+	return fmt.Errorf("dyninst: no snippet %d at %v", h.seq, h.point)
+}
+
+// RemoveAll deletes every snippet at a point, returning how many were
+// removed. This is how "users turn off all dynamic mapping instrumentation
+// points at once" (Section 5).
+func (m *Manager) RemoveAll(p PointID) int {
+	n := len(m.points[p])
+	if n > 0 {
+		delete(m.points, p)
+		m.stats.Removed += n
+	}
+	return n
+}
+
+// Fire executes the instrumentation at a point. The executing substrate
+// calls this at every potential point; an uninstrumented point returns
+// immediately with zero cost, which is the central property of dynamic
+// instrumentation.
+func (m *Manager) Fire(p PointID, ctx Context) {
+	list, ok := m.points[p]
+	if !ok {
+		return
+	}
+	var cost vtime.Duration
+	for _, ins := range list {
+		if ins.snippet.When != nil {
+			cost += m.costs.PerPredicate
+			if !ins.snippet.When(ctx) {
+				m.stats.Suppressed++
+				continue
+			}
+		}
+		cost += m.costs.PerFire
+		m.stats.Fires++
+		if ins.snippet.Do != nil {
+			ins.snippet.Do(ctx)
+		}
+	}
+	if cost > 0 {
+		m.stats.Perturbation += cost
+		if m.perturb != nil && ctx.Node >= 0 {
+			m.perturb(ctx.Node, cost)
+		}
+	}
+}
+
+// Instrumented reports whether any snippet is currently inserted at p.
+func (m *Manager) Instrumented(p PointID) bool {
+	return len(m.points[p]) > 0
+}
+
+// ActivePoints returns the currently instrumented points, sorted.
+func (m *Manager) ActivePoints() []PointID {
+	out := make([]PointID, 0, len(m.points))
+	for p := range m.points {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Function != out[j].Function {
+			return out[i].Function < out[j].Function
+		}
+		return out[i].Where < out[j].Where
+	})
+	return out
+}
+
+// Stats returns a copy of the instrumentation statistics.
+func (m *Manager) Stats() Stats { return m.stats }

@@ -1,0 +1,117 @@
+package dyninst
+
+import (
+	"fmt"
+
+	"nvmap/internal/vtime"
+)
+
+// The paper's dynamic instrumentation defines primitives that implement
+// counters and timers; MDL compiles metric descriptions into snippet
+// actions over these primitives (Section 6.3).
+
+// Counter is the counting primitive.
+type Counter struct {
+	name  string
+	value float64
+}
+
+// NewCounter returns a named counter starting at zero.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Name returns the counter's label.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by v (negative v decrements — MDL uses
+// decrements for gauge-style metrics such as messages in flight).
+func (c *Counter) Add(v float64) { c.value += v }
+
+// Value reads the counter.
+func (c *Counter) Value() float64 { return c.value }
+
+// Reset zeroes the counter (used when a metric-focus pair is disabled and
+// later re-enabled).
+func (c *Counter) Reset() { c.value = 0 }
+
+// TimerKind distinguishes the two clocks Paradyn timers run against.
+type TimerKind int
+
+// Timer kinds. On the simulator both read virtual time; a process timer
+// is intended to be started/stopped around scheduled work only, while a
+// wall timer spans waiting too. The distinction matters to MDL authors,
+// not to the primitive.
+const (
+	ProcessTimer TimerKind = iota
+	WallTimer
+)
+
+// String names the kind.
+func (k TimerKind) String() string {
+	if k == ProcessTimer {
+		return "process"
+	}
+	return "wall"
+}
+
+// Timer is the timing primitive. Starts nest: the timer accumulates from
+// the first Start to the balancing Stop, the way Paradyn timers support
+// recursive functions.
+type Timer struct {
+	name  string
+	kind  TimerKind
+	depth int
+	since vtime.Time
+	accum vtime.Duration
+}
+
+// NewTimer returns a stopped timer.
+func NewTimer(name string, kind TimerKind) *Timer {
+	return &Timer{name: name, kind: kind}
+}
+
+// Name returns the timer's label.
+func (t *Timer) Name() string { return t.name }
+
+// Kind returns the timer's clock kind.
+func (t *Timer) Kind() TimerKind { return t.kind }
+
+// Start begins (or nests) timing at instant now.
+func (t *Timer) Start(now vtime.Time) {
+	if t.depth == 0 {
+		t.since = now
+	}
+	t.depth++
+}
+
+// Stop ends one nesting level at instant now; the outermost Stop
+// accumulates the elapsed span. Stopping a stopped timer is an error —
+// unbalanced instrumentation is a bug the tool must surface.
+func (t *Timer) Stop(now vtime.Time) error {
+	if t.depth == 0 {
+		return fmt.Errorf("dyninst: stop of stopped timer %q", t.name)
+	}
+	t.depth--
+	if t.depth == 0 {
+		t.accum += now.Sub(t.since)
+	}
+	return nil
+}
+
+// Running reports whether the timer is started.
+func (t *Timer) Running() bool { return t.depth > 0 }
+
+// Value reads the accumulated time as of now (a running timer includes
+// its open interval).
+func (t *Timer) Value(now vtime.Time) vtime.Duration {
+	v := t.accum
+	if t.depth > 0 && now.After(t.since) {
+		v += now.Sub(t.since)
+	}
+	return v
+}
+
+// Reset stops and zeroes the timer.
+func (t *Timer) Reset() {
+	t.depth = 0
+	t.accum = 0
+}

@@ -1,0 +1,423 @@
+package hist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nvmap/internal/vtime"
+)
+
+func mustNew(t *testing.T, bins int, width vtime.Duration) *Histogram {
+	t.Helper()
+	h, err := New(bins, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, vtime.Microsecond); err == nil {
+		t.Error("odd bin count accepted")
+	}
+	if _, err := New(-4, vtime.Microsecond); err == nil {
+		t.Error("negative bin count accepted")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	h, err := New(0, vtime.Microsecond)
+	if err != nil {
+		t.Fatalf("default bins: %v", err)
+	}
+	if h.NumBins() != DefaultBins {
+		t.Fatalf("NumBins = %d, want %d", h.NumBins(), DefaultBins)
+	}
+}
+
+func TestAddAccumulatesIntoCorrectBin(t *testing.T) {
+	h := mustNew(t, 4, 10)
+	for _, c := range []struct {
+		at   vtime.Time
+		want int
+	}{{0, 0}, {9, 0}, {10, 1}, {35, 3}} {
+		h2 := mustNew(t, 4, 10)
+		if err := h2.Add(c.at, 1); err != nil {
+			t.Fatalf("Add(%d): %v", c.at, err)
+		}
+		if h2.Bin(c.want) != 1 {
+			t.Errorf("Add(%d) went to wrong bin; bins=%v", c.at, h2)
+		}
+	}
+	_ = h
+}
+
+func TestAddRejectsPreStartSamples(t *testing.T) {
+	h := mustNew(t, 4, 10)
+	if err := h.Add(-1, 1); err == nil {
+		t.Fatal("negative timestamp accepted")
+	}
+}
+
+func TestFoldDoublesWidthAndPreservesTotal(t *testing.T) {
+	h := mustNew(t, 4, 10)
+	for i := 0; i < 4; i++ {
+		if err := h.Add(vtime.Time(i*10), float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity is 40; this forces one fold.
+	if err := h.Add(40, 100); err != nil {
+		t.Fatal(err)
+	}
+	if h.Folds() != 1 {
+		t.Fatalf("Folds = %d, want 1", h.Folds())
+	}
+	if h.BinWidth() != 20 {
+		t.Fatalf("BinWidth = %v, want 20", h.BinWidth())
+	}
+	if got, want := h.Total(), 1.0+2+3+4+100; got != want {
+		t.Fatalf("Total = %g, want %g", got, want)
+	}
+	// After folding: bin0 = 1+2, bin1 = 3+4, bin2 = 100.
+	if h.Bin(0) != 3 || h.Bin(1) != 7 || h.Bin(2) != 100 || h.Bin(3) != 0 {
+		t.Fatalf("bins after fold = [%g %g %g %g]", h.Bin(0), h.Bin(1), h.Bin(2), h.Bin(3))
+	}
+}
+
+func TestFarFutureSampleFoldsRepeatedly(t *testing.T) {
+	h := mustNew(t, 4, 1)
+	if err := h.Add(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if h.End() <= 1000 {
+		t.Fatalf("End = %v, should cover 1000", h.End())
+	}
+	if h.Total() != 2 {
+		t.Fatalf("Total = %g", h.Total())
+	}
+	if h.Folds() == 0 {
+		t.Fatal("expected folds")
+	}
+}
+
+// Property: no matter the sample pattern, Total equals the sum of inputs
+// and equals the sum over bins (folding conserves mass).
+func TestFoldConservesMassProperty(t *testing.T) {
+	f := func(offsets []uint16, values []int8) bool {
+		h, err := New(8, 3)
+		if err != nil {
+			return false
+		}
+		var want float64
+		var at vtime.Time
+		for i, off := range offsets {
+			at = at.Add(vtime.Duration(off)) // monotone timestamps
+			v := 1.0
+			if i < len(values) {
+				v = math.Abs(float64(values[i]))
+			}
+			if err := h.Add(at, v); err != nil {
+				return false
+			}
+			want += v
+		}
+		var got float64
+		for i := 0; i < h.NumBins(); i++ {
+			got += h.Bin(i)
+		}
+		return math.Abs(got-want) < 1e-9 && math.Abs(h.Total()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bin width is always initialWidth * 2^folds and coverage always
+// includes the last sample.
+func TestFoldGeometryProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		h, err := New(4, 2)
+		if err != nil {
+			return false
+		}
+		var at vtime.Time
+		for _, off := range offsets {
+			at = at.Add(vtime.Duration(off))
+			if err := h.Add(at, 1); err != nil {
+				return false
+			}
+			if h.BinWidth() != vtime.Duration(2)<<uint(h.Folds()) {
+				return false
+			}
+			if !at.Before(h.End()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSpanSpreadsProportionally(t *testing.T) {
+	h := mustNew(t, 4, 10)
+	// Span [5, 25) covers half of bin0 and all of bin1's first half:
+	// 5 ns in bin0, 10 ns in bin1, 5 ns in bin2.
+	if err := h.AddSpan(5, 25, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Bin(0); math.Abs(got-5) > 1e-9 {
+		t.Errorf("bin0 = %g, want 5", got)
+	}
+	if got := h.Bin(1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("bin1 = %g, want 10", got)
+	}
+	if got := h.Bin(2); math.Abs(got-5) > 1e-9 {
+		t.Errorf("bin2 = %g, want 5", got)
+	}
+	if math.Abs(h.Total()-20) > 1e-9 {
+		t.Errorf("Total = %g, want 20", h.Total())
+	}
+}
+
+func TestAddSpanDegenerate(t *testing.T) {
+	h := mustNew(t, 4, 10)
+	if err := h.AddSpan(7, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if h.Bin(0) != 3 {
+		t.Fatalf("zero-length span: bin0 = %g", h.Bin(0))
+	}
+	if err := h.AddSpan(9, 2, 1); err == nil {
+		t.Fatal("inverted span accepted")
+	}
+}
+
+func TestAddSpanFoldsWhenNeeded(t *testing.T) {
+	h := mustNew(t, 4, 10) // capacity 40
+	if err := h.AddSpan(0, 100, 50); err != nil {
+		t.Fatal(err)
+	}
+	if h.Folds() == 0 {
+		t.Fatal("expected folding for long span")
+	}
+	if math.Abs(h.Total()-50) > 1e-9 {
+		t.Fatalf("Total = %g, want 50", h.Total())
+	}
+}
+
+// Property: AddSpan conserves mass like Add.
+func TestAddSpanConservationProperty(t *testing.T) {
+	f := func(starts []uint16, lens []uint8) bool {
+		h, err := New(8, 5)
+		if err != nil {
+			return false
+		}
+		var want float64
+		var base vtime.Time
+		for i, s := range starts {
+			base = base.Add(vtime.Duration(s))
+			length := vtime.Duration(10)
+			if i < len(lens) {
+				length = vtime.Duration(lens[i])
+			}
+			if err := h.AddSpan(base, base.Add(length), 2); err != nil {
+				return false
+			}
+			want += 2
+		}
+		var got float64
+		for i := 0; i < h.NumBins(); i++ {
+			got += h.Bin(i)
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueBetween(t *testing.T) {
+	h := mustNew(t, 4, 10)
+	for i := 0; i < 4; i++ {
+		if err := h.Add(vtime.Time(i*10), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.ValueBetween(0, 40); math.Abs(got-40) > 1e-9 {
+		t.Errorf("full range = %g, want 40", got)
+	}
+	if got := h.ValueBetween(10, 20); math.Abs(got-10) > 1e-9 {
+		t.Errorf("one bin = %g, want 10", got)
+	}
+	if got := h.ValueBetween(5, 15); math.Abs(got-10) > 1e-9 {
+		t.Errorf("straddling = %g, want 10 (5 from each bin)", got)
+	}
+	if got := h.ValueBetween(50, 60); got != 0 {
+		t.Errorf("beyond end = %g, want 0", got)
+	}
+	if got := h.ValueBetween(-20, -10); got != 0 {
+		t.Errorf("inverted/empty = %g, want 0", got)
+	}
+}
+
+func TestSeriesAndMax(t *testing.T) {
+	h := mustNew(t, 8, 10)
+	if s := h.Series(); s != nil {
+		t.Fatalf("empty histogram Series = %v", s)
+	}
+	if err := h.Add(25, 7); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Series()
+	if len(s) != 3 {
+		t.Fatalf("Series length = %d, want 3 (bins 0..2)", len(s))
+	}
+	if s[2].Value != 7 || s[2].Start != 20 {
+		t.Fatalf("Series[2] = %+v", s[2])
+	}
+	if h.Max() != 7 {
+		t.Fatalf("Max = %g", h.Max())
+	}
+}
+
+func TestRate(t *testing.T) {
+	h := mustNew(t, 4, vtime.Second)
+	if err := h.Add(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Rate(0); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("Rate = %g, want 100 per second", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	h := mustNew(t, 8, 10)
+	for i := 0; i < 8; i++ {
+		if err := h.Add(vtime.Time(i*10), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	line := h.Sparkline(8)
+	if len(line) != 8 {
+		t.Fatalf("Sparkline length = %d, want 8: %q", len(line), line)
+	}
+	if line[0] == line[7] {
+		t.Fatalf("Sparkline should show gradient: %q", line)
+	}
+	if h.Sparkline(0) != "" {
+		t.Error("zero-width sparkline should be empty")
+	}
+	empty := mustNew(t, 8, 10)
+	if empty.Sparkline(5) != "" {
+		t.Error("empty histogram sparkline should be empty")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	h, _ := New(DefaultBins, vtime.Microsecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Add(vtime.Time(i), 1)
+	}
+}
+
+func BenchmarkAddSpan(b *testing.B) {
+	h, _ := New(DefaultBins, vtime.Microsecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := vtime.Time(i * 10)
+		_ = h.AddSpan(at, at.Add(25), 1)
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	a := mustNew(t, 8, 10)
+	b := mustNew(t, 8, 10)
+	for i := 0; i < 8; i++ {
+		if err := a.Add(vtime.Time(i*10), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(vtime.Time(i*10), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Total()-24) > 1e-9 {
+		t.Fatalf("merged Total = %g, want 24", a.Total())
+	}
+	for i := 0; i < 8; i++ {
+		if math.Abs(a.Bin(i)-3) > 1e-9 {
+			t.Fatalf("bin %d = %g, want 3", i, a.Bin(i))
+		}
+	}
+}
+
+func TestMergeDifferentResolutions(t *testing.T) {
+	coarse := mustNew(t, 4, 40)
+	fine := mustNew(t, 8, 10)
+	if err := fine.Add(25, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := coarse.Merge(fine); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coarse.Total()-8) > 1e-9 {
+		t.Fatalf("Total = %g", coarse.Total())
+	}
+	// Fine bin [20,30) lands entirely in coarse bin 0 ([0,40)).
+	if math.Abs(coarse.Bin(0)-8) > 1e-9 {
+		t.Fatalf("bin 0 = %g", coarse.Bin(0))
+	}
+}
+
+func TestScale(t *testing.T) {
+	h := mustNew(t, 4, 10)
+	if err := h.Add(5, 10); err != nil {
+		t.Fatal(err)
+	}
+	h.Scale(0.5)
+	if h.Total() != 5 || h.Bin(0) != 5 {
+		t.Fatalf("scaled: total=%g bin0=%g", h.Total(), h.Bin(0))
+	}
+}
+
+// Property: merging conserves total mass across arbitrary patterns.
+func TestMergeConservationProperty(t *testing.T) {
+	f := func(aOff, bOff []uint8) bool {
+		a, _ := New(8, 7)
+		b, _ := New(8, 3)
+		var at vtime.Time
+		totalWant := 0.0
+		for _, o := range aOff {
+			at = at.Add(vtime.Duration(o) + 1)
+			if a.Add(at, 1) != nil {
+				return false
+			}
+			totalWant++
+		}
+		at = 0
+		for _, o := range bOff {
+			at = at.Add(vtime.Duration(o) + 1)
+			if b.Add(at, 2) != nil {
+				return false
+			}
+			totalWant += 2
+		}
+		if a.Merge(b) != nil {
+			return false
+		}
+		return math.Abs(a.Total()-totalWant) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,375 @@
+// Package machine simulates the parallel hardware substrate of the
+// paper's case study: a CM-5-like distributed-memory machine with a
+// control processor and a partition of worker nodes connected by a data
+// network.
+//
+// The simulator is deterministic and runs on virtual time. Each node (and
+// the control processor) carries its own virtual clock; computation
+// advances a node's clock by a parametric per-element cost, and
+// communication synchronises clocks through latency/bandwidth-modelled
+// transfers. Collective operations (control-processor broadcast, global
+// reduction, barriers) use logarithmic tree models like the CM-5 control
+// network.
+//
+// The paper's mechanisms need the *structure* of execution — which node
+// did what, when, on whose behalf — rather than cycle-accurate hardware,
+// so the model favours clarity and reproducibility: every experiment in
+// EXPERIMENTS.md produces identical numbers on every run.
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nvmap/internal/vtime"
+)
+
+// Config holds the machine's cost model. All costs are virtual durations.
+type Config struct {
+	// Nodes is the number of worker nodes in the partition (power of two
+	// recommended; anything >= 1 works).
+	Nodes int
+	// ComputePerElem is the cost of one elemental arithmetic operation on
+	// a node's vector units.
+	ComputePerElem vtime.Duration
+	// MessageLatency is the network injection-to-delivery latency of a
+	// point-to-point message, excluding payload serialisation.
+	MessageLatency vtime.Duration
+	// PerByte is the serialisation cost per payload byte.
+	PerByte vtime.Duration
+	// SendOverhead is the processor-side cost of posting a send.
+	SendOverhead vtime.Duration
+	// DispatchLatency is the control-network cost for the control
+	// processor to activate a node code block on the partition.
+	DispatchLatency vtime.Duration
+	// TreeStep is the per-level cost of combining/broadcast trees used by
+	// reductions, broadcasts and barriers on the control network.
+	TreeStep vtime.Duration
+}
+
+// DefaultConfig returns a cost model loosely shaped like a CM-5 partition:
+// microsecond-scale network costs and tens-of-nanoseconds element ops.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:           nodes,
+		ComputePerElem:  30 * vtime.Nanosecond,
+		MessageLatency:  5 * vtime.Microsecond,
+		PerByte:         10 * vtime.Nanosecond,
+		SendOverhead:    1 * vtime.Microsecond,
+		DispatchLatency: 8 * vtime.Microsecond,
+		TreeStep:        2 * vtime.Microsecond,
+	}
+}
+
+// EventKind classifies simulator events.
+type EventKind int
+
+// The event kinds emitted by the simulator.
+const (
+	EvCompute EventKind = iota
+	EvSend
+	EvRecv
+	EvDispatch // control processor activates a node code block
+	EvBroadcast
+	EvReduce
+	EvBarrier
+	EvIdle // a node waited (for the control processor or a message)
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvDispatch:
+		return "dispatch"
+	case EvBroadcast:
+		return "broadcast"
+	case EvReduce:
+		return "reduce"
+	case EvBarrier:
+		return "barrier"
+	case EvIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// CP is the pseudo-node id of the control processor in events.
+const CP = -1
+
+// Event is one observable simulator action. Start and End are in virtual
+// time on the acting node's clock; Peer identifies the other side of a
+// transfer (CP for control-processor interactions).
+type Event struct {
+	Kind  EventKind
+	Node  int
+	Peer  int
+	Bytes int
+	Elems int
+	Start vtime.Time
+	End   vtime.Time
+	// Tag carries the high-level operation name that caused the event
+	// (e.g. the node code block or runtime routine), for instrumentation.
+	Tag string
+}
+
+// Duration returns the event's span.
+func (e Event) Duration() vtime.Duration { return e.End.Sub(e.Start) }
+
+// Observer receives every emitted event. Observers run synchronously on
+// the simulation path; the dynamic-instrumentation layer uses them as its
+// probe transport.
+type Observer func(Event)
+
+// NodeStats aggregates per-node activity, matching the verbs of the
+// paper's Figure 9 CMRTS-level metrics.
+type NodeStats struct {
+	ComputeTime vtime.Duration
+	ComputeOps  int
+	Sends       int
+	SendBytes   int
+	SendTime    vtime.Duration
+	Recvs       int
+	IdleTime    vtime.Duration
+	Dispatches  int
+}
+
+// Machine is one simulated partition.
+type Machine struct {
+	cfg       Config
+	nodeClock []vtime.Time
+	cpClock   vtime.Time
+	stats     []NodeStats
+	observers []Observer
+}
+
+// New builds a machine from the config.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("machine: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.ComputePerElem < 0 || cfg.MessageLatency < 0 || cfg.PerByte < 0 ||
+		cfg.SendOverhead < 0 || cfg.DispatchLatency < 0 || cfg.TreeStep < 0 {
+		return nil, fmt.Errorf("machine: negative cost in config %+v", cfg)
+	}
+	return &Machine{
+		cfg:       cfg,
+		nodeClock: make([]vtime.Time, cfg.Nodes),
+		stats:     make([]NodeStats, cfg.Nodes),
+	}, nil
+}
+
+// Config returns the cost model.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Nodes returns the partition size.
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// Observe registers an observer for all subsequent events.
+func (m *Machine) Observe(o Observer) { m.observers = append(m.observers, o) }
+
+func (m *Machine) emit(e Event) {
+	for _, o := range m.observers {
+		o(e)
+	}
+}
+
+// Now returns a node's virtual clock.
+func (m *Machine) Now(node int) vtime.Time { return m.nodeClock[node] }
+
+// CPNow returns the control processor's virtual clock.
+func (m *Machine) CPNow() vtime.Time { return m.cpClock }
+
+// GlobalNow returns the latest clock in the system — the virtual
+// wall-clock the tool's data manager timestamps samples with.
+func (m *Machine) GlobalNow() vtime.Time {
+	t := m.cpClock
+	for _, c := range m.nodeClock {
+		if c.After(t) {
+			t = c
+		}
+	}
+	return t
+}
+
+// Stats returns a copy of a node's accumulated statistics.
+func (m *Machine) Stats(node int) NodeStats { return m.stats[node] }
+
+// treeDepth is the number of combining-tree levels for the partition.
+func (m *Machine) treeDepth() int {
+	if m.cfg.Nodes <= 1 {
+		return 1
+	}
+	return bits.Len(uint(m.cfg.Nodes - 1))
+}
+
+// AdvanceNode spends d of plain (unclassified) time on a node. Used by
+// the instrumentation layer to model probe perturbation.
+func (m *Machine) AdvanceNode(node int, d vtime.Duration) {
+	m.nodeClock[node] = m.nodeClock[node].Add(d)
+}
+
+// AdvanceCP spends d on the control processor.
+func (m *Machine) AdvanceCP(d vtime.Duration) { m.cpClock = m.cpClock.Add(d) }
+
+// Compute performs elems elemental operations on a node.
+func (m *Machine) Compute(node, elems int, tag string) {
+	start := m.nodeClock[node]
+	d := m.cfg.ComputePerElem.Scale(elems)
+	end := start.Add(d)
+	m.nodeClock[node] = end
+	st := &m.stats[node]
+	st.ComputeTime += d
+	st.ComputeOps += elems
+	m.emit(Event{Kind: EvCompute, Node: node, Peer: node, Elems: elems, Start: start, End: end, Tag: tag})
+}
+
+// Send transfers bytes from one node to another. The sender pays the send
+// overhead plus serialisation; the receiver's clock advances to the
+// arrival instant (waiting is recorded as idle time if the receiver's
+// clock was behind the arrival).
+func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
+	start := m.nodeClock[from]
+	serial := m.cfg.PerByte.Scale(bytes)
+	sendEnd := start.Add(m.cfg.SendOverhead + serial)
+	m.nodeClock[from] = sendEnd
+	arrival := sendEnd.Add(m.cfg.MessageLatency)
+
+	st := &m.stats[from]
+	st.Sends++
+	st.SendBytes += bytes
+	st.SendTime += sendEnd.Sub(start)
+	m.emit(Event{Kind: EvSend, Node: from, Peer: to, Bytes: bytes, Start: start, End: sendEnd, Tag: tag})
+
+	if from != to {
+		rst := &m.stats[to]
+		rst.Recvs++
+		before := m.nodeClock[to]
+		if arrival.After(before) {
+			rst.IdleTime += arrival.Sub(before)
+			m.emit(Event{Kind: EvIdle, Node: to, Peer: from, Start: before, End: arrival, Tag: tag})
+			m.nodeClock[to] = arrival
+		}
+		m.emit(Event{Kind: EvRecv, Node: to, Peer: from, Bytes: bytes, Start: m.nodeClock[to], End: m.nodeClock[to], Tag: tag})
+	}
+	return arrival
+}
+
+// Dispatch models the control processor activating a node code block on
+// every node: the CP pays the dispatch latency once, and each node begins
+// the block no earlier than the activation reaches it. Argument bytes are
+// broadcast with the activation (the paper's "Argument Processing Time"
+// measures nodes receiving arguments from the CM-5 control processor).
+// It returns the per-node argument-processing spans via the emitted
+// events; the runtime layers instrumentation on top.
+func (m *Machine) Dispatch(tag string, argBytes int) {
+	cpStart := m.cpClock
+	m.cpClock = m.cpClock.Add(m.cfg.DispatchLatency)
+	arrival := m.cpClock.Add(m.cfg.TreeStep.Scale(m.treeDepth()))
+	m.emit(Event{Kind: EvDispatch, Node: CP, Peer: CP, Bytes: argBytes, Start: cpStart, End: m.cpClock, Tag: tag})
+	argCost := m.cfg.PerByte.Scale(argBytes)
+	for n := 0; n < m.cfg.Nodes; n++ {
+		before := m.nodeClock[n]
+		if arrival.After(before) {
+			m.stats[n].IdleTime += arrival.Sub(before)
+			m.emit(Event{Kind: EvIdle, Node: n, Peer: CP, Start: before, End: arrival, Tag: tag})
+			m.nodeClock[n] = arrival
+		}
+		start := m.nodeClock[n]
+		m.nodeClock[n] = start.Add(argCost)
+		m.stats[n].Dispatches++
+		m.emit(Event{Kind: EvDispatch, Node: n, Peer: CP, Bytes: argBytes, Start: start, End: m.nodeClock[n], Tag: tag})
+	}
+}
+
+// Broadcast models a data broadcast from the control processor to all
+// nodes over the tree network.
+func (m *Machine) Broadcast(bytes int, tag string) {
+	cpStart := m.cpClock
+	serial := m.cfg.PerByte.Scale(bytes)
+	m.cpClock = m.cpClock.Add(m.cfg.SendOverhead + serial)
+	arrival := m.cpClock.Add(m.cfg.TreeStep.Scale(m.treeDepth()))
+	m.emit(Event{Kind: EvBroadcast, Node: CP, Peer: CP, Bytes: bytes, Start: cpStart, End: m.cpClock, Tag: tag})
+	for n := 0; n < m.cfg.Nodes; n++ {
+		before := m.nodeClock[n]
+		if arrival.After(before) {
+			m.stats[n].IdleTime += arrival.Sub(before)
+			m.emit(Event{Kind: EvIdle, Node: n, Peer: CP, Start: before, End: arrival, Tag: tag})
+			m.nodeClock[n] = arrival
+		}
+		start := m.nodeClock[n]
+		end := start.Add(serial)
+		m.nodeClock[n] = end
+		m.stats[n].Recvs++
+		m.emit(Event{Kind: EvBroadcast, Node: n, Peer: CP, Bytes: bytes, Start: start, End: end, Tag: tag})
+	}
+}
+
+// Reduce models a global combining-tree reduction of bytes-sized partial
+// results from every node to the control processor. Each node contributes
+// when it reaches the operation; the tree completes after the slowest
+// contribution plus the tree traversal. Per-node reduce events cover each
+// node's participation; the CP event covers the tree completion.
+func (m *Machine) Reduce(bytes int, tag string) {
+	serial := m.cfg.PerByte.Scale(bytes)
+	var slowest vtime.Time
+	for n := 0; n < m.cfg.Nodes; n++ {
+		start := m.nodeClock[n]
+		end := start.Add(m.cfg.SendOverhead + serial)
+		m.nodeClock[n] = end
+		m.stats[n].Sends++
+		m.stats[n].SendBytes += bytes
+		m.stats[n].SendTime += end.Sub(start)
+		m.emit(Event{Kind: EvReduce, Node: n, Peer: CP, Bytes: bytes, Start: start, End: end, Tag: tag})
+		if end.After(slowest) {
+			slowest = end
+		}
+	}
+	done := slowest.Add(m.cfg.TreeStep.Scale(m.treeDepth()))
+	cpStart := m.cpClock
+	if done.After(cpStart) {
+		m.cpClock = done
+	}
+	m.emit(Event{Kind: EvReduce, Node: CP, Peer: CP, Bytes: bytes, Start: cpStart, End: m.cpClock, Tag: tag})
+}
+
+// Barrier synchronises every node (not the CP) at the latest clock plus
+// one tree traversal, accounting the wait as idle time.
+func (m *Machine) Barrier(tag string) {
+	var latest vtime.Time
+	for _, c := range m.nodeClock {
+		if c.After(latest) {
+			latest = c
+		}
+	}
+	done := latest.Add(m.cfg.TreeStep.Scale(m.treeDepth()))
+	for n := 0; n < m.cfg.Nodes; n++ {
+		before := m.nodeClock[n]
+		if done.After(before) {
+			m.stats[n].IdleTime += done.Sub(before)
+			m.emit(Event{Kind: EvIdle, Node: n, Peer: CP, Start: before, End: done, Tag: tag})
+		}
+		m.emit(Event{Kind: EvBarrier, Node: n, Peer: CP, Start: before, End: done, Tag: tag})
+		m.nodeClock[n] = done
+	}
+}
+
+// WaitCPForNodes advances the control processor to the latest node clock;
+// used when the CP blocks on completion of a node code block.
+func (m *Machine) WaitCPForNodes() {
+	var latest vtime.Time
+	for _, c := range m.nodeClock {
+		if c.After(latest) {
+			latest = c
+		}
+	}
+	if latest.After(m.cpClock) {
+		m.cpClock = latest
+	}
+}

@@ -1,0 +1,369 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvmap/internal/vtime"
+)
+
+func newTest(t *testing.T, nodes int) *Machine {
+	t.Helper()
+	m, err := New(DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	cfg := DefaultConfig(4)
+	cfg.PerByte = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m := newTest(t, 2)
+	m.Compute(0, 1000, "block_1")
+	want := m.Config().ComputePerElem.Scale(1000)
+	if got := m.Now(0).Sub(0); got != want {
+		t.Fatalf("clock advanced %v, want %v", got, want)
+	}
+	if m.Now(1) != 0 {
+		t.Fatal("compute on node 0 moved node 1's clock")
+	}
+	st := m.Stats(0)
+	if st.ComputeOps != 1000 || st.ComputeTime != want {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendTimingAndIdle(t *testing.T) {
+	m := newTest(t, 2)
+	cfg := m.Config()
+	arrival := m.Send(0, 1, 100, "msg")
+	wantSendEnd := vtime.Time(0).Add(cfg.SendOverhead + cfg.PerByte.Scale(100))
+	if m.Now(0) != wantSendEnd {
+		t.Fatalf("sender clock = %v, want %v", m.Now(0), wantSendEnd)
+	}
+	wantArrival := wantSendEnd.Add(cfg.MessageLatency)
+	if arrival != wantArrival {
+		t.Fatalf("arrival = %v, want %v", arrival, wantArrival)
+	}
+	if m.Now(1) != wantArrival {
+		t.Fatalf("receiver clock = %v, want %v", m.Now(1), wantArrival)
+	}
+	// Receiver was at 0, so it idled the whole time.
+	if got := m.Stats(1).IdleTime; got != vtime.Duration(wantArrival) {
+		t.Fatalf("receiver idle = %v, want %v", got, wantArrival)
+	}
+	if m.Stats(0).Sends != 1 || m.Stats(0).SendBytes != 100 || m.Stats(1).Recvs != 1 {
+		t.Fatalf("stats: %+v / %+v", m.Stats(0), m.Stats(1))
+	}
+}
+
+func TestSendToBusyReceiverNoIdle(t *testing.T) {
+	m := newTest(t, 2)
+	m.Compute(1, 1_000_000, "busy") // receiver far ahead
+	before := m.Now(1)
+	m.Send(0, 1, 10, "msg")
+	if m.Now(1) != before {
+		t.Fatal("message to busy receiver moved its clock backward/forward")
+	}
+	if m.Stats(1).IdleTime != 0 {
+		t.Fatal("busy receiver accounted idle")
+	}
+}
+
+func TestDispatchSynchronisesNodes(t *testing.T) {
+	m := newTest(t, 4)
+	m.Compute(2, 500, "head start")
+	busyClock := m.Now(2)
+	m.Dispatch("block_7", 64)
+	// Idle nodes all start the block at the activation instant; the busy
+	// node continues from its own (later) clock.
+	t0 := m.Now(0)
+	for _, n := range []int{1, 3} {
+		if m.Now(n) != t0 {
+			t.Fatalf("node %d clock %v != node 0 clock %v", n, m.Now(n), t0)
+		}
+	}
+	argCost := m.Config().PerByte.Scale(64)
+	if m.Now(2) != busyClock.Add(argCost) {
+		t.Fatalf("busy node clock = %v, want %v", m.Now(2), busyClock.Add(argCost))
+	}
+	for n := 0; n < 4; n++ {
+		if m.Stats(n).Dispatches != 1 {
+			t.Fatalf("node %d dispatches = %d", n, m.Stats(n).Dispatches)
+		}
+	}
+	// Node 2 was busy past the activation instant, so it never idled.
+	if m.Stats(2).IdleTime != 0 {
+		t.Fatalf("busy node idle = %v, want 0", m.Stats(2).IdleTime)
+	}
+	if m.Stats(0).IdleTime == 0 {
+		t.Fatal("idle node recorded no wait for the control processor")
+	}
+}
+
+func TestBroadcastReachesAllNodes(t *testing.T) {
+	m := newTest(t, 8)
+	m.Broadcast(1024, "bcast")
+	t0 := m.Now(0)
+	if t0 == 0 {
+		t.Fatal("broadcast did not advance node clocks")
+	}
+	for n := 1; n < 8; n++ {
+		if m.Now(n) != t0 {
+			t.Fatalf("node %d not synchronised after broadcast", n)
+		}
+		if m.Stats(n).Recvs != 1 {
+			t.Fatalf("node %d recvs = %d", n, m.Stats(n).Recvs)
+		}
+	}
+}
+
+func TestReduceWaitsForSlowest(t *testing.T) {
+	m := newTest(t, 4)
+	m.Compute(3, 100_000, "slow")
+	slowClock := m.Now(3)
+	m.Reduce(8, "sum")
+	if !m.CPNow().After(slowClock) {
+		t.Fatalf("CP clock %v should pass slowest contributor %v", m.CPNow(), slowClock)
+	}
+	// Fast nodes do NOT wait in a reduction; only their send cost accrues.
+	if m.Now(0).After(m.Now(3)) {
+		t.Fatal("fast node overtook slow node")
+	}
+	for n := 0; n < 4; n++ {
+		if m.Stats(n).Sends != 1 {
+			t.Fatalf("node %d sends = %d", n, m.Stats(n).Sends)
+		}
+	}
+}
+
+func TestBarrierEqualisesAndRecordsIdle(t *testing.T) {
+	m := newTest(t, 4)
+	m.Compute(1, 10_000, "work")
+	m.Barrier("sync")
+	t0 := m.Now(0)
+	for n := 1; n < 4; n++ {
+		if m.Now(n) != t0 {
+			t.Fatalf("node %d clock differs after barrier", n)
+		}
+	}
+	if m.Stats(0).IdleTime <= m.Stats(1).IdleTime {
+		t.Fatal("idle accounting inverted: the working node should idle least")
+	}
+}
+
+func TestGlobalNow(t *testing.T) {
+	m := newTest(t, 2)
+	m.Compute(1, 1000, "w")
+	if m.GlobalNow() != m.Now(1) {
+		t.Fatalf("GlobalNow = %v, want node 1's %v", m.GlobalNow(), m.Now(1))
+	}
+	m.AdvanceCP(m.Now(1).Sub(0) * 2)
+	if m.GlobalNow() != m.CPNow() {
+		t.Fatal("GlobalNow should track the CP when it is ahead")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	m := newTest(t, 1)
+	m.AdvanceNode(0, 42)
+	if m.Now(0) != 42 {
+		t.Fatalf("AdvanceNode: clock = %v", m.Now(0))
+	}
+	m.AdvanceCP(7)
+	if m.CPNow() != 7 {
+		t.Fatalf("AdvanceCP: clock = %v", m.CPNow())
+	}
+}
+
+func TestObserversSeeEvents(t *testing.T) {
+	m := newTest(t, 2)
+	var kinds []EventKind
+	var tags []string
+	m.Observe(func(e Event) {
+		kinds = append(kinds, e.Kind)
+		tags = append(tags, e.Tag)
+	})
+	m.Compute(0, 10, "blockA")
+	m.Send(0, 1, 5, "msg")
+	found := map[EventKind]bool{}
+	for _, k := range kinds {
+		found[k] = true
+	}
+	for _, want := range []EventKind{EvCompute, EvSend, EvIdle, EvRecv} {
+		if !found[want] {
+			t.Errorf("missing event kind %v in %v", want, kinds)
+		}
+	}
+	for _, tag := range tags {
+		if tag != "blockA" && tag != "msg" {
+			t.Errorf("unexpected tag %q", tag)
+		}
+	}
+}
+
+func TestEventDurationAndKindString(t *testing.T) {
+	e := Event{Start: 10, End: 35}
+	if e.Duration() != 25 {
+		t.Fatalf("Duration = %v", e.Duration())
+	}
+	for k := EvCompute; k <= EvIdle; k++ {
+		if s := k.String(); s == "" || s[0] == 'E' {
+			t.Errorf("kind %d has suspicious name %q", int(k), s)
+		}
+	}
+}
+
+// Property: virtual clocks never move backward under any operation mix.
+func TestClocksMonotoneProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m, err := New(DefaultConfig(4))
+		if err != nil {
+			return false
+		}
+		prevNodes := make([]vtime.Time, 4)
+		prevCP := vtime.Time(0)
+		for _, op := range ops {
+			switch op % 6 {
+			case 0:
+				m.Compute(int(op)%4, int(op), "c")
+			case 1:
+				m.Send(int(op)%4, int(op/4)%4, int(op), "s")
+			case 2:
+				m.Dispatch("d", int(op))
+			case 3:
+				m.Broadcast(int(op), "b")
+			case 4:
+				m.Reduce(int(op), "r")
+			case 5:
+				m.Barrier("bar")
+			}
+			for n := 0; n < 4; n++ {
+				if m.Now(n).Before(prevNodes[n]) {
+					return false
+				}
+				prevNodes[n] = m.Now(n)
+			}
+			if m.CPNow().Before(prevCP) {
+				return false
+			}
+			prevCP = m.CPNow()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simulation is deterministic — the same op sequence yields
+// identical final clocks and stats.
+func TestDeterminismProperty(t *testing.T) {
+	run := func(ops []uint8) ([]vtime.Time, []NodeStats) {
+		m, _ := New(DefaultConfig(4))
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				m.Compute(int(op)%4, int(op), "c")
+			case 1:
+				m.Send(int(op)%4, int(op/4)%4, int(op), "s")
+			case 2:
+				m.Dispatch("d", int(op))
+			case 3:
+				m.Reduce(int(op), "r")
+			}
+		}
+		clocks := make([]vtime.Time, 4)
+		stats := make([]NodeStats, 4)
+		for n := 0; n < 4; n++ {
+			clocks[n] = m.Now(n)
+			stats[n] = m.Stats(n)
+		}
+		return clocks, stats
+	}
+	f := func(ops []uint8) bool {
+		c1, s1 := run(ops)
+		c2, s2 := run(ops)
+		for n := 0; n < 4; n++ {
+			if c1[n] != c2[n] || s1[n] != s2[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: idle time on a node never exceeds its clock value (you cannot
+// wait longer than the whole execution).
+func TestIdleBoundedProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m, _ := New(DefaultConfig(4))
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				m.Compute(int(op)%4, int(op), "c")
+			case 1:
+				m.Dispatch("d", 8)
+			case 2:
+				m.Barrier("b")
+			}
+		}
+		for n := 0; n < 4; n++ {
+			if m.Stats(n).IdleTime > vtime.Duration(m.Now(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleNodePartition(t *testing.T) {
+	m := newTest(t, 1)
+	m.Dispatch("block", 16)
+	m.Broadcast(64, "b")
+	m.Reduce(8, "r")
+	m.Barrier("bar")
+	if m.Now(0) == 0 {
+		t.Fatal("single-node collectives should still cost time")
+	}
+}
+
+func BenchmarkSend(b *testing.B) {
+	m, _ := New(DefaultConfig(16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Send(i%16, (i+1)%16, 64, "bench")
+	}
+}
+
+func BenchmarkDispatch(b *testing.B) {
+	m, _ := New(DefaultConfig(32))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Dispatch("bench", 32)
+	}
+}
+
+func BenchmarkReduce(b *testing.B) {
+	m, _ := New(DefaultConfig(32))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Reduce(8, "bench")
+	}
+}

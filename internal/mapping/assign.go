@@ -1,0 +1,196 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"nvmap/internal/nv"
+)
+
+// Policy selects how the cost of a source is assigned when it maps to
+// several destinations (the one-to-many row of Figure 1).
+type Policy int
+
+const (
+	// Split divides the measured cost evenly over all destinations.
+	// Splitting assumes an equal distribution of low-level work to
+	// high-level code — an assumption the paper criticises because it can
+	// mislead the programmer with overly precise information.
+	Split Policy = iota
+	// Merge combines all destinations into one inseparable unit and
+	// assigns the whole cost to that unit. This is the Paradyn policy: it
+	// makes no assumption about the distribution of performance data and
+	// exposes constructs whose implementations were fused by an
+	// optimizing compiler.
+	Merge
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Split:
+		return "split"
+	case Merge:
+		return "merge"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AggOp selects how the costs of several sources are aggregated before
+// assignment (the many-to-one reduction of Figure 1: "either sum or
+// average").
+type AggOp int
+
+const (
+	// AggSum adds source costs.
+	AggSum AggOp = iota
+	// AggAvg averages source costs over the sources that reported a cost.
+	AggAvg
+)
+
+// String names the aggregation operator.
+func (a AggOp) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("AggOp(%d)", int(a))
+	}
+}
+
+// Measurement is a cost observed for one source sentence.
+type Measurement struct {
+	Sentence nv.Sentence
+	Cost     nv.Cost
+}
+
+// Assigned is performance information attributed to high-level structure:
+// either a single destination sentence, or (under the Merge policy) a
+// merged unit of several destinations. Sources records which measured
+// sentences contributed.
+type Assigned struct {
+	// Destination is set when the cost landed on a single sentence.
+	Destination nv.Sentence
+	// MergedUnit is set (len > 1) when the cost landed on an inseparable
+	// merged unit of destinations.
+	MergedUnit []nv.Sentence
+	Cost       nv.Cost
+	Sources    []nv.Sentence
+	// Kind records the mapping shape that produced this assignment.
+	Kind Kind
+}
+
+// Key identifies the assignment target.
+func (a Assigned) Key() string {
+	if len(a.MergedUnit) > 0 {
+		return MergedKey(a.MergedUnit)
+	}
+	return a.Destination.Key()
+}
+
+// Target renders the assignment target for display.
+func (a Assigned) Target() string {
+	if len(a.MergedUnit) > 0 {
+		return MergedString(a.MergedUnit)
+	}
+	return a.Destination.String()
+}
+
+// Assign maps measured costs through the table and returns the costs
+// attributed to destination-side structure, following Figure 1:
+//
+//  1. Group measurements by connected component of the mapping graph.
+//  2. Aggregate (sum or average) the costs of all measured sources in the
+//     component.
+//  3. If the component has one destination, assign the aggregate to it
+//     (one-to-one / many-to-one).
+//  4. If the component has several destinations, apply the policy: Split
+//     divides the aggregate evenly; Merge assigns it to the merged unit.
+//
+// Measurements whose sentences have no mapping are returned in unmapped so
+// callers can surface them rather than silently dropping data. All costs
+// in one call must share a cost kind.
+func Assign(t *Table, measurements []Measurement, policy Policy, agg AggOp) (assigned []Assigned, unmapped []Measurement, err error) {
+	if len(measurements) == 0 {
+		return nil, nil, nil
+	}
+	kind := measurements[0].Cost.Kind
+	for _, m := range measurements {
+		if m.Cost.Kind != kind {
+			return nil, nil, fmt.Errorf("mapping: mixed cost kinds %v and %v in one assignment", kind, m.Cost.Kind)
+		}
+	}
+
+	// Group measurements by component. A component is identified by the
+	// sorted keys of its sources.
+	type group struct {
+		sources []nv.Sentence // measured sources, insertion order
+		dests   []nv.Sentence
+		total   float64
+		n       int
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for _, m := range measurements {
+		if t.KindOf(m.Sentence) == Unmapped {
+			unmapped = append(unmapped, m)
+			continue
+		}
+		srcs, dests := t.Component(m.Sentence)
+		id := MergedKey(srcs)
+		g, ok := groups[id]
+		if !ok {
+			g = &group{dests: dests}
+			groups[id] = g
+			order = append(order, id)
+		}
+		g.sources = append(g.sources, m.Sentence)
+		g.total += m.Cost.Value
+		g.n++
+	}
+
+	for _, id := range order {
+		g := groups[id]
+		value := g.total
+		if agg == AggAvg && g.n > 0 {
+			value = g.total / float64(g.n)
+		}
+		// The shape is a property of the mapping structure, not of which
+		// sentences happened to be measured, so classify from any
+		// representative source of the component.
+		shape := t.KindOf(g.sources[0])
+		switch {
+		case len(g.dests) == 1:
+			assigned = append(assigned, Assigned{
+				Destination: g.dests[0],
+				Cost:        nv.Cost{Kind: kind, Value: value},
+				Sources:     sortedCopy(g.sources),
+				Kind:        shape,
+			})
+		case policy == Split:
+			share := value / float64(len(g.dests))
+			for _, d := range g.dests {
+				assigned = append(assigned, Assigned{
+					Destination: d,
+					Cost:        nv.Cost{Kind: kind, Value: share},
+					Sources:     sortedCopy(g.sources),
+					Kind:        shape,
+				})
+			}
+		default: // Merge
+			assigned = append(assigned, Assigned{
+				MergedUnit: g.dests,
+				Cost:       nv.Cost{Kind: kind, Value: value},
+				Sources:    sortedCopy(g.sources),
+				Kind:       shape,
+			})
+		}
+	}
+
+	sort.Slice(assigned, func(i, j int) bool { return assigned[i].Key() < assigned[j].Key() })
+	return assigned, unmapped, nil
+}

@@ -1,0 +1,323 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nvmap/internal/nv"
+)
+
+func count(v float64) nv.Cost { return nv.Cost{Kind: nv.CostCount, Value: v} }
+
+func TestAssignOneToOne(t *testing.T) {
+	tbl := NewTable()
+	src := sent("Send", "S")
+	dst := sent("Reduce", "R")
+	mustAdd(t, tbl, src, dst)
+
+	got, unmapped, err := Assign(tbl, []Measurement{{src, count(42)}}, Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unmapped) != 0 {
+		t.Fatalf("unmapped = %v", unmapped)
+	}
+	if len(got) != 1 || !got[0].Destination.Equal(dst) || got[0].Cost.Value != 42 {
+		t.Fatalf("Assign = %+v", got)
+	}
+	if got[0].Kind != OneToOne {
+		t.Fatalf("Kind = %v", got[0].Kind)
+	}
+}
+
+// Figure 2's scenario: cmpe_corr_6_() implements lines 1160 and 1161.
+func TestAssignOneToManySplitVsMerge(t *testing.T) {
+	tbl := NewTable()
+	f := sent("CPU", "cmpe_corr_6_()")
+	l0 := sent("Executes", "line1160")
+	l1 := sent("Executes", "line1161")
+	mustAdd(t, tbl, f, l0)
+	mustAdd(t, tbl, f, l1)
+	ms := []Measurement{{f, count(10)}}
+
+	split, _, err := Assign(tbl, ms, Split, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) != 2 {
+		t.Fatalf("split produced %d assignments", len(split))
+	}
+	for _, a := range split {
+		if a.Cost.Value != 5 {
+			t.Errorf("split share = %v, want 5", a.Cost)
+		}
+		if len(a.MergedUnit) != 0 {
+			t.Errorf("split should not merge: %+v", a)
+		}
+		if a.Kind != OneToMany {
+			t.Errorf("Kind = %v", a.Kind)
+		}
+	}
+
+	merged, _, err := Assign(tbl, ms, Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 {
+		t.Fatalf("merge produced %d assignments", len(merged))
+	}
+	if len(merged[0].MergedUnit) != 2 || merged[0].Cost.Value != 10 {
+		t.Fatalf("merge = %+v", merged[0])
+	}
+	if merged[0].Target() != "[{line1160 Executes} + {line1161 Executes}]" {
+		t.Fatalf("Target = %q", merged[0].Target())
+	}
+}
+
+func TestAssignManyToOneAggregatesFirst(t *testing.T) {
+	tbl := NewTable()
+	f1 := sent("CPU", "F1")
+	f2 := sent("CPU", "F2")
+	l := sent("Executes", "L")
+	mustAdd(t, tbl, f1, l)
+	mustAdd(t, tbl, f2, l)
+	ms := []Measurement{{f1, count(30)}, {f2, count(12)}}
+
+	sum, _, err := Assign(tbl, ms, Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum) != 1 || sum[0].Cost.Value != 42 || !sum[0].Destination.Equal(l) {
+		t.Fatalf("sum = %+v", sum)
+	}
+	if sum[0].Kind != ManyToOne {
+		t.Fatalf("Kind = %v", sum[0].Kind)
+	}
+	if len(sum[0].Sources) != 2 {
+		t.Fatalf("Sources = %v", sum[0].Sources)
+	}
+
+	avg, _, err := Assign(tbl, ms, Merge, AggAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0].Cost.Value != 21 {
+		t.Fatalf("avg = %+v", avg[0])
+	}
+}
+
+func TestAssignManyToManyReducesToOneToMany(t *testing.T) {
+	// Figure 1 row 4: aggregate F1, F2 costs, then one-to-many to L1, L2.
+	tbl := NewTable()
+	f1 := sent("CPU", "F1")
+	f2 := sent("CPU", "F2")
+	l1 := sent("Executes", "L1")
+	l2 := sent("Executes", "L2")
+	mustAdd(t, tbl, f1, l1)
+	mustAdd(t, tbl, f1, l2)
+	mustAdd(t, tbl, f2, l2)
+	ms := []Measurement{{f1, count(8)}, {f2, count(4)}}
+
+	merged, _, err := Assign(tbl, ms, Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 || merged[0].Cost.Value != 12 || len(merged[0].MergedUnit) != 2 {
+		t.Fatalf("merge = %+v", merged)
+	}
+	if merged[0].Kind != ManyToMany {
+		t.Fatalf("Kind = %v", merged[0].Kind)
+	}
+
+	split, _, err := Assign(tbl, ms, Split, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) != 2 || split[0].Cost.Value != 6 || split[1].Cost.Value != 6 {
+		t.Fatalf("split = %+v", split)
+	}
+}
+
+func TestAssignPartialComponentMeasurement(t *testing.T) {
+	// Only F1 of the F1/F2 -> L component was measured; the shape is
+	// still many-to-one and only F1's cost flows.
+	tbl := NewTable()
+	mustAdd(t, tbl, sent("CPU", "F1"), sent("Exec", "L"))
+	mustAdd(t, tbl, sent("CPU", "F2"), sent("Exec", "L"))
+	got, _, err := Assign(tbl, []Measurement{{sent("CPU", "F1"), count(5)}}, Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Cost.Value != 5 || got[0].Kind != ManyToOne {
+		t.Fatalf("partial = %+v", got)
+	}
+}
+
+func TestAssignUnmappedSurfaced(t *testing.T) {
+	tbl := NewTable()
+	mustAdd(t, tbl, sent("CPU", "F"), sent("Exec", "L"))
+	ghost := sent("CPU", "ghost")
+	got, unmapped, err := Assign(tbl, []Measurement{
+		{sent("CPU", "F"), count(1)},
+		{ghost, count(99)},
+	}, Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("assigned = %+v", got)
+	}
+	if len(unmapped) != 1 || !unmapped[0].Sentence.Equal(ghost) {
+		t.Fatalf("unmapped = %+v", unmapped)
+	}
+}
+
+func TestAssignRejectsMixedKinds(t *testing.T) {
+	tbl := NewTable()
+	mustAdd(t, tbl, sent("CPU", "F"), sent("Exec", "L"))
+	_, _, err := Assign(tbl, []Measurement{
+		{sent("CPU", "F"), nv.Cost{Kind: nv.CostCount, Value: 1}},
+		{sent("CPU", "F"), nv.Cost{Kind: nv.CostTime, Value: 1}},
+	}, Merge, AggSum)
+	if err == nil {
+		t.Fatal("mixed kinds accepted")
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	got, unmapped, err := Assign(NewTable(), nil, Merge, AggSum)
+	if err != nil || got != nil || unmapped != nil {
+		t.Fatalf("empty assign = %v, %v, %v", got, unmapped, err)
+	}
+}
+
+func TestAssignMultipleComponents(t *testing.T) {
+	tbl := NewTable()
+	mustAdd(t, tbl, sent("CPU", "F"), sent("Exec", "L1"))
+	mustAdd(t, tbl, sent("CPU", "G"), sent("Exec", "L2"))
+	got, _, err := Assign(tbl, []Measurement{
+		{sent("CPU", "F"), count(1)},
+		{sent("CPU", "G"), count(2)},
+	}, Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d assignments", len(got))
+	}
+}
+
+// Property: under AggSum, total cost is conserved by both policies for any
+// random bipartite mapping graph.
+func TestAssignConservationProperty(t *testing.T) {
+	f := func(edges [][2]uint8, values []uint8) bool {
+		tbl := NewTable()
+		srcSeen := map[string]nv.Sentence{}
+		for _, e := range edges {
+			src := sent("S", "f"+string(rune('a'+e[0]%6)))
+			dst := sent("D", "l"+string(rune('a'+e[1]%6)))
+			_ = tbl.Add(Def{Source: src, Destination: dst})
+			srcSeen[src.Key()] = src
+		}
+		var ms []Measurement
+		var want float64
+		i := 0
+		for _, src := range srcSeen {
+			v := 1.0
+			if i < len(values) {
+				v = float64(values[i])
+			}
+			i++
+			ms = append(ms, Measurement{src, count(v)})
+			want += v
+		}
+		for _, policy := range []Policy{Split, Merge} {
+			got, unmapped, err := Assign(tbl, ms, policy, AggSum)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for _, a := range got {
+				sum += a.Cost.Value
+			}
+			for _, u := range unmapped {
+				sum += u.Cost.Value
+			}
+			if math.Abs(sum-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge always yields at most as many assignments as Split, and
+// assignment targets are deterministic (sorted by key).
+func TestAssignDeterminismProperty(t *testing.T) {
+	f := func(edges [][2]uint8) bool {
+		tbl := NewTable()
+		srcSeen := map[string]nv.Sentence{}
+		for _, e := range edges {
+			src := sent("S", "f"+string(rune('a'+e[0]%5)))
+			dst := sent("D", "l"+string(rune('a'+e[1]%5)))
+			_ = tbl.Add(Def{Source: src, Destination: dst})
+			srcSeen[src.Key()] = src
+		}
+		var ms []Measurement
+		for _, src := range srcSeen {
+			ms = append(ms, Measurement{src, count(1)})
+		}
+		m1, _, err1 := Assign(tbl, ms, Merge, AggSum)
+		s1, _, err2 := Assign(tbl, ms, Split, AggSum)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(m1) > len(s1) {
+			return false
+		}
+		m2, _, _ := Assign(tbl, ms, Merge, AggSum)
+		if len(m1) != len(m2) {
+			return false
+		}
+		for i := range m1 {
+			if m1[i].Key() != m2[i].Key() || m1[i].Cost != m2[i].Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAssignMerge(b *testing.B) {
+	tbl := NewTable()
+	var ms []Measurement
+	for i := 0; i < 64; i++ {
+		src := sent("CPU", string(rune('a'+i%26))+"f")
+		dst := sent("Exec", string(rune('a'+i%13))+"l")
+		_ = tbl.Add(Def{Source: src, Destination: dst})
+		ms = append(ms, Measurement{src, count(1)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Assign(tbl, ms, Merge, AggSum)
+	}
+}
+
+func BenchmarkKindOf(b *testing.B) {
+	tbl := NewTable()
+	for i := 0; i < 32; i++ {
+		_ = tbl.Add(Def{Source: sent("CPU", string(rune('a'+i))), Destination: sent("Exec", "L")})
+	}
+	s := sent("CPU", "a")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.KindOf(s)
+	}
+}

@@ -1,0 +1,102 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmap/internal/nv"
+)
+
+// The paper's abstractions stack more than two deep (CM Fortran on the
+// CM run-time system on the machine), and "any performance information
+// measured for one level of abstraction is relevant not only to itself,
+// but also to the other levels to which it maps". Compose builds the
+// transitive mapping table across a middle level so costs can be carried
+// upward (or, with inverted tables, downward) through several layers in
+// one assignment step.
+
+// Compose returns the relational composition of two tables: a record
+// A -> C exists in the result exactly when lower maps A to some sentence
+// B and upper maps B to C. Sentences of the middle level that lower
+// produces but upper does not consume are dropped from the composition —
+// they remain reachable through the individual tables.
+func Compose(lower, upper *Table) (*Table, error) {
+	out := NewTable()
+	for _, d := range lower.Defs() {
+		for _, dest := range upper.Destinations(d.Destination) {
+			if d.Source.Equal(dest) {
+				return nil, fmt.Errorf("mapping: composition produces reflexive record for %v", d.Source)
+			}
+			err := out.Add(Def{Source: d.Source, Destination: dest})
+			if err != nil && !isDuplicate(err) {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// isDuplicate distinguishes the benign many-path case (two middle
+// sentences connecting the same endpoints) from real errors.
+func isDuplicate(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "duplicate record")
+}
+
+// AssignThrough maps measurements upward through a chain of tables
+// (lowest first) by assigning at each level and feeding the results into
+// the next. Merge-policy units cannot cross levels (an inseparable unit
+// is not itself a sentence), so AssignThrough requires the Split policy
+// for all but the final hop; the final hop honours the requested policy.
+// Unmapped measurements at any level are carried to the result untouched.
+func AssignThrough(tables []*Table, measurements []Measurement, finalPolicy Policy, agg AggOp) ([]Assigned, []Measurement, error) {
+	if len(tables) == 0 {
+		return nil, nil, fmt.Errorf("mapping: AssignThrough needs at least one table")
+	}
+	current := measurements
+	var carried []Measurement
+	for i, t := range tables {
+		last := i == len(tables)-1
+		policy := Split
+		if last {
+			policy = finalPolicy
+		}
+		assigned, unmapped, err := Assign(t, current, policy, agg)
+		if err != nil {
+			return nil, nil, err
+		}
+		carried = append(carried, unmapped...)
+		if last {
+			return assigned, carried, nil
+		}
+		// Feed this level's destinations in as the next level's sources.
+		next := make([]Measurement, 0, len(assigned))
+		for _, a := range assigned {
+			if len(a.MergedUnit) > 0 {
+				return nil, nil, fmt.Errorf("mapping: merged unit cannot cross levels (internal: non-final merge)")
+			}
+			next = append(next, Measurement{Sentence: a.Destination, Cost: a.Cost})
+		}
+		current = next
+	}
+	return nil, carried, nil
+}
+
+// Path reports the destination sentences reachable from s through a
+// chain of tables (lowest first).
+func Path(tables []*Table, s nv.Sentence) []nv.Sentence {
+	frontier := []nv.Sentence{s}
+	for _, t := range tables {
+		var next []nv.Sentence
+		seen := map[string]bool{}
+		for _, f := range frontier {
+			for _, d := range t.Destinations(f) {
+				if !seen[d.Key()] {
+					seen[d.Key()] = true
+					next = append(next, d)
+				}
+			}
+		}
+		frontier = next
+	}
+	return frontier
+}

@@ -1,0 +1,212 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvmap/internal/nv"
+)
+
+// threeLevel builds a CMF -> CMRTS -> Base style chain:
+//
+//	Base:  {send_fn CPU}  -> CMRTS {msg Send}          (lower)
+//	CMRTS: {msg Send}     -> CMF   {A Sums}, {C Sums}  (upper, one-to-many)
+func threeLevel(t *testing.T) (lower, upper *Table) {
+	t.Helper()
+	lower = NewTable()
+	upper = NewTable()
+	mustAdd(t, lower, sent("CPU", "send_fn"), sent("Send", "msg"))
+	mustAdd(t, upper, sent("Send", "msg"), sent("Sums", "A"))
+	mustAdd(t, upper, sent("Send", "msg"), sent("Sums", "C"))
+	return lower, upper
+}
+
+func TestComposeTransitive(t *testing.T) {
+	lower, upper := threeLevel(t)
+	composed, err := Compose(lower, upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := composed.Destinations(sent("CPU", "send_fn"))
+	if len(dests) != 2 {
+		t.Fatalf("composed destinations = %v", dests)
+	}
+	if k := composed.KindOf(sent("CPU", "send_fn")); k != OneToMany {
+		t.Fatalf("composed kind = %v", k)
+	}
+}
+
+func TestComposeDropsUnconsumedMiddle(t *testing.T) {
+	lower := NewTable()
+	upper := NewTable()
+	mustAdd(t, lower, sent("CPU", "f"), sent("Send", "msg"))
+	mustAdd(t, lower, sent("CPU", "g"), sent("Recv", "msg")) // no upper mapping
+	mustAdd(t, upper, sent("Send", "msg"), sent("Sums", "A"))
+	composed, err := Compose(lower, upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.Len() != 1 {
+		t.Fatalf("composed = %v", composed.Defs())
+	}
+	if k := composed.KindOf(sent("CPU", "g")); k != Unmapped {
+		t.Fatalf("unconsumed middle leaked: %v", k)
+	}
+}
+
+func TestComposeManyPathsCollapse(t *testing.T) {
+	// Two middle sentences connect the same endpoints: the composition
+	// keeps one record (mappings carry no multiplicity).
+	lower := NewTable()
+	upper := NewTable()
+	mustAdd(t, lower, sent("CPU", "f"), sent("Send", "m1"))
+	mustAdd(t, lower, sent("CPU", "f"), sent("Send", "m2"))
+	mustAdd(t, upper, sent("Send", "m1"), sent("Sums", "A"))
+	mustAdd(t, upper, sent("Send", "m2"), sent("Sums", "A"))
+	composed, err := Compose(lower, upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.Len() != 1 {
+		t.Fatalf("composed = %v", composed.Defs())
+	}
+}
+
+func TestComposeRejectsReflexive(t *testing.T) {
+	lower := NewTable()
+	upper := NewTable()
+	mustAdd(t, lower, sent("V", "x"), sent("W", "y"))
+	mustAdd(t, upper, sent("W", "y"), sent("V", "x"))
+	if _, err := Compose(lower, upper); err == nil {
+		t.Fatal("reflexive composition accepted")
+	}
+}
+
+func TestAssignThroughTwoLevels(t *testing.T) {
+	lower, upper := threeLevel(t)
+	ms := []Measurement{{sent("CPU", "send_fn"), count(10)}}
+
+	merged, unmapped, err := AssignThrough([]*Table{lower, upper}, ms, Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unmapped) != 0 {
+		t.Fatalf("unmapped = %v", unmapped)
+	}
+	if len(merged) != 1 || len(merged[0].MergedUnit) != 2 || merged[0].Cost.Value != 10 {
+		t.Fatalf("merged = %+v", merged)
+	}
+
+	split, _, err := AssignThrough([]*Table{lower, upper}, ms, Split, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) != 2 || split[0].Cost.Value != 5 {
+		t.Fatalf("split = %+v", split)
+	}
+}
+
+func TestAssignThroughCarriesUnmapped(t *testing.T) {
+	lower, upper := threeLevel(t)
+	ghost := sent("CPU", "ghost")
+	assigned, unmapped, err := AssignThrough([]*Table{lower, upper},
+		[]Measurement{{sent("CPU", "send_fn"), count(4)}, {ghost, count(9)}},
+		Merge, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assigned) != 1 {
+		t.Fatalf("assigned = %v", assigned)
+	}
+	if len(unmapped) != 1 || !unmapped[0].Sentence.Equal(ghost) || unmapped[0].Cost.Value != 9 {
+		t.Fatalf("unmapped = %+v", unmapped)
+	}
+}
+
+func TestAssignThroughValidation(t *testing.T) {
+	if _, _, err := AssignThrough(nil, nil, Merge, AggSum); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestPath(t *testing.T) {
+	lower, upper := threeLevel(t)
+	dests := Path([]*Table{lower, upper}, sent("CPU", "send_fn"))
+	if len(dests) != 2 {
+		t.Fatalf("Path = %v", dests)
+	}
+	if got := Path([]*Table{lower, upper}, sent("CPU", "nope")); len(got) != 0 {
+		t.Fatalf("Path(unknown) = %v", got)
+	}
+}
+
+// Property: AssignThrough over [lower, upper] conserves mapped cost, and
+// equals Assign over Compose(lower, upper) for single-hop-per-level
+// graphs (where both formulations are defined).
+func TestComposeAssignEquivalenceProperty(t *testing.T) {
+	f := func(edges1, edges2 [][2]uint8, vals []uint8) bool {
+		lower := NewTable()
+		upper := NewTable()
+		midNames := []string{"m0", "m1", "m2", "m3"}
+		srcSeen := map[string]nv.Sentence{}
+		for _, e := range edges1 {
+			src := sent("CPU", "f"+string(rune('a'+e[0]%4)))
+			mid := sent("Send", midNames[e[1]%4])
+			_ = lower.Add(Def{Source: src, Destination: mid})
+			srcSeen[src.Key()] = src
+		}
+		for _, e := range edges2 {
+			mid := sent("Send", midNames[e[0]%4])
+			dst := sent("Sums", "L"+string(rune('a'+e[1]%4)))
+			_ = upper.Add(Def{Source: mid, Destination: dst})
+		}
+		var ms []Measurement
+		var total float64
+		i := 0
+		for _, src := range srcSeen {
+			v := 1.0
+			if i < len(vals) {
+				v = float64(vals[i]) + 1
+			}
+			i++
+			ms = append(ms, Measurement{src, count(v)})
+			total += v
+		}
+		through, carried, err := AssignThrough([]*Table{lower, upper}, ms, Split, AggSum)
+		if err != nil {
+			return true // reflexive or structural rejection: fine
+		}
+		var got float64
+		for _, a := range through {
+			got += a.Cost.Value
+		}
+		for _, u := range carried {
+			got += u.Cost.Value
+		}
+		// Cost can shrink when a middle sentence has no upper mapping
+		// (dropped as unmapped at level 2 => carried). Either way the sum
+		// of assigned + carried must never exceed the input.
+		return got <= total+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	lower := NewTable()
+	upper := NewTable()
+	for i := 0; i < 64; i++ {
+		src := sent("CPU", "f"+string(rune('a'+i%26))+string(rune('0'+i/26)))
+		mid := sent("Send", "m"+string(rune('a'+i%8)))
+		dst := sent("Sums", "L"+string(rune('a'+i%16)))
+		_ = lower.Add(Def{Source: src, Destination: mid})
+		_ = upper.Add(Def{Source: mid, Destination: dst})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compose(lower, upper); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

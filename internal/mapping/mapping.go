@@ -1,0 +1,234 @@
+// Package mapping implements the paper's mapping machinery: the relations
+// between sentences at different levels of abstraction, the Figure 1
+// taxonomy (one-to-one, one-to-many, many-to-one, many-to-many), and the
+// two cost-assignment policies for one-to-many mappings — splitting costs
+// evenly versus merging the destination sentences into one inseparable
+// unit (the Paradyn policy).
+//
+// A mapping definition is deliberately minimal: a source sentence and a
+// destination sentence (Figure 3). All four mapping shapes are built from
+// combinations of these one-to-one records; the shape is recovered by
+// inspecting the bipartite graph the records form, exactly as Section 2 of
+// the paper prescribes.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvmap/internal/nv"
+)
+
+// Def is one mapping record: performance data collected for the source
+// sentence can be presented in relation to the destination sentence.
+type Def struct {
+	Source      nv.Sentence
+	Destination nv.Sentence
+}
+
+// String renders the record the way Figure 2 prints mappings.
+func (d Def) String() string {
+	return fmt.Sprintf("%v -> %v", d.Source, d.Destination)
+}
+
+// Kind classifies the shape of the mapping a source sentence participates
+// in, per Figure 1 of the paper.
+type Kind int
+
+const (
+	// Unmapped means the sentence has no mapping records at all.
+	Unmapped Kind = iota
+	// OneToOne: one source, one destination.
+	OneToOne
+	// OneToMany: one source implements several destinations (e.g. an
+	// optimizing compiler fused several source lines into one function).
+	OneToMany
+	// ManyToOne: several sources implement one destination (e.g. several
+	// low-level functions implement one source line).
+	ManyToOne
+	// ManyToMany: overlapping sets on both sides.
+	ManyToMany
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Unmapped:
+		return "Unmapped"
+	case OneToOne:
+		return "One-to-One"
+	case OneToMany:
+		return "One-to-Many"
+	case ManyToOne:
+		return "Many-to-One"
+	case ManyToMany:
+		return "Many-to-Many"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Table stores mapping records and indexes them in both directions so
+// costs can be mapped upward through layers of abstraction or downward
+// (the techniques are independent of mapping direction).
+type Table struct {
+	defs []Def
+	// bySource and byDest key sentences by nv.Sentence.Key().
+	bySource map[string][]nv.Sentence
+	byDest   map[string][]nv.Sentence
+	// present guards against duplicate records.
+	present map[string]bool
+	// sentences interns every sentence seen so we can recover a Sentence
+	// from a key when walking the graph.
+	sentences map[string]nv.Sentence
+}
+
+// NewTable returns an empty mapping table.
+func NewTable() *Table {
+	return &Table{
+		bySource:  make(map[string][]nv.Sentence),
+		byDest:    make(map[string][]nv.Sentence),
+		present:   make(map[string]bool),
+		sentences: make(map[string]nv.Sentence),
+	}
+}
+
+// Add records one mapping definition. Duplicate records are rejected:
+// each (source, destination) pair carries no multiplicity in the model.
+func (t *Table) Add(d Def) error {
+	if d.Source.Equal(d.Destination) {
+		return fmt.Errorf("mapping: source and destination are the same sentence %v", d.Source)
+	}
+	key := d.Source.Key() + "\x1e" + d.Destination.Key()
+	if t.present[key] {
+		return fmt.Errorf("mapping: duplicate record %v", d)
+	}
+	t.present[key] = true
+	t.defs = append(t.defs, d)
+	t.bySource[d.Source.Key()] = append(t.bySource[d.Source.Key()], d.Destination)
+	t.byDest[d.Destination.Key()] = append(t.byDest[d.Destination.Key()], d.Source)
+	t.sentences[d.Source.Key()] = d.Source
+	t.sentences[d.Destination.Key()] = d.Destination
+	return nil
+}
+
+// Len returns the number of mapping records.
+func (t *Table) Len() int { return len(t.defs) }
+
+// Defs returns a copy of all records in insertion order.
+func (t *Table) Defs() []Def { return append([]Def(nil), t.defs...) }
+
+// Destinations returns the sentences s maps to, sorted by key.
+func (t *Table) Destinations(s nv.Sentence) []nv.Sentence {
+	return sortedCopy(t.bySource[s.Key()])
+}
+
+// Sources returns the sentences that map to s, sorted by key.
+func (t *Table) Sources(s nv.Sentence) []nv.Sentence {
+	return sortedCopy(t.byDest[s.Key()])
+}
+
+func sortedCopy(in []nv.Sentence) []nv.Sentence {
+	out := append([]nv.Sentence(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Invert returns a new table with every record reversed, for mapping in
+// the opposite direction.
+func (t *Table) Invert() *Table {
+	inv := NewTable()
+	for _, d := range t.defs {
+		// Add cannot fail: records were unique and non-reflexive.
+		_ = inv.Add(Def{Source: d.Destination, Destination: d.Source})
+	}
+	return inv
+}
+
+// KindOf classifies the mapping shape of source sentence s by examining
+// the connected component of the bipartite source/destination graph that
+// contains s.
+func (t *Table) KindOf(s nv.Sentence) Kind {
+	dests := t.bySource[s.Key()]
+	if len(dests) == 0 {
+		return Unmapped
+	}
+	srcs, dsts := t.Component(s)
+	switch {
+	case len(srcs) == 1 && len(dsts) == 1:
+		return OneToOne
+	case len(srcs) == 1:
+		return OneToMany
+	case len(dsts) == 1:
+		return ManyToOne
+	default:
+		return ManyToMany
+	}
+}
+
+// Component returns the source and destination sentences of the connected
+// component containing source sentence s, each sorted by key. Components
+// are the unit over which cost assignment operates: Figure 1 reduces
+// many-to-one and many-to-many shapes by first aggregating all sources of
+// a component and then treating the result as one-to-one or one-to-many.
+func (t *Table) Component(s nv.Sentence) (sources, destinations []nv.Sentence) {
+	srcSeen := map[string]bool{}
+	dstSeen := map[string]bool{}
+	var srcQueue []string
+	if _, ok := t.bySource[s.Key()]; !ok {
+		return nil, nil
+	}
+	srcQueue = append(srcQueue, s.Key())
+	srcSeen[s.Key()] = true
+	for len(srcQueue) > 0 {
+		sk := srcQueue[0]
+		srcQueue = srcQueue[1:]
+		for _, d := range t.bySource[sk] {
+			dk := d.Key()
+			if dstSeen[dk] {
+				continue
+			}
+			dstSeen[dk] = true
+			for _, back := range t.byDest[dk] {
+				bk := back.Key()
+				if !srcSeen[bk] {
+					srcSeen[bk] = true
+					srcQueue = append(srcQueue, bk)
+				}
+			}
+		}
+	}
+	for k := range srcSeen {
+		sources = append(sources, t.sentences[k])
+	}
+	for k := range dstSeen {
+		destinations = append(destinations, t.sentences[k])
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i].Key() < sources[j].Key() })
+	sort.Slice(destinations, func(i, j int) bool { return destinations[i].Key() < destinations[j].Key() })
+	return sources, destinations
+}
+
+// MergedKey returns the canonical key identifying the merged unit formed
+// from a set of destination sentences (the Paradyn merge policy's
+// "inseparable unit").
+func MergedKey(dests []nv.Sentence) string {
+	keys := make([]string, len(dests))
+	for i, d := range dests {
+		keys[i] = d.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x1e")
+}
+
+// MergedString renders a merged unit for display, e.g.
+// "[{line1160 Executes} + {line1161 Executes}]".
+func MergedString(dests []nv.Sentence) string {
+	sorted := sortedCopy(dests)
+	parts := make([]string, len(sorted))
+	for i, d := range sorted {
+		parts[i] = d.String()
+	}
+	return "[" + strings.Join(parts, " + ") + "]"
+}

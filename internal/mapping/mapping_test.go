@@ -1,0 +1,203 @@
+package mapping
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"nvmap/internal/nv"
+)
+
+func sent(verb string, nouns ...string) nv.Sentence {
+	ids := make([]nv.NounID, len(nouns))
+	for i, n := range nouns {
+		ids[i] = nv.NounID(n)
+	}
+	return nv.NewSentence(nv.VerbID(verb), ids...)
+}
+
+func mustAdd(t *testing.T, tbl *Table, src, dst nv.Sentence) {
+	t.Helper()
+	if err := tbl.Add(Def{Source: src, Destination: dst}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRejectsReflexiveAndDuplicate(t *testing.T) {
+	tbl := NewTable()
+	s := sent("CPU", "f")
+	if err := tbl.Add(Def{Source: s, Destination: s}); err == nil {
+		t.Fatal("reflexive mapping accepted")
+	}
+	d := sent("Executes", "line1")
+	mustAdd(t, tbl, s, d)
+	if err := tbl.Add(Def{Source: s, Destination: d}); err == nil {
+		t.Fatal("duplicate mapping accepted")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestDestinationsAndSources(t *testing.T) {
+	tbl := NewTable()
+	f := sent("CPU", "cmpe_corr_6_()")
+	l0 := sent("Executes", "line1160")
+	l1 := sent("Executes", "line1161")
+	mustAdd(t, tbl, f, l0)
+	mustAdd(t, tbl, f, l1)
+
+	dests := tbl.Destinations(f)
+	if len(dests) != 2 {
+		t.Fatalf("Destinations = %v", dests)
+	}
+	if srcs := tbl.Sources(l0); len(srcs) != 1 || !srcs[0].Equal(f) {
+		t.Fatalf("Sources(line1160) = %v", srcs)
+	}
+	if d := tbl.Destinations(sent("CPU", "other")); len(d) != 0 {
+		t.Fatalf("unknown sentence has destinations: %v", d)
+	}
+}
+
+// The four rows of Figure 1.
+func TestKindOfFigure1(t *testing.T) {
+	// One-to-One: low-level message send S implements reduction R.
+	t1 := NewTable()
+	mustAdd(t, t1, sent("Send", "S"), sent("Reduce", "R"))
+	if k := t1.KindOf(sent("Send", "S")); k != OneToOne {
+		t.Errorf("row 1: %v, want One-to-One", k)
+	}
+
+	// One-to-Many: function F implements reductions R1, R2.
+	t2 := NewTable()
+	mustAdd(t, t2, sent("CPU", "F"), sent("Reduce", "R1"))
+	mustAdd(t, t2, sent("CPU", "F"), sent("Reduce", "R2"))
+	if k := t2.KindOf(sent("CPU", "F")); k != OneToMany {
+		t.Errorf("row 2: %v, want One-to-Many", k)
+	}
+
+	// Many-to-One: functions F1, F2 implement one source line L.
+	t3 := NewTable()
+	mustAdd(t, t3, sent("CPU", "F1"), sent("Executes", "L"))
+	mustAdd(t, t3, sent("CPU", "F2"), sent("Executes", "L"))
+	if k := t3.KindOf(sent("CPU", "F1")); k != ManyToOne {
+		t.Errorf("row 3: %v, want Many-to-One", k)
+	}
+
+	// Many-to-Many: lines L1, L2 implemented by overlapping functions.
+	t4 := NewTable()
+	mustAdd(t, t4, sent("CPU", "F1"), sent("Executes", "L1"))
+	mustAdd(t, t4, sent("CPU", "F1"), sent("Executes", "L2"))
+	mustAdd(t, t4, sent("CPU", "F2"), sent("Executes", "L2"))
+	if k := t4.KindOf(sent("CPU", "F1")); k != ManyToMany {
+		t.Errorf("row 4: %v, want Many-to-Many", k)
+	}
+	if k := t4.KindOf(sent("CPU", "F2")); k != ManyToMany {
+		t.Errorf("row 4 via F2: %v, want Many-to-Many", k)
+	}
+
+	if k := t4.KindOf(sent("CPU", "ghost")); k != Unmapped {
+		t.Errorf("unknown source: %v, want Unmapped", k)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		Unmapped: "Unmapped", OneToOne: "One-to-One", OneToMany: "One-to-Many",
+		ManyToOne: "Many-to-One", ManyToMany: "Many-to-Many",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}
+
+func TestComponentDiscoversOverlap(t *testing.T) {
+	tbl := NewTable()
+	// Component 1: F1,F2 <-> L1,L2 (connected through L2).
+	mustAdd(t, tbl, sent("CPU", "F1"), sent("Exec", "L1"))
+	mustAdd(t, tbl, sent("CPU", "F1"), sent("Exec", "L2"))
+	mustAdd(t, tbl, sent("CPU", "F2"), sent("Exec", "L2"))
+	// Component 2: disjoint.
+	mustAdd(t, tbl, sent("CPU", "G"), sent("Exec", "M"))
+
+	srcs, dsts := tbl.Component(sent("CPU", "F2"))
+	if len(srcs) != 2 || len(dsts) != 2 {
+		t.Fatalf("Component(F2): %d sources, %d dests", len(srcs), len(dsts))
+	}
+	srcs2, dsts2 := tbl.Component(sent("CPU", "G"))
+	if len(srcs2) != 1 || len(dsts2) != 1 {
+		t.Fatalf("Component(G): %v -> %v", srcs2, dsts2)
+	}
+	if s, d := tbl.Component(sent("CPU", "nope")); s != nil || d != nil {
+		t.Fatalf("Component(unknown) = %v, %v", s, d)
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	tbl := NewTable()
+	mustAdd(t, tbl, sent("CPU", "F"), sent("Exec", "L1"))
+	mustAdd(t, tbl, sent("CPU", "F"), sent("Exec", "L2"))
+	inv := tbl.Invert()
+	if inv.Len() != tbl.Len() {
+		t.Fatalf("Invert lost records: %d vs %d", inv.Len(), tbl.Len())
+	}
+	if k := inv.KindOf(sent("Exec", "L1")); k != ManyToOne {
+		t.Fatalf("inverted one-to-many should be many-to-one, got %v", k)
+	}
+	// Inverting twice restores the original direction.
+	back := inv.Invert()
+	if k := back.KindOf(sent("CPU", "F")); k != OneToMany {
+		t.Fatalf("double inversion: %v, want One-to-Many", k)
+	}
+}
+
+// Property: inversion swaps Destinations and Sources for every recorded
+// sentence pair.
+func TestInvertSymmetryProperty(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		tbl := NewTable()
+		for _, p := range pairs {
+			src := sent("S", fmt.Sprintf("s%d", p[0]%8))
+			dst := sent("D", fmt.Sprintf("d%d", p[1]%8))
+			_ = tbl.Add(Def{Source: src, Destination: dst}) // dups fine
+		}
+		inv := tbl.Invert()
+		for _, d := range tbl.Defs() {
+			found := false
+			for _, s := range inv.Destinations(d.Destination) {
+				if s.Equal(d.Source) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return inv.Len() == tbl.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergedKeyAndString(t *testing.T) {
+	a := sent("Exec", "L1")
+	b := sent("Exec", "L2")
+	if MergedKey([]nv.Sentence{a, b}) != MergedKey([]nv.Sentence{b, a}) {
+		t.Fatal("MergedKey depends on order")
+	}
+	s := MergedString([]nv.Sentence{b, a})
+	if s != "[{L1 Exec} + {L2 Exec}]" {
+		t.Fatalf("MergedString = %q", s)
+	}
+}
+
+func TestPolicyAndAggStrings(t *testing.T) {
+	if Split.String() != "split" || Merge.String() != "merge" {
+		t.Error("policy names wrong")
+	}
+	if AggSum.String() != "sum" || AggAvg.String() != "avg" {
+		t.Error("agg names wrong")
+	}
+}

@@ -1,0 +1,48 @@
+package mdl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// MDL is user-authored (Paradyn users define new metrics at run time);
+// arbitrary source must produce errors, never panics.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(junk string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(junk)
+		_, _ = Parse("metric m {" + junk + "}")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTokenSoupProperty(t *testing.T) {
+	vocab := []string{
+		"metric", "name", "units", "kind", "timer", "aggregate", "constraint",
+		"at", "enter", "exit", "start", "stop", "inc", "dec", "count", "time",
+		"{", "}", ";", ":", `"x"`, "1", "f", "\n",
+	}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		src := ""
+		for _, p := range picks {
+			src += vocab[int(p)%len(vocab)] + " "
+		}
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

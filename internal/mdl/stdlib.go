@@ -1,0 +1,246 @@
+package mdl
+
+// StdLib is the MDL source for the paper's Figure 9: the CM Fortran
+// (CMF) level and CM run-time (CMRTS) level metrics Paradyn defined for
+// CM Fortran applications. Each can be constrained to parallel arrays,
+// statements, nodes, or combinations by supplying a predicate at
+// instantiation.
+//
+// "MACH_idle" is the pseudo-routine the tool's machine adapter fires
+// around node idle intervals (waiting for the control processor), since
+// idleness is a machine condition rather than a runtime routine.
+const StdLib = `
+# ----- CM-Fortran (CMF) level -------------------------------------------
+
+metric computations {
+    name "Computations";      units operations; level CMF; kind count; aggregate avg;
+    description "Count of computation operations.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_compute: inc 1;
+}
+metric computation_time {
+    name "Computation Time";  units seconds; level CMF; kind time; timer process;
+    description "Time spent computing results.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_compute: start;
+    at exit  CMRTS_compute: stop;
+}
+
+metric reductions {
+    name "Reductions";        units operations; level CMF; kind count; aggregate avg;
+    description "Count of array reductions.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_reduce_sum: inc 1;
+    at enter CMRTS_reduce_max: inc 1;
+    at enter CMRTS_reduce_min: inc 1;
+}
+metric reduction_time {
+    name "Reduction Time";    units seconds; level CMF; kind time; timer process;
+    description "Time spent reducing arrays.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_reduce_sum: start;
+    at exit  CMRTS_reduce_sum: stop;
+    at enter CMRTS_reduce_max: start;
+    at exit  CMRTS_reduce_max: stop;
+    at enter CMRTS_reduce_min: start;
+    at exit  CMRTS_reduce_min: stop;
+}
+
+metric summations {
+    name "Summations";        units operations; level CMF; kind count; aggregate avg;
+    description "Count of array summations.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_reduce_sum: inc 1;
+}
+metric summation_time {
+    name "Summation Time";    units seconds; level CMF; kind time; timer process;
+    description "Time spent summing arrays.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_reduce_sum: start;
+    at exit  CMRTS_reduce_sum: stop;
+}
+metric maxval_count {
+    name "MAXVAL Count";      units operations; level CMF; kind count; aggregate avg;
+    description "Count of MAXVAL reductions.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_reduce_max: inc 1;
+}
+metric maxval_time {
+    name "MAXVAL Time";       units seconds; level CMF; kind time; timer process;
+    description "Time spent computing MAXVALs.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_reduce_max: start;
+    at exit  CMRTS_reduce_max: stop;
+}
+metric minval_count {
+    name "MINVAL Count";      units operations; level CMF; kind count; aggregate avg;
+    description "Count of MINVAL reductions.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_reduce_min: inc 1;
+}
+metric minval_time {
+    name "MINVAL Time";       units seconds; level CMF; kind time; timer process;
+    description "Time spent computing MINVALs.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_reduce_min: start;
+    at exit  CMRTS_reduce_min: stop;
+}
+
+metric array_transformations {
+    name "Array Transformations"; units operations; level CMF; kind count; aggregate avg;
+    description "Count of array transformations.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_rotate: inc 1;
+    at enter CMRTS_shift: inc 1;
+    at enter CMRTS_transpose: inc 1;
+}
+metric transformation_time {
+    name "Transformation Time"; units seconds; level CMF; kind time; timer process;
+    description "Time spent transforming arrays.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_rotate: start;
+    at exit  CMRTS_rotate: stop;
+    at enter CMRTS_shift: start;
+    at exit  CMRTS_shift: stop;
+    at enter CMRTS_transpose: start;
+    at exit  CMRTS_transpose: stop;
+}
+metric rotations {
+    name "Rotations";         units operations; level CMF; kind count; aggregate avg;
+    description "Count of array rotations.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_rotate: inc 1;
+}
+metric rotation_time {
+    name "Rotation Time";     units seconds; level CMF; kind time; timer process;
+    description "Time spent on rotations.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_rotate: start;
+    at exit  CMRTS_rotate: stop;
+}
+metric shifts {
+    name "Shifts";            units operations; level CMF; kind count; aggregate avg;
+    description "Count of array shifts.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_shift: inc 1;
+}
+metric shift_time {
+    name "Shift Time";        units seconds; level CMF; kind time; timer process;
+    description "Time spent shifting arrays.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_shift: start;
+    at exit  CMRTS_shift: stop;
+}
+metric transposes {
+    name "Transposes";        units operations; level CMF; kind count; aggregate avg;
+    description "Count of array transposes.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_transpose: inc 1;
+}
+metric transpose_time {
+    name "Transpose Time";    units seconds; level CMF; kind time; timer process;
+    description "Time spent transposing arrays.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_transpose: start;
+    at exit  CMRTS_transpose: stop;
+}
+
+metric scans {
+    name "Scans";             units operations; level CMF; kind count; aggregate avg;
+    description "Count of array scans.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_scan: inc 1;
+}
+metric scan_time {
+    name "Scan Time";         units seconds; level CMF; kind time; timer process;
+    description "Time spent scanning arrays.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_scan: start;
+    at exit  CMRTS_scan: stop;
+}
+metric sorts {
+    name "Sorts";             units operations; level CMF; kind count; aggregate avg;
+    description "Count of array sorts.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_sort: inc 1;
+}
+metric sort_time {
+    name "Sort Time";         units seconds; level CMF; kind time; timer process;
+    description "Time spent sorting arrays.";
+    constraint array; constraint statement; constraint node;
+    at enter CMRTS_sort: start;
+    at exit  CMRTS_sort: stop;
+}
+
+# ----- CM-Runtime (CMRTS) level ------------------------------------------
+
+metric argument_processing_time {
+    name "Argument Processing Time"; units seconds; level CMRTS; kind time; timer process;
+    description "Time spent receiving arguments from the control processor.";
+    constraint node; constraint statement;
+    at enter CMRTS_args: start;
+    at exit  CMRTS_args: stop;
+}
+metric broadcasts {
+    name "Broadcasts";        units operations; level CMRTS; kind count; aggregate avg;
+    description "Count of broadcast operations.";
+    constraint node; constraint statement;
+    at enter CMRTS_broadcast: inc 1;
+}
+metric broadcast_time {
+    name "Broadcast Time";    units seconds; level CMRTS; kind time; timer process;
+    description "Time spent broadcasting.";
+    constraint node; constraint statement;
+    at enter CMRTS_broadcast: start;
+    at exit  CMRTS_broadcast: stop;
+}
+metric cleanups {
+    name "Cleanups";          units operations; level CMRTS; kind count; aggregate avg;
+    description "Count of resets of node vector units.";
+    constraint node;
+    at enter CMRTS_cleanup: inc 1;
+}
+metric cleanup_time {
+    name "Cleanup Time";      units seconds; level CMRTS; kind time; timer process;
+    description "Time spent resetting node vector units.";
+    constraint node;
+    at enter CMRTS_cleanup: start;
+    at exit  CMRTS_cleanup: stop;
+}
+metric idle_time {
+    name "Idle Time";         units seconds; level CMRTS; kind time; timer wall;
+    description "Time spent waiting for the control processor.";
+    constraint node;
+    at enter MACH_idle: start;
+    at exit  MACH_idle: stop;
+}
+metric node_activations {
+    name "Node Activations";  units operations; level CMRTS; kind count;
+    description "Count of node activations by the control processor.";
+    constraint node; constraint statement;
+    at enter CMRTS_args: inc 1;
+}
+metric point_to_point_ops {
+    name "Point-to-Point Operations"; units operations; level CMRTS; kind count;
+    description "Count of inter-node communication operations.";
+    constraint node; constraint statement; constraint array;
+    at enter CMRTS_send: inc 1;
+}
+metric point_to_point_time {
+    name "Point-to-Point Time"; units seconds; level CMRTS; kind time; timer process;
+    description "Time spent sending data between parallel nodes.";
+    constraint node; constraint statement; constraint array;
+    at enter CMRTS_send: start;
+    at exit  CMRTS_send: stop;
+}
+`
+
+// StdLibrary compiles the Figure 9 metric set. It panics on error: the
+// source is a compile-time constant exercised by the package tests.
+func StdLibrary() *Library {
+	lib, err := NewLibrary(StdLib)
+	if err != nil {
+		panic("mdl: standard library does not compile: " + err.Error())
+	}
+	return lib
+}

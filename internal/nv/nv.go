@@ -1,0 +1,197 @@
+// Package nv implements the Noun-Verb (NV) model for parallel program
+// performance explanation from Irvin & Miller, "Mechanisms for Mapping
+// High-Level Parallel Performance Data" (ICPP 1996).
+//
+// In the NV model, nouns are any program elements for which performance
+// measurements can be made (programs, subroutines, loops, arrays,
+// statements, processors, messages, ...) and verbs are any potential
+// actions taken by or performed on a noun (execution, assignment,
+// reduction, I/O, ...). An instance of a program construct described by a
+// verb is a sentence: a verb, a set of participating nouns, and a cost.
+// The collection of nouns and verbs of a particular software or hardware
+// layer defines a level of abstraction.
+//
+// This package holds the vocabulary: levels, nouns, verbs, sentences and
+// costs, plus a Registry that validates and indexes them. Relations
+// between levels live in package mapping; run-time activity lives in
+// package sas.
+package nv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LevelID identifies a level of abstraction, e.g. "CMF", "CMRTS", "Base".
+type LevelID string
+
+// Level describes one level of abstraction. Levels are ordered by Rank:
+// a larger Rank is more abstract (closer to the programmer), a smaller
+// Rank is closer to the hardware. Mapping "upward" means toward larger
+// ranks.
+type Level struct {
+	ID          LevelID
+	Name        string
+	Description string
+	Rank        int
+}
+
+// NounID uniquely identifies a noun within a Registry.
+type NounID string
+
+// Noun is a program element for which performance measurements can be
+// made. Nouns form per-level hierarchies through Parent (the basis of the
+// Paradyn where axis): for example array TOT is a child of function
+// CORNER, which is a child of module bow.fcm.
+type Noun struct {
+	ID          NounID
+	Name        string
+	Level       LevelID
+	Description string
+	// Parent is the enclosing noun in the same level's resource
+	// hierarchy, or empty for a hierarchy root.
+	Parent NounID
+}
+
+// VerbID uniquely identifies a verb within a Registry.
+type VerbID string
+
+// Verb is a potential action taken by or performed on a noun. Units
+// documents the measurement unit of costs for sentences built from this
+// verb (e.g. "% CPU", "operations", "seconds").
+type Verb struct {
+	ID          VerbID
+	Name        string
+	Level       LevelID
+	Description string
+	Units       string
+}
+
+// Sentence is an instance of a program construct described by a verb: the
+// verb plus the set of participating nouns. The noun set is kept in
+// canonical (sorted, deduplicated) order so sentences compare and hash
+// consistently. A Sentence deliberately carries no cost: costs are
+// measured for executions of sentences (see Cost and package sas).
+type Sentence struct {
+	Verb  VerbID
+	Nouns []NounID
+}
+
+// NewSentence builds a canonical sentence from a verb and participating
+// nouns. Duplicate nouns are removed and the noun set is sorted.
+func NewSentence(verb VerbID, nouns ...NounID) Sentence {
+	set := make([]NounID, 0, len(nouns))
+	seen := make(map[NounID]bool, len(nouns))
+	for _, n := range nouns {
+		if !seen[n] {
+			seen[n] = true
+			set = append(set, n)
+		}
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return Sentence{Verb: verb, Nouns: set}
+}
+
+// Key returns a canonical string key for use in maps. Two sentences have
+// equal keys exactly when they are Equal.
+func (s Sentence) Key() string {
+	var b strings.Builder
+	b.WriteString(string(s.Verb))
+	for _, n := range s.Nouns {
+		b.WriteByte('\x1f') // unit separator: cannot occur in IDs we mint
+		b.WriteString(string(n))
+	}
+	return b.String()
+}
+
+// Equal reports whether s and o denote the same sentence.
+func (s Sentence) Equal(o Sentence) bool {
+	if s.Verb != o.Verb || len(s.Nouns) != len(o.Nouns) {
+		return false
+	}
+	for i := range s.Nouns {
+		if s.Nouns[i] != o.Nouns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether noun n participates in the sentence.
+func (s Sentence) Contains(n NounID) bool {
+	for _, x := range s.Nouns {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the sentence in the paper's notation, e.g. "{A Sum}".
+func (s Sentence) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range s.Nouns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(n))
+	}
+	if len(s.Nouns) > 0 {
+		b.WriteByte(' ')
+	}
+	b.WriteString(string(s.Verb))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CostKind classifies what resource a cost measures.
+type CostKind int
+
+// The cost kinds used throughout the reproduction. The paper names time,
+// memory and channel bandwidth as example resources; counts and CPU
+// percentage appear in its metric tables (Figure 9, Figure 2).
+const (
+	CostTime    CostKind = iota // virtual nanoseconds
+	CostCount                   // dimensionless event count
+	CostBytes                   // memory or channel payload bytes
+	CostPercent                 // percentage, e.g. "% CPU"
+)
+
+// String returns the unit suffix for the kind.
+func (k CostKind) String() string {
+	switch k {
+	case CostTime:
+		return "ns"
+	case CostCount:
+		return "ops"
+	case CostBytes:
+		return "bytes"
+	case CostPercent:
+		return "%"
+	default:
+		return fmt.Sprintf("CostKind(%d)", int(k))
+	}
+}
+
+// Cost is a measured resource consumption for executions of a sentence.
+type Cost struct {
+	Kind  CostKind
+	Value float64
+}
+
+// Add returns the sum of two costs of the same kind.
+func (c Cost) Add(o Cost) (Cost, error) {
+	if c.Kind != o.Kind {
+		return Cost{}, fmt.Errorf("nv: cannot add %v cost to %v cost", o.Kind, c.Kind)
+	}
+	return Cost{Kind: c.Kind, Value: c.Value + o.Value}, nil
+}
+
+// Scale returns the cost multiplied by f (used by the split assignment
+// policy in package mapping).
+func (c Cost) Scale(f float64) Cost { return Cost{Kind: c.Kind, Value: c.Value * f} }
+
+// String renders the cost with its unit, e.g. "42 ops" or "1.25e+06 ns".
+func (c Cost) String() string { return fmt.Sprintf("%g %s", c.Value, c.Kind) }

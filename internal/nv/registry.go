@@ -1,0 +1,252 @@
+package nv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry validates and indexes the NV vocabulary of one measured
+// application: its levels of abstraction and the nouns and verbs defined
+// at each level. A Registry is populated from static mapping information
+// (package pif) before execution and extended with dynamic definitions
+// (e.g. dynamically allocated parallel arrays) while the application runs.
+//
+// Registry is not safe for concurrent mutation; the tool serialises
+// definition traffic through its data manager. Read methods may be called
+// concurrently with each other.
+type Registry struct {
+	levels map[LevelID]Level
+	nouns  map[NounID]Noun
+	verbs  map[VerbID]Verb
+	// children indexes the per-level resource hierarchies.
+	children map[NounID][]NounID
+	// roots lists hierarchy roots per level.
+	roots map[LevelID][]NounID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		levels:   make(map[LevelID]Level),
+		nouns:    make(map[NounID]Noun),
+		verbs:    make(map[VerbID]Verb),
+		children: make(map[NounID][]NounID),
+		roots:    make(map[LevelID][]NounID),
+	}
+}
+
+// AddLevel defines a level of abstraction. Levels must be unique by ID
+// and by rank: ranks order levels for upward/downward mapping, so two
+// levels sharing a rank would make mapping direction ambiguous.
+func (r *Registry) AddLevel(l Level) error {
+	if l.ID == "" {
+		return fmt.Errorf("nv: level must have an ID")
+	}
+	if _, dup := r.levels[l.ID]; dup {
+		return fmt.Errorf("nv: duplicate level %q", l.ID)
+	}
+	for _, other := range r.levels {
+		if other.Rank == l.Rank {
+			return fmt.Errorf("nv: level %q and %q share rank %d", other.ID, l.ID, l.Rank)
+		}
+	}
+	r.levels[l.ID] = l
+	return nil
+}
+
+// AddNoun defines a noun. Its level must already exist, its ID must be
+// fresh, and if it names a parent the parent must exist at the same
+// level (resource hierarchies do not span levels).
+func (r *Registry) AddNoun(n Noun) error {
+	if n.ID == "" {
+		return fmt.Errorf("nv: noun must have an ID")
+	}
+	if _, dup := r.nouns[n.ID]; dup {
+		return fmt.Errorf("nv: duplicate noun %q", n.ID)
+	}
+	if _, ok := r.levels[n.Level]; !ok {
+		return fmt.Errorf("nv: noun %q references unknown level %q", n.ID, n.Level)
+	}
+	if n.Parent != "" {
+		p, ok := r.nouns[n.Parent]
+		if !ok {
+			return fmt.Errorf("nv: noun %q references unknown parent %q", n.ID, n.Parent)
+		}
+		if p.Level != n.Level {
+			return fmt.Errorf("nv: noun %q (level %q) cannot have parent %q at level %q",
+				n.ID, n.Level, n.Parent, p.Level)
+		}
+	}
+	r.nouns[n.ID] = n
+	if n.Parent != "" {
+		r.children[n.Parent] = append(r.children[n.Parent], n.ID)
+	} else {
+		r.roots[n.Level] = append(r.roots[n.Level], n.ID)
+	}
+	return nil
+}
+
+// RemoveNoun deletes a leaf noun, e.g. when a dynamically allocated array
+// is deallocated. Removing a noun with children is an error: the where
+// axis must stay consistent.
+func (r *Registry) RemoveNoun(id NounID) error {
+	n, ok := r.nouns[id]
+	if !ok {
+		return fmt.Errorf("nv: cannot remove unknown noun %q", id)
+	}
+	if len(r.children[id]) > 0 {
+		return fmt.Errorf("nv: cannot remove noun %q: it has %d children", id, len(r.children[id]))
+	}
+	delete(r.nouns, id)
+	delete(r.children, id)
+	if n.Parent != "" {
+		r.children[n.Parent] = removeID(r.children[n.Parent], id)
+	} else {
+		r.roots[n.Level] = removeID(r.roots[n.Level], id)
+	}
+	return nil
+}
+
+func removeID(s []NounID, id NounID) []NounID {
+	for i, x := range s {
+		if x == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// AddVerb defines a verb at an existing level.
+func (r *Registry) AddVerb(v Verb) error {
+	if v.ID == "" {
+		return fmt.Errorf("nv: verb must have an ID")
+	}
+	if _, dup := r.verbs[v.ID]; dup {
+		return fmt.Errorf("nv: duplicate verb %q", v.ID)
+	}
+	if _, ok := r.levels[v.Level]; !ok {
+		return fmt.Errorf("nv: verb %q references unknown level %q", v.ID, v.Level)
+	}
+	r.verbs[v.ID] = v
+	return nil
+}
+
+// Level returns the level with the given ID.
+func (r *Registry) Level(id LevelID) (Level, bool) {
+	l, ok := r.levels[id]
+	return l, ok
+}
+
+// Noun returns the noun with the given ID.
+func (r *Registry) Noun(id NounID) (Noun, bool) {
+	n, ok := r.nouns[id]
+	return n, ok
+}
+
+// Verb returns the verb with the given ID.
+func (r *Registry) Verb(id VerbID) (Verb, bool) {
+	v, ok := r.verbs[id]
+	return v, ok
+}
+
+// Levels returns all levels ordered from least abstract (lowest rank) to
+// most abstract.
+func (r *Registry) Levels() []Level {
+	out := make([]Level, 0, len(r.levels))
+	for _, l := range r.levels {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// NounsAtLevel returns all nouns of one level, sorted by ID.
+func (r *Registry) NounsAtLevel(level LevelID) []Noun {
+	var out []Noun
+	for _, n := range r.nouns {
+		if n.Level == level {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// VerbsAtLevel returns all verbs of one level, sorted by ID.
+func (r *Registry) VerbsAtLevel(level LevelID) []Verb {
+	var out []Verb
+	for _, v := range r.verbs {
+		if v.Level == level {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Roots returns the hierarchy roots for one level, sorted by ID.
+func (r *Registry) Roots(level LevelID) []NounID {
+	out := append([]NounID(nil), r.roots[level]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Children returns the direct children of a noun, sorted by ID.
+func (r *Registry) Children(id NounID) []NounID {
+	out := append([]NounID(nil), r.children[id]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Descendants returns id and every noun below it in the hierarchy.
+func (r *Registry) Descendants(id NounID) []NounID {
+	var out []NounID
+	var walk func(NounID)
+	walk = func(n NounID) {
+		out = append(out, n)
+		for _, c := range r.Children(n) {
+			walk(c)
+		}
+	}
+	walk(id)
+	return out
+}
+
+// ValidateSentence checks that the sentence's verb and nouns are defined
+// and that every noun shares the verb's level of abstraction. A sentence
+// is an instance of a construct at one level; cross-level relations are
+// expressed by mappings, never inside one sentence.
+func (r *Registry) ValidateSentence(s Sentence) error {
+	v, ok := r.verbs[s.Verb]
+	if !ok {
+		return fmt.Errorf("nv: sentence %v uses unknown verb %q", s, s.Verb)
+	}
+	for _, id := range s.Nouns {
+		n, ok := r.nouns[id]
+		if !ok {
+			return fmt.Errorf("nv: sentence %v uses unknown noun %q", s, id)
+		}
+		if n.Level != v.Level {
+			return fmt.Errorf("nv: sentence %v mixes noun %q (level %q) with verb %q (level %q)",
+				s, id, n.Level, s.Verb, v.Level)
+		}
+	}
+	return nil
+}
+
+// SentenceLevel returns the level of abstraction a sentence belongs to
+// (the level of its verb).
+func (r *Registry) SentenceLevel(s Sentence) (LevelID, error) {
+	v, ok := r.verbs[s.Verb]
+	if !ok {
+		return "", fmt.Errorf("nv: unknown verb %q", s.Verb)
+	}
+	return v.Level, nil
+}
+
+// NounCount returns the number of defined nouns (used by tests and by the
+// tool's status display).
+func (r *Registry) NounCount() int { return len(r.nouns) }
+
+// VerbCount returns the number of defined verbs.
+func (r *Registry) VerbCount() int { return len(r.verbs) }

@@ -1,0 +1,209 @@
+package nv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// newCMFRegistry builds the three-level vocabulary used throughout the
+// paper's examples: CMF on top of CMRTS on top of Base.
+func newCMFRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, l := range []Level{
+		{ID: "Base", Name: "Base", Rank: 0},
+		{ID: "CMRTS", Name: "CM Run-Time System", Rank: 1},
+		{ID: "CMF", Name: "CM Fortran", Rank: 2},
+	} {
+		if err := r.AddLevel(l); err != nil {
+			t.Fatalf("AddLevel(%v): %v", l.ID, err)
+		}
+	}
+	return r
+}
+
+func TestRegistryAddLevelRejectsDuplicates(t *testing.T) {
+	r := newCMFRegistry(t)
+	if err := r.AddLevel(Level{ID: "CMF", Rank: 9}); err == nil {
+		t.Fatal("duplicate level ID accepted")
+	}
+	if err := r.AddLevel(Level{ID: "Other", Rank: 2}); err == nil {
+		t.Fatal("duplicate level rank accepted")
+	}
+	if err := r.AddLevel(Level{ID: "", Rank: 5}); err == nil {
+		t.Fatal("empty level ID accepted")
+	}
+}
+
+func TestRegistryNounLifecycle(t *testing.T) {
+	r := newCMFRegistry(t)
+	if err := r.AddNoun(Noun{ID: "main.fcm", Level: "CMF"}); err != nil {
+		t.Fatalf("AddNoun root: %v", err)
+	}
+	if err := r.AddNoun(Noun{ID: "CORNER", Level: "CMF", Parent: "main.fcm"}); err != nil {
+		t.Fatalf("AddNoun child: %v", err)
+	}
+	if err := r.AddNoun(Noun{ID: "TOT", Level: "CMF", Parent: "CORNER"}); err != nil {
+		t.Fatalf("AddNoun grandchild: %v", err)
+	}
+
+	if got := r.Children("main.fcm"); len(got) != 1 || got[0] != "CORNER" {
+		t.Fatalf("Children(main.fcm) = %v", got)
+	}
+	if got := r.Descendants("main.fcm"); len(got) != 3 {
+		t.Fatalf("Descendants = %v, want 3 nouns", got)
+	}
+	if got := r.Roots("CMF"); len(got) != 1 || got[0] != "main.fcm" {
+		t.Fatalf("Roots = %v", got)
+	}
+
+	// Removing an interior noun must fail; removing the leaf then the
+	// now-leaf interior noun must succeed.
+	if err := r.RemoveNoun("CORNER"); err == nil {
+		t.Fatal("removed noun with children")
+	}
+	if err := r.RemoveNoun("TOT"); err != nil {
+		t.Fatalf("RemoveNoun leaf: %v", err)
+	}
+	if err := r.RemoveNoun("CORNER"); err != nil {
+		t.Fatalf("RemoveNoun after child gone: %v", err)
+	}
+	if got := r.Children("main.fcm"); len(got) != 0 {
+		t.Fatalf("Children after removal = %v", got)
+	}
+	if err := r.RemoveNoun("CORNER"); err == nil {
+		t.Fatal("double removal accepted")
+	}
+}
+
+func TestRegistryAddNounValidation(t *testing.T) {
+	r := newCMFRegistry(t)
+	if err := r.AddNoun(Noun{ID: "A", Level: "NoSuchLevel"}); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if err := r.AddNoun(Noun{ID: "", Level: "CMF"}); err == nil {
+		t.Fatal("empty noun ID accepted")
+	}
+	if err := r.AddNoun(Noun{ID: "A", Level: "CMF", Parent: "ghost"}); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	must(t, r.AddNoun(Noun{ID: "base_fn", Level: "Base"}))
+	if err := r.AddNoun(Noun{ID: "A", Level: "CMF", Parent: "base_fn"}); err == nil {
+		t.Fatal("cross-level parent accepted")
+	}
+	must(t, r.AddNoun(Noun{ID: "A", Level: "CMF"}))
+	if err := r.AddNoun(Noun{ID: "A", Level: "CMF"}); err == nil {
+		t.Fatal("duplicate noun accepted")
+	}
+}
+
+func TestRegistryAddVerbValidation(t *testing.T) {
+	r := newCMFRegistry(t)
+	must(t, r.AddVerb(Verb{ID: "Sum", Level: "CMF", Units: "ops"}))
+	if err := r.AddVerb(Verb{ID: "Sum", Level: "CMF"}); err == nil {
+		t.Fatal("duplicate verb accepted")
+	}
+	if err := r.AddVerb(Verb{ID: "Spin", Level: "Nowhere"}); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if err := r.AddVerb(Verb{ID: "", Level: "CMF"}); err == nil {
+		t.Fatal("empty verb ID accepted")
+	}
+}
+
+func TestRegistryValidateSentence(t *testing.T) {
+	r := newCMFRegistry(t)
+	must(t, r.AddNoun(Noun{ID: "A", Level: "CMF"}))
+	must(t, r.AddNoun(Noun{ID: "send_fn", Level: "Base"}))
+	must(t, r.AddVerb(Verb{ID: "Sum", Level: "CMF"}))
+
+	if err := r.ValidateSentence(NewSentence("Sum", "A")); err != nil {
+		t.Fatalf("valid sentence rejected: %v", err)
+	}
+	if err := r.ValidateSentence(NewSentence("Sum", "send_fn")); err == nil {
+		t.Fatal("cross-level sentence accepted")
+	}
+	if err := r.ValidateSentence(NewSentence("Sum", "ghost")); err == nil {
+		t.Fatal("unknown noun accepted")
+	}
+	if err := r.ValidateSentence(NewSentence("Ghost", "A")); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+}
+
+func TestRegistrySentenceLevel(t *testing.T) {
+	r := newCMFRegistry(t)
+	must(t, r.AddVerb(Verb{ID: "Sum", Level: "CMF"}))
+	lvl, err := r.SentenceLevel(NewSentence("Sum", "whatever"))
+	if err != nil || lvl != "CMF" {
+		t.Fatalf("SentenceLevel = %q, %v", lvl, err)
+	}
+	if _, err := r.SentenceLevel(NewSentence("Nope")); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+}
+
+func TestRegistryLevelsSortedByRank(t *testing.T) {
+	r := newCMFRegistry(t)
+	levels := r.Levels()
+	if len(levels) != 3 {
+		t.Fatalf("Levels() returned %d levels", len(levels))
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i-1].Rank >= levels[i].Rank {
+			t.Fatalf("Levels() not sorted: %v", levels)
+		}
+	}
+}
+
+func TestRegistryPerLevelQueriesSorted(t *testing.T) {
+	r := newCMFRegistry(t)
+	for _, id := range []NounID{"zeta", "alpha", "mid"} {
+		must(t, r.AddNoun(Noun{ID: id, Level: "CMF"}))
+	}
+	for _, id := range []VerbID{"Shift", "Execute", "Reduce"} {
+		must(t, r.AddVerb(Verb{ID: id, Level: "CMF"}))
+	}
+	nouns := r.NounsAtLevel("CMF")
+	if len(nouns) != 3 || nouns[0].ID != "alpha" || nouns[2].ID != "zeta" {
+		t.Fatalf("NounsAtLevel = %v", nouns)
+	}
+	verbs := r.VerbsAtLevel("CMF")
+	if len(verbs) != 3 || verbs[0].ID != "Execute" || verbs[2].ID != "Shift" {
+		t.Fatalf("VerbsAtLevel = %v", verbs)
+	}
+	if n := r.NounsAtLevel("Base"); len(n) != 0 {
+		t.Fatalf("NounsAtLevel(Base) = %v, want empty", n)
+	}
+}
+
+func TestRegistryCounts(t *testing.T) {
+	r := newCMFRegistry(t)
+	for i := 0; i < 10; i++ {
+		must(t, r.AddNoun(Noun{ID: NounID(fmt.Sprintf("n%d", i)), Level: "CMF"}))
+	}
+	must(t, r.AddVerb(Verb{ID: "V", Level: "Base"}))
+	if r.NounCount() != 10 || r.VerbCount() != 1 {
+		t.Fatalf("counts = %d nouns, %d verbs", r.NounCount(), r.VerbCount())
+	}
+}
+
+func TestRegistryLookupMisses(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Level("x"); ok {
+		t.Error("Level hit on empty registry")
+	}
+	if _, ok := r.Noun("x"); ok {
+		t.Error("Noun hit on empty registry")
+	}
+	if _, ok := r.Verb("x"); ok {
+		t.Error("Verb hit on empty registry")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

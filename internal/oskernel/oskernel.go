@@ -1,0 +1,160 @@
+// Package oskernel simulates the UNIX process/kernel scenario of the
+// paper's Figure 7, used to demonstrate the first limitation of the SAS
+// approach: asynchronous activation of sentences.
+//
+// A user process calls write(); the kernel buffers the data and writes it
+// to disk later, after the calling function has returned. By then the
+// function-execution sentence has left the SAS, so kernel disk writes on
+// behalf of the function "could not be measured with the help of the SAS
+// alone". The package also demonstrates the shadow-context remedy
+// (sas.Capture / sas.RecordEventInContext): capturing the active
+// sentences at the write() handoff lets the deferred disk write be
+// attributed correctly.
+package oskernel
+
+import (
+	"fmt"
+
+	"nvmap/internal/nv"
+	"nvmap/internal/sas"
+	"nvmap/internal/vtime"
+)
+
+// Verbs used by the simulated system's sentences.
+const (
+	VerbExecutes  nv.VerbID = "Executes"
+	VerbSyscall   nv.VerbID = "SyscallWrite"
+	VerbDiskWrite nv.VerbID = "DiskWrite"
+)
+
+// DiskNoun is the noun for the simulated disk.
+const DiskNoun nv.NounID = "disk0"
+
+// Config sets the timing model.
+type Config struct {
+	// SyscallCost is the user-side cost of the write() call.
+	SyscallCost vtime.Duration
+	// FlushDelay is how long buffered data sits before the kernel's
+	// write-back daemon flushes it to disk.
+	FlushDelay vtime.Duration
+	// WriteCost is the disk-side cost per flush.
+	WriteCost vtime.Duration
+	// Shadows enables capturing shadow contexts at the write() handoff.
+	Shadows bool
+}
+
+// DefaultConfig returns plausible timings.
+func DefaultConfig() Config {
+	return Config{
+		SyscallCost: 2 * vtime.Microsecond,
+		FlushDelay:  5 * vtime.Millisecond,
+		WriteCost:   800 * vtime.Microsecond,
+		Shadows:     false,
+	}
+}
+
+type pendingWrite struct {
+	bytes     int
+	issuedAt  vtime.Time
+	dueAt     vtime.Time
+	shadow    sas.Shadow
+	hasShadow bool
+}
+
+// System is one simulated process + kernel pair sharing a SAS.
+type System struct {
+	cfg     Config
+	sas     *sas.SAS
+	clock   vtime.Time
+	pending []pendingWrite
+
+	// Flushed counts completed disk writes; Attributed counts those that
+	// some performance question charged.
+	Flushed    int
+	Attributed int
+}
+
+// New builds a system over an existing SAS (the tool owns the SAS and its
+// questions).
+func New(cfg Config, s *sas.SAS) (*System, error) {
+	if s == nil {
+		return nil, fmt.Errorf("oskernel: a SAS is required")
+	}
+	return &System{cfg: cfg, sas: s}, nil
+}
+
+// Now returns the system's virtual clock.
+func (s *System) Now() vtime.Time { return s.clock }
+
+// Advance idles the process for d.
+func (s *System) Advance(d vtime.Duration) { s.clock = s.clock.Add(d) }
+
+// CallFunc runs body inside the function-execution sentence {fn
+// Executes}, exactly the left column of Figure 7.
+func (s *System) CallFunc(fn string, body func()) {
+	sentence := nv.NewSentence(VerbExecutes, nv.NounID(fn))
+	s.sas.Activate(sentence, s.clock)
+	body()
+	s.clock = s.clock.Add(1 * vtime.Microsecond)
+	_ = s.sas.Deactivate(sentence, s.clock)
+}
+
+// Write issues a buffered write() system call: the kernel notes the data
+// and schedules the actual disk write FlushDelay later. With shadows
+// enabled, the kernel captures the caller's active sentences at the
+// handoff.
+func (s *System) Write(bytes int) {
+	sysSentence := nv.NewSentence(VerbSyscall)
+	s.sas.Activate(sysSentence, s.clock)
+	s.clock = s.clock.Add(s.cfg.SyscallCost)
+	w := pendingWrite{
+		bytes:    bytes,
+		issuedAt: s.clock,
+		dueAt:    s.clock.Add(s.cfg.FlushDelay),
+	}
+	if s.cfg.Shadows {
+		w.shadow = s.sas.Capture(s.clock)
+		w.hasShadow = true
+	}
+	s.pending = append(s.pending, w)
+	_ = s.sas.Deactivate(sysSentence, s.clock)
+}
+
+// RunKernel advances time to deadline, flushing every buffered write
+// whose due time has arrived (the kernel's write-back daemon). Each flush
+// is a measured low-level event: the kernel asks the SAS which questions
+// it satisfies.
+func (s *System) RunKernel(deadline vtime.Time) {
+	for i := 0; i < len(s.pending); i++ {
+		w := s.pending[i]
+		if w.dueAt.After(deadline) {
+			continue
+		}
+		if w.dueAt.After(s.clock) {
+			s.clock = w.dueAt
+		}
+		start := s.clock
+		s.clock = s.clock.Add(s.cfg.WriteCost)
+		ev := nv.NewSentence(VerbDiskWrite, DiskNoun)
+		var hits int
+		if w.hasShadow {
+			hits = s.sas.RecordEventInContext(w.shadow, ev, start, 1)
+			s.sas.RecordSpanInContext(w.shadow, ev, start, s.clock, s.cfg.WriteCost)
+		} else {
+			hits = s.sas.RecordEvent(ev, start, 1)
+			s.sas.RecordSpan(ev, start, s.clock, s.cfg.WriteCost)
+		}
+		s.Flushed++
+		if hits > 0 {
+			s.Attributed++
+		}
+		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		i--
+	}
+	if deadline.After(s.clock) {
+		s.clock = deadline
+	}
+}
+
+// PendingWrites returns how many buffered writes await flushing.
+func (s *System) PendingWrites() int { return len(s.pending) }

@@ -1,0 +1,136 @@
+package oskernel
+
+import (
+	"testing"
+
+	"nvmap/internal/sas"
+	"nvmap/internal/vtime"
+)
+
+func question() sas.Question {
+	return sas.Q("disk writes for func",
+		sas.T(VerbExecutes, "func"),
+		sas.T(VerbDiskWrite, sas.Any))
+}
+
+func TestFigure7LimitationWithoutShadows(t *testing.T) {
+	s := sas.New(sas.Options{})
+	qid, err := s.AddQuestion(question())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(DefaultConfig(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys.CallFunc("func", func() {
+		sys.Write(4096)
+	})
+	if sys.PendingWrites() != 1 {
+		t.Fatalf("pending = %d", sys.PendingWrites())
+	}
+	// The kernel flushes long after func() returned.
+	sys.RunKernel(sys.Now().Add(vtime.Second))
+
+	if sys.Flushed != 1 {
+		t.Fatalf("flushed = %d", sys.Flushed)
+	}
+	// The paper's limitation: the write cannot be attributed.
+	if sys.Attributed != 0 {
+		t.Fatalf("attributed = %d, want 0 (the SAS alone cannot attribute)", sys.Attributed)
+	}
+	res, _ := s.Result(qid, sys.Now())
+	if res.Count != 0 {
+		t.Fatalf("question count = %g, want 0", res.Count)
+	}
+}
+
+func TestShadowContextRemedy(t *testing.T) {
+	s := sas.New(sas.Options{})
+	qid, err := s.AddQuestion(question())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Shadows = true
+	sys, err := New(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys.CallFunc("func", func() {
+		sys.Write(4096)
+		sys.Write(8192)
+	})
+	// A write from a different function must not be charged to func.
+	sys.CallFunc("other", func() {
+		sys.Write(100)
+	})
+	sys.RunKernel(sys.Now().Add(vtime.Second))
+
+	if sys.Flushed != 3 {
+		t.Fatalf("flushed = %d", sys.Flushed)
+	}
+	if sys.Attributed != 2 {
+		t.Fatalf("attributed = %d, want 2", sys.Attributed)
+	}
+	res, _ := s.Result(qid, sys.Now())
+	if res.Count != 2 {
+		t.Fatalf("question count = %g, want 2", res.Count)
+	}
+	if res.EventTime != 2*cfg.WriteCost {
+		t.Fatalf("question event time = %v, want %v", res.EventTime, 2*cfg.WriteCost)
+	}
+}
+
+func TestSynchronousWriteIsAttributedEitherWay(t *testing.T) {
+	// If the flush happens while func() is still active (FlushDelay 0),
+	// even the plain SAS attributes it — the limitation is specifically
+	// about asynchrony.
+	s := sas.New(sas.Options{})
+	qid, _ := s.AddQuestion(question())
+	cfg := DefaultConfig()
+	cfg.FlushDelay = 0
+	sys, _ := New(cfg, s)
+	sys.CallFunc("func", func() {
+		sys.Write(512)
+		sys.RunKernel(sys.Now()) // flush inside the call
+	})
+	res, _ := s.Result(qid, sys.Now())
+	if res.Count != 1 {
+		t.Fatalf("synchronous count = %g, want 1", res.Count)
+	}
+}
+
+func TestKernelRespectsDueTimes(t *testing.T) {
+	s := sas.New(sas.Options{})
+	sys, _ := New(DefaultConfig(), s)
+	sys.CallFunc("func", func() { sys.Write(1) })
+	sys.RunKernel(sys.Now())
+	if sys.PendingWrites() != 1 {
+		t.Fatal("flushed before due time")
+	}
+	sys.RunKernel(sys.Now().Add(DefaultConfig().FlushDelay))
+	if sys.PendingWrites() != 0 {
+		t.Fatal("not flushed at due time")
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	s := sas.New(sas.Options{})
+	sys, _ := New(DefaultConfig(), s)
+	t0 := sys.Now()
+	sys.Advance(10)
+	sys.CallFunc("f", func() { sys.Write(1) })
+	sys.RunKernel(sys.Now().Add(vtime.Second))
+	if !sys.Now().After(t0) {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Fatal("nil SAS accepted")
+	}
+}

@@ -1,0 +1,313 @@
+package paradyn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements a simplified Performance Consultant, the automated
+// module that "helps users find performance problems in their
+// applications" (Section 5). Like Paradyn's W3-based consultant it tests
+// why-axis hypotheses (where is the time going?) at the whole-program
+// focus and refines confirmed hypotheses along the where axis — per node
+// from the same run's per-node primitives, and per statement by replaying
+// the (deterministic) application with statement-constrained
+// instrumentation, the replay standing in for Paradyn's online
+// insertion.
+
+// Hypothesis is one why-axis test: the named metrics' summed value, as a
+// fraction of available node-seconds, exceeding the threshold confirms
+// the hypothesis.
+type Hypothesis struct {
+	ID          string
+	Description string
+	Metrics     []string
+	Threshold   float64
+}
+
+// DefaultHypotheses returns the classic triple: CPU bound, communication
+// bound, synchronisation (control-processor wait) bound.
+func DefaultHypotheses() []Hypothesis {
+	return []Hypothesis{
+		{
+			ID:          "CPUBound",
+			Description: "computation dominates node time",
+			Metrics:     []string{"computation_time"},
+			Threshold:   0.4,
+		},
+		{
+			ID:          "CommBound",
+			Description: "inter-node and broadcast communication dominates",
+			Metrics:     []string{"point_to_point_time", "broadcast_time"},
+			Threshold:   0.25,
+		},
+		{
+			ID:          "SyncBound",
+			Description: "nodes wait on the control processor",
+			Metrics:     []string{"idle_time"},
+			Threshold:   0.25,
+		},
+	}
+}
+
+// Finding is one consultant conclusion.
+type Finding struct {
+	Hypothesis string
+	FocusLabel string
+	Fraction   float64
+	Threshold  float64
+	Confirmed  bool
+}
+
+// String renders e.g. "CPUBound at /Machine/node3: 0.62 (threshold 0.40) CONFIRMED".
+func (f Finding) String() string {
+	verdict := "rejected"
+	if f.Confirmed {
+		verdict = "CONFIRMED"
+	}
+	return fmt.Sprintf("%-10s at %-28s %.2f (threshold %.2f) %s",
+		f.Hypothesis, f.FocusLabel, f.Fraction, f.Threshold, verdict)
+}
+
+// AppFactory builds a fresh, identical application run: a tool bound to a
+// new runtime plus the function that executes the application. The
+// simulator's determinism makes repeated factories equivalent to
+// Paradyn's single online run.
+type AppFactory func() (*Tool, func() error, error)
+
+// Consultant searches for bottlenecks.
+type Consultant struct {
+	Hypotheses []Hypothesis
+	// RefineStatements controls the per-statement replay phase.
+	RefineStatements bool
+	// RefineArrays controls the per-array replay phase (requires the
+	// application to allocate arrays through the runtime, which all CMF
+	// programs do).
+	RefineArrays bool
+}
+
+// NewConsultant returns a consultant with the default hypotheses and
+// both refinement phases on.
+func NewConsultant() *Consultant {
+	return &Consultant{Hypotheses: DefaultHypotheses(), RefineStatements: true, RefineArrays: true}
+}
+
+// Search runs the two-phase search and returns findings sorted by
+// fraction (largest first). Whole-program findings are always reported
+// (confirmed or not); refined findings are reported only where the
+// hypothesis held at the parent focus.
+func (c *Consultant) Search(factory AppFactory) ([]Finding, error) {
+	tool, run, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	// Dynamic mapping during phase 1 discovers the application's arrays
+	// for the array-refinement phase.
+	tool.EnableDynamicMapping()
+	type enabledHyp struct {
+		hyp Hypothesis
+		ems []*EnabledMetric
+	}
+	var hyps []enabledHyp
+	for _, h := range c.Hypotheses {
+		eh := enabledHyp{hyp: h}
+		for _, mid := range h.Metrics {
+			em, err := tool.EnableMetric(mid, WholeProgram())
+			if err != nil {
+				return nil, fmt.Errorf("consultant: hypothesis %s: %w", h.ID, err)
+			}
+			eh.ems = append(eh.ems, em)
+		}
+		hyps = append(hyps, eh)
+	}
+	if err := run(); err != nil {
+		return nil, err
+	}
+	now := tool.mach.GlobalNow()
+	elapsed := now.Sub(0).Seconds()
+	if elapsed == 0 {
+		return nil, fmt.Errorf("consultant: application consumed no virtual time")
+	}
+	nodes := tool.mach.Nodes()
+	nodeSeconds := elapsed * float64(nodes)
+
+	var findings []Finding
+	var confirmed []Hypothesis
+	for _, eh := range hyps {
+		var total float64
+		for _, em := range eh.ems {
+			total += em.Value(now)
+		}
+		frac := total / nodeSeconds
+		ok := frac > eh.hyp.Threshold
+		findings = append(findings, Finding{
+			Hypothesis: eh.hyp.ID, FocusLabel: "/WholeProgram",
+			Fraction: frac, Threshold: eh.hyp.Threshold, Confirmed: ok,
+		})
+		if !ok {
+			continue
+		}
+		confirmed = append(confirmed, eh.hyp)
+		// Per-node refinement from the same instances.
+		for n := 0; n < nodes; n++ {
+			var nv float64
+			for _, em := range eh.ems {
+				nv += em.Instance.NodeValue(n, now)
+			}
+			frac := nv / elapsed
+			if frac > eh.hyp.Threshold {
+				findings = append(findings, Finding{
+					Hypothesis: eh.hyp.ID,
+					FocusLabel: fmt.Sprintf("/Machine/node%d", n),
+					Fraction:   frac, Threshold: eh.hyp.Threshold, Confirmed: true,
+				})
+			}
+		}
+	}
+
+	if c.RefineStatements && len(confirmed) > 0 {
+		stmtFindings, err := c.refineStatements(factory, confirmed, nodeSeconds)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, stmtFindings...)
+	}
+	if c.RefineArrays && len(confirmed) > 0 {
+		var arrays []string
+		for name := range tool.arraysByName {
+			arrays = append(arrays, name)
+		}
+		sort.Strings(arrays)
+		arrFindings, err := c.refineArrays(factory, confirmed, arrays, nodeSeconds)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, arrFindings...)
+	}
+
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].Fraction > findings[j].Fraction })
+	return findings, nil
+}
+
+// refineArrays replays the application with array-constrained instances
+// of the confirmed hypotheses' metrics. The array names were discovered
+// through dynamic mapping information during the first run.
+func (c *Consultant) refineArrays(factory AppFactory, confirmed []Hypothesis, arrays []string, nodeSeconds float64) ([]Finding, error) {
+	if len(arrays) == 0 {
+		return nil, nil
+	}
+	tool, run, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	tool.EnableDynamicMapping()
+	tool.EnableGating()
+
+	type cell struct {
+		hyp  Hypothesis
+		name string
+		ems  []*EnabledMetric
+	}
+	var cells []cell
+	for _, h := range confirmed {
+		for _, name := range arrays {
+			res := tool.Axis.AddPath(HierArrays, name)
+			focus, err := NewFocus(res)
+			if err != nil {
+				return nil, err
+			}
+			cl := cell{hyp: h, name: name}
+			for _, mid := range h.Metrics {
+				em, err := tool.EnableMetric(mid, focus)
+				if err != nil {
+					return nil, err
+				}
+				cl.ems = append(cl.ems, em)
+			}
+			cells = append(cells, cl)
+		}
+	}
+	if err := run(); err != nil {
+		return nil, err
+	}
+	now := tool.mach.GlobalNow()
+	var findings []Finding
+	for _, cl := range cells {
+		var total float64
+		for _, em := range cl.ems {
+			total += em.Value(now)
+		}
+		frac := total / nodeSeconds
+		if frac > cl.hyp.Threshold {
+			findings = append(findings, Finding{
+				Hypothesis: cl.hyp.ID,
+				FocusLabel: "/CMFarrays/" + cl.name,
+				Fraction:   frac, Threshold: cl.hyp.Threshold, Confirmed: true,
+			})
+		}
+	}
+	return findings, nil
+}
+
+// refineStatements replays the application with statement-constrained
+// instances of the confirmed hypotheses' metrics.
+func (c *Consultant) refineStatements(factory AppFactory, confirmed []Hypothesis, nodeSeconds float64) ([]Finding, error) {
+	tool, run, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	stmts := make([]string, 0, len(tool.stmtBlocks))
+	for s := range tool.stmtBlocks {
+		stmts = append(stmts, s)
+	}
+	sort.Strings(stmts)
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	tool.EnableGating()
+
+	type cell struct {
+		hyp  Hypothesis
+		stmt string
+		ems  []*EnabledMetric
+	}
+	var cells []cell
+	for _, h := range confirmed {
+		for _, stmt := range stmts {
+			res := tool.Axis.AddPath(HierStmts, stmt)
+			focus, err := NewFocus(res)
+			if err != nil {
+				return nil, err
+			}
+			cl := cell{hyp: h, stmt: stmt}
+			for _, mid := range h.Metrics {
+				em, err := tool.EnableMetric(mid, focus)
+				if err != nil {
+					return nil, err
+				}
+				cl.ems = append(cl.ems, em)
+			}
+			cells = append(cells, cl)
+		}
+	}
+	if err := run(); err != nil {
+		return nil, err
+	}
+	now := tool.mach.GlobalNow()
+	var findings []Finding
+	for _, cl := range cells {
+		var total float64
+		for _, em := range cl.ems {
+			total += em.Value(now)
+		}
+		frac := total / nodeSeconds
+		if frac > cl.hyp.Threshold {
+			findings = append(findings, Finding{
+				Hypothesis: cl.hyp.ID,
+				FocusLabel: "/CMFstmts/" + cl.stmt,
+				Fraction:   frac, Threshold: cl.hyp.Threshold, Confirmed: true,
+			})
+		}
+	}
+	return findings, nil
+}

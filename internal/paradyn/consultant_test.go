@@ -1,0 +1,229 @@
+package paradyn
+
+import (
+	"strings"
+	"testing"
+
+	"nvmap/internal/cmf"
+	"nvmap/internal/cmrts"
+	"nvmap/internal/dyninst"
+	"nvmap/internal/machine"
+	"nvmap/internal/mdl"
+	"nvmap/internal/pifgen"
+)
+
+// factoryFor builds an AppFactory for a CMF program on a machine config.
+func factoryFor(t *testing.T, src string, nodes int, cfgMut func(*machine.Config)) AppFactory {
+	t.Helper()
+	cp, err := cmf.CompileSource(src, cmf.Options{SourceFile: "app.fcm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pifgen.FromListing(strings.NewReader(cp.Listing()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (*Tool, func() error, error) {
+		cfg := machine.DefaultConfig(nodes)
+		if cfgMut != nil {
+			cfgMut(&cfg)
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		inst := dyninst.NewManager(dyninst.DefaultCosts(), m.AdvanceNode)
+		rt, err := cmrts.New(m, inst, cmrts.DefaultCosts())
+		if err != nil {
+			return nil, nil, err
+		}
+		tool, err := New(rt, mdl.StdLibrary(), Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := tool.LoadPIF(pf); err != nil {
+			return nil, nil, err
+		}
+		return tool, cmf.NewExecutor(cp, rt, nil).Run, nil
+	}
+}
+
+const computeHeavy = `PROGRAM heavy
+REAL A(4096)
+REAL B(4096)
+REAL S
+FORALL (I = 1:4096) A(I) = I
+DO K = 1, 10
+B = A * 2.0 + A * A - A / 3.0
+A = B * 0.5 + B * B + SQRT(B)
+END DO
+S = SUM(A)
+END
+`
+
+const commHeavy = `PROGRAM chatty
+REAL A(64)
+DO K = 1, 40
+A = CSHIFT(A, 1)
+END DO
+END
+`
+
+func TestConsultantFindsCPUBound(t *testing.T) {
+	c := NewConsultant()
+	findings, err := c.Search(factoryFor(t, computeHeavy, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpu *Finding
+	for i, f := range findings {
+		if f.Hypothesis == "CPUBound" && f.FocusLabel == "/WholeProgram" {
+			cpu = &findings[i]
+		}
+	}
+	if cpu == nil {
+		t.Fatalf("no whole-program CPUBound finding in %v", findings)
+	}
+	if !cpu.Confirmed {
+		t.Fatalf("CPUBound not confirmed on compute-heavy app: %+v (all: %v)", cpu, findings)
+	}
+	// Refinement must produce per-node or per-statement findings.
+	var refined bool
+	for _, f := range findings {
+		if f.Hypothesis == "CPUBound" && f.FocusLabel != "/WholeProgram" && f.Confirmed {
+			refined = true
+		}
+	}
+	if !refined {
+		t.Fatalf("CPUBound not refined below whole program: %v", findings)
+	}
+	// Findings are sorted by fraction.
+	for i := 1; i < len(findings); i++ {
+		if findings[i-1].Fraction < findings[i].Fraction {
+			t.Fatalf("findings unsorted: %v", findings)
+		}
+	}
+}
+
+func TestConsultantFindsCommOrSyncBound(t *testing.T) {
+	// Cripple the network so communication dominates.
+	slowNet := func(cfg *machine.Config) {
+		cfg.MessageLatency *= 50
+		cfg.SendOverhead *= 50
+		cfg.TreeStep *= 50
+	}
+	c := NewConsultant()
+	c.RefineStatements = false
+	findings, err := c.Search(factoryFor(t, commHeavy, 4, slowNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirmed := map[string]bool{}
+	for _, f := range findings {
+		if f.FocusLabel == "/WholeProgram" && f.Confirmed {
+			confirmed[f.Hypothesis] = true
+		}
+		if f.FocusLabel == "/WholeProgram" && f.Hypothesis == "CPUBound" && f.Confirmed {
+			t.Fatalf("CPUBound confirmed on comm-heavy app: %v", findings)
+		}
+	}
+	if !confirmed["CommBound"] && !confirmed["SyncBound"] {
+		t.Fatalf("neither CommBound nor SyncBound confirmed: %v", findings)
+	}
+}
+
+func TestConsultantStatementRefinement(t *testing.T) {
+	c := NewConsultant()
+	findings, err := c.Search(factoryFor(t, computeHeavy, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stmtFindings []Finding
+	for _, f := range findings {
+		if strings.HasPrefix(f.FocusLabel, "/CMFstmts/") {
+			stmtFindings = append(stmtFindings, f)
+		}
+	}
+	if len(stmtFindings) == 0 {
+		t.Fatalf("no statement-level findings: %v", findings)
+	}
+	// The hot statements are the two fused arithmetic lines (7 and 8).
+	for _, f := range stmtFindings {
+		if f.FocusLabel != "/CMFstmts/line7" && f.FocusLabel != "/CMFstmts/line8" {
+			t.Errorf("unexpected hot statement %v", f)
+		}
+	}
+}
+
+func TestConsultantFindingString(t *testing.T) {
+	f := Finding{Hypothesis: "CPUBound", FocusLabel: "/Machine/node3",
+		Fraction: 0.62, Threshold: 0.4, Confirmed: true}
+	s := f.String()
+	if !strings.Contains(s, "CPUBound") || !strings.Contains(s, "CONFIRMED") ||
+		!strings.Contains(s, "0.62") {
+		t.Fatalf("Finding.String = %q", s)
+	}
+	f.Confirmed = false
+	if !strings.Contains(f.String(), "rejected") {
+		t.Fatal("rejected marker missing")
+	}
+}
+
+func TestConsultantErrorPaths(t *testing.T) {
+	c := NewConsultant()
+	// Factory error propagates.
+	if _, err := c.Search(func() (*Tool, func() error, error) {
+		return nil, nil, strings.NewReader("").UnreadRune()
+	}); err == nil {
+		t.Fatal("factory error swallowed")
+	}
+	// Unknown metric in a hypothesis.
+	bad := &Consultant{Hypotheses: []Hypothesis{{ID: "X", Metrics: []string{"ghost"}, Threshold: 0.1}}}
+	if _, err := bad.Search(factoryFor(t, computeHeavy, 2, nil)); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestConsultantArrayRefinement(t *testing.T) {
+	c := NewConsultant()
+	c.RefineStatements = false
+	findings, err := c.Search(factoryFor(t, computeHeavy, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrayFindings []Finding
+	for _, f := range findings {
+		if strings.HasPrefix(f.FocusLabel, "/CMFarrays/") {
+			arrayFindings = append(arrayFindings, f)
+		}
+	}
+	if len(arrayFindings) == 0 {
+		t.Fatalf("no array-level findings: %v", findings)
+	}
+	// Both A and B participate in the hot statements.
+	seen := map[string]bool{}
+	for _, f := range arrayFindings {
+		seen[f.FocusLabel] = true
+		if f.Hypothesis != "CPUBound" {
+			t.Errorf("unexpected hypothesis at array focus: %v", f)
+		}
+	}
+	if !seen["/CMFarrays/A"] || !seen["/CMFarrays/B"] {
+		t.Fatalf("expected A and B findings, got %v", arrayFindings)
+	}
+}
+
+func TestConsultantRefinementsOffProduceOnlyTopAndNode(t *testing.T) {
+	c := NewConsultant()
+	c.RefineStatements = false
+	c.RefineArrays = false
+	findings, err := c.Search(factoryFor(t, computeHeavy, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if strings.HasPrefix(f.FocusLabel, "/CMFstmts/") || strings.HasPrefix(f.FocusLabel, "/CMFarrays/") {
+			t.Fatalf("refinement finding with refinements off: %v", f)
+		}
+	}
+}

@@ -1,0 +1,568 @@
+package paradyn
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nvmap/internal/cmrts"
+	"nvmap/internal/daemon"
+	"nvmap/internal/dyninst"
+	"nvmap/internal/hist"
+	"nvmap/internal/machine"
+	"nvmap/internal/mapping"
+	"nvmap/internal/mdl"
+	"nvmap/internal/nv"
+	"nvmap/internal/pif"
+	"nvmap/internal/sas"
+	"nvmap/internal/vtime"
+)
+
+// IdleRoutine is the pseudo-routine the tool's machine adapter fires
+// around node idle intervals; the standard library's idle_time metric
+// instruments it.
+const IdleRoutine = "MACH_idle"
+
+// Verbs for the dynamic sentences the tool's gating instrumentation
+// maintains in the per-node SASes.
+const (
+	// VerbArrayActive marks a parallel array currently passed to an
+	// executing node code block (Section 6.1's boolean protocol).
+	VerbArrayActive nv.VerbID = "ArrayActive"
+	// VerbBlockExec marks a node code block currently executing.
+	VerbBlockExec nv.VerbID = "BlockExecutes"
+)
+
+// Hierarchy names the tool maintains.
+const (
+	HierMachine = "Machine"
+	HierCode    = "Code"
+	HierStmts   = "CMFstmts"
+	HierArrays  = "CMFarrays"
+)
+
+// Options configures a Tool.
+type Options struct {
+	// SampleEvery is the virtual-time interval between metric samples
+	// deposited into histograms. Zero selects 50µs.
+	SampleEvery vtime.Duration
+	// HistBins sets histogram resolution (0 = hist.DefaultBins).
+	HistBins int
+}
+
+// Tool is the measurement system bound to one application run.
+type Tool struct {
+	rt   *cmrts.Runtime
+	mach *machine.Machine
+	inst *dyninst.Manager
+	lib  *mdl.Library
+	opts Options
+
+	// Axis is the where-axis resource display.
+	Axis *WhereAxis
+	// Loaded holds static mapping information once LoadPIF has run.
+	Loaded *pif.Loaded
+	// SASes are the per-node Sets of Active Sentences.
+	SASes *sas.Registry
+
+	// Dynamic mapping state (Section 6.1).
+	arraysByName map[string][]cmrts.ArrayID
+	arrayNames   map[cmrts.ArrayID]string
+	gating       bool
+	dynMapping   bool
+
+	// Static mapping indexes from PIF.
+	stmtBlocks map[string][]string // statement noun -> block function names
+	blockStmts map[string][]string
+
+	enabled    []*EnabledMetric
+	lastSample vtime.Time
+	blockT     *blockTimers
+
+	// channel is the daemon conduit of Section 5: the instrumentation
+	// library emits dynamic mapping information onto it and the data
+	// manager (this Tool) drains it, interleaved with performance data.
+	channel *daemon.Channel
+}
+
+// EnabledMetric is one active metric-focus pair with its histogram
+// stream.
+type EnabledMetric struct {
+	Metric   *mdl.Metric
+	Focus    Focus
+	Instance *mdl.Instance
+	Hist     *hist.Histogram
+
+	lastValue float64
+	lastTime  vtime.Time
+	disabled  bool
+}
+
+// New builds a tool over a runtime. The machine adapter (idle
+// pseudo-points and the histogram sampler) attaches immediately.
+func New(rt *cmrts.Runtime, lib *mdl.Library, opts Options) (*Tool, error) {
+	if rt == nil || lib == nil {
+		return nil, fmt.Errorf("paradyn: runtime and metric library are required")
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 50 * vtime.Microsecond
+	}
+	t := &Tool{
+		rt:           rt,
+		mach:         rt.Machine(),
+		inst:         rt.Inst(),
+		lib:          lib,
+		opts:         opts,
+		Axis:         NewWhereAxis(),
+		SASes:        sas.NewRegistry(sas.Options{}),
+		arraysByName: make(map[string][]cmrts.ArrayID),
+		arrayNames:   make(map[cmrts.ArrayID]string),
+		stmtBlocks:   make(map[string][]string),
+		blockStmts:   make(map[string][]string),
+		channel:      daemon.NewChannel(),
+	}
+	t.buildBaseHierarchies()
+	t.mach.Observe(t.machineEvent)
+	return t, nil
+}
+
+// Runtime returns the measured runtime.
+func (t *Tool) Runtime() *cmrts.Runtime { return t.rt }
+
+// Library returns the metric library.
+func (t *Tool) Library() *mdl.Library { return t.lib }
+
+// Inst returns the instrumentation manager.
+func (t *Tool) Inst() *dyninst.Manager { return t.inst }
+
+func (t *Tool) buildBaseHierarchies() {
+	for n := 0; n < t.mach.Nodes(); n++ {
+		t.Axis.AddPath(HierMachine, fmt.Sprintf("node%d", n))
+	}
+	for _, routine := range []string{
+		cmrts.RoutineAlloc, cmrts.RoutineArgs, cmrts.RoutineBroadcast,
+		cmrts.RoutineCleanup, cmrts.RoutineCompute, cmrts.RoutineDispatch,
+		cmrts.RoutineReduceMax, cmrts.RoutineReduceMin, cmrts.RoutineReduceSum,
+		cmrts.RoutineRotate, cmrts.RoutineScan, cmrts.RoutineSend,
+		cmrts.RoutineShift, cmrts.RoutineSort, cmrts.RoutineTranspose,
+	} {
+		t.Axis.AddPath(HierCode, routine)
+	}
+}
+
+// machineEvent adapts machine events: idle intervals become pseudo-point
+// fires for the idle_time metric, and every event drives the sampler.
+func (t *Tool) machineEvent(e machine.Event) {
+	if e.Kind == machine.EvIdle && e.Node >= 0 {
+		ctx := dyninst.Context{Node: e.Node, Now: e.Start, Tag: e.Tag}
+		t.inst.Fire(dyninst.Entry(IdleRoutine), ctx)
+		ctx.Now = e.End
+		t.inst.Fire(dyninst.Exit(IdleRoutine), ctx)
+	}
+	t.drainChannel()
+	now := t.mach.GlobalNow()
+	if now.Sub(t.lastSample) >= t.opts.SampleEvery {
+		t.SampleAll(now)
+	}
+}
+
+// LoadPIF imports static mapping information (Section 5: "Paradyn
+// daemons import static mapping information via PIF files just after
+// they load each application executable"). Hierarchy-root nouns become
+// where-axis hierarchies; the mapping records build the statement/block
+// indexes used for upward presentation and statement gating.
+func (t *Tool) LoadPIF(f *pif.File) error {
+	loaded, err := pif.Load(f)
+	if err != nil {
+		return err
+	}
+	t.Loaded = loaded
+
+	for _, level := range loaded.Registry.Levels() {
+		for _, rootID := range loaded.Registry.Roots(level.ID) {
+			root, _ := loaded.Registry.Noun(rootID)
+			if len(loaded.Registry.Children(rootID)) > 0 {
+				// A structured root (CMFstmts, CMFarrays) is a hierarchy.
+				t.addNounTree(root.Name, rootID)
+				continue
+			}
+			// A bare root (e.g. a compiler-generated block function at the
+			// Base level) is a resource of its level's code hierarchy.
+			hierarchy := string(level.ID)
+			if level.Rank == 0 {
+				hierarchy = HierCode
+			}
+			t.Axis.AddPath(hierarchy, root.Name)
+		}
+	}
+	for _, def := range loaded.Table.Defs() {
+		if len(def.Source.Nouns) == 0 || len(def.Destination.Nouns) == 0 {
+			continue
+		}
+		srcNoun, _ := loaded.Registry.Noun(def.Source.Nouns[0])
+		dstNoun, _ := loaded.Registry.Noun(def.Destination.Nouns[0])
+		block, stmt := srcNoun.Name, dstNoun.Name
+		t.stmtBlocks[stmt] = append(t.stmtBlocks[stmt], block)
+		t.blockStmts[block] = append(t.blockStmts[block], stmt)
+	}
+	return nil
+}
+
+// addNounTree mirrors a registry hierarchy into the where axis.
+func (t *Tool) addNounTree(hierarchy string, rootID nv.NounID) {
+	var walk func(id nv.NounID, path []string)
+	walk = func(id nv.NounID, path []string) {
+		for _, childID := range t.Loaded.Registry.Children(id) {
+			child, _ := t.Loaded.Registry.Noun(childID)
+			childPath := append(append([]string(nil), path...), child.Name)
+			t.Axis.AddPath(hierarchy, childPath...)
+			walk(childID, childPath)
+		}
+	}
+	t.Axis.AddHierarchy(hierarchy)
+	walk(rootID, nil)
+}
+
+// EnableDynamicMapping inserts the tool's mapping instrumentation at the
+// runtime's designated mapping points, so array allocations and
+// deallocations flow to the tool while the application runs (Section 4.1
+// and 6.1, first step). Like all dynamic instrumentation it can be
+// enabled and later removed.
+func (t *Tool) EnableDynamicMapping() {
+	if t.dynMapping {
+		return
+	}
+	t.dynMapping = true
+	t.inst.Insert(dyninst.Mapping(cmrts.RoutineAlloc), dyninst.Snippet{
+		Name: "paradyn dynamic mapping: alloc",
+		Do: func(ctx dyninst.Context) {
+			if len(ctx.Args) < 2 {
+				return
+			}
+			// The instrumentation library sends the new noun over the
+			// daemon channel; the data manager applies it on drain.
+			msg := daemon.Message{
+				Kind: daemon.KindNounDef,
+				At:   ctx.Now,
+				Noun: &pif.NounRecord{
+					Name:        ctx.Args[1],
+					Abstraction: "CMF",
+					Parent:      HierArrays,
+					Description: "dynamically allocated parallel array",
+				},
+				Attrs: map[string]string{"id": ctx.Args[0]},
+			}
+			if len(ctx.Args) > 2 {
+				msg.Attrs["shape"] = ctx.Args[2]
+			}
+			t.channel.Send(msg)
+		},
+	})
+	t.inst.Insert(dyninst.Mapping(cmrts.RoutineFree), dyninst.Snippet{
+		Name: "paradyn dynamic mapping: free",
+		Do: func(ctx dyninst.Context) {
+			if len(ctx.Args) < 2 {
+				return
+			}
+			t.channel.Send(daemon.Message{
+				Kind:    daemon.KindRemoval,
+				At:      ctx.Now,
+				Removal: ctx.Args[1],
+				Attrs:   map[string]string{"id": ctx.Args[0]},
+			})
+		},
+	})
+}
+
+// Channel exposes the daemon conduit (for inspection and statistics).
+func (t *Tool) Channel() *daemon.Channel { return t.channel }
+
+// drainChannel applies queued dynamic mapping information — the Data
+// Manager "uses the dynamic mapping information in exactly the same way
+// as it uses static mapping information". Called from the event pump and
+// from accessors that need an up-to-date view.
+func (t *Tool) drainChannel() {
+	if t.channel.Pending() == 0 {
+		return
+	}
+	_, _ = t.channel.Drain(func(m daemon.Message) error {
+		switch m.Kind {
+		case daemon.KindNounDef:
+			if m.Noun != nil && m.Attrs["id"] != "" {
+				t.noteAllocation(cmrts.ArrayID(m.Attrs["id"]), m.Noun.Name)
+			}
+		case daemon.KindRemoval:
+			if m.Attrs["id"] != "" {
+				t.noteDeallocation(cmrts.ArrayID(m.Attrs["id"]), m.Removal)
+			}
+		}
+		return nil
+	})
+}
+
+func (t *Tool) noteAllocation(id cmrts.ArrayID, name string) {
+	t.arraysByName[name] = append(t.arraysByName[name], id)
+	t.arrayNames[id] = name
+	t.Axis.AddPath(HierArrays, name)
+	if a, ok := t.rt.Array(id); ok {
+		for _, sub := range a.Subregions() {
+			t.Axis.AddPath(HierArrays, name, sub.String())
+		}
+	}
+}
+
+func (t *Tool) noteDeallocation(id cmrts.ArrayID, name string) {
+	ids := t.arraysByName[name]
+	for i, x := range ids {
+		if x == id {
+			t.arraysByName[name] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	delete(t.arrayNames, id)
+	if len(t.arraysByName[name]) == 0 {
+		delete(t.arraysByName, name)
+		if r, ok := t.Axis.Find(HierArrays + "/" + name); ok {
+			for _, c := range r.Children() {
+				_ = t.Axis.Remove(c.FullName())
+			}
+			_ = t.Axis.Remove(r.FullName())
+		}
+	}
+}
+
+// EnableGating inserts the dispatcher snippet that maintains the per-node
+// SAS sentences for array and block activity: "the CMRTS node code block
+// dispatcher notifies the SAS of array activation/deactivation by
+// sending the input arguments for each node code block to the SAS"
+// (Section 6.1). Metric predicates for array and statement foci read
+// these sentences.
+func (t *Tool) EnableGating() {
+	if t.gating {
+		return
+	}
+	t.gating = true
+	t.inst.Insert(dyninst.Entry(cmrts.RoutineDispatch), dyninst.Snippet{
+		Name: "paradyn gating: block entry",
+		Do: func(ctx dyninst.Context) {
+			s := t.SASes.Node(ctx.Node)
+			s.Activate(nv.NewSentence(VerbBlockExec, nv.NounID(ctx.Tag)), ctx.Now)
+			for _, id := range ctx.Args {
+				s.Activate(nv.NewSentence(VerbArrayActive, nv.NounID(id)), ctx.Now)
+			}
+		},
+	})
+	t.inst.Insert(dyninst.Exit(cmrts.RoutineDispatch), dyninst.Snippet{
+		Name: "paradyn gating: block exit",
+		Do: func(ctx dyninst.Context) {
+			s := t.SASes.Node(ctx.Node)
+			for _, id := range ctx.Args {
+				_ = s.Deactivate(nv.NewSentence(VerbArrayActive, nv.NounID(id)), ctx.Now)
+			}
+			_ = s.Deactivate(nv.NewSentence(VerbBlockExec, nv.NounID(ctx.Tag)), ctx.Now)
+		},
+	})
+}
+
+// predicateFor compiles a focus into a dyninst predicate. nil means
+// unconstrained.
+func (t *Tool) predicateFor(focus Focus) (dyninst.Predicate, error) {
+	var preds []dyninst.Predicate
+
+	if r, ok := focus.Part(HierMachine); ok {
+		if !strings.HasPrefix(r.Name, "node") {
+			return nil, fmt.Errorf("paradyn: machine focus %q is not a node", r.FullName())
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(r.Name, "node"))
+		if err != nil {
+			return nil, fmt.Errorf("paradyn: machine focus %q: %v", r.FullName(), err)
+		}
+		preds = append(preds, func(ctx dyninst.Context) bool { return ctx.Node == n })
+	}
+
+	if r, ok := focus.Part(HierArrays); ok {
+		if !t.gating {
+			return nil, fmt.Errorf("paradyn: array focus %q needs EnableGating", r.FullName())
+		}
+		name := r.Path[1] // array name (a subregion focus constrains by its array)
+		preds = append(preds, func(ctx dyninst.Context) bool {
+			if ctx.Node < 0 {
+				return false
+			}
+			s := t.SASes.Node(ctx.Node)
+			for _, id := range t.arraysByName[name] {
+				if s.Active(nv.NewSentence(VerbArrayActive, nv.NounID(string(id)))) {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	if r, ok := focus.Part(HierStmts); ok {
+		if !t.gating {
+			return nil, fmt.Errorf("paradyn: statement focus %q needs EnableGating", r.FullName())
+		}
+		blocks := t.stmtBlocks[r.Name]
+		if len(blocks) == 0 {
+			return nil, fmt.Errorf("paradyn: no mapping for statement %q (load a PIF file)", r.Name)
+		}
+		preds = append(preds, func(ctx dyninst.Context) bool {
+			if ctx.Node < 0 {
+				return false
+			}
+			s := t.SASes.Node(ctx.Node)
+			for _, b := range blocks {
+				if s.Active(nv.NewSentence(VerbBlockExec, nv.NounID(b))) {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	if r, ok := focus.Part(HierCode); ok {
+		// A Code focus constrains by the operation tag: runtime operations
+		// carry the name of the node code block (or routine) that issued
+		// them.
+		fn := r.Name
+		preds = append(preds, func(ctx dyninst.Context) bool { return ctx.Tag == fn })
+	}
+
+	switch len(preds) {
+	case 0:
+		return nil, nil
+	case 1:
+		return preds[0], nil
+	default:
+		return func(ctx dyninst.Context) bool {
+			for _, p := range preds {
+				if !p(ctx) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	}
+}
+
+// EnableMetric instantiates a metric for a focus: the tool inserts the
+// metric's probes (guarded by the focus predicate) into the running
+// application and starts streaming samples into a folding histogram.
+func (t *Tool) EnableMetric(metricID string, focus Focus) (*EnabledMetric, error) {
+	m, ok := t.lib.Get(metricID)
+	if !ok {
+		return nil, fmt.Errorf("paradyn: unknown metric %q", metricID)
+	}
+	pred, err := t.predicateFor(focus)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := m.Instantiate(t.inst, t.mach.Nodes(), pred)
+	if err != nil {
+		return nil, err
+	}
+	// A node-constrained focus covers one node; avg-aggregated metrics
+	// divide by the focus width so collective operations count once.
+	if _, ok := focus.Part(HierMachine); ok {
+		inst.SetWidth(1)
+	}
+	h, err := hist.New(t.opts.HistBins, 20*vtime.Microsecond)
+	if err != nil {
+		return nil, err
+	}
+	em := &EnabledMetric{
+		Metric:   m,
+		Focus:    focus,
+		Instance: inst,
+		Hist:     h,
+		lastTime: t.mach.GlobalNow(),
+	}
+	t.enabled = append(t.enabled, em)
+	return em, nil
+}
+
+// Disable removes a metric-focus pair's instrumentation; its histogram
+// and final value remain readable.
+func (t *Tool) Disable(em *EnabledMetric) error {
+	if em.disabled {
+		return fmt.Errorf("paradyn: metric %s already disabled", em.Metric.ID)
+	}
+	em.disabled = true
+	return em.Instance.Remove()
+}
+
+// Enabled lists the currently enabled metric-focus pairs.
+func (t *Tool) Enabled() []*EnabledMetric { return append([]*EnabledMetric(nil), t.enabled...) }
+
+// SampleAll deposits each enabled metric's delta since its last sample
+// into its histogram. The machine adapter calls this on the sampling
+// interval; experiments may call it at barriers for exact readings.
+func (t *Tool) SampleAll(now vtime.Time) {
+	if now.Before(t.lastSample) {
+		return
+	}
+	t.lastSample = now
+	for _, em := range t.enabled {
+		if em.disabled {
+			continue
+		}
+		em.Sample(now)
+	}
+}
+
+// Sample takes one sample of this metric at instant now.
+func (em *EnabledMetric) Sample(now vtime.Time) {
+	if now.Before(em.lastTime) {
+		return
+	}
+	v := em.Instance.Value(now)
+	delta := v - em.lastValue
+	if delta != 0 {
+		_ = em.Hist.AddSpan(em.lastTime, now, delta)
+	}
+	em.lastValue = v
+	em.lastTime = now
+}
+
+// Value reads the metric's current aggregate value.
+func (em *EnabledMetric) Value(now vtime.Time) float64 { return em.Instance.Value(now) }
+
+// ArrayIDs resolves a source-level array name to its live runtime
+// arrays (dynamic mapping information).
+func (t *Tool) ArrayIDs(name string) []cmrts.ArrayID {
+	t.drainChannel()
+	return append([]cmrts.ArrayID(nil), t.arraysByName[name]...)
+}
+
+// BlocksOf returns the node code blocks implementing a statement noun.
+func (t *Tool) BlocksOf(stmt string) []string {
+	return append([]string(nil), t.stmtBlocks[stmt]...)
+}
+
+// StmtsOf returns the statement nouns a block implements.
+func (t *Tool) StmtsOf(block string) []string {
+	return append([]string(nil), t.blockStmts[block]...)
+}
+
+// Blocks lists all block function names known from static mapping info.
+func (t *Tool) Blocks() []string {
+	out := make([]string, 0, len(t.blockStmts))
+	for b := range t.blockStmts {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PresentUp maps Base-level measurements to the higher level through the
+// static mapping table (Section 3): each measurement's costs are
+// assigned to destination sentences under the chosen policy. Unmapped
+// measurements are returned separately, never dropped.
+func (t *Tool) PresentUp(measured []mapping.Measurement, policy mapping.Policy) ([]mapping.Assigned, []mapping.Measurement, error) {
+	if t.Loaded == nil {
+		return nil, nil, fmt.Errorf("paradyn: no static mapping information loaded")
+	}
+	return mapping.Assign(t.Loaded.Table, measured, policy, mapping.AggSum)
+}

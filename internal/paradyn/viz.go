@@ -1,0 +1,106 @@
+package paradyn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvmap/internal/vtime"
+)
+
+// Paradyn "includes performance display modules that allow users to view
+// performance metric streams graphically" (Section 5). This file holds
+// their textual analogues: a metric table, a bar chart, and a time plot
+// over a metric's folding histogram. The displays "simply treat a data
+// object as a resource like any other" — rows take arbitrary focus
+// labels.
+
+// Row is one metric-focus reading for the table and bar chart displays.
+type Row struct {
+	Metric string
+	Focus  string
+	Value  float64
+	Units  string
+}
+
+// Table renders rows as an aligned three-column table.
+func Table(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	wMetric, wFocus := len("metric"), len("focus")
+	for _, r := range rows {
+		if len(r.Metric) > wMetric {
+			wMetric = len(r.Metric)
+		}
+		if len(r.Focus) > wFocus {
+			wFocus = len(r.Focus)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s  %-*s  %s\n", wMetric, "metric", wFocus, "focus", "value")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s  %-*s  %s\n", wMetric, r.Metric, wFocus, r.Focus, formatValue(r.Value, r.Units))
+	}
+	return b.String()
+}
+
+func formatValue(v float64, units string) string {
+	switch units {
+	case "seconds":
+		return fmt.Sprintf("%.6f s", v)
+	case "operations", "ops":
+		return fmt.Sprintf("%.0f ops", v)
+	case "%":
+		return fmt.Sprintf("%.2f %%", v)
+	case "":
+		return fmt.Sprintf("%g", v)
+	default:
+		return fmt.Sprintf("%g %s", v, units)
+	}
+}
+
+// BarChart renders rows as horizontal bars scaled to the largest value.
+func BarChart(title string, rows []Row, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	wFocus := 0
+	for _, r := range rows {
+		if r.Value > max {
+			max = r.Value
+		}
+		if len(r.Focus) > wFocus {
+			wFocus = len(r.Focus)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, r := range rows {
+		n := 0
+		if max > 0 {
+			n = int(r.Value / max * float64(width))
+		}
+		fmt.Fprintf(&b, "  %-*s |%-*s| %s\n", wFocus, r.Focus, width, strings.Repeat("#", n),
+			formatValue(r.Value, r.Units))
+	}
+	return b.String()
+}
+
+// TimePlot renders an enabled metric's histogram as a labelled sparkline.
+func TimePlot(em *EnabledMetric, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	line := em.Hist.Sparkline(width)
+	if line == "" {
+		line = strings.Repeat("_", width)
+	}
+	span := em.Hist.BinWidth().Scale(em.Hist.NumBins())
+	return fmt.Sprintf("%s @ %s\n  0s |%s| %v (bin %v, total %g)\n",
+		em.Metric.Name, em.Focus, line, vtime.Duration(span), em.Hist.BinWidth(), em.Hist.Total())
+}
+
+// SortRows orders rows by value descending (stable on label).
+func SortRows(rows []Row) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Value > rows[j].Value })
+}

@@ -1,0 +1,210 @@
+// Package paradyn implements the performance tool of the paper's case
+// study (Section 5): a Paradyn-like measurement system that imports
+// static mapping information from PIF files, receives dynamic mapping
+// information over the instrumentation channel, organises resources into
+// the where-axis hierarchies of Figure 8, instantiates MDL-defined
+// metrics with dynamic instrumentation, stores metric streams in folding
+// time histograms, presents low-level costs against high-level structure
+// through the mapping table, and includes a simplified Performance
+// Consultant that searches for bottlenecks.
+package paradyn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Resource is one node of a where-axis hierarchy (Figure 8: e.g. the
+// module bow.fcm, the function CORNER within it, the array TOT within
+// CORNER, and TOT's per-node subregions).
+type Resource struct {
+	Name     string
+	Path     []string // hierarchy name first, e.g. ["CMFarrays", "bow.fcm", "CORNER", "TOT"]
+	children map[string]*Resource
+	order    []string
+}
+
+// FullName renders "CMFarrays/bow.fcm/CORNER/TOT".
+func (r *Resource) FullName() string { return strings.Join(r.Path, "/") }
+
+// Children returns the resource's children in insertion order.
+func (r *Resource) Children() []*Resource {
+	out := make([]*Resource, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.children[name])
+	}
+	return out
+}
+
+// Child returns a named child.
+func (r *Resource) Child(name string) (*Resource, bool) {
+	c, ok := r.children[name]
+	return c, ok
+}
+
+// IsLeaf reports whether the resource has no children.
+func (r *Resource) IsLeaf() bool { return len(r.children) == 0 }
+
+// WhereAxis is the tool's resource display: a forest of hierarchies.
+// Users select foci by picking one resource from each hierarchy they wish
+// to constrain (an unselected hierarchy means "all").
+type WhereAxis struct {
+	roots map[string]*Resource
+	order []string
+}
+
+// NewWhereAxis returns an empty axis.
+func NewWhereAxis() *WhereAxis {
+	return &WhereAxis{roots: make(map[string]*Resource)}
+}
+
+// AddHierarchy creates (or returns) a top-level hierarchy such as
+// "CMFstmts", "CMFarrays", "Machine", or "Code".
+func (w *WhereAxis) AddHierarchy(name string) *Resource {
+	if r, ok := w.roots[name]; ok {
+		return r
+	}
+	r := &Resource{Name: name, Path: []string{name}, children: make(map[string]*Resource)}
+	w.roots[name] = r
+	w.order = append(w.order, name)
+	return r
+}
+
+// Hierarchy returns a hierarchy root.
+func (w *WhereAxis) Hierarchy(name string) (*Resource, bool) {
+	r, ok := w.roots[name]
+	return r, ok
+}
+
+// Hierarchies lists hierarchy names in creation order.
+func (w *WhereAxis) Hierarchies() []string { return append([]string(nil), w.order...) }
+
+// AddPath inserts (idempotently) a resource path under a hierarchy and
+// returns the leaf resource. Intermediate resources are created as
+// needed.
+func (w *WhereAxis) AddPath(hierarchy string, path ...string) *Resource {
+	cur := w.AddHierarchy(hierarchy)
+	for _, name := range path {
+		next, ok := cur.children[name]
+		if !ok {
+			next = &Resource{
+				Name:     name,
+				Path:     append(append([]string(nil), cur.Path...), name),
+				children: make(map[string]*Resource),
+			}
+			cur.children[name] = next
+			cur.order = append(cur.order, name)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Find resolves a slash-separated resource path ("CMFarrays/bow.fcm/TOT").
+func (w *WhereAxis) Find(full string) (*Resource, bool) {
+	parts := strings.Split(full, "/")
+	if len(parts) == 0 {
+		return nil, false
+	}
+	cur, ok := w.roots[parts[0]]
+	if !ok {
+		return nil, false
+	}
+	for _, p := range parts[1:] {
+		cur, ok = cur.children[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// Remove deletes a leaf resource (e.g. a deallocated array). Removing a
+// resource with children or a hierarchy root is an error.
+func (w *WhereAxis) Remove(full string) error {
+	r, ok := w.Find(full)
+	if !ok {
+		return fmt.Errorf("paradyn: no resource %q", full)
+	}
+	if len(r.Path) < 2 {
+		return fmt.Errorf("paradyn: cannot remove hierarchy root %q", full)
+	}
+	if !r.IsLeaf() {
+		return fmt.Errorf("paradyn: resource %q has children", full)
+	}
+	parentPath := strings.Join(r.Path[:len(r.Path)-1], "/")
+	parent, ok := w.Find(parentPath)
+	if !ok {
+		return fmt.Errorf("paradyn: internal: parent of %q missing", full)
+	}
+	delete(parent.children, r.Name)
+	for i, n := range parent.order {
+		if n == r.Name {
+			parent.order = append(parent.order[:i], parent.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Render draws the axis as an ASCII tree, the textual analogue of the
+// Figure 8 where-axis display.
+func (w *WhereAxis) Render() string {
+	var b strings.Builder
+	b.WriteString("WhereAxis\n")
+	for _, name := range w.order {
+		renderResource(&b, w.roots[name], "  ")
+	}
+	return b.String()
+}
+
+func renderResource(b *strings.Builder, r *Resource, indent string) {
+	fmt.Fprintf(b, "%s%s\n", indent, r.Name)
+	for _, c := range r.Children() {
+		renderResource(b, c, indent+"  ")
+	}
+}
+
+// Focus is a selection of resources, at most one per hierarchy. The empty
+// focus means "whole program".
+type Focus struct {
+	parts map[string]*Resource
+}
+
+// NewFocus builds a focus from resources; two resources from the same
+// hierarchy are an error.
+func NewFocus(resources ...*Resource) (Focus, error) {
+	f := Focus{parts: make(map[string]*Resource)}
+	for _, r := range resources {
+		h := r.Path[0]
+		if _, dup := f.parts[h]; dup {
+			return Focus{}, fmt.Errorf("paradyn: focus selects two resources from hierarchy %q", h)
+		}
+		f.parts[h] = r
+	}
+	return f, nil
+}
+
+// WholeProgram is the unconstrained focus.
+func WholeProgram() Focus { return Focus{parts: map[string]*Resource{}} }
+
+// Part returns the focus's selection within a hierarchy.
+func (f Focus) Part(hierarchy string) (*Resource, bool) {
+	r, ok := f.parts[hierarchy]
+	return r, ok
+}
+
+// String renders like Paradyn's focus notation:
+// "/CMFarrays/bow.fcm/TOT,/Machine/node2".
+func (f Focus) String() string {
+	if len(f.parts) == 0 {
+		return "/WholeProgram"
+	}
+	var parts []string
+	for _, r := range f.parts {
+		parts = append(parts, "/"+r.FullName())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,202 @@
+package paradyn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddPathAndFind(t *testing.T) {
+	w := NewWhereAxis()
+	leaf := w.AddPath("CMFarrays", "bow.fcm", "CORNER", "TOT")
+	if leaf.FullName() != "CMFarrays/bow.fcm/CORNER/TOT" {
+		t.Fatalf("FullName = %q", leaf.FullName())
+	}
+	got, ok := w.Find("CMFarrays/bow.fcm/CORNER/TOT")
+	if !ok || got != leaf {
+		t.Fatal("Find did not return the added leaf")
+	}
+	if _, ok := w.Find("CMFarrays/bow.fcm/ghost"); ok {
+		t.Fatal("Find hit a ghost")
+	}
+	if _, ok := w.Find("NoHierarchy/x"); ok {
+		t.Fatal("Find hit a ghost hierarchy")
+	}
+	// Idempotent adds share structure.
+	again := w.AddPath("CMFarrays", "bow.fcm", "CORNER", "TOT")
+	if again != leaf {
+		t.Fatal("AddPath duplicated a resource")
+	}
+}
+
+func TestHierarchyOrderAndChildren(t *testing.T) {
+	w := NewWhereAxis()
+	w.AddPath("B", "x")
+	w.AddPath("A", "y")
+	if h := w.Hierarchies(); len(h) != 2 || h[0] != "B" || h[1] != "A" {
+		t.Fatalf("Hierarchies = %v", h)
+	}
+	root, ok := w.Hierarchy("B")
+	if !ok || len(root.Children()) != 1 {
+		t.Fatal("Hierarchy lookup failed")
+	}
+	if _, ok := root.Child("x"); !ok {
+		t.Fatal("Child lookup failed")
+	}
+	if !w.AddPath("B", "x").IsLeaf() {
+		t.Fatal("leaf not a leaf")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	w := NewWhereAxis()
+	w.AddPath("H", "a", "b")
+	if err := w.Remove("H/a"); err == nil {
+		t.Fatal("removed interior resource")
+	}
+	if err := w.Remove("H"); err == nil {
+		t.Fatal("removed hierarchy root")
+	}
+	if err := w.Remove("H/ghost"); err == nil {
+		t.Fatal("removed ghost")
+	}
+	if err := w.Remove("H/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Find("H/a/b"); ok {
+		t.Fatal("leaf survives removal")
+	}
+	if err := w.Remove("H/a"); err != nil {
+		t.Fatalf("removing emptied parent: %v", err)
+	}
+}
+
+// The bow.fcm example of Figure 8: module with six functions, CORNER with
+// five arrays, TOT expanded into subregions.
+func TestRenderFigure8Shape(t *testing.T) {
+	w := NewWhereAxis()
+	for _, fn := range []string{"BOW", "CORNER", "EDGE", "FACE", "INIT", "MAIN"} {
+		w.AddPath("CMFarrays", "bow.fcm", fn)
+	}
+	for _, arr := range []string{"TOT", "U", "V", "W", "Z"} {
+		w.AddPath("CMFarrays", "bow.fcm", "CORNER", arr)
+	}
+	for _, sub := range []string{"node0:[0,256)", "node1:[256,512)"} {
+		w.AddPath("CMFarrays", "bow.fcm", "CORNER", "TOT", sub)
+	}
+	out := w.Render()
+	for _, want := range []string{"CMFarrays", "bow.fcm", "CORNER", "TOT", "node1:[256,512)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation deepens along the path.
+	lines := strings.Split(out, "\n")
+	indent := func(name string) int {
+		for _, l := range lines {
+			if strings.TrimSpace(l) == name {
+				return len(l) - len(strings.TrimLeft(l, " "))
+			}
+		}
+		return -1
+	}
+	if !(indent("bow.fcm") < indent("CORNER") && indent("CORNER") < indent("TOT")) {
+		t.Fatalf("indentation not nested:\n%s", out)
+	}
+}
+
+func TestFocus(t *testing.T) {
+	w := NewWhereAxis()
+	arr := w.AddPath("CMFarrays", "TOT")
+	node := w.AddPath("Machine", "node2")
+	f, err := NewFocus(arr, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := f.Part("CMFarrays"); !ok || r != arr {
+		t.Fatal("Part(CMFarrays) wrong")
+	}
+	if _, ok := f.Part("Code"); ok {
+		t.Fatal("Part hit unselected hierarchy")
+	}
+	if got := f.String(); got != "/CMFarrays/TOT,/Machine/node2" {
+		t.Fatalf("Focus.String = %q", got)
+	}
+	if WholeProgram().String() != "/WholeProgram" {
+		t.Fatal("WholeProgram string wrong")
+	}
+	other := w.AddPath("CMFarrays", "U")
+	if _, err := NewFocus(arr, other); err == nil {
+		t.Fatal("two selections in one hierarchy accepted")
+	}
+}
+
+// Property: AddPath then Find round-trips for arbitrary short paths.
+func TestAddFindProperty(t *testing.T) {
+	clean := func(s string) string {
+		s = strings.ReplaceAll(s, "/", "_")
+		if s == "" {
+			return "x"
+		}
+		return s
+	}
+	f := func(a, b, c string) bool {
+		w := NewWhereAxis()
+		path := []string{clean(a), clean(b), clean(c)}
+		leaf := w.AddPath("H", path...)
+		got, ok := w.Find("H/" + strings.Join(path, "/"))
+		return ok && got == leaf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVizTable(t *testing.T) {
+	rows := []Row{
+		{Metric: "Summations", Focus: "/CMFarrays/A", Value: 3, Units: "operations"},
+		{Metric: "Summation Time", Focus: "/WholeProgram", Value: 0.25, Units: "seconds"},
+	}
+	out := Table("metrics", rows)
+	for _, want := range []string{"metrics", "Summations", "3 ops", "0.250000 s", "/CMFarrays/A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVizBarChart(t *testing.T) {
+	rows := []Row{
+		{Focus: "node0", Value: 10, Units: "ops"},
+		{Focus: "node1", Value: 5, Units: "ops"},
+		{Focus: "node2", Value: 0, Units: "ops"},
+	}
+	out := BarChart("sends per node", rows, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	full := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	zero := strings.Count(lines[3], "#")
+	if full != 20 || half != 10 || zero != 0 {
+		t.Fatalf("bars = %d/%d/%d, want 20/10/0:\n%s", full, half, zero, out)
+	}
+}
+
+func TestVizSortRows(t *testing.T) {
+	rows := []Row{{Focus: "a", Value: 1}, {Focus: "b", Value: 9}, {Focus: "c", Value: 5}}
+	SortRows(rows)
+	if rows[0].Focus != "b" || rows[2].Focus != "a" {
+		t.Fatalf("SortRows = %v", rows)
+	}
+}
+
+func TestVizFormatValueDefaultUnits(t *testing.T) {
+	if got := formatValue(2.5, ""); got != "2.5" {
+		t.Errorf("formatValue = %q", got)
+	}
+	if got := formatValue(2.5, "widgets"); got != "2.5 widgets" {
+		t.Errorf("formatValue = %q", got)
+	}
+}

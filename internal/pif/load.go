@@ -1,0 +1,200 @@
+package pif
+
+import (
+	"fmt"
+
+	"nvmap/internal/mapping"
+	"nvmap/internal/nv"
+)
+
+// Loaded is the result of resolving a PIF file against the NV model: a
+// populated vocabulary registry and mapping table, plus name-resolution
+// indexes so later requests (e.g. dynamic mapping traffic or user focus
+// selections) can refer to nouns and verbs by PIF name.
+//
+// PIF names are unique only within a level of abstraction, while registry
+// IDs are global. The loader mints the plain name as the ID when it is
+// globally unused and falls back to "level:name" otherwise.
+type Loaded struct {
+	Registry *nv.Registry
+	Table    *mapping.Table
+
+	nounIDs map[levelName]nv.NounID
+	verbIDs map[levelName]nv.VerbID
+}
+
+type levelName struct {
+	level nv.LevelID
+	name  string
+}
+
+// Load resolves f into a fresh registry and mapping table. It may also be
+// used incrementally: LoadInto applies a file on top of existing state,
+// which is how dynamic mapping information reuses the static machinery
+// (Section 4: dynamic information "includes the same types of information
+// as static mapping information").
+func Load(f *File) (*Loaded, error) {
+	l := &Loaded{
+		Registry: nv.NewRegistry(),
+		Table:    mapping.NewTable(),
+		nounIDs:  make(map[levelName]nv.NounID),
+		verbIDs:  make(map[levelName]nv.VerbID),
+	}
+	if err := l.Apply(f); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Apply resolves an additional file into the loaded state.
+func (l *Loaded) Apply(f *File) error {
+	for _, rec := range f.Levels {
+		err := l.Registry.AddLevel(nv.Level{
+			ID: nv.LevelID(rec.Name), Name: rec.Name,
+			Rank: rec.Rank, Description: rec.Description,
+		})
+		if err != nil {
+			return fmt.Errorf("pif: %w", err)
+		}
+	}
+	for _, rec := range f.Nouns {
+		if err := l.addNoun(rec); err != nil {
+			return err
+		}
+	}
+	for _, rec := range f.Verbs {
+		if err := l.addVerb(rec); err != nil {
+			return err
+		}
+	}
+	for _, rec := range f.Mappings {
+		src, err := l.resolveRef(rec.Source)
+		if err != nil {
+			return fmt.Errorf("pif: mapping source %v: %w", rec.Source, err)
+		}
+		dst, err := l.resolveRef(rec.Destination)
+		if err != nil {
+			return fmt.Errorf("pif: mapping destination %v: %w", rec.Destination, err)
+		}
+		if err := l.Table.Add(mapping.Def{Source: src, Destination: dst}); err != nil {
+			return fmt.Errorf("pif: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *Loaded) addNoun(rec NounRecord) error {
+	level := nv.LevelID(rec.Abstraction)
+	key := levelName{level, rec.Name}
+	if _, dup := l.nounIDs[key]; dup {
+		return fmt.Errorf("pif: duplicate noun %q at level %q", rec.Name, rec.Abstraction)
+	}
+	var parent nv.NounID
+	if rec.Parent != "" {
+		p, ok := l.nounIDs[levelName{level, rec.Parent}]
+		if !ok {
+			return fmt.Errorf("pif: noun %q names undeclared parent %q (parents must precede children)", rec.Name, rec.Parent)
+		}
+		parent = p
+	}
+	id := l.mintNounID(level, rec.Name)
+	err := l.Registry.AddNoun(nv.Noun{
+		ID: id, Name: rec.Name, Level: level,
+		Description: rec.Description, Parent: parent,
+	})
+	if err != nil {
+		return fmt.Errorf("pif: %w", err)
+	}
+	l.nounIDs[key] = id
+	return nil
+}
+
+func (l *Loaded) addVerb(rec VerbRecord) error {
+	level := nv.LevelID(rec.Abstraction)
+	key := levelName{level, rec.Name}
+	if _, dup := l.verbIDs[key]; dup {
+		return fmt.Errorf("pif: duplicate verb %q at level %q", rec.Name, rec.Abstraction)
+	}
+	id := l.mintVerbID(level, rec.Name)
+	err := l.Registry.AddVerb(nv.Verb{
+		ID: id, Name: rec.Name, Level: level,
+		Description: rec.Description, Units: rec.Units,
+	})
+	if err != nil {
+		return fmt.Errorf("pif: %w", err)
+	}
+	l.verbIDs[key] = id
+	return nil
+}
+
+// mintNounID prefers the bare name; on a cross-level collision it
+// qualifies with the level.
+func (l *Loaded) mintNounID(level nv.LevelID, name string) nv.NounID {
+	if _, taken := l.Registry.Noun(nv.NounID(name)); !taken {
+		return nv.NounID(name)
+	}
+	return nv.NounID(string(level) + ":" + name)
+}
+
+func (l *Loaded) mintVerbID(level nv.LevelID, name string) nv.VerbID {
+	if _, taken := l.Registry.Verb(nv.VerbID(name)); !taken {
+		return nv.VerbID(name)
+	}
+	return nv.VerbID(string(level) + ":" + name)
+}
+
+// NounID resolves a PIF (level, name) pair to its registry ID.
+func (l *Loaded) NounID(level nv.LevelID, name string) (nv.NounID, bool) {
+	id, ok := l.nounIDs[levelName{level, name}]
+	return id, ok
+}
+
+// VerbID resolves a PIF (level, name) pair to its registry ID.
+func (l *Loaded) VerbID(level nv.LevelID, name string) (nv.VerbID, bool) {
+	id, ok := l.verbIDs[levelName{level, name}]
+	return id, ok
+}
+
+// resolveRef turns a sentence reference into a canonical sentence. The
+// reference carries no explicit level; the verb name determines it. A verb
+// name used at several levels is ambiguous unless exactly one candidate
+// level also declares every participating noun.
+func (l *Loaded) resolveRef(ref SentenceRef) (nv.Sentence, error) {
+	var candidates []nv.LevelID
+	for _, lvl := range l.Registry.Levels() {
+		if _, ok := l.verbIDs[levelName{lvl.ID, ref.Verb}]; !ok {
+			continue
+		}
+		ok := true
+		for _, noun := range ref.Nouns {
+			if _, found := l.nounIDs[levelName{lvl.ID, noun}]; !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			candidates = append(candidates, lvl.ID)
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		return nv.Sentence{}, fmt.Errorf("no level declares verb %q with nouns %v", ref.Verb, ref.Nouns)
+	case 1:
+		// resolved below
+	default:
+		return nv.Sentence{}, fmt.Errorf("sentence is ambiguous across levels %v", candidates)
+	}
+	lvl := candidates[0]
+	verbID := l.verbIDs[levelName{lvl, ref.Verb}]
+	nounIDs := make([]nv.NounID, len(ref.Nouns))
+	for i, n := range ref.Nouns {
+		nounIDs[i] = l.nounIDs[levelName{lvl, n}]
+	}
+	return nv.NewSentence(verbID, nounIDs...), nil
+}
+
+// ResolveSentence is the exported form of resolveRef for tool front-ends
+// that accept sentences in PIF notation.
+func (l *Loaded) ResolveSentence(ref SentenceRef) (nv.Sentence, error) {
+	return l.resolveRef(ref)
+}

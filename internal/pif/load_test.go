@@ -1,0 +1,316 @@
+package pif
+
+import (
+	"strings"
+	"testing"
+
+	"nvmap/internal/mapping"
+	"nvmap/internal/nv"
+)
+
+func loadString(t *testing.T, src string) *Loaded {
+	t.Helper()
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLoadFigure2(t *testing.T) {
+	l := loadString(t, figure2)
+
+	if got := l.Registry.NounCount(); got != 3 {
+		t.Fatalf("NounCount = %d", got)
+	}
+	if got := l.Registry.VerbCount(); got != 2 {
+		t.Fatalf("VerbCount = %d", got)
+	}
+	if l.Table.Len() != 2 {
+		t.Fatalf("Table.Len = %d", l.Table.Len())
+	}
+
+	// The compiler-generated function's measurements map one-to-many to
+	// the two source lines.
+	fnNoun, ok := l.NounID("Base", "cmpe_corr_6_()")
+	if !ok {
+		t.Fatal("cmpe_corr_6_() not resolvable")
+	}
+	cpuVerb, ok := l.VerbID("Base", "CPU Utilization")
+	if !ok {
+		t.Fatal("CPU Utilization not resolvable")
+	}
+	src := nv.NewSentence(cpuVerb, fnNoun)
+	if k := l.Table.KindOf(src); k != mapping.OneToMany {
+		t.Fatalf("KindOf(source) = %v, want One-to-Many", k)
+	}
+	dests := l.Table.Destinations(src)
+	if len(dests) != 2 {
+		t.Fatalf("Destinations = %v", dests)
+	}
+}
+
+func TestLoadHierarchy(t *testing.T) {
+	l := loadString(t, `
+LEVEL
+name = CMF
+rank = 1
+
+NOUN
+name = bow.fcm
+abstraction = CMF
+
+NOUN
+name = CORNER
+abstraction = CMF
+parent = bow.fcm
+
+NOUN
+name = TOT
+abstraction = CMF
+parent = CORNER
+`)
+	root, _ := l.NounID("CMF", "bow.fcm")
+	if desc := l.Registry.Descendants(root); len(desc) != 3 {
+		t.Fatalf("Descendants = %v", desc)
+	}
+}
+
+func TestLoadParentMustPrecedeChild(t *testing.T) {
+	f, err := Parse(strings.NewReader(`
+LEVEL
+name = CMF
+rank = 1
+
+NOUN
+name = child
+abstraction = CMF
+parent = late
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(f); err == nil {
+		t.Fatal("forward parent reference accepted")
+	}
+}
+
+func TestLoadCrossLevelNameCollision(t *testing.T) {
+	// The same noun name at two levels must get distinct IDs.
+	l := loadString(t, `
+LEVEL
+name = A
+rank = 1
+
+LEVEL
+name = B
+rank = 2
+
+NOUN
+name = x
+abstraction = A
+
+NOUN
+name = x
+abstraction = B
+`)
+	idA, okA := l.NounID("A", "x")
+	idB, okB := l.NounID("B", "x")
+	if !okA || !okB {
+		t.Fatal("collided nouns not resolvable")
+	}
+	if idA == idB {
+		t.Fatalf("IDs collide: %q", idA)
+	}
+	if idA != "x" {
+		t.Fatalf("first declaration should keep bare name, got %q", idA)
+	}
+	if idB != "B:x" {
+		t.Fatalf("second declaration should be level-qualified, got %q", idB)
+	}
+}
+
+func TestLoadDuplicateWithinLevelRejected(t *testing.T) {
+	f, _ := Parse(strings.NewReader(`
+LEVEL
+name = A
+rank = 1
+
+NOUN
+name = x
+abstraction = A
+
+NOUN
+name = x
+abstraction = A
+`))
+	if _, err := Load(f); err == nil {
+		t.Fatal("duplicate noun within level accepted")
+	}
+	f2, _ := Parse(strings.NewReader(`
+LEVEL
+name = A
+rank = 1
+
+VERB
+name = v
+abstraction = A
+
+VERB
+name = v
+abstraction = A
+`))
+	if _, err := Load(f2); err == nil {
+		t.Fatal("duplicate verb within level accepted")
+	}
+}
+
+func TestLoadUnknownLevelRejected(t *testing.T) {
+	f, _ := Parse(strings.NewReader("NOUN\nname = x\nabstraction = Nowhere\n"))
+	if _, err := Load(f); err == nil {
+		t.Fatal("noun at undeclared level accepted")
+	}
+}
+
+func TestLoadMappingResolution(t *testing.T) {
+	// A verb name shared across levels resolves by participating nouns.
+	l := loadString(t, `
+LEVEL
+name = A
+rank = 1
+
+LEVEL
+name = B
+rank = 2
+
+NOUN
+name = onlyA
+abstraction = A
+
+NOUN
+name = onlyB
+abstraction = B
+
+VERB
+name = Act
+abstraction = A
+
+VERB
+name = Act
+abstraction = B
+
+MAPPING
+source = {onlyA, Act}
+destination = {onlyB, Act}
+`)
+	if l.Table.Len() != 1 {
+		t.Fatalf("Table.Len = %d", l.Table.Len())
+	}
+	def := l.Table.Defs()[0]
+	if def.Source.Verb != "Act" || def.Destination.Verb != "B:Act" {
+		t.Fatalf("resolved def = %v", def)
+	}
+}
+
+func TestLoadAmbiguousSentenceRejected(t *testing.T) {
+	f, _ := Parse(strings.NewReader(`
+LEVEL
+name = A
+rank = 1
+
+LEVEL
+name = B
+rank = 2
+
+VERB
+name = Act
+abstraction = A
+
+VERB
+name = Act
+abstraction = B
+
+VERB
+name = Other
+abstraction = A
+
+MAPPING
+source = {Act}
+destination = {Other}
+`))
+	if _, err := Load(f); err == nil {
+		t.Fatal("ambiguous noun-less sentence accepted")
+	}
+}
+
+func TestLoadUnresolvableSentenceRejected(t *testing.T) {
+	f, _ := Parse(strings.NewReader(`
+LEVEL
+name = A
+rank = 1
+
+VERB
+name = Act
+abstraction = A
+
+MAPPING
+source = {ghost, Act}
+destination = {Act}
+`))
+	if _, err := Load(f); err == nil {
+		t.Fatal("sentence with undeclared noun accepted")
+	}
+}
+
+func TestResolveSentenceExported(t *testing.T) {
+	l := loadString(t, figure2)
+	s, err := l.ResolveSentence(SentenceRef{Nouns: []string{"line1160"}, Verb: "Executes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "{line1160 Executes}" {
+		t.Fatalf("resolved = %v", s)
+	}
+	if _, err := l.ResolveSentence(SentenceRef{Verb: "Nope"}); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+}
+
+func TestApplyIncremental(t *testing.T) {
+	l := loadString(t, figure2)
+	// Dynamic phase: a new array noun arrives at run time.
+	f, err := Parse(strings.NewReader(`
+NOUN
+name = A
+abstraction = CM Fortran
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Apply(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.NounID("CM Fortran", "A"); !ok {
+		t.Fatal("incrementally applied noun not resolvable")
+	}
+	if l.Registry.NounCount() != 4 {
+		t.Fatalf("NounCount = %d", l.Registry.NounCount())
+	}
+}
+
+func BenchmarkLoadFigure2(b *testing.B) {
+	f, err := Parse(strings.NewReader(figure2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

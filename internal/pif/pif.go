@@ -1,0 +1,331 @@
+// Package pif implements the Paradyn Information Format described in
+// Sections 3 and 5 of the paper: the static mapping information file that
+// compilers, programming environments and other external sources emit so a
+// performance tool can learn an application's high-level nouns, verbs,
+// levels of abstraction and the mappings between them.
+//
+// The file format follows Figure 2 of the paper: a sequence of records,
+// each introduced by a record-type keyword (LEVEL, NOUN, VERB, MAPPING) on
+// its own line, followed by "key = value" fields, separated from the next
+// record by one or more blank lines. Lines beginning with '#' are
+// comments. Sentence fields use the paper's brace notation with the verb
+// last: "{cmpe_corr_6_(), CPU Utilization}" denotes the sentence whose
+// noun is cmpe_corr_6_() and whose verb is CPU Utilization.
+//
+// LEVEL records are an extension over the figure (which leaves level
+// definition implicit in the "abstraction" fields); they let a PIF file
+// declare the rank ordering of its levels of abstraction.
+package pif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RecordKind enumerates the record types of Figure 3 (plus LEVEL).
+type RecordKind string
+
+// The record keywords accepted in a PIF file.
+const (
+	KindLevel   RecordKind = "LEVEL"
+	KindNoun    RecordKind = "NOUN"
+	KindVerb    RecordKind = "VERB"
+	KindMapping RecordKind = "MAPPING"
+)
+
+// LevelRecord declares a level of abstraction and its rank (larger is
+// more abstract).
+type LevelRecord struct {
+	Name        string
+	Rank        int
+	Description string
+}
+
+// NounRecord declares a noun: its name, level of abstraction, optional
+// parent in the level's resource hierarchy, and descriptive information.
+type NounRecord struct {
+	Name        string
+	Abstraction string
+	Description string
+	Parent      string
+}
+
+// VerbRecord declares a verb with its level and measurement units.
+type VerbRecord struct {
+	Name        string
+	Abstraction string
+	Description string
+	Units       string
+}
+
+// SentenceRef names a sentence inside a MAPPING record: participating
+// noun names plus a verb name. Resolution against the declared nouns and
+// verbs happens at load time (package load in this directory's load.go).
+type SentenceRef struct {
+	Nouns []string
+	Verb  string
+}
+
+// String renders the reference in the paper's brace notation.
+func (s SentenceRef) String() string {
+	parts := append(append([]string{}, s.Nouns...), s.Verb)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// MappingRecord declares that performance data collected for the source
+// sentence can be presented in relation to the destination sentence.
+type MappingRecord struct {
+	Source      SentenceRef
+	Destination SentenceRef
+}
+
+// File is a parsed PIF file.
+type File struct {
+	Levels   []LevelRecord
+	Nouns    []NounRecord
+	Verbs    []VerbRecord
+	Mappings []MappingRecord
+}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("pif: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a PIF file.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var (
+		lineNo  int
+		kind    RecordKind
+		fields  map[string]string
+		started int // line the current record started on
+	)
+	flush := func() error {
+		if kind == "" {
+			return nil
+		}
+		if err := f.addRecord(kind, fields, started); err != nil {
+			return err
+		}
+		kind = ""
+		fields = nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "#"):
+			// comment
+		case kind == "":
+			k := RecordKind(line)
+			switch k {
+			case KindLevel, KindNoun, KindVerb, KindMapping:
+				kind = k
+				fields = make(map[string]string)
+				started = lineNo
+			default:
+				return nil, &ParseError{lineNo, fmt.Sprintf("expected record keyword, got %q", line)}
+			}
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, &ParseError{lineNo, fmt.Sprintf("expected key = value, got %q", line)}
+			}
+			key := strings.TrimSpace(line[:eq])
+			val := strings.TrimSpace(line[eq+1:])
+			if key == "" {
+				return nil, &ParseError{lineNo, "empty field key"}
+			}
+			if _, dup := fields[key]; dup {
+				return nil, &ParseError{lineNo, fmt.Sprintf("duplicate field %q in %s record", key, kind)}
+			}
+			fields[key] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pif: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *File) addRecord(kind RecordKind, fields map[string]string, line int) error {
+	need := func(key string) (string, error) {
+		v, ok := fields[key]
+		if !ok || v == "" {
+			return "", &ParseError{line, fmt.Sprintf("%s record missing required field %q", kind, key)}
+		}
+		return v, nil
+	}
+	known := func(keys ...string) error {
+		allowed := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			allowed[k] = true
+		}
+		var bad []string
+		for k := range fields {
+			if !allowed[k] {
+				bad = append(bad, k)
+			}
+		}
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			return &ParseError{line, fmt.Sprintf("%s record has unknown fields %v", kind, bad)}
+		}
+		return nil
+	}
+
+	switch kind {
+	case KindLevel:
+		if err := known("name", "rank", "description"); err != nil {
+			return err
+		}
+		name, err := need("name")
+		if err != nil {
+			return err
+		}
+		rankStr, err := need("rank")
+		if err != nil {
+			return err
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			return &ParseError{line, fmt.Sprintf("LEVEL rank %q is not an integer", rankStr)}
+		}
+		f.Levels = append(f.Levels, LevelRecord{Name: name, Rank: rank, Description: fields["description"]})
+
+	case KindNoun:
+		if err := known("name", "abstraction", "description", "parent"); err != nil {
+			return err
+		}
+		name, err := need("name")
+		if err != nil {
+			return err
+		}
+		abs, err := need("abstraction")
+		if err != nil {
+			return err
+		}
+		f.Nouns = append(f.Nouns, NounRecord{
+			Name: name, Abstraction: abs,
+			Description: fields["description"], Parent: fields["parent"],
+		})
+
+	case KindVerb:
+		if err := known("name", "abstraction", "description", "units"); err != nil {
+			return err
+		}
+		name, err := need("name")
+		if err != nil {
+			return err
+		}
+		abs, err := need("abstraction")
+		if err != nil {
+			return err
+		}
+		f.Verbs = append(f.Verbs, VerbRecord{
+			Name: name, Abstraction: abs,
+			Description: fields["description"], Units: fields["units"],
+		})
+
+	case KindMapping:
+		if err := known("source", "destination"); err != nil {
+			return err
+		}
+		srcStr, err := need("source")
+		if err != nil {
+			return err
+		}
+		dstStr, err := need("destination")
+		if err != nil {
+			return err
+		}
+		src, err := parseSentenceRef(srcStr, line)
+		if err != nil {
+			return err
+		}
+		dst, err := parseSentenceRef(dstStr, line)
+		if err != nil {
+			return err
+		}
+		f.Mappings = append(f.Mappings, MappingRecord{Source: src, Destination: dst})
+	}
+	return nil
+}
+
+// parseSentenceRef parses "{noun, noun, ..., verb}". The verb is the last
+// comma-separated element; a sentence with no nouns is "{verb}".
+func parseSentenceRef(s string, line int) (SentenceRef, error) {
+	t := strings.TrimSpace(s)
+	if !strings.HasPrefix(t, "{") || !strings.HasSuffix(t, "}") {
+		return SentenceRef{}, &ParseError{line, fmt.Sprintf("sentence %q must be brace-delimited", s)}
+	}
+	inner := strings.TrimSpace(t[1 : len(t)-1])
+	if inner == "" {
+		return SentenceRef{}, &ParseError{line, "empty sentence {}"}
+	}
+	parts := strings.Split(inner, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return SentenceRef{}, &ParseError{line, fmt.Sprintf("sentence %q has an empty element", s)}
+		}
+	}
+	return SentenceRef{Nouns: parts[:len(parts)-1], Verb: parts[len(parts)-1]}, nil
+}
+
+// Write emits the file in canonical PIF syntax: levels, then nouns, then
+// verbs, then mappings, each as a Figure 2-style record.
+func Write(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range f.Levels {
+		fmt.Fprintf(bw, "LEVEL\nname = %s\nrank = %d\n", l.Name, l.Rank)
+		if l.Description != "" {
+			fmt.Fprintf(bw, "description = %s\n", l.Description)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, n := range f.Nouns {
+		fmt.Fprintf(bw, "NOUN\nname = %s\nabstraction = %s\n", n.Name, n.Abstraction)
+		if n.Parent != "" {
+			fmt.Fprintf(bw, "parent = %s\n", n.Parent)
+		}
+		if n.Description != "" {
+			fmt.Fprintf(bw, "description = %s\n", n.Description)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, v := range f.Verbs {
+		fmt.Fprintf(bw, "VERB\nname = %s\nabstraction = %s\n", v.Name, v.Abstraction)
+		if v.Units != "" {
+			fmt.Fprintf(bw, "units = %s\n", v.Units)
+		}
+		if v.Description != "" {
+			fmt.Fprintf(bw, "description = %s\n", v.Description)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, m := range f.Mappings {
+		fmt.Fprintf(bw, "MAPPING\nsource = %s\ndestination = %s\n\n", m.Source, m.Destination)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,220 @@
+package pif
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure2 is the static mapping information of Figure 2 of the paper,
+// with LEVEL records added (our extension) so the file is self-contained.
+const figure2 = `
+LEVEL
+name = Base
+rank = 0
+
+LEVEL
+name = CM Fortran
+rank = 2
+
+NOUN
+name = line1160
+abstraction = CM Fortran
+description = line #1160 in source file /usr/src/prog/main.fcm
+
+NOUN
+name = line1161
+abstraction = CM Fortran
+description = line #1161 in source file /usr/src/prog/main.fcm
+
+VERB
+name = Executes
+abstraction = CM Fortran
+description = units are "% CPU"
+
+NOUN
+name = cmpe_corr_6_()
+abstraction = Base
+description = compiler generated function, source code not available
+
+VERB
+name = CPU Utilization
+abstraction = Base
+description = units are "% CPU"
+
+MAPPING
+source = {cmpe_corr_6_(), CPU Utilization}
+destination = {line1160, Executes}
+
+MAPPING
+source = {cmpe_corr_6_(), CPU Utilization}
+destination = {line1161, Executes}
+`
+
+func TestParseFigure2(t *testing.T) {
+	f, err := Parse(strings.NewReader(figure2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Levels) != 2 || len(f.Nouns) != 3 || len(f.Verbs) != 2 || len(f.Mappings) != 2 {
+		t.Fatalf("parsed %d levels, %d nouns, %d verbs, %d mappings",
+			len(f.Levels), len(f.Nouns), len(f.Verbs), len(f.Mappings))
+	}
+	if f.Nouns[0].Name != "line1160" || f.Nouns[0].Abstraction != "CM Fortran" {
+		t.Fatalf("first noun = %+v", f.Nouns[0])
+	}
+	if f.Nouns[2].Name != "cmpe_corr_6_()" || f.Nouns[2].Abstraction != "Base" {
+		t.Fatalf("third noun = %+v", f.Nouns[2])
+	}
+	m := f.Mappings[0]
+	if m.Source.Verb != "CPU Utilization" || len(m.Source.Nouns) != 1 || m.Source.Nouns[0] != "cmpe_corr_6_()" {
+		t.Fatalf("mapping source = %+v", m.Source)
+	}
+	if m.Destination.Verb != "Executes" || m.Destination.Nouns[0] != "line1160" {
+		t.Fatalf("mapping destination = %+v", m.Destination)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "# header comment\nNOUN\nname = A\nabstraction = L\n# trailing comment\n"
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Nouns) != 1 {
+		t.Fatalf("nouns = %+v", f.Nouns)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown keyword":   "WIDGET\nname = x\n",
+		"field before kind": "name = x\n",
+		"missing equals":    "NOUN\nname x\n",
+		"empty key":         "NOUN\n= x\n",
+		"duplicate field":   "NOUN\nname = a\nname = b\nabstraction = L\n",
+		"noun no name":      "NOUN\nabstraction = L\n",
+		"noun no level":     "NOUN\nname = a\n",
+		"verb no name":      "VERB\nabstraction = L\n",
+		"level bad rank":    "LEVEL\nname = L\nrank = two\n",
+		"level no rank":     "LEVEL\nname = L\n",
+		"unknown field":     "NOUN\nname = a\nabstraction = L\ncolor = red\n",
+		"mapping no dest":   "MAPPING\nsource = {a, V}\n",
+		"unbraced sentence": "MAPPING\nsource = a, V\ndestination = {b, W}\n",
+		"empty sentence":    "MAPPING\nsource = {}\ndestination = {b, W}\n",
+		"empty element":     "MAPPING\nsource = {a,, V}\ndestination = {b, W}\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseErrorIncludesLine(t *testing.T) {
+	_, err := Parse(strings.NewReader("NOUN\nname = a\nabstraction = L\n\nWIDGET\n"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 5 {
+		t.Fatalf("error line = %d, want 5: %v", pe.Line, pe)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	f1, err := Parse(strings.NewReader(figure2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f1); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", f1, f2)
+	}
+}
+
+// Property: Write/Parse round-trips arbitrary well-formed files.
+func TestRoundTripProperty(t *testing.T) {
+	clean := func(s string, fallback string) string {
+		s = strings.Map(func(r rune) rune {
+			if r == '\n' || r == '=' || r == ',' || r == '{' || r == '}' || r == '#' {
+				return '_'
+			}
+			return r
+		}, s)
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return fallback
+		}
+		return s
+	}
+	f := func(nounNames, verbNames []string, rank int8) bool {
+		in := &File{Levels: []LevelRecord{{Name: "L", Rank: int(rank)}}}
+		for i, n := range nounNames {
+			if i >= 6 {
+				break
+			}
+			in.Nouns = append(in.Nouns, NounRecord{
+				Name: clean(n, "n") + string(rune('0'+i)), Abstraction: "L",
+			})
+		}
+		for i, v := range verbNames {
+			if i >= 6 {
+				break
+			}
+			in.Verbs = append(in.Verbs, VerbRecord{
+				Name: clean(v, "v") + string(rune('0'+i)), Abstraction: "L",
+			})
+		}
+		if len(in.Nouns) > 0 && len(in.Verbs) > 0 {
+			in.Mappings = append(in.Mappings, MappingRecord{
+				Source:      SentenceRef{Nouns: []string{in.Nouns[0].Name}, Verb: in.Verbs[0].Name},
+				Destination: SentenceRef{Verb: in.Verbs[len(in.Verbs)-1].Name, Nouns: []string{in.Nouns[len(in.Nouns)-1].Name}},
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentenceRefString(t *testing.T) {
+	ref := SentenceRef{Nouns: []string{"cmpe_corr_6_()"}, Verb: "CPU Utilization"}
+	if got := ref.String(); got != "{cmpe_corr_6_(), CPU Utilization}" {
+		t.Fatalf("String = %q", got)
+	}
+	bare := SentenceRef{Verb: "Idle"}
+	if got := bare.String(); got != "{Idle}" {
+		t.Fatalf("bare String = %q", got)
+	}
+}
+
+func BenchmarkParseFigure2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(strings.NewReader(figure2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

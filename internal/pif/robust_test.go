@@ -1,0 +1,54 @@
+package pif
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// PIF files arrive from external compilers and environments; arbitrary
+// bytes must produce errors, never panics, and a parse-accepted file must
+// either load or error cleanly.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(junk string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		if file, err := Parse(strings.NewReader(junk)); err == nil {
+			_, _ = Load(file)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRecordSoupProperty(t *testing.T) {
+	vocab := []string{
+		"NOUN", "VERB", "MAPPING", "LEVEL",
+		"name = x", "abstraction = L", "rank = 1", "parent = y",
+		"source = {a, V}", "destination = {b, W}", "units = ops",
+		"", "# comment",
+	}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		var lines []string
+		for _, p := range picks {
+			lines = append(lines, vocab[int(p)%len(vocab)])
+		}
+		if file, err := Parse(strings.NewReader(strings.Join(lines, "\n"))); err == nil {
+			_, _ = Load(file)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package pifgen converts CM Fortran compiler listings into PIF files —
+// the "simple utility that parses CM Fortran compiler output files" of
+// Section 6.2: it scans the listing for parallel statements, parallel
+// arrays and node code blocks, and produces a PIF file that defines the
+// statements and arrays for the tool and describes the mappings from
+// statements to code blocks.
+//
+// cmd/pifgen wraps this package as the command-line utility; tests and
+// the experiment drivers call it directly.
+package pifgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"nvmap/internal/pif"
+)
+
+// Levels and verbs the generated PIF declares.
+const (
+	LevelCMF  = "CMF"
+	LevelBase = "Base"
+
+	VerbExecutes = "Executes"
+	VerbCPU      = "CPU Utilization"
+
+	// Hierarchy-root nouns for the tool's where axis.
+	RootStmts  = "CMFstmts"
+	RootArrays = "CMFarrays"
+)
+
+// FromListing parses a compiler listing and builds the PIF file.
+func FromListing(r io.Reader) (*pif.File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	f := &pif.File{
+		Levels: []pif.LevelRecord{
+			{Name: LevelBase, Rank: 0, Description: "functions of the executable image"},
+			{Name: LevelCMF, Rank: 2, Description: "CM Fortran source constructs"},
+		},
+		Nouns: []pif.NounRecord{
+			{Name: RootStmts, Abstraction: LevelCMF, Description: "parallel statements"},
+			{Name: RootArrays, Abstraction: LevelCMF, Description: "parallel arrays"},
+		},
+		Verbs: []pif.VerbRecord{
+			{Name: VerbExecutes, Abstraction: LevelCMF, Units: "% CPU"},
+			{Name: VerbCPU, Abstraction: LevelBase, Units: "% CPU"},
+		},
+	}
+
+	var source string
+	seenBlocks := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "!") {
+			continue
+		}
+		key, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("pifgen: listing line %d: no record keyword in %q", lineNo, line)
+		}
+		rest = strings.TrimSpace(rest)
+		switch key {
+		case "program":
+			// informational
+		case "source":
+			source = rest
+		case "array":
+			fields, err := parseFields(rest, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			name, dims := fields["name"], fields["dims"]
+			if name == "" {
+				return nil, fmt.Errorf("pifgen: listing line %d: array record without name", lineNo)
+			}
+			f.Nouns = append(f.Nouns, pif.NounRecord{
+				Name:        name,
+				Abstraction: LevelCMF,
+				Parent:      RootArrays,
+				Description: fmt.Sprintf("parallel array %s (%s) in %s", name, dims, source),
+			})
+		case "statement":
+			fields, err := parseFields(rest, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if fields["block"] == "-" || fields["block"] == "" {
+				continue // serial statement: no mapping
+			}
+			stmt := "line" + fields["line"]
+			f.Nouns = append(f.Nouns, pif.NounRecord{
+				Name:        stmt,
+				Abstraction: LevelCMF,
+				Parent:      RootStmts,
+				Description: fmt.Sprintf("line #%s in source file %s: %s", fields["line"], source, fields["text"]),
+			})
+			block := fields["block"]
+			if !seenBlocks[block] {
+				seenBlocks[block] = true
+				f.Nouns = append(f.Nouns, pif.NounRecord{
+					Name:        block,
+					Abstraction: LevelBase,
+					Description: "compiler generated function, source code not available",
+				})
+			}
+			f.Mappings = append(f.Mappings, pif.MappingRecord{
+				Source:      pif.SentenceRef{Nouns: []string{block}, Verb: VerbCPU},
+				Destination: pif.SentenceRef{Nouns: []string{stmt}, Verb: VerbExecutes},
+			})
+		case "block":
+			// Blocks were already declared when their statements were seen;
+			// the record is validated for form only.
+			if _, err := parseFields(rest, lineNo); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("pifgen: listing line %d: unknown record %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pifgen: %w", err)
+	}
+	if len(f.Mappings) == 0 {
+		return nil, fmt.Errorf("pifgen: listing contains no parallel statements")
+	}
+	return f, nil
+}
+
+// parseFields splits "k1=v1 k2=v2 ... text=\"...\"" records. The quoted
+// text field, when present, must come last.
+func parseFields(s string, lineNo int) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("pifgen: listing line %d: malformed field %q", lineNo, s)
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if strings.HasPrefix(s, `"`) {
+			end := strings.Index(s[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("pifgen: listing line %d: unterminated quote", lineNo)
+			}
+			out[key] = s[1 : end+1]
+			s = s[end+2:]
+			continue
+		}
+		sp := strings.IndexByte(s, ' ')
+		if sp < 0 {
+			out[key] = s
+			s = ""
+		} else {
+			out[key] = s[:sp]
+			s = s[sp+1:]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package pifgen
+
+import (
+	"strings"
+	"testing"
+
+	"nvmap/internal/cmf"
+	"nvmap/internal/mapping"
+	"nvmap/internal/nv"
+	"nvmap/internal/pif"
+)
+
+const program = `PROGRAM corr
+REAL A(64)
+REAL B(64)
+REAL ASUM
+A = 1.0
+B = A * 2.0
+ASUM = SUM(A)
+END
+`
+
+func listingOf(t *testing.T, fuse bool) string {
+	t.Helper()
+	cp, err := cmf.CompileSource(program, cmf.Options{Fuse: fuse, SourceFile: "corr.fcm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp.Listing()
+}
+
+func TestFromListingBasic(t *testing.T) {
+	f, err := FromListing(strings.NewReader(listingOf(t, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nouns: 2 roots + 2 arrays + 3 statements + 3 blocks.
+	if len(f.Nouns) != 10 {
+		t.Fatalf("nouns = %d: %+v", len(f.Nouns), f.Nouns)
+	}
+	if len(f.Mappings) != 3 {
+		t.Fatalf("mappings = %d", len(f.Mappings))
+	}
+	if len(f.Levels) != 2 || len(f.Verbs) != 2 {
+		t.Fatalf("levels/verbs = %d/%d", len(f.Levels), len(f.Verbs))
+	}
+
+	// The result must load cleanly.
+	loaded, err := pif.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, ok := loaded.NounID(LevelCMF, "line5")
+	if !ok {
+		t.Fatal("line5 noun missing")
+	}
+	n, _ := loaded.Registry.Noun(stmt)
+	if n.Parent == "" {
+		t.Fatal("statement has no hierarchy parent")
+	}
+	if !strings.Contains(n.Description, "corr.fcm") {
+		t.Fatalf("statement description = %q", n.Description)
+	}
+}
+
+// With fusion, the Figure 2 situation appears: one block maps one-to-many
+// to two source lines.
+func TestFromListingFusedOneToMany(t *testing.T) {
+	f, err := FromListing(strings.NewReader(listingOf(t, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pif.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockNoun, ok := loaded.NounID(LevelBase, "cmpe_corr_1_()")
+	if !ok {
+		t.Fatal("fused block noun missing")
+	}
+	cpuVerb, _ := loaded.VerbID(LevelBase, VerbCPU)
+	src := nv.NewSentence(cpuVerb, blockNoun)
+	if k := loaded.Table.KindOf(src); k != mapping.OneToMany {
+		t.Fatalf("fused block mapping kind = %v, want One-to-Many", k)
+	}
+	if dests := loaded.Table.Destinations(src); len(dests) != 2 {
+		t.Fatalf("fused block destinations = %v", dests)
+	}
+}
+
+func TestFromListingSkipsSerialStatements(t *testing.T) {
+	listing := `! CM Fortran compiler listing
+program: P
+source: p.fcm
+statement: line=4 kind=serial block=- intrinsic=- arrays=- text="X = 1"
+statement: line=5 kind=compute block=cmpe_p_1_() intrinsic=- arrays=A text="A = 1"
+`
+	f, err := FromListing(strings.NewReader(listing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range f.Nouns {
+		if n.Name == "line4" {
+			t.Fatal("serial statement got a noun")
+		}
+	}
+	if len(f.Mappings) != 1 {
+		t.Fatalf("mappings = %d", len(f.Mappings))
+	}
+}
+
+func TestFromListingErrors(t *testing.T) {
+	cases := map[string]string{
+		"no keyword":    "just text\n",
+		"unknown":       "widget: x=1\n",
+		"bad field":     "array: name\n",
+		"no name":       "array: dims=4\n",
+		"unterminated":  `statement: line=5 block=b text="oops` + "\n",
+		"no statements": "program: P\nsource: p.fcm\n",
+	}
+	for name, src := range cases {
+		if _, err := FromListing(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestGeneratedPIFRoundTripsThroughWriter(t *testing.T) {
+	f, err := FromListing(strings.NewReader(listingOf(t, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := pif.Write(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := pif.Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, b.String())
+	}
+	if len(f2.Mappings) != len(f.Mappings) || len(f2.Nouns) != len(f.Nouns) {
+		t.Fatal("round trip lost records")
+	}
+	if _, err := pif.Load(f2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFromListing(b *testing.B) {
+	cp, err := cmf.CompileSource(program, cmf.Options{Fuse: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	listing := cp.Listing()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromListing(strings.NewReader(listing)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package sas
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nvmap/internal/nv"
+	"nvmap/internal/vtime"
+)
+
+// This file implements Section 4.2.3 of the paper: running the SAS on
+// distributed-memory machines. The SAS is duplicated on each node, just as
+// application code is duplicated for SPMD programs; each SAS operates
+// independently as long as performance questions do not need information
+// from several SASes. When a question does span nodes (the paper's
+// client/server example: "server reads from disk, client query is
+// active"), the node owning a remote sentence exports its activations to
+// the node that evaluates the question.
+
+// Event is one activation-state change exported between SASes.
+type Event struct {
+	Sentence nv.Sentence
+	Active   bool
+	At       vtime.Time
+	// FromNode is the exporting SAS's node label.
+	FromNode int
+}
+
+// Transport carries exported events between SASes. Implementations decide
+// delivery semantics: the test transport delivers synchronously, while the
+// machine-integrated transport routes events through the simulated
+// network, adding latency like any other message.
+type Transport interface {
+	Send(ev Event, to *SAS)
+}
+
+// SyncTransport delivers exported events immediately (shared-memory
+// semantics).
+type SyncTransport struct{}
+
+// Send applies the event to the destination SAS at once.
+func (SyncTransport) Send(ev Event, to *SAS) { to.ApplyRemote(ev) }
+
+type exportRule struct {
+	pattern   Term
+	to        *SAS
+	transport Transport
+}
+
+// Export arranges for activation changes of sentences matching pattern to
+// be forwarded to the SAS `to` via the transport. In the paper's example
+// the client's SAS "would need to send one sentence (i.e., client query
+// is active) to the server's SAS whenever that sentence became active or
+// inactive" — pattern selects those sentences.
+func (s *SAS) Export(pattern Term, to *SAS, transport Transport) error {
+	if to == nil {
+		return fmt.Errorf("sas: export needs a destination SAS")
+	}
+	if to == s {
+		return fmt.Errorf("sas: cannot export to self")
+	}
+	if transport == nil {
+		transport = SyncTransport{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exports = append(s.exports, exportRule{pattern: pattern, to: to, transport: transport})
+	return nil
+}
+
+// pendingSend is an export decided under the lock but dispatched after it
+// is released, so a synchronous transport may safely call into the
+// destination SAS (including a destination that exports back to us).
+type pendingSend struct {
+	rule exportRule
+	ev   Event
+}
+
+// collectExportsLocked matches an activation change against the export
+// rules. Called with s.mu held.
+func (s *SAS) collectExportsLocked(sn nv.Sentence, at vtime.Time) []pendingSend {
+	if len(s.exports) == 0 {
+		return nil
+	}
+	_, active := s.active[sn.Key()]
+	var out []pendingSend
+	for _, r := range s.exports {
+		if r.pattern.Matches(sn) {
+			out = append(out, pendingSend{rule: r, ev: Event{Sentence: sn, Active: active, At: at, FromNode: s.node}})
+		}
+	}
+	return out
+}
+
+func dispatch(pending []pendingSend) {
+	for _, p := range pending {
+		p.rule.transport.Send(p.ev, p.rule.to)
+	}
+}
+
+// ApplyRemote applies an exported event from another SAS. Remote
+// sentences participate in question evaluation exactly like local ones;
+// the paper's model makes no distinction once the sentence has been
+// communicated.
+func (s *SAS) ApplyRemote(ev Event) {
+	if ev.Active {
+		s.Activate(ev.Sentence, ev.At)
+		return
+	}
+	// A remote deactivation for a sentence we never stored (e.g. the
+	// question was added after the activation) is dropped silently: remote
+	// traffic is advisory.
+	_ = s.Deactivate(ev.Sentence, ev.At)
+}
+
+// Registry holds the per-node SASes of one parallel program, mirroring the
+// SPMD duplication of application code.
+type Registry struct {
+	mu    sync.Mutex
+	nodes map[int]*SAS
+	opts  Options
+}
+
+// NewRegistry returns a registry that creates per-node SASes with the
+// given base options (the Node field is overridden per node).
+func NewRegistry(opts Options) *Registry {
+	return &Registry{nodes: make(map[int]*SAS), opts: opts}
+}
+
+// Node returns (creating on first use) the SAS for a node.
+func (r *Registry) Node(node int) *SAS {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.nodes[node]
+	if !ok {
+		o := r.opts
+		o.Node = node
+		s = New(o)
+		r.nodes[node] = s
+	}
+	return s
+}
+
+// Nodes returns all materialised SASes sorted by node id.
+func (r *Registry) Nodes() []*SAS {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*SAS, 0, len(r.nodes))
+	for _, s := range r.nodes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].node < out[j].node })
+	return out
+}
+
+// AddQuestionAll registers the same question on every materialised SAS
+// and returns the per-node IDs keyed by node. This supports the common
+// SPMD pattern where all of Figure 6's questions "can be answered without
+// sharing any information between nodes": each node accumulates its local
+// share and the tool aggregates.
+func (r *Registry) AddQuestionAll(q Question) (map[int]QuestionID, error) {
+	ids := make(map[int]QuestionID)
+	for _, s := range r.Nodes() {
+		id, err := s.AddQuestion(q)
+		if err != nil {
+			return nil, err
+		}
+		ids[s.node] = id
+	}
+	return ids, nil
+}
+
+// AggregateResult sums the per-node results of a question registered via
+// AddQuestionAll.
+func (r *Registry) AggregateResult(ids map[int]QuestionID, now vtime.Time) (Result, error) {
+	var agg Result
+	first := true
+	for _, s := range r.Nodes() {
+		id, ok := ids[s.node]
+		if !ok {
+			continue
+		}
+		res, err := s.Result(id, now)
+		if err != nil {
+			return Result{}, err
+		}
+		if first {
+			agg.Question = res.Question
+			first = false
+		}
+		agg.Count += res.Count
+		agg.EventTime += res.EventTime
+		agg.SatisfiedTime += res.SatisfiedTime
+		agg.Satisfied = agg.Satisfied || res.Satisfied
+	}
+	return agg, nil
+}
+
+// TotalStats sums the notification statistics over every node.
+func (r *Registry) TotalStats() Stats {
+	var t Stats
+	for _, s := range r.Nodes() {
+		st := s.Stats()
+		t.Notifications += st.Notifications
+		t.Ignored += st.Ignored
+		t.Stored += st.Stored
+		t.Evaluations += st.Evaluations
+		t.Events += st.Events
+	}
+	return t
+}

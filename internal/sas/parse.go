@@ -1,0 +1,73 @@
+package sas
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmap/internal/nv"
+)
+
+// ParseTerm parses one sentence pattern in the paper's notation: nouns
+// followed by the verb inside braces, whitespace-separated, with "?" as
+// the wildcard — e.g. "{A Sums}", "{? Sums}", "{Processor_1 Sends}",
+// "{A P Send}".
+func ParseTerm(text string) (Term, error) {
+	t := strings.TrimSpace(text)
+	if !strings.HasPrefix(t, "{") || !strings.HasSuffix(t, "}") {
+		return Term{}, fmt.Errorf("sas: pattern %q must be brace-delimited", text)
+	}
+	fields := strings.Fields(t[1 : len(t)-1])
+	if len(fields) == 0 {
+		return Term{}, fmt.Errorf("sas: empty pattern %q", text)
+	}
+	verb := fields[len(fields)-1]
+	nouns := make([]nv.NounID, 0, len(fields)-1)
+	for _, f := range fields[:len(fields)-1] {
+		nouns = append(nouns, nv.NounID(f))
+	}
+	return Term{Verb: nv.VerbID(verb), Nouns: nouns}, nil
+}
+
+// ParseQuestion parses a performance question as a comma-separated vector
+// of patterns, optionally suffixed with "[ordered]":
+//
+//	{A Sums}, {Processor_1 Sends}
+//	{? Sums}, {Processor_1 Sends} [ordered]
+func ParseQuestion(label, text string) (Question, error) {
+	t := strings.TrimSpace(text)
+	ordered := false
+	if strings.HasSuffix(t, "[ordered]") {
+		ordered = true
+		t = strings.TrimSpace(strings.TrimSuffix(t, "[ordered]"))
+	}
+	if t == "" {
+		return Question{}, fmt.Errorf("sas: empty question")
+	}
+	var terms []Term
+	for len(t) > 0 {
+		if len(terms) > 0 {
+			if !strings.HasPrefix(t, ",") {
+				return Question{}, fmt.Errorf("sas: expected ',' between patterns near %q", t)
+			}
+			t = strings.TrimSpace(t[1:])
+		}
+		end := strings.IndexByte(t, '}')
+		if !strings.HasPrefix(t, "{") || end < 0 {
+			return Question{}, fmt.Errorf("sas: malformed question near %q", t)
+		}
+		term, err := ParseTerm(t[:end+1])
+		if err != nil {
+			return Question{}, err
+		}
+		terms = append(terms, term)
+		t = strings.TrimSpace(t[end+1:])
+	}
+	if label == "" {
+		label = text
+	}
+	q := Question{Label: label, Terms: terms, Ordered: ordered}
+	if err := q.validate(); err != nil {
+		return Question{}, err
+	}
+	return q, nil
+}

@@ -1,0 +1,149 @@
+package sas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvmap/internal/nv"
+)
+
+func TestParseTerm(t *testing.T) {
+	term, err := ParseTerm("{A Sums}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Verb != "Sums" || len(term.Nouns) != 1 || term.Nouns[0] != "A" {
+		t.Fatalf("term = %+v", term)
+	}
+	wild, err := ParseTerm("{? Sums}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wild.Nouns[0] != Any {
+		t.Fatalf("wildcard noun = %+v", wild)
+	}
+	multi, err := ParseTerm("{A P Send}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Nouns) != 2 || multi.Verb != "Send" {
+		t.Fatalf("multi = %+v", multi)
+	}
+	bare, err := ParseTerm("{Idle}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Verb != "Idle" || len(bare.Nouns) != 0 {
+		t.Fatalf("bare = %+v", bare)
+	}
+}
+
+func TestParseTermErrors(t *testing.T) {
+	for _, bad := range []string{"", "A Sums", "{}", "{ }", "{A Sums", "A Sums}"} {
+		if _, err := ParseTerm(bad); err == nil {
+			t.Errorf("ParseTerm(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseQuestion(t *testing.T) {
+	q, err := ParseQuestion("", "{A Sums}, {Processor_1 Sends}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Terms) != 2 || q.Ordered {
+		t.Fatalf("q = %+v", q)
+	}
+	if q.Label != "{A Sums}, {Processor_1 Sends}" {
+		t.Fatalf("label = %q", q.Label)
+	}
+
+	oq, err := ParseQuestion("lbl", "{A Sums}, {? Sends} [ordered]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oq.Ordered || oq.Label != "lbl" {
+		t.Fatalf("oq = %+v", oq)
+	}
+}
+
+func TestParseQuestionErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "{A Sums}, junk", "nope", "{A Sums} {B Sums}"} {
+		if _, err := ParseQuestion("", bad); err == nil {
+			t.Errorf("ParseQuestion(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: a question's String() renders back to an equivalent question
+// through ParseQuestion (for plain conjunctions).
+func TestParseQuestionRoundTripProperty(t *testing.T) {
+	names := []string{"A", "B", "Processor_1", "?"}
+	verbs := []string{"Sums", "Sends", "Executes"}
+	f := func(n1, n2, v1, v2, ord uint8) bool {
+		q := Question{
+			Label: "p",
+			Terms: []Term{
+				T(nvVerb(verbs[v1%3]), nvNoun(names[n1%4])),
+				T(nvVerb(verbs[v2%3]), nvNoun(names[n2%4])),
+			},
+			Ordered: ord%2 == 0,
+		}
+		back, err := ParseQuestion("p", q.String())
+		if err != nil {
+			return false
+		}
+		if back.Ordered != q.Ordered || len(back.Terms) != len(q.Terms) {
+			return false
+		}
+		for i := range q.Terms {
+			if back.Terms[i].Verb != q.Terms[i].Verb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsedQuestionWorks(t *testing.T) {
+	s := New(Options{})
+	q, err := ParseQuestion("", "{A Sums}, {? Sends}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.AddQuestion(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Activate(sent("Sums", "A"), 10)
+	if hits := s.RecordEvent(sent("Sends", "P"), 20, 1); hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+	res, _ := s.Result(id, 30)
+	if res.Count != 1 {
+		t.Fatalf("Count = %g", res.Count)
+	}
+}
+
+func nvVerb(s string) nv.VerbID { return nv.VerbID(s) }
+func nvNoun(s string) nv.NounID { return nv.NounID(s) }
+
+// Arbitrary question text must error, never panic.
+func TestParseQuestionNeverPanicsProperty(t *testing.T) {
+	f := func(junk string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseQuestion("x", junk)
+		_, _ = ParseTerm(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package sas
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmap/internal/nv"
+)
+
+// Any is the wildcard that may stand for a verb or a noun in a question
+// term, written "?" in the paper's Figure 6 ("{? Sum}, {Processor_P
+// Send}": cost of sends by P while anything is being summed).
+const Any = "?"
+
+// Term is one component of a performance question: a sentence pattern.
+// A term matches an active sentence when the verbs agree (or the term's
+// verb is the wildcard) and every non-wildcard noun of the term
+// participates in the sentence. Wildcard nouns impose no constraint; they
+// exist so patterns read like the paper's ("{? Sum}").
+type Term struct {
+	Verb  nv.VerbID
+	Nouns []nv.NounID
+}
+
+// T is a convenience constructor mirroring the paper's "{A Sum}" notation
+// with the verb first for Go readability: T("Sum", "A").
+func T(verb nv.VerbID, nouns ...nv.NounID) Term {
+	return Term{Verb: verb, Nouns: nouns}
+}
+
+// Matches reports whether the term's pattern matches sentence s.
+func (t Term) Matches(s nv.Sentence) bool {
+	if t.Verb != Any && t.Verb != s.Verb {
+		return false
+	}
+	for _, n := range t.Nouns {
+		if n == Any {
+			continue
+		}
+		if !s.Contains(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the term in the paper's notation.
+func (t Term) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, n := range t.Nouns {
+		b.WriteString(string(n))
+		b.WriteByte(' ')
+	}
+	if len(t.Nouns) == 0 {
+		b.WriteString("? ")
+	}
+	b.WriteString(string(t.Verb))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ExprOp is the operator of one node of an extended question expression.
+// Section 4.2.2 proposes extending performance questions with boolean
+// disjunction and negation "incurring only the added cost of evaluating
+// more complex expressions"; Expr implements that extension.
+type ExprOp int
+
+// Expression operators.
+const (
+	OpTerm ExprOp = iota // leaf: a sentence pattern
+	OpAnd
+	OpOr
+	OpNot
+)
+
+// Expr is a boolean expression over sentence patterns.
+type Expr struct {
+	Op   ExprOp
+	Term Term    // valid when Op == OpTerm
+	Kids []*Expr // valid for OpAnd (>=1), OpOr (>=1), OpNot (exactly 1)
+}
+
+// Leaf returns a pattern leaf.
+func Leaf(t Term) *Expr { return &Expr{Op: OpTerm, Term: t} }
+
+// And returns the conjunction of kids.
+func And(kids ...*Expr) *Expr { return &Expr{Op: OpAnd, Kids: kids} }
+
+// Or returns the disjunction of kids.
+func Or(kids ...*Expr) *Expr { return &Expr{Op: OpOr, Kids: kids} }
+
+// Not negates its child.
+func Not(kid *Expr) *Expr { return &Expr{Op: OpNot, Kids: []*Expr{kid}} }
+
+// validate checks arity.
+func (e *Expr) validate() error {
+	switch e.Op {
+	case OpTerm:
+		if len(e.Kids) != 0 {
+			return fmt.Errorf("sas: term leaf must have no children")
+		}
+	case OpAnd, OpOr:
+		if len(e.Kids) == 0 {
+			return fmt.Errorf("sas: AND/OR needs at least one child")
+		}
+	case OpNot:
+		if len(e.Kids) != 1 {
+			return fmt.Errorf("sas: NOT needs exactly one child")
+		}
+	default:
+		return fmt.Errorf("sas: unknown expression op %d", int(e.Op))
+	}
+	for _, k := range e.Kids {
+		if err := k.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// terms appends every pattern leaf of the expression to out.
+func (e *Expr) terms(out []Term) []Term {
+	if e.Op == OpTerm {
+		return append(out, e.Term)
+	}
+	for _, k := range e.Kids {
+		out = k.terms(out)
+	}
+	return out
+}
+
+// String renders the expression with explicit parentheses.
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpTerm:
+		return e.Term.String()
+	case OpNot:
+		return "!" + e.Kids[0].String()
+	case OpAnd, OpOr:
+		sep := " & "
+		if e.Op == OpOr {
+			sep = " | "
+		}
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = k.String()
+		}
+		return "(" + strings.Join(parts, sep) + ")"
+	default:
+		return fmt.Sprintf("Expr(%d)", int(e.Op))
+	}
+}
+
+// Question is a performance question: a vector of sentence patterns
+// (Figure 6). The meaning is that performance measurements should be made
+// only when all of the question's patterns are satisfied by concurrently
+// active sentences.
+//
+// Two extensions from the paper's discussion are supported:
+//
+//   - Expr replaces the conjunction with an arbitrary boolean expression
+//     (Section 4.2.2's disjunction/negation extension). When Expr is
+//     non-nil, Terms must be empty.
+//
+//   - Ordered addresses limitation 3 of Section 4.2.4 ("sentences are not
+//     ordered in performance questions"): when set, the final term is the
+//     *measured* pattern and earlier terms must refer to sentences that
+//     became active no later than each subsequent one, distinguishing
+//     "messages sent during summation of A" from "summations of A during
+//     message sends".
+type Question struct {
+	Label   string
+	Terms   []Term
+	Expr    *Expr
+	Ordered bool
+}
+
+// Q builds an unordered conjunction question.
+func Q(label string, terms ...Term) Question {
+	return Question{Label: label, Terms: terms}
+}
+
+// validate checks structural invariants.
+func (q Question) validate() error {
+	if q.Expr != nil {
+		if len(q.Terms) != 0 {
+			return fmt.Errorf("sas: question %q has both Terms and Expr", q.Label)
+		}
+		if q.Ordered {
+			return fmt.Errorf("sas: question %q: ordered evaluation requires a term vector, not an expression", q.Label)
+		}
+		return q.Expr.validate()
+	}
+	if len(q.Terms) == 0 {
+		return fmt.Errorf("sas: question %q has no terms", q.Label)
+	}
+	return nil
+}
+
+// allTerms returns every pattern the question mentions (for indexing and
+// relevance filtering).
+func (q Question) allTerms() []Term {
+	if q.Expr != nil {
+		return q.Expr.terms(nil)
+	}
+	return q.Terms
+}
+
+// trigger returns the pattern that identifies the measured sentence: the
+// last term for ordered questions, nil (meaning "any term") otherwise.
+func (q Question) trigger() *Term {
+	if q.Ordered && len(q.Terms) > 0 {
+		return &q.Terms[len(q.Terms)-1]
+	}
+	return nil
+}
+
+// String renders the question as the paper prints them: "{A Sum},
+// {Processor_P Send}".
+func (q Question) String() string {
+	if q.Expr != nil {
+		return q.Expr.String()
+	}
+	parts := make([]string, len(q.Terms))
+	for i, t := range q.Terms {
+		parts[i] = t.String()
+	}
+	s := strings.Join(parts, ", ")
+	if q.Ordered {
+		s += " [ordered]"
+	}
+	return s
+}

@@ -1,0 +1,593 @@
+// Package sas implements the Set of Active Sentences from Section 4.2 of
+// the paper: a run-time data structure that records the current execution
+// state of every level of abstraction, the way a procedure call stack
+// keeps track of active functions — except that the SAS may record *any*
+// active sentence, regardless of whether it could be discovered by
+// examining the call stack.
+//
+// Whenever a sentence at any level of abstraction becomes active, the
+// monitoring code notifies the SAS; when it becomes inactive it is
+// removed. Any two sentences contained in the SAS concurrently are
+// considered to dynamically map to one another. Performance questions
+// (vectors of sentence patterns, Figure 6) are registered with the SAS and
+// measurements are made only while all patterns of a question are
+// satisfied by concurrently active sentences.
+//
+// The package also implements the discussion items around the core
+// structure: relevance filtering (ignore notifications no question could
+// ever use), per-node replication with cross-node sentence forwarding for
+// distributed memory (Section 4.2.3), and shadow contexts, our remedy for
+// the asynchronous-activation limitation of Section 4.2.4 / Figure 7.
+package sas
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nvmap/internal/nv"
+	"nvmap/internal/vtime"
+)
+
+// QuestionID identifies a registered question within one SAS.
+type QuestionID int
+
+// ActiveSentence is one entry of a SAS snapshot.
+type ActiveSentence struct {
+	Sentence nv.Sentence
+	// Since is the activation instant of the current (outermost) nesting.
+	Since vtime.Time
+	// Depth counts nested activations (a recursive construct may activate
+	// the same sentence again before deactivating it).
+	Depth int
+}
+
+// Stats counts notification traffic, for the Section 4.2.4 limitation-2
+// analysis: activity notifications that are ignored by the SAS still cost
+// their delivery, and relevance filtering determines how many are stored.
+type Stats struct {
+	Notifications int // activation+deactivation notifications received
+	Ignored       int // dropped by the relevance filter
+	Stored        int // applied to the active set
+	Evaluations   int // question re-evaluations triggered
+	Events        int // RecordEvent/RecordSpan calls
+}
+
+// Result is the measurement state of one question.
+type Result struct {
+	Question Question
+	// Count accumulates RecordEvent values charged to the question.
+	Count float64
+	// EventTime accumulates RecordSpan durations charged to the question.
+	EventTime vtime.Duration
+	// SatisfiedTime accumulates virtual time during which the question
+	// was satisfied (the gate-timer reading).
+	SatisfiedTime vtime.Duration
+	// Satisfied is the current gate state.
+	Satisfied bool
+}
+
+type questionState struct {
+	id        QuestionID
+	q         Question
+	satisfied bool
+	since     vtime.Time // when satisfied last became true
+	satTime   vtime.Duration
+	count     float64
+	evTime    vtime.Duration
+	watch     func(bool, vtime.Time)
+}
+
+type entry struct {
+	sentence nv.Sentence
+	since    vtime.Time
+	depth    int
+}
+
+// SAS is one Set of Active Sentences. On a distributed-memory system each
+// node holds its own SAS (see Registry); on shared memory a single SAS may
+// be shared by several goroutines — all methods are safe for concurrent
+// use, at the synchronisation cost the paper warns about.
+type SAS struct {
+	mu sync.Mutex
+
+	node   int
+	filter bool
+
+	active map[string]*entry
+	// byVerb indexes question IDs by the verbs their terms mention;
+	// wildcardQ holds questions with wildcard-verb terms.
+	byVerb    map[nv.VerbID][]QuestionID
+	wildcardQ []QuestionID
+	questions map[QuestionID]*questionState
+	nextID    QuestionID
+
+	stats Stats
+
+	// remotes receive activation events this SAS exports (Section 4.2.3).
+	exports []exportRule
+}
+
+// Options configures a SAS.
+type Options struct {
+	// Node is a diagnostic label: which node of the parallel machine this
+	// SAS serves.
+	Node int
+	// Filter enables relevance filtering: activation notifications whose
+	// sentence cannot match any registered question pattern are ignored
+	// (not stored). The notification cost is still counted in Stats, as
+	// in the paper's limitation discussion.
+	Filter bool
+}
+
+// New returns an empty SAS.
+func New(opts Options) *SAS {
+	return &SAS{
+		node:      opts.Node,
+		filter:    opts.Filter,
+		active:    make(map[string]*entry),
+		byVerb:    make(map[nv.VerbID][]QuestionID),
+		questions: make(map[QuestionID]*questionState),
+	}
+}
+
+// Node returns the node label.
+func (s *SAS) Node() int { return s.node }
+
+// AddQuestion registers a performance question and returns its handle.
+// In the paper's usage the asking of performance questions is deferred
+// until run time; adding and removing questions while sentences are active
+// is fully supported — a newly added question starts unsatisfied and is
+// immediately evaluated against the current active set.
+func (s *SAS) AddQuestion(q Question) (QuestionID, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	st := &questionState{id: id, q: q}
+	s.questions[id] = st
+	s.indexQuestion(st)
+	// Evaluate against the current active set so a question asked
+	// mid-execution picks up already-active sentences.
+	s.reevaluateLocked(st, s.lastKnownTimeLocked())
+	return id, nil
+}
+
+func (s *SAS) indexQuestion(st *questionState) {
+	seen := map[nv.VerbID]bool{}
+	for _, t := range st.q.allTerms() {
+		if t.Verb == Any {
+			s.wildcardQ = append(s.wildcardQ, st.id)
+			continue
+		}
+		if !seen[t.Verb] {
+			seen[t.Verb] = true
+			s.byVerb[t.Verb] = append(s.byVerb[t.Verb], st.id)
+		}
+	}
+}
+
+// RemoveQuestion deletes a question; its accumulated results are lost.
+func (s *SAS) RemoveQuestion(id QuestionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.questions[id]; !ok {
+		return fmt.Errorf("sas: unknown question %d", id)
+	}
+	delete(s.questions, id)
+	for v, ids := range s.byVerb {
+		s.byVerb[v] = removeQID(ids, id)
+		if len(s.byVerb[v]) == 0 {
+			delete(s.byVerb, v)
+		}
+	}
+	s.wildcardQ = removeQID(s.wildcardQ, id)
+	return nil
+}
+
+func removeQID(ids []QuestionID, id QuestionID) []QuestionID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Watch attaches a callback fired whenever the question's satisfied state
+// flips. This implements the boolean-variable protocol of Section 6.1:
+// the SAS module sets a flag to true whenever the requested array is
+// active, and dynamically inserted instrumentation checks the flag before
+// measuring. The callback runs with the SAS lock held; it must not call
+// back into the SAS.
+func (s *SAS) Watch(id QuestionID, fn func(satisfied bool, at vtime.Time)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.questions[id]
+	if !ok {
+		return fmt.Errorf("sas: unknown question %d", id)
+	}
+	st.watch = fn
+	return nil
+}
+
+// relevant reports whether any registered question pattern could match sn.
+func (s *SAS) relevantLocked(sn nv.Sentence) bool {
+	for _, st := range s.questions {
+		for _, t := range st.q.allTerms() {
+			if t.Matches(sn) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Activate notifies the SAS that sentence sn became active at instant at.
+// Nested activation of an already-active sentence increases its depth.
+func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
+	s.mu.Lock()
+	var pending []pendingSend
+	s.stats.Notifications++
+	switch {
+	case s.filter && !s.relevantLocked(sn):
+		s.stats.Ignored++
+	default:
+		s.stats.Stored++
+		key := sn.Key()
+		if e, ok := s.active[key]; ok {
+			e.depth++
+		} else {
+			s.active[key] = &entry{sentence: sn, since: at, depth: 1}
+			s.notifyQuestionsLocked(sn, at)
+			pending = s.collectExportsLocked(sn, at)
+		}
+	}
+	s.mu.Unlock()
+	dispatch(pending)
+}
+
+// Deactivate notifies the SAS that sentence sn became inactive at instant
+// at. Deactivating a sentence that is not active is an error — balanced
+// notification is an invariant the monitoring code must maintain.
+func (s *SAS) Deactivate(sn nv.Sentence, at vtime.Time) error {
+	s.mu.Lock()
+	var pending []pendingSend
+	s.stats.Notifications++
+	key := sn.Key()
+	e, ok := s.active[key]
+	if !ok {
+		filtered := s.filter && !s.relevantLocked(sn)
+		if filtered {
+			// A filtered sentence was never stored; its deactivation is
+			// likewise ignored.
+			s.stats.Ignored++
+		}
+		s.mu.Unlock()
+		if filtered {
+			return nil
+		}
+		return fmt.Errorf("sas: deactivate of inactive sentence %v", sn)
+	}
+	s.stats.Stored++
+	e.depth--
+	if e.depth == 0 {
+		delete(s.active, key)
+		s.notifyQuestionsLocked(sn, at)
+		pending = s.collectExportsLocked(sn, at)
+	}
+	s.mu.Unlock()
+	dispatch(pending)
+	return nil
+}
+
+// notifyQuestionsLocked re-evaluates every question that mentions the
+// sentence's verb (or a wildcard verb).
+func (s *SAS) notifyQuestionsLocked(sn nv.Sentence, at vtime.Time) {
+	for _, id := range s.byVerb[sn.Verb] {
+		if st, ok := s.questions[id]; ok {
+			s.reevaluateLocked(st, at)
+		}
+	}
+	for _, id := range s.wildcardQ {
+		if st, ok := s.questions[id]; ok {
+			s.reevaluateLocked(st, at)
+		}
+	}
+}
+
+func (s *SAS) reevaluateLocked(st *questionState, at vtime.Time) {
+	s.stats.Evaluations++
+	now := s.evalLocked(st.q, nv.Sentence{}, false)
+	if now == st.satisfied {
+		return
+	}
+	st.satisfied = now
+	if now {
+		st.since = at
+	} else {
+		st.satTime += at.Sub(st.since)
+	}
+	if st.watch != nil {
+		st.watch(now, at)
+	}
+}
+
+// evalLocked evaluates a question against the active set. If extra is
+// non-zero (hasExtra), it is treated as active in addition to the stored
+// set — this lets RecordEvent measure a low-level sentence that is
+// instantaneous and never explicitly activated.
+func (s *SAS) evalLocked(q Question, extra nv.Sentence, hasExtra bool) bool {
+	match := func(t Term) bool {
+		if hasExtra && t.Matches(extra) {
+			return true
+		}
+		for _, e := range s.active {
+			if t.Matches(e.sentence) {
+				return true
+			}
+		}
+		return false
+	}
+	if q.Expr != nil {
+		return s.evalExpr(q.Expr, match)
+	}
+	if q.Ordered {
+		return s.evalOrderedLocked(q, extra, hasExtra)
+	}
+	for _, t := range q.Terms {
+		if !match(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *SAS) evalExpr(e *Expr, match func(Term) bool) bool {
+	switch e.Op {
+	case OpTerm:
+		return match(e.Term)
+	case OpAnd:
+		for _, k := range e.Kids {
+			if !s.evalExpr(k, match) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range e.Kids {
+			if s.evalExpr(k, match) {
+				return true
+			}
+		}
+		return false
+	case OpNot:
+		return !s.evalExpr(e.Kids[0], match)
+	default:
+		return false
+	}
+}
+
+// evalOrderedLocked checks the ordered reading: each term must be matched
+// by an active sentence whose activation time is no earlier than the
+// match of the preceding term — the nesting discipline of a call stack.
+// The extra (trigger) sentence, when present, is only eligible for the
+// final term and is considered activated "now" (no earlier than
+// everything else).
+func (s *SAS) evalOrderedLocked(q Question, extra nv.Sentence, hasExtra bool) bool {
+	prev := vtime.Time(-1 << 62)
+	for i, t := range q.Terms {
+		last := i == len(q.Terms)-1
+		best := vtime.Time(-1)
+		found := false
+		for _, e := range s.active {
+			if !t.Matches(e.sentence) || e.since.Before(prev) {
+				continue
+			}
+			if !found || e.since.Before(best) {
+				best = e.since
+				found = true
+			}
+		}
+		if !found && last && hasExtra && t.Matches(extra) {
+			// The trigger fires after every stored activation.
+			return true
+		}
+		if !found {
+			return false
+		}
+		prev = best
+	}
+	return true
+}
+
+// RecordEvent charges an instantaneous measured event — the execution of
+// low-level sentence sn at instant at — to every question the event
+// satisfies, adding value to each question's counter. It returns the
+// number of questions charged.
+//
+// This is the paper's central measurement act: "when a low-level sentence
+// is to be measured, monitoring code queries the SAS to determine what
+// sentences are currently active and thereby relates low-level sentences
+// to active sentences at higher levels."
+func (s *SAS) RecordEvent(sn nv.Sentence, at vtime.Time, value float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events++
+	hits := 0
+	for _, st := range s.candidatesLocked(sn) {
+		if s.questionFiresLocked(st, sn) {
+			st.count += value
+			hits++
+		}
+	}
+	return hits
+}
+
+// RecordSpan charges a measured duration — low-level sentence sn active
+// over [from, to) — to every question the event satisfies, adding the
+// span to each question's event-time accumulator.
+func (s *SAS) RecordSpan(sn nv.Sentence, from, to vtime.Time, value vtime.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events++
+	hits := 0
+	for _, st := range s.candidatesLocked(sn) {
+		if s.questionFiresLocked(st, sn) {
+			st.evTime += value
+			hits++
+		}
+	}
+	return hits
+}
+
+// candidatesLocked returns the questions whose patterns mention sn's verb
+// or a wildcard, in registration order (deterministic).
+func (s *SAS) candidatesLocked(sn nv.Sentence) []*questionState {
+	ids := append(append([]QuestionID(nil), s.byVerb[sn.Verb]...), s.wildcardQ...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*questionState, 0, len(ids))
+	var last QuestionID = -1
+	for _, id := range ids {
+		if id == last {
+			continue
+		}
+		last = id
+		if st, ok := s.questions[id]; ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// questionFiresLocked decides whether a measured event for sn satisfies
+// question st. For unordered questions the event sentence must match some
+// term and the whole question must hold with the event treated as active.
+// For ordered questions the event must match the final (measured) term
+// and the earlier terms must be satisfied in activation order.
+func (s *SAS) questionFiresLocked(st *questionState, sn nv.Sentence) bool {
+	if trig := st.q.trigger(); trig != nil {
+		if !trig.Matches(sn) {
+			return false
+		}
+		return s.evalLocked(st.q, sn, true)
+	}
+	if st.q.Expr == nil {
+		matchesSome := false
+		for _, t := range st.q.Terms {
+			if t.Matches(sn) {
+				matchesSome = true
+				break
+			}
+		}
+		if !matchesSome {
+			return false
+		}
+	}
+	return s.evalLocked(st.q, sn, true)
+}
+
+// Satisfied reports the current gate state of a question.
+func (s *SAS) Satisfied(id QuestionID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.questions[id]
+	return ok && st.satisfied
+}
+
+// Result returns the measurement state of a question as of instant now
+// (a currently-satisfied gate timer includes the open interval up to now).
+func (s *SAS) Result(id QuestionID, now vtime.Time) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.questions[id]
+	if !ok {
+		return Result{}, fmt.Errorf("sas: unknown question %d", id)
+	}
+	r := Result{
+		Question:      st.q,
+		Count:         st.count,
+		EventTime:     st.evTime,
+		SatisfiedTime: st.satTime,
+		Satisfied:     st.satisfied,
+	}
+	if st.satisfied && now.After(st.since) {
+		r.SatisfiedTime += now.Sub(st.since)
+	}
+	return r, nil
+}
+
+// Snapshot returns the active sentences sorted by activation time then
+// key — the Figure 5 view of the SAS.
+func (s *SAS) Snapshot() []ActiveSentence {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ActiveSentence, 0, len(s.active))
+	for _, e := range s.active {
+		out = append(out, ActiveSentence{Sentence: e.sentence, Since: e.since, Depth: e.depth})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Since != out[j].Since {
+			return out[i].Since < out[j].Since
+		}
+		return out[i].Sentence.Key() < out[j].Sentence.Key()
+	})
+	return out
+}
+
+// Active reports whether sn is currently active.
+func (s *SAS) Active(sn nv.Sentence) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.active[sn.Key()]
+	return ok
+}
+
+// Size returns the number of distinct active sentences.
+func (s *SAS) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+// Stats returns a copy of the notification statistics.
+func (s *SAS) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// lastKnownTimeLocked returns a best-effort "now" for evaluating a
+// question added mid-run: the latest activation time seen.
+func (s *SAS) lastKnownTimeLocked() vtime.Time {
+	var t vtime.Time
+	for _, e := range s.active {
+		if e.since.After(t) {
+			t = e.since
+		}
+	}
+	return t
+}
+
+// FormatSnapshot renders the snapshot the way Figure 5 prints it, one
+// active sentence per line prefixed with its level of abstraction, e.g.
+//
+//	HPF:  line #1 executes
+//	Base: Processor sends a message
+//
+// Levels and display names come from the registry; sentences whose verb
+// is unknown to the registry are printed with a "?" level.
+func FormatSnapshot(snap []ActiveSentence, reg *nv.Registry) string {
+	var b []byte
+	for _, a := range snap {
+		level := "?"
+		if v, ok := reg.Verb(a.Sentence.Verb); ok {
+			level = string(v.Level)
+		}
+		b = append(b, fmt.Sprintf("%-6s %v\n", level+":", a.Sentence)...)
+	}
+	return string(b)
+}

@@ -1,0 +1,115 @@
+package sas
+
+import (
+	"nvmap/internal/nv"
+	"nvmap/internal/vtime"
+)
+
+// This file implements shadow contexts, our remedy for the first
+// limitation of Section 4.2.4: "the SAS approach does not handle
+// asynchronous activation of sentences." In the paper's Figure 7 a user
+// process calls write() and the kernel performs the disk write later, when
+// the function-execution sentence has already left the SAS, so kernel disk
+// writes on behalf of func() "could not be measured with the help of the
+// SAS alone."
+//
+// A shadow context closes the gap: at the handoff point (the write()
+// system call) the requester captures the currently active sentences; the
+// asynchronous worker later measures its low-level sentences *in* that
+// captured context, so questions spanning both sides fire as if the
+// high-level sentences were still active. This is precisely the mechanism
+// the paper's client/server forwarding (Section 4.2.3) uses across space,
+// applied across time.
+
+// Shadow is a captured activation context.
+type Shadow struct {
+	// Entries are the sentences (with their activation instants) that
+	// were active at capture time.
+	Entries []ActiveSentence
+	// CapturedAt records the handoff instant.
+	CapturedAt vtime.Time
+}
+
+// Capture snapshots the sentences active now. If patterns are given, only
+// sentences matching at least one pattern are captured — the same
+// size-reduction idea as relevance filtering, since asynchronous work may
+// outlive many irrelevant activations.
+func (s *SAS) Capture(at vtime.Time, patterns ...Term) Shadow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := Shadow{CapturedAt: at}
+	for _, e := range s.active {
+		if len(patterns) > 0 {
+			keep := false
+			for _, p := range patterns {
+				if p.Matches(e.sentence) {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		sh.Entries = append(sh.Entries, ActiveSentence{Sentence: e.sentence, Since: e.since, Depth: e.depth})
+	}
+	return sh
+}
+
+// installShadowLocked temporarily adds the shadow's sentences to the
+// active set (those not already present) and returns a restore function.
+// Question gate state is deliberately not re-evaluated: shadows affect
+// only the measurement being recorded, not satisfied-time accounting.
+func (s *SAS) installShadowLocked(sh Shadow) func() {
+	var added []string
+	for _, e := range sh.Entries {
+		key := e.Sentence.Key()
+		if _, ok := s.active[key]; ok {
+			continue
+		}
+		s.active[key] = &entry{sentence: e.Sentence, since: e.Since, depth: 1}
+		added = append(added, key)
+	}
+	return func() {
+		for _, key := range added {
+			delete(s.active, key)
+		}
+	}
+}
+
+// RecordEventInContext is RecordEvent evaluated as if the shadow's
+// sentences were still active. It returns the number of questions
+// charged.
+func (s *SAS) RecordEventInContext(sh Shadow, sn nv.Sentence, at vtime.Time, value float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events++
+	restore := s.installShadowLocked(sh)
+	defer restore()
+	hits := 0
+	for _, st := range s.candidatesLocked(sn) {
+		if s.questionFiresLocked(st, sn) {
+			st.count += value
+			hits++
+		}
+	}
+	return hits
+}
+
+// RecordSpanInContext is RecordSpan evaluated as if the shadow's
+// sentences were still active.
+func (s *SAS) RecordSpanInContext(sh Shadow, sn nv.Sentence, from, to vtime.Time, value vtime.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events++
+	restore := s.installShadowLocked(sh)
+	defer restore()
+	hits := 0
+	for _, st := range s.candidatesLocked(sn) {
+		if s.questionFiresLocked(st, sn) {
+			st.evTime += value
+			hits++
+		}
+	}
+	return hits
+}

@@ -1,0 +1,183 @@
+// Package trace records the simulated machine's event stream into
+// per-node timelines and renders them as ASCII Gantt charts — the
+// textual analogue of Figure 7's time-lines, generalised to the whole
+// partition. Traces answer at a glance the question the consultant
+// answers numerically: where does each node's virtual time go?
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvmap/internal/machine"
+	"nvmap/internal/vtime"
+)
+
+// Span is one recorded activity interval on a node.
+type Span struct {
+	Node  int
+	Kind  machine.EventKind
+	Tag   string
+	Start vtime.Time
+	End   vtime.Time
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() vtime.Duration { return s.End.Sub(s.Start) }
+
+// Trace accumulates spans from a machine.
+type Trace struct {
+	nodes int
+	spans []Span
+}
+
+// New returns an empty trace for a partition of the given size.
+func New(nodes int) *Trace {
+	return &Trace{nodes: nodes}
+}
+
+// Attach registers the trace as an observer of m. Only spans with
+// positive duration on worker nodes are recorded (instantaneous events
+// like message receipts carry no timeline area).
+func (t *Trace) Attach(m *machine.Machine) {
+	m.Observe(func(e machine.Event) {
+		if e.Node < 0 || !e.End.After(e.Start) {
+			return
+		}
+		// A barrier's span duplicates the idle event the machine already
+		// emitted for the wait; recording both would overdraw the lane.
+		if e.Kind == machine.EvBarrier {
+			return
+		}
+		t.spans = append(t.spans, Span{
+			Node: e.Node, Kind: e.Kind, Tag: e.Tag, Start: e.Start, End: e.End,
+		})
+	})
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int { return len(t.spans) }
+
+// Spans returns the recorded spans for one node in start order.
+func (t *Trace) Spans(node int) []Span {
+	var out []Span
+	for _, s := range t.spans {
+		if s.Node == node {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// End returns the latest recorded instant.
+func (t *Trace) End() vtime.Time {
+	var end vtime.Time
+	for _, s := range t.spans {
+		if s.End.After(end) {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// Utilization sums span durations per event kind for one node.
+func (t *Trace) Utilization(node int) map[machine.EventKind]vtime.Duration {
+	out := make(map[machine.EventKind]vtime.Duration)
+	for _, s := range t.spans {
+		if s.Node == node {
+			out[s.Kind] += s.Duration()
+		}
+	}
+	return out
+}
+
+// laneChar maps event kinds to timeline glyphs.
+func laneChar(k machine.EventKind) byte {
+	switch k {
+	case machine.EvCompute:
+		return '#'
+	case machine.EvSend:
+		return 's'
+	case machine.EvRecv:
+		return 'r'
+	case machine.EvDispatch:
+		return 'a' // argument processing / activation
+	case machine.EvBroadcast:
+		return 'b'
+	case machine.EvReduce:
+		return 'R'
+	case machine.EvIdle:
+		return '.'
+	default:
+		return '?'
+	}
+}
+
+// Legend describes the timeline glyphs.
+const Legend = "# compute   s send   r recv   R reduce   b broadcast   a activation/args   . idle"
+
+// Render draws one lane per node, width characters wide, covering the
+// whole recorded time range. Later spans overwrite earlier ones within a
+// character cell; sub-character spans round to at least one cell so
+// short communications stay visible.
+func (t *Trace) Render(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	end := t.End()
+	if end == 0 {
+		return "(empty trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline 0s .. %v (%d cells of %v)\n", end, width, end.Sub(0)/vtime.Duration(width))
+	for n := 0; n < t.nodes; n++ {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		for _, s := range t.Spans(n) {
+			lo := int(int64(s.Start) * int64(width) / int64(end))
+			hi := int(int64(s.End) * int64(width) / int64(end))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			c := laneChar(s.Kind)
+			for i := lo; i < hi; i++ {
+				lane[i] = c
+			}
+		}
+		fmt.Fprintf(&b, "node%-3d |%s|\n", n, lane)
+	}
+	b.WriteString(Legend)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Summary renders per-node utilization percentages for the dominant
+// kinds (compute, communication, idle).
+func (t *Trace) Summary() string {
+	end := t.End()
+	if end == 0 {
+		return "(empty trace)\n"
+	}
+	total := float64(end.Sub(0))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s %9s %9s\n", "node", "compute", "comm", "idle", "other")
+	for n := 0; n < t.nodes; n++ {
+		u := t.Utilization(n)
+		comm := u[machine.EvSend] + u[machine.EvRecv] + u[machine.EvBroadcast] + u[machine.EvReduce]
+		other := u[machine.EvDispatch]
+		fmt.Fprintf(&b, "node%-4d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			n,
+			100*float64(u[machine.EvCompute])/total,
+			100*float64(comm)/total,
+			100*float64(u[machine.EvIdle])/total,
+			100*float64(other)/total)
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nvmap/internal/machine"
+	"nvmap/internal/vtime"
+)
+
+func tracedMachine(t *testing.T, nodes int) (*machine.Machine, *Trace) {
+	t.Helper()
+	m, err := machine.New(machine.DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(nodes)
+	tr.Attach(m)
+	return m, tr
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	m, tr := tracedMachine(t, 2)
+	m.Compute(0, 1000, "work")
+	m.Send(0, 1, 64, "msg")
+	if tr.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	spans := tr.Spans(0)
+	if len(spans) < 2 {
+		t.Fatalf("node 0 spans = %v", spans)
+	}
+	if spans[0].Kind != machine.EvCompute || spans[0].Start != 0 {
+		t.Fatalf("first span = %+v", spans[0])
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatal("spans not ordered")
+		}
+	}
+}
+
+func TestTraceSkipsInstantaneousAndCPEvents(t *testing.T) {
+	m, tr := tracedMachine(t, 2)
+	m.Send(0, 1, 16, "msg") // receiver gets an instantaneous recv event
+	for _, s := range tr.Spans(1) {
+		if s.Kind == machine.EvRecv && s.Duration() == 0 {
+			t.Fatal("zero-length recv recorded")
+		}
+	}
+	for n := 0; n < 2; n++ {
+		for _, s := range tr.Spans(n) {
+			if s.Node < 0 {
+				t.Fatal("control-processor span recorded in node lane")
+			}
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m, tr := tracedMachine(t, 2)
+	m.Compute(0, 1000, "w")
+	want := m.Config().ComputePerElem.Scale(1000)
+	u := tr.Utilization(0)
+	if u[machine.EvCompute] != want {
+		t.Fatalf("compute utilization = %v, want %v", u[machine.EvCompute], want)
+	}
+	if len(tr.Utilization(1)) != 0 {
+		t.Fatal("idle node has utilization")
+	}
+}
+
+func TestRender(t *testing.T) {
+	m, tr := tracedMachine(t, 2)
+	m.Compute(0, 50_000, "w")
+	m.Barrier("sync")
+	out := tr.Render(40)
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "node0") || !strings.HasPrefix(lines[2], "node1") {
+		t.Fatalf("lanes missing:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("compute glyph missing on node0:\n%s", out)
+	}
+	if !strings.Contains(lines[2], ".") {
+		t.Fatalf("idle glyph missing on node1 (it waited at the barrier):\n%s", out)
+	}
+	if !strings.Contains(out, Legend) {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	tr := New(2)
+	if !strings.Contains(tr.Render(20), "empty") {
+		t.Fatal("empty trace should say so")
+	}
+	if !strings.Contains(tr.Summary(), "empty") {
+		t.Fatal("empty summary should say so")
+	}
+}
+
+func TestSummaryFractions(t *testing.T) {
+	m, tr := tracedMachine(t, 2)
+	m.Compute(0, 100_000, "w")
+	m.Barrier("sync")
+	out := tr.Summary()
+	if !strings.Contains(out, "node0") || !strings.Contains(out, "node1") {
+		t.Fatalf("summary:\n%s", out)
+	}
+	// Node 0 computed almost the whole time; node 1 idled almost the
+	// whole time.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], "9") {
+		t.Fatalf("node0 compute fraction suspicious:\n%s", out)
+	}
+}
+
+// Property: lane rendering never panics and every lane has exactly the
+// requested width, for arbitrary op sequences.
+func TestRenderWidthProperty(t *testing.T) {
+	f := func(ops []uint8, w8 uint8) bool {
+		width := int(w8%80) + 1
+		m, err := machine.New(machine.DefaultConfig(3))
+		if err != nil {
+			return false
+		}
+		tr := New(3)
+		tr.Attach(m)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				m.Compute(int(op)%3, int(op), "c")
+			case 1:
+				m.Send(int(op)%3, int(op/4)%3, int(op), "s")
+			case 2:
+				m.Dispatch("d", 8)
+			case 3:
+				m.Barrier("b")
+			}
+		}
+		out := tr.Render(width)
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "node") {
+				bar := line[strings.IndexByte(line, '|')+1 : strings.LastIndexByte(line, '|')]
+				if len(bar) != width {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-kind utilization is additive over the recorded spans.
+func TestUtilizationAdditiveProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m, _ := machine.New(machine.DefaultConfig(2))
+		tr := New(2)
+		tr.Attach(m)
+		for _, op := range ops {
+			m.Compute(int(op)%2, int(op)+1, "c")
+		}
+		var want vtime.Duration
+		for _, s := range tr.Spans(0) {
+			want += s.Duration()
+		}
+		return tr.Utilization(0)[machine.EvCompute] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAttachOverhead(b *testing.B) {
+	m, _ := machine.New(machine.DefaultConfig(4))
+	tr := New(4)
+	tr.Attach(m)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Compute(i%4, 10, "c")
+	}
+}

@@ -1,0 +1,70 @@
+// Package vtime provides the virtual time base used by every simulated
+// component in nvmap.
+//
+// All measurement in this repository happens on a deterministic simulated
+// clock rather than the host clock: the paper's experiments concern the
+// structure and attribution of events, not wall-clock accidents of the host
+// machine. Time is an absolute instant and Duration a signed span, both in
+// virtual nanoseconds.
+package vtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an absolute instant in virtual nanoseconds since the start of a
+// simulation. The zero Time is the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring the time package so cost models read
+// naturally (e.g. 3*vtime.Microsecond).
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Max returns the later of t and u.
+func (t Time) Max(u Time) Time {
+	if t > u {
+		return t
+	}
+	return u
+}
+
+// String formats the instant as an offset from the epoch, e.g. "1.5ms".
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts d to a standard library time.Duration for formatting.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// String formats the duration using the standard library notation.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Scale returns d scaled by n (useful for per-element cost models).
+func (d Duration) Scale(n int) Duration { return d * Duration(n) }
+
+// FormatSeconds renders d as a fixed-point seconds string, e.g. "0.004321 s".
+func FormatSeconds(d Duration) string {
+	return fmt.Sprintf("%.6f s", d.Seconds())
+}

@@ -1,0 +1,79 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestArithmetic(t *testing.T) {
+	var t0 Time
+	t1 := t0.Add(5 * Microsecond)
+	if t1.Sub(t0) != 5*Microsecond {
+		t.Fatalf("Sub = %v", t1.Sub(t0))
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatal("ordering broken")
+	}
+	if t0.Max(t1) != t1 || t1.Max(t0) != t1 {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond || Microsecond != 1000*Nanosecond {
+		t.Fatal("unit ladder broken")
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %g", got)
+	}
+	if got := Duration(1500).Std(); got != 1500*time.Nanosecond {
+		t.Fatalf("Std = %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := (3 * Microsecond).Scale(4); got != 12*Microsecond {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := Microsecond.Scale(0); got != 0 {
+		t.Fatalf("Scale(0) = %v", got)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if got := (1500 * Microsecond).String(); got != "1.5ms" {
+		t.Fatalf("Duration.String = %q", got)
+	}
+	if got := Time(1500 * 1000).String(); got != "1.5ms" {
+		t.Fatalf("Time.String = %q", got)
+	}
+	if got := FormatSeconds(2500 * Microsecond); got != "0.002500 s" {
+		t.Fatalf("FormatSeconds = %q", got)
+	}
+}
+
+// Property: Add and Sub are inverse.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(base int64, d int32) bool {
+		t0 := Time(base)
+		dd := Duration(d)
+		return t0.Add(dd).Sub(t0) == dd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Max is commutative, associative and idempotent.
+func TestMaxLatticeProperty(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		x, y, z := Time(a), Time(b), Time(c)
+		return x.Max(y) == y.Max(x) &&
+			x.Max(y).Max(z) == x.Max(y.Max(z)) &&
+			x.Max(x) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

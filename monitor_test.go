@@ -1,0 +1,124 @@
+package nvmap
+
+import (
+	"testing"
+
+	"nvmap/internal/sas"
+)
+
+func TestMonitorAskTextQuestions(t *testing.T) {
+	s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.EnableSASMonitor(false)
+	qSends, err := m.Ask("", "{A Sums}, {? Sends}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qGate, err := m.Ask("sum gate", "{A Sums}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := qSends.Answer(s.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count != 3 {
+		t.Fatalf("sends during SUM(A) = %g, want 3", r1.Count)
+	}
+	r2, err := qGate.Answer(s.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SatisfiedTime <= 0 {
+		t.Fatalf("gate time = %v", r2.SatisfiedTime)
+	}
+}
+
+func TestMonitorAskValidation(t *testing.T) {
+	s, err := NewSession(hpfProgram, Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.EnableSASMonitor(false)
+	if _, err := m.Ask("", "not a question"); err == nil {
+		t.Fatal("malformed question accepted")
+	}
+}
+
+func TestMonitorSnapshotWhen(t *testing.T) {
+	s, err := NewSession(hpfProgram, Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.EnableSASMonitor(false)
+	m.SnapshotWhen(sas.T("Sums", sas.Any))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot == nil {
+		t.Fatal("snapshot trigger never fired")
+	}
+	found := false
+	for _, a := range m.Snapshot {
+		if a.Sentence.Verb == "Sums" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot %v lacks the triggering sentence", m.Snapshot)
+	}
+}
+
+func TestMonitorStatsAndFiltering(t *testing.T) {
+	run := func(filter bool) sas.Stats {
+		s, err := NewSession(hpfProgram, Config{Nodes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := s.EnableSASMonitor(filter)
+		if _, err := m.Ask("", "{A Sums}"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats()
+	}
+	unfiltered := run(false)
+	filtered := run(true)
+	if unfiltered.Notifications != filtered.Notifications {
+		t.Fatalf("notification counts differ: %d vs %d",
+			unfiltered.Notifications, filtered.Notifications)
+	}
+	if filtered.Ignored == 0 || filtered.Stored >= unfiltered.Stored {
+		t.Fatalf("filtering ineffective: %+v vs %+v", filtered, unfiltered)
+	}
+}
+
+func TestMonitorOrderedQuestionText(t *testing.T) {
+	s, err := NewSession(hpfProgram, Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.EnableSASMonitor(false)
+	q, err := m.Ask("", "{? Sends}, {A Sums} [ordered]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := q.Answer(s.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A summation never begins inside a send.
+	if r.Count != 0 {
+		t.Fatalf("ordered count = %g, want 0", r.Count)
+	}
+}

@@ -1,0 +1,198 @@
+// Package nvmap is a full-stack reproduction of Irvin & Miller,
+// "Mechanisms for Mapping High-Level Parallel Performance Data" (ICPP
+// 1996): the Noun-Verb model, static and dynamic mapping information, the
+// Set of Active Sentences, and the paper's CM Fortran / Paradyn case
+// study — rebuilt as a self-contained Go library over a deterministic
+// simulated CM-5-class machine.
+//
+// The facade wires the whole stack into a Session: a mini CM Fortran
+// program is compiled (package cmf), its compiler listing is turned into
+// a PIF file of static mapping information (package pifgen), a simulated
+// machine and CM run-time system are built (packages machine, cmrts), and
+// a Paradyn-like tool (package paradyn) is attached through dynamic
+// instrumentation (package dyninst) with the Figure 9 metric library
+// (package mdl). The Set of Active Sentences (package sas) answers
+// cross-level performance questions.
+//
+//	s, err := nvmap.NewSession(source, nvmap.Config{Nodes: 8})
+//	em, err := s.Tool.EnableMetric("summation_time", paradyn.WholeProgram())
+//	err = s.Run()
+//	fmt.Println(em.Value(s.Now()))
+package nvmap
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nvmap/internal/cmf"
+	"nvmap/internal/cmrts"
+	"nvmap/internal/dyninst"
+	"nvmap/internal/machine"
+	"nvmap/internal/mdl"
+	"nvmap/internal/paradyn"
+	"nvmap/internal/pif"
+	"nvmap/internal/pifgen"
+	"nvmap/internal/trace"
+	"nvmap/internal/vtime"
+)
+
+// Config configures a measurement session.
+type Config struct {
+	// Nodes is the partition size (default 8).
+	Nodes int
+	// Machine overrides the machine cost model (nil = default for Nodes).
+	Machine *machine.Config
+	// Fuse enables the compiler's fusion of adjacent elementwise
+	// statements (producing one-to-many mappings).
+	Fuse bool
+	// SourceFile names the program in listings and descriptions.
+	SourceFile string
+	// Output receives PRINT output (nil = discard).
+	Output io.Writer
+	// InstCosts overrides the instrumentation perturbation model.
+	InstCosts *dyninst.CostModel
+	// SampleEvery overrides the tool's histogram sampling interval.
+	SampleEvery vtime.Duration
+	// NoPerturbation disconnects instrumentation overhead from the node
+	// clocks (for experiments isolating application cost).
+	NoPerturbation bool
+}
+
+// Session is one application bound to a machine, runtime and tool.
+type Session struct {
+	Machine  *machine.Machine
+	Inst     *dyninst.Manager
+	Runtime  *cmrts.Runtime
+	Tool     *paradyn.Tool
+	Program  *cmf.Compiled
+	Executor *cmf.Executor
+	PIF      *pif.File
+}
+
+// NewSession compiles source, generates its static mapping information,
+// and builds the simulated machine, runtime and tool around it. The
+// session has not executed yet: enable metrics and instrumentation, then
+// call Run.
+func NewSession(source string, cfg Config) (*Session, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 8
+	}
+	mcfg := machine.DefaultConfig(cfg.Nodes)
+	if cfg.Machine != nil {
+		mcfg = *cfg.Machine
+		mcfg.Nodes = cfg.Nodes
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	costs := dyninst.DefaultCosts()
+	if cfg.InstCosts != nil {
+		costs = *cfg.InstCosts
+	}
+	perturb := m.AdvanceNode
+	if cfg.NoPerturbation {
+		perturb = nil
+	}
+	inst := dyninst.NewManager(costs, perturb)
+	rt, err := cmrts.New(m, inst, cmrts.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	tool, err := paradyn.New(rt, mdl.StdLibrary(), paradyn.Options{SampleEvery: cfg.SampleEvery})
+	if err != nil {
+		return nil, err
+	}
+
+	cp, err := cmf.CompileSource(source, cmf.Options{Fuse: cfg.Fuse, SourceFile: cfg.SourceFile})
+	if err != nil {
+		return nil, err
+	}
+	pf, err := pifgen.FromListing(strings.NewReader(cp.Listing()))
+	if err != nil {
+		return nil, err
+	}
+	if err := tool.LoadPIF(pf); err != nil {
+		return nil, err
+	}
+	return &Session{
+		Machine:  m,
+		Inst:     inst,
+		Runtime:  rt,
+		Tool:     tool,
+		Program:  cp,
+		Executor: cmf.NewExecutor(cp, rt, cfg.Output),
+		PIF:      pf,
+	}, nil
+}
+
+// Run executes the program to completion on the simulated machine.
+func (s *Session) Run() error { return s.Executor.Run() }
+
+// EnableTrace attaches an execution-trace recorder to the machine. Call
+// before Run; render with Trace.Render / Trace.Summary.
+func (s *Session) EnableTrace() *trace.Trace {
+	tr := trace.New(s.Machine.Nodes())
+	tr.Attach(s.Machine)
+	return tr
+}
+
+// Now returns the session's global virtual clock.
+func (s *Session) Now() vtime.Time { return s.Machine.GlobalNow() }
+
+// Elapsed returns the virtual time consumed so far.
+func (s *Session) Elapsed() vtime.Duration { return s.Now().Sub(0) }
+
+// Listing returns the compiler listing (the pifgen input).
+func (s *Session) Listing() string { return s.Program.Listing() }
+
+// PIFText renders the generated static mapping information in PIF syntax.
+func (s *Session) PIFText() (string, error) {
+	var b strings.Builder
+	if err := pif.Write(&b, s.PIF); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// MetricRows reads a set of enabled metrics into display rows.
+func MetricRows(ems []*paradyn.EnabledMetric, now vtime.Time) []paradyn.Row {
+	rows := make([]paradyn.Row, 0, len(ems))
+	for _, em := range ems {
+		rows = append(rows, paradyn.Row{
+			Metric: em.Metric.Name,
+			Focus:  em.Focus.String(),
+			Value:  em.Value(now),
+			Units:  em.Metric.Units,
+		})
+	}
+	return rows
+}
+
+// RunWithMetrics is the one-call convenience: build a session, enable the
+// named metrics at the whole-program focus, run, and return the final
+// values keyed by metric ID.
+func RunWithMetrics(source string, cfg Config, metricIDs ...string) (map[string]float64, error) {
+	s, err := NewSession(source, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ems := make(map[string]*paradyn.EnabledMetric, len(metricIDs))
+	for _, id := range metricIDs {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			return nil, fmt.Errorf("nvmap: %w", err)
+		}
+		ems[id] = em
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	now := s.Now()
+	out := make(map[string]float64, len(ems))
+	for id, em := range ems {
+		out[id] = em.Value(now)
+	}
+	return out, nil
+}
