@@ -108,7 +108,7 @@ func BenchmarkFig8WhereAxis(b *testing.B) {
 			b.Fatal(err)
 		}
 		s.Tool.EnableDynamicMapping()
-		if err := s.Run(); err != nil {
+		if _, err := s.Run(); err != nil {
 			b.Fatal(err)
 		}
 		if s.Tool.Axis.Render() == "" {
@@ -131,7 +131,7 @@ func BenchmarkFig9Metrics(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if err := s.Run(); err != nil {
+		if _, err := s.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -152,7 +152,7 @@ func benchInstrumentation(b *testing.B, metricIDs []string) {
 				b.Fatal(err)
 			}
 		}
-		if err := s.Run(); err != nil {
+		if _, err := s.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -270,7 +270,8 @@ END
 		if err != nil {
 			return nil, nil, err
 		}
-		return s.Tool, s.Run, nil
+		run := func() error { _, err := s.Run(); return err }
+		return s.Tool, run, nil
 	}
 	c := paradyn.NewConsultant()
 	b.ReportAllocs()

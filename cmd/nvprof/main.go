@@ -158,7 +158,7 @@ func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhe
 		}
 	}
 
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		return err
 	}
 	now := s.Now()
@@ -204,7 +204,8 @@ func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhe
 			if err != nil {
 				return nil, nil, err
 			}
-			return fresh.Tool, fresh.Run, nil
+			run := func() error { _, err := fresh.Run(); return err }
+			return fresh.Tool, run, nil
 		})
 		if err != nil {
 			return err

@@ -42,7 +42,7 @@ func main() {
 	if err := s.Tool.EnableBlockTimers(); err != nil {
 		log.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		log.Fatal(err)
 	}
 	now := s.Now()

@@ -127,7 +127,7 @@ func main() {
 		ids[i] = m
 	}
 
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -52,7 +52,7 @@ func main() {
 		enabled = append(enabled, em)
 	}
 
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -73,7 +73,7 @@ func main() {
 		enabled = append(enabled, em)
 	}
 
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		log.Fatal(err)
 	}
 	now := s.Now()
@@ -104,7 +104,8 @@ func main() {
 		if err != nil {
 			return nil, nil, err
 		}
-		return fresh.Tool, fresh.Run, nil
+		run := func() error { _, err := fresh.Run(); return err }
+		return fresh.Tool, run, nil
 	})
 	if err != nil {
 		log.Fatal(err)

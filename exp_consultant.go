@@ -33,7 +33,8 @@ func ExperimentConsultant() (string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return s.Tool, s.Run, nil
+		run := func() error { _, err := s.Run(); return err }
+		return s.Tool, run, nil
 	}
 	c := paradyn.NewConsultant()
 	findings, err := c.Search(factory)

@@ -73,6 +73,9 @@ type Monitor struct {
 	Snapshot     []sas.ActiveSentence
 	snapshotWant sas.Term
 	sendStart    []vtime.Time
+	// links holds the reliable cross-node links created with
+	// ExportReliable, in creation order, for the degradation report.
+	links []*sas.ReliableLink
 }
 
 // wireSAS is the internal constructor behind Session.EnableSASMonitor.
@@ -90,6 +93,7 @@ func wireSAS(s *Session, filter bool) *Monitor {
 		Model:     nv.NewRegistry(),
 		sendStart: make([]vtime.Time, s.Machine.Nodes()),
 	}
+	s.monitor = w
 	_ = w.Model.AddLevel(nv.Level{ID: "HPF", Name: "HPF", Rank: 2})
 	_ = w.Model.AddLevel(nv.Level{ID: "Base", Name: "Base", Rank: 0})
 	for _, v := range []nv.VerbID{verbExecutes, verbSums, verbMaxvals, verbMinvals} {
@@ -193,7 +197,7 @@ func ExperimentFig5() (string, error) {
 	}
 	w := wireSAS(s, false)
 	w.snapshotWant = sas.T(verbSums, sas.Any)
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		return "", err
 	}
 	if w.Snapshot == nil {
@@ -248,7 +252,7 @@ func runFig6(filter bool) ([]fig6Result, *Monitor, error) {
 		}
 		ids[i] = m
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		return nil, nil, err
 	}
 	now := s.Now()
@@ -375,7 +379,7 @@ func runFig6filterAOnly(filter bool) ([]fig6Result, *Monitor, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		return nil, nil, err
 	}
 	agg, err := w.Reg.AggregateResult(ids, s.Now())
@@ -418,7 +422,7 @@ func AblationOrderedQuestions() (string, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		if err := s.Run(); err != nil {
+		if _, err := s.Run(); err != nil {
 			return 0, 0, err
 		}
 		a1, err := w.Reg.AggregateResult(idsSends, s.Now())

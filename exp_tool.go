@@ -36,7 +36,7 @@ func ExperimentFig8() (string, error) {
 		return "", err
 	}
 	s.Tool.EnableDynamicMapping()
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		return "", err
 	}
 	var b strings.Builder
@@ -91,7 +91,7 @@ func ExperimentFig9() (string, error) {
 		}
 		ems = append(ems, em)
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		return "", err
 	}
 	// The workload ends with the runtime resetting the vector units.
@@ -164,7 +164,7 @@ func AblationFusion() (string, error) {
 		if err != nil {
 			return outcome{}, err
 		}
-		if err := s.Run(); err != nil {
+		if _, err := s.Run(); err != nil {
 			return outcome{}, err
 		}
 		now := s.Now()
@@ -220,7 +220,7 @@ func AblationDynInst() (string, error) {
 				return outcome{}, err
 			}
 		}
-		if err := s.Run(); err != nil {
+		if _, err := s.Run(); err != nil {
 			return outcome{}, err
 		}
 		st := s.Inst.Stats()

@@ -1,0 +1,204 @@
+package nvmap
+
+import (
+	"testing"
+
+	"nvmap/internal/fault"
+	"nvmap/internal/paradyn"
+	"nvmap/internal/sas"
+	"nvmap/internal/vtime"
+)
+
+const faultTestProgram = `PROGRAM ftest
+REAL A(256)
+REAL B(256)
+REAL S
+REAL T
+FORALL (I = 1:256) A(I) = I
+FORALL (I = 1:256) B(I) = 2 * I
+S = SUM(A)
+T = MAXVAL(B)
+END
+`
+
+func faultPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed: 2026,
+		Messages: fault.MessageFaults{
+			DropProb: 0.1, DupProb: 0.05, DelayProb: 0.25, DelayMax: 30 * vtime.Microsecond,
+		},
+		Nodes:   fault.NodeFaults{Slowdown: map[int]float64{2: 1.5}},
+		Channel: fault.ChannelFaults{Capacity: 2, Policy: fault.DropOldest},
+	}
+}
+
+func runFaulted(t *testing.T, plan *fault.Plan) (*Session, *DegradationReport, map[string]float64) {
+	t.Helper()
+	s, err := NewSession(faultTestProgram, Config{Nodes: 4, SourceFile: "ftest.fcm", Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tool.EnableDynamicMapping()
+	ems := make(map[string]*paradyn.EnabledMetric)
+	for _, id := range []string{"summation_time", "point_to_point_ops", "idle_time"} {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ems[id] = em
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string]float64)
+	for id, em := range ems {
+		vals[id] = em.Value(s.Now())
+	}
+	return s, rep, vals
+}
+
+// The same fault seed must reproduce the same degraded run exactly:
+// elapsed virtual time, degradation report, and every metric value.
+func TestFaultSeedDeterministic(t *testing.T) {
+	s1, r1, v1 := runFaulted(t, faultPlan())
+	s2, r2, v2 := runFaulted(t, faultPlan())
+	if s1.Elapsed() != s2.Elapsed() {
+		t.Fatalf("elapsed differs: %v vs %v", s1.Elapsed(), s2.Elapsed())
+	}
+	if r1.String() != r2.String() {
+		t.Fatalf("degradation reports differ:\n%s\nvs\n%s", r1, r2)
+	}
+	for id, a := range v1 {
+		if b := v2[id]; a != b {
+			t.Fatalf("metric %s differs: %g vs %g", id, a, b)
+		}
+	}
+	if r1.Zero() {
+		t.Fatal("plan injected nothing; the test proves nothing")
+	}
+}
+
+// Different seeds must produce different degraded schedules.
+func TestFaultSeedsDiffer(t *testing.T) {
+	p2 := faultPlan()
+	p2.Seed = 999
+	_, r1, _ := runFaulted(t, faultPlan())
+	_, r2, _ := runFaulted(t, p2)
+	if r1.String() == r2.String() && r1.Injected == r2.Injected {
+		t.Fatalf("seeds 2026 and 999 produced identical degradation:\n%s", r1)
+	}
+}
+
+// With no fault plan, the run must match a plain session exactly — the
+// fault machinery is invisible when disabled — and report zero
+// degradation.
+func TestNoFaultsInvisible(t *testing.T) {
+	build := func(with bool) (*Session, *DegradationReport, map[string]float64) {
+		cfg := Config{Nodes: 4, SourceFile: "ftest.fcm"}
+		if with {
+			cfg.Faults = nil // explicit: the zero configuration
+		}
+		s, err := NewSession(faultTestProgram, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, err := s.Tool.EnableMetric("summation_time", paradyn.WholeProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, rep, map[string]float64{"summation_time": em.Value(s.Now())}
+	}
+	s1, r1, v1 := build(false)
+	s2, r2, v2 := build(true)
+	if s1.Elapsed() != s2.Elapsed() || v1["summation_time"] != v2["summation_time"] {
+		t.Fatalf("fault-free runs differ: %v/%g vs %v/%g",
+			s1.Elapsed(), v1["summation_time"], s2.Elapsed(), v2["summation_time"])
+	}
+	if !r1.Zero() || !r2.Zero() {
+		t.Fatalf("clean runs reported degradation:\n%s\n%s", r1, r2)
+	}
+	if r1.String() != "no degradation\n" {
+		t.Fatalf("zero report renders %q", r1.String())
+	}
+	if s1.Faults() != nil {
+		t.Fatal("injector materialised without a plan")
+	}
+}
+
+// A bounded channel under load drops samples (accounted per metric,
+// the pair marked degraded) while the aggregate metric values survive —
+// they read the instrumentation counters, not the histogram.
+func TestChannelOverflowDegradesSamples(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:    1,
+		Channel: fault.ChannelFaults{Capacity: 1, Policy: fault.DropOldest},
+	}
+	s, rep, vals := runFaulted(t, plan)
+	clean, cleanRep, cleanVals := runFaulted(t, nil)
+	if rep.Channel.Dropped == 0 || len(rep.DroppedSamples) == 0 {
+		t.Fatalf("capacity-1 channel dropped nothing: %+v", rep.Channel)
+	}
+	if len(rep.DegradedMetrics) == 0 {
+		t.Fatalf("dropped samples marked no metric degraded: %s", rep)
+	}
+	if !cleanRep.Zero() {
+		t.Fatalf("clean run degraded: %s", cleanRep)
+	}
+	// Channel capacity perturbs only histograms, never the aggregate
+	// values or the virtual clock.
+	if s.Elapsed() != clean.Elapsed() {
+		t.Fatalf("channel bound changed timing: %v vs %v", s.Elapsed(), clean.Elapsed())
+	}
+	for id, v := range vals {
+		if cv := cleanVals[id]; v != cv {
+			t.Fatalf("aggregate %s changed under overflow: %g vs %g", id, v, cv)
+		}
+	}
+	// The degraded flag surfaces in display rows.
+	degraded := false
+	for _, em := range s.Tool.Enabled() {
+		if em.Degraded() {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatal("no enabled metric carries the degraded flag")
+	}
+}
+
+// The SAS monitor's reliable links surface in the degradation report.
+func TestMonitorReliableLinkInReport(t *testing.T) {
+	plan := &fault.Plan{
+		Seed: 11,
+		SAS:  fault.SASFaults{DropProb: 0.5, Resync: true},
+	}
+	s, err := NewSession(faultTestProgram, Config{Nodes: 4, SourceFile: "ftest.fcm", Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.EnableSASMonitor(false)
+	link, err := m.ExportReliable(1, 0, sas.T(verbSends, sas.Any))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Flush(s.Now())
+	rep2 := s.degradation()
+	if len(rep.Links) != 1 || len(rep2.Links) != 1 {
+		t.Fatalf("link missing from report: %d / %d", len(rep.Links), len(rep2.Links))
+	}
+	if st := link.Stats(); st.Sent == 0 {
+		t.Fatalf("exported nothing over the link: %+v", st)
+	}
+	if link.Unacked() != 0 {
+		t.Fatalf("link did not converge after flush: %d unacked", link.Unacked())
+	}
+}

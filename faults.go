@@ -1,0 +1,175 @@
+package nvmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvmap/internal/daemon"
+	"nvmap/internal/fault"
+	"nvmap/internal/sas"
+)
+
+// This file wires the deterministic fault injector (internal/fault)
+// through the session: message-level faults on the simulated machine,
+// bounded-capacity overflow on the daemon channel, and lossy cross-node
+// SAS links. The paper's architecture assumes all three paths are
+// reliable; Config.Faults lets an experiment relax that assumption and
+// measure how the mapping mechanisms degrade — deterministically, so a
+// degraded run is as reproducible as a clean one.
+
+// DegradationReport summarises what a faulted run lost and what the
+// recovery machinery did about it. Session.Run returns one (never nil);
+// with no fault plan configured it is all zeros.
+type DegradationReport struct {
+	// Injected is the fault injector's own ledger: what the plan made
+	// happen (drops, duplicates, delays, stalls, SAS perturbations).
+	Injected fault.Report
+	// Channel is the daemon conduit's traffic accounting, including
+	// overflow drops and mapping-record retries.
+	Channel daemon.Stats
+	// DroppedSamples counts histogram samples lost to channel overflow,
+	// per metric ID.
+	DroppedSamples map[string]int
+	// DegradedMetrics lists (sorted) the metric IDs whose histograms
+	// have holes. Aggregate metric values are unaffected — they read
+	// the instrumentation counters directly.
+	DegradedMetrics []string
+	// MappingRetries counts dynamic mapping records that overflow
+	// parked and redelivered instead of dropping (unrecoverable state
+	// is never lost).
+	MappingRetries int
+	// Links reports the reliability protocol of each cross-node SAS
+	// link created with Monitor.ExportReliable, in creation order.
+	Links []sas.LinkStats
+	// Resyncs totals the snapshot resynchronisations across all links.
+	Resyncs int
+}
+
+// Zero reports whether the run suffered no degradation at all.
+func (r *DegradationReport) Zero() bool {
+	if !r.Injected.Zero() || r.Channel.Dropped != 0 || r.MappingRetries != 0 ||
+		len(r.DroppedSamples) != 0 || len(r.DegradedMetrics) != 0 {
+		return false
+	}
+	for _, l := range r.Links {
+		if l.Retransmits != 0 || l.Resyncs != 0 || l.DuplicatesDropped != 0 || l.Gaps != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report deterministically (map keys sorted, zero
+// sections omitted).
+func (r *DegradationReport) String() string {
+	if r.Zero() {
+		return "no degradation\n"
+	}
+	var b strings.Builder
+	if !r.Injected.Zero() {
+		b.WriteString("injected:\n")
+		for _, line := range strings.Split(strings.TrimRight(r.Injected.String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	if r.Channel.Dropped != 0 || r.MappingRetries != 0 || r.Channel.Backpressured != 0 {
+		b.WriteString("channel:\n")
+		if r.Channel.Dropped != 0 {
+			fmt.Fprintf(&b, "  samples dropped: %d\n", r.Channel.Dropped)
+		}
+		if r.MappingRetries != 0 {
+			fmt.Fprintf(&b, "  mapping records retried: %d\n", r.MappingRetries)
+		}
+		if r.Channel.Backpressured != 0 {
+			fmt.Fprintf(&b, "  backpressure stalls: %d\n", r.Channel.Backpressured)
+		}
+	}
+	if len(r.DroppedSamples) != 0 {
+		b.WriteString("dropped samples by metric:\n")
+		ids := make([]string, 0, len(r.DroppedSamples))
+		for id := range r.DroppedSamples {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "  %s: %d\n", id, r.DroppedSamples[id])
+		}
+	}
+	if len(r.DegradedMetrics) != 0 {
+		fmt.Fprintf(&b, "degraded metrics: %s\n", strings.Join(r.DegradedMetrics, ", "))
+	}
+	for i, l := range r.Links {
+		if l.Retransmits == 0 && l.Resyncs == 0 && l.DuplicatesDropped == 0 && l.Gaps == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "sas link %d: sent %d acked %d retransmits %d resyncs %d dups-dropped %d gaps %d\n",
+			i, l.Sent, l.Acked, l.Retransmits, l.Resyncs, l.DuplicatesDropped, l.Gaps)
+	}
+	return b.String()
+}
+
+// Faults returns the session's fault injector (nil when Config.Faults
+// was unset). Experiments read its Report for the raw injection ledger.
+func (s *Session) Faults() *fault.Injector { return s.faults }
+
+// degradation assembles the end-of-run report from every layer's
+// accounting.
+func (s *Session) degradation() *DegradationReport {
+	rep := &DegradationReport{
+		Injected:       s.faults.Report(),
+		Channel:        s.Tool.Channel().Stats(),
+		DroppedSamples: s.Tool.DroppedSamples(),
+	}
+	rep.MappingRetries = rep.Channel.Retried
+	for _, em := range s.Tool.Enabled() {
+		if em.Degraded() {
+			rep.DegradedMetrics = append(rep.DegradedMetrics, em.Metric.ID)
+		}
+	}
+	sort.Strings(rep.DegradedMetrics)
+	rep.DegradedMetrics = dedupSorted(rep.DegradedMetrics)
+	if s.monitor != nil {
+		for _, l := range s.monitor.links {
+			st := l.Stats()
+			rep.Links = append(rep.Links, st)
+			rep.Resyncs += st.Resyncs
+		}
+	}
+	return rep
+}
+
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ExportReliable forwards SAS sentences matching pattern from one
+// node's SAS to another's over a sequenced, retransmitting link
+// (Section 4.2.3's cross-node forwarding, hardened per the fault
+// model). When the session has a fault plan with SAS faults, the link
+// runs over a lossy transport driven by the session injector; resync
+// enables snapshot recovery on persistent gaps. The link's Flush models
+// the sender's retransmit timer; the session report collects its stats.
+func (m *Monitor) ExportReliable(fromNode, toNode int, pattern sas.Term) (*sas.ReliableLink, error) {
+	from, to := m.Reg.Node(fromNode), m.Reg.Node(toNode)
+	var inner sas.Transport
+	resync := true
+	if inj := m.session.faults; inj != nil {
+		inner = &sas.LossyTransport{Inj: inj}
+		if p := m.session.plan; p != nil {
+			resync = p.SAS.Resync
+		}
+	}
+	link, err := from.ExportReliable(pattern, to, inner, resync)
+	if err != nil {
+		return nil, err
+	}
+	m.links = append(m.links, link)
+	return link, nil
+}

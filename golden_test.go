@@ -68,7 +68,7 @@ func TestGoldenFigure9Metrics(t *testing.T) {
 		}
 		ems[id] = em
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if s.Elapsed() != goldenElapsed {

@@ -85,7 +85,18 @@ type Compiled struct {
 
 // Compile parses (if necessary the caller already has a Program),
 // semantically checks, and lowers a program.
-func Compile(prog *Program, opts Options) (*Compiled, error) {
+func Compile(prog *Program, opts Options) (compiled *Compiled, err error) {
+	if prog == nil {
+		return nil, fmt.Errorf("cmf: nil program")
+	}
+	// Compile accepts hand-built Programs, so malformed ASTs (nil
+	// statements, foreign node types) must come back as errors, not
+	// crash the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			compiled, err = nil, fmt.Errorf("cmf: invalid program: %v", r)
+		}
+	}()
 	c := &compiler{
 		out: &Compiled{
 			Prog:    prog,
@@ -251,7 +262,7 @@ func (c *compiler) checkScalarAssign(st *Assign, loopVars []string) error {
 // checkScalarExpr validates a pure control-processor expression.
 func (c *compiler) checkScalarExpr(e Expr, line int, loopVars []string) error {
 	var err error
-	exprRefs(e, func(name string, indexed bool) {
+	refErr := exprRefs(e, func(name string, indexed bool) {
 		if err != nil {
 			return
 		}
@@ -267,6 +278,9 @@ func (c *compiler) checkScalarExpr(e Expr, line int, loopVars []string) error {
 			err = errf(line, "undeclared name %s", name)
 		}
 	})
+	if err == nil && refErr != nil {
+		err = errf(line, "%v", refErr)
+	}
 	if err != nil {
 		return err
 	}
@@ -313,7 +327,7 @@ func (c *compiler) checkParallelAssign(st *Assign, loopVars []string) error {
 	// Elementwise expression.
 	arrays := map[string]bool{st.LHS: true}
 	var err error
-	exprRefs(st.RHS, func(name string, indexed bool) {
+	refErr := exprRefs(st.RHS, func(name string, indexed bool) {
 		if err != nil {
 			return
 		}
@@ -334,6 +348,9 @@ func (c *compiler) checkParallelAssign(st *Assign, loopVars []string) error {
 			err = errf(st.Ln, "undeclared name %s", name)
 		}
 	})
+	if err == nil && refErr != nil {
+		err = errf(st.Ln, "%v", refErr)
+	}
 	if err != nil {
 		return err
 	}
@@ -455,7 +472,7 @@ func (c *compiler) checkWhere(st *Where, loopVars []string) error {
 	arrays := map[string]bool{st.LHS: true}
 	for _, e := range []Expr{st.CondL, st.CondR, st.RHS} {
 		var err error
-		exprRefs(e, func(name string, indexed bool) {
+		refErr := exprRefs(e, func(name string, indexed bool) {
 			if err != nil {
 				return
 			}
@@ -475,6 +492,9 @@ func (c *compiler) checkWhere(st *Where, loopVars []string) error {
 				err = errf(st.Ln, "undeclared name %s", name)
 			}
 		})
+		if err == nil && refErr != nil {
+			err = errf(st.Ln, "%v", refErr)
+		}
 		if err != nil {
 			return err
 		}
@@ -507,7 +527,7 @@ func (c *compiler) checkForall(st *Forall, loopVars []string) error {
 	}
 	arrays := map[string]bool{st.LHS: true}
 	var err error
-	exprRefs(st.RHS, func(name string, indexed bool) {
+	refErr := exprRefs(st.RHS, func(name string, indexed bool) {
 		if err != nil {
 			return
 		}
@@ -535,6 +555,9 @@ func (c *compiler) checkForall(st *Forall, loopVars []string) error {
 			err = errf(st.Ln, "undeclared name %s", name)
 		}
 	})
+	if err == nil && refErr != nil {
+		err = errf(st.Ln, "%v", refErr)
+	}
 	if err != nil {
 		return err
 	}

@@ -505,8 +505,10 @@ func walkStmts(body []Stmt, fn func(Stmt)) {
 	}
 }
 
-// exprRefs collects identifier references in evaluation order.
-func exprRefs(e Expr, fn func(name string, indexed bool)) {
+// exprRefs collects identifier references in evaluation order. A nil
+// or foreign Expr node — possible when a caller hands Compile a
+// hand-built Program — is reported as an error, never a panic.
+func exprRefs(e Expr, fn func(name string, indexed bool)) error {
 	switch x := e.(type) {
 	case *Num:
 	case *Ref:
@@ -514,15 +516,22 @@ func exprRefs(e Expr, fn func(name string, indexed bool)) {
 	case *Index:
 		fn(x.Name, true)
 	case *Unary:
-		exprRefs(x.X, fn)
+		return exprRefs(x.X, fn)
 	case *Binary:
-		exprRefs(x.L, fn)
-		exprRefs(x.R, fn)
+		if err := exprRefs(x.L, fn); err != nil {
+			return err
+		}
+		return exprRefs(x.R, fn)
 	case *Call:
 		for _, a := range x.Args {
-			exprRefs(a, fn)
+			if err := exprRefs(a, fn); err != nil {
+				return err
+			}
 		}
+	case nil:
+		return fmt.Errorf("cmf: nil expression node")
 	default:
-		panic(fmt.Sprintf("cmf: unknown expr node %T", e))
+		return fmt.Errorf("cmf: unknown expression node %T", e)
 	}
+	return nil
 }

@@ -64,3 +64,59 @@ func TestParseTokenSoupProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// alienExpr is an Expr implementation foreign to this package, as a
+// caller embedding the compiler might hand-build.
+type alienExpr struct{}
+
+func (alienExpr) String() string { return "<alien>" }
+
+// Compile accepts hand-built Programs, so malformed ASTs must come
+// back as errors — the default branch in exprRefs used to panic with
+// "unknown expr node" instead.
+func TestCompileHandBuiltProgramErrors(t *testing.T) {
+	scalar := func(rhs Expr) *Program {
+		return &Program{Name: "p", Body: []Stmt{
+			&Decl{Ln: 2, Name: "S"},
+			&Assign{Ln: 3, LHS: "S", RHS: rhs},
+		}}
+	}
+	array := func(rhs Expr) *Program {
+		return &Program{Name: "p", Body: []Stmt{
+			&Decl{Ln: 2, Name: "A", Dims: []int{8}},
+			&Assign{Ln: 3, LHS: "A", RHS: rhs},
+		}}
+	}
+	cases := []struct {
+		name string
+		prog *Program
+	}{
+		{"nil program", nil},
+		{"nil scalar rhs", scalar(nil)},
+		{"alien scalar rhs", scalar(alienExpr{})},
+		{"nil inside binary", scalar(&Binary{Op: '+', L: &Num{Val: 1}, R: nil})},
+		{"alien call arg", scalar(&Call{Fn: "SQRT", Args: []Expr{alienExpr{}}})},
+		{"nil array rhs", array(nil)},
+		{"alien array rhs", array(alienExpr{})},
+		{"nil forall rhs", &Program{Name: "p", Body: []Stmt{
+			&Decl{Ln: 2, Name: "A", Dims: []int{8}},
+			&Forall{Ln: 3, Var: "I", Lo: 1, Hi: 8, LHS: "A", RHS: nil},
+		}}},
+		{"alien where cond", &Program{Name: "p", Body: []Stmt{
+			&Decl{Ln: 2, Name: "A", Dims: []int{8}},
+			&Where{Ln: 3, CondL: alienExpr{}, CondOp: ">", CondR: &Num{}, LHS: "A", RHS: &Ref{Name: "A"}},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Compile panicked: %v", r)
+				}
+			}()
+			if _, err := Compile(tc.prog, Options{}); err == nil {
+				t.Fatal("Compile accepted a malformed program")
+			}
+		})
+	}
+}

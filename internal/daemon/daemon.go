@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nvmap/internal/fault"
 	"nvmap/internal/pif"
 	"nvmap/internal/vtime"
 )
@@ -54,12 +55,25 @@ func (k Kind) String() string {
 	}
 }
 
-// Sample is one performance-data reading.
+// Sample is one performance-data reading: Value accumulated over the
+// virtual-time span [From, To). Enabled indexes the tool-side
+// metric-focus pair the reading belongs to.
 type Sample struct {
 	MetricID string
 	Focus    string
 	Value    float64
+	From, To vtime.Time
+	Enabled  int
 }
+
+// Recoverable reports whether a message kind is unrecoverable tool state
+// that must survive channel overflow. Dynamic mapping records cannot be
+// re-derived by the data manager — a lost noun definition poisons every
+// later sample that references it — whereas a lost sample merely leaves
+// a hole in a histogram. Overflow therefore never discards mapping
+// records: they are parked for redelivery (the retry half of the
+// ack/retry protocol) while samples are dropped and counted.
+func (k Kind) Recoverable() bool { return k == KindSample }
 
 // Message is one channel record. Exactly one of the payload fields
 // matching Kind is set.
@@ -85,19 +99,80 @@ type Stats struct {
 	ByKind    map[Kind]int
 	// MaxQueue records the deepest the queue has been.
 	MaxQueue int
+	// Dropped counts messages lost to overflow (samples only — mapping
+	// records are parked for retry instead).
+	Dropped       int
+	DroppedByKind map[Kind]int
+	// Retried counts mapping-kind messages that overflow parked for
+	// redelivery instead of dropping.
+	Retried int
+	// Backpressured counts sends that had to stall for a synchronous
+	// drain under the Backpressure policy.
+	Backpressured int
 }
 
 // Channel is the shared, ordered conduit between the instrumentation
 // library and the data manager. Safe for concurrent use.
+//
+// By default the queue is unbounded and lossless, exactly the perfect
+// conduit the paper assumes. SetLimit bounds it, selecting what happens
+// when the instrumentation library outruns the daemon: samples are
+// dropped (and accounted by kind, and reported to the OnDrop observer)
+// while dynamic mapping records are redelivered on a later drain — the
+// ack/retry protocol. A delivery function returning an error is the nack
+// path for the in-flight batch: the failed message and everything behind
+// it stay queued, in order.
 type Channel struct {
 	mu    sync.Mutex
 	queue []Message
-	stats Stats
+	// retry holds mapping-kind messages displaced by overflow; they are
+	// redelivered ahead of the queue on the next drain, restoring the
+	// "definitions before the samples that use them" ordering for all
+	// subsequent traffic.
+	retry    []Message
+	stats    Stats
+	capacity int
+	policy   fault.OverflowPolicy
+	onDrop   func(Message)
+	onFull   func()
+
+	// drainMu serialises drains so two concurrent drains cannot
+	// interleave deliveries out of order.
+	drainMu sync.Mutex
 }
 
-// NewChannel returns an empty channel.
+// NewChannel returns an empty, unbounded channel.
 func NewChannel() *Channel {
-	return &Channel{stats: Stats{ByKind: make(map[Kind]int)}}
+	return &Channel{stats: Stats{ByKind: make(map[Kind]int), DroppedByKind: make(map[Kind]int)}}
+}
+
+// SetLimit bounds the queue depth. capacity <= 0 restores the unbounded
+// default regardless of policy.
+func (c *Channel) SetLimit(capacity int, policy fault.OverflowPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if capacity <= 0 {
+		c.capacity, c.policy = 0, fault.Unbounded
+		return
+	}
+	c.capacity, c.policy = capacity, policy
+}
+
+// OnDrop registers an observer for every message lost to overflow (the
+// data manager uses it to account dropped samples per metric).
+func (c *Channel) OnDrop(fn func(Message)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onDrop = fn
+}
+
+// OnBackpressure registers the synchronous drain hook the Backpressure
+// policy invokes before enqueuing into a full channel. The hook must not
+// call Send.
+func (c *Channel) OnBackpressure(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onFull = fn
 }
 
 // Send enqueues a message. Mapping information and performance data
@@ -106,29 +181,78 @@ func NewChannel() *Channel {
 // them.
 func (c *Channel) Send(m Message) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.queue = append(c.queue, m)
+	if c.capacity > 0 && len(c.queue) >= c.capacity && c.policy == fault.Backpressure && c.onFull != nil {
+		// Stall the sender for a synchronous drain, then enqueue: the
+		// lossless policy.
+		hook := c.onFull
+		c.stats.Backpressured++
+		c.mu.Unlock()
+		hook()
+		c.mu.Lock()
+	}
 	c.stats.Sent++
 	c.stats.ByKind[m.Kind]++
+	var dropped *Message
+	if c.capacity > 0 && len(c.queue) >= c.capacity {
+		switch c.policy {
+		case fault.DropOldest:
+			evicted := c.queue[0]
+			c.queue = c.queue[1:]
+			dropped = c.overflowLocked(evicted)
+		case fault.DropNewest:
+			d := c.overflowLocked(m)
+			onDrop := c.onDrop
+			c.mu.Unlock()
+			if d != nil && onDrop != nil {
+				onDrop(*d)
+			}
+			return
+		}
+	}
+	c.queue = append(c.queue, m)
 	if len(c.queue) > c.stats.MaxQueue {
 		c.stats.MaxQueue = len(c.queue)
 	}
+	onDrop := c.onDrop
+	c.mu.Unlock()
+	if dropped != nil && onDrop != nil {
+		onDrop(*dropped)
+	}
 }
 
-// Pending returns the queue depth.
+// overflowLocked routes one displaced message: mapping records are
+// parked for retry (never lost), samples are dropped and counted. It
+// returns the message if it was truly dropped, for the OnDrop observer.
+func (c *Channel) overflowLocked(m Message) *Message {
+	if !m.Kind.Recoverable() {
+		c.retry = append(c.retry, m)
+		c.stats.Retried++
+		return nil
+	}
+	c.stats.Dropped++
+	c.stats.DroppedByKind[m.Kind]++
+	return &m
+}
+
+// Pending returns the queue depth, counting parked retries.
 func (c *Channel) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.queue)
+	return len(c.queue) + len(c.retry)
 }
 
-// Drain delivers every queued message, in order, to fn. Delivery stops
+// Drain delivers every queued message, in order, to fn — parked mapping
+// records first (their redelivery), then the live queue. Delivery stops
 // at the first error; the failing message and everything behind it stay
 // queued (in order) for a later retry. It returns how many messages were
 // delivered.
 func (c *Channel) Drain(fn func(Message) error) (int, error) {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+
 	c.mu.Lock()
-	pending := c.queue
+	pending := append(c.retry, c.queue...)
+	c.retry = nil
 	c.queue = nil
 	c.mu.Unlock()
 
@@ -155,6 +279,10 @@ func (c *Channel) Stats() Stats {
 	out.ByKind = make(map[Kind]int, len(c.stats.ByKind))
 	for k, v := range c.stats.ByKind {
 		out.ByKind[k] = v
+	}
+	out.DroppedByKind = make(map[Kind]int, len(c.stats.DroppedByKind))
+	for k, v := range c.stats.DroppedByKind {
+		out.DroppedByKind[k] = v
 	}
 	return out
 }

@@ -1,0 +1,192 @@
+package daemon
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nvmap/internal/fault"
+	"nvmap/internal/pif"
+)
+
+func sampleMsg(i int) Message {
+	return Message{Kind: KindSample, Sample: &Sample{MetricID: fmt.Sprintf("m%d", i), Value: float64(i)}}
+}
+
+func nounMsg(name string) Message {
+	return Message{Kind: KindNounDef, Noun: &pif.NounRecord{Name: name}}
+}
+
+func drainAll(t *testing.T, c *Channel) []Message {
+	t.Helper()
+	var got []Message
+	if _, err := c.Drain(func(m Message) error { got = append(got, m); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// DropOldest evicts from the front; evicted samples are lost and
+// counted, and the OnDrop observer sees each one.
+func TestDropOldestEvictsSamples(t *testing.T) {
+	c := NewChannel()
+	c.SetLimit(2, fault.DropOldest)
+	var observed []string
+	c.OnDrop(func(m Message) { observed = append(observed, m.Sample.MetricID) })
+
+	for i := 0; i < 4; i++ {
+		c.Send(sampleMsg(i))
+	}
+	got := drainAll(t, c)
+	if len(got) != 2 || got[0].Sample.MetricID != "m2" || got[1].Sample.MetricID != "m3" {
+		t.Fatalf("delivered %+v, want m2,m3", got)
+	}
+	st := c.Stats()
+	if st.Dropped != 2 || st.DroppedByKind[KindSample] != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(observed) != 2 || observed[0] != "m0" || observed[1] != "m1" {
+		t.Fatalf("observer saw %v", observed)
+	}
+}
+
+// DropNewest rejects the incoming message when full.
+func TestDropNewestRejectsIncoming(t *testing.T) {
+	c := NewChannel()
+	c.SetLimit(2, fault.DropNewest)
+	for i := 0; i < 4; i++ {
+		c.Send(sampleMsg(i))
+	}
+	got := drainAll(t, c)
+	if len(got) != 2 || got[0].Sample.MetricID != "m0" || got[1].Sample.MetricID != "m1" {
+		t.Fatalf("delivered %+v, want m0,m1", got)
+	}
+	if st := c.Stats(); st.Dropped != 2 || st.Sent != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Mapping records are unrecoverable state: overflow must never discard
+// them. They are parked and redelivered ahead of the queue on the next
+// drain, under either drop policy.
+func TestMappingRecordsRetriedNotDropped(t *testing.T) {
+	for _, policy := range []fault.OverflowPolicy{fault.DropOldest, fault.DropNewest} {
+		c := NewChannel()
+		c.SetLimit(1, policy)
+		c.Send(nounMsg("A"))
+		c.Send(nounMsg("B")) // overflows: one of the two is parked
+		got := drainAll(t, c)
+		if len(got) != 2 {
+			t.Fatalf("%v: delivered %d messages, want both noun defs", policy, len(got))
+		}
+		names := map[string]bool{got[0].Noun.Name: true, got[1].Noun.Name: true}
+		if !names["A"] || !names["B"] {
+			t.Fatalf("%v: delivered %v", policy, got)
+		}
+		st := c.Stats()
+		if st.Retried != 1 || st.Dropped != 0 {
+			t.Fatalf("%v: stats %+v", policy, st)
+		}
+	}
+}
+
+// Parked mapping records are redelivered before the live queue, so the
+// data manager sees the definition before any sample that follows it.
+func TestRetryRedeliversBeforeQueue(t *testing.T) {
+	c := NewChannel()
+	c.SetLimit(1, fault.DropOldest)
+	c.Send(nounMsg("A"))
+	c.Send(sampleMsg(1)) // evicts the noun def into the retry park
+	got := drainAll(t, c)
+	if len(got) != 2 || got[0].Kind != KindNounDef || got[1].Kind != KindSample {
+		t.Fatalf("delivery order %+v, want noun def first", got)
+	}
+}
+
+// Backpressure invokes the registered drain hook instead of losing
+// anything.
+func TestBackpressureDrains(t *testing.T) {
+	c := NewChannel()
+	c.SetLimit(2, fault.Backpressure)
+	var delivered []Message
+	c.OnBackpressure(func() {
+		if _, err := c.Drain(func(m Message) error { delivered = append(delivered, m); return nil }); err != nil {
+			t.Error(err)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		c.Send(sampleMsg(i))
+	}
+	delivered = append(delivered, drainAll(t, c)...)
+	if len(delivered) != 5 {
+		t.Fatalf("delivered %d, want all 5", len(delivered))
+	}
+	st := c.Stats()
+	if st.Dropped != 0 || st.Backpressured == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// A nack (delivery error) keeps the failing message and everything
+// behind it, including a parked retry's relative order.
+func TestNackKeepsOrder(t *testing.T) {
+	c := NewChannel()
+	for i := 0; i < 3; i++ {
+		c.Send(sampleMsg(i))
+	}
+	n, err := c.Drain(func(m Message) error {
+		if m.Sample.MetricID == "m1" {
+			return fmt.Errorf("daemon busy")
+		}
+		return nil
+	})
+	if err == nil || n != 1 {
+		t.Fatalf("drain = %d, %v", n, err)
+	}
+	got := drainAll(t, c)
+	if len(got) != 2 || got[0].Sample.MetricID != "m1" || got[1].Sample.MetricID != "m2" {
+		t.Fatalf("redelivery %+v", got)
+	}
+}
+
+// The channel is the one concurrency boundary between the
+// instrumentation library and the data manager; hammer it from both
+// sides under -race.
+func TestChannelConcurrentSendDrain(t *testing.T) {
+	c := NewChannel()
+	c.SetLimit(8, fault.DropOldest)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if i%10 == 0 {
+					c.Send(nounMsg(fmt.Sprintf("g%d-%d", g, i)))
+				} else {
+					c.Send(sampleMsg(i))
+				}
+				if i%17 == 0 {
+					_ = c.Pending()
+					_ = c.Stats()
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_, _ = c.Drain(func(Message) error { return nil })
+		}
+	}()
+	wg.Wait()
+	<-done
+	_, _ = c.Drain(func(Message) error { return nil })
+	st := c.Stats()
+	if st.Sent != st.Delivered+st.Dropped {
+		// Retried messages are eventually delivered, so they appear in
+		// both Sent and Delivered exactly once.
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}

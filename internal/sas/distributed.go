@@ -25,6 +25,12 @@ type Event struct {
 	At       vtime.Time
 	// FromNode is the exporting SAS's node label.
 	FromNode int
+	// Seq is the per-link sequence number stamped by a ReliableLink
+	// (zero on plain exports).
+	Seq uint64
+	// via identifies the ReliableLink that stamped the event; the
+	// receiver uses it to find the matching sequencing state.
+	via *ReliableLink
 }
 
 // Transport carries exported events between SASes. Implementations decide
@@ -104,6 +110,11 @@ func dispatch(pending []pendingSend) {
 // the paper's model makes no distinction once the sentence has been
 // communicated.
 func (s *SAS) ApplyRemote(ev Event) {
+	if ev.via != nil {
+		// Sequenced event from a ReliableLink: dedup, reorder, ack.
+		s.applyReliable(ev)
+		return
+	}
 	if ev.Active {
 		s.Activate(ev.Sentence, ev.At)
 		return

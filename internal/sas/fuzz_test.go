@@ -1,0 +1,43 @@
+package sas
+
+import "testing"
+
+// FuzzParseQuestion exercises the performance-question parser (the
+// paper's "{A Sums}, {Processor_1 Sends}" notation) with arbitrary
+// text. Bad input must come back as an error, never a panic, and
+// accepted questions must be well-formed.
+func FuzzParseQuestion(f *testing.F) {
+	seeds := []string{
+		"{A Sums}, {Processor_1 Sends}",
+		"{? Sums}, {Processor_1 Sends} [ordered]",
+		"{A Sums}",
+		"{A P Send}, {B Q Recv}, {C R Ack}",
+		"{QueryActive query7}, {DiskRead ?}",
+		"",
+		"{}",
+		"{A Sums",
+		"A Sums}",
+		"{A Sums},",
+		"{A Sums} {B Recvs}",
+		"[ordered]",
+		"{A Sums}, [ordered]",
+		"{\x00 \xff}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := ParseQuestion("fuzz", text)
+		if err != nil {
+			return
+		}
+		if len(q.Terms) == 0 {
+			t.Fatalf("accepted question %q has no terms", text)
+		}
+		for _, term := range q.Terms {
+			if term.Verb == "" {
+				t.Fatalf("accepted question %q has a term with no verb", text)
+			}
+		}
+	})
+}

@@ -82,6 +82,10 @@ type entry struct {
 	sentence nv.Sentence
 	since    vtime.Time
 	depth    int
+	// origin is the ReliableLink that created this entry, nil for local
+	// activations. A reliable deactivation or resync only touches the
+	// entries its own link created.
+	origin *ReliableLink
 }
 
 // SAS is one Set of Active Sentences. On a distributed-memory system each
@@ -106,6 +110,9 @@ type SAS struct {
 
 	// remotes receive activation events this SAS exports (Section 4.2.3).
 	exports []exportRule
+	// links holds receiver-side state (expected sequence number, gap
+	// buffer) for each ReliableLink delivering into this SAS.
+	links map[*ReliableLink]*linkState
 }
 
 // Options configures a SAS.

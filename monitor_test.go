@@ -20,7 +20,7 @@ func TestMonitorAskTextQuestions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 	r1, err := qSends.Answer(s.Now())
@@ -57,7 +57,7 @@ func TestMonitorSnapshotWhen(t *testing.T) {
 	}
 	m := s.EnableSASMonitor(false)
 	m.SnapshotWhen(sas.T("Sums", sas.Any))
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if m.Snapshot == nil {
@@ -84,7 +84,7 @@ func TestMonitorStatsAndFiltering(t *testing.T) {
 		if _, err := m.Ask("", "{A Sums}"); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Run(); err != nil {
+		if _, err := s.Run(); err != nil {
 			t.Fatal(err)
 		}
 		return m.Stats()
@@ -110,7 +110,7 @@ func TestMonitorOrderedQuestionText(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 	r, err := q.Answer(s.Now())

@@ -16,7 +16,7 @@
 //
 //	s, err := nvmap.NewSession(source, nvmap.Config{Nodes: 8})
 //	em, err := s.Tool.EnableMetric("summation_time", paradyn.WholeProgram())
-//	err = s.Run()
+//	report, err := s.Run()
 //	fmt.Println(em.Value(s.Now()))
 package nvmap
 
@@ -28,6 +28,7 @@ import (
 	"nvmap/internal/cmf"
 	"nvmap/internal/cmrts"
 	"nvmap/internal/dyninst"
+	"nvmap/internal/fault"
 	"nvmap/internal/machine"
 	"nvmap/internal/mdl"
 	"nvmap/internal/paradyn"
@@ -57,6 +58,12 @@ type Config struct {
 	// NoPerturbation disconnects instrumentation overhead from the node
 	// clocks (for experiments isolating application cost).
 	NoPerturbation bool
+	// Faults, when set, injects deterministic faults into the run:
+	// message drop/duplication/delay on the machine, node slowdowns and
+	// stalls, bounded daemon-channel capacity, and lossy cross-node SAS
+	// links. The same seed reproduces the same degraded run exactly;
+	// nil leaves every path reliable and all outputs unchanged.
+	Faults *fault.Plan
 }
 
 // Session is one application bound to a machine, runtime and tool.
@@ -68,6 +75,10 @@ type Session struct {
 	Program  *cmf.Compiled
 	Executor *cmf.Executor
 	PIF      *pif.File
+
+	plan    *fault.Plan
+	faults  *fault.Injector
+	monitor *Monitor
 }
 
 // NewSession compiles source, generates its static mapping information,
@@ -116,7 +127,7 @@ func NewSession(source string, cfg Config) (*Session, error) {
 	if err := tool.LoadPIF(pf); err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		Machine:  m,
 		Inst:     inst,
 		Runtime:  rt,
@@ -124,11 +135,29 @@ func NewSession(source string, cfg Config) (*Session, error) {
 		Program:  cp,
 		Executor: cmf.NewExecutor(cp, rt, cfg.Output),
 		PIF:      pf,
-	}, nil
+	}
+	if cfg.Faults != nil {
+		s.plan = cfg.Faults
+		s.faults = fault.NewInjector(cfg.Faults)
+		m.SetFaults(s.faults)
+		if ch := cfg.Faults.Channel; ch.Capacity > 0 {
+			tool.Channel().SetLimit(ch.Capacity, ch.Policy)
+		}
+	}
+	return s, nil
 }
 
-// Run executes the program to completion on the simulated machine.
-func (s *Session) Run() error { return s.Executor.Run() }
+// Run executes the program to completion on the simulated machine and
+// returns the run's degradation report — all zeros when no fault plan
+// is configured, and identical across runs for a fixed fault seed. The
+// report is returned even when execution fails.
+func (s *Session) Run() (*DegradationReport, error) {
+	err := s.Executor.Run()
+	// Final samples and mapping records may still sit on the channel if
+	// no machine event followed them.
+	s.Tool.FlushChannel()
+	return s.degradation(), err
+}
 
 // EnableTrace attaches an execution-trace recorder to the machine. Call
 // before Run; render with Trace.Render / Trace.Summary.
@@ -161,10 +190,11 @@ func MetricRows(ems []*paradyn.EnabledMetric, now vtime.Time) []paradyn.Row {
 	rows := make([]paradyn.Row, 0, len(ems))
 	for _, em := range ems {
 		rows = append(rows, paradyn.Row{
-			Metric: em.Metric.Name,
-			Focus:  em.Focus.String(),
-			Value:  em.Value(now),
-			Units:  em.Metric.Units,
+			Metric:   em.Metric.Name,
+			Focus:    em.Focus.String(),
+			Value:    em.Value(now),
+			Units:    em.Metric.Units,
+			Degraded: em.Degraded(),
 		})
 	}
 	return rows
@@ -186,7 +216,7 @@ func RunWithMetrics(source string, cfg Config, metricIDs ...string) (map[string]
 		}
 		ems[id] = em
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		return nil, err
 	}
 	now := s.Now()

@@ -29,7 +29,7 @@ func TestSessionEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if got := em.Value(s.Now()); got != 1 {
@@ -54,7 +54,7 @@ func TestSessionDefaults(t *testing.T) {
 	if s.Machine.Nodes() != 8 {
 		t.Fatalf("default nodes = %d", s.Machine.Nodes())
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -73,10 +73,10 @@ func TestSessionCustomMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if err := fast.Run(); err != nil {
+	if _, err := fast.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if s.Elapsed() <= fast.Elapsed() {
@@ -121,10 +121,10 @@ func TestSessionNoPerturbation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if err := base.Run(); err != nil {
+	if _, err := base.Run(); err != nil {
 		t.Fatal(err)
 	}
 	// With perturbation disconnected, the instrumented run matches the
@@ -160,7 +160,7 @@ func TestMetricRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 	rows := MetricRows([]*paradyn.EnabledMetric{em}, s.Now())
@@ -178,7 +178,7 @@ func TestSessionDeterminism(t *testing.T) {
 		if _, err := s.Tool.EnableMetric("computation_time", paradyn.WholeProgram()); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Run(); err != nil {
+		if _, err := s.Run(); err != nil {
 			t.Fatal(err)
 		}
 		return s.Now()
@@ -194,7 +194,7 @@ func TestSessionTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := s.EnableTrace()
-	if err := s.Run(); err != nil {
+	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Len() == 0 {
