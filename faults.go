@@ -5,9 +5,12 @@ import (
 	"sort"
 	"strings"
 
+	"nvmap/internal/checkpoint"
 	"nvmap/internal/daemon"
 	"nvmap/internal/fault"
+	"nvmap/internal/machine"
 	"nvmap/internal/sas"
+	"nvmap/internal/vtime"
 )
 
 // This file wires the deterministic fault injector (internal/fault)
@@ -44,12 +47,30 @@ type DegradationReport struct {
 	Links []sas.LinkStats
 	// Resyncs totals the snapshot resynchronisations across all links.
 	Resyncs int
+	// Crashes lists every fail-stop window, in enactment order. A
+	// recovered window accounts Up-Down of dead time; an unrecovered
+	// one ran dead from Down to the end of the run.
+	Crashes []machine.CrashWindow
+	// RecoveredTime sums the dead time of windows that rebooted;
+	// LostTime sums end-of-run minus Down over windows that never did.
+	// Their sum equals Injected.DeadTime exactly.
+	RecoveredTime vtime.Duration
+	LostTime      vtime.Duration
+	// LostNodes lists nodes that were still dead when the run ended —
+	// every metric-focus answer covering them is annotated partial.
+	LostNodes []int
+	// Supervisor is the daemon watchdog's activity (detection, journal
+	// replay, definition re-registration); Checkpoints is the snapshot
+	// store's ledger. Both stay zero when recovery is disabled.
+	Supervisor  daemon.SupervisorStats
+	Checkpoints checkpoint.Stats
 }
 
 // Zero reports whether the run suffered no degradation at all.
 func (r *DegradationReport) Zero() bool {
 	if !r.Injected.Zero() || r.Channel.Dropped != 0 || r.MappingRetries != 0 ||
-		len(r.DroppedSamples) != 0 || len(r.DegradedMetrics) != 0 {
+		len(r.DroppedSamples) != 0 || len(r.DegradedMetrics) != 0 ||
+		len(r.Crashes) != 0 {
 		return false
 	}
 	for _, l := range r.Links {
@@ -106,6 +127,39 @@ func (r *DegradationReport) String() string {
 		fmt.Fprintf(&b, "sas link %d: sent %d acked %d retransmits %d resyncs %d dups-dropped %d gaps %d\n",
 			i, l.Sent, l.Acked, l.Retransmits, l.Resyncs, l.DuplicatesDropped, l.Gaps)
 	}
+	if len(r.Crashes) != 0 {
+		b.WriteString("crashes:\n")
+		for _, w := range r.Crashes {
+			if w.Recovered {
+				fmt.Fprintf(&b, "  node %d down at %v, recovered at %v (%v dead)\n",
+					w.Node, w.Down, w.Up, w.Up.Sub(w.Down))
+			} else {
+				fmt.Fprintf(&b, "  node %d down at %v, never recovered\n", w.Node, w.Down)
+			}
+		}
+		fmt.Fprintf(&b, "  recovered time: %v, lost time: %v\n", r.RecoveredTime, r.LostTime)
+		if len(r.LostNodes) != 0 {
+			nodes := make([]string, len(r.LostNodes))
+			for i, n := range r.LostNodes {
+				nodes[i] = fmt.Sprintf("%d", n)
+			}
+			fmt.Fprintf(&b, "  lost nodes: %s (answers are partial)\n", strings.Join(nodes, ", "))
+		}
+		sv := r.Supervisor
+		if sv != (daemon.SupervisorStats{}) {
+			fmt.Fprintf(&b, "supervision: %d checkpoints, %d suspicions (%d false alarms), %d detections",
+				sv.Checkpoints, sv.Suspicions, sv.FalseAlarms, sv.Detections)
+			if sv.Detections > 0 {
+				fmt.Fprintf(&b, " (lag %v)", sv.DetectionLag)
+			}
+			fmt.Fprintf(&b, "\n  recoveries: %d from checkpoint, %d cold; replayed %d sas + %d probe records; defs replayed %d, suppressed %d\n",
+				sv.Recoveries, sv.ColdRecoveries, sv.SASReplayed, sv.ProbesReplayed, sv.DefsReplayed, sv.DefsSuppressed)
+		}
+		if r.Checkpoints.Saves != 0 || r.Checkpoints.Corrupt != 0 {
+			fmt.Fprintf(&b, "checkpoints: %d saved (%d bytes), %d restored, %d corrupt\n",
+				r.Checkpoints.Saves, r.Checkpoints.Bytes, r.Checkpoints.Restores, r.Checkpoints.Corrupt)
+		}
+	}
 	return b.String()
 }
 
@@ -135,6 +189,22 @@ func (s *Session) degradation() *DegradationReport {
 			rep.Links = append(rep.Links, st)
 			rep.Resyncs += st.Resyncs
 		}
+	}
+	s.finalizeCrashes(s.Now())
+	end := s.Now()
+	for _, w := range s.Machine.CrashWindows() {
+		rep.Crashes = append(rep.Crashes, w)
+		if w.Recovered {
+			rep.RecoveredTime += w.Up.Sub(w.Down)
+		} else {
+			rep.LostTime += end.Sub(w.Down)
+			rep.LostNodes = append(rep.LostNodes, w.Node)
+		}
+	}
+	sort.Ints(rep.LostNodes)
+	if s.recovery != nil {
+		rep.Supervisor = s.recovery.sv.Stats()
+		rep.Checkpoints = s.recovery.store.Stats()
 	}
 	return rep
 }

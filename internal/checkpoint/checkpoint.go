@@ -1,0 +1,130 @@
+// Package checkpoint is a versioned, checksummed store for per-node
+// measurement-state snapshots. The supervisor checkpoints each live
+// node's SAS partition, metric primitives and journal cursors on a
+// periodic virtual-time interval; on a node reboot it restores the
+// newest intact snapshot and replays the journaled records that
+// post-date it (the analogue of the reliable links' retransmit buffer,
+// but for a whole node rather than a single export stream).
+//
+// The store is deliberately ignorant of what a payload contains: it
+// stores opaque bytes with an IEEE CRC-32 checksum and a monotonically
+// increasing version per node, keeps a short history, and falls back to
+// the previous version when the newest snapshot fails verification —
+// a torn checkpoint must degrade to an older one, never to garbage.
+package checkpoint
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"nvmap/internal/vtime"
+)
+
+// historyDepth is how many snapshots the store retains per node. Two is
+// the minimum that survives one corrupted write.
+const historyDepth = 2
+
+// Snapshot is one stored checkpoint.
+type Snapshot struct {
+	Node    int
+	Version uint64
+	At      vtime.Time
+	Payload []byte
+	Sum     uint32
+}
+
+// Verify checks the payload against the stored checksum.
+func (s Snapshot) Verify() error {
+	if got := crc32.ChecksumIEEE(s.Payload); got != s.Sum {
+		return fmt.Errorf("checkpoint: node %d version %d corrupt: crc %08x, want %08x",
+			s.Node, s.Version, got, s.Sum)
+	}
+	return nil
+}
+
+// Stats counts store activity.
+type Stats struct {
+	Saves    int
+	Restores int
+	// Corrupt counts snapshots that failed verification on restore.
+	Corrupt int
+	// Bytes is the payload volume currently retained.
+	Bytes int
+}
+
+// Store holds per-node snapshot histories. Safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	byNod map[int][]Snapshot // newest last
+	next  uint64
+	stats Stats
+}
+
+// NewStore builds an empty store.
+func NewStore() *Store {
+	return &Store{byNod: make(map[int][]Snapshot)}
+}
+
+// Save records a snapshot of node's state taken at the given instant and
+// returns it. The payload is copied; versions increase monotonically
+// across the whole store so snapshot order is totally defined.
+func (st *Store) Save(node int, at vtime.Time, payload []byte) Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	sn := Snapshot{
+		Node:    node,
+		Version: st.next,
+		At:      at,
+		Payload: append([]byte(nil), payload...),
+		Sum:     crc32.ChecksumIEEE(payload),
+	}
+	hist := append(st.byNod[node], sn)
+	for len(hist) > historyDepth {
+		st.stats.Bytes -= len(hist[0].Payload)
+		hist = hist[1:]
+	}
+	st.byNod[node] = hist
+	st.stats.Saves++
+	st.stats.Bytes += len(sn.Payload)
+	return sn
+}
+
+// Latest returns the newest snapshot for node that passes verification,
+// falling back through history past corrupt entries. ok is false when no
+// intact snapshot exists.
+func (st *Store) Latest(node int) (Snapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hist := st.byNod[node]
+	for i := len(hist) - 1; i >= 0; i-- {
+		if err := hist[i].Verify(); err != nil {
+			st.stats.Corrupt++
+			continue
+		}
+		st.stats.Restores++
+		return hist[i], true
+	}
+	return Snapshot{}, false
+}
+
+// Corrupt flips a byte in node's newest snapshot payload, for tests of
+// the verification fallback. Reports whether there was one to damage.
+func (st *Store) Corrupt(node int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hist := st.byNod[node]
+	if len(hist) == 0 || len(hist[len(hist)-1].Payload) == 0 {
+		return false
+	}
+	hist[len(hist)-1].Payload[0] ^= 0xFF
+	return true
+}
+
+// Stats returns a copy of the store's counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}

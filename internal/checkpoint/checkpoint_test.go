@@ -1,0 +1,101 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+func TestSaveLatestRoundtrip(t *testing.T) {
+	st := NewStore()
+	if _, ok := st.Latest(0); ok {
+		t.Fatal("empty store produced a snapshot")
+	}
+	payload := []byte("node 0 state")
+	sn := st.Save(0, vtime.Time(10), payload)
+	if sn.Version == 0 || sn.Node != 0 {
+		t.Fatalf("snapshot %+v", sn)
+	}
+	// The store copies the payload; mutating the caller's slice must not
+	// corrupt the stored snapshot.
+	payload[0] = 'X'
+	got, ok := st.Latest(0)
+	if !ok || !bytes.Equal(got.Payload, []byte("node 0 state")) {
+		t.Fatalf("restored %q, ok=%v", got.Payload, ok)
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.Saves != 1 || s.Restores != 1 || s.Corrupt != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// Versions increase monotonically across the whole store, and Latest
+// returns the newest snapshot per node.
+func TestVersionsMonotonic(t *testing.T) {
+	st := NewStore()
+	a := st.Save(0, vtime.Time(1), []byte("a"))
+	b := st.Save(1, vtime.Time(2), []byte("b"))
+	c := st.Save(0, vtime.Time(3), []byte("c"))
+	if !(a.Version < b.Version && b.Version < c.Version) {
+		t.Fatalf("versions %d, %d, %d not increasing", a.Version, b.Version, c.Version)
+	}
+	got, ok := st.Latest(0)
+	if !ok || string(got.Payload) != "c" || got.At != vtime.Time(3) {
+		t.Fatalf("latest = %+v, ok=%v", got, ok)
+	}
+}
+
+// The store retains a bounded history and accounts retained bytes
+// exactly.
+func TestHistoryEviction(t *testing.T) {
+	st := NewStore()
+	st.Save(0, vtime.Time(1), []byte("aa"))
+	st.Save(0, vtime.Time(2), []byte("bbbb"))
+	st.Save(0, vtime.Time(3), []byte("cccccc")) // evicts "aa"
+	s := st.Stats()
+	if s.Saves != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Bytes != 4+6 {
+		t.Fatalf("retained bytes %d, want 10", s.Bytes)
+	}
+}
+
+// A corrupt newest snapshot must fall back to the previous intact one —
+// degrade to older state, never to garbage.
+func TestCorruptFallsBack(t *testing.T) {
+	st := NewStore()
+	st.Save(2, vtime.Time(1), []byte("old"))
+	st.Save(2, vtime.Time(5), []byte("new"))
+	if !st.Corrupt(2) {
+		t.Fatal("nothing to corrupt")
+	}
+	got, ok := st.Latest(2)
+	if !ok || string(got.Payload) != "old" {
+		t.Fatalf("fallback = %q, ok=%v", got.Payload, ok)
+	}
+	s := st.Stats()
+	if s.Corrupt != 1 || s.Restores != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// When every retained snapshot is corrupt the restore must fail loudly
+// (the supervisor then recovers cold from the journals).
+func TestAllCorruptMeansNoSnapshot(t *testing.T) {
+	st := NewStore()
+	st.Save(1, vtime.Time(1), []byte("only"))
+	if !st.Corrupt(1) {
+		t.Fatal("nothing to corrupt")
+	}
+	if sn, ok := st.Latest(1); ok {
+		t.Fatalf("corrupt snapshot restored: %+v", sn)
+	}
+	if st.Corrupt(9) {
+		t.Fatal("corrupted a snapshot that does not exist")
+	}
+}

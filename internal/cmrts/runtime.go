@@ -162,24 +162,40 @@ func (rt *Runtime) Arrays() []*Array {
 func (rt *Runtime) nodes() int { return rt.mach.Nodes() }
 
 // fireSpan wraps per-node entry/exit point firing around f, which must
-// advance node clocks itself.
+// advance node clocks itself. Each span is an operation boundary: pending
+// fail-stop crashes are enacted before the entry points fire, so a
+// crashed node's instrumentation never observes work the node did not
+// do. Permanently dead nodes are skipped entirely (their timers were
+// wiped by the crash; leaving them un-fired keeps them honest).
 func (rt *Runtime) fireSpan(routine, tag string, args []string, f func()) {
 	rt.counts[routine]++
 	for n := 0; n < rt.nodes(); n++ {
+		if !rt.mach.Engage(n) {
+			continue
+		}
 		rt.inst.Fire(dyninst.Entry(routine), dyninst.Context{
 			Node: n, Now: rt.mach.Now(n), Tag: tag, Args: args,
 		})
 	}
 	f()
 	for n := 0; n < rt.nodes(); n++ {
+		if !rt.mach.Alive(n) {
+			continue
+		}
 		rt.inst.Fire(dyninst.Exit(routine), dyninst.Context{
 			Node: n, Now: rt.mach.Now(n), Tag: tag, Args: args,
 		})
 	}
 }
 
-// send performs one instrumented point-to-point transfer.
+// send performs one instrumented point-to-point transfer. A permanently
+// dead sender sends nothing (and fires nothing); a dead receiver is the
+// machine's concern — the message is charged to the sender and dropped
+// in flight.
 func (rt *Runtime) send(from, to, bytes int, tag string) {
+	if !rt.mach.Engage(from) {
+		return
+	}
 	rt.counts[RoutineSend]++
 	rt.inst.Fire(dyninst.Entry(RoutineSend), dyninst.Context{
 		Node: from, Now: rt.mach.Now(from), Tag: tag, Bytes: bytes,
@@ -362,6 +378,13 @@ func (rt *Runtime) Reduce(a *Array, op ReduceOp, tag string) (float64, error) {
 	routine := op.Routine()
 	rt.fireSpan(routine, tag, []string{string(a.ID)}, func() {
 		for n := 0; n < rt.nodes(); n++ {
+			// A permanently dead node contributes the operator identity:
+			// the reduction honestly combines the survivors only (the tool
+			// annotates the answer as partial).
+			if !rt.mach.Alive(n) {
+				partial[n] = identity(op)
+				continue
+			}
 			partial[n] = localReduce(a.chunks[n], op)
 			rt.mach.Compute(n, len(a.chunks[n]), tag)
 		}
@@ -417,6 +440,19 @@ func combine(x, y float64, op ReduceOp) float64 {
 	}
 }
 
+// identity returns the operator's neutral element, the contribution of a
+// permanently dead node to a degraded reduction.
+func identity(op ReduceOp) float64 {
+	switch op {
+	case OpSum:
+		return 0
+	case OpMax:
+		return math.Inf(-1)
+	default:
+		return math.Inf(1)
+	}
+}
+
 // DotProduct computes the global inner product of two conformable
 // arrays: each node combines its local sections (two flops per element)
 // and the partials sum over the same point-to-point tree as Reduce. At
@@ -432,6 +468,9 @@ func (rt *Runtime) DotProduct(a, b *Array, tag string) (float64, error) {
 	partial := make([]float64, rt.nodes())
 	rt.fireSpan(RoutineReduceSum, tag, []string{string(a.ID), string(b.ID)}, func() {
 		for n := 0; n < rt.nodes(); n++ {
+			if !rt.mach.Alive(n) {
+				continue
+			}
 			var s float64
 			for i, av := range a.chunks[n] {
 				s += av * b.chunks[n][i]
@@ -679,6 +718,9 @@ func (rt *Runtime) DispatchBlock(name string, args []ArrayID, body func() error)
 	// to each node at the end of its dispatch wait.
 	argCost := rt.mach.Config().PerByte.Scale(argBytes)
 	for n := 0; n < rt.nodes(); n++ {
+		if !rt.mach.Engage(n) {
+			continue
+		}
 		end := rt.mach.Now(n)
 		rt.inst.Fire(dyninst.Entry(RoutineArgs), dyninst.Context{
 			Node: n, Now: end.Add(-argCost), Tag: name, Bytes: argBytes, Args: argStrings,
@@ -692,12 +734,18 @@ func (rt *Runtime) DispatchBlock(name string, args []ArrayID, body func() error)
 	// tool's array/statement gating instruments this single point pair
 	// instead of every generated block.
 	for n := 0; n < rt.nodes(); n++ {
+		if !rt.mach.Alive(n) {
+			continue
+		}
 		ctx := dyninst.Context{Node: n, Now: rt.mach.Now(n), Tag: name, Args: argStrings}
 		rt.inst.Fire(dyninst.Entry(RoutineDispatch), ctx)
 		rt.inst.Fire(dyninst.Entry(name), ctx)
 	}
 	err := body()
 	for n := 0; n < rt.nodes(); n++ {
+		if !rt.mach.Alive(n) {
+			continue
+		}
 		ctx := dyninst.Context{Node: n, Now: rt.mach.Now(n), Tag: name, Args: argStrings}
 		rt.inst.Fire(dyninst.Exit(name), ctx)
 		rt.inst.Fire(dyninst.Exit(RoutineDispatch), ctx)

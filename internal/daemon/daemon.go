@@ -66,14 +66,15 @@ type Sample struct {
 	Enabled  int
 }
 
-// Recoverable reports whether a message kind is unrecoverable tool state
-// that must survive channel overflow. Dynamic mapping records cannot be
-// re-derived by the data manager — a lost noun definition poisons every
-// later sample that references it — whereas a lost sample merely leaves
-// a hole in a histogram. Overflow therefore never discards mapping
-// records: they are parked for redelivery (the retry half of the
-// ack/retry protocol) while samples are dropped and counted.
-func (k Kind) Recoverable() bool { return k == KindSample }
+// Droppable reports whether channel overflow may discard a message of
+// this kind. Only samples are droppable: a lost sample merely leaves a
+// hole in a histogram, which the tool can annotate. Every other kind is
+// unrecoverable tool state — a lost noun definition poisons every later
+// sample that references it, and a lost removal notice lets a recovered
+// node resurrect a deallocated noun — so overflow parks noun, verb and
+// mapping definitions AND removal notices for redelivery (the retry
+// half of the ack/retry protocol) instead of dropping them.
+func (k Kind) Droppable() bool { return k == KindSample }
 
 // Message is one channel record. Exactly one of the payload fields
 // matching Kind is set.
@@ -135,6 +136,7 @@ type Channel struct {
 	policy   fault.OverflowPolicy
 	onDrop   func(Message)
 	onFull   func()
+	onMsg    func(Message)
 
 	// drainMu serialises drains so two concurrent drains cannot
 	// interleave deliveries out of order.
@@ -175,12 +177,26 @@ func (c *Channel) OnBackpressure(fn func()) {
 	c.onFull = fn
 }
 
+// OnMessage registers a tap invoked for every message offered to the
+// channel, before any overflow decision (the supervisor's definition
+// ledger feeds from it). The tap must not call Send.
+func (c *Channel) OnMessage(fn func(Message)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onMsg = fn
+}
+
 // Send enqueues a message. Mapping information and performance data
 // interleave in emission order — the property the paper's design relies
 // on so the data manager sees definitions before the samples that use
 // them.
 func (c *Channel) Send(m Message) {
 	c.mu.Lock()
+	if tap := c.onMsg; tap != nil {
+		c.mu.Unlock()
+		tap(m)
+		c.mu.Lock()
+	}
 	if c.capacity > 0 && len(c.queue) >= c.capacity && c.policy == fault.Backpressure && c.onFull != nil {
 		// Stall the sender for a synchronous drain, then enqueue: the
 		// lossless policy.
@@ -220,11 +236,12 @@ func (c *Channel) Send(m Message) {
 	}
 }
 
-// overflowLocked routes one displaced message: mapping records are
-// parked for retry (never lost), samples are dropped and counted. It
-// returns the message if it was truly dropped, for the OnDrop observer.
+// overflowLocked routes one displaced message: mapping records and
+// removal notices are parked for retry (never lost), samples are
+// dropped and counted. It returns the message if it was truly dropped,
+// for the OnDrop observer.
 func (c *Channel) overflowLocked(m Message) *Message {
-	if !m.Kind.Recoverable() {
+	if !m.Kind.Droppable() {
 		c.retry = append(c.retry, m)
 		c.stats.Retried++
 		return nil

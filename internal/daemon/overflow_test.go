@@ -190,3 +190,59 @@ func TestChannelConcurrentSendDrain(t *testing.T) {
 		t.Fatalf("conservation violated: %+v", st)
 	}
 }
+
+// Satellite regression: removal notices are unrecoverable tool state —
+// losing one would let a recovered node resurrect a deallocated noun.
+// Overflow must park them for redelivery, never drop them, under either
+// drop policy and regardless of what displaces them.
+func TestRemovalNoticesRetriedNotDropped(t *testing.T) {
+	removalMsg := func(name string) Message {
+		return Message{Kind: KindRemoval, Removal: name}
+	}
+	for _, policy := range []fault.OverflowPolicy{fault.DropOldest, fault.DropNewest} {
+		c := NewChannel()
+		c.SetLimit(1, policy)
+		var dropped []Message
+		c.OnDrop(func(m Message) { dropped = append(dropped, m) })
+
+		c.Send(removalMsg("A"))
+		c.Send(removalMsg("B")) // overflow: one removal is displaced
+		c.Send(sampleMsg(0))    // overflow again: displaces into park or drops itself
+
+		got := drainAll(t, c)
+		var removals []string
+		for _, m := range got {
+			if m.Kind == KindRemoval {
+				removals = append(removals, m.Removal)
+			}
+		}
+		if len(removals) != 2 {
+			t.Fatalf("%v: delivered removals %v, want both A and B", policy, removals)
+		}
+		st := c.Stats()
+		if st.DroppedByKind[KindRemoval] != 0 {
+			t.Fatalf("%v: removal notice dropped: %+v", policy, st)
+		}
+		if st.Retried == 0 {
+			t.Fatalf("%v: overflow never parked anything: %+v", policy, st)
+		}
+		for _, m := range dropped {
+			if m.Kind == KindRemoval {
+				t.Fatalf("%v: OnDrop observed a removal notice", policy)
+			}
+		}
+	}
+}
+
+// Droppable is the single authority overflow consults; everything but
+// samples must be protected.
+func TestOnlySamplesDroppable(t *testing.T) {
+	for _, k := range []Kind{KindNounDef, KindVerbDef, KindMappingDef, KindRemoval} {
+		if k.Droppable() {
+			t.Fatalf("%v reported droppable", k)
+		}
+	}
+	if !KindSample.Droppable() {
+		t.Fatal("samples must be droppable")
+	}
+}

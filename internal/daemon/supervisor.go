@@ -1,0 +1,409 @@
+package daemon
+
+import (
+	"sync"
+
+	"nvmap/internal/pif"
+	"nvmap/internal/vtime"
+)
+
+// Supervisor is the daemon-side watchdog for fail-stop node crashes. It
+// tracks per-node liveness from virtual-time heartbeats (every machine
+// event a node produces is a beat), suspects a silent node after a
+// timeout, probes with exponential backoff, and declares it dead when
+// the probes run dry. It also drives the periodic checkpoint cadence
+// and, when a node reboots, orchestrates recovery: the Recoverer
+// restores the last intact checkpoint and replays post-checkpoint
+// journal records, and the supervisor re-registers the dynamic
+// noun/verb/mapping definitions it has observed on the channel with the
+// Data Manager — suppressing any noun whose removal notice it has seen,
+// so a recovered node cannot resurrect a deallocated noun.
+//
+// The supervisor runs in virtual time, driven synchronously from the
+// simulation (Beat/Tick from machine events, NodeDown/NodeUp from the
+// machine's crash hooks), so a supervised run stays deterministic.
+
+// NodeHealth is the supervisor's belief about one node.
+type NodeHealth int
+
+// Health states.
+const (
+	Healthy NodeHealth = iota
+	Suspect
+	Dead
+)
+
+// String names the health state.
+func (h NodeHealth) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return "NodeHealth(?)"
+	}
+}
+
+// SupervisorConfig tunes failure detection and checkpointing.
+type SupervisorConfig struct {
+	// Timeout is how long a node may stay silent before suspicion, and
+	// the base interval of the backoff probes. Zero selects the default.
+	Timeout vtime.Duration
+	// Probes is how many backoff probes (Timeout, 2*Timeout, 4*Timeout,
+	// ...) a suspect gets before it is declared dead. Zero selects the
+	// default.
+	Probes int
+	// CheckpointEvery is the virtual-time checkpoint interval; zero
+	// disables periodic checkpointing.
+	CheckpointEvery vtime.Duration
+}
+
+// DefaultSupervisorTimeout and DefaultSupervisorProbes fill zero config
+// fields.
+const (
+	DefaultSupervisorTimeout = 50 * vtime.Microsecond
+	DefaultSupervisorProbes  = 3
+)
+
+// RestoreOutcome reports what a Recoverer rebuilt on one node reboot.
+type RestoreOutcome struct {
+	// FromCheckpoint is true when an intact checkpoint was restored;
+	// false means the node came back empty (cold recovery).
+	FromCheckpoint bool
+	// CheckpointAt is the restored checkpoint's capture instant.
+	CheckpointAt vtime.Time
+	// SASReplayed and ProbesReplayed count journal records re-applied on
+	// top of the checkpoint.
+	SASReplayed    int
+	ProbesReplayed int
+}
+
+// Recoverer performs the state capture and restore the supervisor
+// orchestrates. The facade implements it over the checkpoint store, the
+// SAS registries and the enabled metric instances.
+type Recoverer interface {
+	// CheckpointNode captures one live node's measurement state.
+	CheckpointNode(node int, at vtime.Time)
+	// RestoreNode rebuilds a rebooted node from checkpoint plus journal.
+	RestoreNode(node int, at vtime.Time) RestoreOutcome
+}
+
+// LostNode records a node declared permanently lost.
+type LostNode struct {
+	Node int
+	At   vtime.Time // the crash instant
+}
+
+// SupervisorStats counts supervision activity. Deterministic for a
+// fixed schedule.
+type SupervisorStats struct {
+	Checkpoints int
+	Suspicions  int
+	FalseAlarms int
+	// Detections counts nodes declared dead by the heartbeat protocol;
+	// DetectionLag sums (declaration instant - crash instant) over them.
+	Detections   int
+	DetectionLag vtime.Duration
+	// Recoveries counts node reboots recovered; the Replayed fields sum
+	// journal records re-applied.
+	Recoveries     int
+	ColdRecoveries int
+	SASReplayed    int
+	ProbesReplayed int
+	// DefsReplayed counts dynamic definitions re-registered with the
+	// Data Manager on reboots; DefsSuppressed counts definitions withheld
+	// because their noun had a removal notice.
+	DefsReplayed   int
+	DefsSuppressed int
+	LostNodes      int
+}
+
+type nodeWatch struct {
+	health   NodeHealth
+	lastSeen vtime.Time
+	deadline vtime.Time
+	probes   int
+	downAt   vtime.Time
+	hasDown  bool
+}
+
+// Supervisor watches one partition. Safe for concurrent use, though the
+// simulator drives it synchronously.
+type Supervisor struct {
+	mu    sync.Mutex
+	cfg   SupervisorConfig
+	rec   Recoverer
+	ch    *Channel
+	watch []nodeWatch
+
+	defs    []Message
+	seenDef map[string]bool
+	removed map[string]bool
+
+	lastCkpt vtime.Time
+	lost     []LostNode
+	stats    SupervisorStats
+}
+
+// NewSupervisor builds a supervisor for a partition of nodes. ch is the
+// daemon channel definitions are re-registered through (may be nil in
+// tests that only exercise detection); rec performs checkpoint/restore
+// (may be nil for detection-only supervision).
+func NewSupervisor(nodes int, cfg SupervisorConfig, ch *Channel, rec Recoverer) *Supervisor {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultSupervisorTimeout
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = DefaultSupervisorProbes
+	}
+	return &Supervisor{
+		cfg:     cfg,
+		rec:     rec,
+		ch:      ch,
+		watch:   make([]nodeWatch, nodes),
+		seenDef: make(map[string]bool),
+		removed: make(map[string]bool),
+	}
+}
+
+// Config returns the effective configuration.
+func (sv *Supervisor) Config() SupervisorConfig { return sv.cfg }
+
+// Beat records a sign of life from a node at a virtual instant. A beat
+// from a suspect — or from a node wrongly declared dead, which violates
+// the fail-stop assumption the detector bet on — clears the belief and
+// counts a false alarm.
+func (sv *Supervisor) Beat(node int, at vtime.Time) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	w := &sv.watch[node]
+	if at.After(w.lastSeen) {
+		w.lastSeen = at
+	}
+	if w.health != Healthy {
+		w.health = Healthy
+		w.probes = 0
+		sv.stats.FalseAlarms++
+	}
+}
+
+// Tick advances the failure detector to the global virtual instant and
+// drives the checkpoint cadence. Call it from a machine observer.
+func (sv *Supervisor) Tick(now vtime.Time) {
+	sv.mu.Lock()
+	for n := range sv.watch {
+		w := &sv.watch[n]
+		switch w.health {
+		case Healthy:
+			if now.Sub(w.lastSeen) > sv.cfg.Timeout {
+				w.health = Suspect
+				w.probes = 0
+				w.deadline = now.Add(sv.cfg.Timeout)
+				sv.stats.Suspicions++
+			}
+		case Suspect:
+			for w.health == Suspect && now.After(w.deadline) {
+				w.probes++
+				if w.probes >= sv.cfg.Probes {
+					w.health = Dead
+					sv.stats.Detections++
+					if w.hasDown {
+						sv.stats.DetectionLag += now.Sub(w.downAt)
+					}
+					break
+				}
+				// Exponential backoff: each missed probe doubles the wait.
+				w.deadline = w.deadline.Add(sv.cfg.Timeout << w.probes)
+			}
+		}
+	}
+	due := sv.cfg.CheckpointEvery > 0 && now.Sub(sv.lastCkpt) >= sv.cfg.CheckpointEvery
+	sv.mu.Unlock()
+	if due {
+		sv.CheckpointAll(now, nil)
+	}
+}
+
+// CheckpointAll captures every node the alive filter admits (nil = all
+// nodes the detector does not believe dead). Resets the cadence clock.
+func (sv *Supervisor) CheckpointAll(now vtime.Time, alive func(node int) bool) {
+	sv.mu.Lock()
+	sv.lastCkpt = now
+	rec := sv.rec
+	var nodes []int
+	for n := range sv.watch {
+		if alive != nil && !alive(n) {
+			continue
+		}
+		if alive == nil && sv.watch[n].health == Dead {
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	sv.stats.Checkpoints += len(nodes)
+	sv.mu.Unlock()
+	if rec == nil {
+		return
+	}
+	for _, n := range nodes {
+		rec.CheckpointNode(n, now)
+	}
+}
+
+// NodeDown records the machine's ground truth that a node fail-stopped,
+// for detection-lag accounting. The heartbeat protocol still has to
+// notice on its own.
+func (sv *Supervisor) NodeDown(node int, at vtime.Time) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	w := &sv.watch[node]
+	w.downAt = at
+	w.hasDown = true
+}
+
+// NodeUp handles a node reboot: restore checkpoint + journal through
+// the Recoverer, then re-register every dynamic definition observed on
+// the channel — except nouns with removal notices — with the Data
+// Manager. Returns the restore outcome.
+func (sv *Supervisor) NodeUp(node int, at vtime.Time) RestoreOutcome {
+	sv.mu.Lock()
+	w := &sv.watch[node]
+	w.health = Healthy
+	w.probes = 0
+	w.lastSeen = at
+	w.hasDown = false
+	rec := sv.rec
+	defs := append([]Message(nil), sv.defs...)
+	sv.mu.Unlock()
+
+	var out RestoreOutcome
+	if rec != nil {
+		out = rec.RestoreNode(node, at)
+	}
+
+	replayed, suppressed := 0, 0
+	if sv.ch != nil {
+		for _, m := range defs {
+			if sv.defRemoved(m) {
+				suppressed++
+				continue
+			}
+			sv.ch.Send(m)
+			replayed++
+		}
+	}
+
+	sv.mu.Lock()
+	if out.FromCheckpoint {
+		sv.stats.Recoveries++
+	} else {
+		sv.stats.ColdRecoveries++
+	}
+	sv.stats.SASReplayed += out.SASReplayed
+	sv.stats.ProbesReplayed += out.ProbesReplayed
+	sv.stats.DefsReplayed += replayed
+	sv.stats.DefsSuppressed += suppressed
+	sv.mu.Unlock()
+	return out
+}
+
+// MarkLost declares a node permanently lost (end-of-run accounting for
+// a crash that never rebooted).
+func (sv *Supervisor) MarkLost(node int, crashedAt vtime.Time) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.watch[node].health = Dead
+	sv.lost = append(sv.lost, LostNode{Node: node, At: crashedAt})
+	sv.stats.LostNodes++
+}
+
+// Lost returns the permanently lost nodes in declaration order.
+func (sv *Supervisor) Lost() []LostNode {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return append([]LostNode(nil), sv.lost...)
+}
+
+// Health returns the detector's belief about a node.
+func (sv *Supervisor) Health(node int) NodeHealth {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.watch[node].health
+}
+
+// RecordDef feeds the supervisor's definition ledger from channel
+// traffic: noun/verb/mapping definitions are remembered (once — the
+// supervisor's own re-registrations pass through the same channel and
+// must not double the ledger) for re-registration; removal notices join
+// the suppression set.
+func (sv *Supervisor) RecordDef(m Message) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	switch m.Kind {
+	case KindNounDef, KindVerbDef, KindMappingDef:
+		k := defKey(m)
+		if sv.seenDef[k] {
+			return
+		}
+		sv.seenDef[k] = true
+		sv.defs = append(sv.defs, m)
+	case KindRemoval:
+		sv.removed[m.Removal] = true
+	}
+}
+
+// defKey identifies a definition for ledger deduplication. Noun
+// definitions carry the unique runtime array ID when dynamic.
+func defKey(m Message) string {
+	switch m.Kind {
+	case KindNounDef:
+		if m.Noun == nil {
+			return "n:"
+		}
+		return "n:" + m.Attrs["id"] + ":" + m.Noun.Name
+	case KindVerbDef:
+		if m.Verb == nil {
+			return "v:"
+		}
+		return "v:" + m.Verb.Name
+	case KindMappingDef:
+		if m.Mapping == nil {
+			return "m:"
+		}
+		return "m:" + m.Mapping.Source.String() + ">" + m.Mapping.Destination.String()
+	}
+	return ""
+}
+
+// defRemoved reports whether a ledger definition is suppressed by a
+// removal notice.
+func (sv *Supervisor) defRemoved(m Message) bool {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	switch m.Kind {
+	case KindNounDef:
+		return m.Noun != nil && sv.removed[m.Noun.Name]
+	case KindMappingDef:
+		if m.Mapping == nil {
+			return false
+		}
+		for _, ref := range []pif.SentenceRef{m.Mapping.Source, m.Mapping.Destination} {
+			for _, noun := range ref.Nouns {
+				if sv.removed[noun] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the supervision counters.
+func (sv *Supervisor) Stats() SupervisorStats {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.stats
+}

@@ -1,0 +1,215 @@
+package daemon
+
+import (
+	"testing"
+
+	"nvmap/internal/pif"
+	"nvmap/internal/vtime"
+)
+
+const us = vtime.Microsecond
+
+// fakeRecoverer records what the supervisor asked it to do.
+type fakeRecoverer struct {
+	checkpoints []int
+	restores    []int
+	outcome     RestoreOutcome
+}
+
+func (f *fakeRecoverer) CheckpointNode(node int, at vtime.Time) {
+	f.checkpoints = append(f.checkpoints, node)
+}
+
+func (f *fakeRecoverer) RestoreNode(node int, at vtime.Time) RestoreOutcome {
+	f.restores = append(f.restores, node)
+	return f.outcome
+}
+
+// The detector walks Healthy -> Suspect at the silence timeout, backs
+// off exponentially through the probes, and declares death only when
+// they run dry.
+func TestSupervisorDetectionStateMachine(t *testing.T) {
+	sv := NewSupervisor(2, SupervisorConfig{Timeout: 10 * us, Probes: 2}, nil, nil)
+	sv.Beat(0, vtime.Time(0))
+	sv.Beat(1, vtime.Time(0))
+
+	// Node 1 keeps beating; node 0 goes silent after t=0.
+	sv.Beat(1, vtime.Time(8*us))
+	sv.Tick(vtime.Time(10 * us)) // silence == timeout: not yet suspect
+	if h := sv.Health(0); h != Healthy {
+		t.Fatalf("health at exactly the timeout = %v, want healthy", h)
+	}
+	sv.Tick(vtime.Time(11 * us)) // past the timeout: suspect, first probe armed
+	if h := sv.Health(0); h != Suspect {
+		t.Fatalf("health past the timeout = %v, want suspect", h)
+	}
+	if h := sv.Health(1); h != Healthy {
+		t.Fatalf("beating node suspected: %v", h)
+	}
+	// Probe deadline armed at 11+10=21; at exactly 21 nothing is missed
+	// yet. Node 1 keeps beating throughout.
+	sv.Beat(1, vtime.Time(20*us))
+	sv.Tick(vtime.Time(21 * us))
+	if h := sv.Health(0); h != Suspect {
+		t.Fatalf("died after a single missed probe: %v", h)
+	}
+	sv.Beat(1, vtime.Time(59*us))
+	sv.Tick(vtime.Time(60 * us)) // past both backed-off probe deadlines
+	if h := sv.Health(0); h != Dead {
+		t.Fatalf("never declared dead: %v", h)
+	}
+	if h := sv.Health(1); h != Healthy {
+		t.Fatalf("beating node declared %v", h)
+	}
+	st := sv.Stats()
+	if st.Suspicions != 1 || st.Detections != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// A beat from a suspect — or from a node wrongly declared dead — clears
+// the belief and counts a false alarm: fail-stop means dead nodes never
+// speak, so a speaking "dead" node proves the detector wrong.
+func TestSupervisorFalseAlarm(t *testing.T) {
+	sv := NewSupervisor(1, SupervisorConfig{Timeout: 10 * us, Probes: 1}, nil, nil)
+	sv.Beat(0, vtime.Time(0))
+	sv.Tick(vtime.Time(11 * us))
+	if sv.Health(0) != Suspect {
+		t.Fatal("setup: node not suspect")
+	}
+	sv.Beat(0, vtime.Time(12*us))
+	if sv.Health(0) != Healthy {
+		t.Fatal("beat did not clear suspicion")
+	}
+	// Now let it go all the way to Dead, then beat again.
+	sv.Tick(vtime.Time(100 * us)) // suspect; probe deadline arms at 110
+	sv.Tick(vtime.Time(111 * us)) // probe missed: dead
+	if sv.Health(0) != Dead {
+		t.Fatal("setup: node not dead")
+	}
+	sv.Beat(0, vtime.Time(112*us))
+	if sv.Health(0) != Healthy {
+		t.Fatal("beat from a falsely-dead node did not resurrect the belief")
+	}
+	if st := sv.Stats(); st.FalseAlarms != 2 {
+		t.Fatalf("false alarms = %d, want 2", st.FalseAlarms)
+	}
+}
+
+// Detection lag is declaration instant minus the machine's ground-truth
+// crash instant.
+func TestSupervisorDetectionLag(t *testing.T) {
+	sv := NewSupervisor(1, SupervisorConfig{Timeout: 10 * us, Probes: 1}, nil, nil)
+	sv.Beat(0, vtime.Time(5*us))
+	sv.NodeDown(0, vtime.Time(7*us))
+	sv.Tick(vtime.Time(40 * us)) // suspicion; probe deadline arms at 50
+	sv.Tick(vtime.Time(51 * us)) // probe missed: dead
+	st := sv.Stats()
+	if st.Detections != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if want := vtime.Time(51 * us).Sub(vtime.Time(7 * us)); st.DetectionLag != want {
+		t.Fatalf("lag %v, want %v", st.DetectionLag, want)
+	}
+}
+
+// CheckpointAll consults the liveness filter (machine ground truth when
+// given one, the detector's own belief otherwise) and counts per node.
+func TestSupervisorCheckpointFilter(t *testing.T) {
+	rec := &fakeRecoverer{}
+	sv := NewSupervisor(3, SupervisorConfig{Timeout: 10 * us, Probes: 1}, nil, rec)
+	sv.CheckpointAll(vtime.Time(5*us), func(n int) bool { return n != 1 })
+	if len(rec.checkpoints) != 2 || rec.checkpoints[0] != 0 || rec.checkpoints[1] != 2 {
+		t.Fatalf("checkpointed %v, want [0 2]", rec.checkpoints)
+	}
+	// With a nil filter, the detector's Dead belief is the filter.
+	sv.MarkLost(2, vtime.Time(6*us))
+	rec.checkpoints = nil
+	sv.CheckpointAll(vtime.Time(7*us), nil)
+	if len(rec.checkpoints) != 2 || rec.checkpoints[0] != 0 || rec.checkpoints[1] != 1 {
+		t.Fatalf("checkpointed %v, want [0 1]", rec.checkpoints)
+	}
+	if st := sv.Stats(); st.Checkpoints != 4 {
+		t.Fatalf("checkpoint count %d, want 4", st.Checkpoints)
+	}
+}
+
+func nounDefMsg(id, name string) Message {
+	return Message{Kind: KindNounDef, Noun: &pif.NounRecord{Name: name},
+		Attrs: map[string]string{"id": id}}
+}
+
+// The ledger remembers each definition once (the supervisor's own
+// re-registrations echo through the channel tap) and suppresses removed
+// nouns — and mappings that mention them — on replay.
+func TestSupervisorLedgerReplayAndSuppression(t *testing.T) {
+	ch := NewChannel()
+	rec := &fakeRecoverer{outcome: RestoreOutcome{FromCheckpoint: true, SASReplayed: 3, ProbesReplayed: 2}}
+	sv := NewSupervisor(2, SupervisorConfig{Timeout: 10 * us, Probes: 1}, ch, rec)
+	ch.OnMessage(sv.RecordDef)
+
+	mapping := Message{Kind: KindMappingDef, Mapping: &pif.MappingRecord{
+		Source:      pif.SentenceRef{Nouns: []string{"TMP_1"}, Verb: "Sums"},
+		Destination: pif.SentenceRef{Nouns: []string{"A"}, Verb: "Sums"},
+	}}
+	ch.Send(nounDefMsg("7", "TMP_1"))
+	ch.Send(nounDefMsg("8", "KEEP_2"))
+	ch.Send(Message{Kind: KindVerbDef, Verb: &pif.VerbRecord{Name: "Scans"}})
+	ch.Send(mapping)
+	ch.Send(nounDefMsg("7", "TMP_1")) // duplicate: ledger must not double
+	ch.Send(Message{Kind: KindRemoval, Removal: "TMP_1"})
+	if _, err := ch.Drain(func(Message) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	out := sv.NodeUp(1, vtime.Time(20*us))
+	if !out.FromCheckpoint || out.SASReplayed != 3 || out.ProbesReplayed != 2 {
+		t.Fatalf("restore outcome %+v", out)
+	}
+	if len(rec.restores) != 1 || rec.restores[0] != 1 {
+		t.Fatalf("restored nodes %v", rec.restores)
+	}
+
+	// The replayed definitions are back on the channel: KEEP_2 and the
+	// verb — not the removed noun, and not the mapping that mentions it.
+	var replayed []Message
+	if _, err := ch.Drain(func(m Message) error { replayed = append(replayed, m); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d messages, want 2: %+v", len(replayed), replayed)
+	}
+	if replayed[0].Noun == nil || replayed[0].Noun.Name != "KEEP_2" || replayed[1].Kind != KindVerbDef {
+		t.Fatalf("replayed %+v", replayed)
+	}
+	st := sv.Stats()
+	if st.Recoveries != 1 || st.DefsReplayed != 2 || st.DefsSuppressed != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.SASReplayed != 3 || st.ProbesReplayed != 2 {
+		t.Fatalf("replay accounting %+v", st)
+	}
+
+	// The echo of the replayed definitions must not have doubled the
+	// ledger: a second reboot replays exactly the same two.
+	sv.NodeUp(1, vtime.Time(30*us))
+	if st := sv.Stats(); st.DefsReplayed != 4 {
+		t.Fatalf("ledger grew from its own echo: %+v", st)
+	}
+}
+
+// MarkLost is terminal bookkeeping: belief pinned Dead, the node listed.
+func TestSupervisorMarkLost(t *testing.T) {
+	sv := NewSupervisor(4, SupervisorConfig{Timeout: 10 * us, Probes: 1}, nil, nil)
+	sv.MarkLost(3, vtime.Time(12*us))
+	if sv.Health(3) != Dead {
+		t.Fatal("lost node not believed dead")
+	}
+	lost := sv.Lost()
+	if len(lost) != 1 || lost[0].Node != 3 || lost[0].At != vtime.Time(12*us) {
+		t.Fatalf("lost = %+v", lost)
+	}
+	if st := sv.Stats(); st.LostNodes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

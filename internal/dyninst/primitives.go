@@ -33,6 +33,9 @@ func (c *Counter) Value() float64 { return c.value }
 // later re-enabled).
 func (c *Counter) Reset() { c.value = 0 }
 
+// Set overwrites the counter, for checkpoint restore.
+func (c *Counter) Set(v float64) { c.value = v }
+
 // TimerKind distinguishes the two clocks Paradyn timers run against.
 type TimerKind int
 
@@ -114,4 +117,23 @@ func (t *Timer) Value(now vtime.Time) vtime.Duration {
 func (t *Timer) Reset() {
 	t.depth = 0
 	t.accum = 0
+}
+
+// TimerState is a timer's complete snapshot, including an open nesting.
+type TimerState struct {
+	Depth int
+	Since vtime.Time
+	Accum vtime.Duration
+}
+
+// State captures the timer for a checkpoint.
+func (t *Timer) State() TimerState {
+	return TimerState{Depth: t.depth, Since: t.since, Accum: t.accum}
+}
+
+// Restore overwrites the timer from a checkpointed state.
+func (t *Timer) Restore(st TimerState) {
+	t.depth = st.Depth
+	t.since = st.Since
+	t.accum = st.Accum
 }

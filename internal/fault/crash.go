@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"nvmap/internal/vtime"
+)
+
+// CrashFault is one scheduled fail-stop event: node Node crashes at
+// virtual time At and, if Restart > 0, is rebooted (empty) once Restart
+// has elapsed. Restart == 0 means the node is lost for the rest of the
+// run. Unlike the probabilistic faults, crashes are plan data, not
+// random draws: the schedule is explicit so an experiment can place a
+// crash exactly where it stresses the recovery machinery.
+//
+// The machine enacts a crash at the first operation boundary at which
+// the node's clock has reached At (fail-stop happens between operations,
+// never inside one), so the observed down instant can trail At slightly;
+// the enacted window is reported exactly in CrashWindows.
+type CrashFault struct {
+	Node int
+	At   vtime.Time
+	// Restart is how long the node stays dead before rebooting. Zero or
+	// negative means the crash is permanent.
+	Restart vtime.Duration
+}
+
+// Permanent reports whether the node never comes back.
+func (c CrashFault) Permanent() bool { return c.Restart <= 0 }
+
+// up returns the scheduled reboot instant (meaningless if Permanent).
+func (c CrashFault) up() vtime.Time { return c.At.Add(c.Restart) }
+
+// CrashAt schedules a fail-stop crash of node at virtual time t and
+// returns a handle for chaining RestartAfter:
+//
+//	plan.CrashAt(2, 80*vtime.Microsecond).RestartAfter(150 * vtime.Microsecond)
+//
+// Without RestartAfter the crash is permanent.
+func (p *Plan) CrashAt(node int, t vtime.Time) *CrashFault {
+	p.Crashes = append(p.Crashes, CrashFault{Node: node, At: t})
+	return &p.Crashes[len(p.Crashes)-1]
+}
+
+// RestartAfter makes the crash transient: the node reboots (with empty
+// measurement state) d after the crash instant.
+func (c *CrashFault) RestartAfter(d vtime.Duration) *CrashFault {
+	c.Restart = d
+	return c
+}
+
+// NormalizeCrashes validates a crash schedule against a node count and
+// returns it sorted by (At, Node, Restart). The rules:
+//
+//   - every Node must be a valid node index (0 <= Node < nodes);
+//   - At must be non-negative;
+//   - negative Restart durations are clamped to zero (permanent);
+//   - per node, dead windows [At, At+Restart) must not overlap, and no
+//     event may be scheduled at or after a permanent crash.
+//
+// A restart at exactly the next crash instant is legal (windows are
+// half-open). Normalization is idempotent: normalizing an already
+// normalized schedule returns it unchanged.
+func NormalizeCrashes(crashes []CrashFault, nodes int) ([]CrashFault, error) {
+	if len(crashes) == 0 {
+		return nil, nil
+	}
+	out := make([]CrashFault, len(crashes))
+	copy(out, crashes)
+	for i := range out {
+		if out[i].Node < 0 || out[i].Node >= nodes {
+			return nil, fmt.Errorf("fault: crash #%d targets node %d, machine has %d nodes", i, out[i].Node, nodes)
+		}
+		if out[i].At < 0 {
+			return nil, fmt.Errorf("fault: crash #%d scheduled at negative time %v", i, out[i].At)
+		}
+		if out[i].Restart < 0 {
+			out[i].Restart = 0
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Restart < out[j].Restart
+	})
+	last := make(map[int]CrashFault, len(out))
+	for _, c := range out {
+		prev, seen := last[c.Node]
+		if seen {
+			if prev.Permanent() {
+				return nil, fmt.Errorf("fault: node %d crashes at %v after its permanent crash at %v", c.Node, c.At, prev.At)
+			}
+			if c.At < prev.up() {
+				return nil, fmt.Errorf("fault: node %d crash at %v overlaps dead window [%v, %v)", c.Node, c.At, prev.At, prev.up())
+			}
+		}
+		last[c.Node] = c
+	}
+	return out, nil
+}
+
+// CrashSchedule returns the plan's normalized crash schedule for a
+// machine with the given node count.
+func (in *Injector) CrashSchedule(nodes int) ([]CrashFault, error) {
+	if in == nil {
+		return nil, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return NormalizeCrashes(in.plan.Crashes, nodes)
+}
+
+// NoteCrash records an enacted fail-stop in the report.
+func (in *Injector) NoteCrash() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.report.NodeCrashes++
+}
+
+// NoteRestart records a reboot after down dead virtual time.
+func (in *Injector) NoteRestart(down vtime.Duration) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.report.NodeRestarts++
+	in.report.DeadTime += down
+}
+
+// NoteLost accounts the dead time of a permanently crashed node (crash
+// instant to end of run). Called once per lost node at run finalization.
+func (in *Injector) NoteLost(down vtime.Duration) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.report.DeadTime += down
+}

@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+const cus = vtime.Microsecond
+
+func TestCrashAtBuilder(t *testing.T) {
+	p := &Plan{}
+	p.CrashAt(2, vtime.Time(80*cus)).RestartAfter(150 * cus)
+	p.CrashAt(0, vtime.Time(10*cus))
+	if len(p.Crashes) != 2 {
+		t.Fatalf("plan has %d crashes", len(p.Crashes))
+	}
+	if c := p.Crashes[0]; c.Node != 2 || c.At != vtime.Time(80*cus) || c.Restart != 150*cus || c.Permanent() {
+		t.Fatalf("transient crash = %+v", c)
+	}
+	if c := p.Crashes[1]; c.Node != 0 || !c.Permanent() {
+		t.Fatalf("permanent crash = %+v", c)
+	}
+	if up := p.Crashes[0].up(); up != vtime.Time(230*cus) {
+		t.Fatalf("reboot instant %v, want 230µs", up)
+	}
+}
+
+func TestNormalizeCrashesSorts(t *testing.T) {
+	in := []CrashFault{
+		{Node: 3, At: vtime.Time(50 * cus), Restart: 10 * cus},
+		{Node: 0, At: vtime.Time(20 * cus)},
+		{Node: 1, At: vtime.Time(20 * cus)},
+	}
+	out, err := NormalizeCrashes(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Node != 0 || out[1].Node != 1 || out[2].Node != 3 {
+		t.Fatalf("sorted order %+v", out)
+	}
+	// The input slice is untouched.
+	if in[0].Node != 3 {
+		t.Fatal("normalization mutated its input")
+	}
+	// Empty schedules normalize to nil.
+	if got, err := NormalizeCrashes(nil, 4); got != nil || err != nil {
+		t.Fatalf("empty schedule = %v, %v", got, err)
+	}
+}
+
+func TestNormalizeCrashesRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		crashes []CrashFault
+		nodes   int
+	}{
+		{"node out of range", []CrashFault{{Node: 4, At: 0}}, 4},
+		{"negative node", []CrashFault{{Node: -1, At: 0}}, 4},
+		{"negative time", []CrashFault{{Node: 0, At: -1}}, 4},
+		{"overlapping windows", []CrashFault{
+			{Node: 1, At: vtime.Time(10 * cus), Restart: 50 * cus},
+			{Node: 1, At: vtime.Time(30 * cus), Restart: 5 * cus},
+		}, 4},
+		{"event after permanent crash", []CrashFault{
+			{Node: 2, At: vtime.Time(10 * cus)},
+			{Node: 2, At: vtime.Time(90 * cus), Restart: cus},
+		}, 4},
+	}
+	for _, tc := range cases {
+		if out, err := NormalizeCrashes(tc.crashes, tc.nodes); err == nil {
+			t.Fatalf("%s: accepted as %+v", tc.name, out)
+		}
+	}
+}
+
+// Negative restarts clamp to zero (permanent); a reboot at exactly the
+// next crash instant is legal (half-open windows); and normalizing an
+// accepted schedule again is a fixed point.
+func TestNormalizeCrashesClampAndIdempotence(t *testing.T) {
+	in := []CrashFault{
+		{Node: 0, At: vtime.Time(10 * cus), Restart: 10 * cus},
+		{Node: 0, At: vtime.Time(20 * cus), Restart: -5 * cus},
+	}
+	out, err := NormalizeCrashes(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[1].Permanent() || out[1].Restart != 0 {
+		t.Fatalf("negative restart not clamped: %+v", out[1])
+	}
+	again, err := NormalizeCrashes(out, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, out) {
+		t.Fatalf("not idempotent: %+v -> %+v", out, again)
+	}
+}
+
+func TestInjectorCrashAccounting(t *testing.T) {
+	var nilInj *Injector
+	if sched, err := nilInj.CrashSchedule(4); sched != nil || err != nil {
+		t.Fatalf("nil injector schedule = %v, %v", sched, err)
+	}
+	nilInj.NoteCrash() // must not panic
+	nilInj.NoteRestart(cus)
+	nilInj.NoteLost(cus)
+
+	p := &Plan{}
+	p.CrashAt(1, vtime.Time(30*cus)).RestartAfter(10 * cus)
+	in := NewInjector(p)
+	sched, err := in.CrashSchedule(4)
+	if err != nil || len(sched) != 1 {
+		t.Fatalf("schedule = %v, %v", sched, err)
+	}
+	if _, err := in.CrashSchedule(1); err == nil {
+		t.Fatal("schedule for a 1-node machine accepted a crash of node 1")
+	}
+	in.NoteCrash()
+	in.NoteRestart(10 * cus)
+	in.NoteCrash()
+	in.NoteLost(25 * cus)
+	r := in.Report()
+	if r.NodeCrashes != 2 || r.NodeRestarts != 1 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.DeadTime != 35*cus {
+		t.Fatalf("dead time %v, want 35µs", r.DeadTime)
+	}
+	if r.Zero() {
+		t.Fatal("crashed run reported zero")
+	}
+}

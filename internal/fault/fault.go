@@ -112,6 +112,11 @@ type Plan struct {
 	Nodes    NodeFaults
 	Channel  ChannelFaults
 	SAS      SASFaults
+
+	// Crashes is the fail-stop schedule: explicit, not probabilistic.
+	// Build it with CrashAt/RestartAfter; the machine normalizes and
+	// validates it via NormalizeCrashes before the run.
+	Crashes []CrashFault
 }
 
 // rng is a splitmix64 stream: tiny, fast, and stable across Go versions

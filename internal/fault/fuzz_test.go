@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"encoding/binary"
+	"reflect"
+	"sort"
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+// decodeCrashes turns raw fuzz bytes into a crash schedule: consecutive
+// 9-byte records of (node, at, restart), with the two times read as
+// signed 32-bit nanosecond values so the fuzzer can reach negative At
+// (must be rejected) and negative Restart (must be clamped permanent).
+func decodeCrashes(data []byte) []CrashFault {
+	const rec = 9
+	n := len(data) / rec
+	if n > 64 {
+		n = 64
+	}
+	out := make([]CrashFault, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i*rec : (i+1)*rec]
+		out = append(out, CrashFault{
+			Node:    int(b[0]),
+			At:      vtime.Time(int32(binary.BigEndian.Uint32(b[1:5]))),
+			Restart: vtime.Duration(int32(binary.BigEndian.Uint32(b[5:9]))),
+		})
+	}
+	return out
+}
+
+// crashBytes is the encoder decodeCrashes inverts; the seed corpus under
+// testdata/fuzz/FuzzPlan holds the same records in encoded form.
+func crashBytes(recs ...[3]int32) []byte {
+	out := make([]byte, 0, len(recs)*9)
+	for _, r := range recs {
+		var b [9]byte
+		b[0] = byte(r[0])
+		binary.BigEndian.PutUint32(b[1:5], uint32(r[1]))
+		binary.BigEndian.PutUint32(b[5:9], uint32(r[2]))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// FuzzPlan drives crash-plan construction and normalization with
+// arbitrary schedules: overlapping dead windows, zero and negative
+// durations, out-of-range nodes, hostile node counts. NormalizeCrashes
+// must never panic; when it accepts a schedule the result must satisfy
+// every documented invariant, and normalizing it again must be a fixed
+// point.
+func FuzzPlan(f *testing.F) {
+	// A clean two-crash schedule, given out of order.
+	f.Add(4, crashBytes([3]int32{2, 9000, 2000}, [3]int32{0, 1000, 500}))
+	// Overlapping dead windows on one node — must be rejected.
+	f.Add(4, crashBytes([3]int32{1, 1000, 5000}, [3]int32{1, 3000, 1000}))
+	// Zero-duration restart is a permanent crash; the later event on the
+	// same node must be rejected.
+	f.Add(4, crashBytes([3]int32{3, 2000, 0}, [3]int32{3, 8000, 100}))
+	// Negative crash time — must be rejected.
+	f.Add(8, crashBytes([3]int32{0, -5, 100}))
+	// Reboot exactly at the next crash instant: half-open windows, legal.
+	f.Add(2, crashBytes([3]int32{0, 1000, 1000}, [3]int32{0, 2000, 0}))
+
+	less := func(s []CrashFault, i, j int) bool {
+		if s[i].At != s[j].At {
+			return s[i].At < s[j].At
+		}
+		if s[i].Node != s[j].Node {
+			return s[i].Node < s[j].Node
+		}
+		return s[i].Restart < s[j].Restart
+	}
+
+	f.Fuzz(func(t *testing.T, nodes int, data []byte) {
+		crashes := decodeCrashes(data)
+		// Build through the public plan API, as an experiment would.
+		p := &Plan{}
+		for _, c := range crashes {
+			p.CrashAt(c.Node, c.At).RestartAfter(c.Restart)
+		}
+		got, err := NormalizeCrashes(p.Crashes, nodes)
+		if err != nil {
+			if got != nil {
+				t.Fatalf("error %v with non-nil schedule %v", err, got)
+			}
+			return
+		}
+		if len(got) != len(crashes) {
+			t.Fatalf("normalization changed schedule length: %d -> %d", len(crashes), len(got))
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return less(got, i, j) }) {
+			t.Fatalf("accepted schedule not sorted: %v", got)
+		}
+		last := make(map[int]CrashFault)
+		for i, c := range got {
+			if c.Node < 0 || c.Node >= nodes {
+				t.Fatalf("accepted crash #%d targets node %d of %d", i, c.Node, nodes)
+			}
+			if c.At < 0 {
+				t.Fatalf("accepted crash #%d at negative time %v", i, c.At)
+			}
+			if c.Restart < 0 {
+				t.Fatalf("negative restart survived normalization: %v", c)
+			}
+			if prev, seen := last[c.Node]; seen {
+				if prev.Permanent() {
+					t.Fatalf("accepted event after permanent crash: %v then %v", prev, c)
+				}
+				if c.At < prev.up() {
+					t.Fatalf("accepted overlapping windows: %v then %v", prev, c)
+				}
+			}
+			last[c.Node] = c
+		}
+		again, err := NormalizeCrashes(got, nodes)
+		if err != nil {
+			t.Fatalf("normalization not idempotent: re-normalizing errored: %v", err)
+		}
+		if !reflect.DeepEqual(again, got) {
+			t.Fatalf("normalization not idempotent: %v -> %v", got, again)
+		}
+	})
+}

@@ -27,6 +27,13 @@ type Report struct {
 	SASDropped    int
 	SASDuplicated int
 	SASReordered  int
+
+	// Fail-stop node faults. DeadTime sums the enacted dead windows:
+	// crash-to-restart for recovered nodes, crash-to-end-of-run for
+	// permanently lost ones.
+	NodeCrashes  int
+	NodeRestarts int
+	DeadTime     vtime.Duration
 }
 
 // Zero reports whether nothing was injected.
@@ -47,6 +54,10 @@ func (r Report) String() string {
 	if r.SASDropped+r.SASDuplicated+r.SASReordered > 0 {
 		fmt.Fprintf(&b, "sas events: %d dropped, %d duplicated, %d reordered\n",
 			r.SASDropped, r.SASDuplicated, r.SASReordered)
+	}
+	if r.NodeCrashes+r.NodeRestarts > 0 {
+		fmt.Fprintf(&b, "crashes: %d fail-stops, %d restarts (+%v dead time)\n",
+			r.NodeCrashes, r.NodeRestarts, r.DeadTime)
 	}
 	if b.Len() == 0 {
 		return "no faults injected\n"

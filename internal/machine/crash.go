@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"nvmap/internal/fault"
+	"nvmap/internal/vtime"
+)
+
+// Fail-stop crashes. A crashed node does no work, sends nothing, and
+// drops every delivery that arrives during its dead window; its virtual
+// clock freezes at the crash instant. A transient crash reboots the node
+// — empty, by design; recovery of measurement state is the supervisor's
+// job, not the machine's — once the scheduled dead duration has elapsed.
+//
+// Crashes are enacted at operation boundaries: every machine operation
+// first Engages the acting node, which fail-stops it if a scheduled
+// crash instant has been reached and, for transient crashes, reboots it
+// before the operation proceeds (the simulator is work-conserving: a
+// rebooted node resumes the program where it left off, so a recovered
+// run performs exactly the clean run's operations, just later). The
+// machine stays deterministic: the same schedule enacts the same windows
+// on every run.
+
+// CrashWindow is one enacted dead window. Up is the reboot instant for
+// recovered windows; for a window still open at end of run (a permanent
+// loss) Recovered is false and Up holds the scheduled reboot instant, or
+// zero if none.
+type CrashWindow struct {
+	Node      int
+	Down      vtime.Time
+	Up        vtime.Time
+	Recovered bool
+	// Permanent marks a window with no scheduled reboot.
+	Permanent bool
+}
+
+// crashState is the per-machine fail-stop bookkeeping, allocated only
+// when a crash schedule or a manual Kill arrives so fault-free runs pay
+// a single nil check per operation.
+type crashState struct {
+	dead    []bool
+	pending [][]fault.CrashFault // scheduled crashes per node, in order
+	windows []CrashWindow
+	open    []int // index into windows of each node's open window, -1 if alive
+}
+
+func (m *Machine) ensureCrash() *crashState {
+	if m.crash == nil {
+		cs := &crashState{
+			dead:    make([]bool, m.cfg.Nodes),
+			pending: make([][]fault.CrashFault, m.cfg.Nodes),
+			open:    make([]int, m.cfg.Nodes),
+		}
+		for n := range cs.open {
+			cs.open[n] = -1
+		}
+		m.crash = cs
+	}
+	return m.crash
+}
+
+// SetCrashSchedule installs a normalized fail-stop schedule (see
+// fault.NormalizeCrashes). Call before the run starts.
+func (m *Machine) SetCrashSchedule(sched []fault.CrashFault) {
+	if len(sched) == 0 {
+		return
+	}
+	cs := m.ensureCrash()
+	for _, c := range sched {
+		cs.pending[c.Node] = append(cs.pending[c.Node], c)
+	}
+}
+
+// OnCrash registers a hook called synchronously when a node fail-stops,
+// after the EvCrash event is emitted. The supervisor uses it to wipe the
+// node's live measurement state.
+func (m *Machine) OnCrash(fn func(node int, at vtime.Time)) {
+	m.onCrash = append(m.onCrash, fn)
+}
+
+// OnRestart registers a hook called synchronously when a node reboots,
+// before the EvRestart event is emitted — so by the time observers see
+// the restart, recovery (checkpoint restore + replay) has already run.
+func (m *Machine) OnRestart(fn func(node int, at vtime.Time)) {
+	m.onRestart = append(m.onRestart, fn)
+}
+
+// Alive reports whether a node is currently up.
+func (m *Machine) Alive(node int) bool {
+	return m.crash == nil || !m.crash.dead[node]
+}
+
+// CrashWindows returns the enacted dead windows in enactment order.
+func (m *Machine) CrashWindows() []CrashWindow {
+	if m.crash == nil {
+		return nil
+	}
+	out := make([]CrashWindow, len(m.crash.windows))
+	copy(out, m.crash.windows)
+	return out
+}
+
+// Kill fail-stops a node immediately (at its current clock) with no
+// scheduled reboot — the manual, permanent form of a crash. Revive
+// brings it back.
+func (m *Machine) Kill(node int) {
+	cs := m.ensureCrash()
+	if cs.dead[node] {
+		return
+	}
+	m.enactCrash(node, fault.CrashFault{Node: node, At: m.nodeClock[node]})
+}
+
+// Revive reboots a killed node at the given instant (clamped to its
+// crash instant). Scheduled transient crashes reboot themselves; Revive
+// exists for manually killed nodes.
+func (m *Machine) Revive(node int, at vtime.Time) {
+	if m.crash == nil || !m.crash.dead[node] {
+		return
+	}
+	w := m.crash.windows[m.crash.open[node]]
+	m.enactRestart(node, at.Max(w.Down))
+}
+
+// Engage brings a node to an operation boundary: it enacts a scheduled
+// crash whose instant the node's clock has reached, and reboots a
+// transiently dead node (at the later of its frozen clock and the
+// scheduled reboot instant) so the operation can proceed. It returns
+// false — operation must be skipped — only for permanently dead nodes.
+func (m *Machine) Engage(node int) bool {
+	cs := m.crash
+	if cs == nil {
+		return true
+	}
+	if !cs.dead[node] {
+		if p := cs.pending[node]; len(p) > 0 && !m.nodeClock[node].Before(p[0].At) {
+			cs.pending[node] = p[1:]
+			m.enactCrash(node, p[0])
+		}
+		if !cs.dead[node] {
+			return true
+		}
+	}
+	w := cs.windows[cs.open[node]]
+	if w.Permanent {
+		return false
+	}
+	m.enactRestart(node, m.nodeClock[node].Max(w.Up))
+	return true
+}
+
+// enactCrash fail-stops the node at its current clock. The window's Up
+// holds the scheduled reboot instant (crash instant plus the planned
+// dead duration — a late-enacted crash still sleeps its full duration).
+func (m *Machine) enactCrash(node int, c fault.CrashFault) {
+	cs := m.crash
+	at := m.nodeClock[node]
+	w := CrashWindow{Node: node, Down: at, Permanent: c.Permanent()}
+	if !w.Permanent {
+		w.Up = at.Add(c.Restart)
+	}
+	cs.dead[node] = true
+	cs.open[node] = len(cs.windows)
+	cs.windows = append(cs.windows, w)
+	m.stats[node].Crashes++
+	m.faults.NoteCrash()
+	m.emit(Event{Kind: EvCrash, Node: node, Peer: node, Start: at, End: at, Tag: "crash"})
+	for _, fn := range m.onCrash {
+		fn(node, at)
+	}
+}
+
+// enactRestart reboots the node at the given instant. Recovery hooks run
+// before the EvRestart event so observers sample restored state.
+func (m *Machine) enactRestart(node int, at vtime.Time) {
+	cs := m.crash
+	w := &cs.windows[cs.open[node]]
+	w.Up = at
+	w.Recovered = true
+	cs.dead[node] = false
+	cs.open[node] = -1
+	m.nodeClock[node] = at
+	m.stats[node].Restarts++
+	m.faults.NoteRestart(at.Sub(w.Down))
+	for _, fn := range m.onRestart {
+		fn(node, at)
+	}
+	m.emit(Event{Kind: EvRestart, Node: node, Peer: node, Start: w.Down, End: at, Tag: "restart"})
+}
+
+// admitDelivery decides the fate of a message landing on a node at the
+// arrival instant. A delivery inside a dead window — open or already
+// closed (the arrival instant is the sender's, and the sender may run
+// behind the receiver) — is lost. A delivery to a transiently dead node
+// at or after its scheduled reboot triggers the reboot first and is then
+// delivered.
+func (m *Machine) admitDelivery(to int, arrival vtime.Time) bool {
+	cs := m.crash
+	if cs == nil {
+		return true
+	}
+	if cs.dead[to] {
+		w := cs.windows[cs.open[to]]
+		if w.Permanent || arrival.Before(w.Up) {
+			m.stats[to].LostRecvs++
+			return false
+		}
+		m.enactRestart(to, w.Up)
+		return true
+	}
+	for _, w := range cs.windows {
+		if w.Node == to && !arrival.Before(w.Down) && arrival.Before(w.Up) {
+			m.stats[to].LostRecvs++
+			return false
+		}
+	}
+	return true
+}

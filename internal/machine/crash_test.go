@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"testing"
+
+	"nvmap/internal/fault"
+	"nvmap/internal/vtime"
+)
+
+// A scheduled transient crash is enacted at the first operation boundary
+// the node's clock reaches, wipes through the OnCrash hook, and reboots
+// the node before the operation proceeds (work conservation).
+func TestScheduledTransientCrash(t *testing.T) {
+	m := newTest(t, 2)
+	sched, err := fault.NormalizeCrashes([]fault.CrashFault{
+		{Node: 1, At: vtime.Time(10), Restart: 500},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetCrashSchedule(sched)
+	var crashes, restarts []vtime.Time
+	m.OnCrash(func(node int, at vtime.Time) {
+		if node != 1 {
+			t.Fatalf("crash hook for node %d", node)
+		}
+		crashes = append(crashes, at)
+	})
+	m.OnRestart(func(node int, at vtime.Time) { restarts = append(restarts, at) })
+
+	m.Compute(1, 1, "before") // clock was 0 < 10ns at this boundary: no crash
+	if len(crashes) != 0 {
+		t.Fatal("crash enacted before its instant")
+	}
+	down := m.Now(1) // 30ns, past the crash instant
+	// The next boundary enacts the crash at the node's frozen clock,
+	// reboots it the full scheduled dead duration later, then computes.
+	m.Compute(1, 10_000, "boundary")
+	if len(crashes) != 1 || len(restarts) != 1 {
+		t.Fatalf("hooks fired %d/%d times", len(crashes), len(restarts))
+	}
+	if crashes[0] != down {
+		t.Fatalf("crashed at %v, clock was %v", crashes[0], down)
+	}
+	if want := down.Add(500); restarts[0] != want {
+		t.Fatalf("rebooted at %v, want %v (full scheduled dead duration)", restarts[0], want)
+	}
+	ws := m.CrashWindows()
+	if len(ws) != 1 || !ws[0].Recovered || ws[0].Permanent {
+		t.Fatalf("windows %+v", ws)
+	}
+	if !m.Alive(1) {
+		t.Fatal("rebooted node not alive")
+	}
+	st := m.Stats(1)
+	if st.Crashes != 1 || st.Restarts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// A permanently crashed node refuses every operation and its clock
+// freezes at the crash instant.
+func TestPermanentCrashFreezes(t *testing.T) {
+	m := newTest(t, 2)
+	m.SetCrashSchedule([]fault.CrashFault{{Node: 0, At: 0}})
+	m.Compute(0, 100, "dies at the boundary")
+	if m.Alive(0) {
+		t.Fatal("node survived a permanent crash")
+	}
+	frozen := m.Now(0)
+	m.Compute(0, 100, "ignored")
+	m.AdvanceNode(0, 999)
+	if m.Now(0) != frozen {
+		t.Fatal("dead node's clock moved")
+	}
+	if m.Stats(0).ComputeOps != 0 {
+		t.Fatal("dead node computed")
+	}
+	ws := m.CrashWindows()
+	if len(ws) != 1 || ws[0].Recovered || !ws[0].Permanent {
+		t.Fatalf("windows %+v", ws)
+	}
+}
+
+// Kill is the manual permanent crash; Revive closes its window. A
+// delivery to a killed node is lost and counted; after the revival
+// deliveries flow again.
+func TestKillReviveAndDeliveries(t *testing.T) {
+	m := newTest(t, 2)
+	m.Kill(1)
+	if m.Alive(1) {
+		t.Fatal("killed node alive")
+	}
+	m.Kill(1) // idempotent
+	m.Send(0, 1, 8, "into the void")
+	if st := m.Stats(1); st.Recvs != 0 || st.LostRecvs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	m.Revive(1, m.Now(0).Add(100))
+	if !m.Alive(1) {
+		t.Fatal("revived node dead")
+	}
+	ws := m.CrashWindows()
+	if len(ws) != 1 || !ws[0].Recovered {
+		t.Fatalf("windows %+v", ws)
+	}
+	m.Send(0, 1, 8, "delivered")
+	if st := m.Stats(1); st.Recvs != 1 {
+		t.Fatalf("revived node stats %+v", st)
+	}
+	m.Revive(1, m.Now(1)) // reviving a live node is a no-op
+}
+
+// A delivery whose arrival instant lands inside an already-closed dead
+// window is lost: the arrival is the sender's timeline, and the receiver
+// was dead at that instant even if it has since rebooted.
+func TestDeliveryIntoClosedWindowLost(t *testing.T) {
+	m := newTest(t, 2)
+	// Node 1 steps slightly ahead, crashes at 300ns, and reboots 10ms
+	// later — a window that brackets any early message arrival.
+	m.Compute(1, 10, "ahead")
+	m.SetCrashSchedule([]fault.CrashFault{{Node: 1, At: m.Now(1), Restart: 10 * vtime.Millisecond}})
+	m.Compute(1, 1, "crash+reboot boundary")
+	ws := m.CrashWindows()
+	if len(ws) != 1 || !ws[0].Recovered {
+		t.Fatalf("setup: windows %+v", ws)
+	}
+	// Node 0 is far behind; its message arrives inside [Down, Up).
+	m.Send(0, 1, 8, "stale")
+	if st := m.Stats(1); st.Recvs != 0 || st.LostRecvs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Collectives skip permanently dead nodes instead of waiting forever on
+// them.
+func TestBarrierSkipsDeadNode(t *testing.T) {
+	m := newTest(t, 4)
+	m.SetCrashSchedule([]fault.CrashFault{{Node: 2, At: 0}})
+	m.Compute(2, 1, "dies")
+	m.Compute(0, 100, "work")
+	m.Barrier("sync")
+	// The barrier completed; survivors aligned, the dead node stayed
+	// frozen.
+	if m.Now(0) != m.Now(1) || m.Now(1) != m.Now(3) {
+		t.Fatalf("survivors not aligned: %v %v %v", m.Now(0), m.Now(1), m.Now(3))
+	}
+	if m.Now(2).After(m.Now(0)) {
+		t.Fatal("dead node advanced past the survivors")
+	}
+}

@@ -75,6 +75,10 @@ const (
 	EvReduce
 	EvBarrier
 	EvIdle // a node waited (for the control processor or a message)
+	// EvCrash marks a node fail-stopping; EvRestart marks its reboot
+	// (Start is the crash instant, End the reboot instant).
+	EvCrash
+	EvRestart
 )
 
 // String names the event kind.
@@ -96,6 +100,10 @@ func (k EventKind) String() string {
 		return "barrier"
 	case EvIdle:
 		return "idle"
+	case EvCrash:
+		return "crash"
+	case EvRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -139,6 +147,11 @@ type NodeStats struct {
 	Recvs       int
 	IdleTime    vtime.Duration
 	Dispatches  int
+	// Fail-stop accounting: LostRecvs counts deliveries that arrived
+	// inside one of the node's dead windows.
+	Crashes   int
+	Restarts  int
+	LostRecvs int
 }
 
 // Machine is one simulated partition.
@@ -151,6 +164,10 @@ type Machine struct {
 	// faults, when non-nil, perturbs point-to-point sends and node
 	// compute speed with the injector's deterministic schedule.
 	faults *fault.Injector
+	// crash, when non-nil, tracks fail-stop state (see crash.go).
+	crash     *crashState
+	onCrash   []func(node int, at vtime.Time)
+	onRestart []func(node int, at vtime.Time)
 }
 
 // New builds a machine from the config.
@@ -223,16 +240,24 @@ func (m *Machine) treeDepth() int {
 }
 
 // AdvanceNode spends d of plain (unclassified) time on a node. Used by
-// the instrumentation layer to model probe perturbation.
+// the instrumentation layer to model probe perturbation. A dead node's
+// clock is frozen: the advance is discarded.
 func (m *Machine) AdvanceNode(node int, d vtime.Duration) {
+	if m.crash != nil && m.crash.dead[node] {
+		return
+	}
 	m.nodeClock[node] = m.nodeClock[node].Add(d)
 }
 
 // AdvanceCP spends d on the control processor.
 func (m *Machine) AdvanceCP(d vtime.Duration) { m.cpClock = m.cpClock.Add(d) }
 
-// Compute performs elems elemental operations on a node.
+// Compute performs elems elemental operations on a node. A permanently
+// dead node computes nothing.
 func (m *Machine) Compute(node, elems int, tag string) {
+	if !m.Engage(node) {
+		return
+	}
 	if m.faults != nil {
 		if stall := m.faults.Stall(node); stall > 0 {
 			before := m.nodeClock[node]
@@ -267,6 +292,9 @@ func (m *Machine) Compute(node, elems int, tag string) {
 // arrival instant is always the sender's expectation — a sender cannot
 // observe that the network lost its message.
 func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
+	if !m.Engage(from) {
+		return m.nodeClock[from]
+	}
 	start := m.nodeClock[from]
 	serial := m.cfg.PerByte.Scale(bytes)
 	sendEnd := start.Add(m.cfg.SendOverhead + serial)
@@ -295,8 +323,12 @@ func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
 }
 
 // deliver lands one copy of a message on the receiver at the arrival
-// instant, accounting wait as idle time.
+// instant, accounting wait as idle time. Deliveries into a dead window
+// are lost (see admitDelivery).
 func (m *Machine) deliver(from, to, bytes int, arrival vtime.Time, tag string) {
+	if !m.admitDelivery(to, arrival) {
+		return
+	}
 	rst := &m.stats[to]
 	rst.Recvs++
 	before := m.nodeClock[to]
@@ -322,6 +354,9 @@ func (m *Machine) Dispatch(tag string, argBytes int) {
 	m.emit(Event{Kind: EvDispatch, Node: CP, Peer: CP, Bytes: argBytes, Start: cpStart, End: m.cpClock, Tag: tag})
 	argCost := m.cfg.PerByte.Scale(argBytes)
 	for n := 0; n < m.cfg.Nodes; n++ {
+		if !m.Engage(n) {
+			continue
+		}
 		before := m.nodeClock[n]
 		if arrival.After(before) {
 			m.stats[n].IdleTime += arrival.Sub(before)
@@ -344,6 +379,9 @@ func (m *Machine) Broadcast(bytes int, tag string) {
 	arrival := m.cpClock.Add(m.cfg.TreeStep.Scale(m.treeDepth()))
 	m.emit(Event{Kind: EvBroadcast, Node: CP, Peer: CP, Bytes: bytes, Start: cpStart, End: m.cpClock, Tag: tag})
 	for n := 0; n < m.cfg.Nodes; n++ {
+		if !m.Engage(n) {
+			continue
+		}
 		before := m.nodeClock[n]
 		if arrival.After(before) {
 			m.stats[n].IdleTime += arrival.Sub(before)
@@ -367,6 +405,9 @@ func (m *Machine) Reduce(bytes int, tag string) {
 	serial := m.cfg.PerByte.Scale(bytes)
 	var slowest vtime.Time
 	for n := 0; n < m.cfg.Nodes; n++ {
+		if !m.Engage(n) {
+			continue
+		}
 		start := m.nodeClock[n]
 		end := start.Add(m.cfg.SendOverhead + serial)
 		m.nodeClock[n] = end
@@ -390,13 +431,19 @@ func (m *Machine) Reduce(bytes int, tag string) {
 // one tree traversal, accounting the wait as idle time.
 func (m *Machine) Barrier(tag string) {
 	var latest vtime.Time
-	for _, c := range m.nodeClock {
-		if c.After(latest) {
+	for n := 0; n < m.cfg.Nodes; n++ {
+		if !m.Engage(n) {
+			continue
+		}
+		if c := m.nodeClock[n]; c.After(latest) {
 			latest = c
 		}
 	}
 	done := latest.Add(m.cfg.TreeStep.Scale(m.treeDepth()))
 	for n := 0; n < m.cfg.Nodes; n++ {
+		if !m.Alive(n) {
+			continue
+		}
 		before := m.nodeClock[n]
 		if done.After(before) {
 			m.stats[n].IdleTime += done.Sub(before)

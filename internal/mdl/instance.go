@@ -23,6 +23,9 @@ type Instance struct {
 	handles  []dyninst.Handle
 	mgr      *dyninst.Manager
 	removed  bool
+	// journal, when set, records worker-node probe fires for crash
+	// recovery (see recover.go).
+	journal func(node int, f ProbeFire)
 }
 
 // SetWidth declares how many nodes the instance's focus covers. Metrics
@@ -63,8 +66,8 @@ func (m *Metric) Instantiate(mgr *dyninst.Manager, nodes int, pred dyninst.Predi
 		}
 	}
 
-	for _, probe := range m.Probes {
-		action := inst.actionFor(probe)
+	for i, probe := range m.Probes {
+		action := inst.actionFor(i, probe)
 		h := mgr.Insert(probe.Point, dyninst.Snippet{
 			Name: m.ID + ":" + probe.Action.String(),
 			When: pred,
@@ -75,28 +78,11 @@ func (m *Metric) Instantiate(mgr *dyninst.Manager, nodes int, pred dyninst.Predi
 	return inst, nil
 }
 
-func (inst *Instance) actionFor(probe Probe) dyninst.Action {
-	switch probe.Action {
-	case ActStart:
-		return func(ctx dyninst.Context) {
-			inst.timers[slot(ctx.Node)].Start(ctx.Now)
-		}
-	case ActStop:
-		return func(ctx dyninst.Context) {
-			// A stop without a matching start can occur when the metric
-			// was requested mid-operation; ignore it, as Paradyn's
-			// primitives do.
-			_ = inst.timers[slot(ctx.Node)].Stop(ctx.Now)
-		}
-	case ActInc:
-		amt := probe.Amount
-		return func(ctx dyninst.Context) {
-			inst.counters[slot(ctx.Node)].Add(amt)
-		}
-	default: // ActDec
-		amt := probe.Amount
-		return func(ctx dyninst.Context) {
-			inst.counters[slot(ctx.Node)].Add(-amt)
+func (inst *Instance) actionFor(i int, probe Probe) dyninst.Action {
+	return func(ctx dyninst.Context) {
+		inst.apply(probe, ctx.Node, ctx.Now)
+		if inst.journal != nil && ctx.Node >= 0 {
+			inst.journal(ctx.Node, ProbeFire{Probe: i, At: ctx.Now})
 		}
 	}
 }

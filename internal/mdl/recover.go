@@ -1,0 +1,93 @@
+package mdl
+
+import (
+	"nvmap/internal/dyninst"
+	"nvmap/internal/vtime"
+)
+
+// Fail-stop recovery support for metric instances. A node crash wipes
+// the node's slot of every enabled instance (the primitives live in the
+// node's instrumentation library in the paper's architecture); the
+// supervisor restores the last checkpointed primitive state and replays
+// the probe fires journaled since. Replay re-applies recorded actions
+// directly — it must not re-evaluate predicates, which read live SAS
+// state that no longer reflects the journaled instant.
+
+// ProbeFire is one journaled probe execution on a node: which of the
+// metric's probes fired, and when.
+type ProbeFire struct {
+	Probe int
+	At    vtime.Time
+}
+
+// PrimState is one node slot's primitive snapshot. Counter is used for
+// count metrics, Timer for time metrics.
+type PrimState struct {
+	Counter float64
+	Timer   dyninst.TimerState
+}
+
+// SetJournal installs a hook invoked after every probe action that fires
+// on a worker node (the control processor never crashes and is not
+// journaled). A nil fn removes the hook.
+func (inst *Instance) SetJournal(fn func(node int, f ProbeFire)) {
+	inst.journal = fn
+}
+
+// apply performs one probe's action on a node slot at an instant — the
+// shared core of live firing and journal replay.
+func (inst *Instance) apply(probe Probe, node int, at vtime.Time) {
+	switch probe.Action {
+	case ActStart:
+		inst.timers[slot(node)].Start(at)
+	case ActStop:
+		// A stop without a matching start can occur when the metric was
+		// requested mid-operation; ignore it, as Paradyn's primitives do.
+		_ = inst.timers[slot(node)].Stop(at)
+	case ActInc:
+		inst.counters[slot(node)].Add(probe.Amount)
+	default: // ActDec
+		inst.counters[slot(node)].Add(-probe.Amount)
+	}
+}
+
+// ExportNode captures a node's primitive state for a checkpoint.
+func (inst *Instance) ExportNode(node int) PrimState {
+	var st PrimState
+	if inst.Metric.Kind == Count {
+		st.Counter = inst.counters[slot(node)].Value()
+	} else {
+		st.Timer = inst.timers[slot(node)].State()
+	}
+	return st
+}
+
+// RestoreNode overwrites a node's primitive state from a checkpoint.
+func (inst *Instance) RestoreNode(node int, st PrimState) {
+	if inst.Metric.Kind == Count {
+		inst.counters[slot(node)].Set(st.Counter)
+	} else {
+		inst.timers[slot(node)].Restore(st.Timer)
+	}
+}
+
+// ResetNode wipes a node's primitive — the crash itself.
+func (inst *Instance) ResetNode(node int) {
+	if inst.Metric.Kind == Count {
+		inst.counters[slot(node)].Reset()
+	} else {
+		inst.timers[slot(node)].Reset()
+	}
+}
+
+// ReplayNode re-applies journaled probe fires to a node's primitives.
+// Out-of-range probe indices (a journal from a different metric) are
+// ignored.
+func (inst *Instance) ReplayNode(node int, fires []ProbeFire) {
+	for _, f := range fires {
+		if f.Probe < 0 || f.Probe >= len(inst.Metric.Probes) {
+			continue
+		}
+		inst.apply(inst.Metric.Probes[f.Probe], node, f.At)
+	}
+}

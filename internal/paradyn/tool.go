@@ -89,6 +89,22 @@ type Tool struct {
 	// droppedSamples counts samples lost to channel overflow, per
 	// metric ID — the degradation ledger.
 	droppedSamples map[string]int
+
+	// removedIDs is the removal ledger: every deallocated runtime array
+	// ID, kept forever. A noun definition re-delivered for one of these
+	// (a recovered node replaying its registrations) is ignored — a
+	// crash must not resurrect a deallocated noun.
+	removedIDs map[cmrts.ArrayID]bool
+
+	// lostNodes records nodes declared permanently lost, for the
+	// per-focus partial-answer annotations.
+	lostNodes []LostNodeMark
+}
+
+// LostNodeMark records one permanently lost node for answer annotation.
+type LostNodeMark struct {
+	Node int
+	At   vtime.Time
 }
 
 // EnabledMetric is one active metric-focus pair with its histogram
@@ -115,6 +131,35 @@ type EnabledMetric struct {
 // directly).
 func (em *EnabledMetric) Degraded() bool { return em.degraded }
 
+// Partial returns a non-empty annotation when this pair's answer is
+// incomplete because a node covered by its focus was permanently lost:
+// "(partial: lost node N at T)". Rather than silently report the
+// survivors' aggregate as the whole truth, the tool marks every answer
+// the dead node should have contributed to. A focus constrained to a
+// different node is unaffected and returns "".
+func (em *EnabledMetric) Partial() string {
+	if em.tool == nil || len(em.tool.lostNodes) == 0 {
+		return ""
+	}
+	focusNode := -1
+	if r, ok := em.Focus.Part(HierMachine); ok {
+		if n, err := strconv.Atoi(strings.TrimPrefix(r.Name, "node")); err == nil {
+			focusNode = n
+		}
+	}
+	var parts []string
+	for _, l := range em.tool.lostNodes {
+		if focusNode >= 0 && l.Node != focusNode {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("lost node %d at %v", l.Node, l.At))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "(partial: " + strings.Join(parts, ", ") + ")"
+}
+
 // New builds a tool over a runtime. The machine adapter (idle
 // pseudo-points and the histogram sampler) attaches immediately.
 func New(rt *cmrts.Runtime, lib *mdl.Library, opts Options) (*Tool, error) {
@@ -139,6 +184,7 @@ func New(rt *cmrts.Runtime, lib *mdl.Library, opts Options) (*Tool, error) {
 		channel:      daemon.NewChannel(),
 
 		droppedSamples: make(map[string]int),
+		removedIDs:     make(map[cmrts.ArrayID]bool),
 	}
 	// Account every sample lost to channel overflow and mark its
 	// metric-focus pair degraded. Mapping records never reach this
@@ -343,6 +389,23 @@ func (t *Tool) drainChannel() {
 // further machine event fires).
 func (t *Tool) FlushChannel() { t.drainChannel() }
 
+// NoteLostNode declares a node permanently lost at a crash instant.
+// Every enabled metric whose focus covers the node answers with a
+// partial annotation from then on.
+func (t *Tool) NoteLostNode(node int, at vtime.Time) {
+	for _, l := range t.lostNodes {
+		if l.Node == node {
+			return
+		}
+	}
+	t.lostNodes = append(t.lostNodes, LostNodeMark{Node: node, At: at})
+}
+
+// LostNodes returns the permanently lost nodes in declaration order.
+func (t *Tool) LostNodes() []LostNodeMark {
+	return append([]LostNodeMark(nil), t.lostNodes...)
+}
+
 // DroppedSamples returns the per-metric count of samples lost to
 // channel overflow.
 func (t *Tool) DroppedSamples() map[string]int {
@@ -354,6 +417,12 @@ func (t *Tool) DroppedSamples() map[string]int {
 }
 
 func (t *Tool) noteAllocation(id cmrts.ArrayID, name string) {
+	// A duplicate definition (a recovered node re-registering) is
+	// idempotent, and a definition for a deallocated array is a
+	// resurrection attempt — both are ignored.
+	if t.arrayNames[id] != "" || t.removedIDs[id] {
+		return
+	}
 	t.arraysByName[name] = append(t.arraysByName[name], id)
 	t.arrayNames[id] = name
 	t.Axis.AddPath(HierArrays, name)
@@ -365,6 +434,7 @@ func (t *Tool) noteAllocation(id cmrts.ArrayID, name string) {
 }
 
 func (t *Tool) noteDeallocation(id cmrts.ArrayID, name string) {
+	t.removedIDs[id] = true
 	ids := t.arraysByName[name]
 	for i, x := range ids {
 		if x == id {

@@ -25,6 +25,9 @@ type Row struct {
 	// overflow; the displays flag it so the user knows the time-series
 	// view has holes.
 	Degraded bool
+	// Partial, when non-empty, annotates a reading missing a permanently
+	// lost node's contribution, e.g. "(partial: lost node 2 at 1.2ms)".
+	Partial string
 }
 
 // Table renders rows as an aligned three-column table.
@@ -45,6 +48,9 @@ func Table(title string, rows []Row) string {
 		mark := ""
 		if r.Degraded {
 			mark = "  (degraded)"
+		}
+		if r.Partial != "" {
+			mark += "  " + r.Partial
 		}
 		fmt.Fprintf(&b, "  %-*s  %-*s  %s%s\n", wMetric, r.Metric, wFocus, r.Focus, formatValue(r.Value, r.Units), mark)
 	}

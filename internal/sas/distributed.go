@@ -86,7 +86,7 @@ type pendingSend struct {
 // collectExportsLocked matches an activation change against the export
 // rules. Called with s.mu held.
 func (s *SAS) collectExportsLocked(sn nv.Sentence, at vtime.Time) []pendingSend {
-	if len(s.exports) == 0 {
+	if len(s.exports) == 0 || s.replaying > 0 {
 		return nil
 	}
 	_, active := s.active[sn.Key()]
@@ -131,6 +131,10 @@ type Registry struct {
 	mu    sync.Mutex
 	nodes map[int]*SAS
 	opts  Options
+	// asked remembers every question registered through AddQuestionAll,
+	// in order, so ResetNode can re-register them after a crash with the
+	// same sequentially assigned QuestionIDs.
+	asked []Question
 }
 
 // NewRegistry returns a registry that creates per-node SASes with the
@@ -171,6 +175,9 @@ func (r *Registry) Nodes() []*SAS {
 // sharing any information between nodes": each node accumulates its local
 // share and the tool aggregates.
 func (r *Registry) AddQuestionAll(q Question) (map[int]QuestionID, error) {
+	r.mu.Lock()
+	r.asked = append(r.asked, q)
+	r.mu.Unlock()
 	ids := make(map[int]QuestionID)
 	for _, s := range r.Nodes() {
 		id, err := s.AddQuestion(q)

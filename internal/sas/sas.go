@@ -113,6 +113,11 @@ type SAS struct {
 	// links holds receiver-side state (expected sequence number, gap
 	// buffer) for each ReliableLink delivering into this SAS.
 	links map[*ReliableLink]*linkState
+
+	// record, when set, journals replayable operations (state.go);
+	// replaying suppresses journaling and export fan-out during Replay.
+	record    func(Record)
+	replaying int
 }
 
 // Options configures a SAS.
@@ -238,6 +243,7 @@ func (s *SAS) relevantLocked(sn nv.Sentence) bool {
 func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
 	s.mu.Lock()
 	var pending []pendingSend
+	s.journalLocked(Record{Kind: RecActivate, Sentence: sn, At: at})
 	s.stats.Notifications++
 	switch {
 	case s.filter && !s.relevantLocked(sn):
@@ -263,6 +269,7 @@ func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
 func (s *SAS) Deactivate(sn nv.Sentence, at vtime.Time) error {
 	s.mu.Lock()
 	var pending []pendingSend
+	s.journalLocked(Record{Kind: RecDeactivate, Sentence: sn, At: at})
 	s.stats.Notifications++
 	key := sn.Key()
 	e, ok := s.active[key]
@@ -423,6 +430,7 @@ func (s *SAS) evalOrderedLocked(q Question, extra nv.Sentence, hasExtra bool) bo
 func (s *SAS) RecordEvent(sn nv.Sentence, at vtime.Time, value float64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.journalLocked(Record{Kind: RecEvent, Sentence: sn, At: at, Value: value})
 	s.stats.Events++
 	hits := 0
 	for _, st := range s.candidatesLocked(sn) {
@@ -440,6 +448,7 @@ func (s *SAS) RecordEvent(sn nv.Sentence, at vtime.Time, value float64) int {
 func (s *SAS) RecordSpan(sn nv.Sentence, from, to vtime.Time, value vtime.Duration) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.journalLocked(Record{Kind: RecSpan, Sentence: sn, At: to, From: from, Dur: value})
 	s.stats.Events++
 	hits := 0
 	for _, st := range s.candidatesLocked(sn) {

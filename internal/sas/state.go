@@ -1,0 +1,209 @@
+package sas
+
+import (
+	"sort"
+
+	"nvmap/internal/nv"
+	"nvmap/internal/vtime"
+)
+
+// This file adds fail-stop recovery support to the SAS: a snapshotable
+// state (the per-node partition a checkpoint captures), an operation
+// journal (the post-checkpoint records a supervisor replays after a
+// reboot), and an in-place Reset (the wipe a crash inflicts). Entries
+// held on behalf of ReliableLinks are deliberately outside this state:
+// the links' own retransmit/resync machinery (reliable.go) reconstructs
+// them, exactly as it does after message loss.
+
+// RecordKind classifies one journaled SAS operation.
+type RecordKind uint8
+
+// The journaled operation kinds.
+const (
+	RecActivate RecordKind = iota
+	RecDeactivate
+	RecEvent
+	RecSpan
+)
+
+// Record is one journaled SAS operation, sufficient to replay it. From
+// is the span start for RecSpan records; Value and Dur carry the
+// RecordEvent value and RecordSpan duration respectively.
+type Record struct {
+	Kind     RecordKind
+	Sentence nv.Sentence
+	At       vtime.Time
+	From     vtime.Time
+	Value    float64
+	Dur      vtime.Duration
+}
+
+// SetRecorder installs a journal hook invoked for every local (and
+// plain-remote) Activate, Deactivate, RecordEvent and RecordSpan — the
+// operations Replay can reproduce. The hook runs with the SAS lock held
+// and must not call back into the SAS. Events arriving over a
+// ReliableLink are not journaled: the link retransmits them itself. A
+// nil fn removes the hook.
+func (s *SAS) SetRecorder(fn func(Record)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.record = fn
+}
+
+func (s *SAS) journalLocked(r Record) {
+	if s.record != nil && s.replaying == 0 {
+		s.record(r)
+	}
+}
+
+// Replay re-applies one journaled operation. During replay the journal
+// hook is suppressed (no re-journaling) and export rules do not fire —
+// the other nodes already saw the original operation; replay only
+// rebuilds this SAS's state.
+func (s *SAS) Replay(r Record) {
+	s.mu.Lock()
+	s.replaying++
+	s.mu.Unlock()
+	switch r.Kind {
+	case RecActivate:
+		s.Activate(r.Sentence, r.At)
+	case RecDeactivate:
+		_ = s.Deactivate(r.Sentence, r.At)
+	case RecEvent:
+		s.RecordEvent(r.Sentence, r.At, r.Value)
+	case RecSpan:
+		s.RecordSpan(r.Sentence, r.From, r.At, r.Dur)
+	}
+	s.mu.Lock()
+	s.replaying--
+	s.mu.Unlock()
+}
+
+// QuestionSnap is the measurement state of one question inside a State.
+type QuestionSnap struct {
+	ID            QuestionID
+	Count         float64
+	EventTime     vtime.Duration
+	SatisfiedTime vtime.Duration
+	Satisfied     bool
+	Since         vtime.Time
+}
+
+// State is a snapshot of a SAS partition: the locally held active set
+// and every question's accumulated results. It is plain data (no maps,
+// no pointers) so a checkpoint store can serialise it.
+type State struct {
+	Node      int
+	Active    []ActiveSentence
+	Questions []QuestionSnap
+	Stats     Stats
+}
+
+// ExportState captures the SAS's recoverable state: locally activated
+// sentences (link-held entries are excluded — their links resync them)
+// and per-question results, both in deterministic order.
+func (s *SAS) ExportState() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{Node: s.node, Stats: s.stats}
+	for _, e := range s.active {
+		if e.origin != nil {
+			continue
+		}
+		st.Active = append(st.Active, ActiveSentence{Sentence: e.sentence, Since: e.since, Depth: e.depth})
+	}
+	sort.Slice(st.Active, func(i, j int) bool {
+		return st.Active[i].Sentence.Key() < st.Active[j].Sentence.Key()
+	})
+	ids := make([]QuestionID, 0, len(s.questions))
+	for id := range s.questions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		q := s.questions[id]
+		st.Questions = append(st.Questions, QuestionSnap{
+			ID:            id,
+			Count:         q.count,
+			EventTime:     q.evTime,
+			SatisfiedTime: q.satTime,
+			Satisfied:     q.satisfied,
+			Since:         q.since,
+		})
+	}
+	return st
+}
+
+// RestoreState overwrites the SAS's active set and question results from
+// a snapshot. Questions must already be registered (Reset re-registers
+// them); snapshots of questions the SAS no longer knows are dropped.
+// Watch callbacks fire with each question's restored gate state so
+// externally mirrored flags resynchronise.
+func (s *SAS) RestoreState(st State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active = make(map[string]*entry)
+	for _, a := range st.Active {
+		s.active[a.Sentence.Key()] = &entry{sentence: a.Sentence, since: a.Since, depth: a.Depth}
+	}
+	for _, qs := range st.Questions {
+		q, ok := s.questions[qs.ID]
+		if !ok {
+			continue
+		}
+		q.count = qs.Count
+		q.evTime = qs.EventTime
+		q.satTime = qs.SatisfiedTime
+		q.satisfied = qs.Satisfied
+		q.since = qs.Since
+		if q.watch != nil {
+			q.watch(q.satisfied, qs.Since)
+		}
+	}
+	s.stats = st.Stats
+}
+
+// Reset wipes the SAS in place — the fail-stop rebirth. The active set,
+// questions, results, statistics and receiver-side link sequencing state
+// all vanish; export rules and the journal hook survive (they model
+// wiring the supervisor re-establishes on reboot, and keeping them in
+// place keeps every *SAS pointer held by links and instrumentation
+// valid). Incoming ReliableLink traffic sees a fresh receiver and
+// converges via its gap/resync protocol.
+func (s *SAS) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active = make(map[string]*entry)
+	s.questions = make(map[QuestionID]*questionState)
+	s.byVerb = make(map[nv.VerbID][]QuestionID)
+	s.wildcardQ = nil
+	s.nextID = 0
+	s.stats = Stats{}
+	s.links = nil
+}
+
+// ResetNode wipes a node's SAS in place and re-registers every question
+// previously asked through AddQuestionAll, in the original order — so
+// QuestionIDs handed out before the crash stay valid (they are assigned
+// sequentially from zero). Questions added directly on the node SAS,
+// bypassing the registry, are not remembered. Returns the node's SAS.
+func (r *Registry) ResetNode(node int) *SAS {
+	r.mu.Lock()
+	s := r.nodes[node]
+	asked := append([]Question(nil), r.asked...)
+	r.mu.Unlock()
+	if s == nil {
+		return r.Node(node)
+	}
+	s.Reset()
+	for _, q := range asked {
+		_, _ = s.AddQuestion(q)
+	}
+	return s
+}
+
+// FromNode returns the exporting node of the link.
+func (l *ReliableLink) FromNode() int { return l.from.node }
+
+// ToNode returns the receiving node of the link.
+func (l *ReliableLink) ToNode() int { return l.to.node }

@@ -60,10 +60,15 @@ type Config struct {
 	NoPerturbation bool
 	// Faults, when set, injects deterministic faults into the run:
 	// message drop/duplication/delay on the machine, node slowdowns and
-	// stalls, bounded daemon-channel capacity, and lossy cross-node SAS
-	// links. The same seed reproduces the same degraded run exactly;
-	// nil leaves every path reliable and all outputs unchanged.
+	// stalls, bounded daemon-channel capacity, lossy cross-node SAS
+	// links, and fail-stop node crashes. The same seed reproduces the
+	// same degraded run exactly; nil leaves every path reliable and all
+	// outputs unchanged.
 	Faults *fault.Plan
+	// Recovery tunes the crash-recovery machinery (checkpoints, the
+	// daemon supervisor, journal replay). It takes effect only when
+	// Faults schedules crashes.
+	Recovery RecoveryConfig
 }
 
 // Session is one application bound to a machine, runtime and tool.
@@ -76,9 +81,11 @@ type Session struct {
 	Executor *cmf.Executor
 	PIF      *pif.File
 
-	plan    *fault.Plan
-	faults  *fault.Injector
-	monitor *Monitor
+	plan       *fault.Plan
+	faults     *fault.Injector
+	monitor    *Monitor
+	recovery   *recovery
+	crashFinal bool
 }
 
 // NewSession compiles source, generates its static mapping information,
@@ -143,6 +150,20 @@ func NewSession(source string, cfg Config) (*Session, error) {
 		if ch := cfg.Faults.Channel; ch.Capacity > 0 {
 			tool.Channel().SetLimit(ch.Capacity, ch.Policy)
 		}
+		sched, err := s.faults.CrashSchedule(cfg.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("nvmap: %w", err)
+		}
+		if len(sched) > 0 {
+			m.SetCrashSchedule(sched)
+			if cfg.Recovery.Disable {
+				// The crash still destroys the node's measurement state;
+				// without the recovery machinery nobody rebuilds it.
+				m.OnCrash(func(node int, _ vtime.Time) { s.wipeNode(node) })
+			} else {
+				s.recovery = newRecovery(s, cfg.Recovery)
+			}
+		}
 	}
 	return s, nil
 }
@@ -152,10 +173,16 @@ func NewSession(source string, cfg Config) (*Session, error) {
 // is configured, and identical across runs for a fixed fault seed. The
 // report is returned even when execution fails.
 func (s *Session) Run() (*DegradationReport, error) {
+	if s.recovery != nil {
+		// Journaling hooks attach now, after the experiment has set up
+		// its monitors and metric-focus pairs.
+		s.recovery.arm()
+	}
 	err := s.Executor.Run()
 	// Final samples and mapping records may still sit on the channel if
 	// no machine event followed them.
 	s.Tool.FlushChannel()
+	s.finalizeCrashes(s.Now())
 	return s.degradation(), err
 }
 
@@ -195,6 +222,7 @@ func MetricRows(ems []*paradyn.EnabledMetric, now vtime.Time) []paradyn.Row {
 			Value:    em.Value(now),
 			Units:    em.Metric.Units,
 			Degraded: em.Degraded(),
+			Partial:  em.Partial(),
 		})
 	}
 	return rows

@@ -1,0 +1,70 @@
+package nvmap
+
+import (
+	"testing"
+
+	"nvmap/internal/daemon"
+	"nvmap/internal/pif"
+	"nvmap/internal/vtime"
+)
+
+// Satellite regression: a recovered node must not resurrect a
+// deallocated noun. The supervisor's ledger suppresses definitions whose
+// removal notice it has seen, and the data manager independently ignores
+// stale definitions for removed runtime IDs — belt and suspenders.
+func TestNoResurrectionAfterRecovery(t *testing.T) {
+	s, _, _, _ := runCrashed(t, transientPlan())
+
+	ids := s.Tool.ArrayIDs("A")
+	if len(ids) == 0 {
+		t.Fatal("setup: array A unknown to the data manager")
+	}
+	// The mid-run recovery re-registered the program's nouns (nothing was
+	// removed yet, so nothing was suppressed).
+	before := s.Supervisor().Stats()
+	if before.DefsReplayed == 0 {
+		t.Fatalf("setup: recovery replayed no definitions: %+v", before)
+	}
+	if before.DefsSuppressed != 0 {
+		t.Fatalf("setup: suppression before any removal: %+v", before)
+	}
+
+	// Deallocate everything: removal notices travel the daemon channel.
+	if err := s.Executor.FreeAll(); err != nil {
+		t.Fatal(err)
+	}
+	s.Tool.FlushChannel()
+	if live := s.Tool.ArrayIDs("A"); len(live) != 0 {
+		t.Fatalf("free left A live: %v", live)
+	}
+
+	// Crash node 1 after the removal, then recover it. The ledger still
+	// holds A's and B's definitions, but the removal notices gate them.
+	s.Machine.Kill(1)
+	s.Machine.Revive(1, s.Now().Add(5*vtime.Microsecond))
+	s.Tool.FlushChannel()
+
+	after := s.Supervisor().Stats()
+	if after.DefsSuppressed == before.DefsSuppressed {
+		t.Fatalf("recovery suppressed nothing: %+v", after)
+	}
+	if live := s.Tool.ArrayIDs("A"); len(live) != 0 {
+		t.Fatalf("recovered node resurrected deallocated noun A: %v", live)
+	}
+	// The where-axis no longer offers the deallocated array as a focus.
+	// (Static mapping information for A survives; the dynamic resource
+	// must not come back.)
+
+	// Second line of defense: even a stale definition that does reach the
+	// data manager (e.g. a message in flight from before the removal) is
+	// ignored, because the runtime ID is on the removal ledger.
+	s.Tool.Channel().Send(daemon.Message{
+		Kind:  daemon.KindNounDef,
+		Noun:  &pif.NounRecord{Name: "A", Abstraction: "CMF"},
+		Attrs: map[string]string{"id": string(ids[0])},
+	})
+	s.Tool.FlushChannel()
+	if live := s.Tool.ArrayIDs("A"); len(live) != 0 {
+		t.Fatalf("stale in-flight definition resurrected A: %v", live)
+	}
+}
