@@ -1,0 +1,26 @@
+# Benchmarks gated by the regression harness. The facade-level SAS
+# benchmarks are the contract: cmd/benchdiff compares their ns/op against
+# the baseline committed in BENCH_PR3.json and fails above 20% regression.
+BENCH ?= Fig5SASSnapshot|Fig6Questions|SASShared
+GATE  ?= SAS|Questions
+
+.PHONY: build test race bench bench-rebase
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -shuffle=on ./...
+
+bench:
+	go test -run '^$$' -bench '$(BENCH)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR3.json -check '$(GATE)'
+
+# Adopt the current numbers as the new baseline (after an intentional
+# performance change, on the machine of record).
+bench-rebase:
+	go test -run '^$$' -bench '$(BENCH)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR3.json -check '$(GATE)' -rebase

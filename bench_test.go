@@ -103,7 +103,7 @@ func BenchmarkFig7ShadowAttribution(b *testing.B) {
 func BenchmarkFig8WhereAxis(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s, err := NewSession(bowProgram, Config{Nodes: 4, SourceFile: "bow.fcm"})
+		s, err := NewSession(bowProgram, WithNodes(4), WithSourceFile("bow.fcm"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func BenchmarkFig8WhereAxis(b *testing.B) {
 func BenchmarkFig9Metrics(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s, err := NewSession(fig9Workload, Config{Nodes: 4, SourceFile: "mixed.fcm"})
+		s, err := NewSession(fig9Workload, WithNodes(4), WithSourceFile("mixed.fcm"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +143,7 @@ func benchInstrumentation(b *testing.B, metricIDs []string) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s, err := NewSession(fig9Workload, Config{Nodes: 4})
+		s, err := NewSession(fig9Workload, WithNodes(4))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func BenchmarkInstrumentationDynamic(b *testing.B) {
 
 func BenchmarkInstrumentationAlwaysOn(b *testing.B) {
 	var all []string
-	s, err := NewSession(fig9Workload, Config{Nodes: 1})
+	s, err := NewSession(fig9Workload, WithNodes(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -266,7 +266,7 @@ END
 	}
 	_ = cp
 	factory := func() (*paradyn.Tool, func() error, error) {
-		s, err := NewSession(prog, Config{Nodes: 4, SourceFile: "heavy.fcm"})
+		s, err := NewSession(prog, WithNodes(4), WithSourceFile("heavy.fcm"))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,195 @@
+// Command benchdiff turns `go test -bench` output into a committed
+// benchmark ledger and gates on regressions.
+//
+// It reads benchmark output on stdin (use -benchmem; -count>1 runs are
+// aggregated by median), merges the results into a JSON ledger holding a
+// "baseline" and a "current" section, and exits non-zero when any
+// benchmark matching -check regresses by more than -max-regress percent
+// in ns/op against the baseline.
+//
+// The baseline is sticky: it is adopted from the ledger on disk when one
+// exists, and seeded from the incoming results when none does (or when
+// -rebase is given). Committing the ledger therefore pins the reference
+// numbers a branch is judged against.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Fig5|Fig6|SASShared' -benchmem -count=5 . |
+//	    benchdiff -out BENCH_PR3.json -check 'SAS|Questions'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Ledger is the on-disk JSON document.
+type Ledger struct {
+	Note     string            `json:"note,omitempty"`
+	Baseline map[string]Result `json:"baseline"`
+	Current  map[string]Result `json:"current"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_PR3.json", "ledger file to read the baseline from and write results to")
+		check      = flag.String("check", "", "regexp of benchmark names subject to the regression gate (empty = none)")
+		maxRegress = flag.Float64("max-regress", 20, "maximum tolerated ns/op regression, percent")
+		rebase     = flag.Bool("rebase", false, "overwrite the baseline with the incoming results")
+		note       = flag.String("note", "", "replace the ledger's note field")
+	)
+	flag.Parse()
+
+	current, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (did you pass -bench and -benchmem?)"))
+	}
+
+	ledger := &Ledger{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, ledger); err != nil {
+			fatal(fmt.Errorf("%s: %w", *out, err))
+		}
+	}
+	if *rebase || len(ledger.Baseline) == 0 {
+		ledger.Baseline = current
+	}
+	ledger.Current = current
+	if *note != "" {
+		ledger.Note = *note
+	}
+
+	var gate *regexp.Regexp
+	if *check != "" {
+		gate, err = regexp.Compile(*check)
+		if err != nil {
+			fatal(fmt.Errorf("-check: %w", err))
+		}
+	}
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-36s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "gate")
+	for _, name := range names {
+		cur := current[name]
+		base, hasBase := ledger.Baseline[name]
+		checked := gate != nil && gate.MatchString(name)
+		status := "-"
+		ratio := "n/a"
+		if hasBase && base.NsOp > 0 {
+			r := cur.NsOp / base.NsOp
+			ratio = fmt.Sprintf("%.2fx", r)
+			if checked {
+				if r > 1+*maxRegress/100 {
+					status = fmt.Sprintf("FAIL (>%.0f%% regression)", *maxRegress)
+					failed = true
+				} else {
+					status = "ok"
+				}
+			}
+		} else if checked {
+			status = "ok (no baseline)"
+		}
+		baseNs := "n/a"
+		if hasBase {
+			baseNs = fmt.Sprintf("%.1f", base.NsOp)
+		}
+		fmt.Printf("%-36s %14s %14.1f %8s  %s\n", name, baseNs, cur.NsOp, ratio, status)
+	}
+
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(current))
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parse aggregates benchmark output lines by name, taking the median
+// across repeated -count runs (robust against one noisy run).
+func parse(r *os.File) (map[string]Result, error) {
+	samples := map[string][]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		var res Result
+		res.NsOp = ns
+		if m[4] != "" {
+			res.BOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			res.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		samples[m[1]] = append(samples[m[1]], res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Result, len(samples))
+	for name, ss := range samples {
+		out[name] = median(ss)
+	}
+	return out, nil
+}
+
+func median(ss []Result) Result {
+	pick := func(get func(Result) float64) float64 {
+		vs := make([]float64, len(ss))
+		for i, s := range ss {
+			vs[i] = get(s)
+		}
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			return vs[n/2]
+		}
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+	return Result{
+		NsOp:     pick(func(r Result) float64 { return r.NsOp }),
+		BOp:      int64(pick(func(r Result) float64 { return float64(r.BOp) })),
+		AllocsOp: int64(pick(func(r Result) float64 { return float64(r.AllocsOp) })),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -84,13 +84,15 @@ func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhe
 		return err
 	}
 	source := string(src)
-	cfg := nvmap.Config{
-		Nodes:      nodes,
-		Fuse:       fuse,
-		SourceFile: filepath.Base(path),
-		Output:     os.Stdout,
+	opts := []nvmap.Option{
+		nvmap.WithNodes(nodes),
+		nvmap.WithSourceFile(filepath.Base(path)),
+		nvmap.WithOutput(os.Stdout),
 	}
-	s, err := nvmap.NewSession(source, cfg)
+	if fuse {
+		opts = append(opts, nvmap.WithFuse())
+	}
+	s, err := nvmap.NewSession(source, opts...)
 	if err != nil {
 		return err
 	}
@@ -166,7 +168,7 @@ func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhe
 
 	fmt.Printf("program %s on %d nodes: virtual elapsed %v\n\n",
 		filepath.Base(path), nodes, s.Elapsed())
-	fmt.Print(paradyn.Table("metrics", nvmap.MetricRows(enabled, now)))
+	fmt.Print(paradyn.Table("metrics", s.MetricRows(enabled)))
 
 	if len(asked) > 0 {
 		fmt.Println("\nperformance questions:")
@@ -200,7 +202,7 @@ func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhe
 		fmt.Println()
 		c := paradyn.NewConsultant()
 		findings, err := c.Search(func() (*paradyn.Tool, func() error, error) {
-			fresh, err := nvmap.NewSession(source, cfg)
+			fresh, err := nvmap.NewSession(source, opts...)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -33,9 +33,9 @@ func crashRecovery() RecoveryConfig {
 // a SAS monitor question, and the convergence metrics enabled.
 func runCrashed(t *testing.T, plan *fault.Plan) (*Session, *DegradationReport, map[string]float64, sas.Result) {
 	t.Helper()
-	s, err := NewSession(faultTestProgram, Config{
-		Nodes: 4, SourceFile: "ftest.fcm", Faults: plan, Recovery: crashRecovery(),
-	})
+	s, err := NewSession(faultTestProgram,
+		WithNodes(4), WithSourceFile("ftest.fcm"),
+		WithFaults(plan), WithRecovery(crashRecovery()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,10 +233,9 @@ func TestPermanentCrashPartial(t *testing.T) {
 // journals replay onto the empty node, and the answers still converge.
 func TestColdRecoveryConverges(t *testing.T) {
 	run := func(plan *fault.Plan) (map[string]float64, *DegradationReport) {
-		s, err := NewSession(faultTestProgram, Config{
-			Nodes: 4, SourceFile: "ftest.fcm", Faults: plan,
-			Recovery: RecoveryConfig{CheckpointEvery: -1},
-		})
+		s, err := NewSession(faultTestProgram,
+			WithNodes(4), WithSourceFile("ftest.fcm"), WithFaults(plan),
+			WithRecovery(RecoveryConfig{CheckpointEvery: -1}))
 		if err != nil {
 			t.Fatal(err)
 		}

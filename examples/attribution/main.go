@@ -33,9 +33,8 @@ END
 `
 
 func main() {
-	s, err := nvmap.NewSession(program, nvmap.Config{
-		Nodes: 4, Fuse: true, SourceFile: "attrib.fcm",
-	})
+	s, err := nvmap.NewSession(program,
+		nvmap.WithNodes(4), nvmap.WithFuse(), nvmap.WithSourceFile("attrib.fcm"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,16 +33,15 @@ var metrics = []string{"summations", "point_to_point_ops", "computations"}
 // run executes the program with the given crash plan (nil = clean) and
 // tight recovery tuning scaled to this short run.
 func run(plan *fault.Plan) (*nvmap.Session, []*paradyn.EnabledMetric, *nvmap.DegradationReport) {
-	s, err := nvmap.NewSession(program, nvmap.Config{
-		Nodes:      4,
-		SourceFile: "crashy.fcm",
-		Faults:     plan,
-		Recovery: nvmap.RecoveryConfig{
+	s, err := nvmap.NewSession(program,
+		nvmap.WithNodes(4),
+		nvmap.WithSourceFile("crashy.fcm"),
+		nvmap.WithFaults(plan),
+		nvmap.WithRecovery(nvmap.RecoveryConfig{
 			CheckpointEvery: 20 * vtime.Microsecond,
 			Timeout:         5 * vtime.Microsecond,
 			Probes:          2,
-		},
-	})
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +65,7 @@ func main() {
 	fmt.Println("=== clean run ===")
 	s, ems, _ := run(nil)
 	fmt.Printf("virtual elapsed: %v\n", s.Elapsed())
-	fmt.Print(paradyn.Table("metrics", nvmap.MetricRows(ems, s.Now())))
+	fmt.Print(paradyn.Table("metrics", s.MetricRows(ems)))
 
 	// Node 2 fail-stops at 30µs and reboots 10µs later. The supervisor
 	// restores its last checkpoint, replays the post-checkpoint journal
@@ -77,7 +76,7 @@ func main() {
 	tp.CrashAt(2, vtime.Time(30*vtime.Microsecond)).RestartAfter(10 * vtime.Microsecond)
 	ts, tems, trep := run(tp)
 	fmt.Printf("virtual elapsed: %v\n", ts.Elapsed())
-	fmt.Print(paradyn.Table("metrics", nvmap.MetricRows(tems, ts.Now())))
+	fmt.Print(paradyn.Table("metrics", ts.MetricRows(tems)))
 	fmt.Printf("degradation report:\n%s", trep)
 	for i, em := range ems {
 		clean, crashed := em.Value(s.Now()), tems[i].Value(ts.Now())
@@ -96,7 +95,7 @@ func main() {
 	pp.CrashAt(2, vtime.Time(40*vtime.Microsecond))
 	ps, pems, prep := run(pp)
 	fmt.Printf("virtual elapsed: %v\n", ps.Elapsed())
-	fmt.Print(paradyn.Table("metrics", nvmap.MetricRows(pems, ps.Now())))
+	fmt.Print(paradyn.Table("metrics", ps.MetricRows(pems)))
 	fmt.Printf("degradation report:\n%s", prep)
 	if p := pems[0].Partial(); p == "" {
 		log.Fatal("permanent loss produced no partial annotation")

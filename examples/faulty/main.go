@@ -32,11 +32,10 @@ END
 // run executes the program with the given fault plan (nil = clean) and
 // returns the session, its metrics, and the degradation report.
 func run(plan *fault.Plan) (*nvmap.Session, []*paradyn.EnabledMetric, *nvmap.DegradationReport) {
-	s, err := nvmap.NewSession(program, nvmap.Config{
-		Nodes:      4,
-		SourceFile: "faulty.fcm",
-		Faults:     plan,
-	})
+	s, err := nvmap.NewSession(program,
+		nvmap.WithNodes(4),
+		nvmap.WithSourceFile("faulty.fcm"),
+		nvmap.WithFaults(plan))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,13 +70,13 @@ func main() {
 	fmt.Println("=== clean run ===")
 	s, ems, rep := run(nil)
 	fmt.Printf("virtual elapsed: %v\n", s.Elapsed())
-	fmt.Print(paradyn.Table("metrics", nvmap.MetricRows(ems, s.Now())))
+	fmt.Print(paradyn.Table("metrics", s.MetricRows(ems)))
 	fmt.Printf("degradation: %s", rep)
 
 	fmt.Println("\n=== faulted run (seed 2026) ===")
 	fs, fems, frep := run(plan)
 	fmt.Printf("virtual elapsed: %v\n", fs.Elapsed())
-	fmt.Print(paradyn.Table("metrics", nvmap.MetricRows(fems, fs.Now())))
+	fmt.Print(paradyn.Table("metrics", fs.MetricRows(fems)))
 	fmt.Printf("degradation report:\n%s", frep)
 
 	// Determinism: the same seed reproduces the same degraded run.

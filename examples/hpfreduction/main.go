@@ -35,7 +35,7 @@ END
 `
 
 func main() {
-	s, err := nvmap.NewSession(program, nvmap.Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	s, err := nvmap.NewSession(program, nvmap.WithNodes(4), nvmap.WithSourceFile("hpf.fcm"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,11 +29,10 @@ func main() {
 	// A session bundles the compiler, the simulated machine + runtime,
 	// and the Paradyn-like tool, with static mapping information already
 	// imported from the generated PIF.
-	s, err := nvmap.NewSession(program, nvmap.Config{
-		Nodes:      8,
-		SourceFile: "quick.fcm",
-		Output:     os.Stdout,
-	})
+	s, err := nvmap.NewSession(program,
+		nvmap.WithNodes(8),
+		nvmap.WithSourceFile("quick.fcm"),
+		nvmap.WithOutput(os.Stdout))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +56,7 @@ func main() {
 	}
 
 	fmt.Printf("\nvirtual elapsed: %v on %d nodes\n\n", s.Elapsed(), s.Machine.Nodes())
-	fmt.Print(paradyn.Table("whole-program metrics", nvmap.MetricRows(enabled, s.Now())))
+	fmt.Print(paradyn.Table("whole-program metrics", s.MetricRows(enabled)))
 
 	// The generated static mapping information is ordinary PIF text.
 	fmt.Println("\nstatic mapping information (excerpt):")

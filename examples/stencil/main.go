@@ -29,8 +29,8 @@ END
 `
 
 func main() {
-	cfg := nvmap.Config{Nodes: 8, SourceFile: "stencil.fcm"}
-	s, err := nvmap.NewSession(program, cfg)
+	opts := []nvmap.Option{nvmap.WithNodes(8), nvmap.WithSourceFile("stencil.fcm")}
+	s, err := nvmap.NewSession(program, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func main() {
 	s.Tool.SampleAll(now)
 
 	fmt.Printf("stencil on %d nodes: virtual elapsed %v\n\n", s.Machine.Nodes(), s.Elapsed())
-	fmt.Print(paradyn.Table("metric-focus pairs", nvmap.MetricRows(enabled, now)))
+	fmt.Print(paradyn.Table("metric-focus pairs", s.MetricRows(enabled)))
 	fmt.Println()
 	fmt.Print(paradyn.TimePlot(enabled[0], 64))
 
@@ -100,7 +100,7 @@ func main() {
 	// Let the consultant explain where the time goes.
 	c := paradyn.NewConsultant()
 	findings, err := c.Search(func() (*paradyn.Tool, func() error, error) {
-		fresh, err := nvmap.NewSession(program, cfg)
+		fresh, err := nvmap.NewSession(program, opts...)
 		if err != nil {
 			return nil, nil, err
 		}

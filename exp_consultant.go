@@ -29,7 +29,7 @@ END
 // along the Machine, CMFstmts and CMFarrays hierarchies.
 func ExperimentConsultant() (string, error) {
 	factory := func() (*paradyn.Tool, func() error, error) {
-		s, err := NewSession(consultantProgram, Config{Nodes: 4, SourceFile: "hotspot.fcm"})
+		s, err := NewSession(consultantProgram, WithNodes(4), WithSourceFile("hotspot.fcm"))
 		if err != nil {
 			return nil, nil, err
 		}

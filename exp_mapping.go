@@ -115,7 +115,7 @@ END
 // source lines, straight through the real pipeline — compile with fusion,
 // emit the listing, run the pifgen utility, print the PIF file.
 func ExperimentFig2() (string, error) {
-	s, err := NewSession(figure2Program, Config{Nodes: 4, Fuse: true, SourceFile: "corr.fcm"})
+	s, err := NewSession(figure2Program, WithNodes(4), WithFuse(), WithSourceFile("corr.fcm"))
 	if err != nil {
 		return "", err
 	}

@@ -191,7 +191,7 @@ func sendSentence(node int) nv.Sentence {
 // and snapshotting a node's SAS at the moment a message is sent as part
 // of SUM(A).
 func ExperimentFig5() (string, error) {
-	s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	s, err := NewSession(hpfProgram, WithNodes(4), WithSourceFile("hpf.fcm"))
 	if err != nil {
 		return "", err
 	}
@@ -223,7 +223,7 @@ type fig6Result struct {
 // runFig6 runs the HPF fragment with the Figure 6 questions registered on
 // every node's SAS and returns the aggregated answers.
 func runFig6(filter bool) ([]fig6Result, *Monitor, error) {
-	s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	s, err := NewSession(hpfProgram, WithNodes(4), WithSourceFile("hpf.fcm"))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -366,7 +366,7 @@ func AblationSASFilter() (string, error) {
 
 // runFig6filterAOnly runs the fragment with a single question about A.
 func runFig6filterAOnly(filter bool) ([]fig6Result, *Monitor, error) {
-	s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	s, err := NewSession(hpfProgram, WithNodes(4), WithSourceFile("hpf.fcm"))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -396,7 +396,7 @@ func runFig6filterAOnly(filter bool) ([]fig6Result, *Monitor, error) {
 // distinguishes them.
 func AblationOrderedQuestions() (string, error) {
 	run := func(ordered bool) (sends float64, sums float64, err error) {
-		s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+		s, err := NewSession(hpfProgram, WithNodes(4), WithSourceFile("hpf.fcm"))
 		if err != nil {
 			return 0, 0, err
 		}

@@ -31,7 +31,7 @@ END
 // statement and array hierarchies, arrays discovered through dynamic
 // mapping information and expanded into their per-node subregions.
 func ExperimentFig8() (string, error) {
-	s, err := NewSession(bowProgram, Config{Nodes: 4, SourceFile: "bow.fcm"})
+	s, err := NewSession(bowProgram, WithNodes(4), WithSourceFile("bow.fcm"))
 	if err != nil {
 		return "", err
 	}
@@ -78,7 +78,7 @@ END
 // metric, measured over a workload that exercises each verb, printed with
 // the paper's metric names.
 func ExperimentFig9() (string, error) {
-	s, err := NewSession(fig9Workload, Config{Nodes: 4, SourceFile: "mixed.fcm"})
+	s, err := NewSession(fig9Workload, WithNodes(4), WithSourceFile("mixed.fcm"))
 	if err != nil {
 		return "", err
 	}
@@ -152,7 +152,7 @@ func AblationFusion() (string, error) {
 		elapsed    float64
 	}
 	run := func(fuse bool) (outcome, error) {
-		s, err := NewSession(fusionAblProgram, Config{Nodes: 4, Fuse: fuse, SourceFile: "relax.fcm"})
+		s, err := NewSession(fusionAblProgram, WithConfig(Config{Nodes: 4, Fuse: fuse, SourceFile: "relax.fcm"}))
 		if err != nil {
 			return outcome{}, err
 		}
@@ -211,7 +211,7 @@ func AblationDynInst() (string, error) {
 		probes    int
 	}
 	run := func(label string, metricIDs []string) (outcome, error) {
-		s, err := NewSession(fig9Workload, Config{Nodes: 4, SourceFile: "mixed.fcm"})
+		s, err := NewSession(fig9Workload, WithNodes(4), WithSourceFile("mixed.fcm"))
 		if err != nil {
 			return outcome{}, err
 		}

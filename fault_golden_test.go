@@ -34,7 +34,7 @@ func faultPlan() *fault.Plan {
 
 func runFaulted(t *testing.T, plan *fault.Plan) (*Session, *DegradationReport, map[string]float64) {
 	t.Helper()
-	s, err := NewSession(faultTestProgram, Config{Nodes: 4, SourceFile: "ftest.fcm", Faults: plan})
+	s, err := NewSession(faultTestProgram, WithNodes(4), WithSourceFile("ftest.fcm"), WithFaults(plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestNoFaultsInvisible(t *testing.T) {
 		if with {
 			cfg.Faults = nil // explicit: the zero configuration
 		}
-		s, err := NewSession(faultTestProgram, cfg)
+		s, err := NewSession(faultTestProgram, WithConfig(cfg))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func TestMonitorReliableLinkInReport(t *testing.T) {
 		Seed: 11,
 		SAS:  fault.SASFaults{DropProb: 0.5, Resync: true},
 	}
-	s, err := NewSession(faultTestProgram, Config{Nodes: 4, SourceFile: "ftest.fcm", Faults: plan})
+	s, err := NewSession(faultTestProgram, WithNodes(4), WithSourceFile("ftest.fcm"), WithFaults(plan))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,7 +56,7 @@ var fig9Golden = map[string]float64{
 const goldenElapsed = vtime.Duration(439620)
 
 func TestGoldenFigure9Metrics(t *testing.T) {
-	s, err := NewSession(fig9Workload, Config{Nodes: 4, SourceFile: "mixed.fcm"})
+	s, err := NewSession(fig9Workload, WithNodes(4), WithSourceFile("mixed.fcm"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -110,6 +110,12 @@ type Stats struct {
 	// Backpressured counts sends that had to stall for a synchronous
 	// drain under the Backpressure policy.
 	Backpressured int
+	// Batches counts SendBatch calls that enqueued their whole slice
+	// under one lock acquisition; BatchesFlushed counts DrainBatch
+	// deliveries. Together they expose how much of the traffic moved in
+	// bulk rather than message-at-a-time.
+	Batches        int
+	BatchesFlushed int
 }
 
 // Channel is the shared, ordered conduit between the instrumentation
@@ -236,6 +242,35 @@ func (c *Channel) Send(m Message) {
 	}
 }
 
+// SendBatch enqueues a slice of messages in order under a single lock
+// acquisition. When a message tap is registered or the batch would
+// overflow a bounded queue it falls back to per-message Send, so the
+// tap, overflow and backpressure semantics are exactly those of len(ms)
+// individual sends; the fast path is purely a locking optimisation.
+func (c *Channel) SendBatch(ms []Message) {
+	if len(ms) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.onMsg == nil && (c.capacity == 0 || len(c.queue)+len(ms) <= c.capacity) {
+		c.stats.Sent += len(ms)
+		for i := range ms {
+			c.stats.ByKind[ms[i].Kind]++
+		}
+		c.stats.Batches++
+		c.queue = append(c.queue, ms...)
+		if len(c.queue) > c.stats.MaxQueue {
+			c.stats.MaxQueue = len(c.queue)
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	for _, m := range ms {
+		c.Send(m)
+	}
+}
+
 // overflowLocked routes one displaced message: mapping records and
 // removal notices are parked for retry (never lost), samples are
 // dropped and counted. It returns the message if it was truly dropped,
@@ -284,6 +319,37 @@ func (c *Channel) Drain(fn func(Message) error) (int, error) {
 	}
 	c.mu.Lock()
 	c.stats.Delivered += len(pending)
+	c.mu.Unlock()
+	return len(pending), nil
+}
+
+// DrainBatch delivers everything pending — parked retries first, then
+// the live queue — to fn as one slice. On error the entire batch is
+// requeued ahead of anything sent meanwhile, so a failed delivery is
+// invisible except for the attempt: no partial consumption. The slice
+// is only valid during the call.
+func (c *Channel) DrainBatch(fn func([]Message) error) (int, error) {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+
+	c.mu.Lock()
+	pending := append(c.retry, c.queue...)
+	c.retry = nil
+	c.queue = nil
+	c.mu.Unlock()
+
+	if len(pending) == 0 {
+		return 0, nil
+	}
+	if err := fn(pending); err != nil {
+		c.mu.Lock()
+		c.queue = append(append([]Message(nil), pending...), c.queue...)
+		c.mu.Unlock()
+		return 0, err
+	}
+	c.mu.Lock()
+	c.stats.Delivered += len(pending)
+	c.stats.BatchesFlushed++
 	c.mu.Unlock()
 	return len(pending), nil
 }

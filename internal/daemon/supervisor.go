@@ -286,14 +286,16 @@ func (sv *Supervisor) NodeUp(node int, at vtime.Time) RestoreOutcome {
 
 	replayed, suppressed := 0, 0
 	if sv.ch != nil {
+		batch := defs[:0]
 		for _, m := range defs {
 			if sv.defRemoved(m) {
 				suppressed++
 				continue
 			}
-			sv.ch.Send(m)
+			batch = append(batch, m)
 			replayed++
 		}
+		sv.ch.SendBatch(batch)
 	}
 
 	sv.mu.Lock()

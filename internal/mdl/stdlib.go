@@ -1,5 +1,7 @@
 package mdl
 
+import "sync"
+
 // StdLib is the MDL source for the paper's Figure 9: the CM Fortran
 // (CMF) level and CM run-time (CMRTS) level metrics Paradyn defined for
 // CM Fortran applications. Each can be constrained to parallel arrays,
@@ -235,12 +237,30 @@ metric point_to_point_time {
 }
 `
 
+// stdOnce guards the one-time compile of StdLib. Compiled metrics are
+// immutable, so every StdLibrary call can share them.
+var (
+	stdOnce    sync.Once
+	stdMetrics []*Metric
+)
+
 // StdLibrary compiles the Figure 9 metric set. It panics on error: the
 // source is a compile-time constant exercised by the package tests.
+// The source is parsed once per process; each call returns a fresh
+// Library (so callers may Add to it independently) over the shared
+// immutable compiled metrics.
 func StdLibrary() *Library {
-	lib, err := NewLibrary(StdLib)
-	if err != nil {
-		panic("mdl: standard library does not compile: " + err.Error())
+	stdOnce.Do(func() {
+		ms, err := Parse(StdLib)
+		if err != nil {
+			panic("mdl: standard library does not compile: " + err.Error())
+		}
+		stdMetrics = ms
+	})
+	lib := &Library{metrics: make(map[string]*Metric, len(stdMetrics))}
+	for _, m := range stdMetrics {
+		lib.metrics[m.ID] = m
+		lib.order = append(lib.order, m.ID)
 	}
 	return lib
 }

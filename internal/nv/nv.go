@@ -19,7 +19,6 @@ package nv
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -73,37 +72,82 @@ type Verb struct {
 // canonical (sorted, deduplicated) order so sentences compare and hash
 // consistently. A Sentence deliberately carries no cost: costs are
 // measured for executions of sentences (see Cost and package sas).
+//
+// The unexported fields cache the sentence's interned identity (see
+// intern.go); they are filled by NewSentence and Interned and are zero on
+// a sentence built by hand or decoded from a checkpoint — such sentences
+// re-intern lazily the first time a SAS touches them.
 type Sentence struct {
 	Verb  VerbID
 	Nouns []NounID
+
+	vh     VerbHandle
+	nhs    []NounHandle
+	handle SentenceHandle
+	ckey   string
+	// canon points to the interner's stored copy (self-referential on the
+	// stored copy itself); value copies inherit it, so resolving a copy
+	// back to its canonical pointer is one nil-check.
+	canon *Sentence
+	// skey is the active-set sharding key: the first noun handle, or the
+	// verb handle for noun-less sentences.
+	skey uint32
 }
 
+// keySep separates key components; it cannot occur in IDs we mint.
+const keySep = '\x1f'
+
 // NewSentence builds a canonical sentence from a verb and participating
-// nouns. Duplicate nouns are removed and the noun set is sorted.
+// nouns. Duplicate nouns are removed and the noun set is sorted. The
+// result is interned: repeated construction of the same sentence returns
+// the stored canonical copy without allocating.
 func NewSentence(verb VerbID, nouns ...NounID) Sentence {
-	set := make([]NounID, 0, len(nouns))
-	seen := make(map[NounID]bool, len(nouns))
-	for _, n := range nouns {
-		if !seen[n] {
-			seen[n] = true
-			set = append(set, n)
-		}
+	var arr [8]NounID
+	set := arr[:0]
+	if len(nouns) > len(arr) {
+		set = make([]NounID, 0, len(nouns))
 	}
-	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
-	return Sentence{Verb: verb, Nouns: set}
+	for _, n := range nouns {
+		pos, dup := len(set), false
+		for i, x := range set {
+			if x == n {
+				dup = true
+				break
+			}
+			if x > n {
+				pos = i
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		set = append(set, "")
+		copy(set[pos+1:], set[pos:])
+		set[pos] = n
+	}
+	return DefaultInterner.Sentence(Sentence{Verb: verb, Nouns: set})
 }
 
 // Key returns a canonical string key for use in maps. Two sentences have
-// equal keys exactly when they are Equal.
+// equal keys exactly when they are Equal. Interned sentences return their
+// cached key without allocating.
 func (s Sentence) Key() string {
-	var b strings.Builder
-	b.WriteString(string(s.Verb))
-	for _, n := range s.Nouns {
-		b.WriteByte('\x1f') // unit separator: cannot occur in IDs we mint
-		b.WriteString(string(n))
+	if s.ckey != "" {
+		return s.ckey
 	}
-	return b.String()
+	return string(appendKey(nil, s.Verb, s.Nouns))
 }
+
+// Handle returns the interned sentence handle (0 if not interned).
+func (s Sentence) Handle() SentenceHandle { return s.handle }
+
+// VerbHandle returns the interned verb handle (0 if not interned).
+func (s Sentence) VerbHandle() VerbHandle { return s.vh }
+
+// NounHandles returns the interned noun handles, aligned with Nouns
+// (nil if not interned). The caller must not modify the slice.
+func (s Sentence) NounHandles() []NounHandle { return s.nhs }
 
 // Equal reports whether s and o denote the same sentence.
 func (s Sentence) Equal(o Sentence) bool {

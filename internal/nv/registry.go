@@ -22,9 +22,14 @@ type Registry struct {
 	children map[NounID][]NounID
 	// roots lists hierarchy roots per level.
 	roots map[LevelID][]NounID
+	// interner assigns small-int handles to the vocabulary as it is
+	// defined, so sentence matching downstream compares ints.
+	interner *Interner
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry. Its vocabulary is interned into
+// the process-wide DefaultInterner so handles agree across registries,
+// SAS replicas and checkpoints.
 func NewRegistry() *Registry {
 	return &Registry{
 		levels:   make(map[LevelID]Level),
@@ -32,8 +37,12 @@ func NewRegistry() *Registry {
 		verbs:    make(map[VerbID]Verb),
 		children: make(map[NounID][]NounID),
 		roots:    make(map[LevelID][]NounID),
+		interner: DefaultInterner,
 	}
 }
+
+// Interner returns the intern table this registry feeds.
+func (r *Registry) Interner() *Interner { return r.interner }
 
 // AddLevel defines a level of abstraction. Levels must be unique by ID
 // and by rank: ranks order levels for upward/downward mapping, so two
@@ -78,6 +87,7 @@ func (r *Registry) AddNoun(n Noun) error {
 		}
 	}
 	r.nouns[n.ID] = n
+	r.interner.Noun(n.ID)
 	if n.Parent != "" {
 		r.children[n.Parent] = append(r.children[n.Parent], n.ID)
 	} else {
@@ -128,6 +138,7 @@ func (r *Registry) AddVerb(v Verb) error {
 		return fmt.Errorf("nv: verb %q references unknown level %q", v.ID, v.Level)
 	}
 	r.verbs[v.ID] = v
+	r.interner.Verb(v.ID)
 	return nil
 }
 

@@ -79,6 +79,10 @@ type Tool struct {
 	enabled    []*EnabledMetric
 	lastSample vtime.Time
 	blockT     *blockTimers
+	// sampleBuf is the reusable batch SampleAll assembles before one
+	// SendBatch; the channel copies messages out, so the buffer is
+	// safely reused across sampling rounds.
+	sampleBuf []daemon.Message
 
 	// channel is the daemon conduit of Section 5: the instrumentation
 	// library emits dynamic mapping information and performance samples
@@ -365,19 +369,22 @@ func (t *Tool) drainChannel() {
 	if t.channel.Pending() == 0 {
 		return
 	}
-	_, _ = t.channel.Drain(func(m daemon.Message) error {
-		switch m.Kind {
-		case daemon.KindSample:
-			if s := m.Sample; s != nil && s.Enabled >= 0 && s.Enabled < len(t.enabled) {
-				_ = t.enabled[s.Enabled].Hist.AddSpan(s.From, s.To, s.Value)
-			}
-		case daemon.KindNounDef:
-			if m.Noun != nil && m.Attrs["id"] != "" {
-				t.noteAllocation(cmrts.ArrayID(m.Attrs["id"]), m.Noun.Name)
-			}
-		case daemon.KindRemoval:
-			if m.Attrs["id"] != "" {
-				t.noteDeallocation(cmrts.ArrayID(m.Attrs["id"]), m.Removal)
+	_, _ = t.channel.DrainBatch(func(ms []daemon.Message) error {
+		for i := range ms {
+			m := &ms[i]
+			switch m.Kind {
+			case daemon.KindSample:
+				if s := m.Sample; s != nil && s.Enabled >= 0 && s.Enabled < len(t.enabled) {
+					_ = t.enabled[s.Enabled].Hist.AddSpan(s.From, s.To, s.Value)
+				}
+			case daemon.KindNounDef:
+				if m.Noun != nil && m.Attrs["id"] != "" {
+					t.noteAllocation(cmrts.ArrayID(m.Attrs["id"]), m.Noun.Name)
+				}
+			case daemon.KindRemoval:
+				if m.Attrs["id"] != "" {
+					t.noteDeallocation(cmrts.ArrayID(m.Attrs["id"]), m.Removal)
+				}
 			}
 		}
 		return nil
@@ -628,12 +635,18 @@ func (t *Tool) SampleAll(now vtime.Time) {
 		return
 	}
 	t.lastSample = now
+	buf := t.sampleBuf[:0]
 	for _, em := range t.enabled {
 		if em.disabled {
 			continue
 		}
-		em.Sample(now)
+		buf = em.sampleInto(now, buf)
 	}
+	t.sampleBuf = buf
+	// One sampling round travels the channel as one batch — the
+	// instrumentation library aggregating a round's readings before
+	// crossing the conduit — in the same per-metric order as before.
+	t.channel.SendBatch(buf)
 	// Samples travelled the daemon channel like any other message;
 	// drain synchronously so histograms are current when the caller
 	// reads them.
@@ -645,14 +658,25 @@ func (t *Tool) SampleAll(now vtime.Time) {
 // manager, which deposits it into the histogram on drain — so a
 // bounded channel may drop it, leaving a hole.
 func (em *EnabledMetric) Sample(now vtime.Time) {
+	var arr [1]daemon.Message
+	for _, m := range em.sampleInto(now, arr[:0]) {
+		em.tool.channel.Send(m)
+	}
+}
+
+// sampleInto computes the metric's delta since its last sample and, when
+// the metric is tool-attached, appends the sample message to buf for the
+// caller to send (SampleAll batches a whole round). A detached metric
+// deposits straight into its histogram, as before.
+func (em *EnabledMetric) sampleInto(now vtime.Time, buf []daemon.Message) []daemon.Message {
 	if now.Before(em.lastTime) {
-		return
+		return buf
 	}
 	v := em.Instance.Value(now)
 	delta := v - em.lastValue
 	if delta != 0 {
 		if em.tool != nil {
-			em.tool.channel.Send(daemon.Message{
+			buf = append(buf, daemon.Message{
 				Kind: daemon.KindSample,
 				At:   now,
 				Sample: &daemon.Sample{
@@ -670,6 +694,7 @@ func (em *EnabledMetric) Sample(now vtime.Time) {
 	}
 	em.lastValue = v
 	em.lastTime = now
+	return buf
 }
 
 // Value reads the metric's current aggregate value.

@@ -69,8 +69,8 @@ func (s *SAS) Export(pattern Term, to *SAS, transport Transport) error {
 	if transport == nil {
 		transport = SyncTransport{}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	s.exports = append(s.exports, exportRule{pattern: pattern, to: to, transport: transport})
 	return nil
 }
@@ -83,17 +83,18 @@ type pendingSend struct {
 	ev   Event
 }
 
-// collectExportsLocked matches an activation change against the export
-// rules. Called with s.mu held.
-func (s *SAS) collectExportsLocked(sn nv.Sentence, at vtime.Time) []pendingSend {
+// collectExports matches an activation change against the export rules;
+// active is the sentence's membership after the change (exports fire only
+// on transitions, so the caller knows it). Called with structMu held in
+// either mode.
+func (s *SAS) collectExports(sn *nv.Sentence, at vtime.Time, active bool) []pendingSend {
 	if len(s.exports) == 0 || s.replaying > 0 {
 		return nil
 	}
-	_, active := s.active[sn.Key()]
 	var out []pendingSend
 	for _, r := range s.exports {
-		if r.pattern.Matches(sn) {
-			out = append(out, pendingSend{rule: r, ev: Event{Sentence: sn, Active: active, At: at, FromNode: s.node}})
+		if r.pattern.Matches(*sn) {
+			out = append(out, pendingSend{rule: r, ev: Event{Sentence: *sn, Active: active, At: at, FromNode: s.node}})
 		}
 	}
 	return out
@@ -225,6 +226,8 @@ func (r *Registry) TotalStats() Stats {
 		t.Stored += st.Stored
 		t.Evaluations += st.Evaluations
 		t.Events += st.Events
+		t.CandidatesScanned += st.CandidatesScanned
+		t.MatchesEvaluated += st.MatchesEvaluated
 	}
 	return t
 }

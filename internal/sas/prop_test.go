@@ -1,0 +1,438 @@
+package sas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nvmap/internal/nv"
+	"nvmap/internal/vtime"
+)
+
+// This file proves the hot-path machinery — the question index, the
+// per-term incremental match counts and the sharded active set — against
+// a brute-force reference model: a plain list of active sentences scanned
+// in full for every evaluation, with gates computed straight from the
+// Question definition. Random operation streams (fixed seeds) must make
+// the two agree on every satisfied flag, every event charge, and the
+// accumulated timers.
+
+// refActive is one reference-model active entry.
+type refActive struct {
+	sn    nv.Sentence
+	since vtime.Time
+	depth int
+}
+
+// refModel is the brute-force SAS: no interning, no index, no counts.
+type refModel struct {
+	active []refActive
+	qs     []Question
+	sat    []bool
+	since  []vtime.Time
+	satT   []vtime.Duration
+	count  []float64
+	evT    []vtime.Duration
+}
+
+func newRefModel(qs []Question) *refModel {
+	m := &refModel{
+		qs:    qs,
+		sat:   make([]bool, len(qs)),
+		since: make([]vtime.Time, len(qs)),
+		satT:  make([]vtime.Duration, len(qs)),
+		count: make([]float64, len(qs)),
+		evT:   make([]vtime.Duration, len(qs)),
+	}
+	// Mirror AddQuestion's initial gate evaluation at time zero.
+	for i := range qs {
+		if m.gate(qs[i], nil) {
+			m.sat[i] = true
+			m.since[i] = 0
+		}
+	}
+	return m
+}
+
+func (m *refModel) find(sn nv.Sentence) int {
+	for i := range m.active {
+		if m.active[i].sn.Equal(sn) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *refModel) activate(sn nv.Sentence, at vtime.Time) {
+	if i := m.find(sn); i >= 0 {
+		m.active[i].depth++
+		return
+	}
+	m.active = append(m.active, refActive{sn: sn, since: at, depth: 1})
+	m.regate(at)
+}
+
+func (m *refModel) deactivate(sn nv.Sentence, at vtime.Time) {
+	i := m.find(sn)
+	if i < 0 {
+		return
+	}
+	m.active[i].depth--
+	if m.active[i].depth > 0 {
+		return
+	}
+	m.active = append(m.active[:i], m.active[i+1:]...)
+	m.regate(at)
+}
+
+// regate recomputes every gate after a membership change, accumulating
+// the satisfied timers exactly as updateGateLocked does.
+func (m *refModel) regate(at vtime.Time) {
+	for i := range m.qs {
+		now := m.gate(m.qs[i], nil)
+		if now == m.sat[i] {
+			continue
+		}
+		m.sat[i] = now
+		if now {
+			m.since[i] = at
+		} else {
+			m.satT[i] += at.Sub(m.since[i])
+		}
+	}
+}
+
+// termHolds reports whether t matches an active sentence or the extra
+// (event) sentence.
+func (m *refModel) termHolds(t Term, extra *nv.Sentence) bool {
+	for i := range m.active {
+		if t.Matches(m.active[i].sn) {
+			return true
+		}
+	}
+	return extra != nil && t.Matches(*extra)
+}
+
+func (m *refModel) gate(q Question, extra *nv.Sentence) bool {
+	if q.Expr != nil {
+		return m.gateExpr(q.Expr, extra)
+	}
+	if q.Ordered {
+		return m.gateOrdered(q, extra)
+	}
+	for _, t := range q.Terms {
+		if !m.termHolds(t, extra) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *refModel) gateExpr(e *Expr, extra *nv.Sentence) bool {
+	switch e.Op {
+	case OpTerm:
+		return m.termHolds(e.Term, extra)
+	case OpAnd:
+		for _, k := range e.Kids {
+			if !m.gateExpr(k, extra) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range e.Kids {
+			if m.gateExpr(k, extra) {
+				return true
+			}
+		}
+		return false
+	default: // OpNot
+		return !m.gateExpr(e.Kids[0], extra)
+	}
+}
+
+// gateOrdered is the reference ordered evaluation: each term must match
+// an activation no earlier than the previous term's earliest eligible
+// activation, with the extra (trigger) sentence eligible only for the
+// final term and ordered after everything stored.
+func (m *refModel) gateOrdered(q Question, extra *nv.Sentence) bool {
+	prev := vtime.Time(-1 << 62)
+	for i, t := range q.Terms {
+		last := i == len(q.Terms)-1
+		best, found := vtime.Time(-1), false
+		for _, a := range m.active {
+			if !t.Matches(a.sn) || a.since.Before(prev) {
+				continue
+			}
+			if !found || a.since.Before(best) {
+				best, found = a.since, true
+			}
+		}
+		if !found {
+			return last && extra != nil && t.Matches(*extra)
+		}
+		prev = best
+	}
+	return true
+}
+
+// refCandidate mirrors the index's posting rule: a question is consulted
+// for a measured event only if one of its terms posts it under the
+// event's verb, under one of the event's nouns (term-vector questions
+// only), or on the wildcard list. Only consulted questions can be
+// charged — the behaviour of the original verb-only index, preserved
+// here. For term-vector questions this is implied by the "event matches
+// some term" precondition in fires; for expression questions it is a
+// real restriction (a satisfied expression is charged only by events
+// naming one of its verbs, or by any event if it has a wildcard-verb
+// term).
+func refCandidate(q Question, sn nv.Sentence) bool {
+	for _, t := range q.allTerms() {
+		if t.Verb != Any {
+			if t.Verb == sn.Verb {
+				return true
+			}
+			continue
+		}
+		var first nv.NounID
+		for _, n := range t.Nouns {
+			if n != Any {
+				first = n
+				break
+			}
+		}
+		if q.Expr != nil || first == "" {
+			// Wildcard-list posting: consulted for every event.
+			return true
+		}
+		if sn.Contains(first) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *refModel) fires(q Question, extra nv.Sentence) bool {
+	if !refCandidate(q, extra) {
+		return false
+	}
+	if q.Ordered && len(q.Terms) > 0 {
+		if !q.Terms[len(q.Terms)-1].Matches(extra) {
+			return false
+		}
+		return m.gate(q, &extra)
+	}
+	if q.Expr == nil {
+		some := false
+		for _, t := range q.Terms {
+			if t.Matches(extra) {
+				some = true
+				break
+			}
+		}
+		if !some {
+			return false
+		}
+	}
+	return m.gate(q, &extra)
+}
+
+func (m *refModel) event(sn nv.Sentence, value float64) int {
+	hits := 0
+	for i := range m.qs {
+		if m.fires(m.qs[i], sn) {
+			m.count[i] += value
+			hits++
+		}
+	}
+	return hits
+}
+
+func (m *refModel) span(sn nv.Sentence, value vtime.Duration) int {
+	hits := 0
+	for i := range m.qs {
+		if m.fires(m.qs[i], sn) {
+			m.evT[i] += value
+			hits++
+		}
+	}
+	return hits
+}
+
+// randTerm draws a pattern over the test vocabulary, with wildcards.
+func randTerm(rng *rand.Rand, verbs []string, nouns []string) Term {
+	v := Any
+	if rng.Intn(4) != 0 {
+		v = verbs[rng.Intn(len(verbs))]
+	}
+	var ns []nv.NounID
+	for i, picks := 0, rng.Intn(3); i < picks; i++ {
+		if rng.Intn(5) == 0 {
+			ns = append(ns, Any)
+		} else {
+			ns = append(ns, nv.NounID(nouns[rng.Intn(len(nouns))]))
+		}
+	}
+	return Term{Verb: nv.VerbID(v), Nouns: ns}
+}
+
+func randQuestion(rng *rand.Rand, i int, verbs, nouns []string) Question {
+	label := fmt.Sprintf("q%d", i)
+	switch rng.Intn(6) {
+	case 0: // ordered vector
+		n := 2 + rng.Intn(2)
+		ts := make([]Term, n)
+		for j := range ts {
+			ts[j] = randTerm(rng, verbs, nouns)
+		}
+		return Question{Label: label, Terms: ts, Ordered: true}
+	case 1: // boolean expression with OR and NOT
+		e := Or(
+			Leaf(randTerm(rng, verbs, nouns)),
+			And(Leaf(randTerm(rng, verbs, nouns)), Not(Leaf(randTerm(rng, verbs, nouns)))),
+		)
+		return Question{Label: label, Expr: e}
+	default: // plain conjunction
+		n := 1 + rng.Intn(3)
+		ts := make([]Term, n)
+		for j := range ts {
+			ts[j] = randTerm(rng, verbs, nouns)
+		}
+		return Question{Label: label, Terms: ts}
+	}
+}
+
+func randSentence(rng *rand.Rand, verbs, nouns []string) nv.Sentence {
+	picks := rng.Intn(3)
+	ns := make([]nv.NounID, picks)
+	for i := range ns {
+		ns[i] = nv.NounID(nouns[rng.Intn(len(nouns))])
+	}
+	return nv.NewSentence(nv.VerbID(verbs[rng.Intn(len(verbs))]), ns...)
+}
+
+// TestIndexedEquivalentToBruteForce drives random operation streams
+// through a real SAS and the reference model and demands identical
+// satisfied flags after every operation, identical hit counts for every
+// measured event, and identical counters and timers at the end.
+func TestIndexedEquivalentToBruteForce(t *testing.T) {
+	verbs := []string{"Sum", "Send", "Exec", "Idle"}
+	nouns := []string{"A", "B", "C", "D", "E"}
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := New(Options{Filter: seed%2 == 0})
+
+			nq := 6 + rng.Intn(6)
+			qs := make([]Question, nq)
+			ids := make([]QuestionID, nq)
+			for i := range qs {
+				qs[i] = randQuestion(rng, i, verbs, nouns)
+				id, err := s.AddQuestion(qs[i])
+				if err != nil {
+					t.Fatalf("AddQuestion(%v): %v", qs[i], err)
+				}
+				ids[i] = id
+			}
+			ref := newRefModel(qs)
+
+			at := vtime.Time(0)
+			for op := 0; op < 400; op++ {
+				at += vtime.Time(1 + rng.Intn(5))
+				sn := randSentence(rng, verbs, nouns)
+				switch rng.Intn(4) {
+				case 0, 1:
+					s.Activate(sn, at)
+					ref.activate(sn, at)
+				case 2:
+					// May legitimately fail on an inactive sentence; the
+					// reference ignores those the same way.
+					_ = s.Deactivate(sn, at)
+					ref.deactivate(sn, at)
+				case 3:
+					if rng.Intn(2) == 0 {
+						got := s.RecordEvent(sn, at, 1)
+						want := ref.event(sn, 1)
+						if got != want {
+							t.Fatalf("op %d: RecordEvent(%v) charged %d questions, reference charged %d", op, sn, got, want)
+						}
+					} else {
+						got := s.RecordSpan(sn, at-1, at, 3)
+						want := ref.span(sn, 3)
+						if got != want {
+							t.Fatalf("op %d: RecordSpan(%v) charged %d questions, reference charged %d", op, sn, got, want)
+						}
+					}
+				}
+				for i, id := range ids {
+					if got, want := s.Satisfied(id), ref.sat[i]; got != want {
+						t.Fatalf("op %d at %d: question %q satisfied = %v, reference = %v\nactive: %v",
+							op, at, qs[i].Label, got, want, ref.active)
+					}
+				}
+			}
+
+			end := at + 10
+			for i, id := range ids {
+				res, err := s.Result(id, end)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantSat := ref.satT[i]
+				if ref.sat[i] {
+					wantSat += end.Sub(ref.since[i])
+				}
+				if res.Count != ref.count[i] {
+					t.Errorf("question %q: Count = %g, reference %g", qs[i].Label, res.Count, ref.count[i])
+				}
+				if res.EventTime != ref.evT[i] {
+					t.Errorf("question %q: EventTime = %v, reference %v", qs[i].Label, res.EventTime, ref.evT[i])
+				}
+				if res.SatisfiedTime != wantSat {
+					t.Errorf("question %q: SatisfiedTime = %v, reference %v", qs[i].Label, res.SatisfiedTime, wantSat)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotEquivalentToBruteForce checks that the sharded set reports
+// the same membership and nesting as the reference under random churn.
+func TestSnapshotEquivalentToBruteForce(t *testing.T) {
+	verbs := []string{"Sum", "Send", "Exec"}
+	nouns := []string{"A", "B", "C", "D"}
+	rng := rand.New(rand.NewSource(42))
+	s := New(Options{})
+	ref := newRefModel(nil)
+
+	at := vtime.Time(0)
+	for op := 0; op < 600; op++ {
+		at += vtime.Time(1 + rng.Intn(3))
+		sn := randSentence(rng, verbs, nouns)
+		if rng.Intn(3) == 0 {
+			_ = s.Deactivate(sn, at)
+			ref.deactivate(sn, at)
+		} else {
+			s.Activate(sn, at)
+			ref.activate(sn, at)
+		}
+		if s.Size() != len(ref.active) {
+			t.Fatalf("op %d: Size = %d, reference %d", op, s.Size(), len(ref.active))
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) != len(ref.active) {
+		t.Fatalf("Snapshot has %d entries, reference %d", len(snap), len(ref.active))
+	}
+	for _, a := range snap {
+		i := ref.find(a.Sentence)
+		if i < 0 {
+			t.Fatalf("snapshot entry %v not in reference", a.Sentence)
+		}
+		if a.Since != ref.active[i].since || a.Depth != ref.active[i].depth {
+			t.Fatalf("entry %v: since/depth = %v/%d, reference %v/%d",
+				a.Sentence, a.Since, a.Depth, ref.active[i].since, ref.active[i].depth)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nvmap/internal/fault"
+	"nvmap/internal/nv"
 	"nvmap/internal/vtime"
 )
 
@@ -93,9 +94,9 @@ func (s *SAS) ExportReliable(pattern Term, to *SAS, inner Transport, resync bool
 		inner = SyncTransport{}
 	}
 	l := &ReliableLink{from: s, to: to, pattern: pattern, inner: inner, autoResync: resync}
-	s.mu.Lock()
+	s.structMu.Lock()
 	s.exports = append(s.exports, exportRule{pattern: pattern, to: to, transport: l})
-	s.mu.Unlock()
+	s.structMu.Unlock()
 	return l, nil
 }
 
@@ -285,6 +286,8 @@ type linkState struct {
 	pending map[uint64]Event
 }
 
+// linkStateLocked returns (creating on first use) the receiver-side state
+// for a link. Called with structMu in write mode.
 func (s *SAS) linkStateLocked(l *ReliableLink) *linkState {
 	if s.links == nil {
 		s.links = make(map[*ReliableLink]*linkState)
@@ -304,18 +307,18 @@ func (s *SAS) linkStateLocked(l *ReliableLink) *linkState {
 // link allows it.
 func (s *SAS) applyReliable(ev Event) {
 	l := ev.via
-	s.mu.Lock()
+	s.structMu.Lock()
 	ls := s.linkStateLocked(l)
 	switch {
 	case ev.Seq < ls.expect:
-		s.mu.Unlock()
+		s.structMu.Unlock()
 		l.noteDuplicate()
 		return
 	case ev.Seq > ls.expect:
 		_, have := ls.pending[ev.Seq]
 		ls.pending[ev.Seq] = ev
 		overflow := s.links != nil && l.autoResync && len(ls.pending) >= gapResyncThreshold
-		s.mu.Unlock()
+		s.structMu.Unlock()
 		if have {
 			l.noteDuplicate()
 		} else {
@@ -339,7 +342,7 @@ func (s *SAS) applyReliable(ev Event) {
 		ls.expect++
 	}
 	ackTo := ls.expect - 1
-	s.mu.Unlock()
+	s.structMu.Unlock()
 	for _, e := range apply {
 		s.applyReliableEvent(l, e)
 	}
@@ -353,28 +356,28 @@ func (s *SAS) applyReliable(ev Event) {
 // deactivation only removes an entry this link created — replays after
 // a resync are therefore harmless.
 func (s *SAS) applyReliableEvent(l *ReliableLink, ev Event) {
-	s.mu.Lock()
+	sn := nv.InternedPtr(&ev.Sentence)
+	s.structMu.Lock()
 	var pending []pendingSend
-	s.stats.Notifications++
-	key := ev.Sentence.Key()
-	e, ok := s.active[key]
+	e := s.lookupEntry(sn)
 	switch {
-	case ev.Active && !ok:
-		s.stats.Stored++
-		s.active[key] = &entry{sentence: ev.Sentence, since: ev.At, depth: 1, origin: l}
-		s.notifyQuestionsLocked(ev.Sentence, ev.At)
-		pending = s.collectExportsLocked(ev.Sentence, ev.At)
-	case !ev.Active && ok && e.origin == l:
-		s.stats.Stored++
-		delete(s.active, key)
-		s.notifyQuestionsLocked(ev.Sentence, ev.At)
-		pending = s.collectExportsLocked(ev.Sentence, ev.At)
+	case ev.Active && e == nil:
+		s.stats.notifStored.Add(notifInc | 1)
+		s.shardOf(sn).insert(sn, ev.At, 1, l)
+		s.notifyQuestions(sn, ev.At, +1)
+		pending = s.collectExports(sn, ev.At, true)
+	case !ev.Active && e != nil && e.origin == l:
+		s.stats.notifStored.Add(notifInc | 1)
+		s.shardOf(sn).remove(e)
+		s.notifyQuestions(sn, ev.At, -1)
+		pending = s.collectExports(sn, ev.At, false)
 	default:
 		// Idempotent no-op: re-activation of a live entry, or
 		// deactivation of an entry we do not hold for this link.
-		s.stats.Ignored++
+		s.stats.notifStored.Add(notifInc)
+		s.stats.ignored.Add(1)
 	}
-	s.mu.Unlock()
+	s.structMu.Unlock()
 	dispatch(pending)
 }
 
@@ -383,7 +386,7 @@ func (s *SAS) applyReliableEvent(l *ReliableLink, ev Event) {
 // lastSeq+1. Entries are applied in sorted key order so a resync is
 // deterministic.
 func (s *SAS) resyncFromLink(l *ReliableLink, lastSeq uint64, snap []ActiveSentence, at vtime.Time) {
-	s.mu.Lock()
+	s.structMu.Lock()
 	ls := s.linkStateLocked(l)
 	ls.expect = lastSeq + 1
 	ls.pending = make(map[uint64]Event)
@@ -392,38 +395,42 @@ func (s *SAS) resyncFromLink(l *ReliableLink, lastSeq uint64, snap []ActiveSente
 	for _, a := range snap {
 		want[a.Sentence.Key()] = a
 	}
-	var drop, adopt []string
-	for key, e := range s.active {
-		if e.origin == l {
-			if _, ok := want[key]; !ok {
-				drop = append(drop, key)
+	var drop []*entry
+	for i := range s.shards {
+		for _, e := range s.shards[i].list {
+			if e.origin == l {
+				if _, ok := want[e.sentence.Key()]; !ok {
+					drop = append(drop, e)
+				}
 			}
 		}
 	}
-	for key := range want {
-		if _, ok := s.active[key]; !ok {
+	var adopt []string
+	for key, a := range want {
+		if s.lookupEntry(nv.InternedPtr(&a.Sentence)) == nil {
 			adopt = append(adopt, key)
 		}
 	}
-	sort.Strings(drop)
+	sort.Slice(drop, func(i, j int) bool { return drop[i].sentence.Key() < drop[j].sentence.Key() })
 	sort.Strings(adopt)
 
 	var pending []pendingSend
-	for _, key := range drop {
-		sn := s.active[key].sentence
-		s.stats.Stored++
-		delete(s.active, key)
-		s.notifyQuestionsLocked(sn, at)
-		pending = append(pending, s.collectExportsLocked(sn, at)...)
+	for _, e := range drop {
+		sn := e.sentence
+		s.stats.notifStored.Add(1)
+		s.shardOf(sn).remove(e)
+		s.notifyQuestions(sn, at, -1)
+		pending = append(pending, s.collectExports(sn, at, false)...)
 	}
 	for _, key := range adopt {
 		a := want[key]
-		s.stats.Stored++
-		s.active[key] = &entry{sentence: a.Sentence, since: a.Since, depth: 1, origin: l}
-		s.notifyQuestionsLocked(a.Sentence, at)
-		pending = append(pending, s.collectExportsLocked(a.Sentence, at)...)
+		sn := nv.InternedPtr(&a.Sentence)
+		s.stats.notifStored.Add(1)
+		s.shardOf(sn).insert(sn, a.Since, 1, l)
+		s.notifyQuestions(sn, at, +1)
+		pending = append(pending, s.collectExports(sn, at, true)...)
 	}
-	s.mu.Unlock()
+	s.structMu.Unlock()
 	dispatch(pending)
 }
 
@@ -431,19 +438,16 @@ func (s *SAS) resyncFromLink(l *ReliableLink, lastSeq uint64, snap []ActiveSente
 // sorted like Snapshot. This is the sender's contribution to a
 // snapshot resync.
 func (s *SAS) SnapshotMatching(pattern Term) []ActiveSentence {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
 	var out []ActiveSentence
-	for _, e := range s.active {
-		if pattern.Matches(e.sentence) {
-			out = append(out, ActiveSentence{Sentence: e.sentence, Since: e.since, Depth: e.depth})
+	for i := range s.shards {
+		for _, e := range s.shards[i].list {
+			if pattern.Matches(*e.sentence) {
+				out = append(out, ActiveSentence{Sentence: *e.sentence, Since: e.since, Depth: e.depth})
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Since != out[j].Since {
-			return out[i].Since < out[j].Since
-		}
-		return out[i].Sentence.Key() < out[j].Sentence.Key()
-	})
+	s.structMu.Unlock()
+	sortSnapshot(out)
 	return out
 }

@@ -18,12 +18,45 @@
 // ever use), per-node replication with cross-node sentence forwarding for
 // distributed memory (Section 4.2.3), and shadow contexts, our remedy for
 // the asynchronous-activation limitation of Section 4.2.4 / Figure 7.
+//
+// # Hot-path structure
+//
+// The SAS sits on the paper's critical path — it is consulted on every
+// activation notification and every measured event — so its internals are
+// organised around interned identities (package nv hands every noun, verb
+// and sentence a small-int handle) rather than strings:
+//
+//   - The active set is sharded by the sentence's first noun handle, each
+//     shard a handle-keyed map plus an iteration slice, so concurrent
+//     notification traffic on a shared SAS does not serialise on one lock.
+//   - Questions are indexed by the handles their patterns mention: a
+//     concrete-verb term posts the question under its verb handle, a
+//     wildcard-verb term with a concrete noun posts it under that noun
+//     handle, and only fully wildcarded terms land in the scan-always
+//     list. A notification or event consults the union of the posting
+//     lists for its own handles — candidates, not the whole table.
+//   - Pattern terms are compiled once at registration into handle form,
+//     and each question keeps a per-term count of matching active
+//     entries, maintained incrementally at every insert/remove. Gate
+//     evaluation is then a handful of integer reads — the active set is
+//     never scanned on the hot path. (Ordered questions, which need
+//     activation instants, still scan.)
+//
+// Locking is two-tier. structMu is held in read mode by the hot
+// operations, which then synchronise among themselves with the per-shard
+// locks and per-question locks; structural operations (question
+// registration, export wiring, restore/reset/replay, shadow and
+// reliable-link application) hold structMu in write mode and own the
+// whole structure. Lock order: structMu, then a question lock, then shard
+// locks; no path holds a shard lock while acquiring a question lock.
 package sas
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nvmap/internal/nv"
 	"nvmap/internal/vtime"
@@ -45,12 +78,61 @@ type ActiveSentence struct {
 // Stats counts notification traffic, for the Section 4.2.4 limitation-2
 // analysis: activity notifications that are ignored by the SAS still cost
 // their delivery, and relevance filtering determines how many are stored.
+// CandidatesScanned and MatchesEvaluated expose the work the question
+// index saves: candidates are the question states a measured event
+// consulted (the brute-force design scanned every question), and matches
+// are individual pattern-versus-sentence tests.
 type Stats struct {
 	Notifications int // activation+deactivation notifications received
 	Ignored       int // dropped by the relevance filter
 	Stored        int // applied to the active set
 	Evaluations   int // question re-evaluations triggered
 	Events        int // RecordEvent/RecordSpan calls
+	// CandidatesScanned counts question states consulted for measured
+	// events; MatchesEvaluated counts term-pattern match tests. Both are
+	// observability counters, omitted from checkpoints when zero.
+	CandidatesScanned int `json:",omitempty"`
+	MatchesEvaluated  int `json:",omitempty"`
+}
+
+// statCounters is the internal, contention-free form of Stats. The two
+// counters bumped on every notification — Notifications and Stored — are
+// packed into one word (high and low 32 bits) so the common stored path
+// pays a single atomic add; the packing caps them at 2^32, far beyond the
+// traffic of any run these observability counters describe.
+type statCounters struct {
+	notifStored atomic.Int64 // Notifications<<32 | Stored
+	ignored     atomic.Int64
+	evaluations atomic.Int64
+	events      atomic.Int64
+	candidates  atomic.Int64
+	matches     atomic.Int64
+}
+
+// notifInc adds one notification to the packed counter; or it with 1 to
+// also count the operation as stored.
+const notifInc = int64(1) << 32
+
+func (c *statCounters) snapshot() Stats {
+	ns := c.notifStored.Load()
+	return Stats{
+		Notifications:     int(ns >> 32),
+		Ignored:           int(c.ignored.Load()),
+		Stored:            int(ns & 0xffffffff),
+		Evaluations:       int(c.evaluations.Load()),
+		Events:            int(c.events.Load()),
+		CandidatesScanned: int(c.candidates.Load()),
+		MatchesEvaluated:  int(c.matches.Load()),
+	}
+}
+
+func (c *statCounters) restore(st Stats) {
+	c.notifStored.Store(int64(st.Notifications)<<32 | int64(st.Stored)&0xffffffff)
+	c.ignored.Store(int64(st.Ignored))
+	c.evaluations.Store(int64(st.Evaluations))
+	c.events.Store(int64(st.Events))
+	c.candidates.Store(int64(st.CandidatesScanned))
+	c.matches.Store(int64(st.MatchesEvaluated))
 }
 
 // Result is the measurement state of one question.
@@ -67,9 +149,90 @@ type Result struct {
 	Satisfied bool
 }
 
+// cterm is a question term compiled to interned handles. Matching a
+// sentence is then a handful of integer compares.
+type cterm struct {
+	anyVerb bool
+	vh      nv.VerbHandle
+	// nouns holds the handles of the term's non-wildcard nouns; every one
+	// must participate in a matching sentence.
+	nouns []nv.NounHandle
+}
+
+func compileTerm(t Term) cterm {
+	ct := cterm{}
+	if t.Verb == Any {
+		ct.anyVerb = true
+	} else {
+		ct.vh = nv.DefaultInterner.Verb(t.Verb)
+	}
+	for _, n := range t.Nouns {
+		if n == Any {
+			continue
+		}
+		ct.nouns = append(ct.nouns, nv.DefaultInterner.Noun(n))
+	}
+	return ct
+}
+
+func (ct *cterm) matches(sn *nv.Sentence) bool {
+	if !ct.anyVerb && ct.vh != nv.VerbHandleOf(sn) {
+		return false
+	}
+	nhs := nv.NounHandlesOf(sn)
+outer:
+	for _, want := range ct.nouns {
+		for _, have := range nhs {
+			if have == want {
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// cexpr mirrors Expr; leaf indexes the question's compiled pattern list
+// (and its per-term match count).
+type cexpr struct {
+	op   ExprOp
+	leaf int
+	kids []*cexpr
+}
+
+// compileExpr assigns leaf indexes in the same depth-first order
+// Expr.terms uses, so leaves line up with questionState.all.
+func compileExpr(e *Expr, next *int) *cexpr {
+	ce := &cexpr{op: e.Op}
+	if e.Op == OpTerm {
+		ce.leaf = *next
+		*next++
+		return ce
+	}
+	for _, k := range e.Kids {
+		ce.kids = append(ce.kids, compileExpr(k, next))
+	}
+	return ce
+}
+
 type questionState struct {
-	id        QuestionID
-	q         Question
+	id QuestionID
+	q  Question
+
+	// Compiled matching state; immutable after registration.
+	all  []cterm // every pattern leaf, in allTerms order
+	expr *cexpr
+	trig *cterm // compiled measured term of an ordered question
+
+	// mu guards everything below. It nests inside structMu; evalOrdered
+	// may acquire shard read locks while holding it, so no path may hold
+	// a shard lock while taking a question lock.
+	mu sync.Mutex
+	// counts[i] is the number of active entries matching all[i],
+	// maintained incrementally on every insert/remove transition. The
+	// gate of an unordered question (or expression) is computed from
+	// these counts alone.
+	counts    []int32
 	satisfied bool
 	since     vtime.Time // when satisfied last became true
 	satTime   vtime.Duration
@@ -78,14 +241,113 @@ type questionState struct {
 	watch     func(bool, vtime.Time)
 }
 
+func newQuestionState(id QuestionID, q Question) *questionState {
+	st := &questionState{id: id, q: q}
+	for _, t := range q.allTerms() {
+		st.all = append(st.all, compileTerm(t))
+	}
+	st.counts = make([]int32, len(st.all))
+	if q.Expr != nil {
+		next := 0
+		st.expr = compileExpr(q.Expr, &next)
+	} else if q.trigger() != nil {
+		st.trig = &st.all[len(st.all)-1]
+	}
+	return st
+}
+
 type entry struct {
-	sentence nv.Sentence
+	sentence *nv.Sentence // canonical interned sentence, immutable
 	since    vtime.Time
 	depth    int
 	// origin is the ReliableLink that created this entry, nil for local
 	// activations. A reliable deactivation or resync only touches the
 	// entries its own link created.
 	origin *ReliableLink
+	// slot is the entry's index in its shard's iteration list.
+	slot int
+	// nextFree chains removed entries on the shard's freelist so the
+	// activate/deactivate cycle does not allocate.
+	nextFree *entry
+}
+
+// numShards is the active-set shard count: enough to spread notification
+// traffic from concurrent monitors without making whole-set iteration
+// (snapshots, ordered questions) pay for dozens of locks.
+const numShards = 8
+
+// smallShard is the list length at which a shard builds its handle map;
+// below it, linear scan of the iteration list beats map hashing.
+const smallShard = 8
+
+type shard struct {
+	mu   sync.RWMutex
+	byH  map[nv.SentenceHandle]*entry // nil until the list outgrows smallShard
+	list []*entry
+	free *entry // freelist of removed entries
+	// notif and stored count the notifications applied through this
+	// shard. They are plain ints bumped inside the shard critical section
+	// the operation already pays for, sparing the hot path an atomic;
+	// statsSnapshot sums them under structMu write.
+	notif  int64
+	stored int64
+	_      [8]byte // pad to a cache line against false sharing
+}
+
+// lookup returns the live entry for an interned sentence handle, or nil.
+// The shard lock (or structMu write) is held.
+func (sh *shard) lookup(h nv.SentenceHandle) *entry {
+	if sh.byH != nil {
+		return sh.byH[h]
+	}
+	for _, e := range sh.list {
+		if nv.HandleOf(e.sentence) == h {
+			return e
+		}
+	}
+	return nil
+}
+
+// insert adds an entry for sn, reusing a freelist entry when one is
+// available; the shard lock (or structMu write) is held. Every entry
+// field is (re)assigned — freelist entries carry stale values.
+func (sh *shard) insert(sn *nv.Sentence, since vtime.Time, depth int, origin *ReliableLink) *entry {
+	e := sh.free
+	if e != nil {
+		sh.free = e.nextFree
+		e.nextFree = nil
+	} else {
+		e = &entry{}
+	}
+	e.sentence, e.since, e.depth, e.origin = sn, since, depth, origin
+	e.slot = len(sh.list)
+	sh.list = append(sh.list, e)
+	if sh.byH != nil {
+		sh.byH[nv.HandleOf(sn)] = e
+	} else if len(sh.list) > smallShard {
+		sh.byH = make(map[nv.SentenceHandle]*entry, 2*smallShard)
+		for _, x := range sh.list {
+			sh.byH[nv.HandleOf(x.sentence)] = x
+		}
+	}
+	return e
+}
+
+// remove deletes an entry by swap-remove and pushes it on the freelist;
+// same locking as insert. The entry's sentence field is left in place
+// (callers may still read it until the next insert reuses the entry).
+func (sh *shard) remove(e *entry) {
+	last := len(sh.list) - 1
+	moved := sh.list[last]
+	sh.list[e.slot] = moved
+	moved.slot = e.slot
+	sh.list[last] = nil
+	sh.list = sh.list[:last]
+	if sh.byH != nil {
+		delete(sh.byH, nv.HandleOf(e.sentence))
+	}
+	e.nextFree = sh.free
+	sh.free = e
 }
 
 // SAS is one Set of Active Sentences. On a distributed-memory system each
@@ -93,29 +355,36 @@ type entry struct {
 // be shared by several goroutines — all methods are safe for concurrent
 // use, at the synchronisation cost the paper warns about.
 type SAS struct {
-	mu sync.Mutex
-
 	node   int
 	filter bool
 
-	active map[string]*entry
-	// byVerb indexes question IDs by the verbs their terms mention;
-	// wildcardQ holds questions with wildcard-verb terms.
-	byVerb    map[nv.VerbID][]QuestionID
+	// structMu is the two-tier structure lock; see the package comment.
+	structMu sync.RWMutex
+
+	shards [numShards]shard
+
+	// byVerb, byNoun and wildcardQ are the question posting lists; each is
+	// kept in ascending QuestionID order. Guarded by structMu.
+	byVerb    map[nv.VerbHandle][]QuestionID
+	byNoun    map[nv.NounHandle][]QuestionID
 	wildcardQ []QuestionID
 	questions map[QuestionID]*questionState
 	nextID    QuestionID
 
-	stats Stats
+	stats statCounters
 
 	// remotes receive activation events this SAS exports (Section 4.2.3).
 	exports []exportRule
 	// links holds receiver-side state (expected sequence number, gap
-	// buffer) for each ReliableLink delivering into this SAS.
+	// buffer) for each ReliableLink delivering into this SAS. Guarded by
+	// structMu in write mode.
 	links map[*ReliableLink]*linkState
 
-	// record, when set, journals replayable operations (state.go);
-	// replaying suppresses journaling and export fan-out during Replay.
+	// record, when set, journals replayable operations (state.go); jmu
+	// serialises hook invocations. replaying suppresses journaling and
+	// export fan-out during Replay; it is written under structMu write
+	// and read under either mode.
+	jmu       sync.Mutex
 	record    func(Record)
 	replaying int
 }
@@ -137,14 +406,27 @@ func New(opts Options) *SAS {
 	return &SAS{
 		node:      opts.Node,
 		filter:    opts.Filter,
-		active:    make(map[string]*entry),
-		byVerb:    make(map[nv.VerbID][]QuestionID),
+		byVerb:    make(map[nv.VerbHandle][]QuestionID),
+		byNoun:    make(map[nv.NounHandle][]QuestionID),
 		questions: make(map[QuestionID]*questionState),
 	}
 }
 
 // Node returns the node label.
 func (s *SAS) Node() int { return s.node }
+
+// shardOf picks the entry shard for a sentence: the first noun handle,
+// falling back to the verb handle for noun-less sentences (precomputed
+// at intern time as the shard key).
+func (s *SAS) shardOf(sn *nv.Sentence) *shard {
+	return &s.shards[nv.ShardKeyOf(sn)%numShards]
+}
+
+// lookupEntry returns the live entry for an interned sentence, or nil.
+// Callers hold either the shard's lock or structMu in write mode.
+func (s *SAS) lookupEntry(sn *nv.Sentence) *entry {
+	return s.shardOf(sn).lookup(nv.HandleOf(sn))
+}
 
 // AddQuestion registers a performance question and returns its handle.
 // In the paper's usage the asking of performance questions is deferred
@@ -155,37 +437,76 @@ func (s *SAS) AddQuestion(q Question) (QuestionID, error) {
 	if err := q.validate(); err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	id := s.nextID
 	s.nextID++
-	st := &questionState{id: id, q: q}
+	st := newQuestionState(id, q)
 	s.questions[id] = st
 	s.indexQuestion(st)
-	// Evaluate against the current active set so a question asked
-	// mid-execution picks up already-active sentences.
-	s.reevaluateLocked(st, s.lastKnownTimeLocked())
+	// Seed the per-term match counts and evaluate against the current
+	// active set, so a question asked mid-execution picks up
+	// already-active sentences.
+	tested := 0
+	for i := range s.shards {
+		for _, e := range s.shards[i].list {
+			for j := range st.all {
+				tested++
+				if st.all[j].matches(e.sentence) {
+					st.counts[j]++
+				}
+			}
+		}
+	}
+	s.stats.matches.Add(int64(tested))
+	s.recomputeGate(st, s.lastKnownTime())
 	return id, nil
 }
 
+// indexQuestion posts a question under every handle its patterns name:
+// concrete verbs under byVerb, wildcard-verb patterns under their first
+// concrete noun, and fully wildcarded patterns in the scan-always list.
+// Each posting list receives the question at most once, in ascending
+// registration order.
 func (s *SAS) indexQuestion(st *questionState) {
-	seen := map[nv.VerbID]bool{}
-	for _, t := range st.q.allTerms() {
-		if t.Verb == Any {
-			s.wildcardQ = append(s.wildcardQ, st.id)
-			continue
-		}
-		if !seen[t.Verb] {
-			seen[t.Verb] = true
-			s.byVerb[t.Verb] = append(s.byVerb[t.Verb], st.id)
+	var seenV []nv.VerbHandle
+	var seenN []nv.NounHandle
+	wild := false
+	for i := range st.all {
+		ct := &st.all[i]
+		switch {
+		case !ct.anyVerb:
+			if !slices.Contains(seenV, ct.vh) {
+				seenV = append(seenV, ct.vh)
+				s.byVerb[ct.vh] = append(s.byVerb[ct.vh], st.id)
+			}
+		case st.expr == nil && len(ct.nouns) > 0:
+			// Noun narrowing is sound only because term-vector delivery
+			// is guarded by an "event matches some term" (or trigger)
+			// precondition: an event that matches an Any-verb term
+			// necessarily carries the term's nouns, so the byNoun posting
+			// covers every event that can be charged. Expression gates
+			// have no such precondition — a satisfied expression is
+			// charged by any event it is consulted for — so an Any-verb
+			// term must keep the question globally visible, exactly as
+			// the original single verb index did.
+			if !slices.Contains(seenN, ct.nouns[0]) {
+				seenN = append(seenN, ct.nouns[0])
+				s.byNoun[ct.nouns[0]] = append(s.byNoun[ct.nouns[0]], st.id)
+			}
+		default:
+			if !wild {
+				wild = true
+				s.wildcardQ = append(s.wildcardQ, st.id)
+			}
 		}
 	}
 }
 
 // RemoveQuestion deletes a question; its accumulated results are lost.
 func (s *SAS) RemoveQuestion(id QuestionID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	if _, ok := s.questions[id]; !ok {
 		return fmt.Errorf("sas: unknown question %d", id)
 	}
@@ -194,6 +515,12 @@ func (s *SAS) RemoveQuestion(id QuestionID) error {
 		s.byVerb[v] = removeQID(ids, id)
 		if len(s.byVerb[v]) == 0 {
 			delete(s.byVerb, v)
+		}
+	}
+	for n, ids := range s.byNoun {
+		s.byNoun[n] = removeQID(ids, id)
+		if len(s.byNoun[n]) == 0 {
+			delete(s.byNoun, n)
 		}
 	}
 	s.wildcardQ = removeQID(s.wildcardQ, id)
@@ -213,11 +540,11 @@ func removeQID(ids []QuestionID, id QuestionID) []QuestionID {
 // flips. This implements the boolean-variable protocol of Section 6.1:
 // the SAS module sets a flag to true whenever the requested array is
 // active, and dynamically inserted instrumentation checks the flag before
-// measuring. The callback runs with the SAS lock held; it must not call
+// measuring. The callback runs with SAS locks held; it must not call
 // back into the SAS.
 func (s *SAS) Watch(id QuestionID, fn func(satisfied bool, at vtime.Time)) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	st, ok := s.questions[id]
 	if !ok {
 		return fmt.Errorf("sas: unknown question %d", id)
@@ -226,40 +553,117 @@ func (s *SAS) Watch(id QuestionID, fn func(satisfied bool, at vtime.Time)) error
 	return nil
 }
 
-// relevant reports whether any registered question pattern could match sn.
-func (s *SAS) relevantLocked(sn nv.Sentence) bool {
-	for _, st := range s.questions {
-		for _, t := range st.q.allTerms() {
-			if t.Matches(sn) {
-				return true
+// eachCandidate visits, in ascending QuestionID order without duplicates,
+// every question whose patterns could match sn: the merge of the byVerb
+// list for sn's verb, the byNoun lists for each of sn's nouns, and the
+// wildcard list. The index is complete — a pattern matching sn is posted
+// under sn's verb, one of sn's nouns, or the wildcard list — so skipping
+// non-candidates never skips a potential match. Callers hold structMu
+// (either mode).
+func (s *SAS) eachCandidate(sn *nv.Sentence, fn func(*questionState)) {
+	if len(s.questions) == 0 {
+		return
+	}
+	var lb [10][]QuestionID
+	lists := lb[:0]
+	if l := s.byVerb[nv.VerbHandleOf(sn)]; len(l) > 0 {
+		lists = append(lists, l)
+	}
+	if len(s.byNoun) > 0 {
+		for _, nh := range nv.NounHandlesOf(sn) {
+			if l := s.byNoun[nh]; len(l) > 0 {
+				lists = append(lists, l)
 			}
 		}
 	}
-	return false
+	if len(s.wildcardQ) > 0 {
+		lists = append(lists, s.wildcardQ)
+	}
+	if len(lists) == 0 {
+		return
+	}
+	if len(lists) == 1 {
+		for _, id := range lists[0] {
+			if st := s.questions[id]; st != nil {
+				fn(st)
+			}
+		}
+		return
+	}
+	var idx [10]int
+	last := QuestionID(-1)
+	for {
+		best := -1
+		var bestID QuestionID
+		for i := range lists {
+			for idx[i] < len(lists[i]) && lists[i][idx[i]] == last {
+				idx[i]++
+			}
+			if idx[i] < len(lists[i]) {
+				if id := lists[i][idx[i]]; best < 0 || id < bestID {
+					best, bestID = i, id
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		idx[best]++
+		last = bestID
+		if st := s.questions[bestID]; st != nil {
+			fn(st)
+		}
+	}
+}
+
+// relevant reports whether any registered question pattern could match
+// sn. Only indexed candidates are consulted; completeness of the index
+// makes the answer equal to a scan of every question.
+func (s *SAS) relevant(sn *nv.Sentence) bool {
+	rel := false
+	s.eachCandidate(sn, func(st *questionState) {
+		if rel {
+			return
+		}
+		for i := range st.all {
+			if st.all[i].matches(sn) {
+				rel = true
+				return
+			}
+		}
+	})
+	return rel
 }
 
 // Activate notifies the SAS that sentence sn became active at instant at.
 // Nested activation of an already-active sentence increases its depth.
 func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
-	s.mu.Lock()
+	p := nv.InternedPtr(&sn)
+	s.structMu.RLock()
 	var pending []pendingSend
-	s.journalLocked(Record{Kind: RecActivate, Sentence: sn, At: at})
-	s.stats.Notifications++
+	if s.journaling() {
+		s.journal(Record{Kind: RecActivate, Sentence: *p, At: at})
+	}
 	switch {
-	case s.filter && !s.relevantLocked(sn):
-		s.stats.Ignored++
+	case s.filter && !s.relevant(p):
+		s.stats.notifStored.Add(notifInc)
+		s.stats.ignored.Add(1)
 	default:
-		s.stats.Stored++
-		key := sn.Key()
-		if e, ok := s.active[key]; ok {
+		sh := s.shardOf(p)
+		sh.mu.Lock()
+		sh.notif++
+		sh.stored++
+		if e := sh.lookup(nv.HandleOf(p)); e != nil {
 			e.depth++
+			sh.mu.Unlock()
 		} else {
-			s.active[key] = &entry{sentence: sn, since: at, depth: 1}
-			s.notifyQuestionsLocked(sn, at)
-			pending = s.collectExportsLocked(sn, at)
+			sh.insert(p, at, 1, nil)
+			sh.mu.Unlock()
+			s.notifyQuestions(p, at, +1)
+			pending = s.collectExports(p, at, true)
 		}
 	}
-	s.mu.Unlock()
+	s.structMu.RUnlock()
 	dispatch(pending)
 }
 
@@ -267,55 +671,82 @@ func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
 // at. Deactivating a sentence that is not active is an error — balanced
 // notification is an invariant the monitoring code must maintain.
 func (s *SAS) Deactivate(sn nv.Sentence, at vtime.Time) error {
-	s.mu.Lock()
+	p := nv.InternedPtr(&sn)
+	s.structMu.RLock()
 	var pending []pendingSend
-	s.journalLocked(Record{Kind: RecDeactivate, Sentence: sn, At: at})
-	s.stats.Notifications++
-	key := sn.Key()
-	e, ok := s.active[key]
-	if !ok {
-		filtered := s.filter && !s.relevantLocked(sn)
+	if s.journaling() {
+		s.journal(Record{Kind: RecDeactivate, Sentence: *p, At: at})
+	}
+	sh := s.shardOf(p)
+	sh.mu.Lock()
+	e := sh.lookup(nv.HandleOf(p))
+	if e == nil {
+		sh.mu.Unlock()
+		s.stats.notifStored.Add(notifInc)
+		filtered := s.filter && !s.relevant(p)
 		if filtered {
 			// A filtered sentence was never stored; its deactivation is
 			// likewise ignored.
-			s.stats.Ignored++
+			s.stats.ignored.Add(1)
 		}
-		s.mu.Unlock()
+		s.structMu.RUnlock()
 		if filtered {
 			return nil
 		}
 		return fmt.Errorf("sas: deactivate of inactive sentence %v", sn)
 	}
-	s.stats.Stored++
+	sh.notif++
+	sh.stored++
 	e.depth--
 	if e.depth == 0 {
-		delete(s.active, key)
-		s.notifyQuestionsLocked(sn, at)
-		pending = s.collectExportsLocked(sn, at)
+		sh.remove(e)
+		sh.mu.Unlock()
+		s.notifyQuestions(p, at, -1)
+		pending = s.collectExports(p, at, false)
+	} else {
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
+	s.structMu.RUnlock()
 	dispatch(pending)
 	return nil
 }
 
-// notifyQuestionsLocked re-evaluates every question that mentions the
-// sentence's verb (or a wildcard verb).
-func (s *SAS) notifyQuestionsLocked(sn nv.Sentence, at vtime.Time) {
-	for _, id := range s.byVerb[sn.Verb] {
-		if st, ok := s.questions[id]; ok {
-			s.reevaluateLocked(st, at)
-		}
-	}
-	for _, id := range s.wildcardQ {
-		if st, ok := s.questions[id]; ok {
-			s.reevaluateLocked(st, at)
-		}
-	}
+// notifyQuestions folds one insert (delta +1) or remove (delta -1)
+// transition into every candidate question: the per-term match counts
+// are adjusted and the gate recomputed, all without touching the active
+// set. Called with structMu held (either mode) and no shard locks.
+func (s *SAS) notifyQuestions(sn *nv.Sentence, at vtime.Time, delta int32) {
+	s.eachCandidate(sn, func(st *questionState) {
+		s.applyTransition(st, sn, delta, at)
+	})
 }
 
-func (s *SAS) reevaluateLocked(st *questionState, at vtime.Time) {
-	s.stats.Evaluations++
-	now := s.evalLocked(st.q, nv.Sentence{}, false)
+// applyTransition updates one candidate's match counts for a transition
+// of sn and recomputes its gate.
+func (s *SAS) applyTransition(st *questionState, sn *nv.Sentence, delta int32, at vtime.Time) {
+	s.stats.evaluations.Add(1)
+	s.stats.matches.Add(int64(len(st.all)))
+	st.mu.Lock()
+	for i := range st.all {
+		if st.all[i].matches(sn) {
+			st.counts[i] += delta
+		}
+	}
+	s.updateGateLocked(st, at)
+	st.mu.Unlock()
+}
+
+// recomputeGate re-derives a question's gate from its current counts
+// (after registration or a restore).
+func (s *SAS) recomputeGate(st *questionState, at vtime.Time) {
+	s.stats.evaluations.Add(1)
+	st.mu.Lock()
+	s.updateGateLocked(st, at)
+	st.mu.Unlock()
+}
+
+func (s *SAS) updateGateLocked(st *questionState, at vtime.Time) {
+	now := s.gate(st, nil)
 	if now == st.satisfied {
 		return
 	}
@@ -330,83 +761,101 @@ func (s *SAS) reevaluateLocked(st *questionState, at vtime.Time) {
 	}
 }
 
-// evalLocked evaluates a question against the active set. If extra is
-// non-zero (hasExtra), it is treated as active in addition to the stored
-// set — this lets RecordEvent measure a low-level sentence that is
-// instantaneous and never explicitly activated.
-func (s *SAS) evalLocked(q Question, extra nv.Sentence, hasExtra bool) bool {
-	match := func(t Term) bool {
-		if hasExtra && t.Matches(extra) {
-			return true
+// evalCtx carries a measured event through gate evaluation: the event
+// sentence is treated as active, and match tests are tallied (added to
+// Stats once per operation, not per test).
+type evalCtx struct {
+	extra   *nv.Sentence
+	matches int64
+}
+
+func (c *evalCtx) matchExtra(ct *cterm) bool {
+	c.matches++
+	return ct.matches(c.extra)
+}
+
+// gate computes a question's satisfied state from its match counts; a
+// non-nil ctx additionally treats the event sentence as active. The
+// question lock is held. Ordered questions scan the active set (they
+// need activation instants), everything else is count reads.
+func (s *SAS) gate(st *questionState, c *evalCtx) bool {
+	if st.expr != nil {
+		return s.gateExpr(st, st.expr, c)
+	}
+	if st.q.Ordered {
+		return s.evalOrdered(st, c)
+	}
+	for i := range st.all {
+		if st.counts[i] > 0 {
+			continue
 		}
-		for _, e := range s.active {
-			if t.Matches(e.sentence) {
-				return true
-			}
+		if c != nil && c.matchExtra(&st.all[i]) {
+			continue
 		}
 		return false
-	}
-	if q.Expr != nil {
-		return s.evalExpr(q.Expr, match)
-	}
-	if q.Ordered {
-		return s.evalOrderedLocked(q, extra, hasExtra)
-	}
-	for _, t := range q.Terms {
-		if !match(t) {
-			return false
-		}
 	}
 	return true
 }
 
-func (s *SAS) evalExpr(e *Expr, match func(Term) bool) bool {
-	switch e.Op {
+func (s *SAS) gateExpr(st *questionState, e *cexpr, c *evalCtx) bool {
+	switch e.op {
 	case OpTerm:
-		return match(e.Term)
+		if st.counts[e.leaf] > 0 {
+			return true
+		}
+		return c != nil && c.matchExtra(&st.all[e.leaf])
 	case OpAnd:
-		for _, k := range e.Kids {
-			if !s.evalExpr(k, match) {
+		for _, k := range e.kids {
+			if !s.gateExpr(st, k, c) {
 				return false
 			}
 		}
 		return true
 	case OpOr:
-		for _, k := range e.Kids {
-			if s.evalExpr(k, match) {
+		for _, k := range e.kids {
+			if s.gateExpr(st, k, c) {
 				return true
 			}
 		}
 		return false
 	case OpNot:
-		return !s.evalExpr(e.Kids[0], match)
+		return !s.gateExpr(st, e.kids[0], c)
 	default:
 		return false
 	}
 }
 
-// evalOrderedLocked checks the ordered reading: each term must be matched
-// by an active sentence whose activation time is no earlier than the
-// match of the preceding term — the nesting discipline of a call stack.
-// The extra (trigger) sentence, when present, is only eligible for the
-// final term and is considered activated "now" (no earlier than
-// everything else).
-func (s *SAS) evalOrderedLocked(q Question, extra nv.Sentence, hasExtra bool) bool {
+// evalOrdered checks the ordered reading: each term must be matched by an
+// active sentence whose activation time is no earlier than the match of
+// the preceding term — the nesting discipline of a call stack. The extra
+// (trigger) sentence, when present, is only eligible for the final term
+// and is considered activated "now" (no earlier than everything else).
+// Shards are read-locked one at a time; the caller holds no shard locks.
+func (s *SAS) evalOrdered(st *questionState, c *evalCtx) bool {
 	prev := vtime.Time(-1 << 62)
-	for i, t := range q.Terms {
-		last := i == len(q.Terms)-1
+	for i := range st.all {
+		ct := &st.all[i]
+		last := i == len(st.all)-1
 		best := vtime.Time(-1)
 		found := false
-		for _, e := range s.active {
-			if !t.Matches(e.sentence) || e.since.Before(prev) {
-				continue
+		for j := range s.shards {
+			sh := &s.shards[j]
+			sh.mu.RLock()
+			for _, e := range sh.list {
+				if c != nil {
+					c.matches++
+				}
+				if !ct.matches(e.sentence) || e.since.Before(prev) {
+					continue
+				}
+				if !found || e.since.Before(best) {
+					best = e.since
+					found = true
+				}
 			}
-			if !found || e.since.Before(best) {
-				best = e.since
-				found = true
-			}
+			sh.mu.RUnlock()
 		}
-		if !found && last && hasExtra && t.Matches(extra) {
+		if !found && last && c != nil && c.matchExtra(ct) {
 			// The trigger fires after every stored activation.
 			return true
 		}
@@ -416,6 +865,34 @@ func (s *SAS) evalOrderedLocked(q Question, extra nv.Sentence, hasExtra bool) bo
 		prev = best
 	}
 	return true
+}
+
+// fires decides whether a measured event for the context's sentence
+// satisfies question st. For unordered questions the event sentence must
+// match some term and the whole question must hold with the event treated
+// as active. For ordered questions the event must match the final
+// (measured) term and the earlier terms must be satisfied in activation
+// order. The question lock is held.
+func (s *SAS) fires(st *questionState, c *evalCtx) bool {
+	if st.trig != nil {
+		if !c.matchExtra(st.trig) {
+			return false
+		}
+		return s.gate(st, c)
+	}
+	if st.expr == nil {
+		matchesSome := false
+		for i := range st.all {
+			if c.matchExtra(&st.all[i]) {
+				matchesSome = true
+				break
+			}
+		}
+		if !matchesSome {
+			return false
+		}
+	}
+	return s.gate(st, c)
 }
 
 // RecordEvent charges an instantaneous measured event — the execution of
@@ -428,17 +905,27 @@ func (s *SAS) evalOrderedLocked(q Question, extra nv.Sentence, hasExtra bool) bo
 // sentences are currently active and thereby relates low-level sentences
 // to active sentences at higher levels."
 func (s *SAS) RecordEvent(sn nv.Sentence, at vtime.Time, value float64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.journalLocked(Record{Kind: RecEvent, Sentence: sn, At: at, Value: value})
-	s.stats.Events++
+	p := nv.InternedPtr(&sn)
+	s.structMu.RLock()
+	if s.journaling() {
+		s.journal(Record{Kind: RecEvent, Sentence: *p, At: at, Value: value})
+	}
+	s.stats.events.Add(1)
+	c := evalCtx{extra: p}
 	hits := 0
-	for _, st := range s.candidatesLocked(sn) {
-		if s.questionFiresLocked(st, sn) {
+	scanned := int64(0)
+	s.eachCandidate(p, func(st *questionState) {
+		scanned++
+		st.mu.Lock()
+		if s.fires(st, &c) {
 			st.count += value
 			hits++
 		}
-	}
+		st.mu.Unlock()
+	})
+	s.stats.candidates.Add(scanned)
+	s.stats.matches.Add(c.matches)
+	s.structMu.RUnlock()
 	return hits
 }
 
@@ -446,83 +933,54 @@ func (s *SAS) RecordEvent(sn nv.Sentence, at vtime.Time, value float64) int {
 // over [from, to) — to every question the event satisfies, adding the
 // span to each question's event-time accumulator.
 func (s *SAS) RecordSpan(sn nv.Sentence, from, to vtime.Time, value vtime.Duration) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.journalLocked(Record{Kind: RecSpan, Sentence: sn, At: to, From: from, Dur: value})
-	s.stats.Events++
+	p := nv.InternedPtr(&sn)
+	s.structMu.RLock()
+	if s.journaling() {
+		s.journal(Record{Kind: RecSpan, Sentence: *p, At: to, From: from, Dur: value})
+	}
+	s.stats.events.Add(1)
+	c := evalCtx{extra: p}
 	hits := 0
-	for _, st := range s.candidatesLocked(sn) {
-		if s.questionFiresLocked(st, sn) {
+	scanned := int64(0)
+	s.eachCandidate(p, func(st *questionState) {
+		scanned++
+		st.mu.Lock()
+		if s.fires(st, &c) {
 			st.evTime += value
 			hits++
 		}
-	}
+		st.mu.Unlock()
+	})
+	s.stats.candidates.Add(scanned)
+	s.stats.matches.Add(c.matches)
+	s.structMu.RUnlock()
 	return hits
-}
-
-// candidatesLocked returns the questions whose patterns mention sn's verb
-// or a wildcard, in registration order (deterministic).
-func (s *SAS) candidatesLocked(sn nv.Sentence) []*questionState {
-	ids := append(append([]QuestionID(nil), s.byVerb[sn.Verb]...), s.wildcardQ...)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]*questionState, 0, len(ids))
-	var last QuestionID = -1
-	for _, id := range ids {
-		if id == last {
-			continue
-		}
-		last = id
-		if st, ok := s.questions[id]; ok {
-			out = append(out, st)
-		}
-	}
-	return out
-}
-
-// questionFiresLocked decides whether a measured event for sn satisfies
-// question st. For unordered questions the event sentence must match some
-// term and the whole question must hold with the event treated as active.
-// For ordered questions the event must match the final (measured) term
-// and the earlier terms must be satisfied in activation order.
-func (s *SAS) questionFiresLocked(st *questionState, sn nv.Sentence) bool {
-	if trig := st.q.trigger(); trig != nil {
-		if !trig.Matches(sn) {
-			return false
-		}
-		return s.evalLocked(st.q, sn, true)
-	}
-	if st.q.Expr == nil {
-		matchesSome := false
-		for _, t := range st.q.Terms {
-			if t.Matches(sn) {
-				matchesSome = true
-				break
-			}
-		}
-		if !matchesSome {
-			return false
-		}
-	}
-	return s.evalLocked(st.q, sn, true)
 }
 
 // Satisfied reports the current gate state of a question.
 func (s *SAS) Satisfied(id QuestionID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
 	st, ok := s.questions[id]
-	return ok && st.satisfied
+	if !ok {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.satisfied
 }
 
 // Result returns the measurement state of a question as of instant now
 // (a currently-satisfied gate timer includes the open interval up to now).
 func (s *SAS) Result(id QuestionID, now vtime.Time) (Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
 	st, ok := s.questions[id]
 	if !ok {
 		return Result{}, fmt.Errorf("sas: unknown question %d", id)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	r := Result{
 		Question:      st.q,
 		Count:         st.count,
@@ -537,52 +995,105 @@ func (s *SAS) Result(id QuestionID, now vtime.Time) (Result, error) {
 }
 
 // Snapshot returns the active sentences sorted by activation time then
-// key — the Figure 5 view of the SAS.
+// key — the Figure 5 view of the SAS. It takes structMu in write mode:
+// owning the structure outright is cheaper than read-locking every shard,
+// and snapshots are rare next to notifications.
 func (s *SAS) Snapshot() []ActiveSentence {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]ActiveSentence, 0, len(s.active))
-	for _, e := range s.active {
-		out = append(out, ActiveSentence{Sentence: e.sentence, Since: e.since, Depth: e.depth})
+	s.structMu.Lock()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].list)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Since != out[j].Since {
-			return out[i].Since < out[j].Since
+	out := make([]ActiveSentence, 0, n)
+	for i := range s.shards {
+		for _, e := range s.shards[i].list {
+			out = append(out, ActiveSentence{Sentence: *e.sentence, Since: e.since, Depth: e.depth})
 		}
-		return out[i].Sentence.Key() < out[j].Sentence.Key()
-	})
+	}
+	s.structMu.Unlock()
+	sortSnapshot(out)
 	return out
+}
+
+func sortSnapshot(out []ActiveSentence) {
+	sorted := true
+	for i := 1; i < len(out); i++ {
+		if out[i].Since < out[i-1].Since ||
+			(out[i].Since == out[i-1].Since && out[i].Sentence.Key() < out[i-1].Sentence.Key()) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	slices.SortFunc(out, func(a, b ActiveSentence) int {
+		if a.Since != b.Since {
+			if a.Since < b.Since {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.Sentence.Key(), b.Sentence.Key())
+	})
 }
 
 // Active reports whether sn is currently active.
 func (s *SAS) Active(sn nv.Sentence) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.active[sn.Key()]
+	p, known := nv.LookupInternedPtr(&sn)
+	if !known {
+		// Entries are always interned; a sentence the intern table has
+		// never seen cannot be active.
+		return false
+	}
+	s.structMu.RLock()
+	sh := s.shardOf(p)
+	sh.mu.RLock()
+	ok := sh.lookup(nv.HandleOf(p)) != nil
+	sh.mu.RUnlock()
+	s.structMu.RUnlock()
 	return ok
 }
 
 // Size returns the number of distinct active sentences.
 func (s *SAS) Size() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.active)
+	s.structMu.Lock()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].list)
+	}
+	s.structMu.Unlock()
+	return n
 }
 
 // Stats returns a copy of the notification statistics.
 func (s *SAS) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	return s.statsSnapshot()
 }
 
-// lastKnownTimeLocked returns a best-effort "now" for evaluating a
-// question added mid-run: the latest activation time seen.
-func (s *SAS) lastKnownTimeLocked() vtime.Time {
+// statsSnapshot merges the atomic counters with the shard-local ones.
+// Called with structMu in write mode.
+func (s *SAS) statsSnapshot() Stats {
+	st := s.stats.snapshot()
+	for i := range s.shards {
+		st.Notifications += int(s.shards[i].notif)
+		st.Stored += int(s.shards[i].stored)
+	}
+	return st
+}
+
+// lastKnownTime returns a best-effort "now" for evaluating a question
+// added mid-run: the latest activation time seen. Called with structMu in
+// write mode.
+func (s *SAS) lastKnownTime() vtime.Time {
 	var t vtime.Time
-	for _, e := range s.active {
-		if e.since.After(t) {
-			t = e.since
+	for i := range s.shards {
+		for _, e := range s.shards[i].list {
+			if e.since.After(t) {
+				t = e.since
+			}
 		}
 	}
 	return t

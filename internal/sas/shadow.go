@@ -35,44 +35,67 @@ type Shadow struct {
 // size-reduction idea as relevance filtering, since asynchronous work may
 // outlive many irrelevant activations.
 func (s *SAS) Capture(at vtime.Time, patterns ...Term) Shadow {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	sh := Shadow{CapturedAt: at}
-	for _, e := range s.active {
-		if len(patterns) > 0 {
-			keep := false
-			for _, p := range patterns {
-				if p.Matches(e.sentence) {
-					keep = true
-					break
+	for i := range s.shards {
+		for _, e := range s.shards[i].list {
+			if len(patterns) > 0 {
+				keep := false
+				for _, p := range patterns {
+					if p.Matches(*e.sentence) {
+						keep = true
+						break
+					}
+				}
+				if !keep {
+					continue
 				}
 			}
-			if !keep {
-				continue
-			}
+			sh.Entries = append(sh.Entries, ActiveSentence{Sentence: *e.sentence, Since: e.since, Depth: e.depth})
 		}
-		sh.Entries = append(sh.Entries, ActiveSentence{Sentence: e.sentence, Since: e.since, Depth: e.depth})
 	}
 	return sh
 }
 
-// installShadowLocked temporarily adds the shadow's sentences to the
-// active set (those not already present) and returns a restore function.
-// Question gate state is deliberately not re-evaluated: shadows affect
-// only the measurement being recorded, not satisfied-time accounting.
-func (s *SAS) installShadowLocked(sh Shadow) func() {
-	var added []string
-	for _, e := range sh.Entries {
-		key := e.Sentence.Key()
-		if _, ok := s.active[key]; ok {
+// adjustCounts folds a shadow insert/remove of sn into the candidate
+// questions' match counts without recomputing gates: shadows affect only
+// the measurement being recorded, never satisfied-time accounting.
+// Called with structMu in write mode.
+func (s *SAS) adjustCounts(sn *nv.Sentence, delta int32) {
+	s.eachCandidate(sn, func(st *questionState) {
+		st.mu.Lock()
+		for i := range st.all {
+			if st.all[i].matches(sn) {
+				st.counts[i] += delta
+			}
+		}
+		st.mu.Unlock()
+	})
+}
+
+// installShadow temporarily adds the shadow's sentences to the active set
+// (those not already present) and returns a restore function. Question
+// gate state is deliberately not re-evaluated: the match counts are
+// adjusted so event evaluation sees the shadow sentences, but satisfied
+// flags and timers are untouched. Called with structMu in write mode (a
+// shadowed measurement owns the structure).
+func (s *SAS) installShadow(sh Shadow) func() {
+	var added []*entry
+	for i := range sh.Entries {
+		a := &sh.Entries[i]
+		sn := nv.InternedPtr(&a.Sentence)
+		if s.lookupEntry(sn) != nil {
 			continue
 		}
-		s.active[key] = &entry{sentence: e.Sentence, since: e.Since, depth: 1}
-		added = append(added, key)
+		e := s.shardOf(sn).insert(sn, a.Since, 1, nil)
+		s.adjustCounts(sn, +1)
+		added = append(added, e)
 	}
 	return func() {
-		for _, key := range added {
-			delete(s.active, key)
+		for _, e := range added {
+			s.shardOf(e.sentence).remove(e)
+			s.adjustCounts(e.sentence, -1)
 		}
 	}
 }
@@ -81,35 +104,51 @@ func (s *SAS) installShadowLocked(sh Shadow) func() {
 // sentences were still active. It returns the number of questions
 // charged.
 func (s *SAS) RecordEventInContext(sh Shadow, sn nv.Sentence, at vtime.Time, value float64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Events++
-	restore := s.installShadowLocked(sh)
+	p := nv.InternedPtr(&sn)
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	s.stats.events.Add(1)
+	restore := s.installShadow(sh)
 	defer restore()
+	c := evalCtx{extra: p}
 	hits := 0
-	for _, st := range s.candidatesLocked(sn) {
-		if s.questionFiresLocked(st, sn) {
+	scanned := int64(0)
+	s.eachCandidate(p, func(st *questionState) {
+		scanned++
+		st.mu.Lock()
+		if s.fires(st, &c) {
 			st.count += value
 			hits++
 		}
-	}
+		st.mu.Unlock()
+	})
+	s.stats.candidates.Add(scanned)
+	s.stats.matches.Add(c.matches)
 	return hits
 }
 
 // RecordSpanInContext is RecordSpan evaluated as if the shadow's
 // sentences were still active.
 func (s *SAS) RecordSpanInContext(sh Shadow, sn nv.Sentence, from, to vtime.Time, value vtime.Duration) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Events++
-	restore := s.installShadowLocked(sh)
+	p := nv.InternedPtr(&sn)
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	s.stats.events.Add(1)
+	restore := s.installShadow(sh)
 	defer restore()
+	c := evalCtx{extra: p}
 	hits := 0
-	for _, st := range s.candidatesLocked(sn) {
-		if s.questionFiresLocked(st, sn) {
+	scanned := int64(0)
+	s.eachCandidate(p, func(st *questionState) {
+		scanned++
+		st.mu.Lock()
+		if s.fires(st, &c) {
 			st.evTime += value
 			hits++
 		}
-	}
+		st.mu.Unlock()
+	})
+	s.stats.candidates.Add(scanned)
+	s.stats.matches.Add(c.matches)
 	return hits
 }

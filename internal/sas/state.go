@@ -40,20 +40,30 @@ type Record struct {
 
 // SetRecorder installs a journal hook invoked for every local (and
 // plain-remote) Activate, Deactivate, RecordEvent and RecordSpan — the
-// operations Replay can reproduce. The hook runs with the SAS lock held
-// and must not call back into the SAS. Events arriving over a
+// operations Replay can reproduce. The hook runs with the journal lock
+// held and must not call back into the SAS. Events arriving over a
 // ReliableLink are not journaled: the link retransmits them itself. A
 // nil fn removes the hook.
 func (s *SAS) SetRecorder(fn func(Record)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	s.record = fn
 }
 
-func (s *SAS) journalLocked(r Record) {
-	if s.record != nil && s.replaying == 0 {
-		s.record(r)
-	}
+// journaling reports whether hot-path operations should build and emit
+// journal records; callers gate Record construction on it so the nil-hook
+// case costs one comparison. Callers hold structMu (either mode), which
+// is what makes the record/replaying reads safe.
+func (s *SAS) journaling() bool {
+	return s.record != nil && s.replaying == 0
+}
+
+// journal hands one operation to the recorder hook; jmu serialises hook
+// invocations from concurrent hot-path ops.
+func (s *SAS) journal(r Record) {
+	s.jmu.Lock()
+	s.record(r)
+	s.jmu.Unlock()
 }
 
 // Replay re-applies one journaled operation. During replay the journal
@@ -61,9 +71,9 @@ func (s *SAS) journalLocked(r Record) {
 // the other nodes already saw the original operation; replay only
 // rebuilds this SAS's state.
 func (s *SAS) Replay(r Record) {
-	s.mu.Lock()
+	s.structMu.Lock()
 	s.replaying++
-	s.mu.Unlock()
+	s.structMu.Unlock()
 	switch r.Kind {
 	case RecActivate:
 		s.Activate(r.Sentence, r.At)
@@ -74,9 +84,9 @@ func (s *SAS) Replay(r Record) {
 	case RecSpan:
 		s.RecordSpan(r.Sentence, r.From, r.At, r.Dur)
 	}
-	s.mu.Lock()
+	s.structMu.Lock()
 	s.replaying--
-	s.mu.Unlock()
+	s.structMu.Unlock()
 }
 
 // QuestionSnap is the measurement state of one question inside a State.
@@ -103,14 +113,16 @@ type State struct {
 // sentences (link-held entries are excluded — their links resync them)
 // and per-question results, both in deterministic order.
 func (s *SAS) ExportState() State {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := State{Node: s.node, Stats: s.stats}
-	for _, e := range s.active {
-		if e.origin != nil {
-			continue
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	st := State{Node: s.node, Stats: s.statsSnapshot()}
+	for i := range s.shards {
+		for _, e := range s.shards[i].list {
+			if e.origin != nil {
+				continue
+			}
+			st.Active = append(st.Active, ActiveSentence{Sentence: *e.sentence, Since: e.since, Depth: e.depth})
 		}
-		st.Active = append(st.Active, ActiveSentence{Sentence: e.sentence, Since: e.since, Depth: e.depth})
 	}
 	sort.Slice(st.Active, func(i, j int) bool {
 		return st.Active[i].Sentence.Key() < st.Active[j].Sentence.Key()
@@ -134,18 +146,53 @@ func (s *SAS) ExportState() State {
 	return st
 }
 
+// clearShards empties the active set in place. Callers hold structMu in
+// write mode (the shard locks themselves must not be copied or replaced).
+func (s *SAS) clearShards() {
+	for i := range s.shards {
+		s.shards[i].byH = nil
+		s.shards[i].list = nil
+		s.shards[i].notif = 0
+		s.shards[i].stored = 0
+	}
+}
+
+// recountQuestions re-derives every question's per-term match counts from
+// the current active set, after a wholesale replacement of the entries.
+// Called with structMu in write mode; gate flags are not touched (the
+// caller restores them from its snapshot).
+func (s *SAS) recountQuestions() {
+	for _, st := range s.questions {
+		for i := range st.counts {
+			st.counts[i] = 0
+		}
+		for i := range s.shards {
+			for _, e := range s.shards[i].list {
+				for j := range st.all {
+					if st.all[j].matches(e.sentence) {
+						st.counts[j]++
+					}
+				}
+			}
+		}
+	}
+}
+
 // RestoreState overwrites the SAS's active set and question results from
 // a snapshot. Questions must already be registered (Reset re-registers
 // them); snapshots of questions the SAS no longer knows are dropped.
 // Watch callbacks fire with each question's restored gate state so
 // externally mirrored flags resynchronise.
 func (s *SAS) RestoreState(st State) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.active = make(map[string]*entry)
-	for _, a := range st.Active {
-		s.active[a.Sentence.Key()] = &entry{sentence: a.Sentence, since: a.Since, depth: a.Depth}
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	s.clearShards()
+	for i := range st.Active {
+		a := &st.Active[i]
+		sn := nv.InternedPtr(&a.Sentence)
+		s.shardOf(sn).insert(sn, a.Since, a.Depth, nil)
 	}
+	s.recountQuestions()
 	for _, qs := range st.Questions {
 		q, ok := s.questions[qs.ID]
 		if !ok {
@@ -160,7 +207,7 @@ func (s *SAS) RestoreState(st State) {
 			q.watch(q.satisfied, qs.Since)
 		}
 	}
-	s.stats = st.Stats
+	s.stats.restore(st.Stats)
 }
 
 // Reset wipes the SAS in place — the fail-stop rebirth. The active set,
@@ -171,14 +218,15 @@ func (s *SAS) RestoreState(st State) {
 // valid). Incoming ReliableLink traffic sees a fresh receiver and
 // converges via its gap/resync protocol.
 func (s *SAS) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.active = make(map[string]*entry)
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	s.clearShards()
 	s.questions = make(map[QuestionID]*questionState)
-	s.byVerb = make(map[nv.VerbID][]QuestionID)
+	s.byVerb = make(map[nv.VerbHandle][]QuestionID)
+	s.byNoun = make(map[nv.NounHandle][]QuestionID)
 	s.wildcardQ = nil
 	s.nextID = 0
-	s.stats = Stats{}
+	s.stats.restore(Stats{})
 	s.links = nil
 }
 

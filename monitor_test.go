@@ -7,7 +7,7 @@ import (
 )
 
 func TestMonitorAskTextQuestions(t *testing.T) {
-	s, err := NewSession(hpfProgram, Config{Nodes: 4, SourceFile: "hpf.fcm"})
+	s, err := NewSession(hpfProgram, WithNodes(4), WithSourceFile("hpf.fcm"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestMonitorAskTextQuestions(t *testing.T) {
 }
 
 func TestMonitorAskValidation(t *testing.T) {
-	s, err := NewSession(hpfProgram, Config{Nodes: 2})
+	s, err := NewSession(hpfProgram, WithNodes(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestMonitorAskValidation(t *testing.T) {
 }
 
 func TestMonitorSnapshotWhen(t *testing.T) {
-	s, err := NewSession(hpfProgram, Config{Nodes: 4})
+	s, err := NewSession(hpfProgram, WithNodes(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestMonitorSnapshotWhen(t *testing.T) {
 
 func TestMonitorStatsAndFiltering(t *testing.T) {
 	run := func(filter bool) sas.Stats {
-		s, err := NewSession(hpfProgram, Config{Nodes: 4})
+		s, err := NewSession(hpfProgram, WithNodes(4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func TestMonitorStatsAndFiltering(t *testing.T) {
 }
 
 func TestMonitorOrderedQuestionText(t *testing.T) {
-	s, err := NewSession(hpfProgram, Config{Nodes: 4})
+	s, err := NewSession(hpfProgram, WithNodes(4))
 	if err != nil {
 		t.Fatal(err)
 	}

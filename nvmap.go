@@ -14,7 +14,7 @@
 // (package mdl). The Set of Active Sentences (package sas) answers
 // cross-level performance questions.
 //
-//	s, err := nvmap.NewSession(source, nvmap.Config{Nodes: 8})
+//	s, err := nvmap.NewSession(source, nvmap.WithNodes(8))
 //	em, err := s.Tool.EnableMetric("summation_time", paradyn.WholeProgram())
 //	report, err := s.Run()
 //	fmt.Println(em.Value(s.Now()))
@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"nvmap/internal/cmf"
 	"nvmap/internal/cmrts"
@@ -88,11 +89,66 @@ type Session struct {
 	crashFinal bool
 }
 
+// compileCache memoizes compilation and static-mapping generation per
+// (source, options). Both products are immutable once built — the
+// executor, the tool and PIFText only read them — so sessions over the
+// same program share one compile. Bounded: a pathological stream of
+// distinct sources resets the table rather than growing it.
+var compileCache struct {
+	sync.Mutex
+	m map[compileKey]compiledProgram
+}
+
+type compileKey struct {
+	source     string
+	fuse       bool
+	sourceFile string
+}
+
+type compiledProgram struct {
+	cp *cmf.Compiled
+	pf *pif.File
+}
+
+func compileCached(source string, opts cmf.Options) (*cmf.Compiled, *pif.File, error) {
+	key := compileKey{source, opts.Fuse, opts.SourceFile}
+	compileCache.Lock()
+	c, ok := compileCache.m[key]
+	compileCache.Unlock()
+	if ok {
+		return c.cp, c.pf, nil
+	}
+	cp, err := cmf.CompileSource(source, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	pf, err := pifgen.FromListing(strings.NewReader(cp.Listing()))
+	if err != nil {
+		return nil, nil, err
+	}
+	compileCache.Lock()
+	if compileCache.m == nil || len(compileCache.m) >= 64 {
+		compileCache.m = make(map[compileKey]compiledProgram)
+	}
+	compileCache.m[key] = compiledProgram{cp, pf}
+	compileCache.Unlock()
+	return cp, pf, nil
+}
+
 // NewSession compiles source, generates its static mapping information,
 // and builds the simulated machine, runtime and tool around it. The
 // session has not executed yet: enable metrics and instrumentation, then
-// call Run.
-func NewSession(source string, cfg Config) (*Session, error) {
+// call Run. Configuration is by functional options; a fully-populated
+// Config can be adopted with WithConfig.
+func NewSession(source string, opts ...Option) (*Session, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return newSession(source, cfg)
+}
+
+func newSession(source string, cfg Config) (*Session, error) {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 8
 	}
@@ -123,11 +179,7 @@ func NewSession(source string, cfg Config) (*Session, error) {
 		return nil, err
 	}
 
-	cp, err := cmf.CompileSource(source, cmf.Options{Fuse: cfg.Fuse, SourceFile: cfg.SourceFile})
-	if err != nil {
-		return nil, err
-	}
-	pf, err := pifgen.FromListing(strings.NewReader(cp.Listing()))
+	cp, pf, err := compileCached(source, cmf.Options{Fuse: cfg.Fuse, SourceFile: cfg.SourceFile})
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +264,42 @@ func (s *Session) PIFText() (string, error) {
 	return b.String(), nil
 }
 
+// MetricRows reads a set of enabled metrics into display rows at the
+// session's current instant.
+func (s *Session) MetricRows(ems []*paradyn.EnabledMetric) []paradyn.Row {
+	return MetricRows(ems, s.Now())
+}
+
+// RunMetrics enables the named metrics at the whole-program focus, runs
+// the program to completion, and returns the final values keyed by
+// metric ID together with the run's degradation report. It is the
+// session-level form of RunWithMetrics for callers that need the session
+// configured first (or the report afterwards).
+func (s *Session) RunMetrics(ids ...string) (map[string]float64, *DegradationReport, error) {
+	ems := make(map[string]*paradyn.EnabledMetric, len(ids))
+	for _, id := range ids {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			return nil, nil, fmt.Errorf("nvmap: %w", err)
+		}
+		ems[id] = em
+	}
+	report, err := s.Run()
+	if err != nil {
+		return nil, report, err
+	}
+	now := s.Now()
+	out := make(map[string]float64, len(ems))
+	for id, em := range ems {
+		out[id] = em.Value(now)
+	}
+	return out, report, nil
+}
+
 // MetricRows reads a set of enabled metrics into display rows.
+//
+// Deprecated: use Session.MetricRows, which supplies the session's own
+// clock reading.
 func MetricRows(ems []*paradyn.EnabledMetric, now vtime.Time) []paradyn.Row {
 	rows := make([]paradyn.Row, 0, len(ems))
 	for _, em := range ems {
@@ -232,25 +319,10 @@ func MetricRows(ems []*paradyn.EnabledMetric, now vtime.Time) []paradyn.Row {
 // named metrics at the whole-program focus, run, and return the final
 // values keyed by metric ID.
 func RunWithMetrics(source string, cfg Config, metricIDs ...string) (map[string]float64, error) {
-	s, err := NewSession(source, cfg)
+	s, err := NewSession(source, WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	ems := make(map[string]*paradyn.EnabledMetric, len(metricIDs))
-	for _, id := range metricIDs {
-		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
-		if err != nil {
-			return nil, fmt.Errorf("nvmap: %w", err)
-		}
-		ems[id] = em
-	}
-	if _, err := s.Run(); err != nil {
-		return nil, err
-	}
-	now := s.Now()
-	out := make(map[string]float64, len(ems))
-	for id, em := range ems {
-		out[id] = em.Value(now)
-	}
-	return out, nil
+	out, _, err := s.RunMetrics(metricIDs...)
+	return out, err
 }

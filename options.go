@@ -1,0 +1,81 @@
+package nvmap
+
+import (
+	"io"
+
+	"nvmap/internal/dyninst"
+	"nvmap/internal/fault"
+	"nvmap/internal/machine"
+	"nvmap/internal/vtime"
+)
+
+// Option configures a Session under construction. Options are applied in
+// order to a zero Config, so later options override earlier ones; the
+// defaults (8 nodes, default cost models, no faults) are whatever a zero
+// Config means. Config remains the full-struct form — WithConfig adopts
+// one wholesale, which is also the migration path for existing callers:
+//
+//	s, err := nvmap.NewSession(source, nvmap.WithNodes(4), nvmap.WithFuse())
+//	s, err := nvmap.NewSession(source, nvmap.WithConfig(legacyCfg))
+type Option func(*Config)
+
+// WithConfig replaces the whole configuration with cfg. Options after it
+// modify cfg; options before it are discarded.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithNodes sets the partition size.
+func WithNodes(n int) Option {
+	return func(c *Config) { c.Nodes = n }
+}
+
+// WithMachine overrides the machine cost model. The node count still
+// comes from WithNodes (or its default).
+func WithMachine(mc machine.Config) Option {
+	return func(c *Config) { c.Machine = &mc }
+}
+
+// WithFuse enables the compiler's fusion of adjacent elementwise
+// statements (producing one-to-many mappings).
+func WithFuse() Option {
+	return func(c *Config) { c.Fuse = true }
+}
+
+// WithSourceFile names the program in listings and descriptions.
+func WithSourceFile(name string) Option {
+	return func(c *Config) { c.SourceFile = name }
+}
+
+// WithOutput directs PRINT output to w.
+func WithOutput(w io.Writer) Option {
+	return func(c *Config) { c.Output = w }
+}
+
+// WithInstCosts overrides the instrumentation perturbation model.
+func WithInstCosts(cm dyninst.CostModel) Option {
+	return func(c *Config) { c.InstCosts = &cm }
+}
+
+// WithSampleEvery overrides the tool's histogram sampling interval.
+func WithSampleEvery(d vtime.Duration) Option {
+	return func(c *Config) { c.SampleEvery = d }
+}
+
+// WithNoPerturbation disconnects instrumentation overhead from the node
+// clocks (for experiments isolating application cost).
+func WithNoPerturbation() Option {
+	return func(c *Config) { c.NoPerturbation = true }
+}
+
+// WithFaults injects a deterministic fault plan into the run. See
+// Config.Faults.
+func WithFaults(p *fault.Plan) Option {
+	return func(c *Config) { c.Faults = p }
+}
+
+// WithRecovery tunes the crash-recovery machinery. It takes effect only
+// when the fault plan schedules crashes.
+func WithRecovery(rc RecoveryConfig) Option {
+	return func(c *Config) { c.Recovery = rc }
+}

@@ -21,7 +21,7 @@ END
 
 func TestSessionEndToEnd(t *testing.T) {
 	var out strings.Builder
-	s, err := NewSession(sessionProgram, Config{Nodes: 4, SourceFile: "demo.fcm", Output: &out})
+	s, err := NewSession(sessionProgram, WithNodes(4), WithSourceFile("demo.fcm"), WithOutput(&out))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestSessionEndToEnd(t *testing.T) {
 }
 
 func TestSessionDefaults(t *testing.T) {
-	s, err := NewSession(sessionProgram, Config{})
+	s, err := NewSession(sessionProgram)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,14 +62,14 @@ func TestSessionDefaults(t *testing.T) {
 func TestSessionCustomMachine(t *testing.T) {
 	cfg := machine.DefaultConfig(0) // Nodes overridden by Config.Nodes
 	cfg.MessageLatency = 100 * vtime.Microsecond
-	s, err := NewSession(sessionProgram, Config{Nodes: 2, Machine: &cfg})
+	s, err := NewSession(sessionProgram, WithNodes(2), WithMachine(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Machine.Config().MessageLatency != 100*vtime.Microsecond {
 		t.Fatal("machine override ignored")
 	}
-	fast, err := NewSession(sessionProgram, Config{Nodes: 2})
+	fast, err := NewSession(sessionProgram, WithNodes(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,13 +85,13 @@ func TestSessionCustomMachine(t *testing.T) {
 }
 
 func TestSessionCompileErrorSurfaces(t *testing.T) {
-	if _, err := NewSession("PROGRAM bad\nX = 1\nEND\n", Config{}); err == nil {
+	if _, err := NewSession("PROGRAM bad\nX = 1\nEND\n"); err == nil {
 		t.Fatal("compile error swallowed")
 	}
 }
 
 func TestSessionListingAndPIF(t *testing.T) {
-	s, err := NewSession(sessionProgram, Config{Nodes: 2, SourceFile: "demo.fcm"})
+	s, err := NewSession(sessionProgram, WithNodes(2), WithSourceFile("demo.fcm"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,14 +110,14 @@ func TestSessionListingAndPIF(t *testing.T) {
 }
 
 func TestSessionNoPerturbation(t *testing.T) {
-	s, err := NewSession(sessionProgram, Config{Nodes: 2, NoPerturbation: true})
+	s, err := NewSession(sessionProgram, WithNodes(2), WithNoPerturbation())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Tool.EnableMetric("computations", paradyn.WholeProgram()); err != nil {
 		t.Fatal(err)
 	}
-	base, err := NewSession(sessionProgram, Config{Nodes: 2})
+	base, err := NewSession(sessionProgram, WithNodes(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestRunWithMetrics(t *testing.T) {
 }
 
 func TestMetricRows(t *testing.T) {
-	s, err := NewSession(sessionProgram, Config{Nodes: 2})
+	s, err := NewSession(sessionProgram, WithNodes(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestMetricRows(t *testing.T) {
 
 func TestSessionDeterminism(t *testing.T) {
 	run := func() vtime.Time {
-		s, err := NewSession(sessionProgram, Config{Nodes: 4})
+		s, err := NewSession(sessionProgram, WithNodes(4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +189,7 @@ func TestSessionDeterminism(t *testing.T) {
 }
 
 func TestSessionTrace(t *testing.T) {
-	s, err := NewSession(sessionProgram, Config{Nodes: 4})
+	s, err := NewSession(sessionProgram, WithNodes(4))
 	if err != nil {
 		t.Fatal(err)
 	}
