@@ -4,7 +4,13 @@
 BENCH ?= Fig5SASSnapshot|Fig6Questions|SASShared
 GATE  ?= SAS|Questions
 
-.PHONY: build test race bench bench-rebase
+# Parallel-engine scaling benchmarks (PR 4). BENCH_PR4.json records the
+# per-worker-count medians; the numbers are machine-of-record specific —
+# on a single-CPU host all worker counts collapse to sequential speed.
+BENCH_PAR ?= ParallelFig6|SampleAllParallel
+GATE_PAR  ?= ParallelFig6/nodes=32/workers=1
+
+.PHONY: build test race bench bench-rebase bench-par bench-par-rebase
 
 build:
 	go build ./...
@@ -24,3 +30,13 @@ bench:
 bench-rebase:
 	go test -run '^$$' -bench '$(BENCH)' -benchmem -count=5 . | \
 		go run ./cmd/benchdiff -out BENCH_PR3.json -check '$(GATE)' -rebase
+
+# Worker-pool scaling: only the workers=1 (sequential-engine) case is
+# regression-gated; multi-worker wall-clock depends on host core count.
+bench-par:
+	go test -run '^$$' -bench '$(BENCH_PAR)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR4.json -check '$(GATE_PAR)'
+
+bench-par-rebase:
+	go test -run '^$$' -bench '$(BENCH_PAR)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR4.json -check '$(GATE_PAR)' -rebase

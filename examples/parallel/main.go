@@ -1,0 +1,106 @@
+// Parallel: the deterministic parallel execution engine. The same
+// 32-node workload runs twice — once entirely on the caller goroutine
+// (workers=1, the sequential engine) and once on an 8-worker pool —
+// and the program asserts that every metric row, the virtual elapsed
+// time and the event count are identical. Workers trade host threads
+// for wall-clock; they never change what the tool measures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvmap"
+	"nvmap/internal/machine"
+	"nvmap/internal/paradyn"
+)
+
+// 32768-element arrays on 32 nodes: each node-local region is big
+// enough for the machine to schedule it on the worker pool.
+const program = `PROGRAM bigvec
+REAL A(32768)
+REAL B(32768)
+REAL S
+REAL T
+FORALL (I = 1:32768) A(I) = 32769 - I
+B = 1.0
+B = A * 2.0 + B
+S = SUM(A)
+T = MAXVAL(B)
+A = CSHIFT(A, 5)
+B = B + A
+S = SUM(B)
+END
+`
+
+var metricIDs = []string{
+	"computations", "computation_time", "summation_time",
+	"point_to_point_ops", "idle_time",
+}
+
+type run struct {
+	rows    []paradyn.Row
+	elapsed string
+	events  int
+	regions int
+}
+
+func runOnce(workers int) run {
+	s, err := nvmap.NewSession(program,
+		nvmap.WithNodes(32),
+		nvmap.WithWorkers(workers),
+		nvmap.WithSourceFile("bigvec.fcm"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := 0
+	s.Machine.Observe(func(machine.Event) { events++ })
+	var enabled []*paradyn.EnabledMetric
+	for _, id := range metricIDs {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			log.Fatal(err)
+		}
+		enabled = append(enabled, em)
+	}
+	if _, err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return run{
+		rows:    s.MetricRows(enabled),
+		elapsed: s.Elapsed().String(),
+		events:  events,
+		regions: s.Machine.ParallelRegions(),
+	}
+}
+
+func main() {
+	seq := runOnce(1)
+	par := runOnce(8)
+
+	fmt.Printf("=== workers=1 (sequential engine) ===\n")
+	fmt.Printf("virtual elapsed %s, %d machine events, %d parallel regions\n\n",
+		seq.elapsed, seq.events, seq.regions)
+	fmt.Print(paradyn.Table("whole-program metrics", seq.rows))
+
+	fmt.Printf("\n=== workers=8 (worker pool) ===\n")
+	fmt.Printf("virtual elapsed %s, %d machine events, %d parallel regions\n\n",
+		par.elapsed, par.events, par.regions)
+	fmt.Print(paradyn.Table("whole-program metrics", par.rows))
+
+	if par.regions == 0 {
+		log.Fatal("workers=8 never engaged the parallel engine")
+	}
+	identical := seq.elapsed == par.elapsed && seq.events == par.events &&
+		len(seq.rows) == len(par.rows)
+	for i := range seq.rows {
+		if !identical || seq.rows[i] != par.rows[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("\nmetric rows identical across worker counts: %v\n", identical)
+	if !identical {
+		log.Fatal("worker count changed observable output")
+	}
+}

@@ -28,6 +28,11 @@ func TestExamplesSmoke(t *testing.T) {
 			"supervisor's belief about node 2: dead",
 			"report identical: true",
 		}},
+		{"./examples/parallel", []string{
+			"=== workers=1 (sequential engine) ===",
+			"=== workers=8 (worker pool) ===",
+			"metric rows identical across worker counts: true",
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -89,7 +89,7 @@ type Monitor struct {
 func wireSAS(s *Session, filter bool) *Monitor {
 	w := &Monitor{
 		session:   s,
-		Reg:       sas.NewRegistry(sas.Options{Filter: filter}),
+		Reg:       sas.NewRegistry(sas.Options{Filter: filter, Workers: s.Machine.Workers()}),
 		Model:     nv.NewRegistry(),
 		sendStart: make([]vtime.Time, s.Machine.Nodes()),
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"nvmap/internal/par"
 )
 
 // Experiment is one reproducible artefact of the paper: a figure, a
@@ -51,15 +53,27 @@ func RunExperiment(id string) (string, error) {
 	return "", fmt.Errorf("nvmap: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
 }
 
-// RunAllExperiments concatenates every experiment's report.
+// RunAllExperiments concatenates every experiment's report. Each
+// experiment builds its own sessions over its own machine, so the
+// drivers run concurrently on a worker pool (the compile cache and the
+// vocabulary interner are the only shared state, and both are
+// thread-safe); the reports are assembled in presentation order, so the
+// output is identical to running them one by one. Errors keep the
+// sequential contract: the first failing experiment in presentation
+// order is reported.
 func RunAllExperiments() (string, error) {
+	exps := Experiments()
+	outs := make([]string, len(exps))
+	errs := make([]error, len(exps))
+	par.New(0).Do(len(exps), func(i int) {
+		outs[i], errs[i] = exps[i].Run()
+	})
 	var b strings.Builder
-	for _, e := range Experiments() {
-		out, err := e.Run()
-		if err != nil {
-			return "", fmt.Errorf("nvmap: experiment %s: %w", e.ID, err)
+	for i, e := range exps {
+		if errs[i] != nil {
+			return "", fmt.Errorf("nvmap: experiment %s: %w", e.ID, errs[i])
 		}
-		fmt.Fprintf(&b, "==== %s — %s ====\n\n%s\n", e.ID, e.Title, out)
+		fmt.Fprintf(&b, "==== %s — %s ====\n\n%s\n", e.ID, e.Title, outs[i])
 	}
 	return b.String(), nil
 }

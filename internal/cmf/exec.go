@@ -210,10 +210,11 @@ func (e *Executor) execCompute(st *Assign, tag string) error {
 	if len(leaves) == 0 {
 		return e.rt.Fill(dst, eval(nil, 0), tag)
 	}
-	vals := make([]float64, len(leaves))
+	// The evaluator reads in (never retains or mutates it), so the
+	// runtime's per-node gather slice is used directly: sections of the
+	// Elementwise may run on concurrent workers.
 	return e.rt.Elementwise(tag, dst, leaves, flops, func(in []float64) float64 {
-		copy(vals, in)
-		return eval(vals, 0)
+		return eval(in, 0)
 	})
 }
 
@@ -242,13 +243,11 @@ func (e *Executor) execWhere(st *Where, tag string) error {
 	if err != nil {
 		return err
 	}
-	vals := make([]float64, len(leaves))
 	return e.rt.Elementwise(tag, dst, leaves, fl1+fl2+fl3+1, func(in []float64) float64 {
-		copy(vals, in)
-		if cmp(condL(vals, 0), condR(vals, 0)) {
-			return rhs(vals, 0)
+		if cmp(condL(in, 0), condR(in, 0)) {
+			return rhs(in, 0)
 		}
-		return vals[oldSlot]
+		return in[oldSlot]
 	})
 }
 

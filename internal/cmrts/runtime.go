@@ -161,6 +161,16 @@ func (rt *Runtime) Arrays() []*Array {
 // nodes is a shorthand.
 func (rt *Runtime) nodes() int { return rt.mach.Nodes() }
 
+// parallelNodes runs a node-local loop body on the machine's parallel
+// engine. work is the caller's cost hint — total elemental operations
+// across the partition; small regions, crash schedules and stall plans
+// run the plain sequential loop (see machine.ParallelNodes). The body
+// must confine itself to node n's chunk, clock and stats: fire no
+// instrumentation points and issue no sends inside it.
+func (rt *Runtime) parallelNodes(work int, f func(node int)) {
+	rt.mach.ParallelNodes(work, f)
+}
+
 // fireSpan wraps per-node entry/exit point firing around f, which must
 // advance node clocks itself. Each span is an operation boundary: pending
 // fail-stop crashes are enacted before the entry points fire, so a
@@ -234,11 +244,11 @@ func (rt *Runtime) Allocate(name string, shape []int) (*Array, error) {
 		chunks:  make([][]float64, rt.nodes()),
 	}
 	rt.fireSpan(RoutineAlloc, name, []string{string(id), name}, func() {
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(size, func(n int) {
 			local := offsets[n+1] - offsets[n]
 			a.chunks[n] = make([]float64, local)
 			rt.mach.AdvanceNode(n, rt.costs.AllocPerElem.Scale(local))
-		}
+		})
 	})
 	rt.arrays[id] = a
 	rt.order = append(rt.order, id)
@@ -300,12 +310,12 @@ func (rt *Runtime) Fill(a *Array, v float64, tag string) error {
 	}
 	rt.BroadcastScalar(v, tag)
 	rt.fireSpan(RoutineCompute, tag, []string{string(a.ID)}, func() {
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(a.Size(), func(n int) {
 			for i := range a.chunks[n] {
 				a.chunks[n][i] = v
 			}
 			rt.mach.Compute(n, len(a.chunks[n]), tag)
-		}
+		})
 	})
 	return nil
 }
@@ -314,6 +324,8 @@ func (rt *Runtime) Fill(a *Array, v float64, tag string) error {
 // node's local section. flops scales the per-element cost (a
 // multiply-add is ~2). All operands must be conformable and identically
 // distributed, which holds for arrays of equal size in this runtime.
+// Node sections may run on the machine's worker pool, so fn must be a
+// pure function of its arguments (no shared mutable state).
 func (rt *Runtime) Elementwise(tag string, dst *Array, srcs []*Array, flops int, fn func(vals []float64) float64) error {
 	if err := checkLive(append([]*Array{dst}, srcs...)...); err != nil {
 		return err
@@ -329,8 +341,9 @@ func (rt *Runtime) Elementwise(tag string, dst *Array, srcs []*Array, flops int,
 		args = append(args, string(s.ID))
 	}
 	rt.fireSpan(RoutineCompute, tag, args, func() {
-		vals := make([]float64, len(srcs))
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(dst.Size()*flops, func(n int) {
+			// The scratch vector is per node: workers must not share it.
+			vals := make([]float64, len(srcs))
 			for i := range dst.chunks[n] {
 				for k, s := range srcs {
 					vals[k] = s.chunks[n][i]
@@ -338,13 +351,14 @@ func (rt *Runtime) Elementwise(tag string, dst *Array, srcs []*Array, flops int,
 				dst.chunks[n][i] = fn(vals)
 			}
 			rt.mach.Compute(n, len(dst.chunks[n])*flops, tag)
-		}
+		})
 	})
 	return nil
 }
 
 // ElementwiseIndexed computes dst[i] = fn(i) over flat indices; used for
-// FORALL statements whose right-hand side depends on the index.
+// FORALL statements whose right-hand side depends on the index. Like
+// Elementwise, fn must be pure: sections may run concurrently.
 func (rt *Runtime) ElementwiseIndexed(tag string, dst *Array, flops int, fn func(flat int) float64) error {
 	if err := checkLive(dst); err != nil {
 		return err
@@ -353,13 +367,13 @@ func (rt *Runtime) ElementwiseIndexed(tag string, dst *Array, flops int, fn func
 		flops = 1
 	}
 	rt.fireSpan(RoutineCompute, tag, []string{string(dst.ID)}, func() {
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(dst.Size()*flops, func(n int) {
 			base := dst.offsets[n]
 			for i := range dst.chunks[n] {
 				dst.chunks[n][i] = fn(base + i)
 			}
 			rt.mach.Compute(n, len(dst.chunks[n])*flops, tag)
-		}
+		})
 	})
 	return nil
 }
@@ -377,17 +391,20 @@ func (rt *Runtime) Reduce(a *Array, op ReduceOp, tag string) (float64, error) {
 	partial := make([]float64, rt.nodes())
 	routine := op.Routine()
 	rt.fireSpan(routine, tag, []string{string(a.ID)}, func() {
-		for n := 0; n < rt.nodes(); n++ {
+		// Local phase: each node reduces its own section (slot n of
+		// partial), eligible for the worker pool. The combining tree below
+		// sends messages, so it stays sequential.
+		rt.parallelNodes(a.Size(), func(n int) {
 			// A permanently dead node contributes the operator identity:
 			// the reduction honestly combines the survivors only (the tool
 			// annotates the answer as partial).
 			if !rt.mach.Alive(n) {
 				partial[n] = identity(op)
-				continue
+				return
 			}
 			partial[n] = localReduce(a.chunks[n], op)
 			rt.mach.Compute(n, len(a.chunks[n]), tag)
-		}
+		})
 		for stride := 1; stride < rt.nodes(); stride *= 2 {
 			for lo := 0; lo+stride < rt.nodes(); lo += 2 * stride {
 				rt.send(lo+stride, lo, elemBytes, tag)
@@ -467,9 +484,9 @@ func (rt *Runtime) DotProduct(a, b *Array, tag string) (float64, error) {
 	}
 	partial := make([]float64, rt.nodes())
 	rt.fireSpan(RoutineReduceSum, tag, []string{string(a.ID), string(b.ID)}, func() {
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(2*a.Size(), func(n int) {
 			if !rt.mach.Alive(n) {
-				continue
+				return
 			}
 			var s float64
 			for i, av := range a.chunks[n] {
@@ -477,7 +494,7 @@ func (rt *Runtime) DotProduct(a, b *Array, tag string) (float64, error) {
 			}
 			partial[n] = s
 			rt.mach.Compute(n, 2*len(a.chunks[n]), tag)
-		}
+		})
 		for stride := 1; stride < rt.nodes(); stride *= 2 {
 			for lo := 0; lo+stride < rt.nodes(); lo += 2 * stride {
 				rt.send(lo+stride, lo, elemBytes, tag)
@@ -530,9 +547,9 @@ func (rt *Runtime) Rotate(a *Array, offset int, tag string) error {
 	off := ((offset % size) + size) % size
 	rt.fireSpan(RoutineRotate, tag, []string{string(a.ID)}, func() {
 		rt.redistribute(a, func(i int) int { return (i + off) % size }, tag)
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(size, func(n int) {
 			rt.mach.Compute(n, len(a.chunks[n]), tag)
-		}
+		})
 	})
 	return nil
 }
@@ -579,9 +596,9 @@ func (rt *Runtime) Shift(a *Array, offset int, fill float64, tag string) error {
 		for i, v := range next {
 			a.setAt(i, v)
 		}
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(size, func(n int) {
 			rt.mach.Compute(n, len(a.chunks[n]), tag)
-		}
+		})
 	})
 	return nil
 }
@@ -602,9 +619,9 @@ func (rt *Runtime) Transpose(a *Array, tag string) error {
 			return c*rows + r
 		}
 		rt.redistribute(a, perm, tag)
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(rows*cols, func(n int) {
 			rt.mach.Compute(n, len(a.chunks[n]), tag)
-		}
+		})
 	})
 	a.Shape[0], a.Shape[1] = cols, rows
 	return nil
@@ -663,11 +680,11 @@ func (rt *Runtime) Sort(a *Array, tag string) error {
 		for r, i := range idx {
 			rank[i] = r
 		}
-		for n := 0; n < rt.nodes(); n++ {
+		rt.parallelNodes(len(old)*rt.costs.SortFactor, func(n int) {
 			local := len(a.chunks[n])
 			cost := local * rt.costs.SortFactor * log2ceil(local)
 			rt.mach.Compute(n, cost, tag)
-		}
+		})
 		rt.redistribute(a, func(i int) int { return rank[i] }, tag)
 	})
 	return nil

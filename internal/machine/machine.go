@@ -20,8 +20,10 @@ package machine
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 
 	"nvmap/internal/fault"
+	"nvmap/internal/par"
 	"nvmap/internal/vtime"
 )
 
@@ -46,6 +48,12 @@ type Config struct {
 	// TreeStep is the per-level cost of combining/broadcast trees used by
 	// reductions, broadcasts and barriers on the control network.
 	TreeStep vtime.Duration
+	// Workers bounds the worker pool available to parallel node regions
+	// (see ParallelNodes): 0 selects GOMAXPROCS, 1 runs every region on
+	// the caller goroutine — the sequential engine. The worker count
+	// never changes any observable output; it only changes which host
+	// threads do the work.
+	Workers int
 }
 
 // DefaultConfig returns a cost model loosely shaped like a CM-5 partition:
@@ -168,6 +176,19 @@ type Machine struct {
 	crash     *crashState
 	onCrash   []func(node int, at vtime.Time)
 	onRestart []func(node int, at vtime.Time)
+
+	// Parallel node regions (see parallel.go). workers is the resolved
+	// pool width; pool materialises on the first parallel region. region
+	// is non-nil exactly while ParallelNodes runs worker goroutines —
+	// during that window emit buffers per node instead of calling
+	// observers. replay overrides GlobalNow while the region's buffered
+	// events are flushed, reconstructing the clock a sequential run
+	// would have shown each observer.
+	workers int
+	pool    *par.Pool
+	region  *regionState
+	replay  replayClock
+	regions int
 }
 
 // New builds a machine from the config.
@@ -179,10 +200,18 @@ func New(cfg Config) (*Machine, error) {
 		cfg.SendOverhead < 0 || cfg.DispatchLatency < 0 || cfg.TreeStep < 0 {
 		return nil, fmt.Errorf("machine: negative cost in config %+v", cfg)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("machine: negative worker count %d", cfg.Workers)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Machine{
 		cfg:       cfg,
 		nodeClock: make([]vtime.Time, cfg.Nodes),
 		stats:     make([]NodeStats, cfg.Nodes),
+		workers:   workers,
 	}, nil
 }
 
@@ -192,8 +221,25 @@ func (m *Machine) Config() Config { return m.cfg }
 // Nodes returns the partition size.
 func (m *Machine) Nodes() int { return m.cfg.Nodes }
 
-// Observe registers an observer for all subsequent events.
-func (m *Machine) Observe(o Observer) { m.observers = append(m.observers, o) }
+// Workers returns the resolved worker-pool width (1 = sequential
+// engine). It is a property of the machine, not of the host: a machine
+// configured with 8 workers runs 8 workers on any core count.
+func (m *Machine) Workers() int { return m.workers }
+
+// Observe registers an observer for all subsequent events. Registration
+// is not synchronised with execution: call it from the goroutine that
+// drives the machine (normally before the run starts), never from
+// another goroutine and never from inside a ParallelNodes region — the
+// registration would race with the region's buffered emission, so it
+// panics there. Observers themselves never need to be re-entrant: even
+// under the worker pool, every observer call happens on the driving
+// goroutine, in exactly the sequential engine's event order.
+func (m *Machine) Observe(o Observer) {
+	if m.region != nil {
+		panic("machine: Observe inside a parallel node region")
+	}
+	m.observers = append(m.observers, o)
+}
 
 // SetFaults attaches a fault injector to the network and the node
 // vector units. A nil injector (the default) leaves the machine exactly
@@ -204,7 +250,18 @@ func (m *Machine) SetFaults(in *fault.Injector) { m.faults = in }
 // Faults returns the attached injector (nil when fault-free).
 func (m *Machine) Faults() *fault.Injector { return m.faults }
 
+// emit delivers an event to the observers. Inside a parallel node
+// region the event is buffered on its node instead; the region's merge
+// flush replays the buffers to the observers in node order, on the
+// driving goroutine (see parallel.go).
 func (m *Machine) emit(e Event) {
+	if r := m.region; r != nil {
+		if e.Node < 0 {
+			panic("machine: control-processor event inside a parallel node region")
+		}
+		r.buf[e.Node] = append(r.buf[e.Node], e)
+		return
+	}
 	for _, o := range m.observers {
 		o(e)
 	}
@@ -217,8 +274,15 @@ func (m *Machine) Now(node int) vtime.Time { return m.nodeClock[node] }
 func (m *Machine) CPNow() vtime.Time { return m.cpClock }
 
 // GlobalNow returns the latest clock in the system — the virtual
-// wall-clock the tool's data manager timestamps samples with.
+// wall-clock the tool's data manager timestamps samples with. While a
+// parallel region's buffered events are being flushed, it returns the
+// reconstructed sequential reading instead: the value a sequential run
+// would have computed at the matching point of its node loop, so
+// observers see identical timestamps under any worker count.
 func (m *Machine) GlobalNow() vtime.Time {
+	if m.replay.active {
+		return m.replay.now
+	}
 	t := m.cpClock
 	for _, c := range m.nodeClock {
 		if c.After(t) {
@@ -250,7 +314,10 @@ func (m *Machine) AdvanceNode(node int, d vtime.Duration) {
 }
 
 // AdvanceCP spends d on the control processor.
-func (m *Machine) AdvanceCP(d vtime.Duration) { m.cpClock = m.cpClock.Add(d) }
+func (m *Machine) AdvanceCP(d vtime.Duration) {
+	m.noRegion("AdvanceCP")
+	m.cpClock = m.cpClock.Add(d)
+}
 
 // Compute performs elems elemental operations on a node. A permanently
 // dead node computes nothing.
@@ -292,6 +359,7 @@ func (m *Machine) Compute(node, elems int, tag string) {
 // arrival instant is always the sender's expectation — a sender cannot
 // observe that the network lost its message.
 func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
+	m.noRegion("Send")
 	if !m.Engage(from) {
 		return m.nodeClock[from]
 	}
@@ -348,6 +416,7 @@ func (m *Machine) deliver(from, to, bytes int, arrival vtime.Time, tag string) {
 // It returns the per-node argument-processing spans via the emitted
 // events; the runtime layers instrumentation on top.
 func (m *Machine) Dispatch(tag string, argBytes int) {
+	m.noRegion("Dispatch")
 	cpStart := m.cpClock
 	m.cpClock = m.cpClock.Add(m.cfg.DispatchLatency)
 	arrival := m.cpClock.Add(m.cfg.TreeStep.Scale(m.treeDepth()))
@@ -373,6 +442,7 @@ func (m *Machine) Dispatch(tag string, argBytes int) {
 // Broadcast models a data broadcast from the control processor to all
 // nodes over the tree network.
 func (m *Machine) Broadcast(bytes int, tag string) {
+	m.noRegion("Broadcast")
 	cpStart := m.cpClock
 	serial := m.cfg.PerByte.Scale(bytes)
 	m.cpClock = m.cpClock.Add(m.cfg.SendOverhead + serial)
@@ -402,6 +472,7 @@ func (m *Machine) Broadcast(bytes int, tag string) {
 // contribution plus the tree traversal. Per-node reduce events cover each
 // node's participation; the CP event covers the tree completion.
 func (m *Machine) Reduce(bytes int, tag string) {
+	m.noRegion("Reduce")
 	serial := m.cfg.PerByte.Scale(bytes)
 	var slowest vtime.Time
 	for n := 0; n < m.cfg.Nodes; n++ {
@@ -430,6 +501,7 @@ func (m *Machine) Reduce(bytes int, tag string) {
 // Barrier synchronises every node (not the CP) at the latest clock plus
 // one tree traversal, accounting the wait as idle time.
 func (m *Machine) Barrier(tag string) {
+	m.noRegion("Barrier")
 	var latest vtime.Time
 	for n := 0; n < m.cfg.Nodes; n++ {
 		if !m.Engage(n) {
@@ -457,6 +529,7 @@ func (m *Machine) Barrier(tag string) {
 // WaitCPForNodes advances the control processor to the latest node clock;
 // used when the CP blocks on completion of a node code block.
 func (m *Machine) WaitCPForNodes() {
+	m.noRegion("WaitCPForNodes")
 	var latest vtime.Time
 	for _, c := range m.nodeClock {
 		if c.After(latest) {

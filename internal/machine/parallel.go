@@ -1,0 +1,176 @@
+package machine
+
+// The deterministic parallel execution engine.
+//
+// The simulator's execution alternates node-local phases (per-node
+// compute between collective points) with collective operations
+// (Dispatch/Broadcast/Reduce/Barrier/Send). The node-local phases are
+// embarrassingly parallel in the simulated machine — each node touches
+// only its own clock, its own stats row and its own data chunk — so
+// ParallelNodes runs them on a fixed worker pool, bulk-synchronous
+// style: fan out per-node work, barrier, then merge.
+//
+// Determinism is the hard constraint: the observer stream, every clock
+// reading and every fault decision must be byte-identical to the
+// sequential engine (`for n := 0..N-1 { f(n) }`). Three mechanisms
+// provide it:
+//
+//  1. Per-node event buffers. Inside a region, emit appends to the
+//     acting node's buffer instead of calling observers (observers run
+//     measurement code — the tool, the SASes, the daemon channel — that
+//     is driven single-threaded). At the region barrier the buffers are
+//     flushed in node order, which is exactly the order the sequential
+//     loop would have produced: node n emits all its region events
+//     before node n+1 emits any.
+//
+//  2. Replay clocks. An observer may read GlobalNow mid-stream (the
+//     tool timestamps histogram samples with it). At flush time every
+//     node has finished the region, so the raw maximum would run ahead
+//     of the sequential reading. The flush therefore reconstructs the
+//     sequential value per event: when the sequential loop was at node
+//     n's event e, nodes < n had finished the region (final clocks),
+//     nodes > n had not started (region-entry clocks), node n stood at
+//     e.End, and the CP clock was untouched. All region events are
+//     emitted immediately after the acting node's clock advance, so
+//     e.End *is* node n's clock at the emission point, making the
+//     reconstruction exact rather than approximate.
+//
+//  3. Serialisation gates. Two configurations make node order
+//     observable and force the sequential engine: fail-stop crash
+//     schedules (enactment appends to a shared window list and runs
+//     recovery hooks), and stall injection (Stall consumes a single
+//     shared random stream in Compute order). Slowdown factors and
+//     message faults are unaffected — slowdowns are per-node map reads
+//     with an order-independent counter, and messages only flow through
+//     collective code, which never runs inside a region.
+//
+// Collective operations panic inside a region: they read every node's
+// clock, which is exactly the cross-node dependence a region forbids.
+
+import (
+	"nvmap/internal/par"
+	"nvmap/internal/vtime"
+)
+
+// ParallelThreshold is the minimum work hint (total elemental
+// operations in the region) for ParallelNodes to engage the pool.
+// Below it the fan-out costs more than the region; the sequential
+// engine runs instead. The threshold changes scheduling only — both
+// engines produce byte-identical output.
+const ParallelThreshold = 4096
+
+// regionState buffers one region's events per acting node.
+type regionState struct {
+	buf [][]Event
+}
+
+// replayClock, when active, pins GlobalNow to the reconstructed
+// sequential reading during a region flush.
+type replayClock struct {
+	active bool
+	now    vtime.Time
+}
+
+// noRegion guards operations with cross-node dependences.
+func (m *Machine) noRegion(op string) {
+	if m.region != nil {
+		panic("machine: " + op + " inside a parallel node region (collective operations must run between regions)")
+	}
+}
+
+// ParallelNodes runs f(node) for every node of the partition,
+// equivalent in every observable way to
+//
+//	for n := 0; n < m.Nodes(); n++ { f(n) }
+//
+// but executing on the machine's worker pool when the region is big
+// enough (work is the caller's cost hint: total elemental operations
+// across all nodes) and safe to reorder. f must restrict itself to
+// node-local operations on its own node — Compute, AdvanceNode, Now,
+// and data owned by the node; collective operations and Observe panic
+// inside the region. Event emission order, clock readings, stats and
+// fault decisions are byte-identical to the sequential loop under any
+// Workers setting.
+func (m *Machine) ParallelNodes(work int, f func(node int)) {
+	n := m.cfg.Nodes
+	if !m.parallelEligible(n, work) {
+		for node := 0; node < n; node++ {
+			f(node)
+		}
+		return
+	}
+	m.runRegion(n, f)
+}
+
+// parallelEligible decides sequential fallback. Crash schedules and
+// stall plans make node order observable (see the file comment);
+// nested regions run their inner loop inline on the worker.
+func (m *Machine) parallelEligible(n, work int) bool {
+	if m.workers <= 1 || n <= 1 || work < ParallelThreshold || m.region != nil {
+		return false
+	}
+	if m.crash != nil {
+		return false
+	}
+	if m.faults != nil && m.faults.StallsPossible() {
+		return false
+	}
+	return true
+}
+
+// ParallelRegions reports how many node regions have actually run on
+// the worker pool — diagnostics for tuning Workers and the region work
+// hints, and proof in tests that a workload exercised the parallel
+// engine rather than falling back everywhere.
+func (m *Machine) ParallelRegions() int { return m.regions }
+
+// runRegion is the bulk-synchronous epoch: snapshot region-entry
+// clocks, fan the node work out, barrier, merge-flush in node order.
+func (m *Machine) runRegion(n int, f func(node int)) {
+	if m.pool == nil {
+		m.pool = par.New(m.workers)
+	}
+	m.regions++
+	start := make([]vtime.Time, n)
+	copy(start, m.nodeClock)
+	r := &regionState{buf: make([][]Event, n)}
+	// The write is published to the workers by the pool's task channel;
+	// Do's completion orders it before the reset below.
+	m.region = r
+	m.pool.Do(n, f)
+	m.region = nil
+	m.flushRegion(r, start)
+}
+
+// flushRegion replays the buffered events to the observers in node
+// order, with GlobalNow pinned to the reconstructed sequential reading
+// for each event: max(CP clock, final clocks of nodes before the acting
+// node, region-entry clocks of nodes after it, the event's own end).
+func (m *Machine) flushRegion(r *regionState, start []vtime.Time) {
+	if len(m.observers) == 0 {
+		return
+	}
+	n := len(r.buf)
+	// suffix[k] = max region-entry clock over nodes >= k.
+	suffix := make([]vtime.Time, n+1)
+	for k := n - 1; k >= 0; k-- {
+		suffix[k] = suffix[k+1].Max(start[k])
+	}
+	// ahead accumulates the CP clock and the final clocks of already
+	// flushed nodes. The CP clock cannot move during a region (AdvanceCP
+	// is collective-guarded), so reading it here is the sequential value.
+	ahead := m.cpClock
+	for node := 0; node < n; node++ {
+		if events := r.buf[node]; len(events) > 0 {
+			vis := ahead.Max(suffix[node+1])
+			for _, e := range events {
+				m.replay = replayClock{active: true, now: vis.Max(e.End)}
+				for _, o := range m.observers {
+					o(e)
+				}
+			}
+			m.replay = replayClock{}
+		}
+		ahead = ahead.Max(m.nodeClock[node])
+	}
+}

@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nvmap/internal/fault"
+	"nvmap/internal/vtime"
+)
+
+// traced is one observed event plus the clocks an observer could have
+// read while handling it — the full observable surface of the machine.
+type traced struct {
+	ev     Event
+	global vtime.Time
+	cp     vtime.Time
+}
+
+// runTracedWorkload drives one machine through a workload that mixes
+// parallel node regions with collectives and records everything an
+// observer can see.
+func runTracedWorkload(t *testing.T, workers int, plan *fault.Plan) ([]traced, []NodeStats, vtime.Time) {
+	t.Helper()
+	const nodes = 8
+	cfg := DefaultConfig(nodes)
+	cfg.Workers = workers
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		m.SetFaults(fault.NewInjector(plan))
+	}
+	var trace []traced
+	m.Observe(func(e Event) {
+		trace = append(trace, traced{ev: e, global: m.GlobalNow(), cp: m.CPNow()})
+	})
+
+	elems := 4 * ParallelThreshold / nodes
+	for step := 0; step < 3; step++ {
+		m.Dispatch("block", 64)
+		m.ParallelNodes(nodes*elems, func(n int) {
+			// Uneven work so node clocks diverge inside the region.
+			m.Compute(n, elems+n*97, "vector-op")
+			m.AdvanceNode(n, vtime.Duration(n)*vtime.Microsecond)
+			m.Compute(n, elems/2, "fixup")
+		})
+		m.Reduce(8, "partial-sum")
+		m.Barrier("sync")
+		m.WaitCPForNodes()
+	}
+
+	stats := make([]NodeStats, nodes)
+	for n := range stats {
+		stats[n] = m.Stats(n)
+	}
+	return trace, stats, m.GlobalNow()
+}
+
+// TestParallelMatchesSequential is the engine's core contract: the
+// observer stream, every clock reading and the final stats are
+// byte-identical between the sequential engine and the worker pool.
+func TestParallelMatchesSequential(t *testing.T) {
+	plans := map[string]*fault.Plan{
+		"fault-free": nil,
+		// Slowdowns and message faults keep regions parallel-eligible.
+		"slowdown": {Seed: 7, Nodes: fault.NodeFaults{Slowdown: map[int]float64{2: 1.5, 5: 2.0}}},
+		// Stalls force the sequential fallback; output must still match.
+		"stalls": {Seed: 7, Nodes: fault.NodeFaults{StallProb: 0.5, StallFor: 3 * vtime.Microsecond}},
+	}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			seqTrace, seqStats, seqNow := runTracedWorkload(t, 1, plan)
+			for _, workers := range []int{2, 4, 8} {
+				parTrace, parStats, parNow := runTracedWorkload(t, workers, plan)
+				if len(parTrace) != len(seqTrace) {
+					t.Fatalf("workers=%d: %d events, sequential has %d", workers, len(parTrace), len(seqTrace))
+				}
+				for i := range seqTrace {
+					if parTrace[i] != seqTrace[i] {
+						t.Fatalf("workers=%d: event %d differs\n  seq: %+v\n  par: %+v",
+							workers, i, seqTrace[i], parTrace[i])
+					}
+				}
+				for n := range seqStats {
+					if parStats[n] != seqStats[n] {
+						t.Fatalf("workers=%d: node %d stats differ\n  seq: %+v\n  par: %+v",
+							workers, n, seqStats[n], parStats[n])
+					}
+				}
+				if parNow != seqNow {
+					t.Fatalf("workers=%d: final GlobalNow %v, sequential %v", workers, parNow, seqNow)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayClockMatchesMidLoopReading pins the replay reconstruction
+// against a hand-run sequential loop at the finest grain: GlobalNow
+// observed at every single event of a region whose nodes have wildly
+// skewed clocks entering it.
+func TestReplayClockMatchesMidLoopReading(t *testing.T) {
+	build := func(workers int) (*Machine, *[]vtime.Time) {
+		cfg := DefaultConfig(4)
+		cfg.Workers = workers
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skew the entry clocks: node 3 is far ahead, node 0 far behind.
+		for n := 0; n < 4; n++ {
+			m.AdvanceNode(n, vtime.Duration(3-n)*vtime.Millisecond)
+		}
+		var reads []vtime.Time
+		m.Observe(func(Event) { reads = append(reads, m.GlobalNow()) })
+		return m, &reads
+	}
+	run := func(m *Machine) {
+		m.ParallelNodes(8*ParallelThreshold, func(n int) {
+			m.Compute(n, 2*ParallelThreshold+n*1000, "skewed")
+			m.Compute(n, 100, "tail")
+		})
+	}
+	seq, seqReads := build(1)
+	run(seq)
+	par, parReads := build(4)
+	run(par)
+	if len(*parReads) != len(*seqReads) || len(*seqReads) == 0 {
+		t.Fatalf("read counts: seq %d, par %d", len(*seqReads), len(*parReads))
+	}
+	for i := range *seqReads {
+		if (*parReads)[i] != (*seqReads)[i] {
+			t.Fatalf("GlobalNow at event %d: seq %v, par %v", i, (*seqReads)[i], (*parReads)[i])
+		}
+	}
+}
+
+// TestCollectiveInsideRegionPanics verifies the cross-node-dependence
+// guard: collective operations must not run inside a node region.
+func TestCollectiveInsideRegionPanics(t *testing.T) {
+	ops := map[string]func(m *Machine){
+		"Send":           func(m *Machine) { m.Send(0, 1, 8, "t") },
+		"Dispatch":       func(m *Machine) { m.Dispatch("t", 0) },
+		"Broadcast":      func(m *Machine) { m.Broadcast(8, "t") },
+		"Reduce":         func(m *Machine) { m.Reduce(8, "t") },
+		"Barrier":        func(m *Machine) { m.Barrier("t") },
+		"AdvanceCP":      func(m *Machine) { m.AdvanceCP(vtime.Microsecond) },
+		"WaitCPForNodes": func(m *Machine) { m.WaitCPForNodes() },
+		"Observe":        func(m *Machine) { m.Observe(func(Event) {}) },
+	}
+	for name, op := range ops {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig(4)
+			cfg.Workers = 4
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Observe(func(Event) {}) // observers on, so regions really buffer
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("%s inside a region did not panic", name)
+				}
+				if s, ok := v.(string); !ok || !strings.Contains(s, "region") {
+					t.Fatalf("unexpected panic value %v", v)
+				}
+			}()
+			m.ParallelNodes(8*ParallelThreshold, func(n int) {
+				if n == 2 {
+					op(m)
+				}
+				m.Compute(n, 10, "t")
+			})
+		})
+	}
+}
+
+// TestNestedRegionRunsInline: a ParallelNodes call from inside a region
+// must not re-enter the pool (that would deadlock the caller chunk on
+// the workers); it degrades to the plain loop.
+func TestNestedRegionRunsInline(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Workers = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	m.Observe(func(Event) { events++ })
+	m.ParallelNodes(8*ParallelThreshold, func(n int) {
+		if n == 1 {
+			// Inner call sees m.region != nil and runs the loop inline.
+			m.ParallelNodes(8*ParallelThreshold, func(inner int) {
+				if inner == n {
+					m.Compute(inner, 5, "nested")
+				}
+			})
+		}
+		m.Compute(n, 5, "outer")
+	})
+	if events != 5 {
+		t.Fatalf("saw %d events, want 5 (4 outer + 1 nested)", events)
+	}
+}
+
+// TestSmallRegionsStaySequential: below the work threshold the pool is
+// never materialised, so tiny benchmarked workloads pay nothing.
+func TestSmallRegionsStaySequential(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Workers = 8
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ParallelNodes(ParallelThreshold-1, func(n int) { m.Compute(n, 4, "small") })
+	if m.pool != nil {
+		t.Fatal("sub-threshold region materialised the worker pool")
+	}
+	if m.Workers() != 8 {
+		t.Fatalf("Workers() = %d", m.Workers())
+	}
+}
+
+// TestCrashSchedulesSerialise: a machine with a crash schedule must not
+// enter parallel regions (enactment mutates shared windows and runs
+// recovery hooks in node order).
+func TestCrashSchedulesSerialise(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Workers = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Kill(2)
+	m.Revive(2, m.Now(2))
+	m.ParallelNodes(100*ParallelThreshold, func(n int) { m.Compute(n, 10, "t") })
+	if m.pool != nil {
+		t.Fatal("crash-scheduled machine materialised the worker pool")
+	}
+}
+
+// TestNegativeWorkersRejected covers the config validation.
+func TestNegativeWorkersRejected(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Workers = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}
+
+func ExampleMachine_ParallelNodes() {
+	cfg := DefaultConfig(4)
+	cfg.Workers = 4
+	m, _ := New(cfg)
+	m.ParallelNodes(4*ParallelThreshold, func(n int) {
+		m.Compute(n, ParallelThreshold, "elementwise")
+	})
+	fmt.Println(m.Stats(0).ComputeOps)
+	// Output: 4096
+}

@@ -1,0 +1,136 @@
+// Package par provides the fixed-size worker pool behind every parallel
+// fan-out in the measurement stack: the machine's per-node execution
+// regions, the tool's metric sampling rounds, the SAS registry's
+// aggregate folds, and the experiment drivers. The pool is deliberately
+// dumb — deterministic index partitioning, no work stealing — because
+// every caller requires the same contract: f(i) writes only to slot i
+// (or state owned by index i), so the results are byte-identical no
+// matter how the indices interleave across workers.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// task is one contiguous index chunk submitted to the pool.
+type task struct {
+	f      func(i int)
+	lo, hi int
+	wg     *sync.WaitGroup
+	pan    *panicBox
+}
+
+// panicBox carries the first panic out of a worker so Do can re-raise it
+// on the caller's goroutine instead of killing the process from a
+// detached worker.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (b *panicBox) capture(v any) {
+	b.mu.Lock()
+	if !b.set {
+		b.val, b.set = v, true
+	}
+	b.mu.Unlock()
+}
+
+// Pool is a fixed set of persistent worker goroutines fed by a task
+// channel. The zero Workers value selects GOMAXPROCS; Workers == 1
+// builds a pool that runs everything inline on the caller — the
+// sequential engine, with no goroutines at all.
+//
+// The workers reference only the task channel, never the Pool, so an
+// abandoned Pool is collectable; a runtime cleanup closes the channel
+// and the workers exit. Do must not be re-entered from inside one of its
+// own tasks (the caller's chunk would wait on workers that are waiting
+// on the caller).
+type Pool struct {
+	workers int
+	tasks   chan task
+}
+
+// New builds a pool. workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan task)
+		for i := 0; i < workers-1; i++ {
+			go worker(p.tasks)
+		}
+		runtime.AddCleanup(p, func(ch chan task) { close(ch) }, p.tasks)
+	}
+	return p
+}
+
+// worker drains tasks until the channel closes. It holds no reference to
+// the Pool, so the Pool's cleanup can run.
+func worker(tasks <-chan task) {
+	for t := range tasks {
+		runChunk(t.f, t.lo, t.hi, t.pan)
+		t.wg.Done()
+	}
+}
+
+func runChunk(f func(int), lo, hi int, pan *panicBox) {
+	defer func() {
+		if v := recover(); v != nil {
+			pan.capture(v)
+		}
+	}()
+	for i := lo; i < hi; i++ {
+		f(i)
+	}
+}
+
+// Workers returns the pool's worker count (1 = sequential).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Do runs f(i) for every i in [0, n), partitioned into contiguous chunks
+// across the workers; it blocks until all calls return. With one worker
+// (or one index) it degrades to the plain sequential loop on the caller
+// goroutine. f must confine its writes to state owned by index i. A
+// panic in any f is re-raised on the caller after all chunks finish.
+func (p *Pool) Do(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	pan := &panicBox{}
+	for lo := size; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.tasks <- task{f: f, lo: lo, hi: hi, wg: &wg, pan: pan}
+	}
+	// The caller works the first chunk instead of idling.
+	runChunk(f, 0, size, pan)
+	wg.Wait()
+	if pan.set {
+		panic(pan.val)
+	}
+}

@@ -1,0 +1,79 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			p := New(workers)
+			hits := make([]int32, n)
+			p.Do(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestSlotWritesNeedNoSynchronisation(t *testing.T) {
+	p := New(4)
+	out := make([]int, 500)
+	p.Do(len(out), func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestNilAndSequentialPoolsRunInline(t *testing.T) {
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", nilPool.Workers())
+	}
+	sum := 0
+	nilPool.Do(10, func(i int) { sum += i }) // inline: unsynchronised writes are fine
+	if sum != 45 {
+		t.Fatalf("nil pool sum = %d", sum)
+	}
+	seq := New(1)
+	if seq.tasks != nil {
+		t.Fatal("sequential pool spawned workers")
+	}
+	order := make([]int, 0, 5)
+	seq.Do(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order %v", order)
+		}
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := New(6).Workers(); w != 6 {
+		t.Fatalf("explicit workers = %d", w)
+	}
+}
+
+func TestPanicPropagatesToCaller(t *testing.T) {
+	p := New(4)
+	defer func() {
+		if v := recover(); v != "boom" {
+			t.Fatalf("recovered %v", v)
+		}
+	}()
+	p.Do(64, func(i int) {
+		if i == 63 { // lives in a worker chunk, not the caller's
+			panic("boom")
+		}
+	})
+	t.Fatal("Do returned despite panicking task")
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nvmap/internal/nv"
+	"nvmap/internal/par"
 	"nvmap/internal/vtime"
 )
 
@@ -136,6 +137,35 @@ type Registry struct {
 	// in order, so ResetNode can re-register them after a crash with the
 	// same sequentially assigned QuestionIDs.
 	asked []Question
+	// pool fans per-node reads (Result, Stats, ApplyRemote) out across
+	// the SASes; it materialises on the first fan-out that clears
+	// registryFanOut (see Options.Workers).
+	pool *par.Pool
+}
+
+// registryFanOut is the minimum node count for registry operations to
+// engage the worker pool; below it the fan-out costs more than the
+// per-node work. Scheduling only — results are identical either way.
+const registryFanOut = 8
+
+// fanOut runs f(i) for every SAS of the snapshot, on the pool when the
+// partition is big enough. f must confine its writes to slot i and to
+// nodes[i]'s own state; distinct SASes lock independently, so per-node
+// reads and remote applications on different SASes never contend.
+func (r *Registry) fanOut(nodes []*SAS, f func(i int)) {
+	if len(nodes) < registryFanOut {
+		for i := range nodes {
+			f(i)
+		}
+		return
+	}
+	r.mu.Lock()
+	if r.pool == nil {
+		r.pool = par.New(r.opts.Workers)
+	}
+	p := r.pool
+	r.mu.Unlock()
+	p.Do(len(nodes), f)
 }
 
 // NewRegistry returns a registry that creates per-node SASes with the
@@ -191,36 +221,52 @@ func (r *Registry) AddQuestionAll(q Question) (map[int]QuestionID, error) {
 }
 
 // AggregateResult sums the per-node results of a question registered via
-// AddQuestionAll.
+// AddQuestionAll. On large partitions the per-node evaluations run on
+// the registry's worker pool; the fold itself always walks nodes in id
+// order, so the aggregate — and which node's error is reported when
+// several fail — is identical under any Workers setting.
 func (r *Registry) AggregateResult(ids map[int]QuestionID, now vtime.Time) (Result, error) {
+	nodes := r.Nodes()
+	res := make([]Result, len(nodes))
+	errs := make([]error, len(nodes))
+	has := make([]bool, len(nodes))
+	r.fanOut(nodes, func(i int) {
+		id, ok := ids[nodes[i].node]
+		if !ok {
+			return
+		}
+		has[i] = true
+		res[i], errs[i] = nodes[i].Result(id, now)
+	})
 	var agg Result
 	first := true
-	for _, s := range r.Nodes() {
-		id, ok := ids[s.node]
-		if !ok {
+	for i := range nodes {
+		if !has[i] {
 			continue
 		}
-		res, err := s.Result(id, now)
-		if err != nil {
-			return Result{}, err
+		if errs[i] != nil {
+			return Result{}, errs[i]
 		}
 		if first {
-			agg.Question = res.Question
+			agg.Question = res[i].Question
 			first = false
 		}
-		agg.Count += res.Count
-		agg.EventTime += res.EventTime
-		agg.SatisfiedTime += res.SatisfiedTime
-		agg.Satisfied = agg.Satisfied || res.Satisfied
+		agg.Count += res[i].Count
+		agg.EventTime += res[i].EventTime
+		agg.SatisfiedTime += res[i].SatisfiedTime
+		agg.Satisfied = agg.Satisfied || res[i].Satisfied
 	}
 	return agg, nil
 }
 
-// TotalStats sums the notification statistics over every node.
+// TotalStats sums the notification statistics over every node, reading
+// the per-node counters on the worker pool for large partitions.
 func (r *Registry) TotalStats() Stats {
+	nodes := r.Nodes()
+	sts := make([]Stats, len(nodes))
+	r.fanOut(nodes, func(i int) { sts[i] = nodes[i].Stats() })
 	var t Stats
-	for _, s := range r.Nodes() {
-		st := s.Stats()
+	for _, st := range sts {
 		t.Notifications += st.Notifications
 		t.Ignored += st.Ignored
 		t.Stored += st.Stored
@@ -230,4 +276,24 @@ func (r *Registry) TotalStats() Stats {
 		t.MatchesEvaluated += st.MatchesEvaluated
 	}
 	return t
+}
+
+// ApplyRemoteAll applies one exported activation event to every
+// materialised SAS except the exporter's own — the broadcast form of
+// cross-node forwarding, for sentences every node's questions may need
+// (the paper's duplicated-SAS model makes replication the common case).
+// Distinct SASes apply the event under their own locks, so large
+// partitions fan out on the worker pool. Each SAS's resulting state
+// depends only on its own prior state and the event, so the fan-out is
+// deterministic; a destination whose own export rules match the event
+// would cascade sends in pool order, so registries wired into an export
+// mesh should run with Workers 1.
+func (r *Registry) ApplyRemoteAll(ev Event) {
+	nodes := r.Nodes()
+	r.fanOut(nodes, func(i int) {
+		if nodes[i].node == ev.FromNode {
+			return
+		}
+		nodes[i].ApplyRemote(ev)
+	})
 }

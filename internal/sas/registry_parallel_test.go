@@ -1,0 +1,207 @@
+package sas
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+// TestAggregateResultEmptyRegistry: aggregating over no nodes (or an id
+// map covering none of them) is a zero result, not an error.
+func TestAggregateResultEmptyRegistry(t *testing.T) {
+	r := NewRegistry(Options{})
+	agg, err := r.AggregateResult(map[int]QuestionID{0: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 0 || agg.EventTime != 0 || agg.SatisfiedTime != 0 || agg.Satisfied {
+		t.Fatalf("empty aggregate = %+v", agg)
+	}
+	if st := r.TotalStats(); st != (Stats{}) {
+		t.Fatalf("empty TotalStats = %+v", st)
+	}
+}
+
+// TestAggregateResultSkipsUncoveredNodes: nodes absent from the id map
+// simply do not contribute (the question was registered before those
+// nodes materialised).
+func TestAggregateResultSkipsUncoveredNodes(t *testing.T) {
+	r := NewRegistry(Options{Workers: 4})
+	// 12 nodes clears registryFanOut, so this exercises the pool path.
+	for n := 0; n < 12; n++ {
+		r.Node(n)
+	}
+	ids, err := r.AddQuestionAll(Q("q", T("Busy", Any)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 12; n++ {
+		s := r.Node(n)
+		s.Activate(sent("Busy", "x"), 0)
+		if err := s.Deactivate(sent("Busy", "x"), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drop half the nodes from the map: only the covered half counts.
+	for n := 0; n < 12; n += 2 {
+		delete(ids, n)
+	}
+	agg, err := r.AggregateResult(ids, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.SatisfiedTime != 6*10 {
+		t.Fatalf("SatisfiedTime = %v, want 60", agg.SatisfiedTime)
+	}
+}
+
+// TestAggregateResultReportsFirstErrorInNodeOrder: when several nodes
+// fail, the reported error is the lowest node's, under any worker
+// count — part of the determinism contract.
+func TestAggregateResultReportsFirstErrorInNodeOrder(t *testing.T) {
+	r := NewRegistry(Options{Workers: 8})
+	for n := 0; n < 12; n++ {
+		r.Node(n)
+	}
+	ids, err := r.AddQuestionAll(Q("q", T("Busy", Any)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids[3] = 97 // bogus: distinct values so the error identifies the node
+	ids[7] = 98
+	for i := 0; i < 50; i++ { // many rounds: any ordering race would show
+		_, err := r.AggregateResult(ids, 100)
+		if err == nil {
+			t.Fatal("bogus question ids aggregated without error")
+		}
+		if !strings.Contains(err.Error(), "97") {
+			t.Fatalf("error %q is not node 3's (want unknown question 97)", err)
+		}
+	}
+}
+
+// TestApplyRemoteAllBroadcasts: the broadcast form reaches every SAS
+// except the exporter's own.
+func TestApplyRemoteAllBroadcasts(t *testing.T) {
+	r := NewRegistry(Options{Workers: 4})
+	for n := 0; n < 12; n++ {
+		r.Node(n)
+	}
+	sn := sent("QueryActive", "q7")
+	r.ApplyRemoteAll(Event{Sentence: sn, Active: true, At: 5, FromNode: 2})
+	for n := 0; n < 12; n++ {
+		active := r.Node(n).Active(sn)
+		if n == 2 && active {
+			t.Fatal("event echoed back to the exporting node")
+		}
+		if n != 2 && !active {
+			t.Fatalf("node %d missed the broadcast", n)
+		}
+	}
+	r.ApplyRemoteAll(Event{Sentence: sn, Active: false, At: 9, FromNode: 2})
+	for n := 0; n < 12; n++ {
+		if r.Node(n).Active(sn) {
+			t.Fatalf("node %d missed the deactivation", n)
+		}
+	}
+}
+
+// TestCrossNodeExportUnderConcurrentAppliers: many client SASes export
+// into one server SAS from separate goroutines — the transport layer of
+// a parallel machine does exactly this. The server must end consistent:
+// every sentence deactivated, question results accounting every client.
+func TestCrossNodeExportUnderConcurrentAppliers(t *testing.T) {
+	server := New(Options{Node: 99})
+	qid, err := server.AddQuestion(Q("any query", T("QueryActive", Any)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, rounds = 8, 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		client := New(Options{Node: c})
+		if err := client.Export(T("QueryActive", Any), server, nil); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(client *SAS, c int) {
+			defer wg.Done()
+			sn := sent("QueryActive", "q"+string(rune('a'+c)))
+			for i := 0; i < rounds; i++ {
+				at := vtime.Time(i * 10)
+				client.Activate(sn, at)
+				_ = client.Deactivate(sn, at+5)
+			}
+		}(client, c)
+	}
+	wg.Wait()
+	if server.Size() != 0 {
+		t.Fatalf("server active set not drained: %d sentences", server.Size())
+	}
+	res, err := server.Result(qid, vtime.Time(rounds*10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedTime == 0 {
+		t.Fatal("server accounted no query activity")
+	}
+}
+
+// TestRegistryWorkersEquivalence drives identical notification streams
+// through a sequential and a pooled registry and demands identical
+// aggregates — the registry-level slice of the engine's determinism
+// contract (the machine-level slice lives in internal/machine).
+func TestRegistryWorkersEquivalence(t *testing.T) {
+	build := func(workers int) (*Registry, map[int]QuestionID, map[int]QuestionID) {
+		r := NewRegistry(Options{Filter: true, Workers: workers})
+		const nodes = 16
+		for n := 0; n < nodes; n++ {
+			r.Node(n)
+		}
+		busy, err := r.AddQuestionAll(Q("busy", T("Busy", Any)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sends, err := r.AddQuestionAll(Q("sends while busy", T("Busy", Any), T("Send", Any)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < nodes; n++ {
+			s := r.Node(n)
+			for i := 0; i <= n; i++ {
+				at := vtime.Time(100*i + 7*n)
+				s.Activate(sent("Busy", "b"), at)
+				s.RecordEvent(sent("Send", "p"), at+vtime.Time(i%3), 1)
+				if err := s.Deactivate(sent("Busy", "b"), at+vtime.Time(10+i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return r, busy, sends
+	}
+	seqR, seqBusy, seqSends := build(1)
+	parR, parBusy, parSends := build(8)
+	const now = vtime.Time(1 << 20)
+	for name, pair := range map[string][2]map[int]QuestionID{
+		"busy":  {seqBusy, parBusy},
+		"sends": {seqSends, parSends},
+	} {
+		seqAgg, err := seqR.AggregateResult(pair[0], now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parAgg, err := parR.AggregateResult(pair[1], now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqAgg.Count != parAgg.Count || seqAgg.EventTime != parAgg.EventTime ||
+			seqAgg.SatisfiedTime != parAgg.SatisfiedTime || seqAgg.Satisfied != parAgg.Satisfied {
+			t.Fatalf("%s: workers=1 %+v, workers=8 %+v", name, seqAgg, parAgg)
+		}
+	}
+	if s, p := seqR.TotalStats(), parR.TotalStats(); s != p {
+		t.Fatalf("TotalStats: workers=1 %+v, workers=8 %+v", s, p)
+	}
+}

@@ -399,6 +399,12 @@ type Options struct {
 	// (not stored). The notification cost is still counted in Stats, as
 	// in the paper's limitation discussion.
 	Filter bool
+	// Workers bounds the worker pool a Registry uses to fan out per-node
+	// aggregation and remote-event application across its SASes: 0
+	// selects GOMAXPROCS, 1 keeps every registry operation on the caller
+	// goroutine. Individual SASes ignore it. Like the machine's engine,
+	// the worker count never changes any result.
+	Workers int
 }
 
 // New returns an empty SAS.

@@ -43,6 +43,14 @@ import (
 type Config struct {
 	// Nodes is the partition size (default 8).
 	Nodes int
+	// Workers bounds the host worker pool the whole measurement stack
+	// uses — the machine's parallel node regions, the tool's sampling
+	// rounds and its SAS registry: 0 selects GOMAXPROCS, 1 runs the
+	// entire session on the caller goroutine. Every session output is
+	// byte-identical under any setting; Workers trades host threads for
+	// wall-clock only. A Machine override's Workers field is replaced by
+	// this value when it is non-zero.
+	Workers int
 	// Machine overrides the machine cost model (nil = default for Nodes).
 	Machine *machine.Config
 	// Fuse enables the compiler's fusion of adjacent elementwise
@@ -157,6 +165,9 @@ func newSession(source string, cfg Config) (*Session, error) {
 		mcfg = *cfg.Machine
 		mcfg.Nodes = cfg.Nodes
 	}
+	if cfg.Workers != 0 {
+		mcfg.Workers = cfg.Workers
+	}
 	m, err := machine.New(mcfg)
 	if err != nil {
 		return nil, err
@@ -174,7 +185,9 @@ func newSession(source string, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	tool, err := paradyn.New(rt, mdl.StdLibrary(), paradyn.Options{SampleEvery: cfg.SampleEvery})
+	// The tool shares the session's resolved worker width, so
+	// WithWorkers(1) serialises the whole stack, not just the machine.
+	tool, err := paradyn.New(rt, mdl.StdLibrary(), paradyn.Options{SampleEvery: cfg.SampleEvery, Workers: m.Workers()})
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,16 @@ func WithMachine(mc machine.Config) Option {
 	return func(c *Config) { c.Machine = &mc }
 }
 
+// WithWorkers bounds the host worker pool for the whole measurement
+// stack — parallel node regions, concurrent metric sampling, and SAS
+// registry fan-outs. n = 1 runs the session entirely on the caller
+// goroutine; 0 (the default) selects GOMAXPROCS. Results are
+// byte-identical under any setting: the pool trades host threads for
+// wall-clock, never determinism. See Config.Workers.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
 // WithFuse enables the compiler's fusion of adjacent elementwise
 // statements (producing one-to-many mappings).
 func WithFuse() Option {

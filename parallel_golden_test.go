@@ -1,0 +1,185 @@
+package nvmap
+
+import (
+	"sync"
+	"testing"
+
+	"nvmap/internal/fault"
+	"nvmap/internal/machine"
+	"nvmap/internal/paradyn"
+	"nvmap/internal/vtime"
+)
+
+// parallelWorkload is big enough (32768-element arrays on 32 nodes)
+// that its node-local regions clear machine.ParallelThreshold, so a
+// multi-worker session genuinely exercises the parallel engine.
+const parallelWorkload = `PROGRAM bigvec
+REAL A(32768)
+REAL B(32768)
+REAL S
+REAL T
+FORALL (I = 1:32768) A(I) = 32769 - I
+B = 1.0
+B = A * 2.0 + B
+S = SUM(A)
+T = MAXVAL(B)
+A = CSHIFT(A, 5)
+B = B + A
+S = SUM(B)
+END
+`
+
+// parallelRun is everything observable about one session run: the full
+// machine event stream with the global clock at each event, the final
+// metric values, the elapsed time and the degradation report.
+type parallelRun struct {
+	events  []machine.Event
+	globals []vtime.Time
+	values  map[string]float64
+	elapsed vtime.Duration
+	report  string
+	regions int
+}
+
+func runParallelSession(t *testing.T, workers int, plan *fault.Plan) parallelRun {
+	t.Helper()
+	s, err := NewSession(parallelWorkload, WithNodes(32), WithWorkers(workers),
+		WithSourceFile("bigvec.fcm"), WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run parallelRun
+	s.Machine.Observe(func(e machine.Event) {
+		run.events = append(run.events, e)
+		run.globals = append(run.globals, s.Machine.GlobalNow())
+	})
+	ems := make(map[string]*paradyn.EnabledMetric)
+	for _, id := range []string{"computation_time", "summation_time", "point_to_point_ops", "idle_time"} {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ems[id] = em
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.values = make(map[string]float64)
+	for id, em := range ems {
+		run.values[id] = em.Value(s.Now())
+	}
+	run.elapsed = s.Elapsed()
+	run.report = rep.String()
+	run.regions = s.Machine.ParallelRegions()
+	return run
+}
+
+func assertRunsIdentical(t *testing.T, seq, par parallelRun, workers int) {
+	t.Helper()
+	if len(seq.events) != len(par.events) {
+		t.Fatalf("workers=%d: %d events, sequential has %d", workers, len(par.events), len(seq.events))
+	}
+	for i := range seq.events {
+		if seq.events[i] != par.events[i] {
+			t.Fatalf("workers=%d: event %d differs\n  seq: %+v\n  par: %+v",
+				workers, i, seq.events[i], par.events[i])
+		}
+		if seq.globals[i] != par.globals[i] {
+			t.Fatalf("workers=%d: GlobalNow at event %d: seq %v, par %v",
+				workers, i, seq.globals[i], par.globals[i])
+		}
+	}
+	if seq.elapsed != par.elapsed {
+		t.Fatalf("workers=%d: elapsed %v, sequential %v", workers, par.elapsed, seq.elapsed)
+	}
+	if seq.report != par.report {
+		t.Fatalf("workers=%d: degradation reports differ:\n%s\nvs\n%s", workers, par.report, seq.report)
+	}
+	for id, want := range seq.values {
+		if got := par.values[id]; got != want {
+			t.Fatalf("workers=%d: metric %s = %g, sequential %g", workers, id, got, want)
+		}
+	}
+}
+
+// TestSessionWorkersGolden is the stack-level determinism contract: a
+// whole session — compiler, machine, runtime, instrumentation, tool,
+// daemon channel — produces a byte-identical event stream, clock trace,
+// metric table and degradation report under any worker count, for
+// fault-free runs, parallel-eligible fault plans (messages, slowdowns),
+// and serialised ones (stalls, crashes).
+func TestSessionWorkersGolden(t *testing.T) {
+	plans := map[string]func() *fault.Plan{
+		"plain": func() *fault.Plan { return nil },
+		// Message faults and slowdowns leave node regions order-free, so
+		// this plan exercises the parallel engine on a degraded run.
+		"messages-slowdown": func() *fault.Plan {
+			return &fault.Plan{
+				Seed: 2026,
+				Messages: fault.MessageFaults{
+					DropProb: 0.1, DupProb: 0.05, DelayProb: 0.25, DelayMax: 30 * vtime.Microsecond,
+				},
+				Nodes: fault.NodeFaults{Slowdown: map[int]float64{2: 1.5, 17: 2.0}},
+			}
+		},
+		// Stalls consume a shared ordered random stream: the engine must
+		// serialise, and the output still matches workers=1 exactly.
+		"stalls": func() *fault.Plan {
+			return &fault.Plan{
+				Seed:  2026,
+				Nodes: fault.NodeFaults{StallProb: 0.2, StallFor: 5 * vtime.Microsecond},
+			}
+		},
+		// Crash schedules serialise too (shared windows, recovery hooks).
+		"crash": func() *fault.Plan {
+			return &fault.Plan{
+				Seed:    2026,
+				Crashes: []fault.CrashFault{{Node: 3, At: 40 * 1000, Restart: 60 * vtime.Microsecond}},
+			}
+		},
+	}
+	// Plans whose multi-worker runs must really use the pool; stalls and
+	// crashes must instead serialise every region.
+	parallelEligible := map[string]bool{"plain": true, "messages-slowdown": true}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			seq := runParallelSession(t, 1, plan())
+			if seq.regions != 0 {
+				t.Fatalf("workers=1 ran %d parallel regions", seq.regions)
+			}
+			for _, workers := range []int{2, 8} {
+				par := runParallelSession(t, workers, plan())
+				assertRunsIdentical(t, seq, par, workers)
+				if eligible := parallelEligible[name]; eligible && par.regions == 0 {
+					t.Fatalf("workers=%d never engaged the parallel engine — the test is vacuous", workers)
+				} else if !eligible && par.regions != 0 {
+					t.Fatalf("workers=%d ran %d parallel regions under a serialising plan", workers, par.regions)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionsSafeAcrossGoroutines pins the property RunAllExperiments
+// relies on: independent sessions over the same sources are safe and
+// deterministic when driven from concurrent goroutines (the compile
+// cache and the vocabulary interner are the only cross-session state).
+// Run under -race in CI.
+func TestSessionsSafeAcrossGoroutines(t *testing.T) {
+	want := runParallelSession(t, 1, nil)
+	const concurrent = 4
+	runs := make([]parallelRun, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runs[i] = runParallelSession(t, i+1, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := range runs {
+		assertRunsIdentical(t, want, runs[i], i+1)
+	}
+}
