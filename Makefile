@@ -10,7 +10,14 @@ GATE  ?= SAS|Questions
 BENCH_PAR ?= ParallelFig6|SampleAllParallel
 GATE_PAR  ?= ParallelFig6/nodes=32/workers=1
 
-.PHONY: build test race bench bench-rebase bench-par bench-par-rebase
+# Observability-plane overhead (PR 5). The disabled path is the
+# non-perturbation contract — held to 2%, not the default 20% — while
+# obs=on is recorded ungated for reference.
+BENCH_OBS ?= ObsOverhead
+GATE_OBS  ?= ObsOverhead/obs=off
+
+.PHONY: build test race bench bench-rebase bench-par bench-par-rebase \
+	bench-obs bench-obs-rebase
 
 build:
 	go build ./...
@@ -40,3 +47,13 @@ bench-par:
 bench-par-rebase:
 	go test -run '^$$' -bench '$(BENCH_PAR)' -benchmem -count=5 . | \
 		go run ./cmd/benchdiff -out BENCH_PR4.json -check '$(GATE_PAR)' -rebase
+
+# Observability overhead: the obs=off path must stay within 2% of the
+# baseline (the plane is provably free when disabled).
+bench-obs:
+	go test -run '^$$' -bench '$(BENCH_OBS)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR5.json -check '$(GATE_OBS)' -max-regress 2
+
+bench-obs-rebase:
+	go test -run '^$$' -bench '$(BENCH_OBS)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR5.json -check '$(GATE_OBS)' -max-regress 2 -rebase

@@ -362,3 +362,41 @@ func BenchmarkSampleAllParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkObsOverhead measures the observability plane's cost on the
+// Figure 9 workload with a representative metric set. The obs=off
+// sub-benchmark is the perturbation gate: the disabled plane is all
+// nil-receiver checks, so enabling the feature in the codebase must not
+// slow an unobserved session (bench-obs holds it within 2%). obs=on
+// shows the full span-recording price for comparison.
+func BenchmarkObsOverhead(b *testing.B) {
+	ids := []string{"summations", "summation_time", "point_to_point_ops", "idle_time"}
+	for _, obsOn := range []bool{false, true} {
+		name := "obs=off"
+		if obsOn {
+			name = "obs=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := []Option{WithNodes(4)}
+				if obsOn {
+					opts = append(opts, WithObservability())
+				}
+				s, err := NewSession(fig9Workload, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, id := range ids {
+					if _, err := s.Tool.EnableMetric(id, paradyn.WholeProgram()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				s.Tool.SampleAll(s.Now())
+			}
+		})
+	}
+}

@@ -20,6 +20,15 @@
 //	-timeline       print a per-node execution timeline
 //	-pif            print the generated static mapping information
 //	-list           list available metrics and exit
+//
+// Observability subcommands (see obscmd.go):
+//
+//	nvprof trace [flags] program.fcm    export a Chrome trace_event JSON
+//	                                    timeline (Perfetto-loadable)
+//	nvprof metrics [flags] program.fcm  export the metrics registry in
+//	                                    Prometheus text format
+//	nvprof serve [flags] program.fcm    run, then serve the live debug
+//	                                    handler over HTTP
 package main
 
 import (
@@ -36,6 +45,15 @@ import (
 )
 
 func main() {
+	// Observability subcommands run the program under the
+	// self-observability plane and export its view; every other
+	// invocation is the classic flag interface below.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace", "metrics", "serve":
+			os.Exit(obsCommand(os.Args[1], os.Args[2:]))
+		}
+	}
 	var (
 		nodes      = flag.Int("nodes", 8, "partition size")
 		fuse       = flag.Bool("fuse", false, "fuse adjacent elementwise statements")

@@ -1,0 +1,111 @@
+// Observed: run a program under the self-observability plane — the
+// measurement tool pointed at itself. The plane traces every pipeline
+// stage (machine collectives, parallel regions, daemon traffic, SAS
+// notifications, sampling rounds) as spans, publishes every component's
+// statistics on one metrics registry, and attributes the run's
+// wall-clock self-cost back to named stages and abstraction levels.
+//
+// The example self-checks the plane's determinism guarantee: the
+// Chrome trace export, the stable Prometheus export and the
+// perturbation report's structure are byte-identical across worker
+// counts, and exits non-zero on any divergence.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"nvmap"
+	"nvmap/internal/obs"
+	"nvmap/internal/paradyn"
+)
+
+const program = `PROGRAM observed
+REAL A(1024)
+REAL B(1024)
+REAL ASUM
+FORALL (I = 1:1024) A(I) = I
+B = A * 0.5 + 1.0
+B = CSHIFT(B, 16)
+ASUM = SUM(A)
+PRINT *, ASUM
+END
+`
+
+// observe runs the workload with the plane enabled and returns its
+// deterministic exports plus the perturbation report.
+func observe(workers int) (chrome, prom, structure string, report *obs.PerturbationReport) {
+	s, err := nvmap.NewSession(program,
+		nvmap.WithNodes(8),
+		nvmap.WithWorkers(workers),
+		nvmap.WithSourceFile("observed.fcm"),
+		nvmap.WithOutput(io.Discard),
+		nvmap.WithObservability())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Tool.EnableDynamicMapping()
+	s.Tool.EnableGating()
+	for _, id := range []string{"summations", "summation_time", "point_to_point_ops", "idle_time"} {
+		if _, err := s.Tool.EnableMetric(id, paradyn.WholeProgram()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mon := s.EnableSASMonitor(false)
+	if _, err := mon.Ask("sums while sending", "{? Sums}, {? Sends}"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	s.Tool.SampleAll(s.Now())
+
+	var cb, pb bytes.Buffer
+	plane := s.Observability()
+	if err := obs.WriteChromeTrace(&cb, plane.Tracer); err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WritePrometheus(&pb, plane.Metrics, false); err != nil {
+		log.Fatal(err)
+	}
+	report = s.PerturbationReport()
+	return cb.String(), pb.String(), report.Structure(), report
+}
+
+func main() {
+	c1, p1, s1, _ := observe(1)
+	c8, p8, s8, rep := observe(8)
+
+	fmt.Printf("=== observability plane (workers=8) ===\n")
+	fmt.Printf("chrome trace: %d bytes, prometheus text: %d bytes\n\n", len(c8), len(p8))
+
+	fmt.Println("stable metrics (excerpt):")
+	shown := 0
+	for _, line := range strings.Split(p8, "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		fmt.Println(" ", line)
+		if shown++; shown >= 12 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+
+	fmt.Println("\nperturbation report:")
+	fmt.Print(rep.String())
+
+	sameChrome := c1 == c8
+	sameProm := p1 == p8
+	sameStructure := s1 == s8
+	fmt.Printf("\nchrome trace identical across worker counts: %v\n", sameChrome)
+	fmt.Printf("prometheus export identical across worker counts: %v\n", sameProm)
+	fmt.Printf("perturbation structure identical across worker counts: %v\n", sameStructure)
+	if !sameChrome || !sameProm || !sameStructure {
+		os.Exit(1)
+	}
+}

@@ -33,6 +33,13 @@ func TestExamplesSmoke(t *testing.T) {
 			"=== workers=8 (worker pool) ===",
 			"metric rows identical across worker counts: true",
 		}},
+		{"./examples/observed", []string{
+			"=== observability plane (workers=8) ===",
+			"perturbation report:",
+			"chrome trace identical across worker counts: true",
+			"prometheus export identical across worker counts: true",
+			"perturbation structure identical across worker counts: true",
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

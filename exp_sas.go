@@ -88,12 +88,18 @@ type Monitor struct {
 //	                            recorded as a measured event with its span)
 func wireSAS(s *Session, filter bool) *Monitor {
 	w := &Monitor{
-		session:   s,
-		Reg:       sas.NewRegistry(sas.Options{Filter: filter, Workers: s.Machine.Workers()}),
+		session: s,
+		// The monitor's notifications all run on the driving goroutine
+		// (dyninst snippets), so its SASes may record observability
+		// spans when the session has a plane.
+		Reg:       sas.NewRegistry(sas.Options{Filter: filter, Workers: s.Machine.Workers(), Obs: s.obsPlane}),
 		Model:     nv.NewRegistry(),
 		sendStart: make([]vtime.Time, s.Machine.Nodes()),
 	}
 	s.monitor = w
+	if s.obsPlane != nil {
+		registerSASCollectors(s.obsPlane.Metrics, "nvmap_sas", "monitor", w.Reg, s.Machine.Nodes)
+	}
 	_ = w.Model.AddLevel(nv.Level{ID: "HPF", Name: "HPF", Rank: 2})
 	_ = w.Model.AddLevel(nv.Level{ID: "Base", Name: "Base", Rank: 0})
 	for _, v := range []nv.VerbID{verbExecutes, verbSums, verbMaxvals, verbMinvals} {

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"nvmap/internal/fault"
+	"nvmap/internal/obs"
 	"nvmap/internal/pif"
 	"nvmap/internal/vtime"
 )
@@ -147,6 +148,12 @@ type Channel struct {
 	// drainMu serialises drains so two concurrent drains cannot
 	// interleave deliveries out of order.
 	drainMu sync.Mutex
+
+	// obsT and occupancy, when non-nil, record send/drain spans and
+	// batch-occupancy observations on the observability plane (see
+	// SetObs in obs.go).
+	obsT      *obs.Tracer
+	occupancy *obs.VHist
 }
 
 // NewChannel returns an empty, unbounded channel.
@@ -197,6 +204,10 @@ func (c *Channel) OnMessage(fn func(Message)) {
 // on so the data manager sees definitions before the samples that use
 // them.
 func (c *Channel) Send(m Message) {
+	if c.obsT != nil {
+		ref := c.obsT.Begin(obs.StageDaemonSend, m.Kind.String(), obs.NodeCP, m.At)
+		defer c.obsT.End(ref, m.At)
+	}
 	c.mu.Lock()
 	if tap := c.onMsg; tap != nil {
 		c.mu.Unlock()
@@ -250,6 +261,11 @@ func (c *Channel) Send(m Message) {
 func (c *Channel) SendBatch(ms []Message) {
 	if len(ms) == 0 {
 		return
+	}
+	if c.obsT != nil {
+		from, to := spanBounds(ms)
+		ref := c.obsT.Begin(obs.StageDaemonSend, "batch", obs.NodeCP, from)
+		defer c.obsT.End(ref, to)
 	}
 	c.mu.Lock()
 	if c.onMsg == nil && (c.capacity == 0 || len(c.queue)+len(ms) <= c.capacity) {
@@ -308,6 +324,11 @@ func (c *Channel) Drain(fn func(Message) error) (int, error) {
 	c.queue = nil
 	c.mu.Unlock()
 
+	if c.obsT != nil && len(pending) > 0 {
+		from, to := spanBounds(pending)
+		ref := c.obsT.Begin(obs.StageDaemonDrain, "", obs.NodeCP, from)
+		defer c.obsT.End(ref, to)
+	}
 	for i, m := range pending {
 		if err := fn(m); err != nil {
 			c.mu.Lock()
@@ -340,6 +361,12 @@ func (c *Channel) DrainBatch(fn func([]Message) error) (int, error) {
 
 	if len(pending) == 0 {
 		return 0, nil
+	}
+	if c.obsT != nil {
+		from, to := spanBounds(pending)
+		ref := c.obsT.Begin(obs.StageDaemonDrain, "batch", obs.NodeCP, from)
+		defer c.obsT.End(ref, to)
+		c.occupancy.Observe(to, float64(len(pending)))
 	}
 	if err := fn(pending); err != nil {
 		c.mu.Lock()

@@ -23,6 +23,7 @@ import (
 	"runtime"
 
 	"nvmap/internal/fault"
+	"nvmap/internal/obs"
 	"nvmap/internal/par"
 	"nvmap/internal/vtime"
 )
@@ -189,6 +190,11 @@ type Machine struct {
 	region  *regionState
 	replay  replayClock
 	regions int
+
+	// obsT, when non-nil, records spans for collective operations and
+	// parallel node regions on the observability plane. Nil (the
+	// default) costs one pointer test per operation.
+	obsT *obs.Tracer
 }
 
 // New builds a machine from the config.
@@ -239,6 +245,77 @@ func (m *Machine) Observe(o Observer) {
 		panic("machine: Observe inside a parallel node region")
 	}
 	m.observers = append(m.observers, o)
+}
+
+// SetObs attaches an observability tracer. Collective operations,
+// point-to-point sends and parallel node regions record spans bracketing
+// their execution — including any observer-driven measurement work, so
+// the tracer's nesting attributes that work to its own stages rather
+// than to the machine. A nil tracer (the default) disables recording.
+// Call from the driving goroutine, outside any region, like Observe.
+func (m *Machine) SetObs(t *obs.Tracer) {
+	if m.region != nil {
+		panic("machine: SetObs inside a parallel node region")
+	}
+	m.obsT = t
+}
+
+// StageFor maps a simulator event kind to its observability stage.
+func StageFor(k EventKind) obs.Stage {
+	switch k {
+	case EvCompute:
+		return obs.StageCompute
+	case EvSend:
+		return obs.StageSend
+	case EvRecv:
+		return obs.StageRecv
+	case EvDispatch:
+		return obs.StageDispatch
+	case EvBroadcast:
+		return obs.StageBroadcast
+	case EvReduce:
+		return obs.StageReduce
+	case EvBarrier:
+		return obs.StageBarrier
+	case EvIdle:
+		return obs.StageIdle
+	case EvCrash:
+		return obs.StageCrash
+	case EvRestart:
+		return obs.StageRestart
+	default:
+		return obs.StageCompute
+	}
+}
+
+// KindFor maps an observability stage back to the simulator event kind
+// that produced it — the inverse of StageFor over the machine-event
+// stages (package trace stores its timelines in the obs span model and
+// converts back when rendering). Non-machine stages map to EvCompute,
+// mirroring StageFor's default.
+func KindFor(s obs.Stage) EventKind {
+	switch s {
+	case obs.StageSend:
+		return EvSend
+	case obs.StageRecv:
+		return EvRecv
+	case obs.StageDispatch:
+		return EvDispatch
+	case obs.StageBroadcast:
+		return EvBroadcast
+	case obs.StageReduce:
+		return EvReduce
+	case obs.StageBarrier:
+		return EvBarrier
+	case obs.StageIdle:
+		return EvIdle
+	case obs.StageCrash:
+		return EvCrash
+	case obs.StageRestart:
+		return EvRestart
+	default:
+		return EvCompute
+	}
 }
 
 // SetFaults attaches a fault injector to the network and the node
@@ -363,6 +440,10 @@ func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
 	if !m.Engage(from) {
 		return m.nodeClock[from]
 	}
+	if m.obsT != nil {
+		ref := m.obsT.Begin(obs.StageSend, tag, from, m.nodeClock[from])
+		defer func() { m.obsT.End(ref, m.nodeClock[from]) }()
+	}
 	start := m.nodeClock[from]
 	serial := m.cfg.PerByte.Scale(bytes)
 	sendEnd := start.Add(m.cfg.SendOverhead + serial)
@@ -417,6 +498,10 @@ func (m *Machine) deliver(from, to, bytes int, arrival vtime.Time, tag string) {
 // events; the runtime layers instrumentation on top.
 func (m *Machine) Dispatch(tag string, argBytes int) {
 	m.noRegion("Dispatch")
+	if m.obsT != nil {
+		ref := m.obsT.Begin(obs.StageDispatch, tag, obs.NodeCP, m.cpClock)
+		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
+	}
 	cpStart := m.cpClock
 	m.cpClock = m.cpClock.Add(m.cfg.DispatchLatency)
 	arrival := m.cpClock.Add(m.cfg.TreeStep.Scale(m.treeDepth()))
@@ -443,6 +528,10 @@ func (m *Machine) Dispatch(tag string, argBytes int) {
 // nodes over the tree network.
 func (m *Machine) Broadcast(bytes int, tag string) {
 	m.noRegion("Broadcast")
+	if m.obsT != nil {
+		ref := m.obsT.Begin(obs.StageBroadcast, tag, obs.NodeCP, m.cpClock)
+		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
+	}
 	cpStart := m.cpClock
 	serial := m.cfg.PerByte.Scale(bytes)
 	m.cpClock = m.cpClock.Add(m.cfg.SendOverhead + serial)
@@ -473,6 +562,10 @@ func (m *Machine) Broadcast(bytes int, tag string) {
 // node's participation; the CP event covers the tree completion.
 func (m *Machine) Reduce(bytes int, tag string) {
 	m.noRegion("Reduce")
+	if m.obsT != nil {
+		ref := m.obsT.Begin(obs.StageReduce, tag, obs.NodeCP, m.GlobalNow())
+		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
+	}
 	serial := m.cfg.PerByte.Scale(bytes)
 	var slowest vtime.Time
 	for n := 0; n < m.cfg.Nodes; n++ {
@@ -502,6 +595,10 @@ func (m *Machine) Reduce(bytes int, tag string) {
 // one tree traversal, accounting the wait as idle time.
 func (m *Machine) Barrier(tag string) {
 	m.noRegion("Barrier")
+	if m.obsT != nil {
+		ref := m.obsT.Begin(obs.StageBarrier, tag, obs.NodeCP, m.GlobalNow())
+		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
+	}
 	var latest vtime.Time
 	for n := 0; n < m.cfg.Nodes; n++ {
 		if !m.Engage(n) {

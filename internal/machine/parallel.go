@@ -48,6 +48,7 @@ package machine
 // clock, which is exactly the cross-node dependence a region forbids.
 
 import (
+	"nvmap/internal/obs"
 	"nvmap/internal/par"
 	"nvmap/internal/vtime"
 )
@@ -93,6 +94,13 @@ func (m *Machine) noRegion(op string) {
 // Workers setting.
 func (m *Machine) ParallelNodes(work int, f func(node int)) {
 	n := m.cfg.Nodes
+	if m.obsT != nil && m.region == nil {
+		// The span brackets the whole region — pooled or sequential
+		// fallback — so the span stream is identical across worker
+		// counts. Nested regions record only the outer span.
+		ref := m.obsT.Begin(obs.StageRegion, "", obs.NodeCP, m.GlobalNow())
+		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
+	}
 	if !m.parallelEligible(n, work) {
 		for node := 0; node < n; node++ {
 			f(node)

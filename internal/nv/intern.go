@@ -123,6 +123,26 @@ func (in *Interner) VerbID(h VerbHandle) (VerbID, bool) {
 	return in.verbIDs[h-1], true
 }
 
+// InternStats is an intern-table size snapshot — the growth ledger the
+// observability plane exports. Process-wide tables accumulate across
+// sessions, so these values depend on process history.
+type InternStats struct {
+	Nouns     int
+	Verbs     int
+	Sentences int
+}
+
+// Stats counts the table's interned vocabulary.
+func (in *Interner) Stats() InternStats {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return InternStats{
+		Nouns:     len(in.nouns),
+		Verbs:     len(in.verbs),
+		Sentences: len(in.sentences),
+	}
+}
+
 // appendKey builds the canonical map key of a sentence into b. It is the
 // append form of Sentence.Key, shared so interning can key a lookup off a
 // stack buffer without allocating.

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Handler returns an expvar-style HTTP debug handler over the plane:
+//
+//	/            index
+//	/metrics     Prometheus text snapshot (all metrics, unstable included)
+//	/trace       Chrome trace_event JSON of the retained spans
+//	/debug/vars  flat JSON object of every metric (expvar convention)
+//	/stages      per-stage span/time totals, plain text
+//
+// The handler is read-only and safe to serve while a session runs; it
+// is opt-in (nvprof serve), never started by the library itself.
+func Handler(p *Plane) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "nvmap observability plane\n\n")
+		fmt.Fprintf(w, "  /metrics     Prometheus text snapshot\n")
+		fmt.Fprintf(w, "  /trace       Chrome trace_event JSON (load in Perfetto)\n")
+		fmt.Fprintf(w, "  /debug/vars  expvar-style JSON\n")
+		fmt.Fprintf(w, "  /stages      per-stage totals\n\n")
+		fmt.Fprintf(w, "spans recorded: %d (retained %d, evicted %d)\n",
+			p.Trace().Count(), len(p.Trace().Spans()), p.Trace().Dropped())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, p.Metrics, true)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, p.Trace())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		samples := p.Metrics.Snapshot(true)
+		fmt.Fprintf(w, "{\n")
+		for i, s := range samples {
+			comma := ","
+			if i == len(samples)-1 {
+				comma = ""
+			}
+			if s.Kind == KindHistogram {
+				fmt.Fprintf(w, "%s: {\"count\": %d, \"sum\": %s}%s\n",
+					strconv.Quote(s.Name), s.Count, formatFloat(s.Sum), comma)
+				continue
+			}
+			fmt.Fprintf(w, "%s: %s%s\n", strconv.Quote(s.Name), formatFloat(s.Value), comma)
+		}
+		fmt.Fprintf(w, "}\n")
+	})
+	mux.HandleFunc("/stages", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		totals := p.Trace().Totals()
+		type row struct {
+			stage Stage
+			t     StageTotals
+		}
+		rows := []row{}
+		for i := 0; i < NumStages; i++ {
+			if totals[i].Spans > 0 {
+				rows = append(rows, row{Stage(i), totals[i]})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].t.Self > rows[j].t.Self })
+		fmt.Fprintf(w, "%-22s %-12s %10s %14s %14s\n", "stage", "level", "spans", "vtime", "self-wall")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-22s %-12s %10d %14s %14s\n",
+				r.stage, r.stage.Level(), r.t.Spans,
+				fmtNanos(r.t.VTime), fmtNanos(r.t.Self))
+		}
+	})
+	return mux
+}
+
+// fmtNanos renders a nanosecond quantity human-readably.
+func fmtNanos(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return strconv.FormatFloat(float64(ns)/1e9, 'f', 3, 64) + "s"
+	case ns >= 1e6:
+		return strconv.FormatFloat(float64(ns)/1e6, 'f', 3, 64) + "ms"
+	case ns >= 1e3:
+		return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64) + "µs"
+	default:
+		return strconv.FormatInt(ns, 10) + "ns"
+	}
+}

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+// stubClock returns a wall clock that advances a fixed step per reading.
+func stubClock(step int64) func() int64 {
+	var now int64
+	return func() int64 {
+		now += step
+		return now
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	ref := tr.Begin(StageCompute, "x", 0, 0)
+	tr.End(ref, 10)
+	tr.Event(StageSend, "y", 1, 5)
+	if tr.Spans() != nil || tr.Count() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	var p *Plane
+	if p.Enabled() || p.Trace() != nil {
+		t.Fatal("nil plane must be disabled")
+	}
+}
+
+func TestTracerNestingSelfCost(t *testing.T) {
+	tr := NewTracer(0)
+	// Each clock reading advances 10ns: outer Begin@10, inner Begin@20,
+	// inner End@30 (inner wall 10), outer End@40 (outer wall 30, self 20).
+	tr.SetWallClock(stubClock(10))
+	outer := tr.Begin(StageExecute, "run", NodeCP, 0)
+	inner := tr.Begin(StageSampleRead, "", NodeCP, 100)
+	tr.End(inner, 200)
+	tr.End(outer, 1000)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Inner closes first, so it records first.
+	in, out := spans[0], spans[1]
+	if in.Stage != StageSampleRead || out.Stage != StageExecute {
+		t.Fatalf("unexpected stage order: %v, %v", in.Stage, out.Stage)
+	}
+	if in.ID != 2 || out.ID != 1 {
+		t.Fatalf("deterministic IDs: inner=%d outer=%d", in.ID, out.ID)
+	}
+	if in.Wall != 10 || in.Self != 10 {
+		t.Fatalf("inner wall/self = %d/%d, want 10/10", in.Wall, in.Self)
+	}
+	if out.Wall != 30 || out.Self != 20 {
+		t.Fatalf("outer wall/self = %d/%d, want 30/20", out.Wall, out.Self)
+	}
+	if out.Start != 0 || out.End != 1000 || in.Start != 100 || in.End != 200 {
+		t.Fatal("virtual intervals wrong")
+	}
+
+	tot := tr.Totals()
+	if tot[StageExecute].Spans != 1 || tot[StageExecute].Self != 20 {
+		t.Fatalf("execute totals %+v", tot[StageExecute])
+	}
+	if tot[StageSampleRead].VTime != 100 {
+		t.Fatalf("sample_read vtime %d", tot[StageSampleRead].VTime)
+	}
+}
+
+func TestTracerEndClosesAbandonedChildren(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetWallClock(stubClock(1))
+	outer := tr.Begin(StageExecute, "", NodeCP, 0)
+	tr.Begin(StageDaemonSend, "", NodeCP, 5) // no End (panic path)
+	tr.End(outer, 50)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (abandoned child closed)", len(spans))
+	}
+	if spans[0].Stage != StageDaemonSend || spans[0].End != 50 {
+		t.Fatalf("abandoned child should close at outer end: %+v", spans[0])
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Event(StageSend, "", i, vtime.Time(i))
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d, want 4", len(spans))
+	}
+	if spans[0].ID != 7 || spans[3].ID != 10 {
+		t.Fatalf("ring order wrong: first=%d last=%d", spans[0].ID, spans[3].ID)
+	}
+	if tr.Dropped() != 6 || tr.Count() != 10 {
+		t.Fatalf("dropped=%d count=%d", tr.Dropped(), tr.Count())
+	}
+	if tr.Totals()[StageSend].Spans != 10 {
+		t.Fatal("totals must survive eviction")
+	}
+}
+
+func TestTracerUnbounded(t *testing.T) {
+	tr := NewTracer(-1)
+	for i := 0; i < 3*DefaultTraceCapacity/2; i++ {
+		tr.Event(StageCompute, "", 0, 0)
+	}
+	if got := len(tr.Spans()); got != 3*DefaultTraceCapacity/2 {
+		t.Fatalf("unbounded tracer retained %d", got)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("nvmap_x_total", "x")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("nvmap_x_total", "x") != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+	g := r.Gauge("nvmap_depth", "d")
+	g.Set(7)
+	g.Add(-2)
+	g.Max(3) // below current; no-op
+	g.Max(11)
+	if g.Value() != 11 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	h := r.Histogram("nvmap_lat", "l", vtime.Microsecond)
+	h.Observe(10, 2)
+	h.ObserveSpan(0, 1000, 3)
+	cnt, sum := h.snapshot()
+	if cnt != 2 || sum != 5 {
+		t.Fatalf("hist count/sum = %d/%v", cnt, sum)
+	}
+	r.Func("nvmap_pull", "p", KindGauge, false, func() float64 { return 42 })
+	r.Func("nvmap_shaky", "s", KindGauge, true, func() float64 { return 1 })
+
+	stable := r.Snapshot(false)
+	names := []string{}
+	for _, s := range stable {
+		names = append(names, s.Name)
+	}
+	want := []string{"nvmap_depth", "nvmap_lat", "nvmap_pull", "nvmap_x_total"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("stable snapshot names %v, want %v", names, want)
+	}
+	all := r.Snapshot(true)
+	if len(all) != 5 {
+		t.Fatalf("full snapshot has %d entries", len(all))
+	}
+	if s, ok := r.Lookup("nvmap_pull"); !ok || s.Value != 42 {
+		t.Fatalf("lookup pull: %+v %v", s, ok)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", 0).Observe(0, 1)
+	r.Func("d", "", KindGauge, false, func() float64 { return 0 })
+	if r.Snapshot(true) != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nvmap_daemon_sent_total", "Messages offered to the daemon channel.").Add(12)
+	r.Gauge("nvmap_sas_active", "Active sentences.").Set(3)
+	h := r.Histogram("nvmap_span_vtime", "Per-span virtual time.", vtime.Microsecond)
+	h.Observe(100, 1.5)
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, r, false); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP nvmap_daemon_sent_total Messages offered to the daemon channel.
+# TYPE nvmap_daemon_sent_total counter
+nvmap_daemon_sent_total 12
+# HELP nvmap_sas_active Active sentences.
+# TYPE nvmap_sas_active gauge
+nvmap_sas_active 3
+# HELP nvmap_span_vtime Per-span virtual time.
+# TYPE nvmap_span_vtime histogram
+nvmap_span_vtime_bucket{le="+Inf"} 1
+nvmap_span_vtime_sum 1.5
+nvmap_span_vtime_count 1
+`
+	if got != want {
+		t.Fatalf("prometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetWallClock(stubClock(1))
+	ref := tr.Begin(StageRegion, "elementwise", NodeCP, 1000)
+	tr.End(ref, 251000)
+	tr.Event(StageSASMatch, "{Block 3 send}", 2, 1500)
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, b.String())
+	}
+	// 2 thread_name metadata rows (cp, node 2) + 2 spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events:\n%s", len(doc.TraceEvents), b.String())
+	}
+	var x map[string]any
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "X" {
+			x = e
+		}
+	}
+	if x == nil {
+		t.Fatal("no complete event")
+	}
+	if x["ts"].(float64) != 1.0 || x["dur"].(float64) != 250.0 {
+		t.Fatalf("virtual microsecond conversion wrong: ts=%v dur=%v", x["ts"], x["dur"])
+	}
+	if x["name"] != "region elementwise" || x["cat"] != "Machine" {
+		t.Fatalf("span naming: %v / %v", x["name"], x["cat"])
+	}
+}
+
+func TestChromeTraceByteStable(t *testing.T) {
+	build := func() string {
+		tr := NewTracer(0)
+		tr.SetWallClock(stubClock(3)) // wall values must NOT leak into output
+		ref := tr.Begin(StageDispatch, "fill", NodeCP, 0)
+		tr.Event(StageSend, "", 1, 10)
+		tr.End(ref, 500)
+		var b bytes.Buffer
+		if err := WriteChromeTrace(&b, tr); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build()
+	tr2 := NewTracer(0)
+	tr2.SetWallClock(stubClock(997)) // wildly different wall costs
+	ref := tr2.Begin(StageDispatch, "fill", NodeCP, 0)
+	tr2.Event(StageSend, "", 1, 10)
+	tr2.End(ref, 500)
+	var b2 bytes.Buffer
+	if err := WriteChromeTrace(&b2, tr2); err != nil {
+		t.Fatal(err)
+	}
+	if a != b2.String() {
+		t.Fatalf("chrome trace depends on wall clock:\n%s\nvs\n%s", a, b2.String())
+	}
+}
+
+func TestPerturbationReport(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetWallClock(stubClock(10))
+	before := tr.Totals()
+	run := tr.Begin(StageExecute, "program", NodeCP, 0)
+	s := tr.Begin(StageSampleRead, "", NodeCP, 100)
+	tr.End(s, 300)
+	tr.End(run, 1000)
+	after := tr.Totals()
+	runWall := after[StageExecute].Wall // 30: the run span's inclusive wall
+
+	r := BuildPerturbation(before, after, runWall)
+	if len(r.Stages) != 2 {
+		t.Fatalf("stages %d, want 2", len(r.Stages))
+	}
+	if r.Unattributed != 0 {
+		t.Fatalf("unattributed %d, want 0 (all wall inside spans)", r.Unattributed)
+	}
+	if r.Attributed() != 1 {
+		t.Fatalf("attributed %v", r.Attributed())
+	}
+	// With 40ns of slack the attribution drops below 1.
+	r2 := BuildPerturbation(before, after, runWall+30)
+	if r2.Unattributed != 30 {
+		t.Fatalf("unattributed %d, want 30", r2.Unattributed)
+	}
+	if got := r2.Attributed(); got <= 0.4 || got >= 0.6 {
+		t.Fatalf("attributed %v, want 0.5", got)
+	}
+	levels := r.ByLevel()
+	if len(levels) != 2 {
+		t.Fatalf("levels %d", len(levels))
+	}
+	if !strings.Contains(r.Structure(), "{Tool sample_read}") {
+		t.Fatalf("structure missing sentence:\n%s", r.Structure())
+	}
+	if !strings.Contains(r.String(), "attributed") {
+		t.Fatal("String() should summarise attribution")
+	}
+}
+
+func TestStageMetadataExhaustive(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumStages; i++ {
+		s := Stage(i)
+		if s.String() == "unknown" {
+			t.Fatalf("stage %d has no name", i)
+		}
+		if seen[s.String()] {
+			t.Fatalf("duplicate stage name %q", s)
+		}
+		seen[s.String()] = true
+		if s.Level() == "" {
+			t.Fatalf("stage %v has no level", s)
+		}
+		if !strings.HasPrefix(s.Sentence(), "{") {
+			t.Fatalf("sentence %q", s.Sentence())
+		}
+	}
+}

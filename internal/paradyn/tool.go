@@ -14,6 +14,7 @@ import (
 	"nvmap/internal/mapping"
 	"nvmap/internal/mdl"
 	"nvmap/internal/nv"
+	"nvmap/internal/obs"
 	"nvmap/internal/par"
 	"nvmap/internal/pif"
 	"nvmap/internal/sas"
@@ -55,6 +56,11 @@ type Options struct {
 	// registry: 0 selects GOMAXPROCS, 1 keeps sampling on the caller
 	// goroutine. Never changes any sample value or ordering.
 	Workers int
+	// Obs attaches the observability plane: sampling rounds and PIF
+	// import record spans, the daemon channel registers its traffic
+	// metrics and batch spans, and the per-node SASes record
+	// notification spans. Nil (the default) disables all of it.
+	Obs *obs.Plane
 }
 
 // Tool is the measurement system bound to one application run.
@@ -115,6 +121,10 @@ type Tool struct {
 	// lostNodes records nodes declared permanently lost, for the
 	// per-focus partial-answer annotations.
 	lostNodes []LostNodeMark
+
+	// obsT, when non-nil, records sampling-round and PIF-import spans
+	// (see Options.Obs).
+	obsT *obs.Tracer
 }
 
 // LostNodeMark records one permanently lost node for answer annotation.
@@ -192,7 +202,7 @@ func New(rt *cmrts.Runtime, lib *mdl.Library, opts Options) (*Tool, error) {
 		lib:          lib,
 		opts:         opts,
 		Axis:         NewWhereAxis(),
-		SASes:        sas.NewRegistry(sas.Options{Workers: opts.Workers}),
+		SASes:        sas.NewRegistry(sas.Options{Workers: opts.Workers, Obs: opts.Obs}),
 		arraysByName: make(map[string][]cmrts.ArrayID),
 		arrayNames:   make(map[cmrts.ArrayID]string),
 		stmtBlocks:   make(map[string][]string),
@@ -201,7 +211,10 @@ func New(rt *cmrts.Runtime, lib *mdl.Library, opts Options) (*Tool, error) {
 
 		droppedSamples: make(map[string]int),
 		removedIDs:     make(map[cmrts.ArrayID]bool),
+
+		obsT: opts.Obs.Trace(),
 	}
+	t.channel.SetObs(opts.Obs)
 	// Account every sample lost to channel overflow and mark its
 	// metric-focus pair degraded. Mapping records never reach this
 	// observer — the channel parks them for retry instead.
@@ -268,6 +281,10 @@ func (t *Tool) machineEvent(e machine.Event) {
 // where-axis hierarchies; the mapping records build the statement/block
 // indexes used for upward presentation and statement gating.
 func (t *Tool) LoadPIF(f *pif.File) error {
+	if t.obsT != nil {
+		ref := t.obsT.Begin(obs.StagePIFImport, "", obs.NodeCP, t.mach.GlobalNow())
+		defer func() { t.obsT.End(ref, t.mach.GlobalNow()) }()
+	}
 	loaded, err := pif.Load(f)
 	if err != nil {
 		return err
@@ -660,6 +677,7 @@ func (t *Tool) SampleAll(now vtime.Time) {
 	if now.Before(t.lastSample) {
 		return
 	}
+	prev := t.lastSample
 	t.lastSample = now
 	live := t.liveBuf[:0]
 	for _, em := range t.enabled {
@@ -670,6 +688,14 @@ func (t *Tool) SampleAll(now vtime.Time) {
 	t.liveBuf = live
 	vals := append(t.valueBuf[:0], make([]float64, len(live))...)
 	t.valueBuf = vals
+	// The read phase spans the sampling interval [prev, now]; the commit
+	// phase (and the daemon batch it sends) is instantaneous at now. Both
+	// spans record on the driving goroutine — the pool workers below only
+	// read instrumentation counters.
+	var readRef obs.SpanRef
+	if t.obsT != nil {
+		readRef = t.obsT.Begin(obs.StageSampleRead, "", obs.NodeCP, prev)
+	}
 	if len(live) >= sampleFanOut {
 		if t.pool == nil {
 			t.pool = par.New(t.opts.Workers)
@@ -679,6 +705,11 @@ func (t *Tool) SampleAll(now vtime.Time) {
 		for i, em := range live {
 			vals[i] = em.Instance.Value(now)
 		}
+	}
+	if t.obsT != nil {
+		t.obsT.End(readRef, now)
+		ref := t.obsT.Begin(obs.StageSampleCommit, "", obs.NodeCP, now)
+		defer t.obsT.End(ref, now)
 	}
 	buf := t.sampleBuf[:0]
 	for i, em := range live {

@@ -1,0 +1,82 @@
+package sas
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+// TestConcurrentStatsReaders pins the contract behind the shard
+// counters' atomics: each SAS is notified from a single goroutine (the
+// session's driving goroutine), but Stats, TotalStats, Size, Index and
+// ShardSizes may be read concurrently from other goroutines — an HTTP
+// metrics handler, the registry's pull collectors — without torn reads.
+// Run under -race this fails if any counter access is non-atomic.
+func TestConcurrentStatsReaders(t *testing.T) {
+	const nodes, rounds = 4, 300
+	r := NewRegistry(Options{Workers: nodes})
+	for n := 0; n < nodes; n++ {
+		r.Node(n)
+	}
+	if _, err := r.AddQuestionAll(Q("busy", T("Busy", Any))); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	// Concurrent readers: the observability plane's view of the registry.
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.TotalStats()
+				for n := 0; n < nodes; n++ {
+					s := r.Node(n)
+					_ = s.Stats()
+					_ = s.Size()
+					_ = s.Index()
+					_ = s.ShardSizes()
+				}
+			}
+		}()
+	}
+	// One writer per SAS: the single-goroutine-per-node notification
+	// discipline the session guarantees.
+	var writers sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		writers.Add(1)
+		go func(n int) {
+			defer writers.Done()
+			s := r.Node(n)
+			for i := 0; i < rounds; i++ {
+				sn := sent("Busy", fmt.Sprintf("n%d_%d", n, i%7))
+				at := vtime.Time(i * 10)
+				s.Activate(sn, at)
+				s.RecordEvent(sn, at+1, 1)
+				if err := s.Deactivate(sn, at+2); err != nil {
+					t.Error(err)
+				}
+			}
+		}(n)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := r.TotalStats()
+	wantNotifs := nodes * rounds * 2 // one activate + one deactivate each
+	if st.Notifications != wantNotifs {
+		t.Errorf("Notifications = %d, want %d", st.Notifications, wantNotifs)
+	}
+	if st.Events != nodes*rounds {
+		t.Errorf("Events = %d, want %d", st.Events, nodes*rounds)
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 
 	"nvmap/internal/nv"
+	"nvmap/internal/obs"
 	"nvmap/internal/vtime"
 )
 
@@ -286,11 +287,14 @@ type shard struct {
 	list []*entry
 	free *entry // freelist of removed entries
 	// notif and stored count the notifications applied through this
-	// shard. They are plain ints bumped inside the shard critical section
-	// the operation already pays for, sparing the hot path an atomic;
-	// statsSnapshot sums them under structMu write.
-	notif  int64
-	stored int64
+	// shard. They are atomics so statsSnapshot can sum them under
+	// structMu in read mode, concurrently with the shard critical
+	// sections that bump them: before the observability plane, snapshots
+	// ran under structMu write (which excluded every bumper), but metric
+	// collectors and the debug handler now read Stats() while
+	// notifications flow, and a plain int64 read would tear.
+	notif  atomic.Int64
+	stored atomic.Int64
 	_      [8]byte // pad to a cache line against false sharing
 }
 
@@ -387,6 +391,10 @@ type SAS struct {
 	jmu       sync.Mutex
 	record    func(Record)
 	replaying int
+
+	// obsT, when non-nil, records spans for the notification and
+	// measurement hot paths (see Options.Obs).
+	obsT *obs.Tracer
 }
 
 // Options configures a SAS.
@@ -405,6 +413,13 @@ type Options struct {
 	// goroutine. Individual SASes ignore it. Like the machine's engine,
 	// the worker count never changes any result.
 	Workers int
+	// Obs attaches the observability plane: Activate, Deactivate,
+	// RecordEvent and RecordSpan record spans on its tracer. Span
+	// recording assumes the notifying operations run on one goroutine
+	// (the session's driving goroutine, where all monitoring code
+	// lives); registries wired into a concurrent export mesh should
+	// leave it nil or run with Workers 1. Nil disables recording.
+	Obs *obs.Plane
 }
 
 // New returns an empty SAS.
@@ -415,6 +430,7 @@ func New(opts Options) *SAS {
 		byVerb:    make(map[nv.VerbHandle][]QuestionID),
 		byNoun:    make(map[nv.NounHandle][]QuestionID),
 		questions: make(map[QuestionID]*questionState),
+		obsT:      opts.Obs.Trace(),
 	}
 }
 
@@ -645,6 +661,10 @@ func (s *SAS) relevant(sn *nv.Sentence) bool {
 // Nested activation of an already-active sentence increases its depth.
 func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
 	p := nv.InternedPtr(&sn)
+	if s.obsT != nil {
+		ref := s.obsT.Begin(obs.StageSASActivate, p.Key(), s.node, at)
+		defer s.obsT.End(ref, at)
+	}
 	s.structMu.RLock()
 	var pending []pendingSend
 	if s.journaling() {
@@ -657,8 +677,8 @@ func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
 	default:
 		sh := s.shardOf(p)
 		sh.mu.Lock()
-		sh.notif++
-		sh.stored++
+		sh.notif.Add(1)
+		sh.stored.Add(1)
 		if e := sh.lookup(nv.HandleOf(p)); e != nil {
 			e.depth++
 			sh.mu.Unlock()
@@ -678,6 +698,10 @@ func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
 // notification is an invariant the monitoring code must maintain.
 func (s *SAS) Deactivate(sn nv.Sentence, at vtime.Time) error {
 	p := nv.InternedPtr(&sn)
+	if s.obsT != nil {
+		ref := s.obsT.Begin(obs.StageSASDeactivate, p.Key(), s.node, at)
+		defer s.obsT.End(ref, at)
+	}
 	s.structMu.RLock()
 	var pending []pendingSend
 	if s.journaling() {
@@ -701,8 +725,8 @@ func (s *SAS) Deactivate(sn nv.Sentence, at vtime.Time) error {
 		}
 		return fmt.Errorf("sas: deactivate of inactive sentence %v", sn)
 	}
-	sh.notif++
-	sh.stored++
+	sh.notif.Add(1)
+	sh.stored.Add(1)
 	e.depth--
 	if e.depth == 0 {
 		sh.remove(e)
@@ -912,6 +936,10 @@ func (s *SAS) fires(st *questionState, c *evalCtx) bool {
 // to active sentences at higher levels."
 func (s *SAS) RecordEvent(sn nv.Sentence, at vtime.Time, value float64) int {
 	p := nv.InternedPtr(&sn)
+	if s.obsT != nil {
+		ref := s.obsT.Begin(obs.StageSASMatch, p.Key(), s.node, at)
+		defer s.obsT.End(ref, at)
+	}
 	s.structMu.RLock()
 	if s.journaling() {
 		s.journal(Record{Kind: RecEvent, Sentence: *p, At: at, Value: value})
@@ -940,6 +968,10 @@ func (s *SAS) RecordEvent(sn nv.Sentence, at vtime.Time, value float64) int {
 // span to each question's event-time accumulator.
 func (s *SAS) RecordSpan(sn nv.Sentence, from, to vtime.Time, value vtime.Duration) int {
 	p := nv.InternedPtr(&sn)
+	if s.obsT != nil {
+		ref := s.obsT.Begin(obs.StageSASMatch, p.Key(), s.node, from)
+		defer s.obsT.End(ref, to)
+	}
 	s.structMu.RLock()
 	if s.journaling() {
 		s.journal(Record{Kind: RecSpan, Sentence: *p, At: to, From: from, Dur: value})
@@ -1072,22 +1104,63 @@ func (s *SAS) Size() int {
 	return n
 }
 
-// Stats returns a copy of the notification statistics.
+// Stats returns a copy of the notification statistics. It takes structMu
+// only in read mode: every merged counter is atomic, so snapshots run
+// concurrently with notification traffic without tearing.
 func (s *SAS) Stats() Stats {
-	s.structMu.Lock()
-	defer s.structMu.Unlock()
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
 	return s.statsSnapshot()
 }
 
 // statsSnapshot merges the atomic counters with the shard-local ones.
-// Called with structMu in write mode.
+// Called with structMu held in either mode.
 func (s *SAS) statsSnapshot() Stats {
 	st := s.stats.snapshot()
 	for i := range s.shards {
-		st.Notifications += int(s.shards[i].notif)
-		st.Stored += int(s.shards[i].stored)
+		st.Notifications += int(s.shards[i].notif.Load())
+		st.Stored += int(s.shards[i].stored.Load())
 	}
 	return st
+}
+
+// IndexStats describes the question index: how many questions are
+// registered and how the posting lists distribute them. Exposed for the
+// observability plane's metrics.
+type IndexStats struct {
+	Questions        int
+	VerbPostings     int
+	NounPostings     int
+	WildcardPostings int
+}
+
+// Index returns the current question-index statistics.
+func (s *SAS) Index() IndexStats {
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
+	st := IndexStats{Questions: len(s.questions), WildcardPostings: len(s.wildcardQ)}
+	for _, ids := range s.byVerb {
+		st.VerbPostings += len(ids)
+	}
+	for _, ids := range s.byNoun {
+		st.NounPostings += len(ids)
+	}
+	return st
+}
+
+// ShardSizes returns the number of active sentences held by each shard —
+// the occupancy distribution behind shard contention.
+func (s *SAS) ShardSizes() [numShards]int {
+	var out [numShards]int
+	s.structMu.RLock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out[i] = len(sh.list)
+		sh.mu.RUnlock()
+	}
+	s.structMu.RUnlock()
+	return out
 }
 
 // lastKnownTime returns a best-effort "now" for evaluating a question

@@ -152,8 +152,8 @@ func (s *SAS) clearShards() {
 	for i := range s.shards {
 		s.shards[i].byH = nil
 		s.shards[i].list = nil
-		s.shards[i].notif = 0
-		s.shards[i].stored = 0
+		s.shards[i].notif.Store(0)
+		s.shards[i].stored.Store(0)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"nvmap/internal/machine"
+	"nvmap/internal/obs"
 	"nvmap/internal/vtime"
 )
 
@@ -26,16 +27,24 @@ type Span struct {
 // Duration returns the span's length.
 func (s Span) Duration() vtime.Duration { return s.End.Sub(s.Start) }
 
-// Trace accumulates spans from a machine.
+// Trace accumulates spans from a machine. The spans live in an
+// unbounded obs.Tracer — the same span model the observability plane
+// records the rest of the pipeline in — so a timeline can be exported
+// through the plane's Chrome-trace writer unchanged; this package's
+// renderers convert back to machine event kinds for the ASCII lanes.
 type Trace struct {
 	nodes int
-	spans []Span
+	tr    *obs.Tracer
 }
 
 // New returns an empty trace for a partition of the given size.
 func New(nodes int) *Trace {
-	return &Trace{nodes: nodes}
+	return &Trace{nodes: nodes, tr: obs.NewTracer(-1)}
 }
+
+// Tracer exposes the underlying span store for export through the
+// observability plane's writers (e.g. obs.WriteChromeTrace).
+func (t *Trace) Tracer() *obs.Tracer { return t.tr }
 
 // Attach registers the trace as an observer of m. Only spans with
 // positive duration on worker nodes are recorded (instantaneous events
@@ -50,21 +59,22 @@ func (t *Trace) Attach(m *machine.Machine) {
 		if e.Kind == machine.EvBarrier {
 			return
 		}
-		t.spans = append(t.spans, Span{
-			Node: e.Node, Kind: e.Kind, Tag: e.Tag, Start: e.Start, End: e.End,
-		})
+		t.tr.Record(machine.StageFor(e.Kind), e.Tag, e.Node, e.Start, e.End)
 	})
 }
 
 // Len returns the number of recorded spans.
-func (t *Trace) Len() int { return len(t.spans) }
+func (t *Trace) Len() int { return int(t.tr.Count()) }
 
 // Spans returns the recorded spans for one node in start order.
 func (t *Trace) Spans(node int) []Span {
 	var out []Span
-	for _, s := range t.spans {
+	for _, s := range t.tr.Spans() {
 		if s.Node == node {
-			out = append(out, s)
+			out = append(out, Span{
+				Node: s.Node, Kind: machine.KindFor(s.Stage), Tag: s.Name,
+				Start: s.Start, End: s.End,
+			})
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
@@ -74,7 +84,7 @@ func (t *Trace) Spans(node int) []Span {
 // End returns the latest recorded instant.
 func (t *Trace) End() vtime.Time {
 	var end vtime.Time
-	for _, s := range t.spans {
+	for _, s := range t.tr.Spans() {
 		if s.End.After(end) {
 			end = s.End
 		}
@@ -85,9 +95,9 @@ func (t *Trace) End() vtime.Time {
 // Utilization sums span durations per event kind for one node.
 func (t *Trace) Utilization(node int) map[machine.EventKind]vtime.Duration {
 	out := make(map[machine.EventKind]vtime.Duration)
-	for _, s := range t.spans {
+	for _, s := range t.tr.Spans() {
 		if s.Node == node {
-			out[s.Kind] += s.Duration()
+			out[machine.KindFor(s.Stage)] += s.End.Sub(s.Start)
 		}
 	}
 	return out

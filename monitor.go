@@ -65,5 +65,8 @@ func (a *AskedQuestion) Answer(now vtime.Time) (sas.Result, error) {
 // node's full snapshot is captured into m.Snapshot.
 func (m *Monitor) SnapshotWhen(pattern sas.Term) { m.snapshotWant = pattern }
 
-// Stats sums notification statistics over every node's SAS.
+// Stats sums notification statistics over every node's SAS. It is a
+// thin shim over the same per-shard counters the observability plane's
+// registry collectors read (exp_sas.go registers them as
+// nvmap_sas_*{sas="monitor"}), so the two views can never disagree.
 func (m *Monitor) Stats() sas.Stats { return m.Reg.TotalStats() }

@@ -32,6 +32,7 @@ import (
 	"nvmap/internal/fault"
 	"nvmap/internal/machine"
 	"nvmap/internal/mdl"
+	"nvmap/internal/obs"
 	"nvmap/internal/paradyn"
 	"nvmap/internal/pif"
 	"nvmap/internal/pifgen"
@@ -78,6 +79,11 @@ type Config struct {
 	// daemon supervisor, journal replay). It takes effect only when
 	// Faults schedules crashes.
 	Recovery RecoveryConfig
+	// Observability, when set, enables the self-observability plane:
+	// pipeline-stage span tracing, the metrics registry, and the
+	// perturbation report on Run. Nil (the default) leaves every record
+	// site a single nil check and all session outputs byte-identical.
+	Observability *ObservabilityConfig
 }
 
 // Session is one application bound to a machine, runtime and tool.
@@ -95,6 +101,14 @@ type Session struct {
 	monitor    *Monitor
 	recovery   *recovery
 	crashFinal bool
+
+	// Self-observability state (see obs.go): the plane, plus the stage
+	// totals and wall-clock baseline captured at the start of the most
+	// recent Run for the perturbation report.
+	obsPlane    *obs.Plane
+	runBase     [obs.NumStages]obs.StageTotals
+	runWall     int64
+	runMeasured bool
 }
 
 // compileCache memoizes compilation and static-mapping generation per
@@ -185,9 +199,20 @@ func newSession(source string, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	var plane *obs.Plane
+	if cfg.Observability != nil {
+		plane = obs.New(obs.Options{
+			TraceCapacity: cfg.Observability.TraceCapacity,
+			HistBins:      cfg.Observability.HistBins,
+		})
+	}
 	// The tool shares the session's resolved worker width, so
 	// WithWorkers(1) serialises the whole stack, not just the machine.
-	tool, err := paradyn.New(rt, mdl.StdLibrary(), paradyn.Options{SampleEvery: cfg.SampleEvery, Workers: m.Workers()})
+	tool, err := paradyn.New(rt, mdl.StdLibrary(), paradyn.Options{
+		SampleEvery: cfg.SampleEvery,
+		Workers:     m.Workers(),
+		Obs:         plane,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +232,9 @@ func newSession(source string, cfg Config) (*Session, error) {
 		Program:  cp,
 		Executor: cmf.NewExecutor(cp, rt, cfg.Output),
 		PIF:      pf,
+	}
+	if plane != nil {
+		wireObs(s, plane)
 	}
 	if cfg.Faults != nil {
 		s.plan = cfg.Faults
@@ -242,6 +270,19 @@ func (s *Session) Run() (*DegradationReport, error) {
 		// Journaling hooks attach now, after the experiment has set up
 		// its monitors and metric-focus pairs.
 		s.recovery.arm()
+	}
+	if tr := s.obsTracer(); tr != nil {
+		// The execute span brackets the whole run, so every nested
+		// stage's wall cost is deducted from it and the perturbation
+		// report's stage self-costs sum to (nearly) the run wall time.
+		s.runBase = tr.Totals()
+		wall0 := tr.WallNow()
+		ref := tr.Begin(obs.StageExecute, "run", obs.NodeCP, s.Now())
+		defer func() {
+			tr.End(ref, s.Now())
+			s.runWall = tr.WallNow() - wall0
+			s.runMeasured = true
+		}()
 	}
 	err := s.Executor.Run()
 	// Final samples and mapping records may still sit on the channel if

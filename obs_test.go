@@ -1,0 +1,239 @@
+package nvmap
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nvmap/internal/obs"
+	"nvmap/internal/paradyn"
+)
+
+// The observability plane's determinism contract: with the plane
+// enabled, the Chrome trace export, the stable Prometheus export and
+// the perturbation report's structure are byte-identical across worker
+// counts — and pinned against committed goldens, so any change to the
+// span stream or the collector set is a visible diff.
+
+var updateObsGoldens = flag.Bool("update-obs-goldens", false,
+	"rewrite the observability export goldens in testdata/")
+
+const obsWorkload = `PROGRAM quick
+REAL A(1024)
+REAL B(1024)
+REAL ASUM
+FORALL (I = 1:1024) A(I) = I
+B = A * 0.5 + 1.0
+B = CSHIFT(B, 16)
+ASUM = SUM(A)
+PRINT *, ASUM
+END
+`
+
+// obsSession builds the reference observed session: the quickstart
+// workload with gating, dynamic mapping, four metrics and a SAS monitor
+// question — every span-recording subsystem exercised.
+func obsSession(t testing.TB, workers int) *Session {
+	t.Helper()
+	s, err := NewSession(obsWorkload,
+		WithNodes(8),
+		WithWorkers(workers),
+		WithSourceFile("quick.fcm"),
+		WithOutput(io.Discard),
+		WithObservability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tool.EnableDynamicMapping()
+	s.Tool.EnableGating()
+	for _, id := range []string{"summations", "summation_time", "point_to_point_ops", "idle_time"} {
+		if _, err := s.Tool.EnableMetric(id, paradyn.WholeProgram()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon := s.EnableSASMonitor(false)
+	if _, err := mon.Ask("sums while sending", "{? Sums}, {? Sends}"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// obsExports runs the reference session and returns its two
+// deterministic exports.
+func obsExports(t *testing.T, workers int) (chrome, prom string) {
+	t.Helper()
+	s := obsSession(t, workers)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Tool.SampleAll(s.Now())
+	var cb, pb bytes.Buffer
+	if err := obs.WriteChromeTrace(&cb, s.Observability().Tracer); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WritePrometheus(&pb, s.Observability().Metrics, false); err != nil {
+		t.Fatal(err)
+	}
+	return cb.String(), pb.String()
+}
+
+func checkObsGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateObsGoldens {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test -update-obs-goldens to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden (%d bytes vs %d); regenerate with -update-obs-goldens if the change is deliberate",
+			name, len(got), len(want))
+	}
+}
+
+func TestObsExportGoldens(t *testing.T) {
+	chrome, prom := obsExports(t, 1)
+	if !json.Valid([]byte(chrome)) {
+		t.Fatalf("chrome trace is not valid JSON:\n%.400s", chrome)
+	}
+	for _, workers := range []int{2, 8} {
+		c, p := obsExports(t, workers)
+		if c != chrome {
+			t.Errorf("chrome trace differs between workers=1 and workers=%d", workers)
+		}
+		if p != prom {
+			t.Errorf("prometheus export differs between workers=1 and workers=%d", workers)
+		}
+	}
+	checkObsGolden(t, "obs_quickstart_trace.json", chrome)
+	checkObsGolden(t, "obs_quickstart_metrics.prom", prom)
+}
+
+// TestObsPerturbation pins the perturbation report's two guarantees:
+// with a deterministic host clock it attributes at least 95% of the
+// run's wall self-cost to named stages, and its structural content
+// (stages, span counts, virtual time) is identical across worker
+// counts.
+func TestObsPerturbation(t *testing.T) {
+	structure := make(map[int]string)
+	for _, workers := range []int{1, 8} {
+		s := obsSession(t, workers)
+		var tick int64
+		s.Observability().Tracer.SetWallClock(func() int64 {
+			tick += 1000
+			return tick
+		})
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		rep := s.PerturbationReport()
+		if rep == nil {
+			t.Fatal("no perturbation report after Run")
+		}
+		if att := rep.Attributed(); att < 0.95 {
+			t.Errorf("workers=%d: only %.1f%% of run wall attributed to stages", workers, 100*att)
+		}
+		if rep.RunWall <= 0 {
+			t.Errorf("workers=%d: non-positive run wall %d", workers, rep.RunWall)
+		}
+		structure[workers] = rep.Structure()
+	}
+	if structure[1] != structure[8] {
+		t.Errorf("perturbation structure differs across worker counts:\n--- workers=1\n%s--- workers=8\n%s",
+			structure[1], structure[8])
+	}
+}
+
+// TestObsDisabled pins the off-by-default contract: without
+// WithObservability the session exposes no plane and no report, and the
+// record sites all see nil tracers.
+func TestObsDisabled(t *testing.T) {
+	s, err := NewSession(obsWorkload, WithNodes(4), WithOutput(io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Observability() != nil {
+		t.Error("disabled session exposes an observability plane")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.PerturbationReport() != nil {
+		t.Error("disabled session produced a perturbation report")
+	}
+}
+
+// TestMonitorStatsRegistryEquality pins the shim contract: the legacy
+// Monitor.Stats() accessor and the registry's monitor-SAS collectors
+// read the same counters, so their values are equal at any instant.
+func TestMonitorStatsRegistryEquality(t *testing.T) {
+	s := obsSession(t, 0)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mon := s.monitor
+	st := mon.Stats()
+	reg := s.Observability().Metrics
+	for name, want := range map[string]float64{
+		"nvmap_sas_notifications_total{sas=\"monitor\"}": float64(st.Notifications),
+		"nvmap_sas_ignored_total{sas=\"monitor\"}":       float64(st.Ignored),
+		"nvmap_sas_stored_total{sas=\"monitor\"}":        float64(st.Stored),
+		"nvmap_sas_evaluations_total{sas=\"monitor\"}":   float64(st.Evaluations),
+		"nvmap_sas_events_total{sas=\"monitor\"}":        float64(st.Events),
+	} {
+		sample, ok := reg.Lookup(name)
+		if !ok {
+			t.Errorf("metric %s not registered", name)
+			continue
+		}
+		if sample.Value != want {
+			t.Errorf("%s = %v, Monitor.Stats() says %v", name, sample.Value, want)
+		}
+	}
+	if st.Notifications == 0 {
+		t.Error("workload produced no monitor notifications; equality check is vacuous")
+	}
+	// The tool's gating SASes are registered under their own label.
+	if _, ok := reg.Lookup("nvmap_sas_notifications_total{sas=\"tool\"}"); !ok {
+		t.Error("tool SAS collectors not registered")
+	}
+}
+
+// TestObsDaemonStatsRegistryEquality pins the same contract for the
+// daemon channel's counters.
+func TestObsDaemonStatsRegistryEquality(t *testing.T) {
+	s := obsSession(t, 0)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Tool.SampleAll(s.Now())
+	st := s.Tool.Channel().Stats()
+	reg := s.Observability().Metrics
+	for name, want := range map[string]float64{
+		"nvmap_daemon_sent_total":      float64(st.Sent),
+		"nvmap_daemon_delivered_total": float64(st.Delivered),
+		"nvmap_daemon_dropped_total":   float64(st.Dropped),
+		"nvmap_daemon_queue_max":       float64(st.MaxQueue),
+	} {
+		sample, ok := reg.Lookup(name)
+		if !ok {
+			t.Errorf("metric %s not registered", name)
+			continue
+		}
+		if sample.Value != want {
+			t.Errorf("%s = %v, Channel.Stats() says %v", name, sample.Value, want)
+		}
+	}
+	if st.Sent == 0 {
+		t.Error("workload sent no daemon messages; equality check is vacuous")
+	}
+}

@@ -89,3 +89,17 @@ func WithFaults(p *fault.Plan) Option {
 func WithRecovery(rc RecoveryConfig) Option {
 	return func(c *Config) { c.Recovery = rc }
 }
+
+// WithObservability enables the self-observability plane with default
+// settings: pipeline-stage span tracing, the metrics registry, the
+// exporters, and the perturbation report on Run. See
+// Session.Observability and Session.PerturbationReport.
+func WithObservability() Option {
+	return func(c *Config) { c.Observability = &ObservabilityConfig{} }
+}
+
+// WithObservabilityConfig enables the self-observability plane with
+// explicit tuning.
+func WithObservabilityConfig(oc ObservabilityConfig) Option {
+	return func(c *Config) { c.Observability = &oc }
+}

@@ -7,6 +7,7 @@ import (
 	"nvmap/internal/daemon"
 	"nvmap/internal/machine"
 	"nvmap/internal/mdl"
+	"nvmap/internal/obs"
 	"nvmap/internal/sas"
 	"nvmap/internal/vtime"
 )
@@ -193,6 +194,10 @@ func (s *Session) wipeNode(node int) {
 // versioned, checksummed store.
 func (rc *recovery) CheckpointNode(node int, at vtime.Time) {
 	s := rc.s
+	if tr := s.obsTracer(); tr != nil {
+		ref := tr.Begin(obs.StageCheckpoint, "", node, at)
+		defer tr.End(ref, at)
+	}
 	ck := nodeCheckpoint{
 		Metrics:     make([]mdl.PrimState, 0, len(s.Tool.Enabled())),
 		MonCursor:   len(rc.monJournal[node]),
@@ -221,6 +226,10 @@ func (rc *recovery) CheckpointNode(node int, at vtime.Time) {
 // onto the empty node.
 func (rc *recovery) RestoreNode(node int, at vtime.Time) daemon.RestoreOutcome {
 	s := rc.s
+	if tr := s.obsTracer(); tr != nil {
+		ref := tr.Begin(obs.StageRestore, "", node, at)
+		defer tr.End(ref, at)
+	}
 	var out daemon.RestoreOutcome
 	var ck nodeCheckpoint
 	if snap, ok := rc.store.Latest(node); ok {
