@@ -17,7 +17,7 @@ BENCH_OBS ?= ObsOverhead
 GATE_OBS  ?= ObsOverhead/obs=off
 
 .PHONY: build test race bench bench-rebase bench-par bench-par-rebase \
-	bench-obs bench-obs-rebase
+	bench-obs bench-obs-rebase soak soak-smoke
 
 build:
 	go build ./...
@@ -57,3 +57,17 @@ bench-obs:
 bench-obs-rebase:
 	go test -run '^$$' -bench '$(BENCH_OBS)' -benchmem -count=5 . | \
 		go run ./cmd/benchdiff -out BENCH_PR5.json -check '$(GATE_OBS)' -max-regress 2 -rebase
+
+# Chaos soak: randomized composed-fault sessions under the race
+# detector, asserting the robustness contract (no process death, every
+# run ends in answer / partial / typed error, wall-clock-free runs
+# byte-deterministic across worker counts). soak is the full acceptance
+# run; soak-smoke is the short CI variant.
+SOAK_N       ?= 500
+SOAK_SMOKE_N ?= 25
+
+soak:
+	go run -race ./cmd/nvsoak -n $(SOAK_N) -seed 1
+
+soak-smoke:
+	go run -race ./cmd/nvsoak -n $(SOAK_SMOKE_N) -seed 1

@@ -1,0 +1,409 @@
+// Command nvsoak is the chaos soak harness: it generates randomized CM
+// Fortran programs, composes randomized fault plans (message loss,
+// bounded channels, slowdowns, stalls, crashes), layers governance on
+// top (budgets, deadlines, the stall watchdog), and runs hundreds of
+// sessions end to end asserting the robustness contract:
+//
+//   - the process never dies: every panic is contained;
+//   - every session ends in an answer, a partial answer, or a typed
+//     *nvmap.SessionError — never a hang (a per-session wall budget
+//     catches those) and never an untyped failure;
+//   - cut runs carry their cut in the degradation report;
+//   - wall-clock-free scenarios are byte-deterministic: the same seed
+//     re-run under a different worker count yields identical metric
+//     values, final clocks and report text.
+//
+// Usage:
+//
+//	nvsoak -n 500 -seed 1
+//	nvsoak -n 25 -timeout 10s -v     # CI smoke
+//
+// Exit status 0 means every session satisfied the contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"nvmap"
+	"nvmap/internal/fault"
+	"nvmap/internal/paradyn"
+	"nvmap/internal/vtime"
+)
+
+// rng is a self-contained splitmix64 stream so soak schedules are
+// stable across Go releases.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) f() float64     { return float64(r.next()>>11) / (1 << 53) }
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func main() {
+	var (
+		n       = flag.Int("n", 500, "number of soak sessions")
+		seed    = flag.Int64("seed", 1, "base seed (iteration i uses seed+i)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-session hang budget")
+		verbose = flag.Bool("v", false, "log every iteration")
+	)
+	flag.Parse()
+
+	counts := map[string]int{}
+	fails := 0
+	for i := 0; i < *n; i++ {
+		class, err := soakOne(uint64(*seed)+uint64(i), *timeout)
+		counts[class]++
+		if err != nil {
+			fails++
+			fmt.Fprintf(os.Stderr, "nvsoak: FAIL iteration %d (seed %d): %v\n", i, *seed, err)
+		} else if *verbose {
+			fmt.Printf("iter %4d: %s\n", i, class)
+		}
+	}
+
+	classes := make([]string, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Printf("nvsoak: %d sessions", *n)
+	for _, c := range classes {
+		fmt.Printf(", %s %d", c, counts[c])
+	}
+	fmt.Println()
+	if fails > 0 {
+		fmt.Fprintf(os.Stderr, "nvsoak: %d of %d sessions violated the contract\n", fails, *n)
+		os.Exit(1)
+	}
+}
+
+// scenario is one randomized soak configuration.
+type scenario struct {
+	program  string
+	nodes    int
+	workers  int
+	plan     *fault.Plan
+	recovery *nvmap.RecoveryConfig
+	budget   *nvmap.Budget
+	deadline time.Duration // 0 = none (wall clock; breaks determinism)
+	watchdog time.Duration // 0 = none
+	metrics  []string
+}
+
+// wallClockFree reports whether the scenario's outcome is a pure
+// function of its seed (no wall-clock governance), and therefore must
+// be byte-identical across worker counts.
+func (sc *scenario) wallClockFree() bool { return sc.deadline == 0 && sc.watchdog == 0 }
+
+// outcome is one run's observable surface, for determinism comparison.
+type outcome struct {
+	class  string
+	report string
+	clock  vtime.Time
+	values string
+}
+
+// soakOne generates and runs one scenario, re-running wall-clock-free
+// ones under a second worker count for the determinism check. It
+// returns the outcome class and a contract violation, if any.
+func soakOne(seed uint64, hangBudget time.Duration) (string, error) {
+	r := &rng{state: seed}
+	sc := genScenario(r)
+	first, err := runScenario(sc, sc.workers, hangBudget)
+	if err != nil {
+		return "violation", err
+	}
+	if sc.wallClockFree() {
+		altWorkers := 1 + (sc.workers % 8) // different, still in 1..8
+		second, err := runScenario(sc, altWorkers, hangBudget)
+		if err != nil {
+			return "violation", fmt.Errorf("re-run workers=%d: %w", altWorkers, err)
+		}
+		if first.clock != second.clock || first.values != second.values || first.report != second.report {
+			return "violation", fmt.Errorf(
+				"nondeterministic under workers %d vs %d:\nclock %v vs %v\nvalues %q vs %q\nreport:\n%s---\n%s",
+				sc.workers, altWorkers, first.clock, second.clock, first.values, second.values, first.report, second.report)
+		}
+	}
+	return first.class, nil
+}
+
+// runScenario executes one session under the hang budget and asserts
+// the robustness contract on its outcome.
+func runScenario(sc *scenario, workers int, hangBudget time.Duration) (*outcome, error) {
+	type result struct {
+		out *outcome
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := runSession(sc, workers)
+		ch <- result{out, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.out, res.err
+	case <-time.After(hangBudget):
+		return nil, fmt.Errorf("session hung: no result within %v", hangBudget)
+	}
+}
+
+// runSession builds and runs the session on the calling goroutine and
+// classifies the outcome. Any panic escaping nvmap here is itself a
+// contract violation (the library must contain them), so none is
+// recovered.
+func runSession(sc *scenario, workers int) (*outcome, error) {
+	opts := []nvmap.Option{
+		nvmap.WithNodes(sc.nodes),
+		nvmap.WithWorkers(workers),
+		nvmap.WithSourceFile("soak.fcm"),
+	}
+	if sc.plan != nil {
+		opts = append(opts, nvmap.WithFaults(sc.plan))
+	}
+	if sc.recovery != nil {
+		opts = append(opts, nvmap.WithRecovery(*sc.recovery))
+	}
+	if sc.budget != nil {
+		opts = append(opts, nvmap.WithBudget(*sc.budget))
+	}
+	if sc.watchdog > 0 {
+		opts = append(opts, nvmap.WithWatchdog(sc.watchdog))
+	}
+	s, err := nvmap.NewSession(sc.program, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("generated program rejected: %w\n%s", err, sc.program)
+	}
+	ems := make(map[string]*vals, len(sc.metrics))
+	for _, id := range sc.metrics {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			return nil, fmt.Errorf("enable %s: %w", id, err)
+		}
+		ems[id] = &vals{em: em}
+	}
+	ctx := context.Background()
+	if sc.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sc.deadline)
+		defer cancel()
+	}
+	rep, runErr := s.RunContext(ctx)
+	if rep == nil {
+		return nil, errors.New("nil degradation report")
+	}
+
+	out := &outcome{report: rep.String(), clock: s.Now()}
+	var sb strings.Builder
+	ids := append([]string(nil), sc.metrics...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%s=%g;", id, ems[id].em.Value(s.Now()))
+	}
+	out.values = sb.String()
+
+	switch {
+	case runErr == nil:
+		if rep.Zero() {
+			out.class = "answer"
+		} else {
+			out.class = "degraded"
+		}
+		if rep.Cut != nil {
+			return nil, fmt.Errorf("clean run reported a cut: %+v", rep.Cut)
+		}
+		return out, nil
+	default:
+		var serr *nvmap.SessionError
+		if !errors.As(runErr, &serr) {
+			return nil, fmt.Errorf("untyped session failure: %w", runErr)
+		}
+		if serr.Kind == nvmap.ErrorPanic {
+			return nil, fmt.Errorf("library panicked: %v\n%s", serr, serr.Stack)
+		}
+		if rep.Cut == nil {
+			return nil, fmt.Errorf("cut error (%v) but report has no Cut", serr)
+		}
+		if rep.Cut.Kind != serr.Kind {
+			return nil, fmt.Errorf("report cut kind %v, error kind %v", rep.Cut.Kind, serr.Kind)
+		}
+		out.class = "cut:" + serr.Kind.String()
+		return out, nil
+	}
+}
+
+// vals pairs an enabled metric with its session for the value readout.
+type vals struct {
+	em interface{ Value(vtime.Time) float64 }
+}
+
+// genScenario draws one randomized composition.
+func genScenario(r *rng) *scenario {
+	sc := &scenario{
+		program: genProgram(r),
+		nodes:   []int{1, 2, 4, 8}[r.intn(4)],
+		workers: 1 + r.intn(8),
+		metrics: []string{"computations", "computation_time", "summations"},
+	}
+
+	plan := &fault.Plan{Seed: int64(r.next() % (1 << 31))}
+	used := false
+	if r.f() < 0.5 { // lossy messages
+		plan.Messages = fault.MessageFaults{
+			DropProb:  r.f() * 0.15,
+			DupProb:   r.f() * 0.1,
+			DelayProb: r.f() * 0.3,
+			DelayMax:  vtime.Duration(1+r.intn(5)) * vtime.Microsecond,
+		}
+		used = true
+	}
+	if r.f() < 0.4 { // slow / stalling nodes
+		nf := fault.NodeFaults{Slowdown: map[int]float64{}}
+		for n := 0; n < sc.nodes; n++ {
+			if r.f() < 0.3 {
+				nf.Slowdown[n] = 1.0 + r.f()*2.0
+			}
+		}
+		if r.f() < 0.5 {
+			nf.StallProb = r.f() * 0.3
+			nf.StallFor = vtime.Duration(1+r.intn(4)) * vtime.Microsecond
+		}
+		plan.Nodes = nf
+		used = true
+	}
+	if r.f() < 0.4 { // bounded daemon channel
+		plan.Channel = fault.ChannelFaults{
+			Capacity: 4 + r.intn(60),
+			Policy:   []fault.OverflowPolicy{fault.DropOldest, fault.DropNewest, fault.Backpressure}[r.intn(3)],
+		}
+		used = true
+	}
+	if r.f() < 0.5 { // fail-stop crashes: at most one per node (schedules
+		// on one node must not overlap, and nothing may follow a
+		// permanent crash — session validation rejects both)
+		perm := make([]int, sc.nodes)
+		for n := range perm {
+			perm[n] = n
+		}
+		for n := range perm { // Fisher–Yates off the soak stream
+			j := n + r.intn(len(perm)-n)
+			perm[n], perm[j] = perm[j], perm[n]
+		}
+		ncrash := 1 + r.intn(3)
+		if ncrash > sc.nodes {
+			ncrash = sc.nodes
+		}
+		for c := 0; c < ncrash; c++ {
+			cf := fault.CrashFault{
+				Node: perm[c],
+				At:   vtime.Time(r.intn(80)) * vtime.Time(vtime.Microsecond),
+			}
+			if r.f() < 0.7 { // transient
+				cf.Restart = vtime.Duration(1+r.intn(30)) * vtime.Microsecond
+			}
+			plan.Crashes = append(plan.Crashes, cf)
+		}
+		rc := &nvmap.RecoveryConfig{
+			CheckpointEvery: 20 * vtime.Microsecond,
+			Timeout:         5 * vtime.Microsecond,
+			Probes:          2,
+		}
+		if r.f() < 0.25 {
+			rc = &nvmap.RecoveryConfig{Disable: true}
+		}
+		sc.recovery = rc
+		used = true
+	}
+	if used {
+		sc.plan = plan
+	}
+
+	if r.f() < 0.35 { // budgets
+		b := nvmap.Budget{}
+		switch r.intn(3) {
+		case 0:
+			b.MaxOps = int64(200 + r.intn(20000))
+		case 1:
+			b.MaxVirtualTime = vtime.Duration(20+r.intn(400)) * vtime.Microsecond
+		case 2:
+			b.MaxChannelBacklog = 2 + r.intn(30)
+		}
+		sc.budget = &b
+	}
+	if r.f() < 0.05 { // wall deadline (nondeterministic by nature)
+		sc.deadline = time.Duration(5+r.intn(45)) * time.Millisecond
+	}
+	if r.f() < 0.10 { // watchdog, generous: must never fire on healthy runs
+		sc.watchdog = 5 * time.Second
+	}
+	return sc
+}
+
+// genProgram composes a random, always-valid CM Fortran program over
+// two conformable arrays and two scalars.
+func genProgram(r *rng) string {
+	size := []int{64, 128, 256}[r.intn(3)]
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM soak\nREAL A(%d)\nREAL B(%d)\nREAL S\nREAL T\n", size, size)
+	fmt.Fprintf(&b, "FORALL (I = 1:%d) A(I) = I\n", size)
+	fmt.Fprintf(&b, "FORALL (I = 1:%d) B(I) = 2 * I\n", size)
+
+	stmts := 3 + r.intn(8)
+	for i := 0; i < stmts; i++ {
+		if r.f() < 0.2 { // DO loop around 1-3 simple statements
+			fmt.Fprintf(&b, "DO K = 1, %d\n", 2+r.intn(6))
+			for j := 0; j < 1+r.intn(3); j++ {
+				b.WriteString(genStatement(r))
+			}
+			b.WriteString("END DO\n")
+			continue
+		}
+		b.WriteString(genStatement(r))
+	}
+	b.WriteString("S = SUM(A)\nPRINT *, S\nEND\n")
+	return b.String()
+}
+
+// genStatement draws one statement; every alternative is conformable
+// with the fixed A/B/S/T declarations.
+func genStatement(r *rng) string {
+	switch r.intn(12) {
+	case 0:
+		return "B = A * 2.0 + B\n"
+	case 1:
+		return "A = A + 1.0\n"
+	case 2:
+		return fmt.Sprintf("WHERE (A > %d.0) B = A * %d.0\n", r.intn(100), 1+r.intn(4))
+	case 3:
+		return "S = SUM(B)\n"
+	case 4:
+		return "T = MAXVAL(A)\n"
+	case 5:
+		return "T = MINVAL(B)\n"
+	case 6:
+		return "S = DOT_PRODUCT(A, B)\n"
+	case 7:
+		return fmt.Sprintf("A = CSHIFT(A, %d)\n", 1+r.intn(3))
+	case 8:
+		return "B = EOSHIFT(B, 1, 0)\n"
+	case 9:
+		return "A = SORT(A)\n"
+	case 10:
+		return "B = SCAN(B)\n"
+	default:
+		return "B = B * 0.5\n"
+	}
+}

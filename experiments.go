@@ -66,6 +66,13 @@ func RunAllExperiments() (string, error) {
 	outs := make([]string, len(exps))
 	errs := make([]error, len(exps))
 	par.New(0).Do(len(exps), func(i int) {
+		// One experiment panicking must not take down its siblings (or
+		// the process): contain it as that experiment's error.
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = fmt.Errorf("%w: %v", ErrPanicked, v)
+			}
+		}()
 		outs[i], errs[i] = exps[i].Run()
 	})
 	var b strings.Builder

@@ -21,6 +21,37 @@ import (
 // measure how the mapping mechanisms degrade — deterministically, so a
 // degraded run is as reproducible as a clean one.
 
+// maxReportDetail bounds every per-entry detail slice in the report
+// (crashes, links, dropped-sample metrics, degraded metrics, lost
+// nodes). A chaotic long run can accumulate thousands of crash windows;
+// the report keeps the first maxReportDetail of each in deterministic
+// order and records exactly how many were elided in Truncated. All
+// aggregate fields (recovered/lost time, resync totals) are computed
+// over the full set before truncation, so bounding loses detail rows,
+// never accounting.
+const maxReportDetail = 64
+
+// TruncationCounts records, per detail section, how many entries the
+// report elided to stay bounded. Zero everywhere means nothing was cut.
+type TruncationCounts struct {
+	Crashes         int
+	Links           int
+	DroppedSamples  int
+	DegradedMetrics int
+	LostNodes       int
+}
+
+// CutInfo records why and where a governed run was cut short. At is the
+// global virtual clock before the aborted operation — the exact instant
+// up to which every metric and histogram is complete.
+type CutInfo struct {
+	Kind   ErrorKind
+	Op     string
+	Node   int
+	At     vtime.Time
+	Reason string
+}
+
 // DegradationReport summarises what a faulted run lost and what the
 // recovery machinery did about it. Session.Run returns one (never nil);
 // with no fault plan configured it is all zeros.
@@ -64,10 +95,26 @@ type DegradationReport struct {
 	// store's ledger. Both stay zero when recovery is disabled.
 	Supervisor  daemon.SupervisorStats
 	Checkpoints checkpoint.Stats
+	// Cut records why the run was cut short (cancellation, deadline,
+	// budget, stall, contained panic); nil for runs that finished on
+	// their own.
+	Cut *CutInfo
+	// Budget is the budget governor's accounting — charged operations,
+	// high-water backlog and active-set readings, shed escalations.
+	// All zero when no budget was configured.
+	Budget BudgetStats
+	// Truncated records how many detail entries each bounded slice
+	// elided (see maxReportDetail).
+	Truncated TruncationCounts
 }
 
-// Zero reports whether the run suffered no degradation at all.
+// Zero reports whether the run suffered no degradation at all. A cut
+// run or one the governor shed fidelity from is never zero; a budgeted
+// run that finished under every ceiling without shedding still is.
 func (r *DegradationReport) Zero() bool {
+	if r.Cut != nil || r.Budget.Sheds != 0 {
+		return false
+	}
 	if !r.Injected.Zero() || r.Channel.Dropped != 0 || r.MappingRetries != 0 ||
 		len(r.DroppedSamples) != 0 || len(r.DegradedMetrics) != 0 ||
 		len(r.Crashes) != 0 {
@@ -88,6 +135,20 @@ func (r *DegradationReport) String() string {
 		return "no degradation\n"
 	}
 	var b strings.Builder
+	if r.Cut != nil {
+		fmt.Fprintf(&b, "cut: %s at t=%v", r.Cut.Kind, r.Cut.At)
+		if r.Cut.Op != "" {
+			fmt.Fprintf(&b, " (boundary %s/%s)", r.Cut.Op, nodeLabel(r.Cut.Node))
+		}
+		if r.Cut.Reason != "" {
+			fmt.Fprintf(&b, ": %s", r.Cut.Reason)
+		}
+		b.WriteString("\n")
+	}
+	if r.Budget.Sheds != 0 {
+		fmt.Fprintf(&b, "budget: shed to level %d (%d escalations); backlog high-water %d, active-set high-water %d\n",
+			r.Budget.ShedLevel, r.Budget.Sheds, r.Budget.MaxBacklog, r.Budget.MaxActiveSet)
+	}
 	if !r.Injected.Zero() {
 		b.WriteString("injected:\n")
 		for _, line := range strings.Split(strings.TrimRight(r.Injected.String(), "\n"), "\n") {
@@ -116,9 +177,16 @@ func (r *DegradationReport) String() string {
 		for _, id := range ids {
 			fmt.Fprintf(&b, "  %s: %d\n", id, r.DroppedSamples[id])
 		}
+		if r.Truncated.DroppedSamples != 0 {
+			fmt.Fprintf(&b, "  (+%d more metrics)\n", r.Truncated.DroppedSamples)
+		}
 	}
 	if len(r.DegradedMetrics) != 0 {
-		fmt.Fprintf(&b, "degraded metrics: %s\n", strings.Join(r.DegradedMetrics, ", "))
+		fmt.Fprintf(&b, "degraded metrics: %s", strings.Join(r.DegradedMetrics, ", "))
+		if r.Truncated.DegradedMetrics != 0 {
+			fmt.Fprintf(&b, " (+%d more)", r.Truncated.DegradedMetrics)
+		}
+		b.WriteString("\n")
 	}
 	for i, l := range r.Links {
 		if l.Retransmits == 0 && l.Resyncs == 0 && l.DuplicatesDropped == 0 && l.Gaps == 0 {
@@ -126,6 +194,9 @@ func (r *DegradationReport) String() string {
 		}
 		fmt.Fprintf(&b, "sas link %d: sent %d acked %d retransmits %d resyncs %d dups-dropped %d gaps %d\n",
 			i, l.Sent, l.Acked, l.Retransmits, l.Resyncs, l.DuplicatesDropped, l.Gaps)
+	}
+	if r.Truncated.Links != 0 {
+		fmt.Fprintf(&b, "sas links: (+%d more)\n", r.Truncated.Links)
 	}
 	if len(r.Crashes) != 0 {
 		b.WriteString("crashes:\n")
@@ -137,13 +208,20 @@ func (r *DegradationReport) String() string {
 				fmt.Fprintf(&b, "  node %d down at %v, never recovered\n", w.Node, w.Down)
 			}
 		}
+		if r.Truncated.Crashes != 0 {
+			fmt.Fprintf(&b, "  (+%d more windows)\n", r.Truncated.Crashes)
+		}
 		fmt.Fprintf(&b, "  recovered time: %v, lost time: %v\n", r.RecoveredTime, r.LostTime)
 		if len(r.LostNodes) != 0 {
 			nodes := make([]string, len(r.LostNodes))
 			for i, n := range r.LostNodes {
 				nodes[i] = fmt.Sprintf("%d", n)
 			}
-			fmt.Fprintf(&b, "  lost nodes: %s (answers are partial)\n", strings.Join(nodes, ", "))
+			extra := ""
+			if r.Truncated.LostNodes != 0 {
+				extra = fmt.Sprintf(" +%d more", r.Truncated.LostNodes)
+			}
+			fmt.Fprintf(&b, "  lost nodes: %s%s (answers are partial)\n", strings.Join(nodes, ", "), extra)
 		}
 		sv := r.Supervisor
 		if sv != (daemon.SupervisorStats{}) {
@@ -206,7 +284,47 @@ func (s *Session) degradation() *DegradationReport {
 		rep.Supervisor = s.recovery.sv.Stats()
 		rep.Checkpoints = s.recovery.store.Stats()
 	}
+	rep.Cut = s.cutInfo()
+	if s.budget != nil {
+		rep.Budget = s.budget.Stats()
+	}
+	boundReport(rep)
 	return rep
+}
+
+// boundReport truncates the report's detail slices to maxReportDetail
+// entries each, recording the exact elided counts. Aggregates were
+// already computed over the full sets, and the kept prefixes are
+// deterministic (enactment order for crashes and links, sorted order
+// for metric IDs and nodes), so a bounded report is still byte-stable.
+func boundReport(r *DegradationReport) {
+	if n := len(r.Crashes) - maxReportDetail; n > 0 {
+		r.Crashes = r.Crashes[:maxReportDetail]
+		r.Truncated.Crashes = n
+	}
+	if n := len(r.Links) - maxReportDetail; n > 0 {
+		r.Links = r.Links[:maxReportDetail]
+		r.Truncated.Links = n
+	}
+	if n := len(r.DegradedMetrics) - maxReportDetail; n > 0 {
+		r.DegradedMetrics = r.DegradedMetrics[:maxReportDetail]
+		r.Truncated.DegradedMetrics = n
+	}
+	if n := len(r.LostNodes) - maxReportDetail; n > 0 {
+		r.LostNodes = r.LostNodes[:maxReportDetail]
+		r.Truncated.LostNodes = n
+	}
+	if n := len(r.DroppedSamples) - maxReportDetail; n > 0 {
+		ids := make([]string, 0, len(r.DroppedSamples))
+		for id := range r.DroppedSamples {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids[maxReportDetail:] {
+			delete(r.DroppedSamples, id)
+		}
+		r.Truncated.DroppedSamples = n
+	}
 }
 
 func dedupSorted(xs []string) []string {

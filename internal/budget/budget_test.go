@@ -1,0 +1,145 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+func TestNilGovernorIsInert(t *testing.T) {
+	var g *Governor
+	g.ChargeOp()
+	if err := g.Check(1000); err != nil {
+		t.Fatalf("nil governor check: %v", err)
+	}
+	if err := g.ChargeAlloc(1<<40, 0); err != nil {
+		t.Fatalf("nil governor alloc: %v", err)
+	}
+	if got := g.Stats(); got != (Stats{}) {
+		t.Fatalf("nil governor stats: %+v", got)
+	}
+}
+
+func TestMaxOps(t *testing.T) {
+	g := New(Limits{MaxOps: 3})
+	for i := 0; i < 3; i++ {
+		g.ChargeOp()
+		if err := g.Check(vtime.Time(i)); err != nil {
+			t.Fatalf("check %d under limit: %v", i, err)
+		}
+	}
+	g.ChargeOp()
+	err := g.Check(77)
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("over-limit check: %v", err)
+	}
+	var ex *Exceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("error is not *Exceeded: %v", err)
+	}
+	if ex.Resource != "machine operations" || ex.Limit != 3 || ex.Actual != 4 || ex.At != 77 {
+		t.Fatalf("exceeded detail: %+v", ex)
+	}
+}
+
+func TestMaxVirtualTime(t *testing.T) {
+	g := New(Limits{MaxVirtualTime: 100 * vtime.Nanosecond})
+	if err := g.Check(vtime.Time(0).Add(100 * vtime.Nanosecond)); err != nil {
+		t.Fatalf("at the ceiling: %v", err)
+	}
+	if err := g.Check(vtime.Time(0).Add(101 * vtime.Nanosecond)); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("past the ceiling: %v", err)
+	}
+}
+
+func TestMaxAllocBytes(t *testing.T) {
+	g := New(Limits{MaxAllocBytes: 1024})
+	if err := g.ChargeAlloc(1024, 5); err != nil {
+		t.Fatalf("at the ceiling: %v", err)
+	}
+	err := g.ChargeAlloc(1, 9)
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("past the ceiling: %v", err)
+	}
+	if st := g.Stats(); st.AllocBytes != 1025 {
+		t.Fatalf("alloc total %d, want 1025", st.AllocBytes)
+	}
+}
+
+// TestBacklogShedsBeforeFailing drives the backlog probe through the
+// ladder: pressure escalates the shed level (notifying the hook) and
+// only hard-fails once every level is spent.
+func TestBacklogShedsBeforeFailing(t *testing.T) {
+	backlog := 0
+	g := New(Limits{MaxChannelBacklog: 100})
+	g.SetProbes(func() int { return backlog }, nil)
+	var shedCalls []int
+	g.OnShed(func(level int) { shedCalls = append(shedCalls, level) })
+
+	check := func() error { return g.Check(0) } // checks 1, 9, 17, ... probe
+	probe := func() error {
+		// Advance to the next probing check (checks%8 == 1).
+		for i := 0; i < probeEvery; i++ {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	backlog = 10
+	if err := check(); err != nil { // first check probes
+		t.Fatalf("low pressure: %v", err)
+	}
+	if len(shedCalls) != 0 {
+		t.Fatalf("shed at low pressure: %v", shedCalls)
+	}
+	backlog = 80 // >= 75% of 100
+	for i := 1; i <= MaxShedLevel; i++ {
+		if err := probe(); err != nil {
+			t.Fatalf("shed escalation %d: %v", i, err)
+		}
+	}
+	if len(shedCalls) != MaxShedLevel {
+		t.Fatalf("shed calls %v, want 1..%d", shedCalls, MaxShedLevel)
+	}
+	// Still under the hard limit: ladder exhausted but no failure.
+	if err := probe(); err != nil {
+		t.Fatalf("exhausted ladder under limit: %v", err)
+	}
+	backlog = 101
+	err := probe()
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("over limit with ladder spent: %v", err)
+	}
+	st := g.Stats()
+	if st.ShedLevel != MaxShedLevel || st.Sheds != MaxShedLevel {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MaxBacklog != 101 {
+		t.Fatalf("backlog high-water %d, want 101", st.MaxBacklog)
+	}
+}
+
+func TestActiveSetFailsWithoutShedding(t *testing.T) {
+	active := 0
+	g := New(Limits{MaxActiveSentences: 10})
+	g.SetProbes(nil, func() int { return active })
+	active = 10
+	if err := g.Check(0); err != nil {
+		t.Fatalf("at the ceiling: %v", err)
+	}
+	active = 11
+	// Next probing check is the 9th.
+	var err error
+	for i := 0; i < probeEvery && err == nil; i++ {
+		err = g.Check(0)
+	}
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("past the ceiling: %v", err)
+	}
+	if st := g.Stats(); st.Sheds != 0 {
+		t.Fatalf("active-set overflow shed instead of failing: %+v", st)
+	}
+}

@@ -233,6 +233,10 @@ func (rt *Runtime) Allocate(name string, shape []int) (*Array, error) {
 		}
 		size *= d
 	}
+	// The allocation estimate (8 bytes per element across the
+	// partition) is governed before any chunk materialises: an
+	// over-budget allocation aborts with nothing half-built.
+	rt.mach.ChargeAlloc(int64(size) * 8)
 	rt.seq++
 	id := ArrayID(fmt.Sprintf("pvar%d", rt.seq))
 	offsets := blockOffsets(size, rt.nodes())

@@ -144,6 +144,10 @@ type Channel struct {
 	onDrop   func(Message)
 	onFull   func()
 	onMsg    func(Message)
+	// probeHW tracks the deepest the queue has been since the last
+	// HighWaterSince call (the budget governor's backlog probe);
+	// stats.MaxQueue stays the run-wide high water.
+	probeHW int
 
 	// drainMu serialises drains so two concurrent drains cannot
 	// interleave deliveries out of order.
@@ -246,6 +250,9 @@ func (c *Channel) Send(m Message) {
 	if len(c.queue) > c.stats.MaxQueue {
 		c.stats.MaxQueue = len(c.queue)
 	}
+	if len(c.queue) > c.probeHW {
+		c.probeHW = len(c.queue)
+	}
 	onDrop := c.onDrop
 	c.mu.Unlock()
 	if dropped != nil && onDrop != nil {
@@ -278,6 +285,9 @@ func (c *Channel) SendBatch(ms []Message) {
 		if len(c.queue) > c.stats.MaxQueue {
 			c.stats.MaxQueue = len(c.queue)
 		}
+		if len(c.queue) > c.probeHW {
+			c.probeHW = len(c.queue)
+		}
 		c.mu.Unlock()
 		return
 	}
@@ -307,6 +317,24 @@ func (c *Channel) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.queue) + len(c.retry)
+}
+
+// HighWaterSince returns the deepest the queue has been since the
+// previous HighWaterSince call (at least the current depth) and resets
+// the tracker. The budget governor's backlog probe uses it: the channel
+// drains eagerly, so instantaneous depth hides the bursts that
+// SendBatch and parked retries create between drains, while the
+// interval high water captures them — and recovers when shedding
+// actually relieves the pressure. Stats.MaxQueue is unaffected.
+func (c *Channel) HighWaterSince() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hw := c.probeHW
+	if n := len(c.queue) + len(c.retry); n > hw {
+		hw = n
+	}
+	c.probeHW = 0
+	return hw
 }
 
 // Drain delivers every queued message, in order, to fn — parked mapping

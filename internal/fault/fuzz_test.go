@@ -122,5 +122,38 @@ func FuzzPlan(f *testing.F) {
 		if !reflect.DeepEqual(again, got) {
 			t.Fatalf("normalization not idempotent: %v -> %v", got, again)
 		}
+
+		// Composed lossy+crash plan: bytes past the last full crash
+		// record seed message faults on top of the accepted schedule.
+		// Driving the injector must never panic, and every outcome must
+		// respect the plan's bounds.
+		tail := data[len(crashes)*9:]
+		mf := MessageFaults{}
+		if len(tail) > 0 {
+			mf.DropProb = float64(tail[0]) / 255
+		}
+		if len(tail) > 1 {
+			mf.DupProb = float64(tail[1]) / 255
+		}
+		if len(tail) > 2 {
+			mf.DelayProb = float64(tail[2]) / 255
+			mf.DelayMax = vtime.Duration(tail[2]) * vtime.Microsecond
+		}
+		in := NewInjector(&Plan{Seed: int64(nodes), Messages: mf, Crashes: got})
+		for i := 0; i < 64; i++ {
+			out := in.Message(i%8, (i+1)%8)
+			if out.Drop && (out.Duplicate || out.Delay != 0) {
+				t.Fatalf("dropped message also duplicated/delayed: %+v", out)
+			}
+			if out.Delay < 0 || out.Delay > mf.DelayMax {
+				t.Fatalf("delay %v outside [0, %v]", out.Delay, mf.DelayMax)
+			}
+			if mf.DropProb == 0 && out.Drop {
+				t.Fatal("drop with zero drop probability")
+			}
+			if mf.DupProb == 0 && out.Duplicate {
+				t.Fatal("duplicate with zero dup probability")
+			}
+		}
 	})
 }

@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+// recGov records every boundary for determinism comparisons and fails
+// once the charged op count passes failAfter (0 = never).
+type recGov struct {
+	ops       atomic.Int64
+	checks    []string
+	failAfter int64
+	errFail   error
+}
+
+func (g *recGov) ChargeOp() { g.ops.Add(1) }
+
+func (g *recGov) Check(op string, node int, now vtime.Time) error {
+	g.checks = append(g.checks, fmt.Sprintf("%s/%d@%v ops=%d", op, node, now, g.ops.Load()))
+	if g.failAfter > 0 && g.ops.Load() > g.failAfter {
+		return g.errFail
+	}
+	return nil
+}
+
+func (g *recGov) ChargeAlloc(bytes int64, now vtime.Time) error { return nil }
+
+// driveWorkload runs the same mixed workload — collectives plus one
+// large and one small node region — and returns the governor's check
+// transcript.
+func driveWorkload(t *testing.T, workers int) []string {
+	t.Helper()
+	cfg := DefaultConfig(4)
+	cfg.Workers = workers
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &recGov{}
+	m.SetGovernor(g)
+	m.Dispatch("blk", 16)
+	m.ParallelNodes(8*ParallelThreshold, func(n int) {
+		m.Compute(n, 2*ParallelThreshold, "big")
+	})
+	m.ParallelNodes(4, func(n int) {
+		m.Compute(n, 1, "small")
+	})
+	m.Barrier("sync")
+	m.Reduce(8, "sum")
+	return g.checks
+}
+
+// TestGovernorCheckpointsAreWorkerInvariant is the determinism
+// contract: the sequence of governor check boundaries (op, node,
+// virtual instant, charged total) must be byte-identical between the
+// sequential engine and the pooled engine.
+func TestGovernorCheckpointsAreWorkerInvariant(t *testing.T) {
+	seq := driveWorkload(t, 1)
+	par := driveWorkload(t, 4)
+	if len(seq) == 0 {
+		t.Fatal("no checks recorded")
+	}
+	if fmt.Sprint(seq) != fmt.Sprint(par) {
+		t.Fatalf("check transcripts diverge:\nworkers=1: %v\nworkers=4: %v", seq, par)
+	}
+	// Region bodies must not check per-op: exactly one check per
+	// ParallelNodes, none tagged Compute.
+	for _, c := range seq {
+		if len(c) >= 7 && c[:7] == "Compute" {
+			t.Fatalf("per-op check inside a region body: %v", seq)
+		}
+	}
+}
+
+// TestGovernorAbortIsTyped: a stop verdict surfaces as a thrown Abort
+// carrying the boundary's op, node and pre-operation instant.
+func TestGovernorAbortIsTyped(t *testing.T) {
+	m, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("stop now")
+	g := &recGov{failAfter: 2, errFail: cause}
+	m.SetGovernor(g)
+	defer func() {
+		v := recover()
+		ab, ok := v.(Abort)
+		if !ok {
+			t.Fatalf("recovered %v, want Abort", v)
+		}
+		if !errors.Is(ab, cause) {
+			t.Fatalf("abort cause %v", ab.Err)
+		}
+		if ab.Op != "Compute" || ab.Node != 1 {
+			t.Fatalf("abort boundary %s/%d", ab.Op, ab.Node)
+		}
+		if ab.At != m.GlobalNow() {
+			t.Fatalf("abort instant %v, machine at %v", ab.At, m.GlobalNow())
+		}
+	}()
+	m.Compute(0, 10, "a")
+	m.Compute(0, 10, "b")
+	m.Compute(1, 10, "c") // third op: over the ceiling, aborts before running
+	t.Fatal("no abort thrown")
+}
+
+// TestChargeAllocAborts: the allocation boundary throws too.
+func TestChargeAllocAborts(t *testing.T) {
+	m, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("too big")
+	m.SetGovernor(&allocGov{limit: 100, err: cause})
+	m.ChargeAlloc(64)
+	defer func() {
+		if ab, ok := recover().(Abort); !ok || !errors.Is(ab, cause) {
+			t.Fatalf("recovered %v", ab)
+		}
+	}()
+	m.ChargeAlloc(64)
+	t.Fatal("no abort thrown")
+}
+
+type allocGov struct {
+	total int64
+	limit int64
+	err   error
+}
+
+func (g *allocGov) ChargeOp()                                       {}
+func (g *allocGov) Check(op string, node int, now vtime.Time) error { return nil }
+func (g *allocGov) ChargeAlloc(bytes int64, now vtime.Time) error {
+	g.total += bytes
+	if g.total > g.limit {
+		return g.err
+	}
+	return nil
+}
+
+// TestResetTransient: after a panic unwinds mid-region, ResetTransient
+// restores a machine the accounting paths can still read.
+func TestResetTransient(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Workers = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(func(Event) {})
+	func() {
+		defer func() { recover() }()
+		m.ParallelNodes(8*ParallelThreshold, func(n int) {
+			panic("mid-region")
+		})
+	}()
+	m.ResetTransient()
+	m.Barrier("after") // must not trip the region guard
+	_ = m.GlobalNow()  // must not read a stale replay clock
+}

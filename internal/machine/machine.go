@@ -195,6 +195,13 @@ type Machine struct {
 	// parallel node regions on the observability plane. Nil (the
 	// default) costs one pointer test per operation.
 	obsT *obs.Tracer
+
+	// gov, when non-nil, is consulted at every operation boundary (see
+	// governor.go). govQuiet suppresses governor checks (never charges)
+	// while a ParallelNodes body runs in either engine, so check points
+	// are identical across worker counts.
+	gov      Governor
+	govQuiet int
 }
 
 // New builds a machine from the config.
@@ -393,12 +400,14 @@ func (m *Machine) AdvanceNode(node int, d vtime.Duration) {
 // AdvanceCP spends d on the control processor.
 func (m *Machine) AdvanceCP(d vtime.Duration) {
 	m.noRegion("AdvanceCP")
+	m.govern("AdvanceCP", CP)
 	m.cpClock = m.cpClock.Add(d)
 }
 
 // Compute performs elems elemental operations on a node. A permanently
 // dead node computes nothing.
 func (m *Machine) Compute(node, elems int, tag string) {
+	m.govern("Compute", node)
 	if !m.Engage(node) {
 		return
 	}
@@ -437,6 +446,7 @@ func (m *Machine) Compute(node, elems int, tag string) {
 // observe that the network lost its message.
 func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
 	m.noRegion("Send")
+	m.govern("Send", from)
 	if !m.Engage(from) {
 		return m.nodeClock[from]
 	}
@@ -498,6 +508,7 @@ func (m *Machine) deliver(from, to, bytes int, arrival vtime.Time, tag string) {
 // events; the runtime layers instrumentation on top.
 func (m *Machine) Dispatch(tag string, argBytes int) {
 	m.noRegion("Dispatch")
+	m.govern("Dispatch", CP)
 	if m.obsT != nil {
 		ref := m.obsT.Begin(obs.StageDispatch, tag, obs.NodeCP, m.cpClock)
 		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
@@ -528,6 +539,7 @@ func (m *Machine) Dispatch(tag string, argBytes int) {
 // nodes over the tree network.
 func (m *Machine) Broadcast(bytes int, tag string) {
 	m.noRegion("Broadcast")
+	m.govern("Broadcast", CP)
 	if m.obsT != nil {
 		ref := m.obsT.Begin(obs.StageBroadcast, tag, obs.NodeCP, m.cpClock)
 		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
@@ -562,6 +574,7 @@ func (m *Machine) Broadcast(bytes int, tag string) {
 // node's participation; the CP event covers the tree completion.
 func (m *Machine) Reduce(bytes int, tag string) {
 	m.noRegion("Reduce")
+	m.govern("Reduce", CP)
 	if m.obsT != nil {
 		ref := m.obsT.Begin(obs.StageReduce, tag, obs.NodeCP, m.GlobalNow())
 		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
@@ -595,6 +608,7 @@ func (m *Machine) Reduce(bytes int, tag string) {
 // one tree traversal, accounting the wait as idle time.
 func (m *Machine) Barrier(tag string) {
 	m.noRegion("Barrier")
+	m.govern("Barrier", CP)
 	if m.obsT != nil {
 		ref := m.obsT.Begin(obs.StageBarrier, tag, obs.NodeCP, m.GlobalNow())
 		defer func() { m.obsT.End(ref, m.GlobalNow()) }()

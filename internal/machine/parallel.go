@@ -101,13 +101,22 @@ func (m *Machine) ParallelNodes(work int, f func(node int)) {
 		ref := m.obsT.Begin(obs.StageRegion, "", obs.NodeCP, m.GlobalNow())
 		defer func() { m.obsT.End(ref, m.GlobalNow()) }()
 	}
+	// Governor checks are suppressed for the whole region body — in
+	// both engines, so the check points (and therefore any budget
+	// abort's cut boundary) are identical across worker counts — and
+	// run once at the region's end. Operations inside still charge.
+	m.govQuiet++
 	if !m.parallelEligible(n, work) {
 		for node := 0; node < n; node++ {
 			f(node)
 		}
-		return
+	} else {
+		m.runRegion(n, f)
 	}
-	m.runRegion(n, f)
+	m.govQuiet--
+	if g := m.gov; g != nil && m.govQuiet == 0 {
+		m.checkGovernor(g, "ParallelNodes", CP)
+	}
 }
 
 // parallelEligible decides sequential fallback. Crash schedules and

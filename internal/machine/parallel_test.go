@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"nvmap/internal/fault"
+	"nvmap/internal/par"
 	"nvmap/internal/vtime"
 )
 
@@ -164,8 +165,17 @@ func TestCollectiveInsideRegionPanics(t *testing.T) {
 				if v == nil {
 					t.Fatalf("%s inside a region did not panic", name)
 				}
-				if s, ok := v.(string); !ok || !strings.Contains(s, "region") {
+				// The guard trips inside a worker chunk, so the pool
+				// wraps it with the chunk's node range.
+				cp, ok := v.(*par.ChunkPanic)
+				if !ok {
 					t.Fatalf("unexpected panic value %v", v)
+				}
+				if s, ok := cp.Value.(string); !ok || !strings.Contains(s, "region") {
+					t.Fatalf("unexpected wrapped panic value %v", cp.Value)
+				}
+				if cp.Lo > 2 || cp.Hi <= 2 {
+					t.Fatalf("chunk [%d,%d) does not own node 2", cp.Lo, cp.Hi)
 				}
 			}()
 			m.ParallelNodes(8*ParallelThreshold, func(n int) {

@@ -3,10 +3,22 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"strconv"
 )
+
+// exportBarrier converts a panic escaping an exporter into the named
+// error. Exporters run against live tracers and registries — possibly
+// mid-run, over a snapshot another goroutine is still growing — and a
+// rendering bug must surface as an error on the export call, never as a
+// process crash. Call in a defer with the caller's named error.
+func exportBarrier(what string, err *error) {
+	if v := recover(); v != nil {
+		*err = fmt.Errorf("obs: %s export panicked: %v", what, v)
+	}
+}
 
 // WriteChromeTrace emits the tracer's retained spans as Chrome
 // trace_event JSON (the "JSON Array Format" with a traceEvents wrapper),
@@ -20,7 +32,8 @@ import (
 //
 // The JSON is built by hand, field order fixed, so the output is
 // byte-stable.
-func WriteChromeTrace(w io.Writer, t *Tracer) error {
+func WriteChromeTrace(w io.Writer, t *Tracer) (err error) {
+	defer exportBarrier("chrome trace", &err)
 	bw := bufio.NewWriter(w)
 	spans := t.Spans()
 

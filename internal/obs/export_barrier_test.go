@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExporterContainsPanic: a metric whose reader panics surfaces as an
+// error from the exporter, never as a process crash.
+func TestExporterContainsPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nvmap_ok_total", "fine").Add(1)
+	r.Func("nvmap_bad", "throws on read", KindGauge, false, func() float64 {
+		panic("reader boom")
+	})
+	var b strings.Builder
+	err := WritePrometheus(&b, r, true)
+	if err == nil || !strings.Contains(err.Error(), "reader boom") {
+		t.Fatalf("err = %v, want contained panic", err)
+	}
+}
+
+// TestHandlerContainsPanic: the same failure over HTTP is a 500, and the
+// handler keeps serving healthy endpoints afterwards.
+func TestHandlerContainsPanic(t *testing.T) {
+	p := New(Options{})
+	p.Metrics.Func("nvmap_bad", "throws on read", KindGauge, false, func() float64 {
+		panic("reader boom")
+	})
+	h := Handler(p)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 500 {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("index after panic: status = %d", rec.Code)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"sort"
@@ -16,7 +17,9 @@ import (
 //	/stages      per-stage span/time totals, plain text
 //
 // The handler is read-only and safe to serve while a session runs; it
-// is opt-in (nvprof serve), never started by the library itself.
+// is opt-in (nvprof serve), never started by the library itself. A
+// panic while rendering any endpoint is contained to a 500 response —
+// the debug plane must never take the process down with it.
 func Handler(p *Plane) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
@@ -33,13 +36,26 @@ func Handler(p *Plane) http.Handler {
 		fmt.Fprintf(w, "spans recorded: %d (retained %d, evicted %d)\n",
 			p.Trace().Count(), len(p.Trace().Spans()), p.Trace().Dropped())
 	})
+	// The exporter endpoints render to memory first: an export error
+	// (including a contained exporter panic) becomes a clean 500 instead
+	// of a 200 with a truncated body.
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		var b bytes.Buffer
+		if err := WritePrometheus(&b, p.Metrics, true); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WritePrometheus(w, p.Metrics, true)
+		_, _ = w.Write(b.Bytes())
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		var b bytes.Buffer
+		if err := WriteChromeTrace(&b, p.Trace()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = WriteChromeTrace(w, p.Trace())
+		_, _ = w.Write(b.Bytes())
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -80,7 +96,16 @@ func Handler(p *Plane) http.Handler {
 				fmtNanos(r.t.VTime), fmtNanos(r.t.Self))
 		}
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				// Headers may already be out; best-effort status, and
+				// the connection stays up for the next request.
+				http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+			}
+		}()
+		mux.ServeHTTP(w, req)
+	})
 }
 
 // fmtNanos renders a nanosecond quantity human-readably.

@@ -15,7 +15,8 @@ import (
 // When includeUnstable is false, metrics registered as unstable (values
 // that vary with worker count or process history) are omitted, making
 // the output byte-stable across worker counts.
-func WritePrometheus(w io.Writer, r *Registry, includeUnstable bool) error {
+func WritePrometheus(w io.Writer, r *Registry, includeUnstable bool) (err error) {
+	defer exportBarrier("prometheus", &err)
 	bw := bufio.NewWriter(w)
 	lastBase := ""
 	for _, s := range r.Snapshot(includeUnstable) {

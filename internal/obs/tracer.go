@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -201,6 +202,33 @@ func (t *Tracer) record(s Span) {
 	t.head = (t.head + 1) % t.capacity
 	t.full = true
 	t.dropped++
+}
+
+// OpenSpans renders the currently open span stack, outermost first,
+// as "stage name@node" strings. The session's governance layer attaches
+// it to abort errors so a cut names the pipeline stages it interrupted.
+// Nil tracer returns nil.
+func (t *Tracer) OpenSpans() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		return nil
+	}
+	out := make([]string, len(t.stack))
+	for i, f := range t.stack {
+		s := f.span.Stage.String()
+		if f.span.Name != "" {
+			s += " " + f.span.Name
+		}
+		if f.span.Node >= 0 {
+			s += fmt.Sprintf("@node%d", f.span.Node)
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // Spans returns the retained spans in recording order (ascending ID).

@@ -9,13 +9,49 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// ChunkPanic wraps a panic that escaped a pooled chunk, carrying the
+// chunk index and the index range the chunk owned plus the panicking
+// worker's stack — re-raising on the caller goroutine would otherwise
+// lose all three, leaving containment reports with a bare value and a
+// caller-side stack that never entered f. Do re-raises the first
+// worker panic as a *ChunkPanic; callers that recover it can attribute
+// the failure to the node range that blew up.
+type ChunkPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Chunk is the chunk's index in Do's partition; chunk 0 is the
+	// caller's inline chunk.
+	Chunk int
+	// Lo, Hi bound the half-open index range [Lo, Hi) the chunk owned.
+	Lo, Hi int
+	// Stack is the panicking goroutine's stack, captured in the worker.
+	Stack []byte
+}
+
+// Error renders the wrapped panic; ChunkPanic satisfies error so
+// containment layers can carry it as a structured cause.
+func (p *ChunkPanic) Error() string {
+	return fmt.Sprintf("par: panic in chunk %d (indices [%d,%d)): %v", p.Chunk, p.Lo, p.Hi, p.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As chains.
+func (p *ChunkPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // task is one contiguous index chunk submitted to the pool.
 type task struct {
 	f      func(i int)
+	chunk  int
 	lo, hi int
 	wg     *sync.WaitGroup
 	pan    *panicBox
@@ -73,14 +109,19 @@ func New(workers int) *Pool {
 // the Pool, so the Pool's cleanup can run.
 func worker(tasks <-chan task) {
 	for t := range tasks {
-		runChunk(t.f, t.lo, t.hi, t.pan)
+		runChunk(t.f, t.chunk, t.lo, t.hi, t.pan)
 		t.wg.Done()
 	}
 }
 
-func runChunk(f func(int), lo, hi int, pan *panicBox) {
+func runChunk(f func(int), chunk, lo, hi int, pan *panicBox) {
 	defer func() {
 		if v := recover(); v != nil {
+			// A nested pool already attributed the panic; keep the
+			// innermost (most precise) chunk context.
+			if _, ok := v.(*ChunkPanic); !ok {
+				v = &ChunkPanic{Value: v, Chunk: chunk, Lo: lo, Hi: hi, Stack: debug.Stack()}
+			}
 			pan.capture(v)
 		}
 	}()
@@ -100,8 +141,11 @@ func (p *Pool) Workers() int {
 // Do runs f(i) for every i in [0, n), partitioned into contiguous chunks
 // across the workers; it blocks until all calls return. With one worker
 // (or one index) it degrades to the plain sequential loop on the caller
-// goroutine. f must confine its writes to state owned by index i. A
-// panic in any f is re-raised on the caller after all chunks finish.
+// goroutine. f must confine its writes to state owned by index i. The
+// first panic in any pooled f is re-raised on the caller after all
+// chunks finish, wrapped in a *ChunkPanic naming the chunk and its
+// index range (the sequential path propagates panics raw — the caller's
+// own stack already attributes them).
 func (p *Pool) Do(n int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -125,10 +169,10 @@ func (p *Pool) Do(n int, f func(i int)) {
 			hi = n
 		}
 		wg.Add(1)
-		p.tasks <- task{f: f, lo: lo, hi: hi, wg: &wg, pan: pan}
+		p.tasks <- task{f: f, chunk: lo / size, lo: lo, hi: hi, wg: &wg, pan: pan}
 	}
 	// The caller works the first chunk instead of idling.
-	runChunk(f, 0, size, pan)
+	runChunk(f, 0, 0, size, pan)
 	wg.Wait()
 	if pan.set {
 		panic(pan.val)

@@ -66,8 +66,22 @@ func TestDefaultWorkerCount(t *testing.T) {
 func TestPanicPropagatesToCaller(t *testing.T) {
 	p := New(4)
 	defer func() {
-		if v := recover(); v != "boom" {
-			t.Fatalf("recovered %v", v)
+		cp, ok := recover().(*ChunkPanic)
+		if !ok {
+			t.Fatalf("recovered non-ChunkPanic")
+		}
+		if cp.Value != "boom" {
+			t.Fatalf("wrapped value %v", cp.Value)
+		}
+		// Index 63 lives in the last chunk of 64/4: chunk 3, [48,64).
+		if cp.Chunk != 3 || cp.Lo != 48 || cp.Hi != 64 {
+			t.Fatalf("chunk attribution %d [%d,%d)", cp.Chunk, cp.Lo, cp.Hi)
+		}
+		if len(cp.Stack) == 0 {
+			t.Fatal("no worker stack captured")
+		}
+		if cp.Unwrap() != nil {
+			t.Fatalf("string panic unwrapped to %v", cp.Unwrap())
 		}
 	}()
 	p.Do(64, func(i int) {
@@ -77,3 +91,28 @@ func TestPanicPropagatesToCaller(t *testing.T) {
 	})
 	t.Fatal("Do returned despite panicking task")
 }
+
+func TestSequentialPanicStaysRaw(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "boom" {
+			t.Fatalf("recovered %v", v)
+		}
+	}()
+	New(1).Do(4, func(i int) {
+		if i == 2 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Do returned despite panicking task")
+}
+
+func TestErrorPanicUnwraps(t *testing.T) {
+	sentinel := &ChunkPanic{Value: assertErr{}}
+	if sentinel.Unwrap() != (assertErr{}) {
+		t.Fatalf("error value did not unwrap")
+	}
+}
+
+type assertErr struct{}
+
+func (assertErr) Error() string { return "x" }

@@ -91,6 +91,10 @@ type Tool struct {
 	enabled    []*EnabledMetric
 	lastSample vtime.Time
 	blockT     *blockTimers
+	// shed is the governor-driven degradation level: each level doubles
+	// the effective sampling interval and raises the event pump's drain
+	// floor (batching harder). 0 is full fidelity.
+	shed int
 	// sampleBuf is the reusable batch SampleAll assembles before one
 	// SendBatch; the channel copies messages out, so the buffer is
 	// safely reused across sampling rounds. liveBuf and valueBuf are the
@@ -259,6 +263,32 @@ func (t *Tool) buildBaseHierarchies() {
 	}
 }
 
+// shedDrainFloor is the event pump's base drain threshold under
+// shedding: at shed level k the pump lets the channel accumulate
+// 64<<(k-1) messages before draining, amortising drain overhead when
+// the governor has asked the tool to back off. Accessors, SampleAll and
+// FlushChannel still drain eagerly, so no caller ever reads stale state.
+const shedDrainFloor = 64
+
+// Shed raises the tool's degradation level (it never lowers within a
+// run): sampling interval doubles per level and the event pump batches
+// its drains harder. The session's budget governor calls this, on the
+// driving goroutine, when a sheddable ceiling comes under pressure.
+func (t *Tool) Shed(level int) {
+	if level > t.shed {
+		t.shed = level
+	}
+}
+
+// ShedLevel returns the current degradation level (0 = full fidelity).
+func (t *Tool) ShedLevel() int { return t.shed }
+
+// sampleInterval is the effective sampling interval: the configured one
+// doubled per shed level.
+func (t *Tool) sampleInterval() vtime.Duration {
+	return t.opts.SampleEvery << uint(t.shed)
+}
+
 // machineEvent adapts machine events: idle intervals become pseudo-point
 // fires for the idle_time metric, and every event drives the sampler.
 func (t *Tool) machineEvent(e machine.Event) {
@@ -268,9 +298,11 @@ func (t *Tool) machineEvent(e machine.Event) {
 		ctx.Now = e.End
 		t.inst.Fire(dyninst.Exit(IdleRoutine), ctx)
 	}
-	t.drainChannel()
+	if t.shed == 0 || t.channel.Pending() >= shedDrainFloor<<uint(t.shed-1) {
+		t.drainChannel()
+	}
 	now := t.mach.GlobalNow()
-	if now.Sub(t.lastSample) >= t.opts.SampleEvery {
+	if now.Sub(t.lastSample) >= t.sampleInterval() {
 		t.SampleAll(now)
 	}
 }

@@ -21,11 +21,14 @@
 package nvmap
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"time"
 
+	"nvmap/internal/budget"
 	"nvmap/internal/cmf"
 	"nvmap/internal/cmrts"
 	"nvmap/internal/dyninst"
@@ -84,6 +87,20 @@ type Config struct {
 	// perturbation report on Run. Nil (the default) leaves every record
 	// site a single nil check and all session outputs byte-identical.
 	Observability *ObservabilityConfig
+	// Budget, when set, enforces resource ceilings on the run: virtual
+	// time, operation count, daemon-channel backlog, SAS active-set
+	// size, allocation estimate. Sheddable ceilings degrade gracefully
+	// (coarser sampling, harder batching) before the run is cut with a
+	// typed over-budget error. Budget cut points are deterministic: the
+	// same program, plan and budget cut at the same boundary under any
+	// worker count. Nil leaves the run ungoverned and pays nothing.
+	Budget *Budget
+	// StallTimeout arms the stall watchdog: a run that crosses no
+	// machine operation boundary for this long (wall clock), or whose
+	// virtual clock stays frozen for 4x this long while operations keep
+	// running, is aborted with a typed stall error naming the last
+	// boundary. Zero disables the watchdog.
+	StallTimeout time.Duration
 }
 
 // Session is one application bound to a machine, runtime and tool.
@@ -109,6 +126,13 @@ type Session struct {
 	runBase     [obs.NumStages]obs.StageTotals
 	runWall     int64
 	runMeasured bool
+
+	// Governance state (see govern.go): the budget governor (nil
+	// without a budget), the watchdog timeout, and the cut record of
+	// the most recent governed abort (nil when the run finished).
+	budget   *budget.Governor
+	watchdog time.Duration
+	cut      *SessionError
 }
 
 // compileCache memoizes compilation and static-mapping generation per
@@ -258,14 +282,66 @@ func newSession(source string, cfg Config) (*Session, error) {
 			}
 		}
 	}
+	if cfg.Budget != nil {
+		gov := budget.New(*cfg.Budget)
+		// The backlog probe reads the daemon channel's high-water depth
+		// since the last probe (the channel drains eagerly, so
+		// instantaneous depth hides bursts); the active-set probe sums
+		// the SAS sizes across nodes. Both run only at boundary checks
+		// on the driving goroutine.
+		gov.SetProbes(tool.Channel().HighWaterSince, func() int {
+			n := 0
+			for _, sa := range tool.SASes.Nodes() {
+				n += sa.Size()
+			}
+			return n
+		})
+		gov.OnShed(tool.Shed)
+		s.budget = gov
+	}
+	s.watchdog = cfg.StallTimeout
 	return s, nil
 }
 
 // Run executes the program to completion on the simulated machine and
 // returns the run's degradation report — all zeros when no fault plan
 // is configured, and identical across runs for a fixed fault seed. The
-// report is returned even when execution fails.
+// report is returned even when execution fails. Run is
+// RunContext(context.Background()): never cancelled, never deadlined.
 func (s *Session) Run() (*DegradationReport, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the program under ctx. Cancellation and deadline
+// expiry are honoured at machine operation boundaries: the run stops at
+// the first boundary after the verdict and returns a *SessionError
+// whose At field is the exact virtual instant the answer is complete up
+// to, together with a best-effort partial degradation report (its Cut
+// field records the same boundary). The configured budget and stall
+// watchdog cut runs the same way, and any panic that escapes the
+// measurement stack is contained into a *SessionError of kind
+// ErrorPanic rather than crashing the process.
+//
+// With a Background context, no budget and no watchdog, RunContext
+// installs no governor and behaves exactly like historical Run.
+func (s *Session) RunContext(ctx context.Context) (rep *DegradationReport, err error) {
+	s.cut = nil
+	if stopGov := s.armGovernance(ctx); stopGov != nil {
+		defer stopGov()
+	}
+	// The containment barrier is registered after the governance
+	// teardown so it runs first (LIFO): the machine's transient state is
+	// reset before SetGovernor(nil) re-checks the region guard.
+	defer func() {
+		if v := recover(); v != nil {
+			rep, err = s.contain(v)
+		}
+	}()
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancelled before the first operation: settle immediately with
+		// an exact (trivial) cut at the current instant.
+		return s.settle(&SessionError{Kind: kindOf(cerr), Op: "Run", Node: machine.CP, At: s.Now(), cause: cerr})
+	}
 	if s.recovery != nil {
 		// Journaling hooks attach now, after the experiment has set up
 		// its monitors and metric-focus pairs.
@@ -284,7 +360,7 @@ func (s *Session) Run() (*DegradationReport, error) {
 			s.runMeasured = true
 		}()
 	}
-	err := s.Executor.Run()
+	err = s.Executor.Run()
 	// Final samples and mapping records may still sit on the channel if
 	// no machine event followed them.
 	s.Tool.FlushChannel()

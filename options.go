@@ -2,6 +2,7 @@ package nvmap
 
 import (
 	"io"
+	"time"
 
 	"nvmap/internal/dyninst"
 	"nvmap/internal/fault"
@@ -102,4 +103,24 @@ func WithObservability() Option {
 // explicit tuning.
 func WithObservabilityConfig(oc ObservabilityConfig) Option {
 	return func(c *Config) { c.Observability = &oc }
+}
+
+// WithBudget enforces resource ceilings on the run — virtual time,
+// operation count, daemon-channel backlog, SAS active-set size and
+// allocation estimate. Sheddable ceilings (the channel backlog) degrade
+// measurement fidelity first — the tool doubles its sampling interval
+// and batches channel drains harder, up to three times — before the run
+// is cut with a typed over-budget *SessionError. Budget cut points are
+// deterministic across worker counts. See Config.Budget.
+func WithBudget(b Budget) Option {
+	return func(c *Config) { c.Budget = &b }
+}
+
+// WithWatchdog arms the stall watchdog: a run that crosses no machine
+// operation boundary for timeout of wall clock, or whose virtual clock
+// stays frozen for 4x timeout while operations keep flowing, aborts
+// with a typed stall *SessionError naming the last boundary crossed.
+// See Config.StallTimeout.
+func WithWatchdog(timeout time.Duration) Option {
+	return func(c *Config) { c.StallTimeout = timeout }
 }

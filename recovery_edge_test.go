@@ -1,0 +1,167 @@
+package nvmap
+
+import (
+	"testing"
+
+	"nvmap/internal/fault"
+	"nvmap/internal/paradyn"
+	"nvmap/internal/vtime"
+)
+
+// Recovery edge cases: the degenerate crash schedules — a crash at the
+// very first instant, every node dead at once, a restart scheduled past
+// the session's end — must each settle into a typed partial answer (a
+// report with crash windows and lost-node annotations), never a panic
+// or a hang. Each run executes inside RunContext's containment barrier,
+// so a regression here would surface as an ErrorPanic session error and
+// fail the assertions rather than kill the test process.
+
+// runEdgeCrash builds the standard fault program over 4 nodes with the
+// given crash schedule and tight recovery tuning, runs it, and returns
+// the session, report and error.
+func runEdgeCrash(t *testing.T, crashes []fault.CrashFault) (*Session, *DegradationReport, error) {
+	t.Helper()
+	s, err := NewSession(faultTestProgram,
+		WithNodes(4), WithSourceFile("ftest.fcm"),
+		WithFaults(&fault.Plan{Seed: 11, Crashes: crashes}),
+		WithRecovery(crashRecovery()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tool.EnableMetric("computations", paradyn.WholeProgram()); err != nil {
+		t.Fatal(err)
+	}
+	rep, runErr := s.Run()
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	return s, rep, runErr
+}
+
+// TestCrashAtTimeZero: a node dead from the first instant. The run must
+// complete with the window accounted and, for a permanent crash, the
+// node annotated lost.
+func TestCrashAtTimeZero(t *testing.T) {
+	s, rep, err := runEdgeCrash(t, []fault.CrashFault{{Node: 2, At: 0}})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(rep.Crashes) != 1 || rep.Crashes[0].Node != 2 || rep.Crashes[0].Down != 0 {
+		t.Fatalf("crash windows: %+v", rep.Crashes)
+	}
+	if rep.Crashes[0].Recovered {
+		t.Fatal("permanent t=0 crash reported recovered")
+	}
+	if len(rep.LostNodes) != 1 || rep.LostNodes[0] != 2 {
+		t.Fatalf("lost nodes: %v", rep.LostNodes)
+	}
+	if rep.LostTime != s.Elapsed() {
+		t.Fatalf("lost time %v, run elapsed %v", rep.LostTime, s.Elapsed())
+	}
+	if s.Elapsed() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+// TestCrashAtTimeZeroWithRestart: down at t=0, back shortly after; the
+// window must be recovered and nothing lost.
+func TestCrashAtTimeZeroWithRestart(t *testing.T) {
+	_, rep, err := runEdgeCrash(t, []fault.CrashFault{
+		{Node: 2, At: 0, Restart: 10 * vtime.Microsecond},
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(rep.Crashes) != 1 || !rep.Crashes[0].Recovered {
+		t.Fatalf("crash windows: %+v", rep.Crashes)
+	}
+	if len(rep.LostNodes) != 0 {
+		t.Fatalf("lost nodes after recovery: %v", rep.LostNodes)
+	}
+	if rep.RecoveredTime == 0 || rep.LostTime != 0 {
+		t.Fatalf("recovered %v, lost %v", rep.RecoveredTime, rep.LostTime)
+	}
+}
+
+// TestEveryNodePermanentlyDead: all four nodes crash mid-run and never
+// come back. The run must still terminate with a report naming every
+// node lost — a typed partial answer, not a hang.
+func TestEveryNodePermanentlyDead(t *testing.T) {
+	crashes := []fault.CrashFault{
+		{Node: 0, At: 5 * vtime.Time(vtime.Microsecond)},
+		{Node: 1, At: 5 * vtime.Time(vtime.Microsecond)},
+		{Node: 2, At: 5 * vtime.Time(vtime.Microsecond)},
+		{Node: 3, At: 5 * vtime.Time(vtime.Microsecond)},
+	}
+	s, rep, err := runEdgeCrash(t, crashes)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(rep.Crashes) != 4 {
+		t.Fatalf("crash windows: %+v", rep.Crashes)
+	}
+	if got := len(rep.LostNodes); got != 4 {
+		t.Fatalf("lost nodes: %v", rep.LostNodes)
+	}
+	if rep.LostTime == 0 {
+		t.Fatal("no lost time accounted")
+	}
+	// Every metric-focus answer covering the dead partition is partial.
+	for _, em := range s.Tool.Enabled() {
+		if em.Partial() == "" {
+			t.Fatalf("metric %s not marked partial with all nodes dead", em.Metric.ID)
+		}
+	}
+}
+
+// TestRestartBeyondSessionEnd: a restart scheduled far beyond the
+// clean run's end. The simulator is work-conserving — the next
+// collective that needs the node waits for the reboot — so the session
+// must stretch past the scheduled reboot and terminate with the window
+// recovered and exactly accounted: no hang, no lost node, no panic.
+func TestRestartBeyondSessionEnd(t *testing.T) {
+	const restart = vtime.Duration(vtime.Second) // ~10,000x the clean run
+	s, rep, err := runEdgeCrash(t, []fault.CrashFault{
+		{Node: 1, At: 5 * vtime.Time(vtime.Microsecond), Restart: restart},
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(rep.Crashes) != 1 {
+		t.Fatalf("crash windows: %+v", rep.Crashes)
+	}
+	w := rep.Crashes[0]
+	if !w.Recovered {
+		t.Fatalf("work-conserving reboot not enacted: %+v", w)
+	}
+	if w.Up.Sub(w.Down) != restart {
+		t.Fatalf("dead window %v, scheduled %v", w.Up.Sub(w.Down), restart)
+	}
+	if s.Now().Before(w.Up) {
+		t.Fatalf("session ended at %v, before the reboot at %v", s.Now(), w.Up)
+	}
+	if len(rep.LostNodes) != 0 || rep.LostTime != 0 {
+		t.Fatalf("recovered window accounted as lost: nodes %v, lost %v", rep.LostNodes, rep.LostTime)
+	}
+	if rep.RecoveredTime != restart {
+		t.Fatalf("recovered time %v, want %v", rep.RecoveredTime, restart)
+	}
+}
+
+// TestCrashScheduledAfterLastEngagement: a crash whose instant no
+// operation ever reaches is simply never enacted — the run completes
+// clean, with no window, no injector crash count and a zero report.
+func TestCrashScheduledAfterLastEngagement(t *testing.T) {
+	_, rep, err := runEdgeCrash(t, []fault.CrashFault{
+		{Node: 1, At: vtime.Time(3600 * vtime.Second)},
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(rep.Crashes) != 0 || len(rep.LostNodes) != 0 {
+		t.Fatalf("unenacted crash produced windows: %+v", rep.Crashes)
+	}
+	if !rep.Zero() {
+		t.Fatalf("report not zero:\n%s", rep)
+	}
+}

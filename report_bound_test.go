@@ -1,0 +1,75 @@
+package nvmap
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nvmap/internal/machine"
+	"nvmap/internal/sas"
+	"nvmap/internal/vtime"
+)
+
+// TestBoundReportTruncatesDetail: every detail slice is capped at
+// maxReportDetail with an exact elided count, aggregates computed
+// upstream are untouched, and the renderer marks each truncation.
+func TestBoundReportTruncatesDetail(t *testing.T) {
+	const n = maxReportDetail + 37
+	rep := &DegradationReport{
+		DroppedSamples: map[string]int{},
+	}
+	for i := 0; i < n; i++ {
+		rep.Crashes = append(rep.Crashes, machine.CrashWindow{
+			Node: i % 8, Down: vtime.Time(i) * vtime.Time(vtime.Millisecond),
+		})
+		rep.Links = append(rep.Links, sas.LinkStats{Sent: i + 1, Gaps: 1})
+		rep.DegradedMetrics = append(rep.DegradedMetrics, fmt.Sprintf("metric_%03d", i))
+		rep.LostNodes = append(rep.LostNodes, i)
+		rep.DroppedSamples[fmt.Sprintf("metric_%03d", i)] = i + 1
+	}
+	rep.LostTime = 123 * vtime.Millisecond // aggregate over the full set
+
+	boundReport(rep)
+
+	want := TruncationCounts{Crashes: 37, Links: 37, DroppedSamples: 37, DegradedMetrics: 37, LostNodes: 37}
+	if rep.Truncated != want {
+		t.Fatalf("Truncated = %+v, want %+v", rep.Truncated, want)
+	}
+	if len(rep.Crashes) != maxReportDetail || len(rep.Links) != maxReportDetail ||
+		len(rep.DegradedMetrics) != maxReportDetail || len(rep.LostNodes) != maxReportDetail ||
+		len(rep.DroppedSamples) != maxReportDetail {
+		t.Fatalf("slice lengths after bounding: crashes=%d links=%d metrics=%d nodes=%d samples=%d",
+			len(rep.Crashes), len(rep.Links), len(rep.DegradedMetrics), len(rep.LostNodes), len(rep.DroppedSamples))
+	}
+	// Deterministic selection: the sorted-first prefix of metric IDs.
+	if _, ok := rep.DroppedSamples["metric_000"]; !ok {
+		t.Fatal("sorted-first metric elided")
+	}
+	if _, ok := rep.DroppedSamples[fmt.Sprintf("metric_%03d", n-1)]; ok {
+		t.Fatal("sorted-last metric survived bounding")
+	}
+	if rep.LostTime != 123*vtime.Millisecond {
+		t.Fatalf("aggregate disturbed: %v", rep.LostTime)
+	}
+	out := rep.String()
+	for _, marker := range []string{"(+37 more windows)", "sas links: (+37 more)", "(+37 more metrics)", "(+37 more)", "+37 more"} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("rendering lacks %q:\n%s", marker, out)
+		}
+	}
+}
+
+// TestBoundReportNoOpUnderLimit: small reports pass through untouched.
+func TestBoundReportNoOpUnderLimit(t *testing.T) {
+	rep := &DegradationReport{
+		Crashes:        []machine.CrashWindow{{Node: 1}},
+		DroppedSamples: map[string]int{"a": 1},
+	}
+	boundReport(rep)
+	if rep.Truncated != (TruncationCounts{}) {
+		t.Fatalf("Truncated = %+v", rep.Truncated)
+	}
+	if len(rep.Crashes) != 1 || len(rep.DroppedSamples) != 1 {
+		t.Fatal("bounding disturbed an under-limit report")
+	}
+}
