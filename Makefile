@@ -17,7 +17,8 @@ BENCH_OBS ?= ObsOverhead
 GATE_OBS  ?= ObsOverhead/obs=off
 
 .PHONY: build test race bench bench-rebase bench-par bench-par-rebase \
-	bench-obs bench-obs-rebase soak soak-smoke
+	bench-obs bench-obs-rebase soak soak-smoke \
+	serve-smoke bench-serve bench-serve-rebase
 
 build:
 	go build ./...
@@ -67,7 +68,31 @@ SOAK_N       ?= 500
 SOAK_SMOKE_N ?= 25
 
 soak:
-	go run -race ./cmd/nvsoak -n $(SOAK_N) -seed 1
+	go run -race ./cmd/nvsoak -sessions $(SOAK_N) -seed 1
 
 soak-smoke:
-	go run -race ./cmd/nvsoak -n $(SOAK_SMOKE_N) -seed 1
+	go run -race ./cmd/nvsoak -sessions $(SOAK_SMOKE_N) -seed 1
+
+# Service smoke: nvload self-hosts an nvprofd pool and proves the full
+# admit -> shed -> reject -> drain lifecycle under the race detector —
+# 50 mixed sessions, a deterministic overload burst that must shed and
+# fast-reject with Retry-After, then a drain probe that must observe an
+# exact virtual-time cut with the report flushed. Zero process deaths.
+serve-smoke:
+	go run -race ./cmd/nvload -smoke
+
+# Service throughput ledger: sessions/sec and p95 answer latency against
+# the committed BENCH_PR7.json baseline. Wall-clock numbers are
+# host-dependent, so the gate is deliberately loose (150%) — it catches
+# collapses, not noise. Shed/reject/retry/cut counts ride along
+# ungated for trend visibility.
+BENCH_SERVE_SESSIONS ?= 300
+GATE_SERVE           ?= LoadSession|LoadAnswerP95
+
+bench-serve:
+	go run ./cmd/nvload -sessions $(BENCH_SERVE_SESSIONS) -concurrency 24 -bench | \
+		go run ./cmd/benchdiff -out BENCH_PR7.json -check '$(GATE_SERVE)' -max-regress 150
+
+bench-serve-rebase:
+	go run ./cmd/nvload -sessions $(BENCH_SERVE_SESSIONS) -concurrency 24 -bench | \
+		go run ./cmd/benchdiff -out BENCH_PR7.json -check '$(GATE_SERVE)' -max-regress 150 -rebase

@@ -15,8 +15,15 @@
 //
 // Usage:
 //
-//	nvsoak -n 500 -seed 1
-//	nvsoak -n 25 -timeout 10s -v     # CI smoke
+//	nvsoak -sessions 500 -seed 1
+//	nvsoak -sessions 25 -timeout 10s -v          # CI smoke
+//	nvsoak -sessions 100 -min-nodes 4 -max-workers 2
+//	nvsoak -sessions 100 -max-ops 5000           # pin the budget draw
+//
+// Flags are validated up front: zero or negative session counts, empty
+// or out-of-range node/worker windows, and contradictory budget flags
+// (-no-budget alongside an explicit -max-*) are usage errors (exit 2)
+// rather than panics or silent misbehavior deep in a run.
 //
 // Exit status 0 means every session satisfied the contract.
 package main
@@ -52,24 +59,125 @@ func (r *rng) next() uint64 {
 func (r *rng) f() float64     { return float64(r.next()>>11) / (1 << 53) }
 func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 
+// soakConfig is the validated soak configuration. nodeChoices is
+// derived by validate: the supported partition sizes that fall inside
+// the requested [minNodes, maxNodes] window.
+type soakConfig struct {
+	sessions   int
+	seed       int64
+	timeout    time.Duration
+	verbose    bool
+	minNodes   int
+	maxNodes   int
+	minWorkers int
+	maxWorkers int
+
+	noBudget   bool
+	maxOps     int64
+	maxVTime   time.Duration
+	maxBacklog int
+
+	nodeChoices []int
+}
+
+// supportedNodes are the partition sizes the generator draws from.
+var supportedNodes = []int{1, 2, 4, 8}
+
+// budgetPinned reports whether an explicit -max-* flag replaces the
+// randomized budget draw.
+func (c *soakConfig) budgetPinned() bool {
+	return c.maxOps != 0 || c.maxVTime != 0 || c.maxBacklog != 0
+}
+
+// validate checks the configuration for the failure modes that used to
+// surface as panics (r.intn(0) on an empty range) or silent
+// misbehavior (0 sessions exiting green) deep in a run. It returns a
+// usage error and fills nodeChoices on success.
+func (c *soakConfig) validate() error {
+	if c.sessions <= 0 {
+		return fmt.Errorf("-sessions must be positive, got %d", c.sessions)
+	}
+	if c.timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %v", c.timeout)
+	}
+	if c.minNodes <= 0 || c.maxNodes <= 0 {
+		return fmt.Errorf("node range must be positive, got [%d, %d]", c.minNodes, c.maxNodes)
+	}
+	if c.minNodes > c.maxNodes {
+		return fmt.Errorf("-min-nodes %d exceeds -max-nodes %d", c.minNodes, c.maxNodes)
+	}
+	if max := supportedNodes[len(supportedNodes)-1]; c.maxNodes > max && c.minNodes > max {
+		return fmt.Errorf("node range [%d, %d] is above the largest supported partition (%d)", c.minNodes, c.maxNodes, max)
+	}
+	c.nodeChoices = c.nodeChoices[:0]
+	for _, n := range supportedNodes {
+		if n >= c.minNodes && n <= c.maxNodes {
+			c.nodeChoices = append(c.nodeChoices, n)
+		}
+	}
+	if len(c.nodeChoices) == 0 {
+		return fmt.Errorf("no supported partition size (%v) inside node range [%d, %d]", supportedNodes, c.minNodes, c.maxNodes)
+	}
+	if c.minWorkers <= 0 {
+		return fmt.Errorf("-min-workers must be positive, got %d", c.minWorkers)
+	}
+	if c.minWorkers > c.maxWorkers {
+		return fmt.Errorf("-min-workers %d exceeds -max-workers %d", c.minWorkers, c.maxWorkers)
+	}
+	if c.maxWorkers > 64 {
+		return fmt.Errorf("-max-workers %d is unreasonable (limit 64)", c.maxWorkers)
+	}
+	if c.maxOps < 0 {
+		return fmt.Errorf("-max-ops must be non-negative, got %d", c.maxOps)
+	}
+	if c.maxVTime < 0 {
+		return fmt.Errorf("-max-vtime must be non-negative, got %v", c.maxVTime)
+	}
+	if c.maxBacklog < 0 {
+		return fmt.Errorf("-max-backlog must be non-negative, got %d", c.maxBacklog)
+	}
+	if c.noBudget && c.budgetPinned() {
+		return fmt.Errorf("-no-budget contradicts explicit budget flags (-max-ops/-max-vtime/-max-backlog)")
+	}
+	return nil
+}
+
 func main() {
-	var (
-		n       = flag.Int("n", 500, "number of soak sessions")
-		seed    = flag.Int64("seed", 1, "base seed (iteration i uses seed+i)")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-session hang budget")
-		verbose = flag.Bool("v", false, "log every iteration")
-	)
+	var cfg soakConfig
+	flag.IntVar(&cfg.sessions, "sessions", 500, "number of soak sessions")
+	flag.IntVar(&cfg.sessions, "n", 500, "alias for -sessions")
+	flag.Int64Var(&cfg.seed, "seed", 1, "base seed (iteration i uses seed+i)")
+	flag.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "per-session hang budget")
+	flag.BoolVar(&cfg.verbose, "v", false, "log every iteration")
+	flag.IntVar(&cfg.minNodes, "min-nodes", 1, "smallest partition the generator may draw")
+	flag.IntVar(&cfg.maxNodes, "max-nodes", 8, "largest partition the generator may draw")
+	flag.IntVar(&cfg.minWorkers, "min-workers", 1, "smallest worker pool the generator may draw")
+	flag.IntVar(&cfg.maxWorkers, "max-workers", 8, "largest worker pool the generator may draw")
+	flag.BoolVar(&cfg.noBudget, "no-budget", false, "never attach a budget governor")
+	flag.Int64Var(&cfg.maxOps, "max-ops", 0, "pin every session's op budget (0 = randomized)")
+	flag.DurationVar(&cfg.maxVTime, "max-vtime", 0, "pin every session's virtual-time budget (0 = randomized)")
+	flag.IntVar(&cfg.maxBacklog, "max-backlog", 0, "pin every session's channel-backlog budget (0 = randomized)")
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "nvsoak: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "nvsoak: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	counts := map[string]int{}
 	fails := 0
-	for i := 0; i < *n; i++ {
-		class, err := soakOne(uint64(*seed)+uint64(i), *timeout)
+	for i := 0; i < cfg.sessions; i++ {
+		class, err := soakOne(uint64(cfg.seed)+uint64(i), &cfg)
 		counts[class]++
 		if err != nil {
 			fails++
-			fmt.Fprintf(os.Stderr, "nvsoak: FAIL iteration %d (seed %d): %v\n", i, *seed, err)
-		} else if *verbose {
+			fmt.Fprintf(os.Stderr, "nvsoak: FAIL iteration %d (seed %d): %v\n", i, cfg.seed, err)
+		} else if cfg.verbose {
 			fmt.Printf("iter %4d: %s\n", i, class)
 		}
 	}
@@ -79,13 +187,13 @@ func main() {
 		classes = append(classes, c)
 	}
 	sort.Strings(classes)
-	fmt.Printf("nvsoak: %d sessions", *n)
+	fmt.Printf("nvsoak: %d sessions", cfg.sessions)
 	for _, c := range classes {
 		fmt.Printf(", %s %d", c, counts[c])
 	}
 	fmt.Println()
 	if fails > 0 {
-		fmt.Fprintf(os.Stderr, "nvsoak: %d of %d sessions violated the contract\n", fails, *n)
+		fmt.Fprintf(os.Stderr, "nvsoak: %d of %d sessions violated the contract\n", fails, cfg.sessions)
 		os.Exit(1)
 	}
 }
@@ -119,9 +227,10 @@ type outcome struct {
 // soakOne generates and runs one scenario, re-running wall-clock-free
 // ones under a second worker count for the determinism check. It
 // returns the outcome class and a contract violation, if any.
-func soakOne(seed uint64, hangBudget time.Duration) (string, error) {
+func soakOne(seed uint64, cfg *soakConfig) (string, error) {
+	hangBudget := cfg.timeout
 	r := &rng{state: seed}
-	sc := genScenario(r)
+	sc := genScenario(r, cfg)
 	first, err := runScenario(sc, sc.workers, hangBudget)
 	if err != nil {
 		return "violation", err
@@ -250,12 +359,15 @@ type vals struct {
 	em interface{ Value(vtime.Time) float64 }
 }
 
-// genScenario draws one randomized composition.
-func genScenario(r *rng) *scenario {
+// genScenario draws one randomized composition inside the validated
+// node/worker windows. With the default windows the draws are
+// identical to the historical generator, so seeds stay comparable
+// across releases.
+func genScenario(r *rng, cfg *soakConfig) *scenario {
 	sc := &scenario{
 		program: genProgram(r),
-		nodes:   []int{1, 2, 4, 8}[r.intn(4)],
-		workers: 1 + r.intn(8),
+		nodes:   cfg.nodeChoices[r.intn(len(cfg.nodeChoices))],
+		workers: cfg.minWorkers + r.intn(cfg.maxWorkers-cfg.minWorkers+1),
 		metrics: []string{"computations", "computation_time", "summations"},
 	}
 
@@ -331,7 +443,16 @@ func genScenario(r *rng) *scenario {
 		sc.plan = plan
 	}
 
-	if r.f() < 0.35 { // budgets
+	switch {
+	case cfg.noBudget:
+		// governance disabled by flag
+	case cfg.budgetPinned():
+		sc.budget = &nvmap.Budget{
+			MaxOps:            cfg.maxOps,
+			MaxVirtualTime:    vtime.Duration(cfg.maxVTime),
+			MaxChannelBacklog: cfg.maxBacklog,
+		}
+	case r.f() < 0.35: // randomized budgets
 		b := nvmap.Budget{}
 		switch r.intn(3) {
 		case 0:

@@ -1,0 +1,209 @@
+package nvmap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nvmap/internal/budget"
+	"nvmap/internal/paradyn"
+	"nvmap/internal/vtime"
+)
+
+// TestSessionErrorUnwrapChains is the service-layer contract for typed
+// failures: whatever a server wraps around a run error — request IDs,
+// tenant labels, retry context, any number of %w layers — errors.Is
+// must still see the root cause (context.Canceled,
+// context.DeadlineExceeded, ErrBudgetExceeded) and errors.As must still
+// recover the *SessionError with its kind and cut instant.
+func TestSessionErrorUnwrapChains(t *testing.T) {
+	sentinels := []error{context.Canceled, context.DeadlineExceeded, ErrBudgetExceeded, ErrStalled, ErrPanicked}
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T) error
+		kind ErrorKind
+		want error // the sentinel this failure must unwrap to
+	}{
+		{
+			name: "cancelled",
+			run: func(t *testing.T) error {
+				s := mustSession(t, WithNodes(2))
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				_, err := s.RunContext(ctx)
+				return err
+			},
+			kind: ErrorCancelled,
+			want: context.Canceled,
+		},
+		{
+			name: "deadline",
+			run: func(t *testing.T) error {
+				s := mustSession(t, WithNodes(2))
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+				defer cancel()
+				_, err := s.RunContext(ctx)
+				return err
+			},
+			kind: ErrorDeadline,
+			want: context.DeadlineExceeded,
+		},
+		{
+			name: "over-budget-ops",
+			run: func(t *testing.T) error {
+				s := mustSession(t, WithNodes(2), WithBudget(Budget{MaxOps: 50}))
+				_, err := s.RunContext(context.Background())
+				return err
+			},
+			kind: ErrorOverBudget,
+			want: ErrBudgetExceeded,
+		},
+		{
+			name: "over-budget-virtual-time",
+			run: func(t *testing.T) error {
+				s := mustSession(t, WithNodes(2), WithBudget(Budget{MaxVirtualTime: vtime.Microsecond}))
+				_, err := s.RunContext(context.Background())
+				return err
+			},
+			kind: ErrorOverBudget,
+			want: ErrBudgetExceeded,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tc.run(t)
+			if raw == nil {
+				t.Fatal("run succeeded, wanted a typed failure")
+			}
+			// Two service-style layers, the way a daemon handler would
+			// wrap before logging or returning to a client.
+			wrapped := fmt.Errorf("handle request 42: %w",
+				fmt.Errorf("session for tenant %q: %w", "alice", raw))
+
+			if !errors.Is(wrapped, tc.want) {
+				t.Fatalf("errors.Is(%v) false through service wrapping: %v", tc.want, wrapped)
+			}
+			for _, other := range sentinels {
+				if other != tc.want && errors.Is(wrapped, other) {
+					t.Fatalf("errors.Is(%v) true for a %s failure", other, tc.name)
+				}
+			}
+			var serr *SessionError
+			if !errors.As(wrapped, &serr) {
+				t.Fatalf("errors.As(*SessionError) false: %v", wrapped)
+			}
+			if serr.Kind != tc.kind {
+				t.Fatalf("kind %v, want %v", serr.Kind, tc.kind)
+			}
+			if serr.At < 0 {
+				t.Fatalf("cut instant %v", serr.At)
+			}
+			// The one-step Unwrap also reaches the sentinel, so callers
+			// can walk the chain by hand if they must.
+			if !errors.Is(serr.Unwrap(), tc.want) {
+				t.Fatalf("SessionError.Unwrap() = %v, want %v", serr.Unwrap(), tc.want)
+			}
+		})
+	}
+}
+
+// TestShedLadderStepOrdering pins the MaxChannelBacklog ladder at the
+// governor level: escalations climb 1 → 2 → 3 one step at a time (never
+// skipping, never repeating a level), stop at MaxShedLevel, and only
+// then does a still-over-limit backlog hard-fail.
+func TestShedLadderStepOrdering(t *testing.T) {
+	const limit = 8
+	g := budget.New(budget.Limits{MaxChannelBacklog: limit})
+	pressure := 0
+	g.SetProbes(func() int { return pressure }, nil)
+	var steps []int
+	g.OnShed(func(level int) { steps = append(steps, level) })
+
+	// check runs enough boundary checks to land one probe (probes are
+	// sampled every 8 checks).
+	check := func(t *testing.T) error {
+		t.Helper()
+		var last error
+		for i := 0; i < 8; i++ {
+			if err := g.Check(vtime.Time(100)); err != nil {
+				last = err
+			}
+		}
+		return last
+	}
+
+	// Below 75% pressure: no escalation.
+	pressure = (3*limit)/4 - 1
+	if err := check(t); err != nil || len(steps) != 0 {
+		t.Fatalf("pre-pressure: err %v steps %v", err, steps)
+	}
+	// Holding at 75%+ climbs exactly one level per probe.
+	pressure = limit // at the limit, shed headroom left: escalate, don't fail
+	for want := 1; want <= budget.MaxShedLevel; want++ {
+		if err := check(t); err != nil {
+			t.Fatalf("level %d: governor failed while ladder had headroom: %v", want, err)
+		}
+		if len(steps) != want || steps[want-1] != want {
+			t.Fatalf("after probe %d: steps %v, want 1..%d in order", want, steps, want)
+		}
+	}
+	// Ladder exhausted: pressure over the limit now hard-fails...
+	pressure = limit + 1
+	err := check(t)
+	var ex *budget.Exceeded
+	if !errors.As(err, &ex) || ex.Resource != "daemon-channel backlog" {
+		t.Fatalf("post-ladder over-limit check: %v", err)
+	}
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("exceeded does not unwrap to sentinel: %v", err)
+	}
+	// ...and no further escalation was recorded past MaxShedLevel.
+	if len(steps) != budget.MaxShedLevel {
+		t.Fatalf("steps %v, want exactly %d", steps, budget.MaxShedLevel)
+	}
+	if st := g.Stats(); st.ShedLevel != budget.MaxShedLevel || st.Sheds != budget.MaxShedLevel {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestShedLadderThroughSession pins the ladder's facade wiring: a tight
+// backlog ceiling escalates the tool's shed level monotonically (the
+// tool never lowers it mid-run), the report's final ShedLevel matches
+// the tool's, and each level doubles the effective sampling interval —
+// coarser fidelity, not lost answers.
+func TestShedLadderThroughSession(t *testing.T) {
+	s := mustSession(t, WithNodes(4),
+		WithSampleEvery(vtime.Microsecond),
+		WithBudget(Budget{MaxChannelBacklog: 2}))
+	for _, id := range []string{"computations", "computation_time", "summations", "summation_time"} {
+		if _, err := s.Tool.EnableMetric(id, paradyn.WholeProgram()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.RunContext(context.Background())
+	if err != nil {
+		var serr *SessionError
+		if !errors.As(err, &serr) || serr.Kind != ErrorOverBudget {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if rep.Budget.Sheds == 0 {
+		t.Skip("backlog never pressured the ladder on this run shape")
+	}
+	if got, want := s.Tool.ShedLevel(), rep.Budget.ShedLevel; got != want {
+		t.Fatalf("tool shed level %d, report %d", got, want)
+	}
+	if rep.Budget.ShedLevel > budget.MaxShedLevel {
+		t.Fatalf("shed level %d past the ladder", rep.Budget.ShedLevel)
+	}
+	// Shed is a ratchet: a later, lower request must not reduce it.
+	before := s.Tool.ShedLevel()
+	s.Tool.Shed(before - 1)
+	if s.Tool.ShedLevel() != before {
+		t.Fatalf("Shed(%d) lowered the level from %d", before-1, s.Tool.ShedLevel())
+	}
+}

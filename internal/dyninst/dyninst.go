@@ -22,6 +22,7 @@ package dyninst
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"nvmap/internal/vtime"
 )
@@ -139,14 +140,19 @@ type inserted struct {
 	snippet Snippet
 }
 
-// Manager is the instrumentation controller for one executable image. It
-// is not safe for concurrent use: the simulated machine executes
-// sequentially in virtual time.
+// Manager is the instrumentation controller for one executable image.
+// Mutation (Insert/Remove/Fire) is not safe for concurrent use — the
+// simulated machine executes sequentially in virtual time — but Stats
+// may be read concurrently with a run.
 type Manager struct {
 	costs   CostModel
 	points  map[PointID][]inserted
 	nextSeq int
-	stats   Stats
+	// stats counters are atomic so a metrics scrape can read them while
+	// the driving goroutine fires snippets; every writer is the single
+	// driving goroutine (instrumentation never fires inside parallel
+	// node regions).
+	stats managerStats
 	// perturb charges instrumentation overhead to the executing node;
 	// nil disables perturbation modelling.
 	perturb func(node int, d vtime.Duration)
@@ -167,7 +173,7 @@ func NewManager(costs CostModel, perturb func(node int, d vtime.Duration)) *Mana
 func (m *Manager) Insert(p PointID, s Snippet) Handle {
 	m.nextSeq++
 	m.points[p] = append(m.points[p], inserted{seq: m.nextSeq, snippet: s})
-	m.stats.Inserted++
+	m.stats.inserted.Add(1)
 	return Handle{point: p, seq: m.nextSeq}
 }
 
@@ -181,7 +187,7 @@ func (m *Manager) Remove(h Handle) error {
 			if len(m.points[h.point]) == 0 {
 				delete(m.points, h.point)
 			}
-			m.stats.Removed++
+			m.stats.removed.Add(1)
 			return nil
 		}
 	}
@@ -195,7 +201,7 @@ func (m *Manager) RemoveAll(p PointID) int {
 	n := len(m.points[p])
 	if n > 0 {
 		delete(m.points, p)
-		m.stats.Removed += n
+		m.stats.removed.Add(int64(n))
 	}
 	return n
 }
@@ -214,18 +220,18 @@ func (m *Manager) Fire(p PointID, ctx Context) {
 		if ins.snippet.When != nil {
 			cost += m.costs.PerPredicate
 			if !ins.snippet.When(ctx) {
-				m.stats.Suppressed++
+				m.stats.suppressed.Add(1)
 				continue
 			}
 		}
 		cost += m.costs.PerFire
-		m.stats.Fires++
+		m.stats.fires.Add(1)
 		if ins.snippet.Do != nil {
 			ins.snippet.Do(ctx)
 		}
 	}
 	if cost > 0 {
-		m.stats.Perturbation += cost
+		m.stats.perturbation.Add(int64(cost))
 		if m.perturb != nil && ctx.Node >= 0 {
 			m.perturb(ctx.Node, cost)
 		}
@@ -252,5 +258,23 @@ func (m *Manager) ActivePoints() []PointID {
 	return out
 }
 
-// Stats returns a copy of the instrumentation statistics.
-func (m *Manager) Stats() Stats { return m.stats }
+// managerStats is the internal atomic mirror of Stats.
+type managerStats struct {
+	inserted     atomic.Int64
+	removed      atomic.Int64
+	fires        atomic.Int64
+	suppressed   atomic.Int64
+	perturbation atomic.Int64
+}
+
+// Stats returns a copy of the instrumentation statistics. Safe to call
+// while the session runs.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Inserted:     int(m.stats.inserted.Load()),
+		Removed:      int(m.stats.removed.Load()),
+		Fires:        int(m.stats.fires.Load()),
+		Suppressed:   int(m.stats.suppressed.Load()),
+		Perturbation: vtime.Duration(m.stats.perturbation.Load()),
+	}
+}

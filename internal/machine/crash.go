@@ -161,7 +161,7 @@ func (m *Machine) enactCrash(node int, c fault.CrashFault) {
 	cs.dead[node] = true
 	cs.open[node] = len(cs.windows)
 	cs.windows = append(cs.windows, w)
-	m.stats[node].Crashes++
+	m.stats[node].crashes.Add(1)
 	m.faults.NoteCrash()
 	m.emit(Event{Kind: EvCrash, Node: node, Peer: node, Start: at, End: at, Tag: "crash"})
 	for _, fn := range m.onCrash {
@@ -179,7 +179,7 @@ func (m *Machine) enactRestart(node int, at vtime.Time) {
 	cs.dead[node] = false
 	cs.open[node] = -1
 	m.nodeClock[node] = at
-	m.stats[node].Restarts++
+	m.stats[node].restarts.Add(1)
 	m.faults.NoteRestart(at.Sub(w.Down))
 	for _, fn := range m.onRestart {
 		fn(node, at)
@@ -201,7 +201,7 @@ func (m *Machine) admitDelivery(to int, arrival vtime.Time) bool {
 	if cs.dead[to] {
 		w := cs.windows[cs.open[to]]
 		if w.Permanent || arrival.Before(w.Up) {
-			m.stats[to].LostRecvs++
+			m.stats[to].lostRecvs.Add(1)
 			return false
 		}
 		m.enactRestart(to, w.Up)
@@ -209,7 +209,7 @@ func (m *Machine) admitDelivery(to int, arrival vtime.Time) bool {
 	}
 	for _, w := range cs.windows {
 		if w.Node == to && !arrival.Before(w.Down) && arrival.Before(w.Up) {
-			m.stats[to].LostRecvs++
+			m.stats[to].lostRecvs.Add(1)
 			return false
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sync/atomic"
 
 	"nvmap/internal/fault"
 	"nvmap/internal/obs"
@@ -163,12 +164,33 @@ type NodeStats struct {
 	LostRecvs int
 }
 
+// nodeStats is the internal mirror of NodeStats with atomic fields, so
+// a metrics scrape (the obs registry's collectors, a profiling
+// service's /metrics endpoint) can read a node's counters while the run
+// is still mutating them. Each counter has exactly one writer at a time
+// (the driving goroutine, or the node's own region worker), so plain
+// Add/Load never lose updates; the atomics exist for the concurrent
+// reader, not for write contention.
+type nodeStats struct {
+	computeTime atomic.Int64
+	computeOps  atomic.Int64
+	sends       atomic.Int64
+	sendBytes   atomic.Int64
+	sendTime    atomic.Int64
+	recvs       atomic.Int64
+	idleTime    atomic.Int64
+	dispatches  atomic.Int64
+	crashes     atomic.Int64
+	restarts    atomic.Int64
+	lostRecvs   atomic.Int64
+}
+
 // Machine is one simulated partition.
 type Machine struct {
 	cfg       Config
 	nodeClock []vtime.Time
 	cpClock   vtime.Time
-	stats     []NodeStats
+	stats     []nodeStats
 	observers []Observer
 	// faults, when non-nil, perturbs point-to-point sends and node
 	// compute speed with the injector's deterministic schedule.
@@ -189,7 +211,9 @@ type Machine struct {
 	pool    *par.Pool
 	region  *regionState
 	replay  replayClock
-	regions int
+	// regions is atomic so a mid-run metrics scrape can read it while
+	// the driving goroutine enters another region.
+	regions atomic.Int64
 
 	// obsT, when non-nil, records spans for collective operations and
 	// parallel node regions on the observability plane. Nil (the
@@ -223,7 +247,7 @@ func New(cfg Config) (*Machine, error) {
 	return &Machine{
 		cfg:       cfg,
 		nodeClock: make([]vtime.Time, cfg.Nodes),
-		stats:     make([]NodeStats, cfg.Nodes),
+		stats:     make([]nodeStats, cfg.Nodes),
 		workers:   workers,
 	}, nil
 }
@@ -376,8 +400,26 @@ func (m *Machine) GlobalNow() vtime.Time {
 	return t
 }
 
-// Stats returns a copy of a node's accumulated statistics.
-func (m *Machine) Stats(node int) NodeStats { return m.stats[node] }
+// Stats returns a copy of a node's accumulated statistics. It is safe
+// to call while the machine runs — each counter is loaded atomically —
+// though a mid-run reading is a point-in-time snapshot, not a
+// consistent cut across counters.
+func (m *Machine) Stats(node int) NodeStats {
+	st := &m.stats[node]
+	return NodeStats{
+		ComputeTime: vtime.Duration(st.computeTime.Load()),
+		ComputeOps:  int(st.computeOps.Load()),
+		Sends:       int(st.sends.Load()),
+		SendBytes:   int(st.sendBytes.Load()),
+		SendTime:    vtime.Duration(st.sendTime.Load()),
+		Recvs:       int(st.recvs.Load()),
+		IdleTime:    vtime.Duration(st.idleTime.Load()),
+		Dispatches:  int(st.dispatches.Load()),
+		Crashes:     int(st.crashes.Load()),
+		Restarts:    int(st.restarts.Load()),
+		LostRecvs:   int(st.lostRecvs.Load()),
+	}
+}
 
 // treeDepth is the number of combining-tree levels for the partition.
 func (m *Machine) treeDepth() int {
@@ -415,7 +457,7 @@ func (m *Machine) Compute(node, elems int, tag string) {
 		if stall := m.faults.Stall(node); stall > 0 {
 			before := m.nodeClock[node]
 			m.nodeClock[node] = before.Add(stall)
-			m.stats[node].IdleTime += stall
+			m.stats[node].idleTime.Add(int64(stall))
 			m.emit(Event{Kind: EvIdle, Node: node, Peer: node, Start: before, End: m.nodeClock[node], Tag: tag})
 		}
 	}
@@ -429,8 +471,8 @@ func (m *Machine) Compute(node, elems int, tag string) {
 	end := start.Add(d)
 	m.nodeClock[node] = end
 	st := &m.stats[node]
-	st.ComputeTime += d
-	st.ComputeOps += elems
+	st.computeTime.Add(int64(d))
+	st.computeOps.Add(int64(elems))
 	m.emit(Event{Kind: EvCompute, Node: node, Peer: node, Elems: elems, Start: start, End: end, Tag: tag})
 }
 
@@ -467,9 +509,9 @@ func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
 	}
 
 	st := &m.stats[from]
-	st.Sends++
-	st.SendBytes += bytes
-	st.SendTime += sendEnd.Sub(start)
+	st.sends.Add(1)
+	st.sendBytes.Add(int64(bytes))
+	st.sendTime.Add(int64(sendEnd.Sub(start)))
 	m.emit(Event{Kind: EvSend, Node: from, Peer: to, Bytes: bytes, Start: start, End: sendEnd, Tag: tag})
 
 	if from != to && !outcome.Drop {
@@ -489,10 +531,10 @@ func (m *Machine) deliver(from, to, bytes int, arrival vtime.Time, tag string) {
 		return
 	}
 	rst := &m.stats[to]
-	rst.Recvs++
+	rst.recvs.Add(1)
 	before := m.nodeClock[to]
 	if arrival.After(before) {
-		rst.IdleTime += arrival.Sub(before)
+		rst.idleTime.Add(int64(arrival.Sub(before)))
 		m.emit(Event{Kind: EvIdle, Node: to, Peer: from, Start: before, End: arrival, Tag: tag})
 		m.nodeClock[to] = arrival
 	}
@@ -524,13 +566,13 @@ func (m *Machine) Dispatch(tag string, argBytes int) {
 		}
 		before := m.nodeClock[n]
 		if arrival.After(before) {
-			m.stats[n].IdleTime += arrival.Sub(before)
+			m.stats[n].idleTime.Add(int64(arrival.Sub(before)))
 			m.emit(Event{Kind: EvIdle, Node: n, Peer: CP, Start: before, End: arrival, Tag: tag})
 			m.nodeClock[n] = arrival
 		}
 		start := m.nodeClock[n]
 		m.nodeClock[n] = start.Add(argCost)
-		m.stats[n].Dispatches++
+		m.stats[n].dispatches.Add(1)
 		m.emit(Event{Kind: EvDispatch, Node: n, Peer: CP, Bytes: argBytes, Start: start, End: m.nodeClock[n], Tag: tag})
 	}
 }
@@ -555,14 +597,14 @@ func (m *Machine) Broadcast(bytes int, tag string) {
 		}
 		before := m.nodeClock[n]
 		if arrival.After(before) {
-			m.stats[n].IdleTime += arrival.Sub(before)
+			m.stats[n].idleTime.Add(int64(arrival.Sub(before)))
 			m.emit(Event{Kind: EvIdle, Node: n, Peer: CP, Start: before, End: arrival, Tag: tag})
 			m.nodeClock[n] = arrival
 		}
 		start := m.nodeClock[n]
 		end := start.Add(serial)
 		m.nodeClock[n] = end
-		m.stats[n].Recvs++
+		m.stats[n].recvs.Add(1)
 		m.emit(Event{Kind: EvBroadcast, Node: n, Peer: CP, Bytes: bytes, Start: start, End: end, Tag: tag})
 	}
 }
@@ -588,9 +630,9 @@ func (m *Machine) Reduce(bytes int, tag string) {
 		start := m.nodeClock[n]
 		end := start.Add(m.cfg.SendOverhead + serial)
 		m.nodeClock[n] = end
-		m.stats[n].Sends++
-		m.stats[n].SendBytes += bytes
-		m.stats[n].SendTime += end.Sub(start)
+		m.stats[n].sends.Add(1)
+		m.stats[n].sendBytes.Add(int64(bytes))
+		m.stats[n].sendTime.Add(int64(end.Sub(start)))
 		m.emit(Event{Kind: EvReduce, Node: n, Peer: CP, Bytes: bytes, Start: start, End: end, Tag: tag})
 		if end.After(slowest) {
 			slowest = end
@@ -629,7 +671,7 @@ func (m *Machine) Barrier(tag string) {
 		}
 		before := m.nodeClock[n]
 		if done.After(before) {
-			m.stats[n].IdleTime += done.Sub(before)
+			m.stats[n].idleTime.Add(int64(done.Sub(before)))
 			m.emit(Event{Kind: EvIdle, Node: n, Peer: CP, Start: before, End: done, Tag: tag})
 		}
 		m.emit(Event{Kind: EvBarrier, Node: n, Peer: CP, Start: before, End: done, Tag: tag})

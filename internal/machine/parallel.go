@@ -139,7 +139,7 @@ func (m *Machine) parallelEligible(n, work int) bool {
 // the worker pool — diagnostics for tuning Workers and the region work
 // hints, and proof in tests that a workload exercised the parallel
 // engine rather than falling back everywhere.
-func (m *Machine) ParallelRegions() int { return m.regions }
+func (m *Machine) ParallelRegions() int { return int(m.regions.Load()) }
 
 // runRegion is the bulk-synchronous epoch: snapshot region-entry
 // clocks, fan the node work out, barrier, merge-flush in node order.
@@ -147,7 +147,7 @@ func (m *Machine) runRegion(n int, f func(node int)) {
 	if m.pool == nil {
 		m.pool = par.New(m.workers)
 	}
-	m.regions++
+	m.regions.Add(1)
 	start := make([]vtime.Time, n)
 	copy(start, m.nodeClock)
 	r := &regionState{buf: make([][]Event, n)}
