@@ -16,8 +16,14 @@ GATE_PAR  ?= ParallelFig6/nodes=32/workers=1
 BENCH_OBS ?= ObsOverhead
 GATE_OBS  ?= ObsOverhead/obs=off
 
+# Topology & placement (PR 8): the greedy congestion-aware placement at
+# fleet scale and the routed send path's per-message overhead, gated
+# against BENCH_PR8.json.
+BENCH_TOPO ?= TopoPlaceGreedy|TopoSend
+GATE_TOPO  ?= Topo
+
 .PHONY: build test race bench bench-rebase bench-par bench-par-rebase \
-	bench-obs bench-obs-rebase soak soak-smoke \
+	bench-obs bench-obs-rebase bench-topo bench-topo-rebase soak soak-smoke \
 	serve-smoke bench-serve bench-serve-rebase
 
 build:
@@ -58,6 +64,16 @@ bench-obs:
 bench-obs-rebase:
 	go test -run '^$$' -bench '$(BENCH_OBS)' -benchmem -count=5 . | \
 		go run ./cmd/benchdiff -out BENCH_PR5.json -check '$(GATE_OBS)' -max-regress 2 -rebase
+
+# Topology & placement: both benchmarks are pure host-CPU loops with no
+# wall-clock dependence, so the default 20% gate applies.
+bench-topo:
+	go test -run '^$$' -bench '$(BENCH_TOPO)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR8.json -check '$(GATE_TOPO)'
+
+bench-topo-rebase:
+	go test -run '^$$' -bench '$(BENCH_TOPO)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR8.json -check '$(GATE_TOPO)' -rebase
 
 # Chaos soak: randomized composed-fault sessions under the race
 # detector, asserting the robustness contract (no process death, every

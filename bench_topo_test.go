@@ -1,0 +1,49 @@
+package nvmap
+
+// Topology and placement benchmarks (PR 8). BenchmarkTopoPlaceGreedy
+// measures the congestion-aware placement algorithm at fleet scale;
+// BenchmarkTopoSend measures the routed send path — the per-message
+// overhead a topology adds to the flat machine's cost model.
+
+import (
+	"testing"
+
+	"nvmap/internal/machine"
+	"nvmap/internal/place"
+	"nvmap/internal/vtime"
+)
+
+// BenchmarkTopoPlaceGreedy: greedy placement of 64 logical nodes onto
+// an 8x8 torus from a dense pair-exchange traffic matrix.
+func BenchmarkTopoPlaceGreedy(b *testing.B) {
+	topo := &machine.Topology{GridX: 8, GridY: 8, Torus: true}
+	n := 64
+	traffic := make([][]int64, n)
+	for i := range traffic {
+		traffic[i] = make([]int64, n)
+		traffic[i][(i+n/2)%n] = 256
+		traffic[i][(i+1)%n] = 64
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := place.Greedy(n, topo, traffic)
+		if len(p) != n {
+			b.Fatal("bad placement")
+		}
+	}
+}
+
+// BenchmarkTopoSend: the machine's point-to-point send with routing,
+// per-link accounting and hop-delay charging on a 16-node torus.
+func BenchmarkTopoSend(b *testing.B) {
+	cfg := machine.DefaultConfig(16)
+	cfg.Topology = &machine.Topology{GridX: 4, GridY: 4, Torus: true, LinkHop: 1 * vtime.Microsecond}
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Send(i%16, (i+7)%16, 64, "bench")
+	}
+}

@@ -19,6 +19,7 @@
 //	                notation (repeatable), e.g. "{A Sums}, {Processor_1 Sends}"
 //	-timeline       print a per-node execution timeline
 //	-pif            print the generated static mapping information
+//	-levels         print the session's abstraction levels after the run
 //	-list           list available metrics and exit
 //
 // Observability subcommands (see obscmd.go):
@@ -65,6 +66,7 @@ func main() {
 		showPIF    = flag.Bool("pif", false, "print the generated PIF")
 		timeline   = flag.Bool("timeline", false, "print a per-node execution timeline")
 		list       = flag.Bool("list", false, "list available metrics and exit")
+		showLevels = flag.Bool("levels", false, "print the session's abstraction levels after the run")
 	)
 	var questions questionFlags
 	flag.Var(&questions, "question",
@@ -84,7 +86,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: nvprof [flags] program.fcm (see -h)")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *nodes, *fuse, *metricsArg, *focusArg, *showWhere, *plot, *consult, *showPIF, *timeline, questions); err != nil {
+	if err := run(flag.Arg(0), *nodes, *fuse, *metricsArg, *focusArg, *showWhere, *plot, *consult, *showPIF, *timeline, *showLevels, questions); err != nil {
 		fmt.Fprintln(os.Stderr, "nvprof:", err)
 		os.Exit(1)
 	}
@@ -96,7 +98,7 @@ type questionFlags []string
 func (q *questionFlags) String() string     { return strings.Join(*q, "; ") }
 func (q *questionFlags) Set(v string) error { *q = append(*q, v); return nil }
 
-func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhere, plot, consult, showPIF, timeline bool, questions []string) error {
+func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhere, plot, consult, showPIF, timeline, showLevels bool, questions []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -209,6 +211,17 @@ func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhe
 	if showWhere {
 		fmt.Println()
 		fmt.Print(s.Tool.Axis.Render())
+	}
+	if showLevels {
+		fmt.Println("\nabstraction levels (most abstract first):")
+		fmt.Printf("  %-10s %5s %6s %6s %8s  %s\n", "level", "rank", "nouns", "verbs", "metrics", "")
+		for _, l := range s.Levels() {
+			note := ""
+			if l.Virtual {
+				note = "(metric library only)"
+			}
+			fmt.Printf("  %-10s %5d %6d %6d %8d  %s\n", l.Name, l.Rank, l.Nouns, l.Verbs, l.Metrics, note)
+		}
 	}
 	if tr != nil {
 		fmt.Println()

@@ -40,6 +40,13 @@ func TestExamplesSmoke(t *testing.T) {
 			"prometheus export identical across worker counts: true",
 			"perturbation structure identical across worker counts: true",
 		}},
+		{"./examples/placement", []string{
+			"=== identity placement on an 8-ring torus ===",
+			"hottest statement at the HW level: line5",
+			"=== greedy placement computed from the measured traffic ===",
+			"abstraction levels of a topology session:",
+			"greedy strictly reduces congestion and dilation: true",
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

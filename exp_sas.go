@@ -7,8 +7,10 @@ import (
 	"nvmap/internal/cmf"
 	"nvmap/internal/cmrts"
 	"nvmap/internal/dyninst"
+	"nvmap/internal/machine"
 	"nvmap/internal/nv"
 	"nvmap/internal/oskernel"
+	"nvmap/internal/pifgen"
 	"nvmap/internal/sas"
 	"nvmap/internal/vtime"
 )
@@ -42,6 +44,11 @@ const (
 	verbMaxvals  nv.VerbID = "Maxvals"
 	verbMinvals  nv.VerbID = "Minvals"
 	verbSends    nv.VerbID = "Sends"
+	// verbRoutes is the HW-level verb of link-traffic sentences: one
+	// {link_hwA_hwB Routes} event fires per interconnect link a message
+	// crosses. Matches pifgen.VerbRoutes so the monitor's vocabulary
+	// agrees with the session's PIF.
+	verbRoutes nv.VerbID = nv.VerbID(pifgen.VerbRoutes)
 )
 
 func verbForIntrinsic(intr string) nv.VerbID {
@@ -160,6 +167,47 @@ func wireSAS(s *Session, filter bool) *Monitor {
 			node.RecordSpan(sn, start, ctx.Now, ctx.Now.Sub(start))
 		},
 	})
+
+	// Link traffic from the interconnect, when the machine has a
+	// topology: every link a message crosses fires a {link Routes} event
+	// on the sender's SAS. The route happens inside the runtime's send
+	// routine, so {lineN Executes} and {Processor_n Sends} are active and
+	// questions like "which statement causes cross-link traffic" pair the
+	// hardware sentence with the source statement for free.
+	if topo := s.Machine.Topology(); topo != nil {
+		_ = w.Model.AddLevel(nv.Level{
+			ID: nv.LevelIDHardware, Name: string(nv.LevelIDHardware), Rank: nv.RankHardware})
+		_ = w.Model.AddVerb(nv.Verb{ID: verbRoutes, Level: nv.LevelIDHardware})
+		for hw := 0; hw < topo.HWNodes(); hw++ {
+			// Register every link noun up front (same adjacency as
+			// pifgen.FromTopology) so snapshot formatting and questions
+			// can name them before traffic flows.
+			x, y := topo.Coord(hw)
+			var neighbours []int
+			if x+1 < topo.GridX {
+				neighbours = append(neighbours, topo.HWAt(x+1, y))
+			} else if topo.Torus && topo.GridX > 2 {
+				neighbours = append(neighbours, topo.HWAt(0, y))
+			}
+			if y+1 < topo.GridY {
+				neighbours = append(neighbours, topo.HWAt(x, y+1))
+			} else if topo.Torus && topo.GridY > 2 {
+				neighbours = append(neighbours, topo.HWAt(x, 0))
+			}
+			for _, nb := range neighbours {
+				noun := nv.NounID(pifgen.LinkNoun(machine.Link{From: hw, To: nb}))
+				if _, ok := w.Model.Noun(noun); !ok {
+					_ = w.Model.AddNoun(nv.Noun{ID: noun, Level: nv.LevelIDHardware})
+				}
+			}
+		}
+		s.Machine.OnRoute(func(from, to, bytes int, links []machine.Link, at vtime.Time) {
+			node := w.Reg.Node(from)
+			for _, l := range links {
+				node.RecordEvent(nv.NewSentence(verbRoutes, nv.NounID(pifgen.LinkNoun(l))), at, 1)
+			}
+		})
+	}
 	return w
 }
 

@@ -100,11 +100,17 @@ func ExperimentFig9() (string, error) {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Workload: mixed.fcm on 4 nodes, virtual elapsed %v\n\n", s.Elapsed())
-	for _, level := range []string{"CMF", "CMRTS"} {
-		fmt.Fprintf(&b, "%s level\n", level)
+	// The session's own level enumeration drives the table: levels print
+	// from most abstract down, and only levels with metric definitions
+	// get a section (CMF then CMRTS in the standard stack).
+	for _, level := range s.Levels() {
+		if level.Metrics == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s level\n", level.Name)
 		var rows []paradyn.Row
 		for _, em := range ems {
-			if !strings.EqualFold(em.Metric.Level, level) {
+			if !strings.EqualFold(em.Metric.Level, string(level.ID)) {
 				continue
 			}
 			rows = append(rows, paradyn.Row{

@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"ablorder", "Ablation: ordered performance questions", AblationOrderedQuestions},
 		{"ablfuse", "Ablation: statement fusion vs attribution", AblationFusion},
 		{"consultant", "Section 5: the Performance Consultant's search", ExperimentConsultant},
+		{"placement", "Topology placement: identity vs bisection vs greedy", ExperimentPlacement},
 	}
 }
 

@@ -7,7 +7,7 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
+	if len(exps) != 15 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	seen := map[string]bool{}

@@ -56,6 +56,17 @@ type Config struct {
 	// never changes any observable output; it only changes which host
 	// threads do the work.
 	Workers int
+	// Topology, when non-nil, models the hardware hierarchy beneath the
+	// logical nodes (see topology.go): messages between logical nodes
+	// are routed over the interconnect, charged per link crossed, and
+	// accounted in the per-link load counters. Nil keeps the historical
+	// flat machine — one nil check on the send path, nothing else.
+	Topology *Topology
+	// Placement assigns each logical node to a topology leaf (core).
+	// Nil selects the identity placement (logical node i on leaf i).
+	// Entries must be distinct and within [0, Topology.Leaves()).
+	// Meaningless (and rejected) without a Topology.
+	Placement []int
 }
 
 // DefaultConfig returns a cost model loosely shaped like a CM-5 partition:
@@ -226,6 +237,15 @@ type Machine struct {
 	// are identical across worker counts.
 	gov      Governor
 	govQuiet int
+
+	// Topology state (see topology.go, net.go): the hardware hierarchy,
+	// the resolved logical-node-to-leaf placement, the interconnect
+	// accounting, and the route callbacks. All nil/empty on the flat
+	// machine.
+	topo    *Topology
+	place   []int
+	net     *netState
+	onRoute []func(from, to, bytes int, links []Link, at vtime.Time)
 }
 
 // New builds a machine from the config.
@@ -244,12 +264,53 @@ func New(cfg Config) (*Machine, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:       cfg,
 		nodeClock: make([]vtime.Time, cfg.Nodes),
 		stats:     make([]nodeStats, cfg.Nodes),
 		workers:   workers,
-	}, nil
+	}
+	if cfg.Topology != nil {
+		t := cfg.Topology
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if t.Leaves() < cfg.Nodes {
+			return nil, fmt.Errorf("machine: topology %v has %d leaves for %d logical nodes",
+				t, t.Leaves(), cfg.Nodes)
+		}
+		place := cfg.Placement
+		if place == nil {
+			place = make([]int, cfg.Nodes)
+			for i := range place {
+				place[i] = i
+			}
+		} else {
+			if len(place) != cfg.Nodes {
+				return nil, fmt.Errorf("machine: placement has %d entries for %d logical nodes",
+					len(place), cfg.Nodes)
+			}
+			place = append([]int(nil), place...)
+			seen := make(map[int]int, len(place))
+			for i, leaf := range place {
+				if leaf < 0 || leaf >= t.Leaves() {
+					return nil, fmt.Errorf("machine: placement assigns node %d to leaf %d outside [0,%d)",
+						i, leaf, t.Leaves())
+				}
+				if prev, dup := seen[leaf]; dup {
+					return nil, fmt.Errorf("machine: placement assigns nodes %d and %d to the same leaf %d",
+						prev, i, leaf)
+				}
+				seen[leaf] = i
+			}
+		}
+		m.topo = t
+		m.place = place
+		m.net = newNetState(cfg.Nodes)
+	} else if cfg.Placement != nil {
+		return nil, fmt.Errorf("machine: placement given without a topology")
+	}
+	return m, nil
 }
 
 // Config returns the cost model.
@@ -501,6 +562,9 @@ func (m *Machine) Send(from, to, bytes int, tag string) vtime.Time {
 	sendEnd := start.Add(m.cfg.SendOverhead + serial)
 	m.nodeClock[from] = sendEnd
 	arrival := sendEnd.Add(m.cfg.MessageLatency)
+	if m.topo != nil && from != to {
+		arrival = arrival.Add(m.routeCharge(from, to, bytes, sendEnd))
+	}
 
 	var outcome fault.MessageOutcome
 	if m.faults != nil {

@@ -1,0 +1,212 @@
+package machine
+
+import (
+	"testing"
+
+	"nvmap/internal/vtime"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+		ok   bool
+	}{
+		{"minimal", Topology{GridX: 1, GridY: 1}, true},
+		{"torus", Topology{GridX: 4, GridY: 2, Torus: true, Sockets: 2, Cores: 2}, true},
+		{"zero grid", Topology{GridX: 0, GridY: 1}, false},
+		{"negative sockets", Topology{GridX: 2, GridY: 2, Sockets: -1}, false},
+		{"negative cores", Topology{GridX: 2, GridY: 2, Cores: -2}, false},
+		{"negative link cost", Topology{GridX: 2, GridY: 2, LinkHop: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.topo.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestTopologyLeaves(t *testing.T) {
+	topo := Topology{GridX: 4, GridY: 2, Sockets: 2, Cores: 3}
+	if got := topo.Leaves(); got != 48 {
+		t.Fatalf("Leaves() = %d, want 48", got)
+	}
+	if got := topo.LeafNode(47); got != 7 {
+		t.Errorf("LeafNode(47) = %d, want 7", got)
+	}
+	if got := topo.LeafSocket(5); got != 1 {
+		t.Errorf("LeafSocket(5) = %d, want 1", got)
+	}
+	// Zero sockets/cores normalise to one each.
+	flat := Topology{GridX: 3, GridY: 1}
+	if got := flat.Leaves(); got != 3 {
+		t.Fatalf("flat Leaves() = %d, want 3", got)
+	}
+}
+
+func TestTopologyRouteGrid(t *testing.T) {
+	topo := Topology{GridX: 4, GridY: 4}
+	// (0,0) -> (2,1): X first (two +x links), then Y (one +y link).
+	links := topo.Route(0, topo.HWAt(2, 1), nil)
+	want := []Link{{0, 1}, {1, 2}, {2, 6}}
+	if len(links) != len(want) {
+		t.Fatalf("route = %v, want %v", links, want)
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("route = %v, want %v", links, want)
+		}
+	}
+	hops, cross := topo.Hops(0, topo.HWAt(2, 1))
+	if hops != 3 || cross {
+		t.Fatalf("Hops = (%d, %v), want (3, false)", hops, cross)
+	}
+}
+
+func TestTopologyRouteTorusShorterDirection(t *testing.T) {
+	topo := Topology{GridX: 8, GridY: 1, Torus: true}
+	// 0 -> 6 is 2 hops backwards around the ring, not 6 forwards.
+	links := topo.Route(0, 6, nil)
+	want := []Link{{0, 7}, {7, 6}}
+	if len(links) != 2 || links[0] != want[0] || links[1] != want[1] {
+		t.Fatalf("route 0->6 = %v, want %v", links, want)
+	}
+	// An exact tie (distance 4 on an 8-ring) goes positive.
+	links = topo.Route(0, 4, nil)
+	want = []Link{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("route 0->4 = %v, want %v", links, want)
+		}
+	}
+}
+
+func TestTopologySocketCrossing(t *testing.T) {
+	topo := Topology{GridX: 2, GridY: 1, Sockets: 2, Cores: 2,
+		LinkHop: 3 * vtime.Microsecond, SocketHop: 1 * vtime.Microsecond}
+	// Leaves 0..3 on hw0 (sockets 0,1), 4..7 on hw1.
+	hops, cross := topo.Hops(0, 1)
+	if hops != 0 || cross {
+		t.Fatalf("same-socket Hops = (%d, %v), want (0, false)", hops, cross)
+	}
+	hops, cross = topo.Hops(0, 2)
+	if hops != 0 || !cross {
+		t.Fatalf("cross-socket Hops = (%d, %v), want (0, true)", hops, cross)
+	}
+	if d := topo.HopDelay(0, true); d != 1*vtime.Microsecond {
+		t.Errorf("socket HopDelay = %v, want 1µs", d)
+	}
+	hops, _ = topo.Hops(0, 4)
+	if hops != 1 {
+		t.Fatalf("cross-node hops = %d, want 1", hops)
+	}
+	if d := topo.HopDelay(2, false); d != 6*vtime.Microsecond {
+		t.Errorf("2-link HopDelay = %v, want 6µs", d)
+	}
+}
+
+func TestMachineTopologyAccounting(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Topology = &Topology{GridX: 4, GridY: 1, Torus: true, LinkHop: 1 * vtime.Microsecond}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routed int
+	m.OnRoute(func(from, to, bytes int, links []Link, at vtime.Time) {
+		routed += len(links)
+	})
+	m.Send(0, 2, 100, "t") // 2 hops (tie goes positive)
+	m.Send(1, 2, 50, "t")  // 1 hop
+	st := m.NetStats()
+	if st.Messages != 2 || st.CrossMessages != 2 || st.LinkHops != 3 {
+		t.Fatalf("NetStats = %+v, want 2 msgs, 2 cross, 3 hops", st)
+	}
+	if routed != 3 {
+		t.Errorf("OnRoute saw %d links, want 3", routed)
+	}
+	if st.MaxLinkMsgs != 2 {
+		// Link 1->2 carries both messages.
+		t.Errorf("MaxLinkMsgs = %d, want 2", st.MaxLinkMsgs)
+	}
+	if st.MaxLinkBytes != 150 {
+		t.Errorf("MaxLinkBytes = %d, want 150", st.MaxLinkBytes)
+	}
+	loads := m.LinkLoads()
+	if len(loads) != 2 || st.Links != 2 {
+		// Both messages share link hw1->hw2.
+		t.Fatalf("LinkLoads = %v (stats %d), want 2 distinct links", loads, st.Links)
+	}
+	tm := m.TrafficMatrix()
+	if tm[0][2] != 100 || tm[1][2] != 50 {
+		t.Errorf("TrafficMatrix = %v", tm)
+	}
+}
+
+func TestMachineTopologyHopDelayCharged(t *testing.T) {
+	flatCfg := DefaultConfig(2)
+	flat, err := New(flatCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoCfg := DefaultConfig(2)
+	topoCfg.Topology = &Topology{GridX: 2, GridY: 1, LinkHop: 7 * vtime.Microsecond}
+	tm, err := New(topoCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aFlat := flat.Send(0, 1, 64, "t")
+	aTopo := tm.Send(0, 1, 64, "t")
+	if want := aFlat.Add(7 * vtime.Microsecond); aTopo != want {
+		t.Fatalf("topology arrival = %v, want %v (flat %v + 7µs)", aTopo, want, aFlat)
+	}
+	// Zero hop costs leave the flat cost model byte-identical.
+	zeroCfg := DefaultConfig(2)
+	zeroCfg.Topology = &Topology{GridX: 2, GridY: 1}
+	zm, err := New(zeroCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := zm.Send(0, 1, 64, "t"); got != aFlat {
+		t.Fatalf("zero-cost topology arrival = %v, want flat %v", got, aFlat)
+	}
+}
+
+func TestMachinePlacementValidation(t *testing.T) {
+	topo := &Topology{GridX: 2, GridY: 2}
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"identity default", Config{Nodes: 4, Topology: topo}, true},
+		{"explicit", Config{Nodes: 4, Topology: topo, Placement: []int{3, 2, 1, 0}}, true},
+		{"too few leaves", Config{Nodes: 8, Topology: topo}, false},
+		{"wrong length", Config{Nodes: 4, Topology: topo, Placement: []int{0, 1}}, false},
+		{"out of range", Config{Nodes: 4, Topology: topo, Placement: []int{0, 1, 2, 4}}, false},
+		{"duplicate leaf", Config{Nodes: 4, Topology: topo, Placement: []int{0, 1, 1, 2}}, false},
+		{"placement without topology", Config{Nodes: 4, Placement: []int{0, 1, 2, 3}}, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.cfg)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: New() err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestMachinePlacementAffectsRouting(t *testing.T) {
+	topo := &Topology{GridX: 4, GridY: 1, LinkHop: 1 * vtime.Microsecond}
+	cfg := DefaultConfig(2)
+	cfg.Topology = topo
+	cfg.Placement = []int{0, 3} // logical neighbours, 3 links apart
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Send(0, 1, 8, "t")
+	if st := m.NetStats(); st.LinkHops != 3 {
+		t.Fatalf("LinkHops = %d, want 3 under spread placement", st.LinkHops)
+	}
+}

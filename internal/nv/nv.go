@@ -25,6 +25,29 @@ import (
 // LevelID identifies a level of abstraction, e.g. "CMF", "CMRTS", "Base".
 type LevelID string
 
+// Canonical level IDs and ranks for the reproduction's stack, from most
+// abstract (the CM Fortran source) down to the hardware topology. These
+// are the single source of truth for level naming; enumerate a session's
+// actual levels with Session.Levels() rather than matching these
+// strings ad hoc.
+const (
+	LevelIDCMF      LevelID = "CMF"     // CM Fortran source constructs
+	LevelIDCMRTS    LevelID = "CMRTS"   // CM run-time system routines
+	LevelIDBase     LevelID = "Base"    // functions of the executable image
+	LevelIDMachine  LevelID = "Machine" // partition nodes
+	LevelIDHardware LevelID = "HW"      // hardware topology (nodes/sockets/cores, links)
+)
+
+// The canonical rank of each level: larger is more abstract. Ranks must
+// be unique within a registry; the hardware topology sits at the bottom.
+const (
+	RankCMF      = 2
+	RankCMRTS    = 1
+	RankBase     = 0
+	RankMachine  = -1
+	RankHardware = -2
+)
+
 // Level describes one level of abstraction. Levels are ordered by Rank:
 // a larger Rank is more abstract (closer to the programmer), a smaller
 // Rank is closer to the hardware. Mapping "upward" means toward larger

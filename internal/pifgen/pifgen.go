@@ -15,12 +15,18 @@ import (
 	"io"
 	"strings"
 
+	"nvmap/internal/machine"
+	"nvmap/internal/nv"
 	"nvmap/internal/pif"
 )
 
 // Levels and verbs the generated PIF declares.
 const (
-	LevelCMF  = "CMF"
+	// Deprecated: use nv.LevelIDCMF; enumerate a session's levels with
+	// Session.Levels() instead of matching level names.
+	LevelCMF = "CMF"
+	// Deprecated: use nv.LevelIDBase; enumerate a session's levels with
+	// Session.Levels() instead of matching level names.
 	LevelBase = "Base"
 
 	VerbExecutes = "Executes"
@@ -29,6 +35,24 @@ const (
 	// Hierarchy-root nouns for the tool's where axis.
 	RootStmts  = "CMFstmts"
 	RootArrays = "CMFarrays"
+)
+
+// Hardware-topology vocabulary (see FromTopology).
+const (
+	// VerbHosts relates a hardware leaf to the logical node placed on
+	// it: the placement-as-mapping source verb.
+	VerbHosts = "Hosts"
+	// VerbRoutes is the HW-level verb of link-traffic sentences: a
+	// {link_hwA_hwB Routes} event fires per interconnect link a message
+	// crosses.
+	VerbRoutes = "Routes"
+	// VerbRuns is the Machine-level verb of a logical node's activity.
+	VerbRuns = "Runs"
+	// RootHardware and RootLinks are the HW level's hierarchy roots.
+	RootHardware = "Hardware"
+	RootLinks    = "HWlinks"
+	// RootMachine mirrors the tool's built-in Machine hierarchy.
+	RootMachine = "Machine"
 )
 
 // FromListing parses a compiler listing and builds the PIF file.
@@ -166,4 +190,151 @@ func parseFields(s string, lineNo int) (map[string]string, error) {
 		}
 	}
 	return out, nil
+}
+
+// LeafNoun names the PIF noun for one topology leaf. The name carries
+// the full hardware path so it stays unique within the HW level: a
+// single-socket single-core leaf is just its hardware node ("hw3"),
+// deeper hierarchies append socket and core components ("hw3.s0.c1").
+func LeafNoun(t *machine.Topology, leaf int) string {
+	hw := t.LeafNode(leaf)
+	sockets, cores := t.SocketsPerNode(), t.CoresPerSocket()
+	if sockets == 1 && cores == 1 {
+		return fmt.Sprintf("hw%d", hw)
+	}
+	socket := (leaf / cores) % sockets
+	if cores == 1 {
+		return fmt.Sprintf("hw%d.s%d", hw, socket)
+	}
+	return fmt.Sprintf("hw%d.s%d.c%d", hw, socket, leaf%cores)
+}
+
+// LinkNoun names the PIF noun for one interconnect link. Links are
+// undirected at the noun level (one noun covers both directions), named
+// by the lower hardware-node index first.
+func LinkNoun(l machine.Link) string {
+	a, b := l.From, l.To
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("link_hw%d_hw%d", a, b)
+}
+
+// FromTopology emits the static mapping information of a hardware
+// topology and a placement: the Machine and HW levels of abstraction,
+// the hardware resource tree (nodes, sockets, cores) and the
+// interconnect links as HW-level nouns, the Hosts/Routes/Runs verbs,
+// and one MAPPING record per logical node relating the leaf that hosts
+// it to the node's Machine-level sentence — placement expressed as
+// ordinary mapping information, so the SAS, the where axis and every
+// question mechanism see hardware sentences with no special cases.
+//
+// The file composes with FromListing's output (distinct levels, nouns
+// and verbs); the session merges both and loads them as one PIF.
+func FromTopology(t *machine.Topology, placement []int, nodes int) *pif.File {
+	f := &pif.File{
+		Levels: []pif.LevelRecord{
+			{Name: string(nv.LevelIDMachine), Rank: nv.RankMachine, Description: "partition nodes"},
+			{Name: string(nv.LevelIDHardware), Rank: nv.RankHardware, Description: fmt.Sprintf("hardware topology: %v", t)},
+		},
+		Verbs: []pif.VerbRecord{
+			{Name: VerbRuns, Abstraction: string(nv.LevelIDMachine), Units: "% CPU"},
+			{Name: VerbHosts, Abstraction: string(nv.LevelIDHardware), Units: "nodes"},
+			{Name: VerbRoutes, Abstraction: string(nv.LevelIDHardware), Units: "messages"},
+		},
+	}
+	hwLevel := string(nv.LevelIDHardware)
+
+	// The hardware resource tree: Hardware -> hw nodes -> sockets -> cores.
+	f.Nouns = append(f.Nouns, pif.NounRecord{
+		Name: RootHardware, Abstraction: hwLevel,
+		Description: "hardware topology root",
+	})
+	sockets, cores := t.SocketsPerNode(), t.CoresPerSocket()
+	for hw := 0; hw < t.HWNodes(); hw++ {
+		x, y := t.Coord(hw)
+		hwName := fmt.Sprintf("hw%d", hw)
+		f.Nouns = append(f.Nouns, pif.NounRecord{
+			Name: hwName, Abstraction: hwLevel, Parent: RootHardware,
+			Description: fmt.Sprintf("hardware node at (%d,%d)", x, y),
+		})
+		if sockets == 1 && cores == 1 {
+			continue
+		}
+		for s := 0; s < sockets; s++ {
+			sName := fmt.Sprintf("hw%d.s%d", hw, s)
+			f.Nouns = append(f.Nouns, pif.NounRecord{
+				Name: sName, Abstraction: hwLevel, Parent: hwName,
+				Description: fmt.Sprintf("socket %d of hw%d", s, hw),
+			})
+			if cores == 1 {
+				continue
+			}
+			for c := 0; c < cores; c++ {
+				f.Nouns = append(f.Nouns, pif.NounRecord{
+					Name: fmt.Sprintf("hw%d.s%d.c%d", hw, s, c), Abstraction: hwLevel, Parent: sName,
+					Description: fmt.Sprintf("core %d of socket %d of hw%d", c, s, hw),
+				})
+			}
+		}
+	}
+
+	// The interconnect links, undirected, under their own root.
+	if t.GridX > 1 || t.GridY > 1 {
+		f.Nouns = append(f.Nouns, pif.NounRecord{
+			Name: RootLinks, Abstraction: hwLevel,
+			Description: "interconnect links",
+		})
+		seen := map[string]bool{}
+		for hw := 0; hw < t.HWNodes(); hw++ {
+			x, y := t.Coord(hw)
+			neighbours := make([]int, 0, 2)
+			if t.GridX > 1 {
+				if x+1 < t.GridX {
+					neighbours = append(neighbours, t.HWAt(x+1, y))
+				} else if t.Torus && t.GridX > 2 {
+					neighbours = append(neighbours, t.HWAt(0, y))
+				}
+			}
+			if t.GridY > 1 {
+				if y+1 < t.GridY {
+					neighbours = append(neighbours, t.HWAt(x, y+1))
+				} else if t.Torus && t.GridY > 2 {
+					neighbours = append(neighbours, t.HWAt(x, 0))
+				}
+			}
+			for _, nb := range neighbours {
+				name := LinkNoun(machine.Link{From: hw, To: nb})
+				if seen[name] {
+					continue
+				}
+				seen[name] = true
+				f.Nouns = append(f.Nouns, pif.NounRecord{
+					Name: name, Abstraction: hwLevel, Parent: RootLinks,
+					Description: fmt.Sprintf("interconnect link hw%d-hw%d", min(hw, nb), max(hw, nb)),
+				})
+			}
+		}
+	}
+
+	// The Machine level mirrors the tool's built-in node hierarchy.
+	f.Nouns = append(f.Nouns, pif.NounRecord{
+		Name: RootMachine, Abstraction: string(nv.LevelIDMachine),
+		Description: "partition root",
+	})
+	for n := 0; n < nodes; n++ {
+		f.Nouns = append(f.Nouns, pif.NounRecord{
+			Name: fmt.Sprintf("node%d", n), Abstraction: string(nv.LevelIDMachine), Parent: RootMachine,
+			Description: fmt.Sprintf("logical node %d", n),
+		})
+	}
+
+	// Placement as mapping information: {leaf Hosts} -> {node Runs}.
+	for n := 0; n < nodes; n++ {
+		f.Mappings = append(f.Mappings, pif.MappingRecord{
+			Source:      pif.SentenceRef{Nouns: []string{LeafNoun(t, placement[n])}, Verb: VerbHosts},
+			Destination: pif.SentenceRef{Nouns: []string{fmt.Sprintf("node%d", n)}, Verb: VerbRuns},
+		})
+	}
+	return f
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nvmap/internal/cmf"
+	"nvmap/internal/machine"
 	"nvmap/internal/mapping"
 	"nvmap/internal/nv"
 	"nvmap/internal/pif"
@@ -157,5 +158,102 @@ func BenchmarkFromListing(b *testing.B) {
 		if _, err := FromListing(strings.NewReader(listing)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestFromTopologyEmission(t *testing.T) {
+	topo := &machine.Topology{GridX: 2, GridY: 2, Torus: false, Sockets: 2, Cores: 2}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 hw nodes x 2 sockets x 2 cores = 16 leaves; 2 logical nodes,
+	// placed on opposite corners' first cores.
+	f := FromTopology(topo, []int{0, 12}, 2)
+
+	loaded, err := pif.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Levels land at the canonical ranks.
+	for _, want := range []struct {
+		id   nv.LevelID
+		rank int
+	}{{nv.LevelIDMachine, nv.RankMachine}, {nv.LevelIDHardware, nv.RankHardware}} {
+		lvl, ok := loaded.Registry.Level(want.id)
+		if !ok || lvl.Rank != want.rank {
+			t.Fatalf("level %s: ok=%v rank=%d, want rank %d", want.id, ok, lvl.Rank, want.rank)
+		}
+	}
+	// The hardware tree resolves root -> node -> socket -> core.
+	leaf, ok := loaded.NounID(nv.LevelIDHardware, "hw3.s1.c1")
+	if !ok {
+		t.Fatal("deep leaf noun missing")
+	}
+	n, _ := loaded.Registry.Noun(leaf)
+	if n.Parent == "" {
+		t.Fatal("leaf has no socket parent")
+	}
+	// A 2x2 mesh has 4 links, all present under the links root.
+	links := 0
+	for _, noun := range f.Nouns {
+		if noun.Parent == RootLinks {
+			links++
+		}
+	}
+	if links != 4 {
+		t.Fatalf("links = %d, want 4 for a 2x2 mesh", links)
+	}
+	// Placement mappings connect {leaf Hosts} to {node Runs}.
+	if len(f.Mappings) != 2 {
+		t.Fatalf("mappings = %d, want 2", len(f.Mappings))
+	}
+	if got := f.Mappings[1].Source.Nouns[0]; got != "hw3.s0.c0" {
+		t.Fatalf("node1 hosted by %q, want hw3.s0.c0", got)
+	}
+}
+
+func TestFromTopologyTorusWrapLinks(t *testing.T) {
+	topo := &machine.Topology{GridX: 4, GridY: 1, Torus: true}
+	f := FromTopology(topo, []int{0, 1, 2, 3}, 4)
+	var names []string
+	for _, noun := range f.Nouns {
+		if noun.Parent == RootLinks {
+			names = append(names, noun.Name)
+		}
+	}
+	// A 4-ring has 4 links including the wrap link_hw0_hw3.
+	if len(names) != 4 {
+		t.Fatalf("links = %v, want 4 on a 4-ring", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "link_hw0_hw3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrap link missing from %v", names)
+	}
+	// Flat hierarchy: leaves are the hw nodes themselves.
+	if got := LeafNoun(topo, 2); got != "hw2" {
+		t.Fatalf("LeafNoun = %q, want hw2", got)
+	}
+}
+
+func TestFromTopologyComposesWithListing(t *testing.T) {
+	lf, err := FromListing(strings.NewReader(listingOf(t, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := &machine.Topology{GridX: 2, GridY: 1}
+	tf := FromTopology(topo, []int{0, 1}, 2)
+	merged := &pif.File{
+		Levels:   append(append([]pif.LevelRecord(nil), lf.Levels...), tf.Levels...),
+		Nouns:    append(append([]pif.NounRecord(nil), lf.Nouns...), tf.Nouns...),
+		Verbs:    append(append([]pif.VerbRecord(nil), lf.Verbs...), tf.Verbs...),
+		Mappings: append(append([]pif.MappingRecord(nil), lf.Mappings...), tf.Mappings...),
+	}
+	if _, err := pif.Load(merged); err != nil {
+		t.Fatalf("merged listing+topology PIF does not load: %v", err)
 	}
 }

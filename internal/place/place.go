@@ -1,0 +1,257 @@
+// Package place implements placement algorithms: assignments of the
+// partition's logical nodes to the leaves (cores) of a hardware
+// topology. Placement is the machine-level form of the paper's mapping
+// problem — where a high-level construct lands at the level below — so
+// the session emits the chosen assignment as ordinary PIF mapping
+// records and the SAS can answer questions about it.
+//
+// Three algorithms are provided, in ascending awareness of the traffic:
+//
+//   - Identity places logical node i on leaf i — the baseline every
+//     comparison measures against.
+//   - Bisection recursively bipartitions the logical nodes to minimise
+//     traffic across each cut while splitting the leaf set in half —
+//     the classic recursive-bisection mapping.
+//   - Greedy grows the placement one node at a time, placing the node
+//     most connected to the placed set on the free leaf that minimises
+//     its traffic-weighted hop distance — congestion-aware in the sense
+//     that heavy pairs land close together.
+//
+// All algorithms are deterministic: ties break toward the lowest index,
+// and no randomness is used, so a placement computed from a measured
+// traffic matrix is reproducible byte-for-byte.
+package place
+
+import (
+	"fmt"
+
+	"nvmap/internal/machine"
+)
+
+// Func is a placement algorithm: it assigns n logical nodes to distinct
+// leaves of t, optionally guided by a traffic matrix (bytes exchanged
+// between logical node pairs; nil selects a synthetic default pattern).
+type Func func(n int, t *machine.Topology, traffic [][]int64) []int
+
+// ByName resolves an algorithm name ("identity", "bisection", "greedy").
+func ByName(name string) (Func, error) {
+	switch name {
+	case "identity":
+		return Identity, nil
+	case "bisection":
+		return Bisection, nil
+	case "greedy":
+		return Greedy, nil
+	}
+	return nil, fmt.Errorf("place: unknown algorithm %q (have identity, bisection, greedy)", name)
+}
+
+// Identity places logical node i on leaf i.
+func Identity(n int, t *machine.Topology, traffic [][]int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// symmetrise folds a traffic matrix into undirected pair weights,
+// substituting the synthetic default when traffic is nil.
+func symmetrise(n int, traffic [][]int64) [][]int64 {
+	if traffic == nil {
+		traffic = DefaultTraffic(n)
+	}
+	sym := make([][]int64, n)
+	for i := range sym {
+		sym[i] = make([]int64, n)
+	}
+	for i := 0; i < n && i < len(traffic); i++ {
+		for j := 0; j < n && j < len(traffic[i]); j++ {
+			if i == j {
+				continue
+			}
+			sym[i][j] += traffic[i][j]
+			sym[j][i] += traffic[i][j]
+		}
+	}
+	return sym
+}
+
+// DefaultTraffic returns the synthetic traffic matrix used when no
+// measured matrix is supplied: the combining-tree reduction pattern
+// (node lo+stride sends to lo for each power-of-two stride) plus a
+// nearest-neighbour ring, matching the CM run-time system's collective
+// and shift communication.
+func DefaultTraffic(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	for stride := 1; stride < n; stride *= 2 {
+		for lo := 0; lo+stride < n; lo += 2 * stride {
+			m[lo+stride][lo] += 8
+		}
+	}
+	for i := 0; i < n && n > 1; i++ {
+		m[i][(i+1)%n] += 64
+	}
+	return m
+}
+
+// Bisection recursively bipartitions the logical nodes, minimising the
+// traffic crossing each cut with a deterministic swap-improvement pass,
+// while splitting the leaf set into contiguous halves.
+func Bisection(n int, t *machine.Topology, traffic [][]int64) []int {
+	sym := symmetrise(n, traffic)
+	out := make([]int, n)
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	leaves := make([]int, t.Leaves())
+	for i := range leaves {
+		leaves[i] = i
+	}
+	var recurse func(nodes, leaves []int)
+	recurse = func(nodes, leaves []int) {
+		if len(nodes) == 0 {
+			return
+		}
+		if len(nodes) == 1 {
+			out[nodes[0]] = leaves[0]
+			return
+		}
+		hN := (len(nodes) + 1) / 2
+		hL := (len(leaves) + 1) / 2
+		a := append([]int(nil), nodes[:hN]...)
+		b := append([]int(nil), nodes[hN:]...)
+		cut := func(a, b []int) int64 {
+			var w int64
+			for _, x := range a {
+				for _, y := range b {
+					w += sym[x][y]
+				}
+			}
+			return w
+		}
+		// Swap-improvement: take the best single swap while it strictly
+		// reduces the cut. Bounded by len(nodes) passes.
+		for pass := 0; pass < len(nodes); pass++ {
+			base := cut(a, b)
+			bestI, bestJ, bestW := -1, -1, base
+			for i := range a {
+				for j := range b {
+					a[i], b[j] = b[j], a[i]
+					if w := cut(a, b); w < bestW {
+						bestI, bestJ, bestW = i, j, w
+					}
+					a[i], b[j] = b[j], a[i]
+				}
+			}
+			if bestI < 0 {
+				break
+			}
+			a[bestI], b[bestJ] = b[bestJ], a[bestI]
+		}
+		recurse(a, leaves[:hL])
+		recurse(b, leaves[hL:])
+	}
+	recurse(nodes, leaves)
+	return out
+}
+
+// Greedy grows the placement one node at a time. The node most connected
+// to the already-placed set goes next (falling back to the heaviest
+// total communicator when nothing placed communicates with the rest),
+// and lands on the free leaf minimising the sum over placed partners of
+// traffic times hop distance. Ties break toward the lowest index.
+func Greedy(n int, t *machine.Topology, traffic [][]int64) []int {
+	sym := symmetrise(n, traffic)
+	totals := make([]int64, n)
+	for i := range sym {
+		for j := range sym[i] {
+			totals[i] += sym[i][j]
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	freeLeaf := make([]bool, t.Leaves())
+	for i := range freeLeaf {
+		freeLeaf[i] = true
+	}
+	placed := make([]int, 0, n)
+	hops := func(a, b int) int64 {
+		links, cross := t.Hops(a, b)
+		if links == 0 && cross {
+			// Socket crossings cost less than links but more than
+			// same-socket traffic; weight them below one link.
+			return 1
+		}
+		return int64(links) * 2
+	}
+	for len(placed) < n {
+		// Pick the next node: max connectivity to the placed set, then
+		// max total traffic, then lowest index.
+		next, bestConn, bestTotal := -1, int64(-1), int64(-1)
+		for u := 0; u < n; u++ {
+			if out[u] >= 0 {
+				continue
+			}
+			var conn int64
+			for _, p := range placed {
+				conn += sym[u][p]
+			}
+			if conn > bestConn || (conn == bestConn && totals[u] > bestTotal) {
+				next, bestConn, bestTotal = u, conn, totals[u]
+			}
+		}
+		// Pick its leaf: minimise traffic-weighted distance to placed
+		// partners; lowest leaf index on ties.
+		bestLeaf, bestCost := -1, int64(-1)
+		for leaf := range freeLeaf {
+			if !freeLeaf[leaf] {
+				continue
+			}
+			var cost int64
+			for _, p := range placed {
+				if w := sym[next][p]; w > 0 {
+					cost += w * hops(leaf, out[p])
+				}
+			}
+			if bestLeaf < 0 || cost < bestCost {
+				bestLeaf, bestCost = leaf, cost
+			}
+		}
+		out[next] = bestLeaf
+		freeLeaf[bestLeaf] = false
+		placed = append(placed, next)
+	}
+	return out
+}
+
+// Evaluate scores a placement against a traffic matrix on a topology:
+// the heaviest directed link's byte load (congestion) and the total
+// byte-hops (the dilation numerator). Lower is better on both.
+func Evaluate(t *machine.Topology, placement []int, traffic [][]int64) (maxLinkBytes, byteHops int64) {
+	loads := make(map[machine.Link]int64)
+	var buf []machine.Link
+	for i := range traffic {
+		for j := range traffic[i] {
+			b := traffic[i][j]
+			if b == 0 || i == j {
+				continue
+			}
+			buf = t.Route(placement[i], placement[j], buf[:0])
+			byteHops += int64(len(buf)) * b
+			for _, l := range buf {
+				loads[l] += b
+				if loads[l] > maxLinkBytes {
+					maxLinkBytes = loads[l]
+				}
+			}
+		}
+	}
+	return maxLinkBytes, byteHops
+}

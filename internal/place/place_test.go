@@ -1,0 +1,97 @@
+package place
+
+import (
+	"reflect"
+	"testing"
+
+	"nvmap/internal/machine"
+)
+
+// pairExchange builds the traffic pattern of a half-length circular
+// shift: node i exchanges a heavy payload with node (i+n/2)%n.
+func pairExchange(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		m[i][(i+n/2)%n] = 256
+	}
+	return m
+}
+
+func checkValid(t *testing.T, name string, p []int, n int, topo *machine.Topology) {
+	t.Helper()
+	if len(p) != n {
+		t.Fatalf("%s: %d entries, want %d", name, len(p), n)
+	}
+	seen := map[int]bool{}
+	for i, leaf := range p {
+		if leaf < 0 || leaf >= topo.Leaves() {
+			t.Fatalf("%s: node %d on leaf %d outside [0,%d)", name, i, leaf, topo.Leaves())
+		}
+		if seen[leaf] {
+			t.Fatalf("%s: leaf %d assigned twice", name, leaf)
+		}
+		seen[leaf] = true
+	}
+}
+
+func TestAlgorithmsValidAndDeterministic(t *testing.T) {
+	topo := &machine.Topology{GridX: 4, GridY: 2, Torus: true}
+	traffic := pairExchange(8)
+	for _, c := range []struct {
+		name string
+		fn   Func
+	}{{"identity", Identity}, {"bisection", Bisection}, {"greedy", Greedy}} {
+		p1 := c.fn(8, topo, traffic)
+		p2 := c.fn(8, topo, traffic)
+		checkValid(t, c.name, p1, 8, topo)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Errorf("%s: non-deterministic: %v vs %v", c.name, p1, p2)
+		}
+	}
+}
+
+func TestGreedyBeatsIdentityOnPairExchange(t *testing.T) {
+	topo := &machine.Topology{GridX: 8, GridY: 1, Torus: true}
+	traffic := pairExchange(8)
+	idCong, idHops := Evaluate(topo, Identity(8, topo, traffic), traffic)
+	grCong, grHops := Evaluate(topo, Greedy(8, topo, traffic), traffic)
+	if grCong >= idCong {
+		t.Errorf("greedy congestion %d not below identity %d", grCong, idCong)
+	}
+	if grHops >= idHops {
+		t.Errorf("greedy byte-hops %d not below identity %d", grHops, idHops)
+	}
+	biCong, biHops := Evaluate(topo, Bisection(8, topo, traffic), traffic)
+	if biCong > idCong || biHops > idHops {
+		t.Errorf("bisection (%d, %d) worse than identity (%d, %d)", biCong, biHops, idCong, idHops)
+	}
+}
+
+func TestNilTrafficUsesDefaultPattern(t *testing.T) {
+	topo := &machine.Topology{GridX: 4, GridY: 1}
+	p := Greedy(4, topo, nil)
+	checkValid(t, "greedy-default", p, 4, topo)
+	p = Bisection(4, topo, nil)
+	checkValid(t, "bisection-default", p, 4, topo)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"identity", "bisection", "greedy"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("optimal"); err == nil {
+		t.Error("ByName(optimal) should fail")
+	}
+}
+
+func TestBisectionUsesSpareLeaves(t *testing.T) {
+	// 4 logical nodes on a 16-leaf topology: placements must stay in
+	// range and distinct even with slack.
+	topo := &machine.Topology{GridX: 4, GridY: 2, Sockets: 2}
+	for _, fn := range []Func{Identity, Bisection, Greedy} {
+		checkValid(t, "slack", fn(4, topo, pairExchange(4)), 4, topo)
+	}
+}

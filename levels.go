@@ -1,0 +1,98 @@
+package nvmap
+
+import (
+	"sort"
+
+	"nvmap/internal/nv"
+)
+
+// LevelInfo describes one level of abstraction visible to a session,
+// from the CM Fortran source down to the hardware topology. It is the
+// enumerable replacement for matching level-name strings ad hoc: code
+// that used to compare against "CMF" or "CMRTS" literals should iterate
+// Session.Levels and select on ID, Rank or Metrics instead.
+type LevelInfo struct {
+	// ID is the canonical level identifier (nv.LevelIDCMF, ...).
+	ID nv.LevelID
+	// Name is the display name (usually the ID itself).
+	Name string
+	// Rank orders levels: larger is more abstract. Ranks follow the
+	// nv.Rank* constants for the canonical stack.
+	Rank int
+	// Description comes from the level's PIF record (or the metric
+	// library for virtual levels).
+	Description string
+	// Nouns and Verbs count the vocabulary registered at the level.
+	Nouns int
+	Verbs int
+	// Metrics counts the metric-library definitions declared at the
+	// level (the rows a Figure 9-style table would print for it).
+	Metrics int
+	// Virtual marks a level that exists only in the metric library —
+	// CMRTS in the standard stack: its metrics instrument run-time
+	// routines directly, so no PIF record defines the level and no
+	// nouns live there.
+	Virtual bool
+}
+
+// Levels enumerates the session's levels of abstraction ordered from
+// most abstract to least (descending rank): CMF, then CMRTS, then the
+// base level, and — when the session has a hardware topology — the
+// Machine and HW levels at the bottom. Levels known only to the metric
+// library (CMRTS) are synthesized with Virtual set, so the result is
+// the complete set of levels any part of the stack can name.
+func (s *Session) Levels() []LevelInfo {
+	reg := s.Tool.Loaded.Registry
+	lib := s.Tool.Library()
+
+	var out []LevelInfo
+	seen := map[nv.LevelID]bool{}
+	for _, l := range reg.Levels() {
+		seen[l.ID] = true
+		out = append(out, LevelInfo{
+			ID:          l.ID,
+			Name:        l.Name,
+			Rank:        l.Rank,
+			Description: l.Description,
+			Nouns:       len(reg.NounsAtLevel(l.ID)),
+			Verbs:       len(reg.VerbsAtLevel(l.ID)),
+			Metrics:     len(lib.AtLevel(string(l.ID))),
+		})
+	}
+	// Levels the metric library declares but no PIF record defines are
+	// virtual: present them at their canonical rank so the ordering of
+	// the full stack is stable.
+	virtualRank := map[nv.LevelID]int{
+		nv.LevelIDCMF:      nv.RankCMF,
+		nv.LevelIDCMRTS:    nv.RankCMRTS,
+		nv.LevelIDBase:     nv.RankBase,
+		nv.LevelIDMachine:  nv.RankMachine,
+		nv.LevelIDHardware: nv.RankHardware,
+	}
+	virtualDesc := map[nv.LevelID]string{
+		nv.LevelIDCMRTS: "CM run-time system routines (metric library only)",
+	}
+	for _, mid := range lib.IDs() {
+		m, _ := lib.Get(mid)
+		id := nv.LevelID(m.Level)
+		if m.Level == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		rank, ok := virtualRank[id]
+		if !ok {
+			// An unknown library level sits below everything defined.
+			rank = nv.RankHardware - 1 - len(out)
+		}
+		out = append(out, LevelInfo{
+			ID:          id,
+			Name:        m.Level,
+			Rank:        rank,
+			Description: virtualDesc[id],
+			Metrics:     len(lib.AtLevel(m.Level)),
+			Virtual:     true,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank > out[j].Rank })
+	return out
+}

@@ -57,6 +57,24 @@ type Config struct {
 	Workers int
 	// Machine overrides the machine cost model (nil = default for Nodes).
 	Machine *machine.Config
+	// Topology, when set, gives the machine a hardware topology: a grid
+	// or torus of hardware nodes, optionally subdivided into sockets and
+	// cores, whose leaves host the partition's logical nodes. The
+	// topology is registered as the bottom abstraction levels (Machine,
+	// HW) of the session's PIF, message delivery charges per-hop link
+	// costs, and the net counters (congestion, dilation, cross-link
+	// traffic) activate. Nil (the default) keeps the flat node set:
+	// every path pays a single nil check and all outputs are
+	// byte-identical to sessions built before topologies existed. It
+	// overrides any Topology carried by a Machine override.
+	Topology *machine.Topology
+	// Placement assigns logical node i to topology leaf Placement[i].
+	// Nil selects the identity placement. Entries must be distinct and
+	// in range; a placement without a topology is a usage error. The
+	// chosen assignment is emitted as ordinary PIF mapping records
+	// ({leaf Hosts} -> {node Runs}), so placement is visible to the
+	// where axis and the SAS like any other mapping information.
+	Placement []int
 	// Fuse enables the compiler's fusion of adjacent elementwise
 	// statements (producing one-to-many mappings).
 	Fuse bool
@@ -101,6 +119,12 @@ type Config struct {
 	// running, is aborted with a typed stall error naming the last
 	// boundary. Zero disables the watchdog.
 	StallTimeout time.Duration
+
+	// nodesExplicit records that WithNodes was applied, distinguishing
+	// WithNodes(0) — a usage error — from the unset default of 8.
+	// WithConfig replaces the whole struct, clearing it, which matches
+	// the documented "options before it are discarded" contract.
+	nodesExplicit bool
 }
 
 // Session is one application bound to a machine, runtime and tool.
@@ -181,6 +205,17 @@ func compileCached(source string, opts cmf.Options) (*cmf.Compiled, *pif.File, e
 	return cp, pf, nil
 }
 
+// mergePIF concatenates two PIF files into a new one, leaving both
+// inputs untouched (the base may be the shared compile-cache copy).
+func mergePIF(base, extra *pif.File) *pif.File {
+	return &pif.File{
+		Levels:   append(append([]pif.LevelRecord(nil), base.Levels...), extra.Levels...),
+		Nouns:    append(append([]pif.NounRecord(nil), base.Nouns...), extra.Nouns...),
+		Verbs:    append(append([]pif.VerbRecord(nil), base.Verbs...), extra.Verbs...),
+		Mappings: append(append([]pif.MappingRecord(nil), base.Mappings...), extra.Mappings...),
+	}
+}
+
 // NewSession compiles source, generates its static mapping information,
 // and builds the simulated machine, runtime and tool around it. The
 // session has not executed yet: enable metrics and instrumentation, then
@@ -195,8 +230,11 @@ func NewSession(source string, opts ...Option) (*Session, error) {
 }
 
 func newSession(source string, cfg Config) (*Session, error) {
-	if cfg.Nodes == 0 {
+	if cfg.Nodes == 0 && !cfg.nodesExplicit {
 		cfg.Nodes = 8
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	mcfg := machine.DefaultConfig(cfg.Nodes)
 	if cfg.Machine != nil {
@@ -205,6 +243,12 @@ func newSession(source string, cfg Config) (*Session, error) {
 	}
 	if cfg.Workers != 0 {
 		mcfg.Workers = cfg.Workers
+	}
+	if cfg.Topology != nil {
+		mcfg.Topology = cfg.Topology
+	}
+	if cfg.Placement != nil {
+		mcfg.Placement = cfg.Placement
 	}
 	m, err := machine.New(mcfg)
 	if err != nil {
@@ -244,6 +288,11 @@ func newSession(source string, cfg Config) (*Session, error) {
 	cp, pf, err := compileCached(source, cmf.Options{Fuse: cfg.Fuse, SourceFile: cfg.SourceFile})
 	if err != nil {
 		return nil, err
+	}
+	if topo := m.Topology(); topo != nil {
+		// The compile cache shares pf across sessions, so the topology's
+		// records merge into a fresh file rather than mutating it.
+		pf = mergePIF(pf, pifgen.FromTopology(topo, m.Placement(), cfg.Nodes))
 	}
 	if err := tool.LoadPIF(pf); err != nil {
 		return nil, err

@@ -107,6 +107,26 @@ func registerSessionCollectors(s *Session, r *obs.Registry) {
 		obs.KindCounter, false, machTotal(func(st machine.NodeStats) float64 { return float64(st.Crashes) }))
 	r.Func("nvmap_machine_restarts_total", "Node reboots enacted across all nodes.",
 		obs.KindCounter, false, machTotal(func(st machine.NodeStats) float64 { return float64(st.Restarts) }))
+	// Interconnect counters, live only when the machine has a topology
+	// (all zeros otherwise — NetStats on a flat machine is a nil check).
+	if s.Machine.Topology() != nil {
+		netStat := func(read func(machine.NetStats) float64) func() float64 {
+			return func() float64 { return read(s.Machine.NetStats()) }
+		}
+		r.Func("nvmap_machine_net_messages_total", "Point-to-point messages routed over the topology.",
+			obs.KindCounter, false, netStat(func(st machine.NetStats) float64 { return float64(st.Messages) }))
+		r.Func("nvmap_machine_net_cross_messages_total", "Messages that crossed at least one interconnect link.",
+			obs.KindCounter, false, netStat(func(st machine.NetStats) float64 { return float64(st.CrossMessages) }))
+		r.Func("nvmap_machine_net_link_hops_total", "Total links crossed by all messages (dilation numerator).",
+			obs.KindCounter, false, netStat(func(st machine.NetStats) float64 { return float64(st.LinkHops) }))
+		r.Func("nvmap_machine_net_socket_crossings_total", "Messages that crossed a socket without leaving their node.",
+			obs.KindCounter, false, netStat(func(st machine.NetStats) float64 { return float64(st.SocketCrossings) }))
+		r.Func("nvmap_machine_net_max_link_bytes", "Heaviest directed link's byte load (congestion).",
+			obs.KindGauge, false, netStat(func(st machine.NetStats) float64 { return float64(st.MaxLinkBytes) }))
+		r.Func("nvmap_machine_net_max_link_msgs", "Heaviest directed link's message load.",
+			obs.KindGauge, false, netStat(func(st machine.NetStats) float64 { return float64(st.MaxLinkMsgs) }))
+	}
+
 	// Scheduling diagnostics: which engine ran is a worker-count
 	// artifact, never part of the deterministic result surface.
 	r.Func("nvmap_machine_workers", "Host worker pool width.",

@@ -26,15 +26,38 @@ func WithConfig(cfg Config) Option {
 	return func(c *Config) { *c = cfg }
 }
 
-// WithNodes sets the partition size.
+// WithNodes sets the partition size. n must be positive: WithNodes(0)
+// is a *UsageError from NewSession, not a request for the default.
 func WithNodes(n int) Option {
-	return func(c *Config) { c.Nodes = n }
+	return func(c *Config) { c.Nodes = n; c.nodesExplicit = true }
 }
 
 // WithMachine overrides the machine cost model. The node count still
-// comes from WithNodes (or its default).
+// comes from WithNodes (or its default), and a topology given by
+// WithTopology overrides any carried inside mc.
 func WithMachine(mc machine.Config) Option {
 	return func(c *Config) { c.Machine = &mc }
+}
+
+// WithTopology gives the machine a hardware topology — a grid or torus
+// of hardware nodes, optionally with sockets and cores — registered as
+// the session's bottom abstraction levels and charged per hop on every
+// message. Options apply in order: a later WithTopology overrides an
+// earlier one (and the Topology field of an earlier WithConfig or
+// WithMachine), while WithConfig placed after it discards it. See
+// Config.Topology.
+func WithTopology(t machine.Topology) Option {
+	return func(c *Config) { c.Topology = &t }
+}
+
+// WithPlacement assigns logical node i to topology leaf leaves[i],
+// overriding the identity default. The placement is emitted as ordinary
+// PIF mapping records, so the where axis and the SAS see it as mapping
+// information. Requires a topology (from WithTopology, WithConfig or
+// WithMachine); ordering follows the same rule as WithTopology: later
+// options win, a later WithConfig discards it. See Config.Placement.
+func WithPlacement(leaves []int) Option {
+	return func(c *Config) { c.Placement = leaves }
 }
 
 // WithWorkers bounds the host worker pool for the whole measurement
