@@ -22,8 +22,19 @@ GATE_OBS  ?= ObsOverhead/obs=off
 BENCH_TOPO ?= TopoPlaceGreedy|TopoSend
 GATE_TOPO  ?= Topo
 
+# Columnar SAS engine (PR 9): the Figure 6 question pipeline, the
+# zero-allocation steady-state sampling loop, and the sampling scaling
+# curve across worker widths, against BENCH_PR9.json. benchdiff's
+# allocs gate applies to the gated pair — ANY allocs/op increase over
+# the committed baseline fails, which is how SampleAll's 0 allocs/op
+# is held. The multi-worker curve rides along ungated (wall-clock and
+# scheduling are host-dependent).
+BENCH_SAS ?= Fig6Questions$$|SampleAll
+GATE_SAS  ?= Fig6Questions$$|SampleAll$$
+
 .PHONY: build test race bench bench-rebase bench-par bench-par-rebase \
-	bench-obs bench-obs-rebase bench-topo bench-topo-rebase soak soak-smoke \
+	bench-obs bench-obs-rebase bench-topo bench-topo-rebase \
+	bench-sas bench-sas-rebase pprof-sas soak soak-smoke \
 	serve-smoke bench-serve bench-serve-rebase
 
 build:
@@ -74,6 +85,22 @@ bench-topo:
 bench-topo-rebase:
 	go test -run '^$$' -bench '$(BENCH_TOPO)' -benchmem -count=5 . | \
 		go run ./cmd/benchdiff -out BENCH_PR8.json -check '$(GATE_TOPO)' -rebase
+
+# Columnar SAS engine: time gate plus the zero-tolerance allocs gate.
+bench-sas:
+	go test -run '^$$' -bench '$(BENCH_SAS)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR9.json -check '$(GATE_SAS)'
+
+bench-sas-rebase:
+	go test -run '^$$' -bench '$(BENCH_SAS)' -benchmem -count=5 . | \
+		go run ./cmd/benchdiff -out BENCH_PR9.json -check '$(GATE_SAS)' -rebase
+
+# CPU and allocation profiles of the Figure 6 pipeline, the columnar
+# engine's contract benchmark. Inspect with `go tool pprof fig6_cpu.pprof`
+# (or fig6_mem.pprof with -sample_index=alloc_objects).
+pprof-sas:
+	go test -run '^$$' -bench 'Fig6Questions$$' -benchtime 2s \
+		-cpuprofile fig6_cpu.pprof -memprofile fig6_mem.pprof .
 
 # Chaos soak: randomized composed-fault sessions under the race
 # detector, asserting the robustness contract (no process death, every

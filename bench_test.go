@@ -320,6 +320,36 @@ func BenchmarkParallelFig6(b *testing.B) {
 	}
 }
 
+// BenchmarkSampleAll: the steady-state sampling hot path — four metrics
+// enabled on the whole program of a four-node session, sampled at
+// advancing instants after the run completes. This is the allocation
+// gate for the columnar engine: sampling reuses registry arena scratch
+// and reads columnar rows in place, so the loop must measure 0
+// allocs/op; benchdiff's allocs gate fails the build if any allocation
+// creeps back in.
+func BenchmarkSampleAll(b *testing.B) {
+	s, err := NewSession(fig9Workload, WithNodes(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := []string{"summations", "summation_time", "point_to_point_ops", "idle_time"}
+	for _, id := range ids {
+		if _, err := s.Tool.EnableMetric(id, paradyn.WholeProgram()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	now := s.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		s.Tool.SampleAll(now)
+	}
+}
+
 // BenchmarkSampleAllParallel: the measurement plane's concurrent value
 // reads — five metrics enabled on each of 32 per-node foci (160 live
 // instances, far past the sampling fan-out threshold), sampled

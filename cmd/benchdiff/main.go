@@ -4,8 +4,11 @@
 // It reads benchmark output on stdin (use -benchmem; -count>1 runs are
 // aggregated by median), merges the results into a JSON ledger holding a
 // "baseline" and a "current" section, and exits non-zero when any
-// benchmark matching -check regresses by more than -max-regress percent
-// in ns/op against the baseline.
+// benchmark matching -check regresses against the baseline: more than
+// -max-regress percent in ns/op, or ANY increase in allocs/op.
+// Allocation counts are deterministic where wall time is noisy, so the
+// allocs gate has no tolerance — a benchmark that allocates even one
+// more object per op than its committed baseline fails.
 //
 // The baseline is sticky: it is adopted from the ledger on disk when one
 // exists, and seeded from the incoming results when none does (or when
@@ -93,7 +96,8 @@ func main() {
 	sort.Strings(names)
 
 	failed := false
-	fmt.Printf("%-36s %14s %14s %8s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "gate")
+	fmt.Printf("%-36s %14s %14s %8s %12s %12s  %s\n",
+		"benchmark", "baseline ns/op", "current ns/op", "ratio", "base allocs", "cur allocs", "gate")
 	for _, name := range names {
 		cur := current[name]
 		base, hasBase := ledger.Baseline[name]
@@ -104,8 +108,15 @@ func main() {
 			r := cur.NsOp / base.NsOp
 			ratio = fmt.Sprintf("%.2fx", r)
 			if checked {
+				var fails []string
 				if r > 1+*maxRegress/100 {
-					status = fmt.Sprintf("FAIL (>%.0f%% regression)", *maxRegress)
+					fails = append(fails, fmt.Sprintf(">%.0f%% ns/op regression", *maxRegress))
+				}
+				if cur.AllocsOp > base.AllocsOp {
+					fails = append(fails, fmt.Sprintf("allocs/op %d > baseline %d", cur.AllocsOp, base.AllocsOp))
+				}
+				if len(fails) > 0 {
+					status = "FAIL (" + strings.Join(fails, "; ") + ")"
 					failed = true
 				} else {
 					status = "ok"
@@ -114,11 +125,13 @@ func main() {
 		} else if checked {
 			status = "ok (no baseline)"
 		}
-		baseNs := "n/a"
+		baseNs, baseAllocs := "n/a", "n/a"
 		if hasBase {
 			baseNs = fmt.Sprintf("%.1f", base.NsOp)
+			baseAllocs = fmt.Sprintf("%d", base.AllocsOp)
 		}
-		fmt.Printf("%-36s %14s %14.1f %8s  %s\n", name, baseNs, cur.NsOp, ratio, status)
+		fmt.Printf("%-36s %14s %14.1f %8s %12s %12d  %s\n",
+			name, baseNs, cur.NsOp, ratio, baseAllocs, cur.AllocsOp, status)
 	}
 
 	data, err := json.MarshalIndent(ledger, "", "  ")

@@ -2,7 +2,9 @@ package nvmap
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	"nvmap/internal/cmf"
 	"nvmap/internal/cmrts"
@@ -80,6 +82,10 @@ type Monitor struct {
 	Snapshot     []sas.ActiveSentence
 	snapshotWant sas.Term
 	sendStart    []vtime.Time
+	// sendSents caches {Processor_n Sends} per node: the send snippets
+	// fire on every message, and rendering the noun name with Sprintf
+	// each time was a measurable slice of the Figure 6 run.
+	sendSents []nv.Sentence
 	// links holds the reliable cross-node links created with
 	// ExportReliable, in creation order, for the degradation report.
 	links []*sas.ReliableLink
@@ -102,6 +108,10 @@ func wireSAS(s *Session, filter bool) *Monitor {
 		Reg:       sas.NewRegistry(sas.Options{Filter: filter, Workers: s.Machine.Workers(), Obs: s.obsPlane}),
 		Model:     nv.NewRegistry(),
 		sendStart: make([]vtime.Time, s.Machine.Nodes()),
+		sendSents: make([]nv.Sentence, s.Machine.Nodes()),
+	}
+	for n := range w.sendSents {
+		w.sendSents[n] = sendSentence(n)
 	}
 	s.monitor = w
 	if s.obsPlane != nil {
@@ -117,9 +127,10 @@ func wireSAS(s *Session, filter bool) *Monitor {
 	// Statement and array activity from the node code blocks.
 	for _, blk := range s.Program.Blocks {
 		b := blk
-		sentences := w.blockSentences(b)
+		vocab := w.blockSentences(b)
+		sentences := vocab.sents
 		s.Inst.Insert(dyninst.Entry(b.Name), dyninst.Snippet{
-			Name: "sas: activate " + b.Name,
+			Name: vocab.nameAct,
 			Do: func(ctx dyninst.Context) {
 				node := w.Reg.Node(ctx.Node)
 				for _, sn := range sentences {
@@ -128,7 +139,7 @@ func wireSAS(s *Session, filter bool) *Monitor {
 			},
 		})
 		s.Inst.Insert(dyninst.Exit(b.Name), dyninst.Snippet{
-			Name: "sas: deactivate " + b.Name,
+			Name: vocab.nameDeact,
 			Do: func(ctx dyninst.Context) {
 				node := w.Reg.Node(ctx.Node)
 				for _, sn := range sentences {
@@ -143,7 +154,7 @@ func wireSAS(s *Session, filter bool) *Monitor {
 		Name: "sas: send begins",
 		Do: func(ctx dyninst.Context) {
 			node := w.Reg.Node(ctx.Node)
-			sn := sendSentence(ctx.Node)
+			sn := w.sendSents[ctx.Node]
 			w.sendStart[ctx.Node] = ctx.Now
 			node.Activate(sn, ctx.Now)
 			if w.Snapshot == nil && w.snapshotWant.Verb != "" {
@@ -160,7 +171,7 @@ func wireSAS(s *Session, filter bool) *Monitor {
 		Name: "sas: send ends",
 		Do: func(ctx dyninst.Context) {
 			node := w.Reg.Node(ctx.Node)
-			sn := sendSentence(ctx.Node)
+			sn := w.sendSents[ctx.Node]
 			_ = node.Deactivate(sn, ctx.Now)
 			start := w.sendStart[ctx.Node]
 			node.RecordEvent(sn, ctx.Now, 1)
@@ -211,34 +222,91 @@ func wireSAS(s *Session, filter bool) *Monitor {
 	return w
 }
 
-// blockSentences builds the HPF-level sentences a block's execution
-// activates.
-func (w *Monitor) blockSentences(b *cmf.Block) []nv.Sentence {
-	var out []nv.Sentence
-	for _, line := range b.Lines {
-		noun := nv.NounID(fmt.Sprintf("line%d", line))
-		out = append(out, nv.NewSentence(verbExecutes, noun))
+// blockVocab is the cached sentence set and noun/verb vocabulary a
+// block's execution activates. Compiled programs (and so their block
+// pointers) are shared across sessions by the compile cache, and the
+// sentences depend only on the block, so the set is built once per block
+// and re-registered into each session's model.
+type blockVocab struct {
+	sents []nv.Sentence
+	nouns []nv.NounID
+	verbs []nv.VerbID
+	// Snippet names for the block's entry/exit instrumentation; built
+	// here so per-session wiring skips the string concatenation.
+	nameAct   string
+	nameDeact string
+}
+
+var blockVocabCache struct {
+	sync.Mutex
+	m map[*cmf.Block]*blockVocab
+}
+
+// blockSentences returns the block's cached vocabulary (sentences its
+// execution activates plus instrumentation labels), registering the
+// nouns and verbs in the monitor's model.
+func (w *Monitor) blockSentences(b *cmf.Block) *blockVocab {
+	blockVocabCache.Lock()
+	v, ok := blockVocabCache.m[b]
+	if !ok {
+		v = buildBlockVocab(b)
+		if blockVocabCache.m == nil || len(blockVocabCache.m) >= 256 {
+			blockVocabCache.m = make(map[*cmf.Block]*blockVocab)
+		}
+		blockVocabCache.m[b] = v
+	}
+	blockVocabCache.Unlock()
+	for _, noun := range v.nouns {
 		if _, ok := w.Model.Noun(noun); !ok {
 			_ = w.Model.AddNoun(nv.Noun{ID: noun, Level: "HPF"})
 		}
 	}
+	for _, verb := range v.verbs {
+		if _, ok := w.Model.Verb(verb); !ok {
+			_ = w.Model.AddVerb(nv.Verb{ID: verb, Level: "HPF"})
+		}
+	}
+	return v
+}
+
+func buildBlockVocab(b *cmf.Block) *blockVocab {
+	v := &blockVocab{}
+	for _, line := range b.Lines {
+		noun := nv.NounID("line" + strconv.Itoa(line))
+		v.sents = append(v.sents, nv.NewSentence(verbExecutes, noun))
+		v.nouns = append(v.nouns, noun)
+	}
 	if b.Kind == cmf.KindReduce || b.Kind == cmf.KindTransform {
 		verb := verbForIntrinsic(b.Intrinsic)
 		for _, arr := range b.Arrays {
-			out = append(out, nv.NewSentence(verb, nv.NounID(arr)))
-			if _, ok := w.Model.Noun(nv.NounID(arr)); !ok {
-				_ = w.Model.AddNoun(nv.Noun{ID: nv.NounID(arr), Level: "HPF"})
-			}
-			if _, ok := w.Model.Verb(verb); !ok {
-				_ = w.Model.AddVerb(nv.Verb{ID: verb, Level: "HPF"})
-			}
+			v.sents = append(v.sents, nv.NewSentence(verb, nv.NounID(arr)))
+			v.nouns = append(v.nouns, nv.NounID(arr))
+			v.verbs = append(v.verbs, verb)
 		}
 	}
-	return out
+	v.nameAct = "sas: activate " + b.Name
+	v.nameDeact = "sas: deactivate " + b.Name
+	return v
+}
+
+// sendSentCache memoizes {Processor_n Sends} sentences by node index:
+// the sentence (and its formatted noun) depends only on the node number,
+// and every session re-derives one per node.
+var sendSentCache struct {
+	sync.Mutex
+	sents []nv.Sentence
 }
 
 func sendSentence(node int) nv.Sentence {
-	return nv.NewSentence(verbSends, nv.NounID(fmt.Sprintf("Processor_%d", node)))
+	c := &sendSentCache
+	c.Lock()
+	defer c.Unlock()
+	for len(c.sents) <= node {
+		n := len(c.sents)
+		c.sents = append(c.sents,
+			nv.NewSentence(verbSends, nv.NounID("Processor_"+strconv.Itoa(n))))
+	}
+	return c.sents[node]
 }
 
 // ExperimentFig5 regenerates Figures 4 and 5: running the HPF fragment

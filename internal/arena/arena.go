@@ -1,0 +1,118 @@
+// Package arena provides typed bump allocators for per-run scratch
+// memory: slices carved from large slabs, handed out with no per-object
+// bookkeeping and reclaimed wholesale by Reset at the end of a run.
+//
+// The measurement stack allocates the same transient shapes on every
+// run — candidate merges, snapshot buffers, answer rows, sample batches
+// — and freeing them individually is pure overhead: their lifetimes all
+// end together at the run boundary. An Arena[T] turns each of those
+// allocations into a bump of an offset within a slab, so the steady
+// state allocates nothing and the garbage collector scans one slab
+// instead of thousands of loose slices.
+//
+// # Lifetime rules
+//
+//   - A slice returned by Alloc is valid until the arena's next Reset.
+//     Results that must outlive the run (e.g. a snapshot the caller
+//     keeps) must be copied out before Reset.
+//   - Alloc never moves previously returned slices: growth allocates a
+//     fresh slab and abandons the remainder of the old one, so earlier
+//     slices stay valid and stable.
+//   - Reset reclaims every outstanding slice at once. For element types
+//     containing pointers the retained slab is cleared so the collector
+//     does not see stale references.
+//   - An Arena is not safe for concurrent use; give each goroutine (or
+//     each lock domain) its own.
+//
+// The zero value is ready to use.
+package arena
+
+// minSlab is the smallest slab (in elements) a growing arena allocates;
+// it keeps tiny first allocations from provoking a slab-per-Alloc
+// pattern before the doubling takes over. Kept small because short-lived
+// arenas (a per-session registry that aggregates once) pay the whole
+// first slab; steady-state arenas double past it immediately.
+const minSlab = 16
+
+// Arena is a typed bump allocator. The zero value is an empty arena.
+type Arena[T any] struct {
+	// slab is the active slab: len is the bump offset, cap the slab size.
+	slab []T
+	// live counts elements handed out since the last Reset, across all
+	// slabs (the active one and any abandoned by growth).
+	live int
+	// hw is the high-water mark of live, across the arena's lifetime.
+	hw int
+	// slabCap remembers the largest slab ever allocated so Reset can
+	// retain capacity even though growth abandons intermediate slabs.
+	slabCap int
+}
+
+// Alloc returns a zeroed slice of n elements carved from the arena. The
+// slice has capacity exactly n, so appending to it allocates elsewhere
+// rather than corrupting neighbouring scratch.
+func (a *Arena[T]) Alloc(n int) []T {
+	if n < 0 {
+		panic("arena: negative Alloc")
+	}
+	off := len(a.slab)
+	if cap(a.slab)-off < n {
+		a.grow(n)
+		off = 0
+	}
+	a.slab = a.slab[: off+n : cap(a.slab)]
+	a.live += n
+	if a.live > a.hw {
+		a.hw = a.live
+	}
+	s := a.slab[off : off+n : off+n]
+	if off < a.cleared() {
+		// Reset cleared the retained slab; only fresh slabs arrive zeroed.
+		// (make() zeroes, so in practice everything is already zero; the
+		// clear below is the defensive path for a future pooled slab.)
+		clear(s)
+	}
+	return s
+}
+
+// cleared reports how much of the active slab is known zero. Freshly
+// made slabs are fully zeroed and Reset re-zeroes the retained one, so
+// the whole capacity qualifies; the method exists to keep the invariant
+// in one place.
+func (a *Arena[T]) cleared() int { return cap(a.slab) }
+
+// grow installs a fresh slab big enough for n, abandoning the active
+// one (previously returned slices keep their storage).
+func (a *Arena[T]) grow(n int) {
+	size := a.slabCap * 2
+	if size < minSlab {
+		size = minSlab
+	}
+	if size < n {
+		size = n
+	}
+	a.slab = make([]T, 0, size)
+	a.slabCap = size
+}
+
+// Reset reclaims every outstanding slice at once, retaining the active
+// slab for reuse. The retained slab is cleared, so element types with
+// pointers do not pin dead objects across runs.
+func (a *Arena[T]) Reset() {
+	if len(a.slab) > 0 {
+		clear(a.slab)
+		a.slab = a.slab[:0]
+	}
+	a.live = 0
+}
+
+// Live returns the number of elements currently handed out.
+func (a *Arena[T]) Live() int { return a.live }
+
+// HighWater returns the most elements ever simultaneously handed out —
+// the gauge the observability plane exports to size arenas against
+// their workloads.
+func (a *Arena[T]) HighWater() int { return a.hw }
+
+// Cap returns the capacity of the active slab.
+func (a *Arena[T]) Cap() int { return cap(a.slab) }

@@ -1,0 +1,96 @@
+package arena
+
+import "testing"
+
+func TestAllocZeroedAndStable(t *testing.T) {
+	var a Arena[int]
+	x := a.Alloc(4)
+	if len(x) != 4 || cap(x) != 4 {
+		t.Fatalf("Alloc(4): len=%d cap=%d", len(x), cap(x))
+	}
+	for i := range x {
+		if x[i] != 0 {
+			t.Fatalf("element %d not zeroed: %d", i, x[i])
+		}
+		x[i] = i + 1
+	}
+	// Force growth: earlier slices must keep their contents.
+	big := a.Alloc(minSlab * 4)
+	_ = big
+	for i := range x {
+		if x[i] != i+1 {
+			t.Fatalf("slice moved after growth: x[%d]=%d", i, x[i])
+		}
+	}
+}
+
+func TestResetReclaimsAndClears(t *testing.T) {
+	var a Arena[*int]
+	v := 7
+	s := a.Alloc(3)
+	s[0] = &v
+	if a.Live() != 3 {
+		t.Fatalf("Live=%d want 3", a.Live())
+	}
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live after Reset=%d", a.Live())
+	}
+	s2 := a.Alloc(3)
+	for i, p := range s2 {
+		if p != nil {
+			t.Fatalf("slot %d not cleared after Reset", i)
+		}
+	}
+	if a.HighWater() != 3 {
+		t.Fatalf("HighWater=%d want 3", a.HighWater())
+	}
+}
+
+func TestHighWaterAcrossResets(t *testing.T) {
+	var a Arena[byte]
+	a.Alloc(10)
+	a.Alloc(20)
+	a.Reset()
+	a.Alloc(5)
+	if got := a.HighWater(); got != 30 {
+		t.Fatalf("HighWater=%d want 30", got)
+	}
+	if got := a.Live(); got != 5 {
+		t.Fatalf("Live=%d want 5", got)
+	}
+}
+
+func TestZeroLengthAlloc(t *testing.T) {
+	var a Arena[int]
+	s := a.Alloc(0)
+	if len(s) != 0 {
+		t.Fatalf("len=%d", len(s))
+	}
+}
+
+func TestSteadyStateNoAllocs(t *testing.T) {
+	var a Arena[int]
+	// Warm the slab.
+	a.Alloc(128)
+	a.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		s := a.Alloc(64)
+		s[0] = 1
+		a.Alloc(64)
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady state allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(-1) did not panic")
+		}
+	}()
+	var a Arena[int]
+	a.Alloc(-1)
+}

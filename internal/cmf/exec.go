@@ -278,9 +278,18 @@ func (e *Executor) execForall(st *Forall, tag string) error {
 	if err != nil {
 		return err
 	}
-	// In a FORALL, leaves are read by flat index directly.
-	return e.rt.ElementwiseIndexed(tag, dst, flops, func(flat int) float64 {
-		vals := make([]float64, len(leaves))
+	// In a FORALL, leaves are read by flat index directly. The value
+	// vector is per-node scratch (nodes run concurrently, elements within
+	// a node do not), carved from one slab so the whole statement costs
+	// two allocations instead of one per element.
+	nodes := e.rt.Machine().Nodes()
+	slab := make([]float64, nodes*len(leaves))
+	scratch := make([][]float64, nodes)
+	for n := range scratch {
+		scratch[n] = slab[n*len(leaves) : (n+1)*len(leaves)]
+	}
+	return e.rt.ElementwiseIndexed(tag, dst, flops, func(node, flat int) float64 {
+		vals := scratch[node]
 		for k, a := range leaves {
 			vals[k] = a.At(flat)
 		}

@@ -2,6 +2,7 @@ package cmrts
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -97,11 +98,14 @@ func (a *Array) Flat() []float64 {
 
 // shapeString renders "1024x1024".
 func shapeString(shape []int) string {
-	parts := make([]string, len(shape))
+	var b strings.Builder
 	for i, d := range shape {
-		parts[i] = fmt.Sprint(d)
+		if i > 0 {
+			b.WriteByte('x')
+		}
+		b.WriteString(strconv.Itoa(d))
 	}
-	return strings.Join(parts, "x")
+	return b.String()
 }
 
 // blockOffsets splits size elements into nodes balanced contiguous

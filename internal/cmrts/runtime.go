@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"nvmap/internal/dyninst"
 	"nvmap/internal/machine"
@@ -115,6 +116,30 @@ type Runtime struct {
 	// counts is ground-truth operation counting (per routine name), used
 	// by tests to validate what the tool measures independently.
 	counts map[string]int
+
+	// Pre-resolved instrumentation points. The runtime fires points on
+	// every operation whether or not anything is attached, so the PointID
+	// hash was a fixed per-event tax; resolving once at construction (and
+	// memoising span/block points by name) replaces it with an index load.
+	sendEntry, sendExit dyninst.PointRef
+	argsEntry, argsExit dyninst.PointRef
+	dispEntry, dispExit dyninst.PointRef
+	allocMap, freeMap   dyninst.PointRef
+	spans               map[string]pointPair
+	blocks              map[string]*blockPoints
+}
+
+// pointPair is a routine's resolved entry/exit point pair.
+type pointPair struct {
+	entry, exit dyninst.PointRef
+}
+
+// blockPoints caches a dispatched block's resolved points and its
+// ground-truth counter key (the "dispatch:"+name concatenation is hoisted
+// off the per-dispatch path along with the point hashes).
+type blockPoints struct {
+	pointPair
+	countKey string
 }
 
 // New builds a runtime on a machine. inst may not be nil: the runtime
@@ -123,13 +148,53 @@ func New(m *machine.Machine, inst *dyninst.Manager, costs Costs) (*Runtime, erro
 	if m == nil || inst == nil {
 		return nil, fmt.Errorf("cmrts: machine and instrumentation manager are required")
 	}
-	return &Runtime{
-		mach:   m,
-		inst:   inst,
-		costs:  costs,
-		arrays: make(map[ArrayID]*Array),
-		counts: make(map[string]int),
-	}, nil
+	rt := &Runtime{
+		mach:      m,
+		inst:      inst,
+		costs:     costs,
+		arrays:    make(map[ArrayID]*Array),
+		counts:    make(map[string]int),
+		sendEntry: inst.Resolve(dyninst.Entry(RoutineSend)),
+		sendExit:  inst.Resolve(dyninst.Exit(RoutineSend)),
+		argsEntry: inst.Resolve(dyninst.Entry(RoutineArgs)),
+		argsExit:  inst.Resolve(dyninst.Exit(RoutineArgs)),
+		dispEntry: inst.Resolve(dyninst.Entry(RoutineDispatch)),
+		dispExit:  inst.Resolve(dyninst.Exit(RoutineDispatch)),
+		allocMap:  inst.Resolve(dyninst.Mapping(RoutineAlloc)),
+		freeMap:   inst.Resolve(dyninst.Mapping(RoutineFree)),
+		spans:     make(map[string]pointPair),
+		blocks:    make(map[string]*blockPoints),
+	}
+	return rt, nil
+}
+
+// span memoises the resolved entry/exit pair for a routine name.
+func (rt *Runtime) span(routine string) pointPair {
+	pr, ok := rt.spans[routine]
+	if !ok {
+		pr = pointPair{
+			entry: rt.inst.Resolve(dyninst.Entry(routine)),
+			exit:  rt.inst.Resolve(dyninst.Exit(routine)),
+		}
+		rt.spans[routine] = pr
+	}
+	return pr
+}
+
+// block memoises the resolved points and counter key for a block name.
+func (rt *Runtime) block(name string) *blockPoints {
+	bp, ok := rt.blocks[name]
+	if !ok {
+		bp = &blockPoints{
+			pointPair: pointPair{
+				entry: rt.inst.Resolve(dyninst.Entry(name)),
+				exit:  rt.inst.Resolve(dyninst.Exit(name)),
+			},
+			countKey: "dispatch:" + name,
+		}
+		rt.blocks[name] = bp
+	}
+	return bp
 }
 
 // Machine returns the underlying machine.
@@ -179,11 +244,12 @@ func (rt *Runtime) parallelNodes(work int, f func(node int)) {
 // wiped by the crash; leaving them un-fired keeps them honest).
 func (rt *Runtime) fireSpan(routine, tag string, args []string, f func()) {
 	rt.counts[routine]++
+	pr := rt.span(routine)
 	for n := 0; n < rt.nodes(); n++ {
 		if !rt.mach.Engage(n) {
 			continue
 		}
-		rt.inst.Fire(dyninst.Entry(routine), dyninst.Context{
+		pr.entry.Fire(dyninst.Context{
 			Node: n, Now: rt.mach.Now(n), Tag: tag, Args: args,
 		})
 	}
@@ -192,7 +258,7 @@ func (rt *Runtime) fireSpan(routine, tag string, args []string, f func()) {
 		if !rt.mach.Alive(n) {
 			continue
 		}
-		rt.inst.Fire(dyninst.Exit(routine), dyninst.Context{
+		pr.exit.Fire(dyninst.Context{
 			Node: n, Now: rt.mach.Now(n), Tag: tag, Args: args,
 		})
 	}
@@ -207,11 +273,11 @@ func (rt *Runtime) send(from, to, bytes int, tag string) {
 		return
 	}
 	rt.counts[RoutineSend]++
-	rt.inst.Fire(dyninst.Entry(RoutineSend), dyninst.Context{
+	rt.sendEntry.Fire(dyninst.Context{
 		Node: from, Now: rt.mach.Now(from), Tag: tag, Bytes: bytes,
 	})
 	rt.mach.Send(from, to, bytes, tag)
-	rt.inst.Fire(dyninst.Exit(RoutineSend), dyninst.Context{
+	rt.sendExit.Fire(dyninst.Context{
 		Node: from, Now: rt.mach.Now(from), Tag: tag, Bytes: bytes,
 	})
 }
@@ -238,8 +304,13 @@ func (rt *Runtime) Allocate(name string, shape []int) (*Array, error) {
 	// over-budget allocation aborts with nothing half-built.
 	rt.mach.ChargeAlloc(int64(size) * 8)
 	rt.seq++
-	id := ArrayID(fmt.Sprintf("pvar%d", rt.seq))
+	id := ArrayID("pvar" + strconv.Itoa(rt.seq))
 	offsets := blockOffsets(size, rt.nodes())
+	// One contiguous slab backs every node's chunk: block distribution
+	// means the windows tile it exactly, and a single allocation (plus
+	// better locality for cross-node sweeps) replaces one per node. Full
+	// capacity windows keep any later per-node regrowth private.
+	slab := make([]float64, size)
 	a := &Array{
 		ID:      id,
 		Name:    name,
@@ -249,16 +320,16 @@ func (rt *Runtime) Allocate(name string, shape []int) (*Array, error) {
 	}
 	rt.fireSpan(RoutineAlloc, name, []string{string(id), name}, func() {
 		rt.parallelNodes(size, func(n int) {
-			local := offsets[n+1] - offsets[n]
-			a.chunks[n] = make([]float64, local)
-			rt.mach.AdvanceNode(n, rt.costs.AllocPerElem.Scale(local))
+			lo, hi := offsets[n], offsets[n+1]
+			a.chunks[n] = slab[lo:hi:hi]
+			rt.mach.AdvanceNode(n, rt.costs.AllocPerElem.Scale(hi-lo))
 		})
 	})
 	rt.arrays[id] = a
 	rt.order = append(rt.order, id)
 	// The mapping point fires on the control processor after the
 	// distribution is known.
-	rt.inst.Fire(dyninst.Mapping(RoutineAlloc), dyninst.Context{
+	rt.allocMap.Fire(dyninst.Context{
 		Node: machine.CP, Now: rt.mach.CPNow(), Tag: name,
 		Args: []string{string(id), name, shapeString(shape)},
 	})
@@ -274,7 +345,7 @@ func (rt *Runtime) Free(a *Array) error {
 	a.freed = true
 	delete(rt.arrays, a.ID)
 	rt.counts[RoutineFree]++
-	rt.inst.Fire(dyninst.Mapping(RoutineFree), dyninst.Context{
+	rt.freeMap.Fire(dyninst.Context{
 		Node: machine.CP, Now: rt.mach.CPNow(), Tag: a.Name,
 		Args: []string{string(a.ID), a.Name},
 	})
@@ -363,7 +434,7 @@ func (rt *Runtime) Elementwise(tag string, dst *Array, srcs []*Array, flops int,
 // ElementwiseIndexed computes dst[i] = fn(i) over flat indices; used for
 // FORALL statements whose right-hand side depends on the index. Like
 // Elementwise, fn must be pure: sections may run concurrently.
-func (rt *Runtime) ElementwiseIndexed(tag string, dst *Array, flops int, fn func(flat int) float64) error {
+func (rt *Runtime) ElementwiseIndexed(tag string, dst *Array, flops int, fn func(node, flat int) float64) error {
 	if err := checkLive(dst); err != nil {
 		return err
 	}
@@ -374,7 +445,7 @@ func (rt *Runtime) ElementwiseIndexed(tag string, dst *Array, flops int, fn func
 		rt.parallelNodes(dst.Size()*flops, func(n int) {
 			base := dst.offsets[n]
 			for i := range dst.chunks[n] {
-				dst.chunks[n][i] = fn(base + i)
+				dst.chunks[n][i] = fn(n, base+i)
 			}
 			rt.mach.Compute(n, len(dst.chunks[n])*flops, tag)
 		})
@@ -732,7 +803,8 @@ func (rt *Runtime) DispatchBlock(name string, args []ArrayID, body func() error)
 		argStrings[i] = string(id)
 		argBytes += 8
 	}
-	rt.counts["dispatch:"+name]++
+	bp := rt.block(name)
+	rt.counts[bp.countKey]++
 	rt.mach.Dispatch(name, argBytes)
 
 	// Argument processing spans: the machine just charged PerByte*argBytes
@@ -743,10 +815,10 @@ func (rt *Runtime) DispatchBlock(name string, args []ArrayID, body func() error)
 			continue
 		}
 		end := rt.mach.Now(n)
-		rt.inst.Fire(dyninst.Entry(RoutineArgs), dyninst.Context{
+		rt.argsEntry.Fire(dyninst.Context{
 			Node: n, Now: end.Add(-argCost), Tag: name, Bytes: argBytes, Args: argStrings,
 		})
-		rt.inst.Fire(dyninst.Exit(RoutineArgs), dyninst.Context{
+		rt.argsExit.Fire(dyninst.Context{
 			Node: n, Now: end, Tag: name, Bytes: argBytes, Args: argStrings,
 		})
 	}
@@ -759,8 +831,8 @@ func (rt *Runtime) DispatchBlock(name string, args []ArrayID, body func() error)
 			continue
 		}
 		ctx := dyninst.Context{Node: n, Now: rt.mach.Now(n), Tag: name, Args: argStrings}
-		rt.inst.Fire(dyninst.Entry(RoutineDispatch), ctx)
-		rt.inst.Fire(dyninst.Entry(name), ctx)
+		rt.dispEntry.Fire(ctx)
+		bp.entry.Fire(ctx)
 	}
 	err := body()
 	for n := 0; n < rt.nodes(); n++ {
@@ -768,8 +840,8 @@ func (rt *Runtime) DispatchBlock(name string, args []ArrayID, body func() error)
 			continue
 		}
 		ctx := dyninst.Context{Node: n, Now: rt.mach.Now(n), Tag: name, Args: argStrings}
-		rt.inst.Fire(dyninst.Exit(name), ctx)
-		rt.inst.Fire(dyninst.Exit(RoutineDispatch), ctx)
+		bp.exit.Fire(ctx)
+		rt.dispExit.Fire(ctx)
 	}
 	rt.mach.WaitCPForNodes()
 	return err

@@ -18,10 +18,12 @@ package daemon
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nvmap/internal/fault"
 	"nvmap/internal/obs"
 	"nvmap/internal/pif"
+	"nvmap/internal/ring"
 	"nvmap/internal/vtime"
 )
 
@@ -78,12 +80,15 @@ type Sample struct {
 func (k Kind) Droppable() bool { return k == KindSample }
 
 // Message is one channel record. Exactly one of the payload fields
-// matching Kind is set.
+// matching Kind is set. Sample is held by value: a KindSample message
+// embeds its reading directly, so the sampling hot path enqueues
+// messages without a per-sample heap allocation (other kinds leave it
+// zero).
 type Message struct {
 	Kind Kind
 	At   vtime.Time
 
-	Sample  *Sample
+	Sample  Sample
 	Noun    *pif.NounRecord
 	Verb    *pif.VerbRecord
 	Mapping *pif.MappingRecord
@@ -148,6 +153,12 @@ type Channel struct {
 	// HighWaterSince call (the budget governor's backlog probe);
 	// stats.MaxQueue stays the run-wide high water.
 	probeHW int
+	// qdepth mirrors len(queue)+len(retry), refreshed by syncDepthLocked
+	// at the end of every critical section that changes either. Pending
+	// reads it lock-free for its empty fast path: the event pump polls
+	// for backlog after every machine event, and on an idle channel that
+	// poll was the queue lock's busiest customer.
+	qdepth atomic.Int64
 
 	// drainMu serialises drains so two concurrent drains cannot
 	// interleave deliveries out of order.
@@ -158,6 +169,30 @@ type Channel struct {
 	// SetObs in obs.go).
 	obsT      *obs.Tracer
 	occupancy *obs.VHist
+
+	// ring is the lock-free SPSC fast path (EnableSPSC): when the
+	// channel is unbounded, untapped and unobserved, the producer
+	// pushes messages straight into the ring and drains pull them out,
+	// with no lock on either side. The mutex queue remains the wrapper
+	// that owns every other semantic — bounded capacity, overflow
+	// policies, parked retries, message taps — and the ring disables
+	// itself (flushing in order) the moment any of those engage.
+	ring *ring.SPSC[Message]
+	// ringOK gates the producer fast path; recomputed under both locks
+	// whenever an eligibility input changes.
+	ringOK atomic.Bool
+	// spilled marks that a full ring overflowed into the mutex queue;
+	// while set, the producer keeps appending to the queue so drain
+	// order (retries, then ring, then queue) stays chronological. Drains
+	// clear it once the queue is empty again.
+	spilled atomic.Bool
+	// ringBatches counts SendBatch calls absorbed whole by the ring;
+	// Stats() folds it into Batches.
+	ringBatches atomic.Int64
+	// drainBuf is the reusable gather buffer drains assemble deliveries
+	// in (guarded by drainMu), so a steady sample/drain cycle allocates
+	// nothing.
+	drainBuf []Message
 }
 
 // NewChannel returns an empty, unbounded channel.
@@ -165,16 +200,71 @@ func NewChannel() *Channel {
 	return &Channel{stats: Stats{ByKind: make(map[Kind]int), DroppedByKind: make(map[Kind]int)}}
 }
 
+// EnableSPSC arms the lock-free single-producer/single-consumer fast
+// path with a ring of at least capacity messages. It is an opt-in for
+// callers whose sends all happen on one goroutine and whose drains all
+// happen on one goroutine (the tool's driving goroutine is both): while
+// the channel stays unbounded, untapped and unobserved, messages travel
+// the ring without taking a lock, and overflow spills to the mutex
+// queue in order. Bounding the channel (SetLimit), registering a
+// message tap (OnMessage) or attaching the observability plane (SetObs)
+// flushes the ring and reverts to the mutex path, so every fault and
+// recovery semantic is exactly the wrapped channel's.
+//
+// Statistics for ring-carried messages (Sent, per-kind counts, queue
+// depth) are folded in when a drain collects them, so a Stats() read
+// between a send and its drain may lag; totals after any drain agree
+// with the mutex path exactly.
+func (c *Channel) EnableSPSC(capacity int) {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		c.ring = ring.New[Message](capacity)
+	}
+	c.syncRingLocked()
+}
+
+// syncRingLocked recomputes fast-path eligibility after a configuration
+// change and, when the ring is being retired, flushes its content to
+// the front of the mutex queue (ring messages predate anything spilled
+// behind them). Callers hold drainMu and mu.
+func (c *Channel) syncRingLocked() {
+	ok := c.ring != nil && c.capacity == 0 && c.onMsg == nil && c.obsT == nil
+	if !ok && c.ringOK.Load() {
+		if n := c.ring.Len(); n > 0 {
+			flushed := c.ring.DrainInto(make([]Message, 0, n))
+			c.accountRingLocked(flushed)
+			c.queue = append(flushed, c.queue...)
+			c.syncDepthLocked()
+		}
+	}
+	c.ringOK.Store(ok)
+}
+
+// accountRingLocked records send-side statistics for messages that
+// travelled the ring, deferred to the moment they leave it.
+func (c *Channel) accountRingLocked(ms []Message) {
+	c.stats.Sent += len(ms)
+	for i := range ms {
+		c.stats.ByKind[ms[i].Kind]++
+	}
+}
+
 // SetLimit bounds the queue depth. capacity <= 0 restores the unbounded
 // default regardless of policy.
 func (c *Channel) SetLimit(capacity int, policy fault.OverflowPolicy) {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if capacity <= 0 {
 		c.capacity, c.policy = 0, fault.Unbounded
-		return
+	} else {
+		c.capacity, c.policy = capacity, policy
 	}
-	c.capacity, c.policy = capacity, policy
+	c.syncRingLocked()
 }
 
 // OnDrop registers an observer for every message lost to overflow (the
@@ -198,9 +288,12 @@ func (c *Channel) OnBackpressure(fn func()) {
 // channel, before any overflow decision (the supervisor's definition
 // ledger feeds from it). The tap must not call Send.
 func (c *Channel) OnMessage(fn func(Message)) {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onMsg = fn
+	c.syncRingLocked()
 }
 
 // Send enqueues a message. Mapping information and performance data
@@ -208,6 +301,14 @@ func (c *Channel) OnMessage(fn func(Message)) {
 // on so the data manager sees definitions before the samples that use
 // them.
 func (c *Channel) Send(m Message) {
+	if c.ringOK.Load() && !c.spilled.Load() {
+		if c.ring.Push(m) {
+			return
+		}
+		// Ring full: spill to the mutex queue and stay there until a
+		// drain empties it, so delivery order holds.
+		c.spilled.Store(true)
+	}
 	if c.obsT != nil {
 		ref := c.obsT.Begin(obs.StageDaemonSend, m.Kind.String(), obs.NodeCP, m.At)
 		defer c.obsT.End(ref, m.At)
@@ -239,6 +340,7 @@ func (c *Channel) Send(m Message) {
 		case fault.DropNewest:
 			d := c.overflowLocked(m)
 			onDrop := c.onDrop
+			c.syncDepthLocked()
 			c.mu.Unlock()
 			if d != nil && onDrop != nil {
 				onDrop(*d)
@@ -254,6 +356,7 @@ func (c *Channel) Send(m Message) {
 		c.probeHW = len(c.queue)
 	}
 	onDrop := c.onDrop
+	c.syncDepthLocked()
 	c.mu.Unlock()
 	if dropped != nil && onDrop != nil {
 		onDrop(*dropped)
@@ -268,6 +371,15 @@ func (c *Channel) Send(m Message) {
 func (c *Channel) SendBatch(ms []Message) {
 	if len(ms) == 0 {
 		return
+	}
+	if c.ringOK.Load() && !c.spilled.Load() {
+		n := c.ring.PushSlice(ms)
+		if n == len(ms) {
+			c.ringBatches.Add(1)
+			return
+		}
+		c.spilled.Store(true)
+		ms = ms[n:] // remainder takes the mutex path, behind the ring
 	}
 	if c.obsT != nil {
 		from, to := spanBounds(ms)
@@ -288,6 +400,7 @@ func (c *Channel) SendBatch(ms []Message) {
 		if len(c.queue) > c.probeHW {
 			c.probeHW = len(c.queue)
 		}
+		c.syncDepthLocked()
 		c.mu.Unlock()
 		return
 	}
@@ -295,6 +408,12 @@ func (c *Channel) SendBatch(ms []Message) {
 	for _, m := range ms {
 		c.Send(m)
 	}
+}
+
+// syncDepthLocked refreshes the lock-free queue-depth mirror; callers
+// hold mu and call it after any change to queue or retry.
+func (c *Channel) syncDepthLocked() {
+	c.qdepth.Store(int64(len(c.queue) + len(c.retry)))
 }
 
 // overflowLocked routes one displaced message: mapping records and
@@ -312,11 +431,32 @@ func (c *Channel) overflowLocked(m Message) *Message {
 	return &m
 }
 
-// Pending returns the queue depth, counting parked retries.
+// Pending returns the queue depth, counting parked retries and any
+// messages still in the SPSC ring. An empty channel answers without
+// taking the queue lock.
 func (c *Channel) Pending() int {
+	n := 0
+	if c.ring != nil {
+		n = c.ring.Len()
+	}
+	if c.qdepth.Load() == 0 {
+		return n
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.queue) + len(c.retry)
+	return n + len(c.queue) + len(c.retry)
+}
+
+// RingStats reports the SPSC fast path: messages currently in the
+// ring, the deepest the ring has been, and its capacity. All zeros
+// when EnableSPSC was never called.
+func (c *Channel) RingStats() (occupancy, highWater, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		return 0, 0, 0
+	}
+	return c.ring.Len(), c.ring.HighWater(), c.ring.Cap()
 }
 
 // HighWaterSince returns the deepest the queue has been since the
@@ -327,14 +467,77 @@ func (c *Channel) Pending() int {
 // interval high water captures them — and recovers when shedding
 // actually relieves the pressure. Stats.MaxQueue is unaffected.
 func (c *Channel) HighWaterSince() int {
+	inRing := 0
+	if c.ring != nil {
+		inRing = c.ring.Len()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	hw := c.probeHW
-	if n := len(c.queue) + len(c.retry); n > hw {
+	if n := inRing + len(c.queue) + len(c.retry); n > hw {
 		hw = n
 	}
 	c.probeHW = 0
 	return hw
+}
+
+// gatherLocked collects everything deliverable into c.drainBuf in
+// chronological order — parked retries, then the ring's content, then
+// the mutex queue (anything in the queue was spilled or sent after the
+// ring content ahead of it). Ring messages have their send-side stats
+// folded in here, and the backlog depth feeds MaxQueue and the probe
+// high water, matching what per-send bookkeeping would have recorded at
+// its deepest. Callers hold drainMu; gatherLocked takes mu itself.
+func (c *Channel) gatherLocked() []Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf := c.drainBuf[:0]
+	buf = append(buf, c.retry...)
+	if c.ring != nil {
+		mark := len(buf)
+		buf = c.ring.DrainInto(buf)
+		c.accountRingLocked(buf[mark:])
+	}
+	buf = append(buf, c.queue...)
+	if len(buf) > c.stats.MaxQueue {
+		c.stats.MaxQueue = len(buf)
+	}
+	if len(buf) > c.probeHW {
+		c.probeHW = len(buf)
+	}
+	c.retry = nil
+	c.queue = nil
+	c.syncDepthLocked()
+	c.drainBuf = buf
+	return buf
+}
+
+// requeueLocked puts an undelivered suffix of a gathered batch back at
+// the head of the line. With the ring active it parks in retry (always
+// drained first, ahead of whatever the producer pushed meanwhile);
+// otherwise it prepends to the queue, the historical nack behaviour.
+// Callers hold drainMu.
+func (c *Channel) requeueLocked(pending []Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ringOK.Load() {
+		c.retry = append(append([]Message(nil), pending...), c.retry...)
+	} else {
+		c.queue = append(append([]Message(nil), pending...), c.queue...)
+	}
+	c.syncDepthLocked()
+}
+
+// settleLocked finishes a fully delivered drain: once nothing is parked
+// or queued, the producer may resume the ring fast path. Callers hold
+// drainMu.
+func (c *Channel) settleLocked(delivered int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Delivered += delivered
+	if len(c.queue) == 0 && len(c.retry) == 0 {
+		c.spilled.Store(false)
+	}
 }
 
 // Drain delivers every queued message, in order, to fn — parked mapping
@@ -346,12 +549,7 @@ func (c *Channel) Drain(fn func(Message) error) (int, error) {
 	c.drainMu.Lock()
 	defer c.drainMu.Unlock()
 
-	c.mu.Lock()
-	pending := append(c.retry, c.queue...)
-	c.retry = nil
-	c.queue = nil
-	c.mu.Unlock()
-
+	pending := c.gatherLocked()
 	if c.obsT != nil && len(pending) > 0 {
 		from, to := spanBounds(pending)
 		ref := c.obsT.Begin(obs.StageDaemonDrain, "", obs.NodeCP, from)
@@ -359,16 +557,14 @@ func (c *Channel) Drain(fn func(Message) error) (int, error) {
 	}
 	for i, m := range pending {
 		if err := fn(m); err != nil {
+			c.requeueLocked(pending[i:])
 			c.mu.Lock()
-			c.queue = append(append([]Message(nil), pending[i:]...), c.queue...)
 			c.stats.Delivered += i
 			c.mu.Unlock()
 			return i, err
 		}
 	}
-	c.mu.Lock()
-	c.stats.Delivered += len(pending)
-	c.mu.Unlock()
+	c.settleLocked(len(pending))
 	return len(pending), nil
 }
 
@@ -381,12 +577,7 @@ func (c *Channel) DrainBatch(fn func([]Message) error) (int, error) {
 	c.drainMu.Lock()
 	defer c.drainMu.Unlock()
 
-	c.mu.Lock()
-	pending := append(c.retry, c.queue...)
-	c.retry = nil
-	c.queue = nil
-	c.mu.Unlock()
-
+	pending := c.gatherLocked()
 	if len(pending) == 0 {
 		return 0, nil
 	}
@@ -397,23 +588,24 @@ func (c *Channel) DrainBatch(fn func([]Message) error) (int, error) {
 		c.occupancy.Observe(to, float64(len(pending)))
 	}
 	if err := fn(pending); err != nil {
-		c.mu.Lock()
-		c.queue = append(append([]Message(nil), pending...), c.queue...)
-		c.mu.Unlock()
+		c.requeueLocked(pending)
 		return 0, err
 	}
+	c.settleLocked(len(pending))
 	c.mu.Lock()
-	c.stats.Delivered += len(pending)
 	c.stats.BatchesFlushed++
 	c.mu.Unlock()
 	return len(pending), nil
 }
 
-// Stats returns a copy of the traffic statistics.
+// Stats returns a copy of the traffic statistics. Messages still inside
+// the SPSC ring are not yet counted (see EnableSPSC); any drain folds
+// them in.
 func (c *Channel) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.stats
+	out.Batches += int(c.ringBatches.Load())
 	out.ByKind = make(map[Kind]int, len(c.stats.ByKind))
 	for k, v := range c.stats.ByKind {
 		out.ByKind[k] = v

@@ -10,7 +10,7 @@ import (
 )
 
 func sample(id string, v float64) Message {
-	return Message{Kind: KindSample, Sample: &Sample{MetricID: id, Value: v}}
+	return Message{Kind: KindSample, Sample: Sample{MetricID: id, Value: v}}
 }
 
 func nounDef(name string) Message {

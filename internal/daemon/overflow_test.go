@@ -10,7 +10,7 @@ import (
 )
 
 func sampleMsg(i int) Message {
-	return Message{Kind: KindSample, Sample: &Sample{MetricID: fmt.Sprintf("m%d", i), Value: float64(i)}}
+	return Message{Kind: KindSample, Sample: Sample{MetricID: fmt.Sprintf("m%d", i), Value: float64(i)}}
 }
 
 func nounMsg(name string) Message {

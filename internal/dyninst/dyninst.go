@@ -144,9 +144,17 @@ type inserted struct {
 // Mutation (Insert/Remove/Fire) is not safe for concurrent use — the
 // simulated machine executes sequentially in virtual time — but Stats
 // may be read concurrently with a run.
+//
+// Points are interned to small dense indices the first time they are
+// named: the snippet lists live in a slice indexed by point index, and a
+// pre-resolved PointRef fires with a bounds check instead of hashing the
+// PointID's function name. The executing substrate fires every potential
+// point on every operation, so that hash was the single largest fixed
+// cost of an uninstrumented point.
 type Manager struct {
 	costs   CostModel
-	points  map[PointID][]inserted
+	ids     map[PointID]int32
+	lists   [][]inserted
 	nextSeq int
 	// stats counters are atomic so a metrics scrape can read them while
 	// the driving goroutine fires snippets; every writer is the single
@@ -162,17 +170,50 @@ type Manager struct {
 // accounting against node clocks; stats still accumulate).
 func NewManager(costs CostModel, perturb func(node int, d vtime.Duration)) *Manager {
 	return &Manager{
-		costs:   costs,
-		points:  make(map[PointID][]inserted),
+		costs: costs,
+		// A session interns a few dozen points; sizing the table up front
+		// skips the map-growth ladder during wiring.
+		ids:     make(map[PointID]int32, 32),
+		lists:   make([][]inserted, 0, 32),
 		perturb: perturb,
 	}
 }
+
+// index interns a point, creating an (empty) slot on first sight.
+func (m *Manager) index(p PointID) int32 {
+	if i, ok := m.ids[p]; ok {
+		return i
+	}
+	i := int32(len(m.lists))
+	m.ids[p] = i
+	m.lists = append(m.lists, nil)
+	return i
+}
+
+// PointRef is a pre-resolved instrumentation point: Resolve once where
+// the point name is known (session wiring, runtime construction), then
+// Fire per event without re-hashing the name. A ref stays valid for the
+// manager's lifetime — Insert and Remove change what is attached at the
+// point, never where the point lives.
+type PointRef struct {
+	m *Manager
+	i int32
+}
+
+// Resolve interns a point and returns a reference for repeated firing.
+func (m *Manager) Resolve(p PointID) PointRef {
+	return PointRef{m: m, i: m.index(p)}
+}
+
+// Fire executes the instrumentation at the referenced point.
+func (r PointRef) Fire(ctx Context) { r.m.fireAt(r.i, ctx) }
 
 // Insert adds a snippet at a point of the running image and returns a
 // removal handle.
 func (m *Manager) Insert(p PointID, s Snippet) Handle {
 	m.nextSeq++
-	m.points[p] = append(m.points[p], inserted{seq: m.nextSeq, snippet: s})
+	i := m.index(p)
+	m.lists[i] = append(m.lists[i], inserted{seq: m.nextSeq, snippet: s})
 	m.stats.inserted.Add(1)
 	return Handle{point: p, seq: m.nextSeq}
 }
@@ -180,15 +221,14 @@ func (m *Manager) Insert(p PointID, s Snippet) Handle {
 // Remove deletes a previously inserted snippet. Removing twice is an
 // error.
 func (m *Manager) Remove(h Handle) error {
-	list := m.points[h.point]
-	for i, ins := range list {
-		if ins.seq == h.seq {
-			m.points[h.point] = append(list[:i], list[i+1:]...)
-			if len(m.points[h.point]) == 0 {
-				delete(m.points, h.point)
+	if i, ok := m.ids[h.point]; ok {
+		list := m.lists[i]
+		for j, ins := range list {
+			if ins.seq == h.seq {
+				m.lists[i] = append(list[:j], list[j+1:]...)
+				m.stats.removed.Add(1)
+				return nil
 			}
-			m.stats.removed.Add(1)
-			return nil
 		}
 	}
 	return fmt.Errorf("dyninst: no snippet %d at %v", h.seq, h.point)
@@ -198,9 +238,13 @@ func (m *Manager) Remove(h Handle) error {
 // removed. This is how "users turn off all dynamic mapping instrumentation
 // points at once" (Section 5).
 func (m *Manager) RemoveAll(p PointID) int {
-	n := len(m.points[p])
+	i, ok := m.ids[p]
+	if !ok {
+		return 0
+	}
+	n := len(m.lists[i])
 	if n > 0 {
-		delete(m.points, p)
+		m.lists[i] = nil
 		m.stats.removed.Add(int64(n))
 	}
 	return n
@@ -209,26 +253,43 @@ func (m *Manager) RemoveAll(p PointID) int {
 // Fire executes the instrumentation at a point. The executing substrate
 // calls this at every potential point; an uninstrumented point returns
 // immediately with zero cost, which is the central property of dynamic
-// instrumentation.
+// instrumentation. Callers on hot paths should Resolve the point once
+// and fire through the PointRef.
 func (m *Manager) Fire(p PointID, ctx Context) {
-	list, ok := m.points[p]
-	if !ok {
+	if i, ok := m.ids[p]; ok {
+		m.fireAt(i, ctx)
+	}
+}
+
+// fireAt runs the snippet list at point index i. Stats are batched into
+// at most one atomic add per counter per call — with snippets attached,
+// the two adds per snippet were the next cost after the name hash.
+func (m *Manager) fireAt(i int32, ctx Context) {
+	list := m.lists[i]
+	if len(list) == 0 {
 		return
 	}
 	var cost vtime.Duration
+	fires, suppressed := 0, 0
 	for _, ins := range list {
 		if ins.snippet.When != nil {
 			cost += m.costs.PerPredicate
 			if !ins.snippet.When(ctx) {
-				m.stats.suppressed.Add(1)
+				suppressed++
 				continue
 			}
 		}
 		cost += m.costs.PerFire
-		m.stats.fires.Add(1)
+		fires++
 		if ins.snippet.Do != nil {
 			ins.snippet.Do(ctx)
 		}
+	}
+	if fires > 0 {
+		m.stats.fires.Add(int64(fires))
+	}
+	if suppressed > 0 {
+		m.stats.suppressed.Add(int64(suppressed))
 	}
 	if cost > 0 {
 		m.stats.perturbation.Add(int64(cost))
@@ -240,14 +301,17 @@ func (m *Manager) Fire(p PointID, ctx Context) {
 
 // Instrumented reports whether any snippet is currently inserted at p.
 func (m *Manager) Instrumented(p PointID) bool {
-	return len(m.points[p]) > 0
+	i, ok := m.ids[p]
+	return ok && len(m.lists[i]) > 0
 }
 
 // ActivePoints returns the currently instrumented points, sorted.
 func (m *Manager) ActivePoints() []PointID {
-	out := make([]PointID, 0, len(m.points))
-	for p := range m.points {
-		out = append(out, p)
+	out := make([]PointID, 0, len(m.ids))
+	for p, i := range m.ids {
+		if len(m.lists[i]) > 0 {
+			out = append(out, p)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Function != out[j].Function {

@@ -457,6 +457,10 @@ func validate(m *Metric, line int) error {
 type Library struct {
 	metrics map[string]*Metric
 	order   []string
+	// shared marks a library whose tables belong to a shared prototype
+	// (StdLibrary): Add copies them before the first mutation, so handing
+	// every session the standard set costs one allocation, not a rebuild.
+	shared bool
 }
 
 // NewLibrary compiles MDL source into a library.
@@ -479,6 +483,15 @@ func (l *Library) Add(src string) error {
 	ms, err := Parse(src)
 	if err != nil {
 		return err
+	}
+	if l.shared {
+		metrics := make(map[string]*Metric, len(l.metrics)+len(ms))
+		for k, v := range l.metrics {
+			metrics[k] = v
+		}
+		l.metrics = metrics
+		l.order = append([]string(nil), l.order...)
+		l.shared = false
 	}
 	for _, m := range ms {
 		if _, dup := l.metrics[m.ID]; dup {

@@ -240,27 +240,29 @@ metric point_to_point_time {
 // stdOnce guards the one-time compile of StdLib. Compiled metrics are
 // immutable, so every StdLibrary call can share them.
 var (
-	stdOnce    sync.Once
-	stdMetrics []*Metric
+	stdOnce  sync.Once
+	stdProto *Library
 )
 
 // StdLibrary compiles the Figure 9 metric set. It panics on error: the
 // source is a compile-time constant exercised by the package tests.
-// The source is parsed once per process; each call returns a fresh
-// Library (so callers may Add to it independently) over the shared
-// immutable compiled metrics.
+// The source is parsed and its tables built once per process; each call
+// returns a fresh Library sharing them copy-on-write, so callers may
+// still Add to their copy independently.
 func StdLibrary() *Library {
 	stdOnce.Do(func() {
 		ms, err := Parse(StdLib)
 		if err != nil {
 			panic("mdl: standard library does not compile: " + err.Error())
 		}
-		stdMetrics = ms
+		stdProto = &Library{metrics: make(map[string]*Metric, len(ms))}
+		for _, m := range ms {
+			stdProto.metrics[m.ID] = m
+			stdProto.order = append(stdProto.order, m.ID)
+		}
+		// Clip the order's capacity so a copy that outgrows it cannot
+		// append into the prototype's backing array.
+		stdProto.order = stdProto.order[:len(stdProto.order):len(stdProto.order)]
 	})
-	lib := &Library{metrics: make(map[string]*Metric, len(stdMetrics))}
-	for _, m := range stdMetrics {
-		lib.metrics[m.ID] = m
-		lib.order = append(lib.order, m.ID)
-	}
-	return lib
+	return &Library{metrics: stdProto.metrics, order: stdProto.order, shared: true}
 }

@@ -269,6 +269,19 @@ func NounHandlesOf(s *Sentence) []NounHandle { return s.nhs }
 // noun handle, or its verb handle when it has no nouns.
 func ShardKeyOf(s *Sentence) uint32 { return s.skey }
 
+// HasNoun reports whether interned sentence s carries noun handle h.
+// Sentences name at most a handful of nouns, so a linear scan of the
+// cached handle slice beats any index; the loop is small enough to
+// inline into the columnar sweeps that are its only hot callers.
+func HasNoun(s *Sentence, h NounHandle) bool {
+	for _, have := range s.nhs {
+		if have == h {
+			return true
+		}
+	}
+	return false
+}
+
 // Interned interns s in the default table. See Interner.Sentence.
 func Interned(s Sentence) Sentence { return DefaultInterner.Sentence(s) }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"nvmap/internal/cmrts"
 	"nvmap/internal/daemon"
@@ -35,6 +36,13 @@ const (
 	// VerbBlockExec marks a node code block currently executing.
 	VerbBlockExec nv.VerbID = "BlockExecutes"
 )
+
+// ringCapacity sizes the daemon channel's SPSC ring. At 128 bytes per
+// message the ring is an 8KB allocation zeroed on every session start,
+// so it is kept just big enough for a typical eagerly-drained sampling
+// round; a wider round spills to the mutex queue, which is correct,
+// merely slower.
+const ringCapacity = 64
 
 // Hierarchy names the tool maintains.
 const (
@@ -129,6 +137,48 @@ type Tool struct {
 	// obsT, when non-nil, records sampling-round and PIF-import spans
 	// (see Options.Obs).
 	obsT *obs.Tracer
+
+	// mapsShared marks stmtBlocks/blockStmts as aliases of a cached
+	// prototype's maps; a second LoadPIF copies them before appending.
+	mapsShared bool
+
+	// drainFn is drainChannel's delivery callback, built once so the
+	// per-event drain does not allocate a closure.
+	drainFn func([]daemon.Message) error
+}
+
+// toolProto caches the session-independent products of one LoadPIF call
+// for a (static mapping file, node count) pair: the loaded registries,
+// the fully built where axis (base hierarchies plus the PIF's), and the
+// statement/block indexes. Everything cached is immutable — the axis is
+// Cloned per tool, the maps are shared read-only (copy-on-write on a
+// second LoadPIF), and pif.Loaded is only ever read after Load returns —
+// so sessions over the same program skip the import entirely.
+type toolProto struct {
+	loaded     *pif.Loaded
+	axis       *WhereAxis
+	stmtBlocks map[string][]string
+	blockStmts map[string][]string
+}
+
+type protoKey struct {
+	pf    *pif.File
+	nodes int
+}
+
+// protoCache memoizes LoadPIF products per (file pointer, node count).
+// Bounded: a pathological stream of distinct files (e.g. per-session
+// topology merges) resets the table rather than growing it.
+var protoCache struct {
+	sync.Mutex
+	m map[protoKey]*toolProto
+}
+
+// baseAxisCache memoizes the pre-PIF where axis per node count (the
+// Machine hierarchy plus the fixed runtime Code routines).
+var baseAxisCache struct {
+	sync.Mutex
+	m map[int]*WhereAxis
 }
 
 // LostNodeMark records one permanently lost node for answer annotation.
@@ -147,6 +197,7 @@ type EnabledMetric struct {
 
 	tool      *Tool
 	index     int
+	focusStr  string // Focus.String(), rendered once at enable time
 	lastValue float64
 	lastTime  vtime.Time
 	disabled  bool
@@ -223,7 +274,7 @@ func New(rt *cmrts.Runtime, lib *mdl.Library, opts Options) (*Tool, error) {
 	// metric-focus pair degraded. Mapping records never reach this
 	// observer — the channel parks them for retry instead.
 	t.channel.OnDrop(func(m daemon.Message) {
-		if m.Kind != daemon.KindSample || m.Sample == nil {
+		if m.Kind != daemon.KindSample {
 			return
 		}
 		t.droppedSamples[m.Sample.MetricID]++
@@ -234,6 +285,12 @@ func New(rt *cmrts.Runtime, lib *mdl.Library, opts Options) (*Tool, error) {
 	// Under the Backpressure policy a full channel stalls the sender
 	// while the data manager drains — the lossless option.
 	t.channel.OnBackpressure(t.drainChannel)
+	// The tool's traffic is single-producer/single-consumer: the
+	// instrumentation library emits and the data manager drains on the
+	// driving goroutine. Arm the lock-free fast path; it stands down by
+	// itself if a fault plan bounds the channel, the supervisor taps it,
+	// or the observability plane attaches.
+	t.channel.EnableSPSC(ringCapacity)
 	t.buildBaseHierarchies()
 	t.mach.Observe(t.machineEvent)
 	return t, nil
@@ -248,19 +305,37 @@ func (t *Tool) Library() *mdl.Library { return t.lib }
 // Inst returns the instrumentation manager.
 func (t *Tool) Inst() *dyninst.Manager { return t.inst }
 
+// buildBaseHierarchies installs the pre-PIF axis: the Machine hierarchy
+// for the partition and the fixed runtime Code routines. The axis is a
+// pure function of the node count, so a prototype is built once per
+// count and Cloned per tool.
 func (t *Tool) buildBaseHierarchies() {
-	for n := 0; n < t.mach.Nodes(); n++ {
-		t.Axis.AddPath(HierMachine, fmt.Sprintf("node%d", n))
+	nodes := t.mach.Nodes()
+	baseAxisCache.Lock()
+	proto := baseAxisCache.m[nodes]
+	baseAxisCache.Unlock()
+	if proto == nil {
+		proto = NewWhereAxis()
+		for n := 0; n < nodes; n++ {
+			proto.AddPath(HierMachine, fmt.Sprintf("node%d", n))
+		}
+		for _, routine := range []string{
+			cmrts.RoutineAlloc, cmrts.RoutineArgs, cmrts.RoutineBroadcast,
+			cmrts.RoutineCleanup, cmrts.RoutineCompute, cmrts.RoutineDispatch,
+			cmrts.RoutineReduceMax, cmrts.RoutineReduceMin, cmrts.RoutineReduceSum,
+			cmrts.RoutineRotate, cmrts.RoutineScan, cmrts.RoutineSend,
+			cmrts.RoutineShift, cmrts.RoutineSort, cmrts.RoutineTranspose,
+		} {
+			proto.AddPath(HierCode, routine)
+		}
+		baseAxisCache.Lock()
+		if baseAxisCache.m == nil || len(baseAxisCache.m) >= 64 {
+			baseAxisCache.m = make(map[int]*WhereAxis)
+		}
+		baseAxisCache.m[nodes] = proto
+		baseAxisCache.Unlock()
 	}
-	for _, routine := range []string{
-		cmrts.RoutineAlloc, cmrts.RoutineArgs, cmrts.RoutineBroadcast,
-		cmrts.RoutineCleanup, cmrts.RoutineCompute, cmrts.RoutineDispatch,
-		cmrts.RoutineReduceMax, cmrts.RoutineReduceMin, cmrts.RoutineReduceSum,
-		cmrts.RoutineRotate, cmrts.RoutineScan, cmrts.RoutineSend,
-		cmrts.RoutineShift, cmrts.RoutineSort, cmrts.RoutineTranspose,
-	} {
-		t.Axis.AddPath(HierCode, routine)
-	}
+	t.Axis = proto.Clone()
 }
 
 // shedDrainFloor is the event pump's base drain threshold under
@@ -317,6 +392,31 @@ func (t *Tool) LoadPIF(f *pif.File) error {
 		ref := t.obsT.Begin(obs.StagePIFImport, "", obs.NodeCP, t.mach.GlobalNow())
 		defer func() { t.obsT.End(ref, t.mach.GlobalNow()) }()
 	}
+	// A first load onto a pristine base axis can adopt the cached
+	// prototype wholesale: the clone is a couple of slab allocations
+	// instead of re-importing the file and rebuilding the forest.
+	key := protoKey{pf: f, nodes: t.mach.Nodes()}
+	pristine := t.Loaded == nil && !t.Axis.dirty
+	if pristine {
+		protoCache.Lock()
+		p := protoCache.m[key]
+		protoCache.Unlock()
+		if p != nil {
+			t.Loaded = p.loaded
+			t.Axis = p.axis.Clone()
+			t.stmtBlocks = p.stmtBlocks
+			t.blockStmts = p.blockStmts
+			t.mapsShared = true
+			return nil
+		}
+	}
+	if t.mapsShared {
+		// Appending to a prototype's maps would corrupt every other
+		// session sharing them; copy before the second import below.
+		t.stmtBlocks = copyIndex(t.stmtBlocks)
+		t.blockStmts = copyIndex(t.blockStmts)
+		t.mapsShared = false
+	}
 	loaded, err := pif.Load(f)
 	if err != nil {
 		return err
@@ -350,7 +450,32 @@ func (t *Tool) LoadPIF(f *pif.File) error {
 		t.stmtBlocks[stmt] = append(t.stmtBlocks[stmt], block)
 		t.blockStmts[block] = append(t.blockStmts[block], stmt)
 	}
+	if pristine {
+		proto := &toolProto{
+			loaded:     loaded,
+			axis:       t.Axis.Clone(),
+			stmtBlocks: t.stmtBlocks,
+			blockStmts: t.blockStmts,
+		}
+		// The tool now shares the maps it just built with the prototype.
+		t.mapsShared = true
+		protoCache.Lock()
+		if protoCache.m == nil || len(protoCache.m) >= 64 {
+			protoCache.m = make(map[protoKey]*toolProto)
+		}
+		protoCache.m[key] = proto
+		protoCache.Unlock()
+	}
 	return nil
+}
+
+// copyIndex deep-copies a statement/block index.
+func copyIndex(in map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(in))
+	for k, v := range in {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
 }
 
 // addNounTree mirrors a registry hierarchy into the where axis.
@@ -430,26 +555,29 @@ func (t *Tool) drainChannel() {
 	if t.channel.Pending() == 0 {
 		return
 	}
-	_, _ = t.channel.DrainBatch(func(ms []daemon.Message) error {
-		for i := range ms {
-			m := &ms[i]
-			switch m.Kind {
-			case daemon.KindSample:
-				if s := m.Sample; s != nil && s.Enabled >= 0 && s.Enabled < len(t.enabled) {
-					_ = t.enabled[s.Enabled].Hist.AddSpan(s.From, s.To, s.Value)
-				}
-			case daemon.KindNounDef:
-				if m.Noun != nil && m.Attrs["id"] != "" {
-					t.noteAllocation(cmrts.ArrayID(m.Attrs["id"]), m.Noun.Name)
-				}
-			case daemon.KindRemoval:
-				if m.Attrs["id"] != "" {
-					t.noteDeallocation(cmrts.ArrayID(m.Attrs["id"]), m.Removal)
+	if t.drainFn == nil {
+		t.drainFn = func(ms []daemon.Message) error {
+			for i := range ms {
+				m := &ms[i]
+				switch m.Kind {
+				case daemon.KindSample:
+					if s := &m.Sample; s.Enabled >= 0 && s.Enabled < len(t.enabled) {
+						_ = t.enabled[s.Enabled].Hist.AddSpan(s.From, s.To, s.Value)
+					}
+				case daemon.KindNounDef:
+					if m.Noun != nil && m.Attrs["id"] != "" {
+						t.noteAllocation(cmrts.ArrayID(m.Attrs["id"]), m.Noun.Name)
+					}
+				case daemon.KindRemoval:
+					if m.Attrs["id"] != "" {
+						t.noteDeallocation(cmrts.ArrayID(m.Attrs["id"]), m.Removal)
+					}
 				}
 			}
+			return nil
 		}
-		return nil
-	})
+	}
+	_, _ = t.channel.DrainBatch(t.drainFn)
 }
 
 // FlushChannel drains any queued messages (end-of-run bookkeeping: the
@@ -669,6 +797,7 @@ func (t *Tool) EnableMetric(metricID string, focus Focus) (*EnabledMetric, error
 		Hist:     h,
 		tool:     t,
 		index:    len(t.enabled),
+		focusStr: focus.String(),
 		lastTime: t.mach.GlobalNow(),
 	}
 	t.enabled = append(t.enabled, em)
@@ -789,9 +918,9 @@ func (em *EnabledMetric) commitSample(now vtime.Time, v float64, buf []daemon.Me
 			buf = append(buf, daemon.Message{
 				Kind: daemon.KindSample,
 				At:   now,
-				Sample: &daemon.Sample{
+				Sample: daemon.Sample{
 					MetricID: em.Metric.ID,
-					Focus:    em.Focus.String(),
+					Focus:    em.focusStr,
 					Value:    delta,
 					From:     em.lastTime,
 					To:       now,

@@ -15,14 +15,22 @@ import (
 	"strings"
 )
 
+// resourceIdxThreshold is the fan-out past which a resource switches
+// from a linear child scan to a name index. Most resources have a
+// handful of children, where the scan beats a map lookup and — more
+// importantly — costs no allocation to build or clone.
+const resourceIdxThreshold = 8
+
 // Resource is one node of a where-axis hierarchy (Figure 8: e.g. the
 // module bow.fcm, the function CORNER within it, the array TOT within
 // CORNER, and TOT's per-node subregions).
 type Resource struct {
-	Name     string
-	Path     []string // hierarchy name first, e.g. ["CMFarrays", "bow.fcm", "CORNER", "TOT"]
-	children map[string]*Resource
-	order    []string
+	Name string
+	Path []string // hierarchy name first, e.g. ["CMFarrays", "bow.fcm", "CORNER", "TOT"]
+	// kids holds the children in insertion order; idx shadows it by name
+	// once the fan-out crosses resourceIdxThreshold (nil below it).
+	kids []*Resource
+	idx  map[string]*Resource
 }
 
 // FullName renders "CMFarrays/bow.fcm/CORNER/TOT".
@@ -30,21 +38,64 @@ func (r *Resource) FullName() string { return strings.Join(r.Path, "/") }
 
 // Children returns the resource's children in insertion order.
 func (r *Resource) Children() []*Resource {
-	out := make([]*Resource, 0, len(r.order))
-	for _, name := range r.order {
-		out = append(out, r.children[name])
-	}
-	return out
+	return append([]*Resource(nil), r.kids...)
 }
 
 // Child returns a named child.
 func (r *Resource) Child(name string) (*Resource, bool) {
-	c, ok := r.children[name]
-	return c, ok
+	if r.idx != nil {
+		c, ok := r.idx[name]
+		return c, ok
+	}
+	for _, c := range r.kids {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// addChild appends a child, maintaining the name index past the
+// threshold.
+func (r *Resource) addChild(c *Resource) {
+	r.kids = append(r.kids, c)
+	if r.idx != nil {
+		r.idx[c.Name] = c
+		return
+	}
+	if len(r.kids) > resourceIdxThreshold {
+		r.idx = make(map[string]*Resource, 2*len(r.kids))
+		for _, k := range r.kids {
+			r.idx[k.Name] = k
+		}
+	}
+}
+
+// removeChild deletes a named child, preserving sibling order.
+func (r *Resource) removeChild(name string) {
+	for i, c := range r.kids {
+		if c.Name == name {
+			r.kids = append(r.kids[:i], r.kids[i+1:]...)
+			break
+		}
+	}
+	if r.idx != nil {
+		delete(r.idx, name)
+	}
 }
 
 // IsLeaf reports whether the resource has no children.
-func (r *Resource) IsLeaf() bool { return len(r.children) == 0 }
+func (r *Resource) IsLeaf() bool { return len(r.kids) == 0 }
+
+// count returns the number of resources in the subtree rooted here,
+// including the root itself.
+func (r *Resource) count() int {
+	n := 1
+	for _, c := range r.kids {
+		n += c.count()
+	}
+	return n
+}
 
 // WhereAxis is the tool's resource display: a forest of hierarchies.
 // Users select foci by picking one resource from each hierarchy they wish
@@ -52,6 +103,10 @@ func (r *Resource) IsLeaf() bool { return len(r.children) == 0 }
 type WhereAxis struct {
 	roots map[string]*Resource
 	order []string
+	// dirty records any structural change since construction or Clone;
+	// the tool's prototype cache uses it to tell a pristine base-axis
+	// clone (safe to replace wholesale) from one a caller has extended.
+	dirty bool
 }
 
 // NewWhereAxis returns an empty axis.
@@ -65,9 +120,10 @@ func (w *WhereAxis) AddHierarchy(name string) *Resource {
 	if r, ok := w.roots[name]; ok {
 		return r
 	}
-	r := &Resource{Name: name, Path: []string{name}, children: make(map[string]*Resource)}
+	r := &Resource{Name: name, Path: []string{name}}
 	w.roots[name] = r
 	w.order = append(w.order, name)
+	w.dirty = true
 	return r
 }
 
@@ -86,15 +142,14 @@ func (w *WhereAxis) Hierarchies() []string { return append([]string(nil), w.orde
 func (w *WhereAxis) AddPath(hierarchy string, path ...string) *Resource {
 	cur := w.AddHierarchy(hierarchy)
 	for _, name := range path {
-		next, ok := cur.children[name]
+		next, ok := cur.Child(name)
 		if !ok {
 			next = &Resource{
-				Name:     name,
-				Path:     append(append([]string(nil), cur.Path...), name),
-				children: make(map[string]*Resource),
+				Name: name,
+				Path: append(append([]string(nil), cur.Path...), name),
 			}
-			cur.children[name] = next
-			cur.order = append(cur.order, name)
+			cur.addChild(next)
+			w.dirty = true
 		}
 		cur = next
 	}
@@ -112,7 +167,7 @@ func (w *WhereAxis) Find(full string) (*Resource, bool) {
 		return nil, false
 	}
 	for _, p := range parts[1:] {
-		cur, ok = cur.children[p]
+		cur, ok = cur.Child(p)
 		if !ok {
 			return nil, false
 		}
@@ -138,14 +193,62 @@ func (w *WhereAxis) Remove(full string) error {
 	if !ok {
 		return fmt.Errorf("paradyn: internal: parent of %q missing", full)
 	}
-	delete(parent.children, r.Name)
-	for i, n := range parent.order {
-		if n == r.Name {
-			parent.order = append(parent.order[:i], parent.order[i+1:]...)
-			break
-		}
-	}
+	parent.removeChild(r.Name)
+	w.dirty = true
 	return nil
+}
+
+// Clone returns a deep copy of the axis, built from two slab
+// allocations: one []Resource for every node of the forest and one
+// []*Resource carved into the child windows. Name strings and Path
+// slices are shared with the original — both are immutable once a
+// resource exists (AddPath builds a fresh Path per resource and nothing
+// ever rewrites one). Child windows are carved with full capacity, so
+// the first AddPath under a cloned resource reallocates its kids slice
+// instead of clobbering a sibling's window; resources added after the
+// clone are ordinary heap allocations and every *Resource stays stable
+// for the life of the axis, which is what Focus requires.
+//
+// The prototype pattern behind session startup: the axis for a given
+// (static mapping file, node count) pair is built once, cached, and
+// Cloned per session — a handful of allocations instead of hundreds.
+func (w *WhereAxis) Clone() *WhereAxis {
+	total := 0
+	for _, name := range w.order {
+		total += w.roots[name].count()
+	}
+	out := &WhereAxis{
+		roots: make(map[string]*Resource, len(w.roots)),
+		order: append([]string(nil), w.order...),
+	}
+	slab := make([]Resource, total)
+	ptrs := make([]*Resource, total)
+	next := 0
+	var clone func(src *Resource) *Resource
+	clone = func(src *Resource) *Resource {
+		dst := &slab[next]
+		next++
+		dst.Name = src.Name
+		dst.Path = src.Path
+		if n := len(src.kids); n > 0 {
+			start := total - n
+			total -= n
+			window := ptrs[start : start+n : start+n]
+			for i, c := range src.kids {
+				window[i] = clone(c)
+			}
+			dst.kids = window
+			// The name index is deliberately not cloned: a map copy is
+			// the most expensive part of the deep copy, Child falls back
+			// to a linear scan that is fine at prototype fan-outs, and
+			// addChild rebuilds the index if the clone keeps growing.
+		}
+		return dst
+	}
+	for _, name := range out.order {
+		out.roots[name] = clone(w.roots[name])
+	}
+	return out
 }
 
 // Render draws the axis as an ASCII tree, the textual analogue of the
@@ -161,7 +264,7 @@ func (w *WhereAxis) Render() string {
 
 func renderResource(b *strings.Builder, r *Resource, indent string) {
 	fmt.Fprintf(b, "%s%s\n", indent, r.Name)
-	for _, c := range r.Children() {
+	for _, c := range r.kids {
 		renderResource(b, c, indent+"  ")
 	}
 }

@@ -1,0 +1,207 @@
+// Package ring provides a lock-free single-producer single-consumer
+// ring buffer for the machine→daemon delivery fast path.
+//
+// The daemon channel's general path takes a mutex per Send and per
+// Drain; that is the right tool when multiple goroutines share a
+// conduit or when overflow policies must park and retry messages. But
+// the dominant traffic pattern in a session — the sampling loop pushing
+// batches that the same driving goroutine drains moments later — has
+// exactly one producer and one consumer, and for that shape a classic
+// SPSC ring needs only two atomic cursors and no locks at all.
+//
+// # Memory model
+//
+// head is advanced only by the consumer, tail only by the producer.
+// The producer publishes an element by storing it into buf before the
+// release-store of tail; the consumer's acquire-load of tail therefore
+// observes fully written elements. Symmetrically the consumer clears a
+// slot before release-storing head, so the producer's acquire-load of
+// head proves the slot is reusable. Go's sync/atomic provides the
+// needed acquire/release semantics on Load/Store.
+//
+// Each cursor sits on its own cache line (pad fields) so the producer
+// and consumer do not false-share, and each side keeps a local cached
+// copy of the opposite cursor so the common case issues no cross-core
+// load at all.
+//
+// Capacity is rounded up to a power of two so index masking replaces
+// modulo. The ring stores at most cap elements; Push on a full ring
+// returns false rather than blocking — callers own the overflow policy
+// (the daemon channel wrapper spills to its mutex-guarded queue,
+// preserving bounded/overflow/fault semantics).
+package ring
+
+import "sync/atomic"
+
+// cacheLine separates the producer and consumer cursors so they do not
+// false-share. 64 bytes covers x86-64 and most arm64 parts; 128 would
+// also cover Apple M-series prefetch pairs but doubles struct size for
+// marginal benefit at this message rate.
+const cacheLine = 64
+
+// SPSC is a lock-free single-producer single-consumer queue of T.
+// Exactly one goroutine may call the producer methods (Push, PushSlice,
+// Close) and exactly one the consumer methods (Pop, DrainInto); the two
+// may be (and usually are) different goroutines, or the same one.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	// Producer side: owns tail; cachedHead is its last observed head.
+	_          [cacheLine]byte
+	tail       atomic.Uint64
+	cachedHead uint64
+
+	// Consumer side: owns head; cachedTail is its last observed tail.
+	_          [cacheLine]byte
+	head       atomic.Uint64
+	cachedTail uint64
+
+	_      [cacheLine]byte
+	closed atomic.Bool
+
+	// hw is the high-water occupancy, maintained by the producer (it is
+	// the only side that sees the queue at its fullest).
+	hw uint64
+}
+
+// New returns an SPSC ring holding at least capacity elements
+// (rounded up to a power of two, minimum 2). The backing buffer is
+// allocated by the first Push: a ring wired up "just in case" — every
+// session channel gets one — costs a few words until traffic actually
+// flows. Publication is safe because the producer allocates it and the
+// consumer only dereferences buf after observing tail > head, which the
+// release-store of tail orders after the buffer write.
+func New[T any](capacity int) *SPSC[T] {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC[T]{mask: n - 1}
+}
+
+// Cap returns the ring's capacity.
+func (r *SPSC[T]) Cap() int { return int(r.mask + 1) }
+
+// ensureBuf allocates the backing buffer on the producer's first push.
+func (r *SPSC[T]) ensureBuf() {
+	if r.buf == nil {
+		r.buf = make([]T, r.mask+1)
+	}
+}
+
+// Len returns the current occupancy. It is exact when called from
+// either the producer or the consumer goroutine, and a consistent
+// snapshot otherwise.
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// HighWater returns the maximum occupancy observed at any Push. It is
+// maintained by the producer; reading it from elsewhere is racy but
+// monotonic enough for a gauge.
+func (r *SPSC[T]) HighWater() int { return int(atomic.LoadUint64(&r.hw)) }
+
+// Push appends v. It returns false if the ring is full or closed;
+// the caller decides whether to spill, drop, or retry. Producer only.
+func (r *SPSC[T]) Push(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.cachedHead > r.mask {
+		r.cachedHead = r.head.Load()
+		if t-r.cachedHead > r.mask {
+			return false
+		}
+	}
+	r.ensureBuf()
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	r.noteOccupancy(t + 1)
+	return true
+}
+
+// noteOccupancy maintains the high-water mark after the producer
+// advanced tail to newTail. The cheap stale-cachedHead estimate can only
+// overestimate, so an exact head refresh is needed (and paid) only while
+// the mark is actually climbing.
+func (r *SPSC[T]) noteOccupancy(newTail uint64) {
+	if newTail-r.cachedHead <= atomic.LoadUint64(&r.hw) {
+		return
+	}
+	r.cachedHead = r.head.Load()
+	if occ := newTail - r.cachedHead; occ > atomic.LoadUint64(&r.hw) {
+		atomic.StoreUint64(&r.hw, occ)
+	}
+}
+
+// PushSlice appends as many elements of vs as fit and returns how many
+// were accepted; the caller spills the remainder. Producer only.
+func (r *SPSC[T]) PushSlice(vs []T) int {
+	if r.closed.Load() || len(vs) == 0 {
+		return 0
+	}
+	t := r.tail.Load()
+	free := (r.mask + 1) - (t - r.cachedHead)
+	if free < uint64(len(vs)) {
+		r.cachedHead = r.head.Load()
+		free = (r.mask + 1) - (t - r.cachedHead)
+	}
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	if n > 0 {
+		r.ensureBuf()
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(t+i)&r.mask] = vs[i]
+	}
+	if n > 0 {
+		r.tail.Store(t + n)
+		r.noteOccupancy(t + n)
+	}
+	return int(n)
+}
+
+// Pop removes and returns the oldest element. ok is false if the ring
+// is empty. Consumer only.
+func (r *SPSC[T]) Pop() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if h == r.cachedTail {
+			return v, false
+		}
+	}
+	var zero T
+	v = r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero // release references for the collector
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// DrainInto appends every currently queued element to dst and returns
+// the extended slice. It drains at most one consistent snapshot of the
+// queue — elements pushed concurrently with the drain are left for the
+// next call. Consumer only.
+func (r *SPSC[T]) DrainInto(dst []T) []T {
+	h := r.head.Load()
+	t := r.tail.Load()
+	var zero T
+	for ; h != t; h++ {
+		dst = append(dst, r.buf[h&r.mask])
+		r.buf[h&r.mask] = zero
+	}
+	r.head.Store(h)
+	r.cachedTail = t
+	return dst
+}
+
+// Close marks the ring closed: subsequent Pushes fail, already queued
+// elements remain drainable. Producer only (or after both sides quiesce).
+func (r *SPSC[T]) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (r *SPSC[T]) Closed() bool { return r.closed.Load() }

@@ -1,0 +1,206 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	r := New[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap=%d want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push(%d) failed on non-full ring", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("Push succeeded on full ring")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d,%v want %d,true", i, v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop succeeded on empty ring")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {1000, 1024},
+	} {
+		if got := New[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	r := New[int](4)
+	next := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Push(next + i) {
+				t.Fatalf("round %d: push failed", round)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.Pop()
+			if !ok || v != next+i {
+				t.Fatalf("round %d: pop = %d,%v want %d", round, v, ok, next+i)
+			}
+		}
+		next += 3
+	}
+}
+
+func TestPushSlicePartial(t *testing.T) {
+	r := New[int](4)
+	in := []int{1, 2, 3, 4, 5, 6}
+	n := r.PushSlice(in)
+	if n != 4 {
+		t.Fatalf("PushSlice accepted %d want 4", n)
+	}
+	got := r.DrainInto(nil)
+	if len(got) != 4 {
+		t.Fatalf("drained %d want 4", len(got))
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("drain[%d]=%d want %d", i, v, i+1)
+		}
+	}
+	if n := r.PushSlice(in[4:]); n != 2 {
+		t.Fatalf("spill PushSlice accepted %d want 2", n)
+	}
+}
+
+func TestDrainIntoSnapshot(t *testing.T) {
+	r := New[int](8)
+	r.PushSlice([]int{10, 20, 30})
+	buf := make([]int, 0, 8)
+	buf = r.DrainInto(buf)
+	if len(buf) != 3 || buf[0] != 10 || buf[2] != 30 {
+		t.Fatalf("DrainInto = %v", buf)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d", r.Len())
+	}
+}
+
+func TestCloseWhileFull(t *testing.T) {
+	r := New[int](2)
+	r.Push(1)
+	r.Push(2)
+	r.Close()
+	if r.Push(3) {
+		t.Fatal("Push succeeded after Close")
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// Queued elements stay drainable.
+	got := r.DrainInto(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("drain after close = %v", got)
+	}
+	if n := r.PushSlice([]int{4}); n != 0 {
+		t.Fatalf("PushSlice after close accepted %d", n)
+	}
+}
+
+func TestHighWater(t *testing.T) {
+	r := New[int](8)
+	r.PushSlice([]int{1, 2, 3, 4, 5})
+	r.DrainInto(nil)
+	r.Push(6)
+	if hw := r.HighWater(); hw != 5 {
+		t.Fatalf("HighWater=%d want 5", hw)
+	}
+}
+
+// TestSPSCStress is the satellite-required -race stress: one producer,
+// one consumer, forced wraparound on a tiny ring, with pointer elements
+// so the race detector sees the published memory, then close-while-full.
+// The spin loops yield on failure — on a single-CPU host an unyielding
+// spin only advances at the async-preemption interval.
+func TestSPSCStress(t *testing.T) {
+	const total = 50000
+	r := New[*int](8) // tiny: guarantees constant wraparound + full backoff
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for i := 0; i < total; {
+			v := i
+			if r.Push(&v) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var sum int64
+	go func() { // consumer: mixes Pop and batch DrainInto
+		defer wg.Done()
+		buf := make([]*int, 0, 8)
+		n := 0
+		for n < total {
+			if n%2 == 0 {
+				if p, ok := r.Pop(); ok {
+					sum += int64(*p)
+					n++
+				} else {
+					runtime.Gosched()
+				}
+				continue
+			}
+			buf = r.DrainInto(buf[:0])
+			for _, p := range buf {
+				sum += int64(*p)
+				n++
+			}
+			if len(buf) == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	want := int64(total) * int64(total-1) / 2
+	if sum != want {
+		t.Fatalf("sum=%d want %d (lost or duplicated elements)", sum, want)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len=%d after stress", r.Len())
+	}
+
+	// Close while full: fill, close from the producer side, drain after.
+	for r.Push(new(int)) {
+	}
+	r.Close()
+	if r.Push(new(int)) {
+		t.Fatal("push after close-while-full succeeded")
+	}
+	if got := len(r.DrainInto(nil)); got != r.Cap() {
+		t.Fatalf("drained %d after close-while-full, want %d", got, r.Cap())
+	}
+}
+
+func TestSteadyStateNoAllocs(t *testing.T) {
+	r := New[int](64)
+	buf := make([]int, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			r.Push(i)
+		}
+		buf = r.DrainInto(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady state allocs/op = %v, want 0", allocs)
+	}
+}

@@ -2,9 +2,11 @@ package sas
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
+	"nvmap/internal/arena"
 	"nvmap/internal/nv"
 	"nvmap/internal/par"
 	"nvmap/internal/vtime"
@@ -132,6 +134,16 @@ func (s *SAS) ApplyRemote(ev Event) {
 type Registry struct {
 	mu    sync.Mutex
 	nodes map[int]*SAS
+	// sorted is the SASes in node-id order. It is rebuilt — a fresh
+	// slice, never mutated in place — each time a node materialises, so
+	// a reader that grabbed it under mu may keep using it lock-free.
+	sorted []*SAS
+	// dense is a lock-free lookup table indexed by node id, rebuilt
+	// alongside sorted while the ids stay small and non-negative (the
+	// SPMD common case of nodes 0..N-1). Node() hits it without taking
+	// mu — monitoring snippets resolve their SAS once per notification,
+	// so the mutex was pure overhead on the hot path.
+	dense atomic.Pointer[[]*SAS]
 	opts  Options
 	// asked remembers every question registered through AddQuestionAll,
 	// in order, so ResetNode can re-register them after a crash with the
@@ -141,6 +153,17 @@ type Registry struct {
 	// the SASes; it materialises on the first fan-out that clears
 	// registryFanOut (see Options.Workers).
 	pool *par.Pool
+
+	// aggMu guards the aggregation scratch arenas below: per-call rows
+	// (results, errors, presence flags, stats) are carved from the
+	// arenas and reclaimed wholesale when the aggregation returns, so
+	// the periodic answer-collection cycle allocates nothing after
+	// warm-up.
+	aggMu    sync.Mutex
+	resRows  arena.Arena[Result]
+	errRows  arena.Arena[error]
+	hasRows  arena.Arena[bool]
+	statRows arena.Arena[Stats]
 }
 
 // registryFanOut is the minimum node count for registry operations to
@@ -174,8 +197,17 @@ func NewRegistry(opts Options) *Registry {
 	return &Registry{nodes: make(map[int]*SAS), opts: opts}
 }
 
+// denseLimit bounds the dense lookup table: a registry with node ids
+// past it (or negative) serves lookups from the map instead.
+const denseLimit = 4096
+
 // Node returns (creating on first use) the SAS for a node.
 func (r *Registry) Node(node int) *SAS {
+	if d := r.dense.Load(); d != nil && node >= 0 && node < len(*d) {
+		if s := (*d)[node]; s != nil {
+			return s
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.nodes[node]
@@ -184,20 +216,46 @@ func (r *Registry) Node(node int) *SAS {
 		o.Node = node
 		s = New(o)
 		r.nodes[node] = s
+		// Rebuild the sorted snapshot rather than inserting in place:
+		// readers hold the old slice lock-free.
+		out := make([]*SAS, 0, len(r.nodes))
+		for _, x := range r.nodes {
+			out = append(out, x)
+		}
+		slices.SortFunc(out, func(a, b *SAS) int { return a.node - b.node })
+		r.sorted = out
+		r.rebuildDenseLocked()
 	}
 	return s
 }
 
-// Nodes returns all materialised SASes sorted by node id.
+// rebuildDenseLocked refreshes the lock-free node lookup table from the
+// sorted snapshot. Registries with negative or very large node ids keep
+// a nil table and fall back to the map.
+func (r *Registry) rebuildDenseLocked() {
+	maxNode := -1
+	for _, s := range r.sorted {
+		if s.node < 0 || s.node >= denseLimit {
+			r.dense.Store(nil)
+			return
+		}
+		if s.node > maxNode {
+			maxNode = s.node
+		}
+	}
+	d := make([]*SAS, maxNode+1)
+	for _, s := range r.sorted {
+		d[s.node] = s
+	}
+	r.dense.Store(&d)
+}
+
+// Nodes returns all materialised SASes sorted by node id. The slice is
+// a shared immutable snapshot — callers must not modify it.
 func (r *Registry) Nodes() []*SAS {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*SAS, 0, len(r.nodes))
-	for _, s := range r.nodes {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].node < out[j].node })
-	return out
+	return r.sorted
 }
 
 // AddQuestionAll registers the same question on every materialised SAS
@@ -206,12 +264,19 @@ func (r *Registry) Nodes() []*SAS {
 // sharing any information between nodes": each node accumulates its local
 // share and the tool aggregates.
 func (r *Registry) AddQuestionAll(q Question) (map[int]QuestionID, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	r.asked = append(r.asked, q)
 	r.mu.Unlock()
 	ids := make(map[int]QuestionID)
+	// Compile once: handles come from the process-wide interner, so the
+	// compiled matching state is node-independent and every SAS shares
+	// it instead of recompiling the pattern vector per node.
+	cq := compileQuestion(q)
 	for _, s := range r.Nodes() {
-		id, err := s.AddQuestion(q)
+		id, err := s.addQuestion(q, cq)
 		if err != nil {
 			return nil, err
 		}
@@ -227,9 +292,16 @@ func (r *Registry) AddQuestionAll(q Question) (map[int]QuestionID, error) {
 // several fail — is identical under any Workers setting.
 func (r *Registry) AggregateResult(ids map[int]QuestionID, now vtime.Time) (Result, error) {
 	nodes := r.Nodes()
-	res := make([]Result, len(nodes))
-	errs := make([]error, len(nodes))
-	has := make([]bool, len(nodes))
+	r.aggMu.Lock()
+	defer func() {
+		r.resRows.Reset()
+		r.errRows.Reset()
+		r.hasRows.Reset()
+		r.aggMu.Unlock()
+	}()
+	res := r.resRows.Alloc(len(nodes))
+	errs := r.errRows.Alloc(len(nodes))
+	has := r.hasRows.Alloc(len(nodes))
 	r.fanOut(nodes, func(i int) {
 		id, ok := ids[nodes[i].node]
 		if !ok {
@@ -259,11 +331,28 @@ func (r *Registry) AggregateResult(ids map[int]QuestionID, now vtime.Time) (Resu
 	return agg, nil
 }
 
+// ArenaStats reports the registry's aggregation scratch arenas: the
+// deepest combined allocation high water and the combined slab
+// capacity, in rows, across the four row types. Exposed for the
+// observability plane's arena gauges.
+func (r *Registry) ArenaStats() (highWater, capacity int) {
+	r.aggMu.Lock()
+	defer r.aggMu.Unlock()
+	highWater = r.resRows.HighWater() + r.errRows.HighWater() + r.hasRows.HighWater() + r.statRows.HighWater()
+	capacity = r.resRows.Cap() + r.errRows.Cap() + r.hasRows.Cap() + r.statRows.Cap()
+	return highWater, capacity
+}
+
 // TotalStats sums the notification statistics over every node, reading
 // the per-node counters on the worker pool for large partitions.
 func (r *Registry) TotalStats() Stats {
 	nodes := r.Nodes()
-	sts := make([]Stats, len(nodes))
+	r.aggMu.Lock()
+	defer func() {
+		r.statRows.Reset()
+		r.aggMu.Unlock()
+	}()
+	sts := r.statRows.Alloc(len(nodes))
 	r.fanOut(nodes, func(i int) { sts[i] = nodes[i].Stats() })
 	var t Stats
 	for _, st := range sts {

@@ -3,6 +3,7 @@ package sas
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"nvmap/internal/nv"
@@ -394,6 +395,204 @@ func TestIndexedEquivalentToBruteForce(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// sortedSnapshot renders the reference active set in Snapshot()'s
+// contract order: ascending Since, sentence key as tiebreak.
+func (m *refModel) sortedSnapshot() []ActiveSentence {
+	out := make([]ActiveSentence, len(m.active))
+	for i, a := range m.active {
+		out[i] = ActiveSentence{Sentence: a.sn, Since: a.since, Depth: a.depth}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Since != out[j].Since {
+			return out[i].Since < out[j].Since
+		}
+		return out[i].Sentence.Key() < out[j].Sentence.Key()
+	})
+	return out
+}
+
+// mustMatchSnapshot demands element-for-element equality between a SAS
+// snapshot and the reference order — membership alone is not enough.
+func mustMatchSnapshot(t *testing.T, tag string, got, want []ActiveSentence) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: snapshot has %d entries, reference %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if !g.Sentence.Equal(w.Sentence) || g.Since != w.Since || g.Depth != w.Depth {
+			t.Fatalf("%s: entry %d = {%v since %v depth %d}, reference {%v since %v depth %d}",
+				tag, i, g.Sentence, g.Since, g.Depth, w.Sentence, w.Since, w.Depth)
+		}
+	}
+}
+
+// TestSnapshotOrderingEquivalentToBruteForce pins the answer-ordering
+// contract: Snapshot() returns entries sorted by (Since, sentence key)
+// regardless of shard layout, swap-remove compaction history or column
+// growth. The reference model sorts its flat list by the same rule and
+// the two sequences must agree element for element, not merely as sets.
+func TestSnapshotOrderingEquivalentToBruteForce(t *testing.T) {
+	verbs := []string{"Sum", "Send", "Exec", "Idle"}
+	nouns := []string{"A", "B", "C", "D", "E", "F"}
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 97))
+			s := New(Options{})
+			ref := newRefModel(nil)
+			at := vtime.Time(0)
+			for op := 0; op < 500; op++ {
+				at += vtime.Time(1 + rng.Intn(3))
+				sn := randSentence(rng, verbs, nouns)
+				if rng.Intn(3) == 0 {
+					_ = s.Deactivate(sn, at)
+					ref.deactivate(sn, at)
+				} else {
+					s.Activate(sn, at)
+					ref.activate(sn, at)
+				}
+				if op%25 == 0 || op == 499 {
+					mustMatchSnapshot(t, fmt.Sprintf("op %d", op), s.Snapshot(), ref.sortedSnapshot())
+				}
+			}
+		})
+	}
+}
+
+// TestColumnsEquivalentToBruteForce pins the columnar bookkeeping
+// against the reference under random churn: Columns().Rows always
+// equals the brute-force active count, capacity never drops below the
+// rows it holds, the per-shard sizes sum to the same total, and the
+// compaction counter never exceeds the deactivations that could have
+// caused a swap-remove.
+func TestColumnsEquivalentToBruteForce(t *testing.T) {
+	verbs := []string{"Sum", "Send", "Exec"}
+	nouns := []string{"A", "B", "C", "D", "E"}
+	rng := rand.New(rand.NewSource(11))
+	s := New(Options{})
+	ref := newRefModel(nil)
+	at := vtime.Time(0)
+	removals := int64(0)
+	for op := 0; op < 800; op++ {
+		at += vtime.Time(1 + rng.Intn(3))
+		sn := randSentence(rng, verbs, nouns)
+		if rng.Intn(3) == 0 {
+			before := len(ref.active)
+			_ = s.Deactivate(sn, at)
+			ref.deactivate(sn, at)
+			if len(ref.active) < before {
+				removals++
+			}
+		} else {
+			s.Activate(sn, at)
+			ref.activate(sn, at)
+		}
+		cs := s.Columns()
+		if cs.Rows != len(ref.active) {
+			t.Fatalf("op %d: Columns().Rows = %d, reference %d", op, cs.Rows, len(ref.active))
+		}
+		if cs.Capacity < cs.Rows {
+			t.Fatalf("op %d: Columns().Capacity = %d < Rows %d", op, cs.Capacity, cs.Rows)
+		}
+		sum := 0
+		for _, sz := range s.ShardSizes() {
+			sum += sz
+		}
+		if sum != cs.Rows {
+			t.Fatalf("op %d: ShardSizes sum = %d, Columns().Rows = %d", op, sum, cs.Rows)
+		}
+		if cs.Compactions > removals {
+			t.Fatalf("op %d: %d compactions recorded for only %d removals", op, cs.Compactions, removals)
+		}
+	}
+}
+
+// TestRestoreEquivalentToBruteForce drives churn, checkpoints the SAS,
+// diverges it with further churn, then restores — exercising the
+// clearShards path that re-carves the embedded column slab. The
+// restored snapshot must equal the reference model frozen at the
+// checkpoint, and every question's Result at the checkpoint instant
+// must round-trip exactly.
+func TestRestoreEquivalentToBruteForce(t *testing.T) {
+	verbs := []string{"Sum", "Send", "Exec", "Idle"}
+	nouns := []string{"A", "B", "C", "D"}
+	rng := rand.New(rand.NewSource(7))
+	s := New(Options{})
+
+	nq := 5
+	qs := make([]Question, nq)
+	ids := make([]QuestionID, nq)
+	for i := range qs {
+		qs[i] = randQuestion(rng, i, verbs, nouns)
+		id, err := s.AddQuestion(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	ref := newRefModel(qs)
+
+	churn := func(ops int, mirror bool, at vtime.Time) vtime.Time {
+		for op := 0; op < ops; op++ {
+			at += vtime.Time(1 + rng.Intn(3))
+			sn := randSentence(rng, verbs, nouns)
+			switch rng.Intn(4) {
+			case 0, 1:
+				s.Activate(sn, at)
+				if mirror {
+					ref.activate(sn, at)
+				}
+			case 2:
+				_ = s.Deactivate(sn, at)
+				if mirror {
+					ref.deactivate(sn, at)
+				}
+			default:
+				_ = s.RecordEvent(sn, at, 1)
+				if mirror {
+					ref.event(sn, 1)
+				}
+			}
+		}
+		return at
+	}
+
+	saveAt := churn(300, true, 0)
+	saved := s.ExportState()
+	frozen := ref.sortedSnapshot()
+	before := make([]Result, nq)
+	for i, id := range ids {
+		res, err := s.Result(id, saveAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = res
+	}
+
+	// Diverge the live SAS well past the checkpoint, then restore.
+	churn(300, false, saveAt)
+	s.RestoreState(saved)
+
+	mustMatchSnapshot(t, "after restore", s.Snapshot(), frozen)
+	if got, want := s.Columns().Rows, len(frozen); got != want {
+		t.Fatalf("after restore: Columns().Rows = %d, reference %d", got, want)
+	}
+	for i, id := range ids {
+		if got, want := s.Satisfied(id), ref.sat[i]; got != want {
+			t.Fatalf("after restore: question %q satisfied = %v, reference %v", qs[i].Label, got, want)
+		}
+		res, err := s.Result(id, saveAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != before[i].Count || res.EventTime != before[i].EventTime ||
+			res.SatisfiedTime != before[i].SatisfiedTime || res.Satisfied != before[i].Satisfied {
+			t.Fatalf("after restore: question %q Result = %+v, before checkpoint %+v", qs[i].Label, res, before[i])
+		}
 	}
 }
 

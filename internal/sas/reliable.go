@@ -359,16 +359,17 @@ func (s *SAS) applyReliableEvent(l *ReliableLink, ev Event) {
 	sn := nv.InternedPtr(&ev.Sentence)
 	s.structMu.Lock()
 	var pending []pendingSend
-	e := s.lookupEntry(sn)
+	sh := s.shardOf(sn)
+	i := sh.find(nv.HandleOf(sn))
 	switch {
-	case ev.Active && e == nil:
+	case ev.Active && i < 0:
 		s.stats.notifStored.Add(notifInc | 1)
-		s.shardOf(sn).insert(sn, ev.At, 1, l)
+		sh.insert(sn, ev.At, 1, l)
 		s.notifyQuestions(sn, ev.At, +1)
 		pending = s.collectExports(sn, ev.At, true)
-	case !ev.Active && e != nil && e.origin == l:
+	case !ev.Active && i >= 0 && sh.origin[i] == l:
 		s.stats.notifStored.Add(notifInc | 1)
-		s.shardOf(sn).remove(e)
+		sh.removeAt(i)
 		s.notifyQuestions(sn, ev.At, -1)
 		pending = s.collectExports(sn, ev.At, false)
 	default:
@@ -395,30 +396,33 @@ func (s *SAS) resyncFromLink(l *ReliableLink, lastSeq uint64, snap []ActiveSente
 	for _, a := range snap {
 		want[a.Sentence.Key()] = a
 	}
-	var drop []*entry
+	var drop []*nv.Sentence
 	for i := range s.shards {
-		for _, e := range s.shards[i].list {
-			if e.origin == l {
-				if _, ok := want[e.sentence.Key()]; !ok {
-					drop = append(drop, e)
+		sh := &s.shards[i]
+		for j, sn := range sh.sents {
+			if sh.origin[j] == l {
+				if _, ok := want[sn.Key()]; !ok {
+					drop = append(drop, sn)
 				}
 			}
 		}
 	}
 	var adopt []string
 	for key, a := range want {
-		if s.lookupEntry(nv.InternedPtr(&a.Sentence)) == nil {
+		p := nv.InternedPtr(&a.Sentence)
+		if s.shardOf(p).find(nv.HandleOf(p)) < 0 {
 			adopt = append(adopt, key)
 		}
 	}
-	sort.Slice(drop, func(i, j int) bool { return drop[i].sentence.Key() < drop[j].sentence.Key() })
+	sort.Slice(drop, func(i, j int) bool { return drop[i].Key() < drop[j].Key() })
 	sort.Strings(adopt)
 
 	var pending []pendingSend
-	for _, e := range drop {
-		sn := e.sentence
+	for _, sn := range drop {
 		s.stats.notifStored.Add(1)
-		s.shardOf(sn).remove(e)
+		// Re-find by handle: earlier drops may have swap-moved the row.
+		sh := s.shardOf(sn)
+		sh.removeAt(sh.find(nv.HandleOf(sn)))
 		s.notifyQuestions(sn, at, -1)
 		pending = append(pending, s.collectExports(sn, at, false)...)
 	}
@@ -441,9 +445,10 @@ func (s *SAS) SnapshotMatching(pattern Term) []ActiveSentence {
 	s.structMu.Lock()
 	var out []ActiveSentence
 	for i := range s.shards {
-		for _, e := range s.shards[i].list {
-			if pattern.Matches(*e.sentence) {
-				out = append(out, ActiveSentence{Sentence: *e.sentence, Since: e.since, Depth: e.depth})
+		sh := &s.shards[i]
+		for j, sn := range sh.sents {
+			if pattern.Matches(*sn) {
+				out = append(out, ActiveSentence{Sentence: *sn, Since: sh.since[j], Depth: int(sh.depth[j])})
 			}
 		}
 	}

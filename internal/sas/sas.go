@@ -24,23 +24,32 @@
 // The SAS sits on the paper's critical path — it is consulted on every
 // activation notification and every measured event — so its internals are
 // organised around interned identities (package nv hands every noun, verb
-// and sentence a small-int handle) rather than strings:
+// and sentence a small-int handle) and columnar storage:
 //
-//   - The active set is sharded by the sentence's first noun handle, each
-//     shard a handle-keyed map plus an iteration slice, so concurrent
-//     notification traffic on a shared SAS does not serialise on one lock.
-//   - Questions are indexed by the handles their patterns mention: a
-//     concrete-verb term posts the question under its verb handle, a
-//     wildcard-verb term with a concrete noun posts it under that noun
-//     handle, and only fully wildcarded terms land in the scan-always
-//     list. A notification or event consults the union of the posting
-//     lists for its own handles — candidates, not the whole table.
-//   - Pattern terms are compiled once at registration into handle form,
-//     and each question keeps a per-term count of matching active
-//     entries, maintained incrementally at every insert/remove. Gate
-//     evaluation is then a handful of integer reads — the active set is
-//     never scanned on the hot path. (Ordered questions, which need
-//     activation instants, still scan.)
+//   - The active set is sharded by the sentence's first noun handle. Each
+//     shard is struct-of-arrays: parallel dense columns (sentence handle,
+//     verb handle, canonical sentence pointer, activation instant, depth,
+//     origin link) indexed by row. Insert appends a row to every column;
+//     remove swap-moves the last row into the hole — no per-entry heap
+//     objects, no freelist, and the columns keep their capacity across
+//     activate/deactivate cycles, so the steady state allocates nothing.
+//   - Whole-set work (seeding a new question's match counts, recounting
+//     after a restore, ordered-question evaluation) is a batch sweep per
+//     question term: a tight pass over the verb-handle column rejects
+//     non-matching rows on one integer compare each, and only verb hits
+//     pay the noun subset test. The sweep touches memory linearly in
+//     column order instead of pointer-chasing entries.
+//   - Questions live in a slice indexed by QuestionID, and the posting
+//     lists are slices indexed by verb/noun handle — candidate discovery
+//     is array indexing, never map hashing. A concrete-verb term posts
+//     the question under its verb handle, a wildcard-verb term with a
+//     concrete noun posts it under that noun handle, and only fully
+//     wildcarded terms land in the scan-always list.
+//   - Pattern terms are compiled once into handle form (shared across all
+//     nodes of a Registry — the interner is process-wide, so compiled
+//     terms are node-independent), and each question keeps a per-term
+//     count of matching active rows, maintained incrementally at every
+//     insert/remove. Gate evaluation is then a handful of integer reads.
 //
 // Locking is two-tier. structMu is held in read mode by the hot
 // operations, which then synchronise among themselves with the per-shard
@@ -91,16 +100,21 @@ type Stats struct {
 	Events        int // RecordEvent/RecordSpan calls
 	// CandidatesScanned counts question states consulted for measured
 	// events; MatchesEvaluated counts term-pattern match tests. Both are
-	// observability counters, omitted from checkpoints when zero.
+	// observability counters, omitted from checkpoints when zero. They
+	// count the tests the *semantic model* performs, not the physically
+	// executed compares — the columnar sweep's verb-column fast reject
+	// must not change checkpointed statistics.
 	CandidatesScanned int `json:",omitempty"`
 	MatchesEvaluated  int `json:",omitempty"`
 }
 
 // statCounters is the internal, contention-free form of Stats. The two
 // counters bumped on every notification — Notifications and Stored — are
-// packed into one word (high and low 32 bits) so the common stored path
-// pays a single atomic add; the packing caps them at 2^32, far beyond the
-// traffic of any run these observability counters describe.
+// packed into one word (high and low 32 bits) so paths outside the shard
+// critical sections pay a single atomic add; the packing caps them at
+// 2^32, far beyond the traffic of any run these observability counters
+// describe. (The shard-local notif/stored counters are plain ints under
+// the shard lock — see shard.)
 type statCounters struct {
 	notifStored atomic.Int64 // Notifications<<32 | Stored
 	ignored     atomic.Int64
@@ -180,15 +194,17 @@ func (ct *cterm) matches(sn *nv.Sentence) bool {
 	if !ct.anyVerb && ct.vh != nv.VerbHandleOf(sn) {
 		return false
 	}
-	nhs := nv.NounHandlesOf(sn)
-outer:
+	return ct.nounsMatch(sn)
+}
+
+// nounsMatch is the noun-subset half of matches: every compiled noun
+// handle must appear among the sentence's noun handles. Batch sweeps call
+// it only on verb-column hits.
+func (ct *cterm) nounsMatch(sn *nv.Sentence) bool {
 	for _, want := range ct.nouns {
-		for _, have := range nhs {
-			if have == want {
-				continue outer
-			}
+		if !nv.HasNoun(sn, want) {
+			return false
 		}
-		return false
 	}
 	return true
 }
@@ -216,11 +232,37 @@ func compileExpr(e *Expr, next *int) *cexpr {
 	return ce
 }
 
+// compiledQuestion is a question's matching state compiled to handle
+// form. It is immutable after compilation and node-independent (handles
+// come from the process-wide interner), so a Registry compiles each
+// question once and shares the result across every node's SAS instead of
+// recompiling per node.
+type compiledQuestion struct {
+	all  []cterm // every pattern leaf, in allTerms order
+	expr *cexpr
+	trig bool // the final term is an ordered question's measured trigger
+}
+
+func compileQuestion(q Question) *compiledQuestion {
+	cq := &compiledQuestion{}
+	for _, t := range q.allTerms() {
+		cq.all = append(cq.all, compileTerm(t))
+	}
+	if q.Expr != nil {
+		next := 0
+		cq.expr = compileExpr(q.Expr, &next)
+	} else if q.trigger() != nil {
+		cq.trig = true
+	}
+	return cq
+}
+
 type questionState struct {
 	id QuestionID
 	q  Question
 
-	// Compiled matching state; immutable after registration.
+	// Compiled matching state; immutable after registration and possibly
+	// shared with the same question registered on other nodes.
 	all  []cterm // every pattern leaf, in allTerms order
 	expr *cexpr
 	trig *cterm // compiled measured term of an ordered question
@@ -229,11 +271,14 @@ type questionState struct {
 	// may acquire shard read locks while holding it, so no path may hold
 	// a shard lock while taking a question lock.
 	mu sync.Mutex
-	// counts[i] is the number of active entries matching all[i],
-	// maintained incrementally on every insert/remove transition. The
-	// gate of an unordered question (or expression) is computed from
-	// these counts alone.
-	counts    []int32
+	// counts[i] is the number of active rows matching all[i], maintained
+	// incrementally on every insert/remove transition. The gate of an
+	// unordered question (or expression) is computed from these counts
+	// alone.
+	counts []int32
+	// countsBuf backs counts for questions of up to four terms (nearly
+	// all of them), folding the counts allocation into the state's own.
+	countsBuf [4]int32
 	satisfied bool
 	since     vtime.Time // when satisfied last became true
 	satTime   vtime.Duration
@@ -242,34 +287,20 @@ type questionState struct {
 	watch     func(bool, vtime.Time)
 }
 
-func newQuestionState(id QuestionID, q Question) *questionState {
-	st := &questionState{id: id, q: q}
-	for _, t := range q.allTerms() {
-		st.all = append(st.all, compileTerm(t))
+func newQuestionState(id QuestionID, q Question, cq *compiledQuestion) *questionState {
+	if cq == nil {
+		cq = compileQuestion(q)
 	}
-	st.counts = make([]int32, len(st.all))
-	if q.Expr != nil {
-		next := 0
-		st.expr = compileExpr(q.Expr, &next)
-	} else if q.trigger() != nil {
+	st := &questionState{id: id, q: q, all: cq.all, expr: cq.expr}
+	if n := len(st.all); n <= len(st.countsBuf) {
+		st.counts = st.countsBuf[:n:n]
+	} else {
+		st.counts = make([]int32, n)
+	}
+	if cq.trig {
 		st.trig = &st.all[len(st.all)-1]
 	}
 	return st
-}
-
-type entry struct {
-	sentence *nv.Sentence // canonical interned sentence, immutable
-	since    vtime.Time
-	depth    int
-	// origin is the ReliableLink that created this entry, nil for local
-	// activations. A reliable deactivation or resync only touches the
-	// entries its own link created.
-	origin *ReliableLink
-	// slot is the entry's index in its shard's iteration list.
-	slot int
-	// nextFree chains removed entries on the shard's freelist so the
-	// activate/deactivate cycle does not allocate.
-	nextFree *entry
 }
 
 // numShards is the active-set shard count: enough to spread notification
@@ -277,81 +308,139 @@ type entry struct {
 // (snapshots, ordered questions) pay for dozens of locks.
 const numShards = 8
 
-// smallShard is the list length at which a shard builds its handle map;
-// below it, linear scan of the iteration list beats map hashing.
+// smallShard is the row count at which a shard builds its handle map;
+// below it, linear scan of the handle column beats map hashing.
 const smallShard = 8
 
+// shard is one struct-of-arrays column group of the active set. The
+// columns are parallel — row i of every column describes the same active
+// sentence — and dense: insert appends to each column, remove swap-moves
+// the last row into the hole (a "compaction", counted for the
+// observability plane). The columns never shrink their capacity, so a
+// warmed shard's activate/deactivate cycle allocates nothing.
 type shard struct {
-	mu   sync.RWMutex
-	byH  map[nv.SentenceHandle]*entry // nil until the list outgrows smallShard
-	list []*entry
-	free *entry // freelist of removed entries
+	mu sync.RWMutex
+
+	// The columns. handles and verbs are the sweep columns — pure uint32
+	// lanes a batch pass reads linearly; sents resolves a row to its
+	// canonical sentence (for noun tests and snapshots); since/depth/
+	// origin carry the row's activation state.
+	handles []nv.SentenceHandle
+	verbs   []nv.VerbHandle
+	sents   []*nv.Sentence
+	since   []vtime.Time
+	depth   []int32
+	origin  []*ReliableLink
+
+	// byH maps a sentence handle to its row index; nil until the shard
+	// outgrows smallShard. Swap-removes keep it in step.
+	byH map[nv.SentenceHandle]int32
+
 	// notif and stored count the notifications applied through this
-	// shard. They are atomics so statsSnapshot can sum them under
-	// structMu in read mode, concurrently with the shard critical
-	// sections that bump them: before the observability plane, snapshots
-	// ran under structMu write (which excluded every bumper), but metric
-	// collectors and the debug handler now read Stats() while
-	// notifications flow, and a plain int64 read would tear.
-	notif  atomic.Int64
-	stored atomic.Int64
-	_      [8]byte // pad to a cache line against false sharing
+	// shard; compact counts swap-remove backfills. All are plain ints
+	// mutated under mu in write mode and read under mu in read mode
+	// (statsSnapshot) — cheaper than the atomic adds they replace, which
+	// cost two LOCK-prefixed instructions on every notification.
+	notif   int64
+	stored  int64
+	compact int64
 }
 
-// lookup returns the live entry for an interned sentence handle, or nil.
+// rows returns the shard's active row count. The shard lock (or structMu
+// write) is held.
+func (sh *shard) rows() int { return len(sh.handles) }
+
+// find returns the row index of an interned sentence handle, or -1.
 // The shard lock (or structMu write) is held.
-func (sh *shard) lookup(h nv.SentenceHandle) *entry {
+func (sh *shard) find(h nv.SentenceHandle) int {
 	if sh.byH != nil {
-		return sh.byH[h]
+		if i, ok := sh.byH[h]; ok {
+			return int(i)
+		}
+		return -1
 	}
-	for _, e := range sh.list {
-		if nv.HandleOf(e.sentence) == h {
-			return e
+	for i, x := range sh.handles {
+		if x == h {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
-// insert adds an entry for sn, reusing a freelist entry when one is
-// available; the shard lock (or structMu write) is held. Every entry
-// field is (re)assigned — freelist entries carry stale values.
-func (sh *shard) insert(sn *nv.Sentence, since vtime.Time, depth int, origin *ReliableLink) *entry {
-	e := sh.free
-	if e != nil {
-		sh.free = e.nextFree
-		e.nextFree = nil
-	} else {
-		e = &entry{}
-	}
-	e.sentence, e.since, e.depth, e.origin = sn, since, depth, origin
-	e.slot = len(sh.list)
-	sh.list = append(sh.list, e)
+// insert appends a row for sn to every column and returns its index; the
+// shard lock (or structMu write) is held.
+func (sh *shard) insert(sn *nv.Sentence, since vtime.Time, depth int32, origin *ReliableLink) int {
+	i := len(sh.handles)
+	h := nv.HandleOf(sn)
+	sh.handles = append(sh.handles, h)
+	sh.verbs = append(sh.verbs, nv.VerbHandleOf(sn))
+	sh.sents = append(sh.sents, sn)
+	sh.since = append(sh.since, since)
+	sh.depth = append(sh.depth, depth)
+	sh.origin = append(sh.origin, origin)
 	if sh.byH != nil {
-		sh.byH[nv.HandleOf(sn)] = e
-	} else if len(sh.list) > smallShard {
-		sh.byH = make(map[nv.SentenceHandle]*entry, 2*smallShard)
-		for _, x := range sh.list {
-			sh.byH[nv.HandleOf(x.sentence)] = x
+		sh.byH[h] = int32(i)
+	} else if len(sh.handles) > smallShard {
+		sh.byH = make(map[nv.SentenceHandle]int32, 2*smallShard)
+		for j, x := range sh.handles {
+			sh.byH[x] = int32(j)
 		}
 	}
-	return e
+	return i
 }
 
-// remove deletes an entry by swap-remove and pushes it on the freelist;
-// same locking as insert. The entry's sentence field is left in place
-// (callers may still read it until the next insert reuses the entry).
-func (sh *shard) remove(e *entry) {
-	last := len(sh.list) - 1
-	moved := sh.list[last]
-	sh.list[e.slot] = moved
-	moved.slot = e.slot
-	sh.list[last] = nil
-	sh.list = sh.list[:last]
-	if sh.byH != nil {
-		delete(sh.byH, nv.HandleOf(e.sentence))
+// removeAt deletes row i by swap-moving the last row into the hole; same
+// locking as insert. Pointer column slots of the vacated row are nilled
+// so the collector does not see dead sentences through retained capacity.
+func (sh *shard) removeAt(i int) {
+	h := sh.handles[i]
+	last := len(sh.handles) - 1
+	if i != last {
+		sh.handles[i] = sh.handles[last]
+		sh.verbs[i] = sh.verbs[last]
+		sh.sents[i] = sh.sents[last]
+		sh.since[i] = sh.since[last]
+		sh.depth[i] = sh.depth[last]
+		sh.origin[i] = sh.origin[last]
+		if sh.byH != nil {
+			sh.byH[sh.handles[i]] = int32(i)
+		}
+		sh.compact++
 	}
-	e.nextFree = sh.free
-	sh.free = e
+	sh.handles = sh.handles[:last]
+	sh.verbs = sh.verbs[:last]
+	sh.sents[last] = nil
+	sh.sents = sh.sents[:last]
+	sh.since = sh.since[:last]
+	sh.depth = sh.depth[:last]
+	sh.origin[last] = nil
+	sh.origin = sh.origin[:last]
+	if sh.byH != nil {
+		delete(sh.byH, h)
+	}
+}
+
+// countMatches batch-sweeps the shard for rows matching ct and returns
+// how many match. A concrete-verb term scans the dense verb column —
+// one integer compare per row — and only verb hits pay the noun subset
+// test; a wildcard-verb term tests nouns on every row. Same locking as
+// find.
+func (sh *shard) countMatches(ct *cterm) int32 {
+	var n int32
+	if !ct.anyVerb {
+		for i, vh := range sh.verbs {
+			if vh == ct.vh && ct.nounsMatch(sh.sents[i]) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, sn := range sh.sents {
+		if ct.nounsMatch(sn) {
+			n++
+		}
+	}
+	return n
 }
 
 // SAS is one Set of Active Sentences. On a distributed-memory system each
@@ -366,14 +455,23 @@ type SAS struct {
 	structMu sync.RWMutex
 
 	shards [numShards]shard
+	// colBuf backs the initial shard column windows; see
+	// carveShardColumns.
+	colBuf columnBuf
 
-	// byVerb, byNoun and wildcardQ are the question posting lists; each is
+	// byVerb and byNoun are the question posting lists, indexed directly
+	// by verb/noun handle (handles are small dense ints, so a slice
+	// replaces the map — candidate discovery is a bounds check and a
+	// load). wildcardQ is the scan-always list. Every posting list is
 	// kept in ascending QuestionID order. Guarded by structMu.
-	byVerb    map[nv.VerbHandle][]QuestionID
-	byNoun    map[nv.NounHandle][]QuestionID
+	byVerb    [][]QuestionID
+	byNoun    [][]QuestionID
 	wildcardQ []QuestionID
-	questions map[QuestionID]*questionState
-	nextID    QuestionID
+	// qstates is indexed by QuestionID (ids are assigned sequentially;
+	// removed questions leave nil holes); nq counts live questions.
+	qstates []*questionState
+	nq      int
+	nextID  QuestionID
 
 	stats statCounters
 
@@ -424,30 +522,74 @@ type Options struct {
 
 // New returns an empty SAS.
 func New(opts Options) *SAS {
-	return &SAS{
-		node:      opts.Node,
-		filter:    opts.Filter,
-		byVerb:    make(map[nv.VerbHandle][]QuestionID),
-		byNoun:    make(map[nv.NounHandle][]QuestionID),
-		questions: make(map[QuestionID]*questionState),
-		obsT:      opts.Obs.Trace(),
+	s := &SAS{
+		node:   opts.Node,
+		filter: opts.Filter,
+		obsT:   opts.Obs.Trace(),
+	}
+	s.carveShardColumns()
+	return s
+}
+
+// initRows is the starting per-shard column capacity carved at
+// construction. Kept below smallShard: most shards hold a row or two,
+// and the slabs are zeroed on every SAS construction, so over-carving
+// is a real startup cost; a shard that outgrows its window just
+// reallocates with ordinary append growth.
+const initRows = 4
+
+// columnBuf is the embedded backing store for the initial shard column
+// windows: one array per column type, part of the SAS allocation itself,
+// so constructing or resetting a SAS carves all its columns without
+// touching the allocator.
+type columnBuf struct {
+	handles [numShards * initRows]nv.SentenceHandle
+	verbs   [numShards * initRows]nv.VerbHandle
+	sents   [numShards * initRows]*nv.Sentence
+	since   [numShards * initRows]vtime.Time
+	depth   [numShards * initRows]int32
+	origin  [numShards * initRows]*ReliableLink
+}
+
+// carveShardColumns seeds every shard's columns with a capacity-initRows
+// window carved from the SAS's embedded column buffer. The buffer is
+// zeroed first, which both drops any old rows' sentence and link
+// pointers and restores the windows after a reset. Windows are carved
+// with full capacity ([lo:lo:hi]), so a shard that outgrows its window
+// reallocates its columns onto the heap with ordinary append growth and
+// never writes into a sibling's window.
+func (s *SAS) carveShardColumns() {
+	b := &s.colBuf
+	*b = columnBuf{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		lo, hi := i*initRows, (i+1)*initRows
+		sh.handles = b.handles[lo:lo:hi]
+		sh.verbs = b.verbs[lo:lo:hi]
+		sh.sents = b.sents[lo:lo:hi]
+		sh.since = b.since[lo:lo:hi]
+		sh.depth = b.depth[lo:lo:hi]
+		sh.origin = b.origin[lo:lo:hi]
 	}
 }
 
 // Node returns the node label.
 func (s *SAS) Node() int { return s.node }
 
-// shardOf picks the entry shard for a sentence: the first noun handle,
+// shardOf picks the row shard for a sentence: the first noun handle,
 // falling back to the verb handle for noun-less sentences (precomputed
 // at intern time as the shard key).
 func (s *SAS) shardOf(sn *nv.Sentence) *shard {
 	return &s.shards[nv.ShardKeyOf(sn)%numShards]
 }
 
-// lookupEntry returns the live entry for an interned sentence, or nil.
-// Callers hold either the shard's lock or structMu in write mode.
-func (s *SAS) lookupEntry(sn *nv.Sentence) *entry {
-	return s.shardOf(sn).lookup(nv.HandleOf(sn))
+// qstate returns the state of a registered question, or nil.
+// Callers hold structMu (either mode).
+func (s *SAS) qstate(id QuestionID) *questionState {
+	if id >= 0 && int(id) < len(s.qstates) {
+		return s.qstates[id]
+	}
+	return nil
 }
 
 // AddQuestion registers a performance question and returns its handle.
@@ -456,6 +598,13 @@ func (s *SAS) lookupEntry(sn *nv.Sentence) *entry {
 // is fully supported — a newly added question starts unsatisfied and is
 // immediately evaluated against the current active set.
 func (s *SAS) AddQuestion(q Question) (QuestionID, error) {
+	return s.addQuestion(q, nil)
+}
+
+// addQuestion registers q, reusing a pre-compiled matching state when the
+// caller (a Registry fanning one question out to every node) provides
+// one.
+func (s *SAS) addQuestion(q Question, cq *compiledQuestion) (QuestionID, error) {
 	if err := q.validate(); err != nil {
 		return 0, err
 	}
@@ -463,26 +612,71 @@ func (s *SAS) AddQuestion(q Question) (QuestionID, error) {
 	defer s.structMu.Unlock()
 	id := s.nextID
 	s.nextID++
-	st := newQuestionState(id, q)
-	s.questions[id] = st
+	st := newQuestionState(id, q, cq)
+	if int(id) >= len(s.qstates) {
+		// Grow with slack in one shot; trailing slots are the same nil
+		// holes a removed question leaves, which every reader skips.
+		n := 2 * (int(id) + 1)
+		if n < 8 {
+			n = 8
+		}
+		ns := make([]*questionState, n)
+		copy(ns, s.qstates)
+		s.qstates = ns
+	}
+	s.qstates[id] = st
+	s.nq++
 	s.indexQuestion(st)
-	// Seed the per-term match counts and evaluate against the current
-	// active set, so a question asked mid-execution picks up
-	// already-active sentences.
-	tested := 0
+	// Seed the per-term match counts from the current active set — one
+	// batch column sweep per term — so a question asked mid-execution
+	// picks up already-active sentences. MatchesEvaluated counts the
+	// model-level rows×terms tests regardless of how many compares the
+	// verb-column reject skipped.
+	rows := 0
 	for i := range s.shards {
-		for _, e := range s.shards[i].list {
-			for j := range st.all {
-				tested++
-				if st.all[j].matches(e.sentence) {
-					st.counts[j]++
-				}
-			}
+		sh := &s.shards[i]
+		rows += sh.rows()
+		for j := range st.all {
+			st.counts[j] += sh.countMatches(&st.all[j])
 		}
 	}
-	s.stats.matches.Add(int64(tested))
+	s.stats.matches.Add(int64(rows) * int64(len(st.all)))
 	s.recomputeGate(st, s.lastKnownTime())
 	return id, nil
+}
+
+// postVerb appends id to the posting list of verb handle vh, growing the
+// handle-indexed table on demand.
+func (s *SAS) postVerb(vh nv.VerbHandle, id QuestionID) {
+	s.byVerb = growIndex(s.byVerb, int(vh))
+	s.byVerb[vh] = append(s.byVerb[vh], id)
+}
+
+// postNoun appends id to the posting list of noun handle nh.
+func (s *SAS) postNoun(nh nv.NounHandle, id QuestionID) {
+	s.byNoun = growIndex(s.byNoun, int(nh))
+	s.byNoun[nh] = append(s.byNoun[nh], id)
+}
+
+// growIndex extends a handle-indexed posting table so index i is
+// addressable, doubling to amortise: one allocation instead of the
+// append-one-nil-at-a-time ladder it replaces.
+func growIndex(t [][]QuestionID, i int) [][]QuestionID {
+	if i < len(t) {
+		return t
+	}
+	n := i + 1
+	if n < 2*len(t) {
+		n = 2 * len(t)
+	}
+	// Handles are small dense interner indices; starting at 16 covers a
+	// typical vocabulary in one shot instead of a 1-2-4-8 regrow ladder.
+	if n < 16 {
+		n = 16
+	}
+	nt := make([][]QuestionID, n)
+	copy(nt, t)
+	return nt
 }
 
 // indexQuestion posts a question under every handle its patterns name:
@@ -491,8 +685,12 @@ func (s *SAS) AddQuestion(q Question) (QuestionID, error) {
 // Each posting list receives the question at most once, in ascending
 // registration order.
 func (s *SAS) indexQuestion(st *questionState) {
-	var seenV []nv.VerbHandle
-	var seenN []nv.NounHandle
+	// Stack-backed dedup scratch: term counts are tiny, so the common
+	// case costs no heap allocation (append spills only past 8 handles).
+	var seenVBuf [8]nv.VerbHandle
+	var seenNBuf [8]nv.NounHandle
+	seenV := seenVBuf[:0]
+	seenN := seenNBuf[:0]
 	wild := false
 	for i := range st.all {
 		ct := &st.all[i]
@@ -500,7 +698,7 @@ func (s *SAS) indexQuestion(st *questionState) {
 		case !ct.anyVerb:
 			if !slices.Contains(seenV, ct.vh) {
 				seenV = append(seenV, ct.vh)
-				s.byVerb[ct.vh] = append(s.byVerb[ct.vh], st.id)
+				s.postVerb(ct.vh, st.id)
 			}
 		case st.expr == nil && len(ct.nouns) > 0:
 			// Noun narrowing is sound only because term-vector delivery
@@ -514,7 +712,7 @@ func (s *SAS) indexQuestion(st *questionState) {
 			// the original single verb index did.
 			if !slices.Contains(seenN, ct.nouns[0]) {
 				seenN = append(seenN, ct.nouns[0])
-				s.byNoun[ct.nouns[0]] = append(s.byNoun[ct.nouns[0]], st.id)
+				s.postNoun(ct.nouns[0], st.id)
 			}
 		default:
 			if !wild {
@@ -529,21 +727,16 @@ func (s *SAS) indexQuestion(st *questionState) {
 func (s *SAS) RemoveQuestion(id QuestionID) error {
 	s.structMu.Lock()
 	defer s.structMu.Unlock()
-	if _, ok := s.questions[id]; !ok {
+	if s.qstate(id) == nil {
 		return fmt.Errorf("sas: unknown question %d", id)
 	}
-	delete(s.questions, id)
-	for v, ids := range s.byVerb {
-		s.byVerb[v] = removeQID(ids, id)
-		if len(s.byVerb[v]) == 0 {
-			delete(s.byVerb, v)
-		}
+	s.qstates[id] = nil
+	s.nq--
+	for v := range s.byVerb {
+		s.byVerb[v] = removeQID(s.byVerb[v], id)
 	}
-	for n, ids := range s.byNoun {
-		s.byNoun[n] = removeQID(ids, id)
-		if len(s.byNoun[n]) == 0 {
-			delete(s.byNoun, n)
-		}
+	for n := range s.byNoun {
+		s.byNoun[n] = removeQID(s.byNoun[n], id)
 	}
 	s.wildcardQ = removeQID(s.wildcardQ, id)
 	return nil
@@ -567,8 +760,8 @@ func removeQID(ids []QuestionID, id QuestionID) []QuestionID {
 func (s *SAS) Watch(id QuestionID, fn func(satisfied bool, at vtime.Time)) error {
 	s.structMu.Lock()
 	defer s.structMu.Unlock()
-	st, ok := s.questions[id]
-	if !ok {
+	st := s.qstate(id)
+	if st == nil {
 		return fmt.Errorf("sas: unknown question %d", id)
 	}
 	st.watch = fn
@@ -583,16 +776,21 @@ func (s *SAS) Watch(id QuestionID, fn func(satisfied bool, at vtime.Time)) error
 // non-candidates never skips a potential match. Callers hold structMu
 // (either mode).
 func (s *SAS) eachCandidate(sn *nv.Sentence, fn func(*questionState)) {
-	if len(s.questions) == 0 {
+	if s.nq == 0 {
 		return
 	}
 	var lb [10][]QuestionID
 	lists := lb[:0]
-	if l := s.byVerb[nv.VerbHandleOf(sn)]; len(l) > 0 {
-		lists = append(lists, l)
+	if vh := nv.VerbHandleOf(sn); int(vh) < len(s.byVerb) {
+		if l := s.byVerb[vh]; len(l) > 0 {
+			lists = append(lists, l)
+		}
 	}
 	if len(s.byNoun) > 0 {
 		for _, nh := range nv.NounHandlesOf(sn) {
+			if int(nh) >= len(s.byNoun) {
+				continue
+			}
 			if l := s.byNoun[nh]; len(l) > 0 {
 				lists = append(lists, l)
 			}
@@ -606,7 +804,7 @@ func (s *SAS) eachCandidate(sn *nv.Sentence, fn func(*questionState)) {
 	}
 	if len(lists) == 1 {
 		for _, id := range lists[0] {
-			if st := s.questions[id]; st != nil {
+			if st := s.qstate(id); st != nil {
 				fn(st)
 			}
 		}
@@ -632,7 +830,7 @@ func (s *SAS) eachCandidate(sn *nv.Sentence, fn func(*questionState)) {
 		}
 		idx[best]++
 		last = bestID
-		if st := s.questions[bestID]; st != nil {
+		if st := s.qstate(bestID); st != nil {
 			fn(st)
 		}
 	}
@@ -677,10 +875,10 @@ func (s *SAS) Activate(sn nv.Sentence, at vtime.Time) {
 	default:
 		sh := s.shardOf(p)
 		sh.mu.Lock()
-		sh.notif.Add(1)
-		sh.stored.Add(1)
-		if e := sh.lookup(nv.HandleOf(p)); e != nil {
-			e.depth++
+		sh.notif++
+		sh.stored++
+		if i := sh.find(nv.HandleOf(p)); i >= 0 {
+			sh.depth[i]++
 			sh.mu.Unlock()
 		} else {
 			sh.insert(p, at, 1, nil)
@@ -709,8 +907,8 @@ func (s *SAS) Deactivate(sn nv.Sentence, at vtime.Time) error {
 	}
 	sh := s.shardOf(p)
 	sh.mu.Lock()
-	e := sh.lookup(nv.HandleOf(p))
-	if e == nil {
+	i := sh.find(nv.HandleOf(p))
+	if i < 0 {
 		sh.mu.Unlock()
 		s.stats.notifStored.Add(notifInc)
 		filtered := s.filter && !s.relevant(p)
@@ -725,11 +923,11 @@ func (s *SAS) Deactivate(sn nv.Sentence, at vtime.Time) error {
 		}
 		return fmt.Errorf("sas: deactivate of inactive sentence %v", sn)
 	}
-	sh.notif.Add(1)
-	sh.stored.Add(1)
-	e.depth--
-	if e.depth == 0 {
-		sh.remove(e)
+	sh.notif++
+	sh.stored++
+	sh.depth[i]--
+	if sh.depth[i] == 0 {
+		sh.removeAt(i)
 		sh.mu.Unlock()
 		s.notifyQuestions(p, at, -1)
 		pending = s.collectExports(p, at, false)
@@ -860,7 +1058,13 @@ func (s *SAS) gateExpr(st *questionState, e *cexpr, c *evalCtx) bool {
 // the preceding term — the nesting discipline of a call stack. The extra
 // (trigger) sentence, when present, is only eligible for the final term
 // and is considered activated "now" (no earlier than everything else).
-// Shards are read-locked one at a time; the caller holds no shard locks.
+//
+// Each term is one batch column sweep per shard: the verb column rejects
+// rows on an integer compare, and only verb hits pay the noun test and
+// the since comparison. c.matches still counts every row visited — the
+// model-level test count — so statistics do not depend on the sweep's
+// short-circuiting. Shards are read-locked one at a time; the caller
+// holds no shard locks.
 func (s *SAS) evalOrdered(st *questionState, c *evalCtx) bool {
 	prev := vtime.Time(-1 << 62)
 	for i := range st.all {
@@ -871,16 +1075,28 @@ func (s *SAS) evalOrdered(st *questionState, c *evalCtx) bool {
 		for j := range s.shards {
 			sh := &s.shards[j]
 			sh.mu.RLock()
-			for _, e := range sh.list {
-				if c != nil {
-					c.matches++
+			if c != nil {
+				c.matches += int64(sh.rows())
+			}
+			if !ct.anyVerb {
+				for k, vh := range sh.verbs {
+					if vh != ct.vh || !ct.nounsMatch(sh.sents[k]) || sh.since[k].Before(prev) {
+						continue
+					}
+					if !found || sh.since[k].Before(best) {
+						best = sh.since[k]
+						found = true
+					}
 				}
-				if !ct.matches(e.sentence) || e.since.Before(prev) {
-					continue
-				}
-				if !found || e.since.Before(best) {
-					best = e.since
-					found = true
+			} else {
+				for k, sn := range sh.sents {
+					if !ct.nounsMatch(sn) || sh.since[k].Before(prev) {
+						continue
+					}
+					if !found || sh.since[k].Before(best) {
+						best = sh.since[k]
+						found = true
+					}
 				}
 			}
 			sh.mu.RUnlock()
@@ -999,8 +1215,8 @@ func (s *SAS) RecordSpan(sn nv.Sentence, from, to vtime.Time, value vtime.Durati
 func (s *SAS) Satisfied(id QuestionID) bool {
 	s.structMu.RLock()
 	defer s.structMu.RUnlock()
-	st, ok := s.questions[id]
-	if !ok {
+	st := s.qstate(id)
+	if st == nil {
 		return false
 	}
 	st.mu.Lock()
@@ -1013,8 +1229,8 @@ func (s *SAS) Satisfied(id QuestionID) bool {
 func (s *SAS) Result(id QuestionID, now vtime.Time) (Result, error) {
 	s.structMu.RLock()
 	defer s.structMu.RUnlock()
-	st, ok := s.questions[id]
-	if !ok {
+	st := s.qstate(id)
+	if st == nil {
 		return Result{}, fmt.Errorf("sas: unknown question %d", id)
 	}
 	st.mu.Lock()
@@ -1040,12 +1256,13 @@ func (s *SAS) Snapshot() []ActiveSentence {
 	s.structMu.Lock()
 	n := 0
 	for i := range s.shards {
-		n += len(s.shards[i].list)
+		n += s.shards[i].rows()
 	}
 	out := make([]ActiveSentence, 0, n)
 	for i := range s.shards {
-		for _, e := range s.shards[i].list {
-			out = append(out, ActiveSentence{Sentence: *e.sentence, Since: e.since, Depth: e.depth})
+		sh := &s.shards[i]
+		for j := range sh.sents {
+			out = append(out, ActiveSentence{Sentence: *sh.sents[j], Since: sh.since[j], Depth: int(sh.depth[j])})
 		}
 	}
 	s.structMu.Unlock()
@@ -1087,7 +1304,7 @@ func (s *SAS) Active(sn nv.Sentence) bool {
 	s.structMu.RLock()
 	sh := s.shardOf(p)
 	sh.mu.RLock()
-	ok := sh.lookup(nv.HandleOf(p)) != nil
+	ok := sh.find(nv.HandleOf(p)) >= 0
 	sh.mu.RUnlock()
 	s.structMu.RUnlock()
 	return ok
@@ -1098,15 +1315,16 @@ func (s *SAS) Size() int {
 	s.structMu.Lock()
 	n := 0
 	for i := range s.shards {
-		n += len(s.shards[i].list)
+		n += s.shards[i].rows()
 	}
 	s.structMu.Unlock()
 	return n
 }
 
 // Stats returns a copy of the notification statistics. It takes structMu
-// only in read mode: every merged counter is atomic, so snapshots run
-// concurrently with notification traffic without tearing.
+// only in read mode, then each shard's lock in read mode — the shard
+// counters are plain ints bumped inside the shard critical sections, so
+// the read lock is what keeps the snapshot from tearing.
 func (s *SAS) Stats() Stats {
 	s.structMu.RLock()
 	defer s.structMu.RUnlock()
@@ -1118,8 +1336,11 @@ func (s *SAS) Stats() Stats {
 func (s *SAS) statsSnapshot() Stats {
 	st := s.stats.snapshot()
 	for i := range s.shards {
-		st.Notifications += int(s.shards[i].notif.Load())
-		st.Stored += int(s.shards[i].stored.Load())
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Notifications += int(sh.notif)
+		st.Stored += int(sh.stored)
+		sh.mu.RUnlock()
 	}
 	return st
 }
@@ -1138,7 +1359,7 @@ type IndexStats struct {
 func (s *SAS) Index() IndexStats {
 	s.structMu.RLock()
 	defer s.structMu.RUnlock()
-	st := IndexStats{Questions: len(s.questions), WildcardPostings: len(s.wildcardQ)}
+	st := IndexStats{Questions: s.nq, WildcardPostings: len(s.wildcardQ)}
 	for _, ids := range s.byVerb {
 		st.VerbPostings += len(ids)
 	}
@@ -1156,7 +1377,33 @@ func (s *SAS) ShardSizes() [numShards]int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		out[i] = len(sh.list)
+		out[i] = sh.rows()
+		sh.mu.RUnlock()
+	}
+	s.structMu.RUnlock()
+	return out
+}
+
+// ColumnStats describes the columnar active set of one SAS: total live
+// rows, total column capacity (rows the shards can hold without
+// growing), and the cumulative count of swap-remove compactions. Exposed
+// for the observability plane's nvmap_sas_column_* metrics.
+type ColumnStats struct {
+	Rows        int
+	Capacity    int
+	Compactions int64
+}
+
+// Columns returns the current columnar-storage statistics.
+func (s *SAS) Columns() ColumnStats {
+	var out ColumnStats
+	s.structMu.RLock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out.Rows += len(sh.handles)
+		out.Capacity += cap(sh.handles)
+		out.Compactions += sh.compact
 		sh.mu.RUnlock()
 	}
 	s.structMu.RUnlock()
@@ -1169,9 +1416,10 @@ func (s *SAS) ShardSizes() [numShards]int {
 func (s *SAS) lastKnownTime() vtime.Time {
 	var t vtime.Time
 	for i := range s.shards {
-		for _, e := range s.shards[i].list {
-			if e.since.After(t) {
-				t = e.since
+		sh := &s.shards[i]
+		for _, since := range sh.since {
+			if since.After(t) {
+				t = since
 			}
 		}
 	}

@@ -39,11 +39,12 @@ func (s *SAS) Capture(at vtime.Time, patterns ...Term) Shadow {
 	defer s.structMu.Unlock()
 	sh := Shadow{CapturedAt: at}
 	for i := range s.shards {
-		for _, e := range s.shards[i].list {
+		shd := &s.shards[i]
+		for j, sn := range shd.sents {
 			if len(patterns) > 0 {
 				keep := false
 				for _, p := range patterns {
-					if p.Matches(*e.sentence) {
+					if p.Matches(*sn) {
 						keep = true
 						break
 					}
@@ -52,7 +53,7 @@ func (s *SAS) Capture(at vtime.Time, patterns ...Term) Shadow {
 					continue
 				}
 			}
-			sh.Entries = append(sh.Entries, ActiveSentence{Sentence: *e.sentence, Since: e.since, Depth: e.depth})
+			sh.Entries = append(sh.Entries, ActiveSentence{Sentence: *sn, Since: shd.since[j], Depth: int(shd.depth[j])})
 		}
 	}
 	return sh
@@ -81,21 +82,25 @@ func (s *SAS) adjustCounts(sn *nv.Sentence, delta int32) {
 // flags and timers are untouched. Called with structMu in write mode (a
 // shadowed measurement owns the structure).
 func (s *SAS) installShadow(sh Shadow) func() {
-	var added []*entry
+	var added []*nv.Sentence
 	for i := range sh.Entries {
 		a := &sh.Entries[i]
 		sn := nv.InternedPtr(&a.Sentence)
-		if s.lookupEntry(sn) != nil {
+		shd := s.shardOf(sn)
+		if shd.find(nv.HandleOf(sn)) >= 0 {
 			continue
 		}
-		e := s.shardOf(sn).insert(sn, a.Since, 1, nil)
+		shd.insert(sn, a.Since, 1, nil)
 		s.adjustCounts(sn, +1)
-		added = append(added, e)
+		added = append(added, sn)
 	}
 	return func() {
-		for _, e := range added {
-			s.shardOf(e.sentence).remove(e)
-			s.adjustCounts(e.sentence, -1)
+		// Row indexes are unstable across swap-removes, so each shadow
+		// row is re-found by handle at restore time.
+		for _, sn := range added {
+			shd := s.shardOf(sn)
+			shd.removeAt(shd.find(nv.HandleOf(sn)))
+			s.adjustCounts(sn, -1)
 		}
 	}
 }

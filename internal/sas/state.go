@@ -117,25 +117,24 @@ func (s *SAS) ExportState() State {
 	defer s.structMu.Unlock()
 	st := State{Node: s.node, Stats: s.statsSnapshot()}
 	for i := range s.shards {
-		for _, e := range s.shards[i].list {
-			if e.origin != nil {
+		sh := &s.shards[i]
+		for j, sn := range sh.sents {
+			if sh.origin[j] != nil {
 				continue
 			}
-			st.Active = append(st.Active, ActiveSentence{Sentence: *e.sentence, Since: e.since, Depth: e.depth})
+			st.Active = append(st.Active, ActiveSentence{Sentence: *sn, Since: sh.since[j], Depth: int(sh.depth[j])})
 		}
 	}
 	sort.Slice(st.Active, func(i, j int) bool {
 		return st.Active[i].Sentence.Key() < st.Active[j].Sentence.Key()
 	})
-	ids := make([]QuestionID, 0, len(s.questions))
-	for id := range s.questions {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		q := s.questions[id]
+	// qstates is indexed by QuestionID, so slice order is id order.
+	for _, q := range s.qstates {
+		if q == nil {
+			continue
+		}
 		st.Questions = append(st.Questions, QuestionSnap{
-			ID:            id,
+			ID:            q.id,
 			Count:         q.count,
 			EventTime:     q.evTime,
 			SatisfiedTime: q.satTime,
@@ -150,11 +149,15 @@ func (s *SAS) ExportState() State {
 // write mode (the shard locks themselves must not be copied or replaced).
 func (s *SAS) clearShards() {
 	for i := range s.shards {
-		s.shards[i].byH = nil
-		s.shards[i].list = nil
-		s.shards[i].notif.Store(0)
-		s.shards[i].stored.Store(0)
+		sh := &s.shards[i]
+		sh.byH = nil
+		sh.notif = 0
+		sh.stored = 0
+		sh.compact = 0
 	}
+	// Fresh slab windows drop every old row (and its sentence pointers)
+	// in one move while restoring the carved-column invariant.
+	s.carveShardColumns()
 }
 
 // recountQuestions re-derives every question's per-term match counts from
@@ -162,17 +165,18 @@ func (s *SAS) clearShards() {
 // Called with structMu in write mode; gate flags are not touched (the
 // caller restores them from its snapshot).
 func (s *SAS) recountQuestions() {
-	for _, st := range s.questions {
+	for _, st := range s.qstates {
+		if st == nil {
+			continue
+		}
 		for i := range st.counts {
 			st.counts[i] = 0
 		}
+		// One batch column sweep per term per shard.
 		for i := range s.shards {
-			for _, e := range s.shards[i].list {
-				for j := range st.all {
-					if st.all[j].matches(e.sentence) {
-						st.counts[j]++
-					}
-				}
+			sh := &s.shards[i]
+			for j := range st.all {
+				st.counts[j] += sh.countMatches(&st.all[j])
 			}
 		}
 	}
@@ -190,12 +194,12 @@ func (s *SAS) RestoreState(st State) {
 	for i := range st.Active {
 		a := &st.Active[i]
 		sn := nv.InternedPtr(&a.Sentence)
-		s.shardOf(sn).insert(sn, a.Since, a.Depth, nil)
+		s.shardOf(sn).insert(sn, a.Since, int32(a.Depth), nil)
 	}
 	s.recountQuestions()
 	for _, qs := range st.Questions {
-		q, ok := s.questions[qs.ID]
-		if !ok {
+		q := s.qstate(qs.ID)
+		if q == nil {
 			continue
 		}
 		q.count = qs.Count
@@ -221,9 +225,10 @@ func (s *SAS) Reset() {
 	s.structMu.Lock()
 	defer s.structMu.Unlock()
 	s.clearShards()
-	s.questions = make(map[QuestionID]*questionState)
-	s.byVerb = make(map[nv.VerbHandle][]QuestionID)
-	s.byNoun = make(map[nv.NounHandle][]QuestionID)
+	s.qstates = nil
+	s.nq = 0
+	s.byVerb = nil
+	s.byNoun = nil
 	s.wildcardQ = nil
 	s.nextID = 0
 	s.stats.restore(Stats{})

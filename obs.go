@@ -240,4 +240,26 @@ func registerSASCollectors(r *obs.Registry, prefix, which string, reg *sas.Regis
 			}
 			return max
 		})
+	col := func(read func(sas.ColumnStats) float64) func() float64 {
+		return func() float64 {
+			var sum float64
+			for n := 0; n < nodes(); n++ {
+				sum += read(reg.Node(n).Columns())
+			}
+			return sum
+		}
+	}
+	r.Func(prefix+"_column_rows"+lbl, "Live columnar rows summed over the partition's SASes.",
+		obs.KindGauge, false, col(func(st sas.ColumnStats) float64 { return float64(st.Rows) }))
+	// Capacity and compaction counts follow the shard a sentence hashes
+	// to, and the sharding key is its process-wide interner handle —
+	// history-dependent, so both are unstable (the row total is not).
+	r.Func(prefix+"_column_capacity"+lbl, "Columnar row capacity summed over the partition's SASes.",
+		obs.KindGauge, true, col(func(st sas.ColumnStats) float64 { return float64(st.Capacity) }))
+	r.Func(prefix+"_column_compactions_total"+lbl, "Swap-remove compactions summed over the partition's SASes.",
+		obs.KindCounter, true, col(func(st sas.ColumnStats) float64 { return float64(st.Compactions) }))
+	r.Func(prefix+"_agg_arena_highwater"+lbl, "Deepest aggregation-scratch arena use, in rows.",
+		obs.KindGauge, false, func() float64 { hw, _ := reg.ArenaStats(); return float64(hw) })
+	r.Func(prefix+"_agg_arena_capacity"+lbl, "Aggregation-scratch arena capacity, in rows.",
+		obs.KindGauge, false, func() float64 { _, cp := reg.ArenaStats(); return float64(cp) })
 }

@@ -1,0 +1,149 @@
+package nvmap
+
+import (
+	"math"
+	"testing"
+
+	"nvmap/internal/daemon"
+	"nvmap/internal/fault"
+	"nvmap/internal/paradyn"
+	"nvmap/internal/vtime"
+)
+
+// The SPSC ring is a transport optimisation, never a semantic change:
+// whether daemon messages ride the lock-free fast path or the mutex
+// queue must be invisible in every deliverable. These tests pin that by
+// running identical workloads with the ring active and with it retired,
+// and demanding byte-identical output — the pinned Figure 9 golden
+// values, the rendered metric table, and a crash plan's degradation
+// report.
+
+// retireRing forces a session's daemon channel onto the mutex path by
+// registering a no-op message tap — one of the conditions under which
+// the channel flushes and disables its ring.
+func retireRing(s *Session) {
+	s.Tool.Channel().OnMessage(func(daemon.Message) {})
+}
+
+// runFig9Delivery runs the fully instrumented Figure 9 workload and
+// returns the session, the rendered metric table, and every metric's
+// final value.
+func runFig9Delivery(t *testing.T, ring bool) (*Session, string, map[string]float64) {
+	t.Helper()
+	s, err := NewSession(fig9Workload, WithNodes(4), WithSourceFile("mixed.fcm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ring {
+		retireRing(s)
+	}
+	ems := map[string]*paradyn.EnabledMetric{}
+	for _, id := range s.Tool.Library().IDs() {
+		em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ems[id] = em
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	now := s.Now()
+	vals := make(map[string]float64, len(ems))
+	for id, em := range ems {
+		vals[id] = em.Value(now)
+	}
+	table := paradyn.Table("fig9", MetricRows(s.Tool.Enabled(), now))
+	return s, table, vals
+}
+
+// TestRingDeliveryGolden: a ring-backed run reproduces the committed
+// Figure 9 golden exactly, and its rendered table is byte-identical to
+// a mutex-path run of the same workload.
+func TestRingDeliveryGolden(t *testing.T) {
+	ringS, ringTable, ringVals := runFig9Delivery(t, true)
+	mutexS, mutexTable, mutexVals := runFig9Delivery(t, false)
+
+	// The ring genuinely carried traffic in the fast-path run.
+	if _, hw, capacity := ringS.Tool.Channel().RingStats(); hw == 0 || capacity == 0 {
+		t.Fatalf("ring run never used the ring (highwater=%d capacity=%d)", hw, capacity)
+	}
+
+	if ringS.Elapsed() != goldenElapsed || mutexS.Elapsed() != goldenElapsed {
+		t.Errorf("elapsed: ring=%d mutex=%d, golden %d",
+			int64(ringS.Elapsed()), int64(mutexS.Elapsed()), int64(goldenElapsed))
+	}
+	// Both paths land on the committed golden table, not merely on each
+	// other.
+	for id, want := range fig9Golden {
+		if got := ringVals[id]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("ring path: %s = %v, want %v", id, got, want)
+		}
+		if got := mutexVals[id]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("mutex path: %s = %v, want %v", id, got, want)
+		}
+	}
+	if ringTable != mutexTable {
+		t.Errorf("rendered tables differ between ring and mutex delivery:\n--- ring\n%s--- mutex\n%s",
+			ringTable, mutexTable)
+	}
+}
+
+// TestRingCrashPlanGolden: with a crash plan injected, ring-backed and
+// mutex-path delivery produce byte-identical degradation reports and
+// identical metric values — overflow, drops and fault semantics are
+// preserved across the transport swap.
+func TestRingCrashPlanGolden(t *testing.T) {
+	run := func(ring bool) (*Session, *DegradationReport, map[string]float64) {
+		plan := &fault.Plan{Seed: 7}
+		plan.CrashAt(2, vtime.Time(40*vtime.Microsecond))
+		// Recovery's supervisor taps the channel (which retires the
+		// ring), so it is disabled: the point here is the transport
+		// under fault injection, and the permanent crash is identical
+		// on both paths.
+		s, err := NewSession(faultTestProgram,
+			WithNodes(4), WithSourceFile("ftest.fcm"), WithFaults(plan),
+			WithRecovery(RecoveryConfig{Disable: true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ring {
+			retireRing(s)
+		}
+		ems := make(map[string]*paradyn.EnabledMetric, len(crashCountMetrics))
+		for _, id := range crashCountMetrics {
+			em, err := s.Tool.EnableMetric(id, paradyn.WholeProgram())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ems[id] = em
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make(map[string]float64, len(ems))
+		for id, em := range ems {
+			vals[id] = em.Value(s.Now())
+		}
+		return s, rep, vals
+	}
+
+	ringS, ringRep, ringVals := run(true)
+	mutexS, mutexRep, mutexVals := run(false)
+
+	if _, hw, _ := ringS.Tool.Channel().RingStats(); hw == 0 {
+		t.Fatal("crash-plan ring run never used the ring")
+	}
+	if ringS.Elapsed() != mutexS.Elapsed() {
+		t.Errorf("elapsed differs: ring=%v mutex=%v", ringS.Elapsed(), mutexS.Elapsed())
+	}
+	if ringRep.String() != mutexRep.String() {
+		t.Errorf("degradation reports differ:\n--- ring\n%s--- mutex\n%s", ringRep, mutexRep)
+	}
+	for id, rv := range ringVals {
+		if mv := mutexVals[id]; rv != mv {
+			t.Errorf("metric %s differs: ring=%g mutex=%g", id, rv, mv)
+		}
+	}
+}
