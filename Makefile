@@ -32,10 +32,18 @@ GATE_TOPO  ?= Topo
 BENCH_SAS ?= Fig6Questions$$|SampleAll
 GATE_SAS  ?= Fig6Questions$$|SampleAll$$
 
+# Performance Consultant (PR 10): one full diagnosis search — base
+# instrumented run plus every refinement replay — over the compute-heavy
+# corpus program, against BENCH_PR10.json. Pure virtual-time execution,
+# no wall-clock dependence, so the default 20% gate applies.
+BENCH_DIAG ?= ConsultantSearch
+GATE_DIAG  ?= ConsultantSearch
+
 .PHONY: build test race bench bench-rebase bench-par bench-par-rebase \
 	bench-obs bench-obs-rebase bench-topo bench-topo-rebase \
 	bench-sas bench-sas-rebase pprof-sas soak soak-smoke \
-	serve-smoke bench-serve bench-serve-rebase
+	serve-smoke bench-serve bench-serve-rebase \
+	bench-diag bench-diag-rebase diagnose-smoke
 
 build:
 	go build ./...
@@ -139,3 +147,20 @@ bench-serve:
 bench-serve-rebase:
 	go run ./cmd/nvload -sessions $(BENCH_SERVE_SESSIONS) -concurrency 24 -bench | \
 		go run ./cmd/benchdiff -out BENCH_PR7.json -check '$(GATE_SERVE)' -max-regress 150 -rebase
+
+# Performance Consultant search cost, gated against BENCH_PR10.json.
+bench-diag:
+	go test -run '^$$' -bench '$(BENCH_DIAG)' -benchmem -count=5 ./internal/paradyn | \
+		go run ./cmd/benchdiff -out BENCH_PR10.json -check '$(GATE_DIAG)'
+
+bench-diag-rebase:
+	go test -run '^$$' -bench '$(BENCH_DIAG)' -benchmem -count=5 ./internal/paradyn | \
+		go run ./cmd/benchdiff -out BENCH_PR10.json -check '$(GATE_DIAG)' -rebase
+
+# Diagnosis smoke: the corpus goldens (planted root causes, worker
+# invariance, budget accounting) plus the concurrent-search and
+# /v1/diagnose stream/drain tests under the race detector.
+diagnose-smoke:
+	go test -run 'TestDiagnosisCorpus' .
+	go test -race -run 'TestConsultantConcurrentSearches|TestConsultantBudgetRespected' ./internal/paradyn
+	go test -race -run 'TestDiagnose' ./internal/serve

@@ -15,6 +15,10 @@
 //	-where          print the where axis after the run
 //	-plot           print a time plot per metric
 //	-consultant     run the Performance Consultant
+//	-diag-budget N  consultant probe budget (hypothesis x focus evaluations)
+//	-diag-threshold F  override every hypothesis confirmation threshold
+//	-diag-json      print the diagnosis report as JSON instead of text
+//	-diag-trace F   write the diagnosis search as a Chrome trace overlay to F
 //	-question Q     register a SAS performance question in the paper's
 //	                notation (repeatable), e.g. "{A Sums}, {Processor_1 Sends}"
 //	-timeline       print a per-node execution timeline
@@ -33,6 +37,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +45,7 @@ import (
 	"strings"
 
 	"nvmap"
+	"nvmap/internal/diagnose"
 	"nvmap/internal/mdl"
 	"nvmap/internal/paradyn"
 	"nvmap/internal/trace"
@@ -68,10 +74,24 @@ func main() {
 		list       = flag.Bool("list", false, "list available metrics and exit")
 		showLevels = flag.Bool("levels", false, "print the session's abstraction levels after the run")
 	)
+	var diag diagOptions
+	flag.IntVar(&diag.budget, "diag-budget", diagnose.DefaultBudget,
+		"consultant probe budget: max hypothesis x focus evaluations")
+	flag.Float64Var(&diag.threshold, "diag-threshold", 0,
+		"override every hypothesis confirmation threshold (0 = per-hypothesis defaults)")
+	flag.BoolVar(&diag.jsonOut, "diag-json", false, "print the diagnosis report as JSON")
+	flag.StringVar(&diag.traceFile, "diag-trace", "", "write the diagnosis search as a Chrome trace overlay to this file")
 	var questions questionFlags
 	flag.Var(&questions, "question",
 		`SAS performance question in the paper's notation, e.g. "{A Sums}, {Processor_1 Sends}" (repeatable; "?" wildcards, "[ordered]" suffix)`)
 	flag.Parse()
+	diag.consult = *consult
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "diag-budget", "diag-threshold", "diag-json", "diag-trace":
+			diag.explicit = true
+		}
+	})
 
 	if *list {
 		lib := mdl.StdLibrary()
@@ -86,10 +106,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: nvprof [flags] program.fcm (see -h)")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *nodes, *fuse, *metricsArg, *focusArg, *showWhere, *plot, *consult, *showPIF, *timeline, *showLevels, questions); err != nil {
+	if err := diag.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "nvprof:", err)
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *nodes, *fuse, *metricsArg, *focusArg, *showWhere, *plot, *consult, *showPIF, *timeline, *showLevels, questions, diag); err != nil {
+		var ue *nvmap.UsageError
+		fmt.Fprintln(os.Stderr, "nvprof:", err)
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// diagOptions is the validated consultant configuration. Validation is
+// separated from flag parsing so the contradiction rules are unit
+// testable (nvsoak-style): a rejected combination is a typed
+// *nvmap.UsageError and exits 2, like any other usage mistake.
+type diagOptions struct {
+	budget    int
+	threshold float64
+	jsonOut   bool
+	traceFile string
+	// consult mirrors -consultant; explicit marks that at least one
+	// -diag-* flag was given on the command line.
+	consult  bool
+	explicit bool
+}
+
+// validate applies the contradiction rules: a non-positive probe
+// budget can never search, thresholds are fractions, and -diag-* flags
+// without -consultant configure a search that will not run.
+func (d *diagOptions) validate() error {
+	if d.budget <= 0 {
+		return &nvmap.UsageError{Option: "-diag-budget",
+			Reason: fmt.Sprintf("probe budget must be positive, got %d", d.budget)}
+	}
+	if d.threshold < 0 || d.threshold >= 1 {
+		return &nvmap.UsageError{Option: "-diag-threshold",
+			Reason: fmt.Sprintf("confirmation threshold must be in [0, 1), got %g", d.threshold)}
+	}
+	if d.explicit && !d.consult {
+		return &nvmap.UsageError{Option: "-diag-budget/-diag-threshold/-diag-json/-diag-trace",
+			Reason: "contradicts absent -consultant (nothing would run the diagnosis)"}
+	}
+	return nil
 }
 
 // questionFlags collects repeatable -question flags.
@@ -98,7 +160,7 @@ type questionFlags []string
 func (q *questionFlags) String() string     { return strings.Join(*q, "; ") }
 func (q *questionFlags) Set(v string) error { *q = append(*q, v); return nil }
 
-func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhere, plot, consult, showPIF, timeline, showLevels bool, questions []string) error {
+func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhere, plot, consult, showPIF, timeline, showLevels bool, questions []string, diag diagOptions) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -231,21 +293,37 @@ func run(path string, nodes int, fuse bool, metricsArg, focusArg string, showWhe
 	}
 	if consult {
 		fmt.Println()
-		c := paradyn.NewConsultant()
-		findings, err := c.Search(func() (*paradyn.Tool, func() error, error) {
-			fresh, err := nvmap.NewSession(source, opts...)
-			if err != nil {
-				return nil, nil, err
-			}
-			run := func() error { _, err := fresh.Run(); return err }
-			return fresh.Tool, run, nil
-		})
+		// Diagnosis replays run the program repeatedly; keep their PRINT
+		// output off the report.
+		diagOpts := []nvmap.Option{
+			nvmap.WithNodes(nodes),
+			nvmap.WithSourceFile(filepath.Base(path)),
+		}
+		if fuse {
+			diagOpts = append(diagOpts, nvmap.WithFuse())
+		}
+		rep, err := nvmap.Diagnose(source, nvmap.DiagnoseConfig{
+			Budget:    diag.budget,
+			Threshold: diag.threshold,
+		}, diagOpts...)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Performance Consultant findings:")
-		for _, f := range findings {
-			fmt.Println(" ", f)
+		if diag.traceFile != "" {
+			if err := os.WriteFile(diag.traceFile, rep.ChromeTrace(), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("diagnosis trace overlay written to %s\n", diag.traceFile)
+		}
+		if diag.jsonOut {
+			js, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			os.Stdout.Write(js)
+		} else {
+			fmt.Println("Performance Consultant diagnosis:")
+			fmt.Print(rep.Text())
 		}
 	}
 	return nil

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nvmap"
+)
+
+// goodDiag is a baseline that validates cleanly; cases mutate it.
+func goodDiag() diagOptions {
+	return diagOptions{budget: 64, threshold: 0, consult: true, explicit: true}
+}
+
+func TestDiagValidateRejectsContradictions(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*diagOptions)
+		wantErr string // substring of the usage error
+	}{
+		{"zero budget", func(d *diagOptions) { d.budget = 0 }, "budget must be positive"},
+		{"negative budget", func(d *diagOptions) { d.budget = -8 }, "budget must be positive"},
+		{"negative threshold", func(d *diagOptions) { d.threshold = -0.1 }, "threshold must be in [0, 1)"},
+		{"threshold of one", func(d *diagOptions) { d.threshold = 1 }, "threshold must be in [0, 1)"},
+		{"threshold above one", func(d *diagOptions) { d.threshold = 3 }, "threshold must be in [0, 1)"},
+		{"diag flags without consultant", func(d *diagOptions) { d.consult = false }, "contradicts absent -consultant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := goodDiag()
+			tc.mutate(&d)
+			err := d.validate()
+			if err == nil {
+				t.Fatalf("validate accepted %+v", d)
+			}
+			var ue *nvmap.UsageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("error %T is not a *nvmap.UsageError", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDiagValidateAccepts(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*diagOptions)
+	}{
+		{"defaults", func(d *diagOptions) {}},
+		{"threshold override", func(d *diagOptions) { d.threshold = 0.5 }},
+		{"zero threshold means per-hypothesis", func(d *diagOptions) { d.threshold = 0 }},
+		{"no diag flags without consultant", func(d *diagOptions) { d.consult, d.explicit = false, false }},
+		{"consultant with defaults untouched", func(d *diagOptions) { d.explicit = false }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := goodDiag()
+			tc.mutate(&d)
+			if err := d.validate(); err != nil {
+				t.Fatalf("validate rejected %+v: %v", d, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package nvmap
+
+import (
+	"fmt"
+	"strings"
+
+	"nvmap/internal/fault"
+	"nvmap/internal/machine"
+	"nvmap/internal/vtime"
+)
+
+// This file generates the diagnosis corpus: one pathological program
+// per why-axis hypothesis, each with a single planted root cause the
+// Performance Consultant must confirm — and nothing else at top level.
+// The programs are generated rather than hand-written so scenario
+// parameters (iteration counts, array sizes, fault severities) read as
+// what they are: the knobs that make exactly one hypothesis true.
+
+// DiagScenario is one corpus entry.
+type DiagScenario struct {
+	// Name keys the golden report file (testdata/diag_<name>.golden).
+	Name string
+	// Planted is the hypothesis ID this scenario's defect must confirm;
+	// every other hypothesis must be rejected at the whole-program focus.
+	Planted string
+	// Source is the generated CMF program.
+	Source string
+	// Nodes is the partition size.
+	Nodes int
+	// Opts carry the scenario's machine shape and fault plan.
+	Opts []Option
+}
+
+// genCompute emits a program whose arithmetic is concentrated in one
+// hot statement over array H; the final reduction keeps the compiler
+// honest about H being live.
+func genCompute(name string, size, iters int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s\n", name)
+	fmt.Fprintf(&b, "REAL H(%d)\n", size)
+	fmt.Fprintf(&b, "REAL C(%d)\n", size)
+	b.WriteString("REAL S\n")
+	fmt.Fprintf(&b, "FORALL (I = 1:%d) H(I) = I\n", size)
+	fmt.Fprintf(&b, "DO K = 1, %d\n", iters)
+	b.WriteString("H = H * 1.0001 + H * H - H / 3.0 + SQRT(H)\n")
+	b.WriteString("END DO\n")
+	b.WriteString("C = H + 1.0\n")
+	b.WriteString("S = SUM(C)\n")
+	b.WriteString("END\n")
+	return b.String()
+}
+
+// genChain emits a long chain of tiny dependent parallel statements:
+// one element per node per step, so dispatch serialisation — not
+// computation — is where the time goes.
+func genChain(name string, width, steps int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s\n", name)
+	fmt.Fprintf(&b, "REAL A(%d)\n", width)
+	fmt.Fprintf(&b, "DO K = 1, %d\n", steps)
+	fmt.Fprintf(&b, "FORALL (I = 1:%d) A(I) = A(I) + 1.0\n", width)
+	b.WriteString("END DO\n")
+	b.WriteString("END\n")
+	return b.String()
+}
+
+// genShift emits a nearest-neighbour communication ring: every
+// iteration shifts the array one node over.
+func genShift(name string, size, rounds int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s\n", name)
+	fmt.Fprintf(&b, "REAL A(%d)\n", size)
+	fmt.Fprintf(&b, "DO K = 1, %d\n", rounds)
+	b.WriteString("A = CSHIFT(A, 1)\n")
+	b.WriteString("END DO\n")
+	b.WriteString("END\n")
+	return b.String()
+}
+
+// DiagnosisCorpus returns the five planted-root-cause scenarios, one
+// per native hypothesis, in a fixed order.
+func DiagnosisCorpus() []DiagScenario {
+	return []DiagScenario{
+		{
+			// Every node does the same heavy arithmetic; nothing else is
+			// wrong. Only CPUBound may confirm, refining to the hot
+			// statement and the array it pounds.
+			Name:    "hotspot-array",
+			Planted: "CPUBound",
+			Source:  genCompute("hotspot", 4096, 8),
+			Nodes:   4,
+			Opts:    []Option{WithNodes(4), WithSourceFile("hotspot.fcm")},
+		},
+		{
+			// One node computes at 1/8 speed: its peers' time dispersion is
+			// the defect. Total compute stays under the CPUBound threshold
+			// because the fast nodes spend the run waiting, not computing.
+			Name:    "straggler-node",
+			Planted: "LoadImbalance",
+			Source:  genCompute("straggler", 2048, 4),
+			Nodes:   4,
+			Opts: []Option{WithNodes(4), WithSourceFile("straggler.fcm"),
+				WithFaults(&fault.Plan{Seed: 11,
+					Nodes: fault.NodeFaults{Slowdown: map[int]float64{2: 8}}})},
+		},
+		{
+			// A long chain of one-element-per-node statements: all the time
+			// goes to serialised dispatch, every node waiting on the control
+			// processor in lockstep.
+			Name:    "serialized-chain",
+			Planted: "SyncBound",
+			Source:  genChain("chain", 4, 300),
+			Nodes:   4,
+			Opts:    []Option{WithNodes(4), WithSourceFile("chain.fcm")},
+		},
+		{
+			// The interconnect randomly delays most messages: receivers sit
+			// in message waits the fault plan injected. The injector's
+			// extra-latency ledger separates this from honest CommBound.
+			Name:    "lossy-link",
+			Planted: "StallBound",
+			Source:  genShift("lossy", 64, 30),
+			Nodes:   4,
+			Opts: []Option{WithNodes(4), WithSourceFile("lossy.fcm"),
+				WithFaults(&fault.Plan{Seed: 7,
+					Messages: fault.MessageFaults{DelayProb: 0.8, DelayMax: 200 * vtime.Microsecond}})},
+		},
+		{
+			// A shift ring placed badly on a 4-node torus: logical
+			// neighbours land on distant hardware nodes, funnelling traffic
+			// over the middle link. CommBound confirms and the link-level
+			// refinement names the congested link — and the statement whose
+			// traffic crosses it.
+			Name:    "congested-placement",
+			Planted: "CommBound",
+			Source:  genShift("congest", 64, 40),
+			Nodes:   4,
+			Opts: []Option{WithNodes(4), WithSourceFile("congest.fcm"),
+				WithTopology(machine.Topology{GridX: 4, GridY: 1, Torus: true,
+					LinkHop: 40 * vtime.Microsecond}),
+				WithPlacement([]int{0, 2, 1, 3})},
+		},
+	}
+}

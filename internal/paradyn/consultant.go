@@ -3,21 +3,45 @@ package paradyn
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
+
+	"nvmap/internal/diagnose"
+	"nvmap/internal/fault"
+	"nvmap/internal/machine"
+	"nvmap/internal/nv"
+	"nvmap/internal/vtime"
 )
 
-// This file implements a simplified Performance Consultant, the automated
-// module that "helps users find performance problems in their
-// applications" (Section 5). Like Paradyn's W3-based consultant it tests
-// why-axis hypotheses (where is the time going?) at the whole-program
-// focus and refines confirmed hypotheses along the where axis — per node
-// from the same run's per-node primitives, and per statement by replaying
-// the (deterministic) application with statement-constrained
-// instrumentation, the replay standing in for Paradyn's online
-// insertion.
+// This file adapts the tool to the budget-bounded why/where search
+// engine of internal/diagnose: the Performance Consultant of Section 5,
+// grown from the original whole-program/per-statement sketch into a
+// real diagnosis module. The consultant evaluates its why-axis
+// hypotheses from a *single* instrumented run — the machine's per-node
+// counters, its idle spans classified by what the node was waiting for,
+// the fault injector's ledger and the interconnect's per-link loads —
+// and replays the (deterministic) application with focus-constrained
+// instrumentation only where the where-axis refinement genuinely needs
+// an isolated number, the replay standing in for Paradyn's online
+// instrumentation insertion.
 
-// Hypothesis is one why-axis test: the named metrics' summed value, as a
-// fraction of available node-seconds, exceeding the threshold confirms
-// the hypothesis.
+// Why-axis hypothesis IDs the consultant evaluates natively.
+const (
+	HypCPUBound      = "CPUBound"
+	HypCommBound     = "CommBound"
+	HypSyncBound     = "SyncBound"
+	HypLoadImbalance = "LoadImbalance"
+	HypStallBound    = "StallBound"
+)
+
+// HierHW is the hardware topology hierarchy link findings refine into.
+const HierHW = "HW"
+
+// Hypothesis is one why-axis test. The five native IDs above are
+// evaluated from the base run's machine counters; any other ID falls
+// back to the named metrics' summed whole-program fraction. Metrics
+// also drive the statement/array refinement replays for every
+// hypothesis.
 type Hypothesis struct {
 	ID          string
 	Description string
@@ -25,48 +49,77 @@ type Hypothesis struct {
 	Threshold   float64
 }
 
-// DefaultHypotheses returns the classic triple: CPU bound, communication
-// bound, synchronisation (control-processor wait) bound.
+// DefaultHypotheses returns the consultant's why axis: CPU bound,
+// communication bound (including per-link congestion refinement),
+// synchronisation bound (common-mode waits on the control processor),
+// load imbalance (per-node busy-time dispersion), and stall bound
+// (fault-plan stall and delay signatures).
 func DefaultHypotheses() []Hypothesis {
 	return []Hypothesis{
 		{
-			ID:          "CPUBound",
+			ID:          HypCPUBound,
 			Description: "computation dominates node time",
 			Metrics:     []string{"computation_time"},
 			Threshold:   0.4,
 		},
 		{
-			ID:          "CommBound",
-			Description: "inter-node and broadcast communication dominates",
+			ID:          HypCommBound,
+			Description: "inter-node communication and message waits dominate",
 			Metrics:     []string{"point_to_point_time", "broadcast_time"},
+			Threshold:   0.3,
+		},
+		{
+			ID:          HypSyncBound,
+			Description: "all nodes wait on the control processor",
+			Metrics:     []string{"idle_time"},
 			Threshold:   0.25,
 		},
 		{
-			ID:          "SyncBound",
-			Description: "nodes wait on the control processor",
+			ID:          HypLoadImbalance,
+			Description: "node busy times diverge (stragglers)",
+			Metrics:     []string{"computation_time"},
+			Threshold:   0.2,
+		},
+		{
+			ID:          HypStallBound,
+			Description: "injected stalls and message delays dominate",
 			Metrics:     []string{"idle_time"},
-			Threshold:   0.25,
+			Threshold:   0.1,
 		},
 	}
 }
 
-// Finding is one consultant conclusion.
+// Finding is one consultant conclusion, the flattened form of a
+// diagnose.Finding (Search returns these for display; Diagnose returns
+// the full report).
 type Finding struct {
 	Hypothesis string
 	FocusLabel string
 	Fraction   float64
 	Threshold  float64
 	Confirmed  bool
+	// Source says whether the base instrumented run answered the probe
+	// ("sampled") or a focused replay was needed ("re-run").
+	Source diagnose.Source
+	// Depth is the refinement level (0 = whole program).
+	Depth int
 }
 
-// String renders e.g. "CPUBound at /Machine/node3: 0.62 (threshold 0.40) CONFIRMED".
+// String renders a fixed-width report line, e.g.
+//
+//	CPUBound      at /Machine/node3                     0.6200 (threshold   0.4000) CONFIRMED [sampled]
+//
+// Fractions always carry four decimals in eight columns so golden
+// reports never churn with float formatting.
 func (f Finding) String() string {
-	verdict := "rejected"
+	verdict := "rejected "
 	if f.Confirmed {
 		verdict = "CONFIRMED"
 	}
-	return fmt.Sprintf("%-10s at %-28s %.2f (threshold %.2f) %s",
-		f.Hypothesis, f.FocusLabel, f.Fraction, f.Threshold, verdict)
+	return fmt.Sprintf("%-13s at %-36s %s (threshold %s) %s [%s]",
+		f.Hypothesis, f.FocusLabel,
+		diagnose.FormatFraction(f.Fraction), diagnose.FormatFraction(f.Threshold),
+		verdict, f.Source)
 }
 
 // AppFactory builds a fresh, identical application run: a tool bound to a
@@ -78,236 +131,634 @@ type AppFactory func() (*Tool, func() error, error)
 // Consultant searches for bottlenecks.
 type Consultant struct {
 	Hypotheses []Hypothesis
-	// RefineStatements controls the per-statement replay phase.
+	// RefineStatements controls statement-level replay probes.
 	RefineStatements bool
-	// RefineArrays controls the per-array replay phase (requires the
+	// RefineArrays controls array-level replay probes (requires the
 	// application to allocate arrays through the runtime, which all CMF
 	// programs do).
 	RefineArrays bool
+	// Budget caps the search's probe count — hypothesis×focus
+	// evaluations, sampled and replayed alike (0 selects
+	// diagnose.DefaultBudget; negative is an error). When the budget
+	// cuts the search the report's Pruned counter says exactly how many
+	// enqueued probes went unevaluated.
+	Budget int
+	// Threshold, when positive, overrides every hypothesis's own
+	// confirmation threshold.
+	Threshold float64
+	// MaxDepth bounds refinement depth (0 selects diagnose.DefaultMaxDepth).
+	MaxDepth int
+	// OnFinding, when set, observes every finding the moment its probe
+	// is evaluated (probe order, before the report tree is sorted) — the
+	// hook streaming frontends use to emit findings live.
+	OnFinding func(diagnose.Finding)
 }
 
-// NewConsultant returns a consultant with the default hypotheses and
-// both refinement phases on.
+// NewConsultant returns a consultant with the default hypotheses, both
+// refinement phases on, and the default probe budget.
 func NewConsultant() *Consultant {
 	return &Consultant{Hypotheses: DefaultHypotheses(), RefineStatements: true, RefineArrays: true}
 }
 
-// Search runs the two-phase search and returns findings sorted by
-// fraction (largest first). Whole-program findings are always reported
-// (confirmed or not); refined findings are reported only where the
-// hypothesis held at the parent focus.
+// Search runs the diagnosis and returns the findings flattened for
+// display: every top-level finding (confirmed or not) plus every
+// confirmed refinement, sorted by fraction (largest first).
 func (c *Consultant) Search(factory AppFactory) ([]Finding, error) {
+	rep, err := c.Diagnose(factory)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	rep.Walk(func(f *diagnose.Finding) {
+		if f.Depth > 0 && !f.Confirmed {
+			return
+		}
+		findings = append(findings, Finding{
+			Hypothesis: f.Hypothesis,
+			FocusLabel: f.Focus,
+			Fraction:   f.Fraction,
+			Threshold:  f.Threshold,
+			Confirmed:  f.Confirmed,
+			Source:     f.Source,
+			Depth:      f.Depth,
+		})
+	})
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].Fraction > findings[j].Fraction })
+	return findings, nil
+}
+
+// Diagnose runs the budget-bounded why/where search and returns the
+// full report: the findings tree plus what the search itself cost
+// (probes run and pruned, virtual and wall time).
+func (c *Consultant) Diagnose(factory AppFactory) (*diagnose.Report, error) {
+	cs, err := newConsultSession(c, factory)
+	if err != nil {
+		return nil, err
+	}
+	eng := diagnose.Engine{Budget: c.Budget, MaxDepth: c.MaxDepth, Threshold: c.Threshold, OnProbe: c.OnFinding}
+	return eng.Search(cs)
+}
+
+// consultSession is the diagnose.Evaluator over one base instrumented
+// run plus targeted replays. Everything sampled is captured before the
+// search starts, so evaluation order cannot change any answer.
+type consultSession struct {
+	c       *Consultant
+	factory AppFactory
+
+	nodes   int
+	elapsed float64 // seconds of virtual time, base run
+	baseVT  vtime.Duration
+	stats   []machine.NodeStats
+
+	// Idle spans from the base run classified by what the node waited
+	// for: the control processor (cpIdle), a peer's message (commIdle),
+	// or an injected stall (selfIdle). Seconds per node.
+	cpIdle, commIdle, selfIdle []float64
+
+	// Fault-plan signatures from the base run's injector.
+	injected fault.Report
+
+	// Interconnect loads aggregated to undirected links, sorted.
+	links      []undirectedLoad
+	totalBytes float64
+
+	stmts   []string
+	arrays  []string
+	hasTopo bool
+
+	// customEMs holds whole-program instances for non-native hypothesis
+	// IDs, enabled on the base run.
+	customEMs map[string][]*EnabledMetric
+	baseNow   vtime.Time
+
+	charged bool // base-run cost charged to the first probe
+}
+
+type undirectedLoad struct {
+	a, b  int // a < b
+	bytes float64
+}
+
+func (u undirectedLoad) name() string { return fmt.Sprintf("link_hw%d_hw%d", u.a, u.b) }
+
+// newConsultSession runs the single base instrumented run and captures
+// every sampled answer the search may need.
+func newConsultSession(c *Consultant, factory AppFactory) (*consultSession, error) {
 	tool, run, err := factory()
 	if err != nil {
 		return nil, err
 	}
-	// Dynamic mapping during phase 1 discovers the application's arrays
-	// for the array-refinement phase.
-	tool.EnableDynamicMapping()
-	type enabledHyp struct {
-		hyp Hypothesis
-		ems []*EnabledMetric
-	}
-	var hyps []enabledHyp
 	for _, h := range c.Hypotheses {
-		eh := enabledHyp{hyp: h}
+		for _, mid := range h.Metrics {
+			if _, ok := tool.lib.Get(mid); !ok {
+				return nil, fmt.Errorf("consultant: hypothesis %s: unknown metric %q", h.ID, mid)
+			}
+		}
+	}
+	cs := &consultSession{c: c, factory: factory, nodes: tool.mach.Nodes()}
+	cs.cpIdle = make([]float64, cs.nodes)
+	cs.commIdle = make([]float64, cs.nodes)
+	cs.selfIdle = make([]float64, cs.nodes)
+
+	// Dynamic mapping discovers the application's arrays for the
+	// array-refinement probes; the observer classifies idle spans as
+	// they happen (parallel regions flush events deterministically on
+	// the driving goroutine, so the sums are worker-count independent).
+	tool.EnableDynamicMapping()
+	tool.mach.Observe(func(e machine.Event) {
+		if e.Kind != machine.EvIdle {
+			return
+		}
+		d := e.End.Sub(e.Start).Seconds()
+		switch e.Peer {
+		case machine.CP:
+			cs.cpIdle[e.Node] += d
+		case e.Node:
+			cs.selfIdle[e.Node] += d
+		default:
+			cs.commIdle[e.Node] += d
+		}
+	})
+	cs.customEMs = make(map[string][]*EnabledMetric)
+	for _, h := range c.Hypotheses {
+		if nativeHypothesis(h.ID) {
+			continue
+		}
 		for _, mid := range h.Metrics {
 			em, err := tool.EnableMetric(mid, WholeProgram())
 			if err != nil {
 				return nil, fmt.Errorf("consultant: hypothesis %s: %w", h.ID, err)
 			}
-			eh.ems = append(eh.ems, em)
+			cs.customEMs[h.ID] = append(cs.customEMs[h.ID], em)
 		}
-		hyps = append(hyps, eh)
 	}
+
 	if err := run(); err != nil {
 		return nil, err
 	}
 	now := tool.mach.GlobalNow()
-	elapsed := now.Sub(0).Seconds()
-	if elapsed == 0 {
+	cs.baseNow = now
+	cs.baseVT = now.Sub(0)
+	cs.elapsed = cs.baseVT.Seconds()
+	if cs.elapsed == 0 {
 		return nil, fmt.Errorf("consultant: application consumed no virtual time")
 	}
-	nodes := tool.mach.Nodes()
-	nodeSeconds := elapsed * float64(nodes)
-
-	var findings []Finding
-	var confirmed []Hypothesis
-	for _, eh := range hyps {
-		var total float64
-		for _, em := range eh.ems {
-			total += em.Value(now)
+	cs.stats = make([]machine.NodeStats, cs.nodes)
+	for n := 0; n < cs.nodes; n++ {
+		cs.stats[n] = tool.mach.Stats(n)
+	}
+	if in := tool.mach.Faults(); in != nil {
+		cs.injected = in.Report()
+	}
+	cs.hasTopo = tool.mach.Topology() != nil
+	agg := map[[2]int]float64{}
+	for _, ll := range tool.mach.LinkLoads() {
+		a, b := ll.Link.From, ll.Link.To
+		if a > b {
+			a, b = b, a
 		}
-		frac := total / nodeSeconds
-		ok := frac > eh.hyp.Threshold
-		findings = append(findings, Finding{
-			Hypothesis: eh.hyp.ID, FocusLabel: "/WholeProgram",
-			Fraction: frac, Threshold: eh.hyp.Threshold, Confirmed: ok,
-		})
-		if !ok {
-			continue
+		agg[[2]int{a, b}] += float64(ll.Bytes)
+		cs.totalBytes += float64(ll.Bytes)
+	}
+	for k, v := range agg {
+		cs.links = append(cs.links, undirectedLoad{a: k[0], b: k[1], bytes: v})
+	}
+	sort.Slice(cs.links, func(i, j int) bool {
+		if cs.links[i].a != cs.links[j].a {
+			return cs.links[i].a < cs.links[j].a
 		}
-		confirmed = append(confirmed, eh.hyp)
-		// Per-node refinement from the same instances.
-		for n := 0; n < nodes; n++ {
-			var nv float64
-			for _, em := range eh.ems {
-				nv += em.Instance.NodeValue(n, now)
-			}
-			frac := nv / elapsed
-			if frac > eh.hyp.Threshold {
-				findings = append(findings, Finding{
-					Hypothesis: eh.hyp.ID,
-					FocusLabel: fmt.Sprintf("/Machine/node%d", n),
-					Fraction:   frac, Threshold: eh.hyp.Threshold, Confirmed: true,
-				})
-			}
+		return cs.links[i].b < cs.links[j].b
+	})
+	// Statements come from the where axis, not stmtBlocks: mapping
+	// records also carry placement pairs (hardware leaf -> logical
+	// node), and those destination nouns are not statements.
+	if root, ok := tool.Axis.Hierarchy(HierStmts); ok {
+		for _, c := range root.Children() {
+			cs.stmts = append(cs.stmts, c.Name)
 		}
 	}
-
-	if c.RefineStatements && len(confirmed) > 0 {
-		stmtFindings, err := c.refineStatements(factory, confirmed, nodeSeconds)
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, stmtFindings...)
+	sort.Strings(cs.stmts)
+	for a := range tool.arraysByName {
+		cs.arrays = append(cs.arrays, a)
 	}
-	if c.RefineArrays && len(confirmed) > 0 {
-		var arrays []string
-		for name := range tool.arraysByName {
-			arrays = append(arrays, name)
-		}
-		sort.Strings(arrays)
-		arrFindings, err := c.refineArrays(factory, confirmed, arrays, nodeSeconds)
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, arrFindings...)
-	}
-
-	sort.SliceStable(findings, func(i, j int) bool { return findings[i].Fraction > findings[j].Fraction })
-	return findings, nil
+	sort.Strings(cs.arrays)
+	return cs, nil
 }
 
-// refineArrays replays the application with array-constrained instances
-// of the confirmed hypotheses' metrics. The array names were discovered
-// through dynamic mapping information during the first run.
-func (c *Consultant) refineArrays(factory AppFactory, confirmed []Hypothesis, arrays []string, nodeSeconds float64) ([]Finding, error) {
-	if len(arrays) == 0 {
-		return nil, nil
+func nativeHypothesis(id string) bool {
+	switch id {
+	case HypCPUBound, HypCommBound, HypSyncBound, HypLoadImbalance, HypStallBound:
+		return true
 	}
-	tool, run, err := factory()
+	return false
+}
+
+func (cs *consultSession) Hypotheses() []diagnose.HypothesisSpec {
+	out := make([]diagnose.HypothesisSpec, 0, len(cs.c.Hypotheses))
+	for _, h := range cs.c.Hypotheses {
+		out = append(out, diagnose.HypothesisSpec{ID: h.ID, Description: h.Description, Threshold: h.Threshold})
+	}
+	return out
+}
+
+func (cs *consultSession) hypothesis(id string) Hypothesis {
+	for _, h := range cs.c.Hypotheses {
+		if h.ID == id {
+			return h
+		}
+	}
+	return Hypothesis{ID: id}
+}
+
+// focusPart is one parsed component of a focus label.
+type focusPart struct {
+	hier string
+	name string
+}
+
+func parseFocus(focus string) []focusPart {
+	if focus == diagnose.FocusWholeProgram {
+		return nil
+	}
+	var parts []focusPart
+	for _, piece := range strings.Split(focus, ",") {
+		piece = strings.TrimPrefix(piece, "/")
+		if i := strings.IndexByte(piece, '/'); i >= 0 {
+			parts = append(parts, focusPart{hier: piece[:i], name: piece[i+1:]})
+		}
+	}
+	return parts
+}
+
+// nodeSeconds is the base run's available node time.
+func (cs *consultSession) nodeSeconds() float64 { return cs.elapsed * float64(cs.nodes) }
+
+// delayShare estimates what share of message-wait idle was injected by
+// the fault plan rather than earned by the application: the injector's
+// accumulated extra latency over all observed message waits, clamped to
+// [0,1].
+func (cs *consultSession) delayShare() float64 {
+	total := 0.0
+	for _, d := range cs.commIdle {
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	share := cs.injected.ExtraLatency.Seconds() / total
+	if share > 1 {
+		share = 1
+	}
+	return share
+}
+
+func (cs *consultSession) busy(n int) float64 {
+	return cs.stats[n].ComputeTime.Seconds() + cs.stats[n].SendTime.Seconds()
+}
+
+// Eval measures one (hypothesis, focus) probe. Whole-program, per-node
+// and per-link answers come from the base run; statement and array foci
+// replay the application with constrained instrumentation.
+func (cs *consultSession) Eval(hyp, focus string) (diagnose.Measurement, error) {
+	parts := parseFocus(focus)
+	m, err := cs.eval(hyp, parts)
 	if err != nil {
-		return nil, err
+		return diagnose.Measurement{}, err
+	}
+	if !cs.charged {
+		// The single base instrumented run is the search's founding
+		// cost; it lands on the first probe.
+		m.Cost += cs.baseVT
+		cs.charged = true
+	}
+	return m, nil
+}
+
+func (cs *consultSession) eval(hyp string, parts []focusPart) (diagnose.Measurement, error) {
+	// Sampled foci: whole program, one machine node, one HW link.
+	if len(parts) == 0 {
+		return cs.evalWholeProgram(hyp)
+	}
+	if len(parts) == 1 {
+		switch parts[0].hier {
+		case HierMachine:
+			n, err := strconv.Atoi(strings.TrimPrefix(parts[0].name, "node"))
+			if err != nil || n < 0 || n >= cs.nodes {
+				return diagnose.Measurement{}, fmt.Errorf("consultant: bad node focus %q", parts[0].name)
+			}
+			return cs.evalNode(hyp, n)
+		case HierHW:
+			return cs.evalLink(parts[0].name)
+		}
+	}
+	// Everything else needs a constrained replay.
+	return cs.rerun(cs.hypothesis(hyp), parts)
+}
+
+func (cs *consultSession) evalWholeProgram(hyp string) (diagnose.Measurement, error) {
+	ns := cs.nodeSeconds()
+	sampled := func(f float64) (diagnose.Measurement, error) {
+		return diagnose.Measurement{Fraction: f, Source: diagnose.SourceSampled}, nil
+	}
+	switch hyp {
+	case HypCPUBound:
+		total := 0.0
+		for n := range cs.stats {
+			total += cs.stats[n].ComputeTime.Seconds()
+		}
+		return sampled(total / ns)
+	case HypCommBound:
+		// Send costs plus message waits, minus the share of waiting the
+		// fault plan injected (that belongs to StallBound).
+		total := 0.0
+		for n := range cs.stats {
+			total += cs.stats[n].SendTime.Seconds() + cs.commIdle[n]
+		}
+		total -= cs.injected.ExtraLatency.Seconds()
+		if total < 0 {
+			total = 0
+		}
+		return sampled(total / ns)
+	case HypSyncBound:
+		// Common-mode control-processor waits: the *minimum* per-node CP
+		// idle fraction. A straggler's peers wait plenty, but the
+		// straggler itself does not — only genuinely synchronised
+		// waiting (serialised dispatch, broadcast trees) confirms.
+		minIdle := cs.cpIdle[0]
+		for _, d := range cs.cpIdle[1:] {
+			if d < minIdle {
+				minIdle = d
+			}
+		}
+		return sampled(minIdle / cs.elapsed)
+	case HypLoadImbalance:
+		// Dispersion of per-node busy time: how much of the run the
+		// heaviest node worked beyond the mean.
+		maxBusy, meanBusy := 0.0, 0.0
+		for n := range cs.stats {
+			b := cs.busy(n)
+			meanBusy += b
+			if b > maxBusy {
+				maxBusy = b
+			}
+		}
+		meanBusy /= float64(cs.nodes)
+		return sampled((maxBusy - meanBusy) / cs.elapsed)
+	case HypStallBound:
+		// Fault-plan signatures: self-inflicted stall idle plus however
+		// much of the observed message waiting the injector's extra
+		// latency can account for.
+		total := sum(cs.selfIdle)
+		extra := cs.injected.ExtraLatency.Seconds()
+		if ct := sum(cs.commIdle); extra > ct {
+			extra = ct
+		}
+		return sampled((total + extra) / ns)
+	default:
+		total := 0.0
+		for _, em := range cs.customEMs[hyp] {
+			total += em.Value(cs.baseNow)
+		}
+		return sampled(total / ns)
+	}
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func (cs *consultSession) evalNode(hyp string, n int) (diagnose.Measurement, error) {
+	sampled := func(f float64) (diagnose.Measurement, error) {
+		return diagnose.Measurement{Fraction: f, Source: diagnose.SourceSampled}, nil
+	}
+	switch hyp {
+	case HypCPUBound:
+		return sampled(cs.stats[n].ComputeTime.Seconds() / cs.elapsed)
+	case HypCommBound:
+		earned := cs.commIdle[n] * (1 - cs.delayShare())
+		return sampled((cs.stats[n].SendTime.Seconds() + earned) / cs.elapsed)
+	case HypSyncBound:
+		return sampled(cs.cpIdle[n] / cs.elapsed)
+	case HypLoadImbalance:
+		meanBusy := 0.0
+		for i := range cs.stats {
+			meanBusy += cs.busy(i)
+		}
+		meanBusy /= float64(cs.nodes)
+		return sampled((cs.busy(n) - meanBusy) / cs.elapsed)
+	case HypStallBound:
+		return sampled((cs.selfIdle[n] + cs.commIdle[n]*cs.delayShare()) / cs.elapsed)
+	default:
+		total := 0.0
+		for _, em := range cs.customEMs[hyp] {
+			total += em.Instance.NodeValue(n, cs.baseNow)
+		}
+		return sampled(total / cs.elapsed)
+	}
+}
+
+// evalLink answers a per-link probe from the base run's loads: the
+// link's share of all interconnect traffic. Unlike the time hypotheses
+// this is a traffic fraction — a congested link carries an outsized
+// share of the bytes.
+func (cs *consultSession) evalLink(name string) (diagnose.Measurement, error) {
+	if cs.totalBytes == 0 {
+		return diagnose.Measurement{Source: diagnose.SourceSampled}, nil
+	}
+	for _, l := range cs.links {
+		if l.name() == name {
+			return diagnose.Measurement{Fraction: l.bytes / cs.totalBytes, Source: diagnose.SourceSampled}, nil
+		}
+	}
+	return diagnose.Measurement{Source: diagnose.SourceSampled}, nil
+}
+
+// Children implements the refinement rules. Only confirmed findings are
+// refined, and only down to MaxDepth; the engine enforces both.
+func (cs *consultSession) Children(hyp, focus string) []string {
+	parts := parseFocus(focus)
+	var out []string
+	switch {
+	case len(parts) == 0: // whole program
+		for n := 0; n < cs.nodes; n++ {
+			out = append(out, "/Machine/node"+strconv.Itoa(n))
+		}
+		switch hyp {
+		case HypCommBound:
+			if cs.c.RefineStatements {
+				for _, s := range cs.stmts {
+					out = append(out, "/CMFstmts/"+s)
+				}
+			}
+			for _, l := range cs.links {
+				out = append(out, "/HW/"+l.name())
+			}
+		case HypSyncBound, HypStallBound, HypLoadImbalance:
+			// Node-level localisation only.
+		default: // CPUBound and custom hypotheses
+			if cs.c.RefineStatements {
+				for _, s := range cs.stmts {
+					out = append(out, "/CMFstmts/"+s)
+				}
+			}
+			if cs.c.RefineArrays {
+				for _, a := range cs.arrays {
+					out = append(out, "/CMFarrays/"+a)
+				}
+			}
+		}
+	case len(parts) == 1 && parts[0].hier == HierMachine && hyp == HypLoadImbalance:
+		// Localise the straggler's excess: which statement keeps it busy.
+		if cs.c.RefineStatements {
+			for _, s := range cs.stmts {
+				out = append(out, "/CMFstmts/"+s+",/"+HierMachine+"/"+parts[0].name)
+			}
+		}
+	case len(parts) == 1 && parts[0].hier == HierStmts && hyp == HypCommBound:
+		// Which links does this statement's traffic cross? The automated
+		// answer to "which statement causes cross-torus traffic".
+		for _, l := range cs.links {
+			out = append(out, "/CMFstmts/"+parts[0].name+",/HW/"+l.name())
+		}
+	}
+	return out
+}
+
+// rerun replays the application with focus-constrained instrumentation
+// and measures the probe's hypothesis there. A focus pairing a
+// statement with a HW link is answered by route attribution: the bytes
+// the statement pushed across that link, as a share of the link's
+// traffic.
+func (cs *consultSession) rerun(h Hypothesis, parts []focusPart) (diagnose.Measurement, error) {
+	tool, run, err := cs.factory()
+	if err != nil {
+		return diagnose.Measurement{}, err
 	}
 	tool.EnableDynamicMapping()
 	tool.EnableGating()
 
-	type cell struct {
-		hyp  Hypothesis
-		name string
-		ems  []*EnabledMetric
-	}
-	var cells []cell
-	for _, h := range confirmed {
-		for _, name := range arrays {
-			res := tool.Axis.AddPath(HierArrays, name)
-			focus, err := NewFocus(res)
-			if err != nil {
-				return nil, err
-			}
-			cl := cell{hyp: h, name: name}
-			for _, mid := range h.Metrics {
-				em, err := tool.EnableMetric(mid, focus)
-				if err != nil {
-					return nil, err
+	var link *undirectedLoad
+	var stmt string
+	var resources []*Resource
+	nodeConstrained := false
+	for _, p := range parts {
+		switch p.hier {
+		case HierHW:
+			for i := range cs.links {
+				if cs.links[i].name() == p.name {
+					link = &cs.links[i]
 				}
-				cl.ems = append(cl.ems, em)
 			}
-			cells = append(cells, cl)
+			if link == nil {
+				return diagnose.Measurement{}, fmt.Errorf("consultant: unknown link focus %q", p.name)
+			}
+		case HierStmts:
+			stmt = p.name
+			resources = append(resources, tool.Axis.AddPath(HierStmts, p.name))
+		case HierArrays:
+			resources = append(resources, tool.Axis.AddPath(HierArrays, p.name))
+		case HierMachine:
+			nodeConstrained = true
+			resources = append(resources, tool.Axis.AddPath(HierMachine, p.name))
+		default:
+			return diagnose.Measurement{}, fmt.Errorf("consultant: unknown focus hierarchy %q", p.hier)
 		}
+	}
+
+	if link != nil {
+		return cs.rerunRoute(tool, run, stmt, link)
+	}
+	if stmt != "" && !nodeConstrained && h.ID == HypCommBound && cs.hasTopo {
+		// On a topology, "is this statement communication bound?" is a
+		// traffic question: what share of all link-crossing bytes did it
+		// send? Confirmed statements then refine per link.
+		return cs.rerunRoute(tool, run, stmt, nil)
+	}
+
+	focus, err := NewFocus(resources...)
+	if err != nil {
+		return diagnose.Measurement{}, err
+	}
+	var ems []*EnabledMetric
+	for _, mid := range h.Metrics {
+		em, err := tool.EnableMetric(mid, focus)
+		if err != nil {
+			return diagnose.Measurement{}, err
+		}
+		ems = append(ems, em)
 	}
 	if err := run(); err != nil {
-		return nil, err
+		return diagnose.Measurement{}, err
 	}
 	now := tool.mach.GlobalNow()
-	var findings []Finding
-	for _, cl := range cells {
-		var total float64
-		for _, em := range cl.ems {
-			total += em.Value(now)
-		}
-		frac := total / nodeSeconds
-		if frac > cl.hyp.Threshold {
-			findings = append(findings, Finding{
-				Hypothesis: cl.hyp.ID,
-				FocusLabel: "/CMFarrays/" + cl.name,
-				Fraction:   frac, Threshold: cl.hyp.Threshold, Confirmed: true,
-			})
-		}
+	elapsed := now.Sub(0)
+	denom := elapsed.Seconds() * float64(tool.mach.Nodes())
+	if nodeConstrained {
+		denom = elapsed.Seconds()
 	}
-	return findings, nil
+	if denom == 0 {
+		return diagnose.Measurement{}, fmt.Errorf("consultant: replay consumed no virtual time")
+	}
+	total := 0.0
+	for _, em := range ems {
+		total += em.Value(now)
+	}
+	return diagnose.Measurement{Fraction: total / denom, Source: diagnose.SourceRerun, Cost: elapsed}, nil
 }
 
-// refineStatements replays the application with statement-constrained
-// instances of the confirmed hypotheses' metrics.
-func (c *Consultant) refineStatements(factory AppFactory, confirmed []Hypothesis, nodeSeconds float64) ([]Finding, error) {
-	tool, run, err := factory()
-	if err != nil {
-		return nil, err
+// rerunRoute replays the run observing every routed message: bytes
+// crossing the focal link (any link when link is nil) are attributed to
+// the statement when the sender's SAS shows one of the statement's
+// blocks active at send time (the gating instrumentation maintains
+// exactly that sentence). The answer — the statement's share of the
+// focal traffic — is how "which statement causes cross-torus traffic"
+// gets answered automatically.
+func (cs *consultSession) rerunRoute(tool *Tool, run func() error, stmt string, link *undirectedLoad) (diagnose.Measurement, error) {
+	blocks := tool.stmtBlocks[stmt]
+	if len(blocks) == 0 {
+		// A statement with no block mapping never executes node code, so
+		// it cannot have sent anything.
+		return diagnose.Measurement{Source: diagnose.SourceRerun}, nil
 	}
-	stmts := make([]string, 0, len(tool.stmtBlocks))
-	for s := range tool.stmtBlocks {
-		stmts = append(stmts, s)
-	}
-	sort.Strings(stmts)
-	if len(stmts) == 0 {
-		return nil, nil
-	}
-	tool.EnableGating()
-
-	type cell struct {
-		hyp  Hypothesis
-		stmt string
-		ems  []*EnabledMetric
-	}
-	var cells []cell
-	for _, h := range confirmed {
-		for _, stmt := range stmts {
-			res := tool.Axis.AddPath(HierStmts, stmt)
-			focus, err := NewFocus(res)
-			if err != nil {
-				return nil, err
-			}
-			cl := cell{hyp: h, stmt: stmt}
-			for _, mid := range h.Metrics {
-				em, err := tool.EnableMetric(mid, focus)
-				if err != nil {
-					return nil, err
+	var linkBytes, stmtBytes float64
+	tool.mach.OnRoute(func(from, to, bytes int, links []machine.Link, at vtime.Time) {
+		crosses := link == nil && len(links) > 0
+		if link != nil {
+			for _, l := range links {
+				a, b := l.From, l.To
+				if a > b {
+					a, b = b, a
 				}
-				cl.ems = append(cl.ems, em)
+				if a == link.a && b == link.b {
+					crosses = true
+					break
+				}
 			}
-			cells = append(cells, cl)
 		}
-	}
+		if !crosses {
+			return
+		}
+		linkBytes += float64(bytes)
+		s := tool.SASes.Node(from)
+		for _, blk := range blocks {
+			if s.Active(nv.NewSentence(VerbBlockExec, nv.NounID(blk))) {
+				stmtBytes += float64(bytes)
+				return
+			}
+		}
+	})
 	if err := run(); err != nil {
-		return nil, err
+		return diagnose.Measurement{}, err
 	}
-	now := tool.mach.GlobalNow()
-	var findings []Finding
-	for _, cl := range cells {
-		var total float64
-		for _, em := range cl.ems {
-			total += em.Value(now)
-		}
-		frac := total / nodeSeconds
-		if frac > cl.hyp.Threshold {
-			findings = append(findings, Finding{
-				Hypothesis: cl.hyp.ID,
-				FocusLabel: "/CMFstmts/" + cl.stmt,
-				Fraction:   frac, Threshold: cl.hyp.Threshold, Confirmed: true,
-			})
-		}
+	elapsed := tool.mach.GlobalNow().Sub(0)
+	frac := 0.0
+	if linkBytes > 0 {
+		frac = stmtBytes / linkBytes
 	}
-	return findings, nil
+	return diagnose.Measurement{Fraction: frac, Source: diagnose.SourceRerun, Cost: elapsed}, nil
 }

@@ -1,0 +1,118 @@
+package paradyn
+
+import (
+	"sync"
+	"testing"
+
+	"nvmap/internal/diagnose"
+)
+
+// TestConsultantConcurrentSearches runs two full diagnoses at once over
+// independent sessions. The sessions share nothing but the process-wide
+// noun/verb interner, which must tolerate concurrent readers and
+// writers — this test exists to run under -race.
+func TestConsultantConcurrentSearches(t *testing.T) {
+	fa := factoryFor(t, computeHeavy, 4, nil)
+	fb := factoryFor(t, commHeavy, 4, nil)
+	var wg sync.WaitGroup
+	results := make([]*diagnose.Report, 2)
+	errs := make([]error, 2)
+	for i, f := range []AppFactory{fa, fb} {
+		wg.Add(1)
+		go func(i int, f AppFactory) {
+			defer wg.Done()
+			c := NewConsultant()
+			results[i], errs[i] = c.Diagnose(f)
+		}(i, f)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("search %d: %v", i, err)
+		}
+		if results[i] == nil || results[i].ProbesRun == 0 {
+			t.Fatalf("search %d produced no probes: %+v", i, results[i])
+		}
+	}
+	// The compute-heavy session must confirm CPUBound, the comm-heavy one
+	// must not — proving the concurrent sessions did not bleed state.
+	cpuConfirmed := func(rep *diagnose.Report) bool {
+		for _, r := range rep.Roots {
+			if r.Hypothesis == HypCPUBound {
+				return r.Confirmed
+			}
+		}
+		return false
+	}
+	if !cpuConfirmed(results[0]) {
+		t.Fatalf("compute-heavy session lost CPUBound: %s", results[0].Text())
+	}
+	if cpuConfirmed(results[1]) {
+		t.Fatalf("comm-heavy session confirmed CPUBound: %s", results[1].Text())
+	}
+}
+
+// TestConsultantDiagnoseReportShape checks the full report carries the
+// search-cost accounting the flattened Search view drops.
+func TestConsultantDiagnoseReportShape(t *testing.T) {
+	c := NewConsultant()
+	rep, err := c.Diagnose(factoryFor(t, computeHeavy, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Roots) != len(DefaultHypotheses()) {
+		t.Fatalf("roots = %d, want one per hypothesis", len(rep.Roots))
+	}
+	if rep.ProbesRun == 0 || rep.SearchVTime == 0 {
+		t.Fatalf("cost accounting missing: %+v", rep)
+	}
+	if rep.Budget != diagnose.DefaultBudget {
+		t.Fatalf("budget = %d", rep.Budget)
+	}
+	// The base run's cost is charged exactly once, to the first probe.
+	first := 0
+	rep.Walk(func(f *diagnose.Finding) {
+		if f.Seq == 0 && f.Cost > 0 {
+			first++
+		}
+	})
+	if first != 1 {
+		t.Fatalf("base-run cost not charged to the first probe")
+	}
+}
+
+// TestConsultantBudgetRespected cuts the search short and checks the
+// exact pruning arithmetic survives the paradyn adapter.
+func TestConsultantBudgetRespected(t *testing.T) {
+	c := NewConsultant()
+	c.Budget = 6
+	rep, err := c.Diagnose(factoryFor(t, computeHeavy, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProbesRun != 6 {
+		t.Fatalf("probes run = %d, want 6", rep.ProbesRun)
+	}
+	if rep.Pruned == 0 {
+		t.Fatalf("budget cut nothing on a refining search: %+v", rep)
+	}
+	full, err := NewConsultant().Diagnose(factoryFor(t, computeHeavy, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.ProbesRun + rep.Pruned; got > full.ProbesRun+full.Pruned && full.Pruned == 0 {
+		t.Fatalf("run+pruned = %d exceeds the full frontier %d", got, full.ProbesRun)
+	}
+}
+
+func BenchmarkConsultantSearch(b *testing.B) {
+	fa := factoryFor(b, computeHeavy, 4, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewConsultant()
+		if _, err := c.Diagnose(fa); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 )
 
 // factoryFor builds an AppFactory for a CMF program on a machine config.
-func factoryFor(t *testing.T, src string, nodes int, cfgMut func(*machine.Config)) AppFactory {
+func factoryFor(t testing.TB, src string, nodes int, cfgMut func(*machine.Config)) AppFactory {
 	t.Helper()
 	cp, err := cmf.CompileSource(src, cmf.Options{SourceFile: "app.fcm"})
 	if err != nil {

@@ -76,18 +76,50 @@ type QuestionSpec struct {
 	Text  string `json:"text"`
 }
 
+// DiagnoseRequest is the POST /v1/diagnose body: run the Performance
+// Consultant's budget-bounded why/where search over a program and
+// stream every probe's finding back as it is evaluated. Source and
+// Scenario compose exactly as in SessionRequest; admission, quotas and
+// drain apply the same way — a diagnosis holds one run slot for its
+// whole search (base run plus replays), and its tenant is charged the
+// search's total virtual time.
+type DiagnoseRequest struct {
+	Tenant   string `json:"tenant,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Nodes    int    `json:"nodes,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	Fuse     bool   `json:"fuse,omitempty"`
+	// Budget caps probe evaluations (0 selects the engine default;
+	// negative is a bad request).
+	Budget int `json:"budget,omitempty"`
+	// Threshold, when positive, overrides every hypothesis's own
+	// confirmation threshold; must be in [0, 1).
+	Threshold float64 `json:"threshold,omitempty"`
+	// MaxDepth bounds where-axis refinement depth (0 = engine default).
+	MaxDepth int `json:"max_depth,omitempty"`
+	// DeadlineMS bounds the whole search in wall-clock milliseconds;
+	// 0 adopts the server's default. Expiry (or drain) cuts the
+	// in-flight replay at a virtual-time boundary and ends the stream
+	// with an error event.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
 // Event is one NDJSON line on a session response stream. Exactly one
 // of the payload pointers is set, matching Event.
 type Event struct {
-	// Event is "admitted", "answer", "question", "report", "done" or
-	// "error".
-	Event    string        `json:"event"`
-	Admitted *AdmittedInfo `json:"admitted,omitempty"`
-	Answer   *AnswerInfo   `json:"answer,omitempty"`
-	Question *QuestionInfo `json:"question,omitempty"`
-	Report   *ReportInfo   `json:"report,omitempty"`
-	Done     *DoneInfo     `json:"done,omitempty"`
-	Error    *ErrorInfo    `json:"error,omitempty"`
+	// Event is "admitted", "answer", "question", "report", "finding",
+	// "diagnosis", "done" or "error".
+	Event     string         `json:"event"`
+	Admitted  *AdmittedInfo  `json:"admitted,omitempty"`
+	Answer    *AnswerInfo    `json:"answer,omitempty"`
+	Question  *QuestionInfo  `json:"question,omitempty"`
+	Report    *ReportInfo    `json:"report,omitempty"`
+	Finding   *FindingInfo   `json:"finding,omitempty"`
+	Diagnosis *DiagnosisInfo `json:"diagnosis,omitempty"`
+	Done      *DoneInfo      `json:"done,omitempty"`
+	Error     *ErrorInfo     `json:"error,omitempty"`
 }
 
 // AdmittedInfo opens every accepted stream: how long the request
@@ -148,6 +180,36 @@ type CutInfo struct {
 	Node   int    `json:"node"`
 	AtNS   int64  `json:"at_ns"`
 	Reason string `json:"reason,omitempty"`
+}
+
+// FindingInfo is one consultant probe's outcome, streamed the moment
+// the probe is evaluated (probe order, not display order — Seq gives
+// the order, Depth the refinement level).
+type FindingInfo struct {
+	Hypothesis string  `json:"hypothesis"`
+	Focus      string  `json:"focus"`
+	Fraction   float64 `json:"fraction"`
+	Threshold  float64 `json:"threshold"`
+	Confirmed  bool    `json:"confirmed"`
+	// Source is "sampled" (answered from the base run) or "re-run"
+	// (the probe replayed the program under focused instrumentation).
+	Source string `json:"source"`
+	Depth  int    `json:"depth"`
+	Seq    int    `json:"seq"`
+	CostNS int64  `json:"cost_ns"`
+}
+
+// DiagnosisInfo summarises a finished search: the byte-stable text
+// report plus the search's own cost accounting.
+type DiagnosisInfo struct {
+	// Text is Report.Text() — byte-stable for a fixed program.
+	Text          string `json:"text"`
+	Confirmed     int    `json:"confirmed"`
+	ProbesRun     int    `json:"probes_run"`
+	Pruned        int    `json:"pruned"`
+	Budget        int    `json:"budget"`
+	MaxDepth      int    `json:"max_depth"`
+	SearchVTimeNS int64  `json:"search_vtime_ns"`
 }
 
 // DoneInfo closes a successful stream.

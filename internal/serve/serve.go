@@ -127,6 +127,7 @@ func NewServer(cfg Config) *Server {
 	s.registerMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/diagnose", s.handleDiagnose)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.Handle("/", obs.Handler(s.plane))
